@@ -1,0 +1,63 @@
+// Shared helpers for the figure-reproduction harnesses: a standard
+// calibration run (the paper's section V-A campaign) and small table
+// printers. Each harness prints the same series the corresponding paper
+// figure plots, so the output can be piped straight into gnuplot.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "game/calibrate.hpp"
+#include "model/tick_model.hpp"
+
+namespace roia::benchharness {
+
+/// Full-strength calibration campaign (matches the paper: up to 300 bots on
+/// two replicas of one zone, plus a migration sweep).
+inline game::CalibrationResult runCalibration(bool quick = false) {
+  game::CalibrationConfig config;
+  if (quick) {
+    config.replicationPopulations = {50, 100, 150, 200, 250, 300};
+    config.migrationPopulations = {60, 120, 180, 240};
+  }
+  return game::calibrateModel(config);
+}
+
+/// Bins scattered (x, y) samples by x and returns per-bin mean — the
+/// "measured" series shown next to each fitted curve.
+inline std::vector<std::pair<double, double>> binnedMeans(const SampleSeries& series,
+                                                          double binWidth = 25.0) {
+  std::map<long, StatAccumulator> bins;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    bins[static_cast<long>(series.x[i] / binWidth)].add(series.y[i]);
+  }
+  std::vector<std::pair<double, double>> out;
+  out.reserve(bins.size());
+  for (const auto& [bin, acc] : bins) {
+    out.emplace_back((static_cast<double>(bin) + 0.5) * binWidth, acc.mean());
+  }
+  return out;
+}
+
+inline void printHeader(const std::string& title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void printParamTable(const char* name, const SampleSeries& samples,
+                            const model::ParamFunction& fitted) {
+  std::printf("\n# %s : %s fit, R^2 = %.4f (%zu samples)\n", name,
+              model::formName(fitted.form), fitted.gof.r2, fitted.sampleCount);
+  std::printf("#   coefficients (ascending powers):");
+  for (const double c : fitted.coeffs) std::printf(" %.6g", c);
+  std::printf("\n#   n    measured_us   fitted_us\n");
+  for (const auto& [n, mean] : binnedMeans(samples)) {
+    std::printf("  %6.0f   %10.4f  %10.4f\n", n, mean, fitted.eval(n));
+  }
+}
+
+}  // namespace roia::benchharness

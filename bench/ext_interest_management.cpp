@@ -1,0 +1,93 @@
+// Extension experiment: interest-management algorithms and the model.
+//
+// RTFDemo uses the Euclidean Distance Algorithm; the paper cites Boulanger
+// et al.'s comparison of IM algorithms. Here the same game runs with two
+// algorithms — the paper's Euclidean scan and a uniform-grid spatial hash —
+// and the scalability model is recalibrated for each. The experiment shows
+// that the choice of IM algorithm changes the *form* of t_aoi and with it
+// every threshold of the model: n_max(1), the 80 % trigger, and l_max.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "game/interest.hpp"
+#include "game/measurement.hpp"
+#include "model/estimator.hpp"
+#include "model/report.hpp"
+
+int main() {
+  using namespace roia;
+  using benchharness::printHeader;
+
+  printHeader("Extension — interest-management algorithms vs. the model");
+
+  // Euclidean baseline: the standard calibration campaign.
+  const game::CalibrationResult euclid = benchharness::runCalibration(true);
+  const model::TickModel euclidModel(euclid.parameters);
+  const model::ThresholdReport euclidReport = model::buildReport(euclidModel, 40.0, 0.15);
+
+  // Grid: rerun the per-population probe collection with the grid policy by
+  // measuring through a custom session (same sweep, same seeds).
+  game::MeasurementConfig config;
+  config.warmup = SimDuration::seconds(2);
+  config.measure = SimDuration::seconds(3);
+
+  std::printf("\n# per-user t_aoi (us), measured at steady state\n");
+  std::printf("# n      euclidean      grid\n");
+  SampleSeries gridAoi;
+  SampleSeries euclidAoi;
+  for (const std::size_t n : {50u, 100u, 150u, 200u, 250u, 300u}) {
+    for (const bool useGrid : {false, true}) {
+      game::FpsApplication app(config.fps);
+      if (useGrid) {
+        app.setInterestPolicy(std::make_unique<game::GridInterest>(config.fps.aoiRadius));
+      }
+      rtf::Cluster cluster(app, rtf::ClusterConfig{config.server, {}, 1234 + n});
+      const ZoneId zone = cluster.createZone("arena", config.fps.arenaOrigin,
+                                             config.fps.arenaExtent);
+      const ServerId s1 = cluster.addServer(zone);
+      const ServerId s2 = cluster.addServer(zone);
+      for (std::size_t i = 0; i < n; ++i) {
+        cluster.connectClientTo(i % 2 == 0 ? s1 : s2,
+                                std::make_unique<game::BotProvider>(config.bots));
+      }
+      cluster.run(config.warmup);
+      StatAccumulator perUser;
+      for (const ServerId id : cluster.serverIds()) {
+        cluster.server(id).setProbeListener(
+            [&perUser](const rtf::Server&, const rtf::TickProbes& probes) {
+              if (probes.activeUsers > 0) {
+                perUser.add(probes.phase(rtf::Phase::kAoi) /
+                            static_cast<double>(probes.activeUsers));
+              }
+            });
+      }
+      cluster.run(config.measure);
+      (useGrid ? gridAoi : euclidAoi).add(static_cast<double>(n), perUser.mean());
+    }
+  }
+  for (std::size_t i = 0; i < gridAoi.size(); ++i) {
+    std::printf("  %4.0f   %9.2f   %9.2f\n", euclidAoi.x[i], euclidAoi.y[i], gridAoi.y[i]);
+  }
+
+  // Fit t_aoi for the grid variant and rebuild the thresholds with only
+  // that parameter replaced (all other tasks are untouched by the policy).
+  model::ParameterEstimator estimator;
+  estimator.setSamples(model::ParamKind::kAoi, gridAoi);
+  const model::ModelParameters gridFitOnly = estimator.fit();
+  model::ModelParameters gridParams = euclid.parameters;
+  gridParams.set(model::ParamKind::kAoi, gridFitOnly.at(model::ParamKind::kAoi));
+  const model::TickModel gridModel(std::move(gridParams));
+  const model::ThresholdReport gridReport = model::buildReport(gridModel, 40.0, 0.15);
+
+  printHeader("thresholds per IM algorithm (U = 40 ms, c = 0.15)");
+  std::printf("\n# algorithm    n_max(1)   trigger(80%%)   l_max\n");
+  std::printf("  euclidean    %7zu   %12zu   %5zu\n", euclidReport.nMaxPerReplica[0],
+              euclidReport.replicationTriggers[0], euclidReport.lMax);
+  std::printf("  grid         %7zu   %12zu   %5zu\n", gridReport.nMaxPerReplica[0],
+              gridReport.replicationTriggers[0], gridReport.lMax);
+  std::printf(
+      "\nexpected shape: the grid removes the O(n) scan per user, so per-user t_aoi is much\n"
+      "flatter, single-server capacity rises substantially, and the model recalibrates all\n"
+      "thresholds automatically — the point of keeping parameters application-measured.\n");
+  return 0;
+}

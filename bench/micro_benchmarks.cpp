@@ -1,0 +1,212 @@
+// google-benchmark microbenchmarks of the substrate hot paths: framing and
+// serialization, the FPS application's AOI / attack scans, tick-model and
+// threshold evaluation, and the fitting pipeline.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fit/levmar.hpp"
+#include "fit/polyfit.hpp"
+#include "game/commands.hpp"
+#include "game/fps_app.hpp"
+#include "game/state_update.hpp"
+#include "model/thresholds.hpp"
+#include "model/tick_model.hpp"
+#include "rtf/messages.hpp"
+#include "serialize/message.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace roia;
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  ser::Frame frame;
+  frame.type = ser::MessageType::kStateUpdate;
+  frame.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    const auto bytes = ser::encodeFrame(frame);
+    const ser::Frame decoded = ser::decodeFrame(bytes);
+    benchmark::DoNotOptimize(decoded.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FrameEncodeDecode)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CommandBatchRoundTrip(benchmark::State& state) {
+  game::CommandBatch batch;
+  batch.move = game::MoveCommand{{0.7, -0.7}};
+  batch.attack = game::AttackCommand{EntityId{123456}, {1, 0}};
+  for (auto _ : state) {
+    const auto bytes = game::encodeCommands(batch);
+    const auto decoded = game::decodeCommands(bytes);
+    benchmark::DoNotOptimize(&decoded);
+  }
+}
+BENCHMARK(BM_CommandBatchRoundTrip);
+
+void BM_StateUpdateEncode(benchmark::State& state) {
+  game::StateUpdatePayload payload;
+  payload.self = {EntityId{1}, 0, 0, 100};
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    payload.visible.push_back(
+        {EntityId{static_cast<std::uint64_t>(i + 2)}, 1.0f, 2.0f, 100.0f});
+  }
+  for (auto _ : state) {
+    const auto bytes = game::encodeStateUpdate(payload);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+}
+BENCHMARK(BM_StateUpdateEncode)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ReplicationMessage(benchmark::State& state) {
+  rtf::EntityReplicationMsg msg;
+  msg.serverTick = 1;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    rtf::EntitySnapshot snap;
+    snap.id = EntityId{static_cast<std::uint64_t>(i)};
+    snap.owner = ServerId{1};
+    msg.entities.push_back(snap);
+  }
+  for (auto _ : state) {
+    const auto frame = rtf::encode(msg);
+    const auto decoded = rtf::decodeEntityReplication(frame);
+    benchmark::DoNotOptimize(decoded.entities.data());
+  }
+}
+BENCHMARK(BM_ReplicationMessage)->Arg(32)->Arg(128)->Arg(512);
+
+/// World populated with n avatars clustered for maximum AOI work.
+rtf::World denseWorld(std::size_t n) {
+  rtf::World world(ZoneId{1});
+  Rng rng(1);
+  for (std::uint64_t id = 1; id <= n; ++id) {
+    rtf::EntityRecord e;
+    e.id = EntityId{id};
+    e.kind = rtf::EntityKind::kAvatar;
+    e.owner = ServerId{1};
+    e.client = ClientId{id};
+    e.position = {rng.uniform(400, 600), rng.uniform(400, 600)};
+    world.upsert(e);
+  }
+  return world;
+}
+
+void BM_AreaOfInterest(benchmark::State& state) {
+  game::FpsApplication app;
+  rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter(cpu);
+  const rtf::EntityRecord* viewer = world.find(EntityId{1});
+  for (auto _ : state) {
+    const auto visible = app.computeAreaOfInterest(world, *viewer, meter);
+    benchmark::DoNotOptimize(visible.data());
+  }
+}
+BENCHMARK(BM_AreaOfInterest)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_AttackResolution(benchmark::State& state) {
+  game::FpsApplication app;
+  rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter(cpu);
+  Rng rng(2);
+  struct NullSink : rtf::ForwardSink {
+    void forwardInteraction(EntityId, EntityId, std::vector<std::uint8_t>) override {}
+  } sink;
+  rtf::EntityRecord* attacker = world.find(EntityId{1});
+  game::CommandBatch batch;
+  batch.attack = game::AttackCommand{EntityId{2}, {1, 0}};
+  const auto commands = game::encodeCommands(batch);
+  for (auto _ : state) {
+    app.applyUserInput(world, *attacker, commands, meter, sink, rng);
+  }
+}
+BENCHMARK(BM_AttackResolution)->Arg(50)->Arg(150)->Arg(300);
+
+model::ModelParameters benchParameters() {
+  model::ModelParameters params;
+  params.set(model::ParamKind::kUaDser, model::ParamFunction::linear(1.0, 0.0015));
+  params.set(model::ParamKind::kUa, model::ParamFunction::quadratic(1.2, 0.009, 1.2e-4));
+  params.set(model::ParamKind::kAoi, model::ParamFunction::quadratic(0.1, 0.45, 0.8e-4));
+  params.set(model::ParamKind::kSu, model::ParamFunction::linear(1.5, 0.2));
+  params.set(model::ParamKind::kFaDser, model::ParamFunction::linear(0.55, 0.0007));
+  params.set(model::ParamKind::kFa, model::ParamFunction::linear(0.9, 0.0023));
+  params.set(model::ParamKind::kMigIni, model::ParamFunction::linear(150.0, 5.0));
+  params.set(model::ParamKind::kMigRcv, model::ParamFunction::linear(80.0, 2.2));
+  return params;
+}
+
+void BM_TickModelEval(benchmark::State& state) {
+  const model::TickModel model(benchParameters());
+  double n = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.tickMicros(4, n, 100, n / 4));
+    n = n < 600 ? n + 1 : 50;
+  }
+}
+BENCHMARK(BM_TickModelEval);
+
+void BM_NMaxSearch(benchmark::State& state) {
+  const model::TickModel model(benchParameters());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::nMax(model, 4, 0, 40000.0));
+  }
+}
+BENCHMARK(BM_NMaxSearch);
+
+void BM_LMaxDerivation(benchmark::State& state) {
+  const model::TickModel model(benchParameters());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::lMax(model, 0, 40000.0, 0.15).lMax);
+  }
+}
+BENCHMARK(BM_LMaxDerivation);
+
+void BM_PolyFitQuadratic(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const double xi = rng.uniform(10, 300);
+    x.push_back(xi);
+    y.push_back(1.0 + 0.01 * xi + 4e-4 * xi * xi + rng.normal(0, 0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::polyFit(x, y, 2));
+  }
+}
+BENCHMARK(BM_PolyFitQuadratic)->Arg(256)->Arg(4096);
+
+void BM_LevenbergMarquardt(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> x, y;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const double xi = rng.uniform(10, 300);
+    x.push_back(xi);
+    y.push_back(1.0 + 0.01 * xi + 4e-4 * xi * xi + rng.normal(0, 0.5));
+  }
+  const auto model = fit::models::quadratic();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fit::levenbergMarquardt(model, x, y, {0.0, 0.0, 0.0}));
+  }
+}
+BENCHMARK(BM_LevenbergMarquardt)->Arg(256)->Arg(1024);
+
+void BM_EventQueueScheduleDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule(SimTime{(i * 37) % 997}, [] {});
+    }
+    SimTime at;
+    while (!queue.empty()) {
+      queue.pop(at)();
+    }
+    benchmark::DoNotOptimize(at);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleDrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

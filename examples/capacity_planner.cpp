@@ -1,0 +1,65 @@
+// Capacity planner: what an application provider runs before launch.
+//
+// Calibrates the scalability model once, then answers planning questions:
+//  * how many replicas does a given peak population need (Eq. 2/3)?
+//  * how does the QoE threshold U change capacity (fast-paced shooter at
+//    40 ms vs. a role-playing game tolerating much longer ticks, section
+//    III-C of the paper)?
+//  * how does the provider's minimum-improvement factor c (an economic
+//    choice) bound the sensible fleet size?
+#include <cstdio>
+
+#include "game/calibrate.hpp"
+#include "model/report.hpp"
+#include "model/thresholds.hpp"
+
+int main() {
+  using namespace roia;
+
+  std::printf("== Capacity planning with the scalability model ==\n");
+  game::CalibrationConfig calibrationConfig;
+  calibrationConfig.replicationPopulations = {50, 100, 150, 200, 250, 300};
+  calibrationConfig.migrationPopulations = {80, 160, 240};
+  const model::TickModel tickModel = game::calibrateTickModel(calibrationConfig);
+
+  // --- 1. replicas required for expected peaks (shooter settings) ---
+  constexpr double kShooterU = 40000.0;  // 25 updates/s
+  std::printf("\nReplicas needed at U = 40 ms (first-person shooter):\n");
+  std::printf("  peak_users   replicas   modeled_tick_ms\n");
+  for (const std::size_t peak : {150u, 300u, 450u, 600u}) {
+    std::size_t l = 1;
+    while (l < 64 && model::nMax(tickModel, l, 0, kShooterU) < peak) ++l;
+    std::printf("  %10zu   %8zu   %14.1f\n", peak, l,
+                tickModel.tickMillis(static_cast<double>(l), static_cast<double>(peak), 0));
+  }
+
+  // --- 2. the QoE threshold changes everything ---
+  std::printf("\nSingle-server capacity vs. QoE threshold U (paper section III-C):\n");
+  std::printf("  genre                      U_ms    n_max(1)\n");
+  const struct {
+    const char* genre;
+    double uMs;
+  } genres[] = {
+      {"fast-paced shooter", 40.0},
+      {"action RPG", 150.0},
+      {"online role-playing", 500.0},
+      {"turn-ish strategy", 1500.0},
+  };
+  for (const auto& g : genres) {
+    std::printf("  %-25s %6.0f    %zu\n", g.genre, g.uMs,
+                model::nMax(tickModel, 1, 0, g.uMs * 1000.0));
+  }
+
+  // --- 3. the economic knob c bounds the fleet ---
+  std::printf("\nMaximum useful fleet size vs. minimum-improvement factor c (Eq. 3):\n");
+  std::printf("  c       l_max   capacity_at_l_max\n");
+  for (const double c : {0.05, 0.10, 0.15, 0.25, 0.50, 1.00}) {
+    const model::LMaxResult result = model::lMax(tickModel, 0, kShooterU, c);
+    std::printf("  %.2f    %5zu   %zu users\n", c, result.lMax,
+                result.nMaxPerReplica.back());
+  }
+
+  std::printf("\nFull threshold report at the paper's settings (U = 40 ms, c = 0.15):\n%s",
+              model::buildReport(tickModel, 40.0, 0.15).toString().c_str());
+  return 0;
+}

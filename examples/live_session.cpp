@@ -1,0 +1,82 @@
+// Live-session demo: an RTF-RMS-managed game session facing a flash crowd.
+//
+// A launch-day-style workload — slow growth, a sudden spike to 2.5x, then a
+// long tail — is thrown at the model-driven manager twice: once with the
+// paper's 80 % replication trigger (calibrated for RTFDemo's gentle 5
+// users/s ramp) and once with a more conservative 65 % trigger. The flash
+// crowd joins faster than the original trigger plus the server-startup
+// delay can absorb, so the 80 % run shows transient QoS violations while
+// the 65 % run holds — demonstrating how the trigger fraction is a knob the
+// provider tunes to the expected churn rate (paper section V-A derives 80 %
+// empirically *for its workload*).
+#include <cstdio>
+
+#include "game/calibrate.hpp"
+#include "rms/session.hpp"
+
+namespace {
+
+roia::rms::SessionSummary runWithTrigger(const roia::model::TickModel& tickModel,
+                                         double triggerFraction, bool printTimeline) {
+  using namespace roia;
+  rms::ManagedSessionConfig config;
+  game::WorkloadScenario scenario;
+  scenario.then(SimDuration::seconds(30), 120)   // organic growth
+      .then(SimDuration::seconds(15), 300)       // flash crowd!
+      .then(SimDuration::seconds(20), 300)       // spike holds
+      .then(SimDuration::seconds(30), 80)        // crowd leaves
+      .then(SimDuration::seconds(20), 80);       // steady tail
+  config.scenario = scenario;
+  config.rms.controlPeriod = SimDuration::seconds(1);
+  config.rms.serverStartupDelay = SimDuration::seconds(2);
+  config.modelStrategy.triggerFraction = triggerFraction;
+
+  const rms::SessionSummary summary = rms::runManagedSession(config, tickModel);
+  if (printTimeline) {
+    std::printf("\n# time_s   users   servers   avg_cpu   max_tick_ms\n");
+    std::size_t lastServers = 1;
+    for (const rms::TimelinePoint& p : summary.timeline) {
+      if (static_cast<long>(p.timeSec) % 5 == 0 || p.servers != lastServers) {
+        std::printf("  %6.0f   %5zu   %7zu   %7.2f   %11.2f%s\n", p.timeSec, p.users, p.servers,
+                    p.avgCpuLoad, p.maxTickMs,
+                    p.servers > lastServers   ? "   <- replication enactment"
+                    : p.servers < lastServers ? "   <- resource removal"
+                                              : "");
+      }
+      lastServers = p.servers;
+    }
+  }
+  return summary;
+}
+
+}  // namespace
+
+int main() {
+  using namespace roia;
+
+  std::printf("== Flash-crowd session under model-driven RTF-RMS ==\n");
+  game::CalibrationConfig calibrationConfig;
+  calibrationConfig.replicationPopulations = {50, 100, 150, 200, 250, 300};
+  calibrationConfig.migrationPopulations = {80, 160, 240};
+  const model::TickModel tickModel = game::calibrateTickModel(calibrationConfig);
+
+  std::printf("\n--- run 1: paper's 80%% replication trigger (tuned for gentle ramps) ---\n");
+  const rms::SessionSummary paper = runWithTrigger(tickModel, 0.80, true);
+
+  std::printf("\n--- run 2: conservative 65%% trigger for flash crowds ---\n");
+  const rms::SessionSummary conservative = runWithTrigger(tickModel, 0.65, false);
+
+  std::printf("\n# trigger   violations   max_tick_ms   peak_servers   server_seconds\n");
+  std::printf("  80%%        %9zu   %11.2f   %12zu   %14.0f\n", paper.violationPeriods,
+              paper.maxTickMs, paper.peakServers, paper.serverSeconds);
+  std::printf("  65%%        %9zu   %11.2f   %12zu   %14.0f\n",
+              conservative.violationPeriods, conservative.maxTickMs,
+              conservative.peakServers, conservative.serverSeconds);
+
+  std::printf(
+      "\nThe 80%% trigger — empirically right for the paper's ~5 users/s ramp — reacts too\n"
+      "late for a 12 users/s flash crowd given the 2 s server-startup delay; lowering the\n"
+      "trigger trades a few extra server-seconds for an intact QoS. The trigger fraction is\n"
+      "the provider's knob for expected churn.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Quickstart: calibrate the scalability model for the FPS demo game and
+// query its thresholds — the complete pipeline of the paper in ~40 lines:
+//
+//   1. run instrumented measurement sessions with random bots,
+//   2. fit the per-parameter approximation functions (Levenberg-Marquardt),
+//   3. build the tick model (Eq. 1/4) and derive the thresholds
+//      n_max (Eq. 2), l_max (Eq. 3) and the migration budgets (Eq. 5).
+#include <cstdio>
+
+#include "game/calibrate.hpp"
+#include "model/report.hpp"
+#include "model/thresholds.hpp"
+
+int main() {
+  using namespace roia;
+
+  std::printf("== Calibrating the scalability model for the FPS demo ==\n");
+  game::CalibrationConfig config;
+  // A lighter sweep than the full Fig. 4 campaign keeps the quickstart fast.
+  config.replicationPopulations = {50, 100, 150, 200, 250, 300};
+  config.migrationPopulations = {60, 120, 180, 240};
+  const game::CalibrationResult calibration = game::calibrateModel(config);
+
+  std::printf("\nFitted approximation functions:\n%s\n",
+              calibration.parameters.describe().c_str());
+
+  const model::TickModel tickModel(calibration.parameters);
+
+  // The RTFDemo settings of the paper: U = 40 ms (25 updates/s), c = 0.15.
+  const model::ThresholdReport report = model::buildReport(tickModel, 40.0, 0.15);
+  std::printf("%s\n", report.toString().c_str());
+
+  // Migration budgets for the paper's worked example (section V-A): a server
+  // with 180 of 260 users at some tick duration.
+  const std::size_t n = 260;
+  const std::size_t ini = model::xMaxInitiate(tickModel, 2, n, 0, 180, 40000.0);
+  const std::size_t rcv = model::xMaxReceive(tickModel, 2, n, 0, 80, 40000.0);
+  std::printf("Migration budgets at n=%zu (180/80 split): x_max_ini=%zu, x_max_rcv=%zu\n", n,
+              ini, rcv);
+  std::printf("RTF-RMS would perform min{%zu, %zu} = %zu migrations per second.\n", ini, rcv,
+              ini < rcv ? ini : rcv);
+  return 0;
+}

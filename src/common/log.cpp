@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace roia {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_writeMutex;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::setLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
+
+bool Logger::enabled(LogLevel level) { return static_cast<int>(level) >= g_level.load(); }
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_writeMutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace roia

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Experiments run millions of simulated events, so
+// the logger is designed to be cheap when disabled: callers check
+// Logger::enabled(level) before formatting.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace roia {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Logger {
+ public:
+  /// Process-wide minimum level; defaults to kWarn so simulations stay quiet.
+  static void setLevel(LogLevel level);
+  static LogLevel level();
+  static bool enabled(LogLevel level);
+
+  /// Writes one line `[LEVEL] component: message` to stderr.
+  static void write(LogLevel level, std::string_view component, std::string_view message);
+};
+
+/// Convenience macro: evaluates the stream expression only when enabled.
+#define ROIA_LOG(level_, component_, expr_)                                \
+  do {                                                                     \
+    if (::roia::Logger::enabled(level_)) {                                 \
+      std::ostringstream roia_log_oss_;                                    \
+      roia_log_oss_ << expr_;                                              \
+      ::roia::Logger::write(level_, component_, roia_log_oss_.str());      \
+    }                                                                      \
+  } while (0)
+
+}  // namespace roia

@@ -1,0 +1,94 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace roia {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::nextDouble() {
+  // 53 top bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * nextDouble();
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t lo, std::uint64_t hi) {
+  if (lo >= hi) return lo;
+  const std::uint64_t range = hi - lo + 1;
+  if (range == 0) return next();  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % range);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit && limit != 0);
+  return lo + (v % range);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return nextDouble() < p;
+}
+
+double Rng::normal() {
+  if (hasSpare_) {
+    hasSpare_ = false;
+    return spareNormal_;
+  }
+  // Box–Muller; u must be > 0 so log() is finite.
+  double u;
+  do {
+    u = nextDouble();
+  } while (u <= 0.0);
+  const double v = nextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u));
+  const double theta = 2.0 * M_PI * v;
+  spareNormal_ = r * std::sin(theta);
+  hasSpare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = nextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+Rng Rng::split(std::uint64_t salt) const {
+  SplitMix64 sm(s_[0] ^ rotl(s_[3], 13) ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  return Rng(sm.next());
+}
+
+}  // namespace roia

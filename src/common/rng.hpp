@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (bot decisions, measurement
+// noise, churn) flows through these generators so that every experiment is
+// reproducible from a single seed. xoshiro256** is used for its quality and
+// speed; SplitMix64 expands a single seed into a full generator state and
+// derives independent child streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace roia {
+
+/// SplitMix64: seeds expansion and cheap stateless hashing of seed material.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies the needs of the
+/// simulation: fast, high quality, tiny state, trivially copyable.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform in [0, 1).
+  double nextDouble();
+  /// Uniform in [lo, hi) for doubles; [lo, hi] never returned for hi.
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive (unbiased via rejection).
+  std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool chance(double p);
+  /// Standard normal via Box–Muller (deterministic; caches the spare value).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent child stream; children with distinct salts are
+  /// statistically independent of the parent and of each other.
+  [[nodiscard]] Rng split(std::uint64_t salt) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spareNormal_{0.0};
+  bool hasSpare_{false};
+};
+
+}  // namespace roia

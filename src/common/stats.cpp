@@ -1,0 +1,125 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roia {
+
+void StatAccumulator::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void StatAccumulator::reset() { *this = StatAccumulator{}; }
+
+double StatAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StatAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram requires hi > lo and buckets > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0ULL);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return bucketLow(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+double Histogram::bucketLow(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bucketHigh(std::size_t i) const { return bucketLow(i) + width_; }
+
+void WindowedAverage::add(SimTime t, double value) {
+  samples_.push_back({t, value});
+  sum_ += value;
+  const SimTime cutoff = t - window_;
+  std::size_t evict = 0;
+  while (evict < samples_.size() && samples_[evict].time < cutoff) {
+    sum_ -= samples_[evict].value;
+    ++evict;
+  }
+  if (evict > 0) {
+    samples_.erase(samples_.begin(), samples_.begin() + static_cast<std::ptrdiff_t>(evict));
+  }
+}
+
+double WindowedAverage::average() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+}  // namespace roia

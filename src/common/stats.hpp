@@ -1,0 +1,123 @@
+// Streaming statistics used by monitoring probes, the parameter estimator
+// and the benchmark harnesses: Welford accumulators, EWMA smoothing,
+// fixed-bucket histograms and time-windowed averages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace roia {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Exponentially weighted moving average with configurable smoothing factor.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.2) : alpha_(alpha) {}
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] bool initialized() const { return initialized_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_{0.0};
+  bool initialized_{false};
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples land in
+/// saturating under/overflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Approximate quantile (q in [0,1]) by linear interpolation in buckets.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double bucketLow(std::size_t i) const;
+  [[nodiscard]] double bucketHigh(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_{0};
+  std::uint64_t overflow_{0};
+  std::uint64_t total_{0};
+};
+
+/// Sliding-window average over simulated time: samples older than the window
+/// are evicted as new ones arrive. Used for CPU-load reporting.
+class WindowedAverage {
+ public:
+  explicit WindowedAverage(SimDuration window) : window_(window) {}
+
+  void add(SimTime t, double value);
+  [[nodiscard]] double average() const;
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    SimTime time;
+    double value;
+  };
+  SimDuration window_;
+  std::vector<Sample> samples_;  // kept in time order
+  double sum_{0.0};
+};
+
+/// A labelled (x, y) sample set, the exchange format between measurement
+/// probes and the fitting pipeline.
+struct SampleSeries {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  void add(double xi, double yi) {
+    x.push_back(xi);
+    y.push_back(yi);
+  }
+  [[nodiscard]] std::size_t size() const { return x.size(); }
+  [[nodiscard]] bool empty() const { return x.empty(); }
+};
+
+}  // namespace roia

@@ -1,0 +1,95 @@
+// Strongly typed identifiers and simulated-time types shared by every
+// subsystem. All quantities of simulated time are integral microseconds so
+// that event ordering is exact and runs are bit-reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace roia {
+
+/// Tag-dispatched integral id. Distinct Tag types make ServerId, ClientId,
+/// etc. mutually unassignable while keeping them trivially copyable.
+template <class Tag>
+struct Id {
+  std::uint64_t value{kInvalid};
+
+  static constexpr std::uint64_t kInvalid = std::numeric_limits<std::uint64_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalid; }
+  auto operator<=>(const Id&) const = default;
+};
+
+struct ServerTag {};
+struct ClientTag {};
+struct EntityTag {};
+struct ZoneTag {};
+struct NodeTag {};
+
+using ServerId = Id<ServerTag>;
+using ClientId = Id<ClientTag>;
+using EntityId = Id<EntityTag>;
+using ZoneId = Id<ZoneTag>;
+using NodeId = Id<NodeTag>;
+
+/// Simulated duration in integral microseconds.
+struct SimDuration {
+  std::int64_t micros{0};
+
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t us) : micros(us) {}
+
+  static constexpr SimDuration zero() { return SimDuration{0}; }
+  static constexpr SimDuration microseconds(std::int64_t us) { return SimDuration{us}; }
+  static constexpr SimDuration milliseconds(std::int64_t ms) { return SimDuration{ms * 1000}; }
+  static constexpr SimDuration seconds(std::int64_t s) { return SimDuration{s * 1000000}; }
+
+  [[nodiscard]] constexpr double asMillis() const { return static_cast<double>(micros) / 1000.0; }
+  [[nodiscard]] constexpr double asSeconds() const { return static_cast<double>(micros) / 1e6; }
+
+  constexpr SimDuration& operator+=(SimDuration o) { micros += o.micros; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { micros -= o.micros; return *this; }
+  auto operator<=>(const SimDuration&) const = default;
+};
+
+constexpr SimDuration operator+(SimDuration a, SimDuration b) { return SimDuration{a.micros + b.micros}; }
+constexpr SimDuration operator-(SimDuration a, SimDuration b) { return SimDuration{a.micros - b.micros}; }
+constexpr SimDuration operator*(SimDuration a, std::int64_t k) { return SimDuration{a.micros * k}; }
+constexpr SimDuration operator*(std::int64_t k, SimDuration a) { return a * k; }
+
+/// Absolute simulated time (microseconds since simulation start).
+struct SimTime {
+  std::int64_t micros{0};
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t us) : micros(us) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() { return SimTime{std::numeric_limits<std::int64_t>::max()}; }
+
+  [[nodiscard]] constexpr double asMillis() const { return static_cast<double>(micros) / 1000.0; }
+  [[nodiscard]] constexpr double asSeconds() const { return static_cast<double>(micros) / 1e6; }
+
+  auto operator<=>(const SimTime&) const = default;
+};
+
+constexpr SimTime operator+(SimTime t, SimDuration d) { return SimTime{t.micros + d.micros}; }
+constexpr SimTime operator-(SimTime t, SimDuration d) { return SimTime{t.micros - d.micros}; }
+constexpr SimDuration operator-(SimTime a, SimTime b) { return SimDuration{a.micros - b.micros}; }
+
+}  // namespace roia
+
+namespace std {
+template <class Tag>
+struct hash<roia::Id<Tag>> {
+  size_t operator()(const roia::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,30 @@
+#include "fit/gof.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roia::fit {
+
+GoodnessOfFit evaluateFit(const ModelFn& model, std::span<const double> x,
+                          std::span<const double> y, std::span<const double> coeffs) {
+  if (x.size() != y.size()) throw std::invalid_argument("evaluateFit: size mismatch");
+  GoodnessOfFit gof;
+  if (x.empty()) return gof;
+
+  double meanY = 0.0;
+  for (const double yi : y) meanY += yi;
+  meanY /= static_cast<double>(y.size());
+
+  double sst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = model(x[i], coeffs) - y[i];
+    gof.sse += r * r;
+    const double d = y[i] - meanY;
+    sst += d * d;
+  }
+  gof.rmse = std::sqrt(gof.sse / static_cast<double>(x.size()));
+  gof.r2 = sst > 0.0 ? 1.0 - gof.sse / sst : (gof.sse == 0.0 ? 1.0 : 0.0);
+  return gof;
+}
+
+}  // namespace roia::fit

@@ -1,0 +1,21 @@
+// Goodness-of-fit statistics for fitted approximation functions.
+#pragma once
+
+#include <span>
+
+#include "fit/levmar.hpp"
+
+namespace roia::fit {
+
+struct GoodnessOfFit {
+  double sse{0.0};
+  double rmse{0.0};
+  /// Coefficient of determination; 1 is a perfect fit. Can be negative for
+  /// fits worse than the mean predictor.
+  double r2{0.0};
+};
+
+[[nodiscard]] GoodnessOfFit evaluateFit(const ModelFn& model, std::span<const double> x,
+                                        std::span<const double> y, std::span<const double> coeffs);
+
+}  // namespace roia::fit

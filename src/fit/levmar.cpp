@@ -1,0 +1,140 @@
+#include "fit/levmar.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fit/matrix.hpp"
+
+namespace roia::fit {
+namespace {
+
+double sumSquaredError(const ModelFn& model, std::span<const double> x, std::span<const double> y,
+                       std::span<const double> coeffs) {
+  double sse = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = model(x[i], coeffs) - y[i];
+    sse += r * r;
+  }
+  return sse;
+}
+
+}  // namespace
+
+LevMarResult levenbergMarquardt(const ModelFn& model, std::span<const double> x,
+                                std::span<const double> y, std::vector<double> initialCoeffs,
+                                const LevMarOptions& options) {
+  if (x.size() != y.size()) throw std::invalid_argument("levmar: size mismatch");
+  const std::size_t n = x.size();
+  const std::size_t p = initialCoeffs.size();
+  if (n < p) throw std::invalid_argument("levmar: fewer samples than coefficients");
+
+  std::vector<double> coeffs = std::move(initialCoeffs);
+  double lambda = options.initialLambda;
+  double sse = sumSquaredError(model, x, y, coeffs);
+
+  LevMarResult result;
+  std::vector<double> jacobianRow(p);
+  Matrix jtj(p, p);
+  std::vector<double> jtr(p);
+  std::vector<double> probe = coeffs;
+
+  std::size_t iter = 0;
+  for (; iter < options.maxIterations; ++iter) {
+    // Build JᵀJ and Jᵀr with a central-difference Jacobian.
+    jtj = Matrix(p, p);
+    std::fill(jtr.begin(), jtr.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        const double base = coeffs[j];
+        const double h = options.jacobianStep * std::max(1.0, std::fabs(base));
+        probe = coeffs;
+        probe[j] = base + h;
+        const double fPlus = model(x[i], probe);
+        probe[j] = base - h;
+        const double fMinus = model(x[i], probe);
+        jacobianRow[j] = (fPlus - fMinus) / (2.0 * h);
+      }
+      const double residual = model(x[i], coeffs) - y[i];
+      for (std::size_t a = 0; a < p; ++a) {
+        for (std::size_t b = 0; b <= a; ++b) {
+          jtj(a, b) += jacobianRow[a] * jacobianRow[b];
+        }
+        jtr[a] += jacobianRow[a] * residual;
+      }
+    }
+    for (std::size_t a = 0; a < p; ++a) {
+      for (std::size_t b = a + 1; b < p; ++b) jtj(a, b) = jtj(b, a);
+    }
+
+    // Try damped steps, inflating lambda until one reduces the SSE.
+    bool stepped = false;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      Matrix damped = jtj;
+      for (std::size_t d = 0; d < p; ++d) {
+        // Marquardt scaling: damp relative to the curvature diagonal.
+        damped(d, d) += lambda * std::max(jtj(d, d), 1e-12);
+      }
+      std::vector<double> step;
+      try {
+        step = choleskySolve(damped, jtr);
+      } catch (const SingularMatrixError&) {
+        lambda *= options.lambdaUp;
+        continue;
+      }
+      std::vector<double> candidate(p);
+      for (std::size_t j = 0; j < p; ++j) candidate[j] = coeffs[j] - step[j];
+      const double candidateSse = sumSquaredError(model, x, y, candidate);
+      if (std::isfinite(candidateSse) && candidateSse <= sse) {
+        const double improvement = sse - candidateSse;
+        coeffs = std::move(candidate);
+        const double previous = sse;
+        sse = candidateSse;
+        lambda = std::max(lambda * options.lambdaDown, 1e-14);
+        stepped = true;
+        if (improvement <= options.tolerance * std::max(previous, 1e-300)) {
+          result.converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambdaUp;
+    }
+    if (!stepped) {
+      // No damping level produced progress: accept current optimum.
+      result.converged = true;
+    }
+    if (result.converged) {
+      ++iter;
+      break;
+    }
+  }
+
+  result.coeffs = std::move(coeffs);
+  result.sse = sse;
+  result.iterations = iter;
+  return result;
+}
+
+namespace models {
+
+ModelFn linear() {
+  return [](double x, std::span<const double> c) { return c[0] + c[1] * x; };
+}
+
+ModelFn quadratic() {
+  return [](double x, std::span<const double> c) { return c[0] + x * (c[1] + x * c[2]); };
+}
+
+ModelFn polynomial(std::size_t degree) {
+  return [degree](double x, std::span<const double> c) {
+    double acc = 0.0;
+    for (std::size_t i = degree + 1; i-- > 0;) acc = acc * x + c[i];
+    return acc;
+  };
+}
+
+ModelFn powerLaw() {
+  return [](double x, std::span<const double> c) { return c[0] * std::pow(std::max(x, 1e-12), c[1]); };
+}
+
+}  // namespace models
+}  // namespace roia::fit

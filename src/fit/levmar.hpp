@@ -1,0 +1,58 @@
+// Levenberg-Marquardt nonlinear least squares (Marquardt 1963), the same
+// algorithm the paper runs through gnuplot to smooth measured per-parameter
+// CPU times into approximation functions.
+//
+// Minimizes sum_i (f(x_i; c) - y_i)^2 over the coefficient vector c. The
+// Jacobian is evaluated by central finite differences, so any smooth model
+// function works; damping follows the classic multiplicative schedule.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace roia::fit {
+
+/// Model function: value of f at x for coefficients c.
+using ModelFn = std::function<double(double x, std::span<const double> coeffs)>;
+
+struct LevMarOptions {
+  std::size_t maxIterations{200};
+  double initialLambda{1e-3};
+  double lambdaUp{10.0};
+  double lambdaDown{0.1};
+  /// Converged when the relative SSE improvement drops below this.
+  double tolerance{1e-12};
+  /// Relative step for the finite-difference Jacobian.
+  double jacobianStep{1e-6};
+};
+
+struct LevMarResult {
+  std::vector<double> coeffs;
+  double sse{0.0};
+  std::size_t iterations{0};
+  bool converged{false};
+};
+
+/// Runs LM from the given initial coefficients. x and y must be equal-sized
+/// and have at least coeffs.size() samples.
+[[nodiscard]] LevMarResult levenbergMarquardt(const ModelFn& model, std::span<const double> x,
+                                              std::span<const double> y,
+                                              std::vector<double> initialCoeffs,
+                                              const LevMarOptions& options = {});
+
+/// Ready-made model functions matching the paper's choices.
+namespace models {
+/// f(x) = c0 + c1 x
+[[nodiscard]] ModelFn linear();
+/// f(x) = c0 + c1 x + c2 x^2  (the paper's choice for t_ua and t_aoi)
+[[nodiscard]] ModelFn quadratic();
+/// f(x) = c0 + c1 x + ... + c_d x^d
+[[nodiscard]] ModelFn polynomial(std::size_t degree);
+/// f(x) = c0 * x^c1 (power law; used in robustness tests)
+[[nodiscard]] ModelFn powerLaw();
+}  // namespace models
+
+}  // namespace roia::fit

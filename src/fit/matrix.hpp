@@ -1,0 +1,66 @@
+// Small dense linear algebra for the fitting pipeline: column-major matrix,
+// Cholesky factorization and triangular solves. Sized for normal equations
+// of low-degree polynomial and Levenberg-Marquardt fits (a handful of
+// parameters), so simplicity and numerical care beat blocking tricks.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace roia::fit {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major brace construction for tests: Matrix({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator*=(double k);
+
+  [[nodiscard]] std::vector<double> multiply(const std::vector<double>& v) const;
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+/// Thrown when a factorization encounters a non-SPD or singular matrix.
+class SingularMatrixError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Cholesky factor L (lower triangular, A = L Lᵀ) of a symmetric positive
+/// definite matrix. Throws SingularMatrixError when a pivot collapses.
+[[nodiscard]] Matrix cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky.
+[[nodiscard]] std::vector<double> choleskySolve(const Matrix& a, const std::vector<double>& b);
+
+/// Solves L y = b (forward) for lower-triangular L.
+[[nodiscard]] std::vector<double> forwardSubstitute(const Matrix& l, const std::vector<double>& b);
+
+/// Solves Lᵀ x = y (backward) given lower-triangular L.
+[[nodiscard]] std::vector<double> backwardSubstituteT(const Matrix& l, const std::vector<double>& y);
+
+}  // namespace roia::fit

@@ -1,0 +1,60 @@
+#include "fit/polyfit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "fit/matrix.hpp"
+
+namespace roia::fit {
+
+std::vector<double> polyFitWeighted(std::span<const double> x, std::span<const double> y,
+                                    std::span<const double> w, std::size_t degree) {
+  if (x.size() != y.size() || x.size() != w.size()) {
+    throw std::invalid_argument("polyFit: size mismatch");
+  }
+  const std::size_t p = degree + 1;
+  if (x.size() < p) throw std::invalid_argument("polyFit: not enough samples");
+
+  // Accumulate the normal equations (XᵀWX) c = XᵀWy directly; powers up to
+  // 2*degree are needed. Center/scale is unnecessary at the degrees (<= 3)
+  // and magnitudes (user counts <= a few thousand) used here, but we scale x
+  // by its max to keep the Gram matrix well conditioned anyway.
+  double xScale = 0.0;
+  for (const double xi : x) xScale = std::max(xScale, std::fabs(xi));
+  if (xScale == 0.0) xScale = 1.0;
+
+  Matrix gram(p, p);
+  std::vector<double> rhs(p, 0.0);
+  std::vector<double> powers(2 * degree + 1, 0.0);
+  for (std::size_t s = 0; s < x.size(); ++s) {
+    const double xs = x[s] / xScale;
+    double acc = 1.0;
+    for (std::size_t k = 0; k <= 2 * degree; ++k) {
+      powers[k] = acc;
+      acc *= xs;
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        gram(i, j) += w[s] * powers[i + j];
+      }
+      rhs[i] += w[s] * powers[i] * y[s];
+    }
+  }
+
+  std::vector<double> scaled = choleskySolve(gram, rhs);
+  // Undo the x scaling: coefficient of x^i was fitted against (x/S)^i.
+  double divisor = 1.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    scaled[i] /= divisor;
+    divisor *= xScale;
+  }
+  return scaled;
+}
+
+std::vector<double> polyFit(std::span<const double> x, std::span<const double> y,
+                            std::size_t degree) {
+  const std::vector<double> w(x.size(), 1.0);
+  return polyFitWeighted(x, y, w, degree);
+}
+
+}  // namespace roia::fit

@@ -1,0 +1,25 @@
+// Closed-form (weighted) polynomial least squares via normal equations.
+// This is the fast path used for the linear fits in the paper (t_ua_dser,
+// t_su, t_fa, t_fa_dser, t_mig_ini, t_mig_rcv); quadratic parameters go
+// through Levenberg-Marquardt exactly as the paper does with gnuplot, and
+// both paths agree for polynomial model functions (tested).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace roia::fit {
+
+/// Fits y ~ sum_i coeff[i] * x^i of the given degree. Returns coefficients
+/// in ascending order of power (size degree + 1). Requires at least
+/// degree + 1 samples; throws std::invalid_argument otherwise.
+[[nodiscard]] std::vector<double> polyFit(std::span<const double> x, std::span<const double> y,
+                                          std::size_t degree);
+
+/// Weighted variant; weights act as inverse variances.
+[[nodiscard]] std::vector<double> polyFitWeighted(std::span<const double> x,
+                                                  std::span<const double> y,
+                                                  std::span<const double> w, std::size_t degree);
+
+}  // namespace roia::fit

@@ -1,0 +1,46 @@
+#include "game/bots.hpp"
+
+#include <algorithm>
+
+#include "game/state_update.hpp"
+
+namespace roia::game {
+
+std::vector<std::uint8_t> BotProvider::nextCommands(SimTime now, Rng& rng) {
+  (void)now;
+  CommandBatch batch;
+
+  // Move every tick; change heading occasionally.
+  if (!hasHeading_ || rng.chance(config_.turnProbability)) {
+    heading_ = Vec2{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)}.normalized();
+    if (heading_.lengthSq() == 0.0) heading_ = {1.0, 0.0};
+    hasHeading_ = true;
+  }
+  batch.move = MoveCommand{heading_};
+
+  // Attack probability grows with the number of potential targets.
+  const double p = std::min(config_.attackProbabilityCap,
+                            config_.attackBaseProbability +
+                                config_.attackPerVisibleProbability *
+                                    static_cast<double>(seenEntities_.size()));
+  if (!seenEntities_.empty() && rng.chance(p)) {
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniformInt(0, seenEntities_.size() - 1));
+    batch.attack = AttackCommand{seenEntities_[pick], heading_};
+    ++attacksIssued_;
+  }
+
+  ++commandsIssued_;
+  return encodeCommands(batch);
+}
+
+void BotProvider::onStateUpdate(std::span<const std::uint8_t> update) {
+  const StateUpdatePayload payload = decodeStateUpdate(update);
+  seenEntities_.clear();
+  seenEntities_.reserve(payload.visible.size());
+  for (const VisibleEntity& e : payload.visible) {
+    seenEntities_.push_back(e.id);
+  }
+}
+
+}  // namespace roia::game

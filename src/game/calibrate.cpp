@@ -1,0 +1,32 @@
+#include "game/calibrate.hpp"
+
+namespace roia::game {
+
+CalibrationResult calibrateModel(const CalibrationConfig& config) {
+  CalibrationResult result;
+  result.replicationSamples =
+      measureReplicationParameters(config.measurement, config.replicationPopulations);
+  result.migrationSamples = measureMigrationParameters(
+      config.measurement, config.migrationPopulations, config.migrationsPerBurst);
+
+  model::ParameterEstimator estimator;
+  for (std::size_t k = 0; k < model::kParamCount; ++k) {
+    const auto kind = static_cast<model::ParamKind>(k);
+    const rtf::Phase phase = model::phaseForParamKind(kind);
+    // Migration parameters come from the migration sweep; the rest from the
+    // replication sweep.
+    if (kind == model::ParamKind::kMigIni || kind == model::ParamKind::kMigRcv) {
+      estimator.setSamples(kind, result.migrationSamples.series(phase));
+    } else {
+      estimator.setSamples(kind, result.replicationSamples.series(phase));
+    }
+  }
+  result.parameters = estimator.fit();
+  return result;
+}
+
+model::TickModel calibrateTickModel(const CalibrationConfig& config) {
+  return model::TickModel(calibrateModel(config).parameters);
+}
+
+}  // namespace roia::game

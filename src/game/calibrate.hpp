@@ -1,0 +1,38 @@
+// One-call model calibration for the FPS demo: runs the measurement
+// campaign (replication + migration parameter sweeps) and fits the
+// scalability model — the full pipeline of the paper's section V-A.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "game/measurement.hpp"
+#include "model/estimator.hpp"
+#include "model/tick_model.hpp"
+
+namespace roia::game {
+
+struct CalibrationConfig {
+  MeasurementConfig measurement{};
+  /// Bot populations of the replication sweep (paper: up to 300 bots).
+  std::vector<std::size_t> replicationPopulations{25, 50, 75, 100, 125, 150,
+                                                  175, 200, 225, 250, 275, 300};
+  /// Populations of the migration sweep.
+  std::vector<std::size_t> migrationPopulations{40, 80, 120, 160, 200, 240, 280};
+  std::size_t migrationsPerBurst{3};
+};
+
+struct CalibrationResult {
+  model::ModelParameters parameters;
+  /// Raw per-parameter samples (the scatter of paper Figs. 4 and 6).
+  ParameterSamples replicationSamples;
+  ParameterSamples migrationSamples;
+};
+
+/// Runs both measurement campaigns and fits the paper-default forms.
+[[nodiscard]] CalibrationResult calibrateModel(const CalibrationConfig& config = {});
+
+/// Convenience: calibrate and wrap in a TickModel.
+[[nodiscard]] model::TickModel calibrateTickModel(const CalibrationConfig& config = {});
+
+}  // namespace roia::game

@@ -1,0 +1,51 @@
+// User command encoding for the FPS demo game (RTFDemo analogue).
+//
+// Per tick each user can issue a move command, an attack command or both —
+// exactly the input model the paper describes for RTFDemo in section V-A.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/types.hpp"
+
+namespace roia::game {
+
+struct MoveCommand {
+  Vec2 direction;  // unit-ish direction; server normalizes
+};
+
+struct AttackCommand {
+  EntityId target;
+  Vec2 aim;  // aim direction, carried for realism of payload size
+};
+
+struct CommandBatch {
+  std::optional<MoveCommand> move;
+  std::optional<AttackCommand> attack;
+
+  [[nodiscard]] bool empty() const { return !move && !attack; }
+};
+
+/// Encodes a batch into the opaque command bytes carried by ClientInputMsg.
+[[nodiscard]] std::vector<std::uint8_t> encodeCommands(const CommandBatch& batch);
+
+/// Decodes command bytes; throws ser::DecodeError on malformed input.
+[[nodiscard]] CommandBatch decodeCommands(std::span<const std::uint8_t> bytes);
+
+/// Interaction payload for events that cross replicas (forwarded inputs):
+/// an attack hitting a shadow entity, or the kill credit flowing back to
+/// the attacker's responsible server.
+struct Interaction {
+  enum class Kind : std::uint8_t { kAttack = 1, kKillCredit = 2 };
+  Kind kind{Kind::kAttack};
+  double damage{0.0};  // meaningful for kAttack
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encodeInteraction(const Interaction& interaction);
+[[nodiscard]] Interaction decodeInteraction(std::span<const std::uint8_t> bytes);
+
+}  // namespace roia::game

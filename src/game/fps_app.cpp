@@ -1,0 +1,239 @@
+#include "game/fps_app.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "game/player_stats.hpp"
+#include "game/state_update.hpp"
+#include "serialize/byte_buffer.hpp"
+#include "serialize/crc32.hpp"
+
+namespace roia::game {
+namespace {
+
+InterestCosts interestCostsFrom(const FpsConfig& config) {
+  InterestCosts costs;
+  costs.pairTestCost = config.aoiPerEntityCost;
+  costs.subscribeScanCost = config.aoiSubscribeScanCost;
+  return costs;
+}
+
+}  // namespace
+
+FpsApplication::FpsApplication(FpsConfig config)
+    : config_(config),
+      interest_(std::make_unique<EuclideanInterest>(interestCostsFrom(config))) {}
+
+void FpsApplication::setInterestPolicy(std::unique_ptr<InterestPolicy> policy) {
+  if (policy != nullptr) interest_ = std::move(policy);
+}
+
+void FpsApplication::onTickBegin(rtf::World& world, rtf::CostMeter& meter) {
+  rtf::PhaseScope scope(meter, rtf::Phase::kAoi);
+  interest_->prepare(world, meter);
+}
+
+void FpsApplication::applyUserInput(rtf::World& world, rtf::EntityRecord& avatar,
+                                    std::span<const std::uint8_t> commands,
+                                    rtf::CostMeter& meter, rtf::ForwardSink& forward, Rng& rng) {
+  const CommandBatch batch = decodeCommands(commands);
+  if (batch.move) {
+    applyMove(avatar, *batch.move, meter);
+  }
+  if (batch.attack) {
+    applyAttack(world, avatar, *batch.attack, meter, forward, rng);
+  }
+}
+
+void FpsApplication::applyMove(rtf::EntityRecord& avatar, const MoveCommand& move,
+                               rtf::CostMeter& meter) {
+  meter.charge(config_.moveApplyCost);
+  const Vec2 dir = move.direction.normalized();
+  avatar.velocity = dir * config_.moveSpeed;
+  avatar.position += avatar.velocity * config_.tickSeconds;
+  clampToArena(avatar.position);
+}
+
+void FpsApplication::applyAttack(rtf::World& world, rtf::EntityRecord& attacker,
+                                 const AttackCommand& attack, rtf::CostMeter& meter,
+                                 rtf::ForwardSink& forward, Rng& rng) {
+  // Hit resolution iterates through all users to check who is hit by the
+  // attack (the paper's stated reason t_ua grows super-linearly). The scan
+  // is genuinely performed, not just charged.
+  std::size_t scanned = 0;
+  rtf::EntityRecord* hit = nullptr;
+  world.forEach([&](rtf::EntityRecord& e) {
+    if (!e.isAvatar() || e.id == attacker.id) return;
+    ++scanned;
+    if (e.id == attack.target &&
+        e.position.distanceSq(attacker.position) <=
+            config_.attackRange * config_.attackRange) {
+      hit = &e;
+    }
+  });
+  meter.charge(config_.attackValidateBaseCost +
+               config_.attackScanPerEntityCost * static_cast<double>(scanned));
+  if (hit == nullptr) return;
+
+  if (hit->owner == attacker.owner) {
+    // Target is active on this server: apply the hit locally.
+    meter.charge(config_.applyHitCost);
+    if (applyDamage(*hit, config_.attackDamage, &rng, meter)) {
+      creditKill(attacker, meter);
+    }
+    hit->version += 1;
+  } else {
+    // Target is a shadow entity: forward the interaction to its server.
+    forward.forwardInteraction(
+        hit->id, attacker.id,
+        encodeInteraction(Interaction{Interaction::Kind::kAttack, config_.attackDamage}));
+  }
+}
+
+void FpsApplication::applyForwardedInteraction(rtf::World& world, rtf::EntityRecord& target,
+                                               EntityId source,
+                                               std::span<const std::uint8_t> payload,
+                                               rtf::CostMeter& meter,
+                                               rtf::ForwardSink& forward) {
+  const Interaction interaction = decodeInteraction(payload);
+  meter.charge(config_.fwdApplyCost);
+  switch (interaction.kind) {
+    case Interaction::Kind::kAttack: {
+      const bool killed = applyDamage(target, interaction.damage, nullptr, meter);
+      target.version += 1;
+      if (killed) {
+        // Credit the attacker on its own responsible server: if the
+        // attacker is active here, book it directly; otherwise forward a
+        // kill-credit interaction back.
+        rtf::EntityRecord* attacker = world.find(source);
+        if (attacker != nullptr) {
+          if (attacker->owner == target.owner) {
+            creditKill(*attacker, meter);
+          } else {
+            forward.forwardInteraction(
+                source, target.id,
+                encodeInteraction(Interaction{Interaction::Kind::kKillCredit, 0.0}));
+          }
+        }
+      }
+      break;
+    }
+    case Interaction::Kind::kKillCredit:
+      creditKill(target, meter);
+      break;
+  }
+}
+
+bool FpsApplication::applyDamage(rtf::EntityRecord& target, double damage, Rng* rng,
+                                 rtf::CostMeter& meter) {
+  target.health -= damage;
+  if (target.health > 0.0) return false;
+  target.health = config_.respawnHealth;
+  if (rng != nullptr) {
+    // Respawn at a random arena position to break up kill clusters.
+    target.position = {rng->uniform(config_.arenaOrigin.x,
+                                    config_.arenaOrigin.x + config_.arenaExtent.x),
+                       rng->uniform(config_.arenaOrigin.y,
+                                    config_.arenaOrigin.y + config_.arenaExtent.y)};
+  }
+  meter.charge(config_.statsUpdateCost);
+  PlayerStats stats = decodeStats(target.appData);
+  ++stats.deaths;
+  target.appData = encodeStats(stats);
+  return true;
+}
+
+void FpsApplication::creditKill(rtf::EntityRecord& attacker, rtf::CostMeter& meter) {
+  meter.charge(config_.statsUpdateCost);
+  PlayerStats stats = decodeStats(attacker.appData);
+  ++stats.kills;
+  stats.score += config_.killScore;
+  attacker.appData = encodeStats(stats);
+  attacker.version += 1;  // propagate the scoreboard change to shadows
+}
+
+std::vector<std::uint8_t> FpsApplication::exportUserState(const rtf::EntityRecord& avatar,
+                                                          rtf::CostMeter& meter) {
+  // The entity's appData already travels inside the migration snapshot; the
+  // application attaches an integrity token so the target can verify the
+  // blob survived the hand-over intact.
+  meter.charge(config_.statsUpdateCost);
+  ser::ByteWriter writer(4);
+  writer.writeU32(ser::crc32(avatar.appData));
+  return std::move(writer).take();
+}
+
+void FpsApplication::importUserState(rtf::EntityRecord& avatar,
+                                     std::span<const std::uint8_t> state,
+                                     rtf::CostMeter& meter) {
+  meter.charge(config_.statsUpdateCost);
+  if (state.size() != 4) return;  // older peer without the token
+  ser::ByteReader reader(state);
+  const std::uint32_t expected = reader.readU32();
+  if (ser::crc32(avatar.appData) != expected) {
+    ROIA_LOG(LogLevel::kWarn, "game.fps",
+             "migration state checksum mismatch for entity " << avatar.id.value);
+  }
+}
+
+void FpsApplication::onShadowUpdated(rtf::World& world, rtf::EntityRecord& shadow,
+                                     rtf::CostMeter& meter) {
+  (void)shadow;
+  // Interest-management upkeep: the spatial index bucket of the shadow moves
+  // and density-proportional subscriber lists are touched. Grows mildly with
+  // the zone population; this is the knob behind the replication overhead.
+  meter.charge(config_.shadowIndexBaseCost +
+               config_.shadowIndexPerEntityCost * static_cast<double>(world.avatarCount()));
+}
+
+void FpsApplication::updateNpc(rtf::World& world, rtf::EntityRecord& npc, rtf::CostMeter& meter,
+                               Rng& rng) {
+  // NPC AI scans users for a target, then wanders.
+  meter.charge(config_.npcBaseCost +
+               config_.npcScanPerEntityCost * static_cast<double>(world.avatarCount()));
+  if (rng.chance(0.15)) {
+    npc.velocity = Vec2{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)}.normalized() *
+                   (config_.moveSpeed * 0.5);
+  }
+  npc.position += npc.velocity * config_.tickSeconds;
+  clampToArena(npc.position);
+}
+
+std::vector<EntityId> FpsApplication::computeAreaOfInterest(const rtf::World& world,
+                                                            const rtf::EntityRecord& viewer,
+                                                            rtf::CostMeter& meter) {
+  // Delegated to the configured interest-management algorithm; the default
+  // EuclideanInterest is the paper's Euclidean Distance Algorithm.
+  return interest_->query(world, viewer, config_.aoiRadius, meter);
+}
+
+std::vector<std::uint8_t> FpsApplication::buildStateUpdate(const rtf::World& world,
+                                                           const rtf::EntityRecord& viewer,
+                                                           std::span<const EntityId> visible,
+                                                           rtf::CostMeter& meter) {
+  StateUpdatePayload payload;
+  payload.self = VisibleEntity{viewer.id, static_cast<float>(viewer.position.x),
+                               static_cast<float>(viewer.position.y),
+                               static_cast<float>(viewer.health)};
+  payload.visible.reserve(visible.size());
+  double cost = 0.0;
+  for (const EntityId id : visible) {
+    const rtf::EntityRecord* e = world.find(id);
+    if (e == nullptr) continue;
+    cost += config_.suGatherPerEntityCost;
+    payload.visible.push_back(VisibleEntity{e->id, static_cast<float>(e->position.x),
+                                            static_cast<float>(e->position.y),
+                                            static_cast<float>(e->health)});
+  }
+  meter.charge(cost);
+  return encodeStateUpdate(payload);
+}
+
+void FpsApplication::clampToArena(Vec2& position) const {
+  position.x = std::clamp(position.x, config_.arenaOrigin.x,
+                          config_.arenaOrigin.x + config_.arenaExtent.x);
+  position.y = std::clamp(position.y, config_.arenaOrigin.y,
+                          config_.arenaOrigin.y + config_.arenaExtent.y);
+}
+
+}  // namespace roia::game

@@ -1,0 +1,122 @@
+// The FPS demo application (our RTFDemo analogue), implementing
+// rtf::Application. Its mechanics are chosen to reproduce the computational
+// characteristics the paper reports for RTFDemo in section V-A:
+//
+//  * applying an attack iterates through ALL users to check who is hit, and
+//    attack frequency grows with the user count -> t_ua grows faster than
+//    linear (fitted quadratically in the paper),
+//  * the area of interest uses the Euclidean Distance Algorithm: for user U
+//    every other user is tested, and each subscription scans U's update list
+//    to avoid duplicates -> t_aoi quadratic,
+//  * state updates aggregate equivalent records per visible entity ->
+//    t_su linear,
+//  * inputs are deserialized once each; attack share grows with n ->
+//    t_ua_dser linear,
+//  * forwarded inputs are rare and cheap -> t_fa, t_fa_dser small.
+//
+// All cost constants live in FpsConfig; units are simulated microseconds on
+// a reference server (see sim::CpuCostModel).
+#pragma once
+
+#include <memory>
+
+#include "common/math.hpp"
+#include "game/commands.hpp"
+#include "game/interest.hpp"
+#include "rtf/application.hpp"
+
+namespace roia::game {
+
+struct FpsConfig {
+  // --- gameplay ---
+  Vec2 arenaOrigin{0, 0};
+  Vec2 arenaExtent{1000, 1000};
+  double aoiRadius{220.0};
+  double attackRange{260.0};
+  double moveSpeed{80.0};       // units per second
+  double attackDamage{8.0};
+  double respawnHealth{100.0};
+  double tickSeconds{0.04};     // integration step of one loop iteration
+
+  // --- application-logic cost constants (reference microseconds) ---
+  double moveApplyCost{1.2};
+  double attackValidateBaseCost{1.2};
+  /// Per world avatar scanned while resolving one attack (quadratic driver).
+  double attackScanPerEntityCost{0.10};
+  double applyHitCost{1.5};
+  double fwdApplyCost{1.8};
+  double npcBaseCost{2.0};
+  double npcScanPerEntityCost{0.02};
+  /// Per candidate entity tested by the Euclidean Distance Algorithm.
+  double aoiPerEntityCost{0.45};
+  /// Per update-list entry scanned during a duplicate check (quadratic driver).
+  double aoiSubscribeScanCost{0.011};
+  /// Per visible entity gathered into a state update.
+  double suGatherPerEntityCost{1.0};
+  /// Shadow maintenance: fixed part per snapshot...
+  double shadowIndexBaseCost{0.3};
+  /// ...plus interest-index upkeep that grows with the zone population
+  /// (drives the replication-overhead term of Eq. (1)).
+  double shadowIndexPerEntityCost{0.0025};
+  /// Decoding + updating + re-encoding the per-player stats blob.
+  double statsUpdateCost{0.4};
+  /// Points per kill on the scoreboard.
+  std::uint64_t killScore{100};
+};
+
+class FpsApplication final : public rtf::Application {
+ public:
+  explicit FpsApplication(FpsConfig config = {});
+
+  [[nodiscard]] const FpsConfig& config() const { return config_; }
+
+  /// Swaps the interest-management algorithm (default: the paper's
+  /// Euclidean Distance Algorithm). See game/interest.hpp.
+  void setInterestPolicy(std::unique_ptr<InterestPolicy> policy);
+  [[nodiscard]] InterestPolicy& interestPolicy() { return *interest_; }
+
+  void onTickBegin(rtf::World& world, rtf::CostMeter& meter) override;
+
+  void applyUserInput(rtf::World& world, rtf::EntityRecord& avatar,
+                      std::span<const std::uint8_t> commands, rtf::CostMeter& meter,
+                      rtf::ForwardSink& forward, Rng& rng) override;
+
+  void applyForwardedInteraction(rtf::World& world, rtf::EntityRecord& target, EntityId source,
+                                 std::span<const std::uint8_t> payload, rtf::CostMeter& meter,
+                                 rtf::ForwardSink& forward) override;
+
+  std::vector<std::uint8_t> exportUserState(const rtf::EntityRecord& avatar,
+                                            rtf::CostMeter& meter) override;
+  void importUserState(rtf::EntityRecord& avatar, std::span<const std::uint8_t> state,
+                       rtf::CostMeter& meter) override;
+
+  void onShadowUpdated(rtf::World& world, rtf::EntityRecord& shadow,
+                       rtf::CostMeter& meter) override;
+
+  void updateNpc(rtf::World& world, rtf::EntityRecord& npc, rtf::CostMeter& meter,
+                 Rng& rng) override;
+
+  std::vector<EntityId> computeAreaOfInterest(const rtf::World& world,
+                                              const rtf::EntityRecord& viewer,
+                                              rtf::CostMeter& meter) override;
+
+  std::vector<std::uint8_t> buildStateUpdate(const rtf::World& world,
+                                             const rtf::EntityRecord& viewer,
+                                             std::span<const EntityId> visible,
+                                             rtf::CostMeter& meter) override;
+
+ private:
+  void applyMove(rtf::EntityRecord& avatar, const MoveCommand& move, rtf::CostMeter& meter);
+  void applyAttack(rtf::World& world, rtf::EntityRecord& attacker, const AttackCommand& attack,
+                   rtf::CostMeter& meter, rtf::ForwardSink& forward, Rng& rng);
+  /// Applies damage; returns true when the hit was lethal (the target
+  /// respawned). Increments the victim's death count on a kill.
+  bool applyDamage(rtf::EntityRecord& target, double damage, Rng* rng, rtf::CostMeter& meter);
+  void creditKill(rtf::EntityRecord& attacker, rtf::CostMeter& meter);
+  void clampToArena(Vec2& position) const;
+
+  FpsConfig config_;
+  std::unique_ptr<InterestPolicy> interest_;
+};
+
+}  // namespace roia::game

@@ -1,0 +1,92 @@
+#include "game/interest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roia::game {
+
+void EuclideanInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) {
+  // No index: the Euclidean Distance Algorithm scans the world per query.
+  (void)world;
+  (void)meter;
+}
+
+std::vector<EntityId> EuclideanInterest::query(const rtf::World& world,
+                                               const rtf::EntityRecord& viewer, double radius,
+                                               rtf::CostMeter& meter) {
+  std::vector<EntityId> visible;
+  const double radiusSq = radius * radius;
+  double cost = 0.0;
+  world.forEach([&](const rtf::EntityRecord& e) {
+    if (e.id == viewer.id) return;
+    cost += costs_.pairTestCost;
+    if (e.position.distanceSq(viewer.position) <= radiusSq) {
+      // Duplicate check: linear scan of the update list so far (the
+      // quadratic driver of the paper's t_aoi).
+      cost += costs_.subscribeScanCost * static_cast<double>(visible.size());
+      bool duplicate = false;
+      for (const EntityId id : visible) {
+        if (id == e.id) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) visible.push_back(e.id);
+    }
+  });
+  meter.charge(cost);
+  return visible;  // world iteration is id-ordered already
+}
+
+std::int64_t GridInterest::cellKey(double x, double y) const {
+  const auto cx = static_cast<std::int64_t>(std::floor(x / cellSize_));
+  const auto cy = static_cast<std::int64_t>(std::floor(y / cellSize_));
+  return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
+}
+
+void GridInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) {
+  cells_.clear();
+  double cost = 0.0;
+  world.forEach([&](const rtf::EntityRecord& e) {
+    cells_[cellKey(e.position.x, e.position.y)].push_back(CellEntry{e.id, e.position});
+    cost += costs_.rebuildPerEntityCost;
+  });
+  meter.charge(cost);
+}
+
+std::vector<EntityId> GridInterest::query(const rtf::World& world,
+                                          const rtf::EntityRecord& viewer, double radius,
+                                          rtf::CostMeter& meter) {
+  (void)world;
+  std::vector<EntityId> visible;
+  const double radiusSq = radius * radius;
+  const auto loX = static_cast<std::int64_t>(std::floor((viewer.position.x - radius) / cellSize_));
+  const auto hiX = static_cast<std::int64_t>(std::floor((viewer.position.x + radius) / cellSize_));
+  const auto loY = static_cast<std::int64_t>(std::floor((viewer.position.y - radius) / cellSize_));
+  const auto hiY = static_cast<std::int64_t>(std::floor((viewer.position.y + radius) / cellSize_));
+
+  double cost = 0.0;
+  for (std::int64_t cx = loX; cx <= hiX; ++cx) {
+    for (std::int64_t cy = loY; cy <= hiY; ++cy) {
+      cost += costs_.cellVisitCost;
+      const auto it = cells_.find((cx << 32) ^ (cy & 0xFFFFFFFFLL));
+      if (it == cells_.end()) continue;
+      for (const CellEntry& entry : it->second) {
+        if (entry.id == viewer.id) continue;
+        cost += costs_.candidateTestCost;
+        if (entry.position.distanceSq(viewer.position) <= radiusSq) {
+          cost += costs_.subscribeScanCost * static_cast<double>(visible.size());
+          visible.push_back(entry.id);
+        }
+      }
+    }
+  }
+  meter.charge(cost);
+  // Cells are visited in spatial order; normalize to id order so the wire
+  // format and downstream behaviour are identical across IM algorithms.
+  std::sort(visible.begin(), visible.end());
+  visible.erase(std::unique(visible.begin(), visible.end()), visible.end());
+  return visible;
+}
+
+}  // namespace roia::game

@@ -1,0 +1,226 @@
+#include "game/measurement.hpp"
+
+#include <memory>
+
+namespace roia::game {
+namespace {
+
+/// Builds a cluster with one zone on `replicas` servers and `users` bots
+/// spread equally (the paper distributes bots equally on both servers to
+/// maximise inter-server communication).
+struct SessionFixture {
+  FpsApplication app;
+  rtf::Cluster cluster;
+  ZoneId zone;
+
+  SessionFixture(const MeasurementConfig& config, std::size_t users, std::size_t replicas)
+      : app(config.fps),
+        cluster(app,
+                rtf::ClusterConfig{config.server, rtf::ClientEndpoint::Config{}, config.seed}),
+        zone(cluster.createZone("arena", config.fps.arenaOrigin, config.fps.arenaExtent)) {
+    std::vector<ServerId> servers;
+    servers.reserve(replicas);
+    for (std::size_t i = 0; i < replicas; ++i) {
+      servers.push_back(cluster.addServer(zone));
+    }
+    if (config.npcs > 0) cluster.spawnNpcs(zone, config.npcs);
+    for (std::size_t i = 0; i < users; ++i) {
+      cluster.connectClientTo(servers[i % servers.size()],
+                              std::make_unique<BotProvider>(config.bots));
+    }
+  }
+};
+
+/// Attaches per-tick normalization to every server: converts phase totals
+/// into per-item parameter samples at x = n (total zone users).
+void collectProbeSamples(rtf::Cluster& cluster, ParameterSamples& samples) {
+  for (const ServerId id : cluster.serverIds()) {
+    cluster.server(id).setProbeListener(
+        [&samples](const rtf::Server& server, const rtf::TickProbes& probes) {
+          (void)server;
+          const double n = static_cast<double>(probes.totalAvatars);
+          if (probes.activeUsers > 0) {
+            const double a = static_cast<double>(probes.activeUsers);
+            samples.series(rtf::Phase::kUaDser).add(n, probes.phase(rtf::Phase::kUaDser) / a);
+            samples.series(rtf::Phase::kUa).add(n, probes.phase(rtf::Phase::kUa) / a);
+            samples.series(rtf::Phase::kAoi).add(n, probes.phase(rtf::Phase::kAoi) / a);
+            samples.series(rtf::Phase::kSu).add(n, probes.phase(rtf::Phase::kSu) / a);
+          }
+          if (probes.shadowAvatars > 0) {
+            const double s = static_cast<double>(probes.shadowAvatars);
+            samples.series(rtf::Phase::kFaDser).add(n, probes.phase(rtf::Phase::kFaDser) / s);
+            samples.series(rtf::Phase::kFa).add(n, probes.phase(rtf::Phase::kFa) / s);
+          }
+          if (probes.npcs > 0) {
+            const double m = static_cast<double>(probes.npcs);
+            samples.series(rtf::Phase::kNpc).add(n, probes.phase(rtf::Phase::kNpc) / m);
+          }
+          if (probes.migrationsInitiated > 0) {
+            const double k = static_cast<double>(probes.migrationsInitiated);
+            samples.series(rtf::Phase::kMigIni).add(n, probes.phase(rtf::Phase::kMigIni) / k);
+          }
+          if (probes.migrationsReceived > 0) {
+            const double k = static_cast<double>(probes.migrationsReceived);
+            samples.series(rtf::Phase::kMigRcv).add(n, probes.phase(rtf::Phase::kMigRcv) / k);
+          }
+        });
+  }
+}
+
+void detachProbeListeners(rtf::Cluster& cluster) {
+  for (const ServerId id : cluster.serverIds()) {
+    cluster.server(id).setProbeListener(nullptr);
+  }
+}
+
+}  // namespace
+
+void ParameterSamples::merge(const ParameterSamples& other) {
+  for (std::size_t p = 0; p < rtf::kPhaseCount; ++p) {
+    perItem[p].x.insert(perItem[p].x.end(), other.perItem[p].x.begin(), other.perItem[p].x.end());
+    perItem[p].y.insert(perItem[p].y.end(), other.perItem[p].y.begin(), other.perItem[p].y.end());
+  }
+}
+
+ParameterSamples measureReplicationParameters(const MeasurementConfig& config,
+                                              std::span<const std::size_t> populations) {
+  ParameterSamples all;
+  for (std::size_t p = 0; p < rtf::kPhaseCount; ++p) {
+    all.perItem[p].label = rtf::phaseName(static_cast<rtf::Phase>(p));
+  }
+  for (const std::size_t users : populations) {
+    MeasurementConfig runConfig = config;
+    runConfig.seed = config.seed + users;  // decorrelate runs
+    SessionFixture fixture(runConfig, users, config.replicas);
+    fixture.cluster.run(config.warmup);
+
+    ParameterSamples runSamples;
+    collectProbeSamples(fixture.cluster, runSamples);
+    fixture.cluster.run(config.measure);
+    detachProbeListeners(fixture.cluster);
+    all.merge(runSamples);
+  }
+  return all;
+}
+
+ParameterSamples measureMigrationParameters(const MeasurementConfig& config,
+                                            std::span<const std::size_t> populations,
+                                            std::size_t migrationsPerBurst) {
+  ParameterSamples all;
+  for (std::size_t p = 0; p < rtf::kPhaseCount; ++p) {
+    all.perItem[p].label = rtf::phaseName(static_cast<rtf::Phase>(p));
+  }
+  for (const std::size_t users : populations) {
+    MeasurementConfig runConfig = config;
+    runConfig.seed = config.seed + 7919 * users;
+    SessionFixture fixture(runConfig, users, 2);
+    auto& cluster = fixture.cluster;
+    cluster.run(config.warmup);
+
+    ParameterSamples runSamples;
+    collectProbeSamples(cluster, runSamples);
+
+    // Ping-pong migration stream: alternate source/target every burst so
+    // populations stay balanced while both sides exercise both roles.
+    const std::vector<ServerId> servers = cluster.serverIds();
+    bool forward = true;
+    auto token = cluster.simulation().schedulePeriodic(
+        SimDuration::milliseconds(250), [&](SimTime) {
+          const ServerId from = forward ? servers[0] : servers[1];
+          const ServerId to = forward ? servers[1] : servers[0];
+          forward = !forward;
+          const std::vector<ClientId> candidates = cluster.server(from).clientIds(true);
+          const std::size_t count = std::min(migrationsPerBurst, candidates.size());
+          for (std::size_t i = 0; i < count; ++i) {
+            cluster.migrateClient(candidates[i], to);
+          }
+          return true;
+        });
+    cluster.run(config.measure);
+    sim::Simulation::cancelPeriodic(token);
+    detachProbeListeners(cluster);
+    all.merge(runSamples);
+  }
+  return all;
+}
+
+SteadyStateResult measureSteadyState(const MeasurementConfig& config, std::size_t users,
+                                     std::size_t replicas) {
+  SessionFixture fixture(config, users, replicas);
+  fixture.cluster.run(config.warmup);
+
+  StatAccumulator tickMs;
+  StatAccumulator load;
+  double maxTick = 0.0;
+  for (const ServerId id : fixture.cluster.serverIds()) {
+    fixture.cluster.server(id).setProbeListener(
+        [&](const rtf::Server& server, const rtf::TickProbes& probes) {
+          tickMs.add(probes.totalMicros() / 1000.0);
+          maxTick = std::max(maxTick, probes.totalMicros() / 1000.0);
+          load.add(server.cpuAccount().load());
+        });
+  }
+  fixture.cluster.run(config.measure);
+  detachProbeListeners(fixture.cluster);
+
+  SteadyStateResult result;
+  result.tickAvgMs = tickMs.mean();
+  result.tickMaxMs = maxTick;
+  result.cpuLoadAvg = load.mean();
+  result.users = users;
+  result.replicas = replicas;
+  return result;
+}
+
+model::BandwidthSample measureBandwidth(const MeasurementConfig& config, std::size_t users,
+                                        std::size_t replicas) {
+  SessionFixture fixture(config, users, replicas);
+  auto& cluster = fixture.cluster;
+  cluster.run(config.warmup);
+
+  // Snapshot cumulative per-node counters around the measurement window.
+  struct Baseline {
+    std::uint64_t in;
+    std::uint64_t out;
+  };
+  std::vector<Baseline> baselines;
+  const std::vector<ServerId> servers = cluster.serverIds();
+  baselines.reserve(servers.size());
+  for (const ServerId id : servers) {
+    const NodeId node = cluster.server(id).node();
+    baselines.push_back({cluster.network().nodeIngress(node).bytes,
+                         cluster.network().nodeEgress(node).bytes});
+  }
+  cluster.run(config.measure);
+
+  const double seconds = config.measure.asSeconds();
+  double inRate = 0.0, outRate = 0.0;
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const NodeId node = cluster.server(servers[i]).node();
+    inRate += static_cast<double>(cluster.network().nodeIngress(node).bytes - baselines[i].in) /
+              seconds;
+    outRate += static_cast<double>(cluster.network().nodeEgress(node).bytes - baselines[i].out) /
+               seconds;
+  }
+  model::BandwidthSample sample;
+  sample.users = users;
+  sample.replicas = replicas;
+  sample.ingressBytesPerSec = inRate / static_cast<double>(servers.size());
+  sample.egressBytesPerSec = outRate / static_cast<double>(servers.size());
+  return sample;
+}
+
+std::vector<model::BandwidthSample> measureBandwidthSweep(
+    const MeasurementConfig& config, std::span<const std::size_t> populations,
+    std::size_t replicas) {
+  std::vector<model::BandwidthSample> samples;
+  samples.reserve(populations.size());
+  for (const std::size_t users : populations) {
+    MeasurementConfig runConfig = config;
+    runConfig.seed = config.seed + 31337 * users;
+    samples.push_back(measureBandwidth(runConfig, users, replicas));
+  }
+  return samples;
+}
+
+}  // namespace roia::game

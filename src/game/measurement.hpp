@@ -1,0 +1,90 @@
+// Instrumented measurement sessions for model-parameter determination
+// (paper section V-A): connect a sweep of bot populations to a small replica
+// group, let the session reach steady state, and record per-item CPU times
+// for every model parameter from the servers' tick probes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "model/bandwidth.hpp"
+#include "rtf/cluster.hpp"
+#include "rtf/probes.hpp"
+
+namespace roia::game {
+
+struct MeasurementConfig {
+  /// Measured values have a high variation in real deployments (paper V-A);
+  /// the default adds mild deterministic noise so the fits genuinely smooth
+  /// scatter. Set server.cpu.noiseAmplitude = 0 for exact-cost runs.
+  MeasurementConfig() { server.cpu.noiseAmplitude = 0.06; }
+
+  FpsConfig fps{};
+  rtf::ServerConfig server{};
+  BotConfig bots{};
+  /// Replicas processing the measured zone (the paper uses 2).
+  std::size_t replicas{2};
+  /// NPCs in the zone (the paper neglects t_npc; default 0).
+  std::size_t npcs{0};
+  SimDuration warmup{SimDuration::seconds(2)};
+  SimDuration measure{SimDuration::seconds(4)};
+  std::uint64_t seed{12345};
+};
+
+/// Per-parameter (x, y) samples: x = total user count n in the zone,
+/// y = CPU microseconds per item (per user, per shadow, per NPC or per
+/// migration depending on the phase).
+struct ParameterSamples {
+  std::array<SampleSeries, rtf::kPhaseCount> perItem;
+
+  SampleSeries& series(rtf::Phase phase) { return perItem[static_cast<std::size_t>(phase)]; }
+  [[nodiscard]] const SampleSeries& series(rtf::Phase phase) const {
+    return perItem[static_cast<std::size_t>(phase)];
+  }
+
+  /// Merges samples of another run (e.g. a different population).
+  void merge(const ParameterSamples& other);
+};
+
+/// Measures the replication parameters t_ua_dser, t_ua, t_fa_dser, t_fa,
+/// t_npc, t_aoi, t_su over the given population sweep.
+[[nodiscard]] ParameterSamples measureReplicationParameters(
+    const MeasurementConfig& config, std::span<const std::size_t> populations);
+
+/// Measures t_mig_ini / t_mig_rcv by issuing a steady stream of ping-pong
+/// migrations between two replicas at each population.
+[[nodiscard]] ParameterSamples measureMigrationParameters(
+    const MeasurementConfig& config, std::span<const std::size_t> populations,
+    std::size_t migrationsPerBurst = 3);
+
+/// Average tick duration (ms) observed at steady state for a fixed
+/// population on `replicas` servers — used for validating model predictions
+/// against direct measurement.
+struct SteadyStateResult {
+  double tickAvgMs{0.0};
+  double tickMaxMs{0.0};
+  double cpuLoadAvg{0.0};
+  std::size_t users{0};
+  std::size_t replicas{0};
+};
+
+[[nodiscard]] SteadyStateResult measureSteadyState(const MeasurementConfig& config,
+                                                   std::size_t users, std::size_t replicas);
+
+/// Measures the average per-server network traffic (ingress/egress) at a
+/// steady population — the input of the bandwidth extension of the model
+/// (the analysis the paper lists as future work).
+[[nodiscard]] model::BandwidthSample measureBandwidth(const MeasurementConfig& config,
+                                                      std::size_t users, std::size_t replicas);
+
+/// Convenience sweep: one BandwidthSample per population.
+[[nodiscard]] std::vector<model::BandwidthSample> measureBandwidthSweep(
+    const MeasurementConfig& config, std::span<const std::size_t> populations,
+    std::size_t replicas);
+
+}  // namespace roia::game

@@ -1,0 +1,25 @@
+#include "game/player_stats.hpp"
+
+#include "serialize/byte_buffer.hpp"
+
+namespace roia::game {
+
+std::vector<std::uint8_t> encodeStats(const PlayerStats& stats) {
+  ser::ByteWriter writer(12);
+  writer.writeVarU64(stats.kills);
+  writer.writeVarU64(stats.deaths);
+  writer.writeVarU64(stats.score);
+  return std::move(writer).take();
+}
+
+PlayerStats decodeStats(std::span<const std::uint8_t> bytes) {
+  PlayerStats stats;
+  if (bytes.empty()) return stats;
+  ser::ByteReader reader(bytes);
+  stats.kills = static_cast<std::uint32_t>(reader.readVarU64());
+  stats.deaths = static_cast<std::uint32_t>(reader.readVarU64());
+  stats.score = reader.readVarU64();
+  return stats;
+}
+
+}  // namespace roia::game

@@ -1,0 +1,27 @@
+// Per-player application state of the FPS demo — kills, deaths, score —
+// stored in the entity's opaque appData blob. RTF marshals the blob
+// generically: it replicates to shadow copies and travels with user
+// migrations, so a player keeps their score across server hand-overs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace roia::game {
+
+struct PlayerStats {
+  std::uint32_t kills{0};
+  std::uint32_t deaths{0};
+  std::uint64_t score{0};
+
+  bool operator==(const PlayerStats&) const = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encodeStats(const PlayerStats& stats);
+
+/// Decodes stats; an empty blob decodes to all-zero stats (fresh player).
+/// Throws ser::DecodeError on malformed non-empty input.
+[[nodiscard]] PlayerStats decodeStats(std::span<const std::uint8_t> bytes);
+
+}  // namespace roia::game

@@ -1,0 +1,94 @@
+#include "game/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace roia::game {
+
+std::size_t WorkloadScenario::targetAt(SimTime t) const {
+  if (segments_.empty()) return 0;
+  double previousTarget = 0.0;
+  SimTime segmentStart = SimTime::zero();
+  for (const Segment& segment : segments_) {
+    const SimTime segmentEnd = segmentStart + segment.duration;
+    if (t < segmentEnd) {
+      const double progress =
+          segment.duration.micros > 0
+              ? static_cast<double>((t - segmentStart).micros) /
+                    static_cast<double>(segment.duration.micros)
+              : 1.0;
+      const double value =
+          previousTarget + (static_cast<double>(segment.targetUsers) - previousTarget) * progress;
+      return static_cast<std::size_t>(std::llround(std::max(0.0, value)));
+    }
+    previousTarget = static_cast<double>(segment.targetUsers);
+    segmentStart = segmentEnd;
+  }
+  return segments_.back().targetUsers;
+}
+
+SimDuration WorkloadScenario::totalDuration() const {
+  SimDuration total = SimDuration::zero();
+  for (const Segment& segment : segments_) total += segment.duration;
+  return total;
+}
+
+WorkloadScenario WorkloadScenario::paperSession(std::size_t peakUsers, SimDuration rampUp,
+                                                SimDuration hold, SimDuration rampDown) {
+  WorkloadScenario scenario;
+  scenario.then(rampUp, peakUsers).then(hold, peakUsers).then(rampDown, 0);
+  return scenario;
+}
+
+WorkloadScenario WorkloadScenario::constant(std::size_t users, SimDuration duration) {
+  WorkloadScenario scenario;
+  scenario.then(SimDuration::zero(), users).then(duration, users);
+  return scenario;
+}
+
+ChurnDriver::ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario,
+                         Config config)
+    : cluster_(cluster),
+      zone_(zone),
+      scenario_(std::move(scenario)),
+      config_(config),
+      rng_(config.seed) {}
+
+void ChurnDriver::start() {
+  if (runningFlag_) return;
+  runningFlag_ = true;
+  token_ = cluster_.simulation().schedulePeriodic(config_.period,
+                                                  [this](SimTime now) { return step(now); });
+}
+
+void ChurnDriver::stop() {
+  if (!runningFlag_) return;
+  runningFlag_ = false;
+  sim::Simulation::cancelPeriodic(token_);
+}
+
+bool ChurnDriver::step(SimTime now) {
+  if (!runningFlag_) return false;
+  const std::size_t target = scenario_.targetAt(now);
+  const std::size_t current = cluster_.clientCount();
+  if (target > current) {
+    const std::size_t joins = std::min(config_.maxChangePerPeriod, target - current);
+    for (std::size_t i = 0; i < joins; ++i) {
+      cluster_.connectClient(zone_, std::make_unique<BotProvider>(config_.bots));
+      ++joins_;
+    }
+  } else if (target < current) {
+    const std::size_t leaves = std::min(config_.maxChangePerPeriod, current - target);
+    for (std::size_t i = 0; i < leaves; ++i) {
+      const std::vector<ClientId> ids = cluster_.clientIds();
+      if (ids.empty()) break;
+      const std::size_t pick = static_cast<std::size_t>(rng_.uniformInt(0, ids.size() - 1));
+      cluster_.disconnectClient(ids[pick]);
+      ++leaves_;
+    }
+  }
+  return true;
+}
+
+}  // namespace roia::game

@@ -1,0 +1,92 @@
+// Workload scenarios: piecewise-linear target user counts over time, plus a
+// churn driver that connects/disconnects bot clients to track the target —
+// the "continuously changing number of users" of the paper's Fig. 8.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "game/bots.hpp"
+#include "rtf/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace roia::game {
+
+/// Piecewise-linear workload: each segment ramps linearly from the previous
+/// segment's target to its own target over its duration.
+class WorkloadScenario {
+ public:
+  struct Segment {
+    SimDuration duration;
+    std::size_t targetUsers;
+  };
+
+  WorkloadScenario() = default;
+  explicit WorkloadScenario(std::vector<Segment> segments) : segments_(std::move(segments)) {}
+
+  WorkloadScenario& then(SimDuration duration, std::size_t targetUsers) {
+    segments_.push_back({duration, targetUsers});
+    return *this;
+  }
+
+  /// Target user count at absolute time `t` (holds the last target after the
+  /// final segment).
+  [[nodiscard]] std::size_t targetAt(SimTime t) const;
+
+  [[nodiscard]] SimDuration totalDuration() const;
+  [[nodiscard]] const std::vector<Segment>& segments() const { return segments_; }
+
+  /// The paper's Fig. 8 shape: ramp to 300 users, hold, and drain again.
+  static WorkloadScenario paperSession(std::size_t peakUsers = 300,
+                                       SimDuration rampUp = SimDuration::seconds(60),
+                                       SimDuration hold = SimDuration::seconds(30),
+                                       SimDuration rampDown = SimDuration::seconds(60));
+
+  /// Constant population (for parameter-measurement runs).
+  static WorkloadScenario constant(std::size_t users, SimDuration duration);
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+/// Connects/disconnects bot clients on a fixed cadence so the live user
+/// count tracks the scenario target.
+class ChurnDriver {
+ public:
+  struct Config {
+    SimDuration period{SimDuration::milliseconds(200)};
+    /// Upper bound of joins/leaves per period (connection-rate limit).
+    std::size_t maxChangePerPeriod{5};
+    BotConfig bots{};
+    std::uint64_t seed{7};
+  };
+
+  ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario, Config config);
+  ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario)
+      : ChurnDriver(cluster, zone, std::move(scenario), Config{}) {}
+
+  /// Starts driving; runs until stop() or forever (scenario holds last value).
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t currentUsers() const { return cluster_.clientCount(); }
+  [[nodiscard]] std::uint64_t totalJoins() const { return joins_; }
+  [[nodiscard]] std::uint64_t totalLeaves() const { return leaves_; }
+
+ private:
+  bool step(SimTime now);
+
+  rtf::Cluster& cluster_;
+  ZoneId zone_;
+  WorkloadScenario scenario_;
+  Config config_;
+  Rng rng_;
+  sim::Simulation::PeriodicToken token_;
+  bool runningFlag_{false};
+  std::uint64_t joins_{0};
+  std::uint64_t leaves_{0};
+};
+
+}  // namespace roia::game

@@ -1,0 +1,32 @@
+// State update payload of the FPS demo: the filtered set of visible
+// entities, encoded compactly. Clients decode it to drive their bots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace roia::game {
+
+struct VisibleEntity {
+  EntityId id;
+  float x{0.0f};
+  float y{0.0f};
+  float health{0.0f};
+};
+
+struct StateUpdatePayload {
+  /// The viewer's own state leads the update.
+  VisibleEntity self;
+  std::vector<VisibleEntity> visible;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encodeStateUpdate(const StateUpdatePayload& payload);
+[[nodiscard]] StateUpdatePayload decodeStateUpdate(std::span<const std::uint8_t> bytes);
+
+/// Encoded size of one visible-entity record, used by cost accounting tests.
+[[nodiscard]] std::size_t approxVisibleEntityBytes();
+
+}  // namespace roia::game

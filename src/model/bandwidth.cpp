@@ -1,0 +1,80 @@
+#include "model/bandwidth.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "fit/levmar.hpp"
+#include "fit/polyfit.hpp"
+
+namespace roia::model {
+namespace {
+
+ParamFunction fitRate(std::span<const BandwidthSample> samples, bool egress) {
+  std::vector<double> x, y;
+  x.reserve(samples.size());
+  y.reserve(samples.size());
+  for (const BandwidthSample& s : samples) {
+    x.push_back(static_cast<double>(s.users));
+    y.push_back(egress ? s.egressBytesPerSec : s.ingressBytesPerSec);
+  }
+  // Quadratic: update sizes grow with the visible population, which itself
+  // grows with n, so egress is superlinear in n.
+  std::vector<double> coeffs = fit::polyFit(x, y, 2);
+  const fit::LevMarResult lm =
+      fit::levenbergMarquardt(fit::models::quadratic(), x, y, coeffs);
+  ParamFunction fn;
+  fn.form = FunctionForm::kQuadratic;
+  fn.coeffs = lm.coeffs;
+  fn.sampleCount = samples.size();
+  fn.gof = fit::evaluateFit(fit::models::quadratic(), x, y, lm.coeffs);
+  return fn;
+}
+
+}  // namespace
+
+BandwidthModel BandwidthModel::fit(std::span<const BandwidthSample> samples) {
+  if (samples.size() < 3) {
+    throw std::invalid_argument("BandwidthModel::fit: need at least 3 samples");
+  }
+  BandwidthModel model;
+  model.replicas_ = samples.front().replicas;
+  for (const BandwidthSample& s : samples) {
+    if (s.replicas != model.replicas_) {
+      throw std::invalid_argument("BandwidthModel::fit: mixed replica counts");
+    }
+  }
+  model.ingress_ = fitRate(samples, false);
+  model.egress_ = fitRate(samples, true);
+  return model;
+}
+
+double BandwidthModel::asymmetry(double n) const {
+  const double in = predictIngressBytesPerSec(n);
+  return in > 0.0 ? predictEgressBytesPerSec(n) / in : 0.0;
+}
+
+std::size_t BandwidthModel::nMaxForLink(double linkBytesPerSec, std::size_t cap) const {
+  const auto violates = [&](std::size_t n) {
+    return predictEgressBytesPerSec(static_cast<double>(n)) >= linkBytesPerSec;
+  };
+  if (violates(1)) return 0;
+  if (!violates(cap)) return cap;
+  std::size_t lo = 1, hi = cap;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    (violates(mid) ? hi : lo) = mid;
+  }
+  return lo;
+}
+
+std::string BandwidthModel::describe() const {
+  std::ostringstream oss;
+  oss << "per-server traffic model at l = " << replicas_ << " replicas\n";
+  oss << "  ingress(n) B/s = " << ingress_.coeffs[0] << " + " << ingress_.coeffs[1] << "*n + "
+      << ingress_.coeffs[2] << "*n^2  (R^2=" << ingress_.gof.r2 << ")\n";
+  oss << "  egress(n)  B/s = " << egress_.coeffs[0] << " + " << egress_.coeffs[1] << "*n + "
+      << egress_.coeffs[2] << "*n^2  (R^2=" << egress_.gof.r2 << ")\n";
+  return oss.str();
+}
+
+}  // namespace roia::model

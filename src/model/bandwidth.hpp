@@ -1,0 +1,63 @@
+// Bandwidth extension of the scalability model.
+//
+// The paper's related-work section notes (citing Kim et al.) an asymmetry
+// between incoming and outgoing server traffic and states: "we still need
+// to implement bandwidth analysis for our scalability model". This module
+// implements that extension: per-server ingress/egress rates are measured
+// at a sweep of populations, fitted with the same Levenberg-Marquardt
+// pipeline, and inverted into a bandwidth-limited maximum user count
+// analogous to Eq. (2).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fit/gof.hpp"
+#include "model/parameters.hpp"
+
+namespace roia::model {
+
+/// One measured operating point: average per-server traffic at a steady
+/// population.
+struct BandwidthSample {
+  std::size_t users{0};
+  std::size_t replicas{1};
+  double ingressBytesPerSec{0.0};
+  double egressBytesPerSec{0.0};
+};
+
+/// Fitted per-server traffic model for a fixed replica count: ingress and
+/// egress bytes/s as polynomials in the zone population n.
+class BandwidthModel {
+ public:
+  /// Fits quadratic ingress/egress rate functions over samples that must
+  /// all share one replica count. Throws std::invalid_argument on mixed
+  /// replica counts or fewer than 3 samples.
+  static BandwidthModel fit(std::span<const BandwidthSample> samples);
+
+  [[nodiscard]] std::size_t replicas() const { return replicas_; }
+  [[nodiscard]] double predictIngressBytesPerSec(double n) const { return ingress_.eval(n); }
+  [[nodiscard]] double predictEgressBytesPerSec(double n) const { return egress_.eval(n); }
+
+  /// Egress / ingress ratio at population n (the Kim et al. asymmetry;
+  /// game servers send far more than they receive).
+  [[nodiscard]] double asymmetry(double n) const;
+
+  /// Bandwidth analogue of Eq. (2): the largest population whose per-server
+  /// egress (the binding direction) stays below the link capacity.
+  [[nodiscard]] std::size_t nMaxForLink(double linkBytesPerSec, std::size_t cap = 1000000) const;
+
+  [[nodiscard]] const ParamFunction& ingressFunction() const { return ingress_; }
+  [[nodiscard]] const ParamFunction& egressFunction() const { return egress_; }
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::size_t replicas_{1};
+  ParamFunction ingress_;
+  ParamFunction egress_;
+};
+
+}  // namespace roia::model

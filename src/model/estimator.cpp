@@ -1,0 +1,92 @@
+#include "model/estimator.hpp"
+
+#include <utility>
+
+#include "fit/levmar.hpp"
+#include "fit/polyfit.hpp"
+
+namespace roia::model {
+
+FitPlan FitPlan::paperDefault() {
+  FitPlan plan;
+  auto set = [&plan](ParamKind kind, FunctionForm form) {
+    plan.forms[static_cast<std::size_t>(kind)] = form;
+  };
+  // Paper V-A: t_ua and t_aoi quadratic; the (de)serialization, forwarded
+  // and migration parameters linear; NPC updates linear in n.
+  set(ParamKind::kUaDser, FunctionForm::kLinear);
+  set(ParamKind::kUa, FunctionForm::kQuadratic);
+  set(ParamKind::kFaDser, FunctionForm::kLinear);
+  set(ParamKind::kFa, FunctionForm::kLinear);
+  set(ParamKind::kNpc, FunctionForm::kLinear);
+  set(ParamKind::kAoi, FunctionForm::kQuadratic);
+  set(ParamKind::kSu, FunctionForm::kLinear);
+  set(ParamKind::kMigIni, FunctionForm::kLinear);
+  set(ParamKind::kMigRcv, FunctionForm::kLinear);
+  return plan;
+}
+
+std::optional<ParamKind> paramKindForPhase(rtf::Phase phase) {
+  switch (phase) {
+    case rtf::Phase::kUaDser: return ParamKind::kUaDser;
+    case rtf::Phase::kUa: return ParamKind::kUa;
+    case rtf::Phase::kFaDser: return ParamKind::kFaDser;
+    case rtf::Phase::kFa: return ParamKind::kFa;
+    case rtf::Phase::kNpc: return ParamKind::kNpc;
+    case rtf::Phase::kAoi: return ParamKind::kAoi;
+    case rtf::Phase::kSu: return ParamKind::kSu;
+    case rtf::Phase::kMigIni: return ParamKind::kMigIni;
+    case rtf::Phase::kMigRcv: return ParamKind::kMigRcv;
+    default: return std::nullopt;
+  }
+}
+
+rtf::Phase phaseForParamKind(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kUaDser: return rtf::Phase::kUaDser;
+    case ParamKind::kUa: return rtf::Phase::kUa;
+    case ParamKind::kFaDser: return rtf::Phase::kFaDser;
+    case ParamKind::kFa: return rtf::Phase::kFa;
+    case ParamKind::kNpc: return rtf::Phase::kNpc;
+    case ParamKind::kAoi: return rtf::Phase::kAoi;
+    case ParamKind::kSu: return rtf::Phase::kSu;
+    case ParamKind::kMigIni: return rtf::Phase::kMigIni;
+    case ParamKind::kMigRcv: return rtf::Phase::kMigRcv;
+    case ParamKind::kCount: break;
+  }
+  return rtf::Phase::kOther;
+}
+
+void ParameterEstimator::setSamples(ParamKind kind, SampleSeries samples) {
+  samples_[static_cast<std::size_t>(kind)] = std::move(samples);
+}
+
+ModelParameters ParameterEstimator::fit(const FitPlan& plan, bool refineWithLevMar) const {
+  ModelParameters params;
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    const auto kind = static_cast<ParamKind>(k);
+    const SampleSeries& series = samples_[k];
+    const FunctionForm form = plan.forms[k];
+    const std::size_t degree = formDegree(form);
+    if (series.size() < degree + 1) continue;  // not enough data: stay zero
+
+    // Closed-form polynomial least squares as the seed...
+    std::vector<double> coeffs = fit::polyFit(series.x, series.y, degree);
+    // ...then the paper's Levenberg-Marquardt refinement.
+    if (refineWithLevMar) {
+      const fit::ModelFn fn = fit::models::polynomial(degree);
+      const fit::LevMarResult lm = fit::levenbergMarquardt(fn, series.x, series.y, coeffs);
+      coeffs = lm.coeffs;
+    }
+
+    ParamFunction fitted;
+    fitted.form = form;
+    fitted.coeffs = coeffs;
+    fitted.sampleCount = series.size();
+    fitted.gof = fit::evaluateFit(fit::models::polynomial(degree), series.x, series.y, coeffs);
+    params.set(kind, std::move(fitted));
+  }
+  return params;
+}
+
+}  // namespace roia::model

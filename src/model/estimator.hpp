@@ -1,0 +1,50 @@
+// Fits measured per-item CPU-time samples into the model's approximation
+// functions, mirroring the paper's methodology: choose a functional form per
+// parameter (linear or quadratic), then run Levenberg-Marquardt (the paper
+// uses gnuplot's implementation) seeded by a closed-form polynomial fit.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "model/parameters.hpp"
+#include "rtf/probes.hpp"
+
+namespace roia::model {
+
+/// Which functional form to fit for each parameter. The default is the
+/// paper's choice for RTFDemo (section V-A).
+struct FitPlan {
+  std::array<FunctionForm, kParamCount> forms{};
+
+  [[nodiscard]] static FitPlan paperDefault();
+};
+
+/// Maps a real-time-loop phase probe to its model parameter (1:1 for the
+/// nine modeled phases; kOther has no parameter).
+[[nodiscard]] std::optional<ParamKind> paramKindForPhase(rtf::Phase phase);
+[[nodiscard]] rtf::Phase phaseForParamKind(ParamKind kind);
+
+class ParameterEstimator {
+ public:
+  /// Installs the (x = n, y = per-item microseconds) samples for a
+  /// parameter. Replaces previous samples for that kind.
+  void setSamples(ParamKind kind, SampleSeries samples);
+
+  [[nodiscard]] const SampleSeries& samples(ParamKind kind) const {
+    return samples_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Fits every parameter with samples. Parameters without samples stay at
+  /// the zero constant (e.g. t_npc when the sweep ran without NPCs).
+  /// When `refineWithLevMar` is set (default, the paper's method), the
+  /// closed-form polynomial fit is refined by Levenberg-Marquardt.
+  [[nodiscard]] ModelParameters fit(const FitPlan& plan = FitPlan::paperDefault(),
+                                    bool refineWithLevMar = true) const;
+
+ private:
+  std::array<SampleSeries, kParamCount> samples_;
+};
+
+}  // namespace roia::model

@@ -1,0 +1,49 @@
+#include "model/parameters.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/math.hpp"
+
+namespace roia::model {
+
+double ParamFunction::eval(double n) const {
+  return std::max(0.0, evalPolynomial(coeffs, n));
+}
+
+ParamFunction ParamFunction::constant(double value) {
+  return ParamFunction{FunctionForm::kConstant, {value}, {}, 0};
+}
+
+ParamFunction ParamFunction::linear(double c0, double c1) {
+  return ParamFunction{FunctionForm::kLinear, {c0, c1}, {}, 0};
+}
+
+ParamFunction ParamFunction::quadratic(double c0, double c1, double c2) {
+  return ParamFunction{FunctionForm::kQuadratic, {c0, c1, c2}, {}, 0};
+}
+
+ModelParameters::ModelParameters() {
+  for (auto& p : params_) p = ParamFunction::constant(0.0);
+}
+
+std::string ModelParameters::describe() const {
+  std::ostringstream oss;
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    const auto kind = static_cast<ParamKind>(k);
+    const ParamFunction& fn = at(kind);
+    oss << paramName(kind) << "(n) = ";
+    for (std::size_t i = 0; i < fn.coeffs.size(); ++i) {
+      if (i > 0) oss << (fn.coeffs[i] >= 0 ? " + " : " - ");
+      const double c = i > 0 ? std::abs(fn.coeffs[i]) : fn.coeffs[i];
+      oss << c;
+      if (i == 1) oss << "*n";
+      if (i >= 2) oss << "*n^" << i;
+    }
+    oss << "  [" << formName(fn.form) << ", R^2=" << fn.gof.r2
+        << ", samples=" << fn.sampleCount << "]\n";
+  }
+  return oss.str();
+}
+
+}  // namespace roia::model

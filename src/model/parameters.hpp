@@ -1,0 +1,109 @@
+// Fitted model parameters: one approximation function per computational
+// task of the real-time loop (paper section III-A / V-A).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fit/gof.hpp"
+
+namespace roia::model {
+
+/// The nine application-specific parameters of the scalability model.
+enum class ParamKind : std::size_t {
+  kUaDser = 0,  // deserialize user inputs (per user)
+  kUa,          // validate + apply user inputs (per user)
+  kFaDser,      // deserialize forwarded inputs (per shadow entity)
+  kFa,          // apply forwarded inputs (per shadow entity)
+  kNpc,         // update one NPC
+  kAoi,         // compute one user's area of interest
+  kSu,          // compute + serialize one user's state update
+  kMigIni,      // initiate one user migration
+  kMigRcv,      // receive one user migration
+  kCount
+};
+
+constexpr std::size_t kParamCount = static_cast<std::size_t>(ParamKind::kCount);
+
+[[nodiscard]] constexpr const char* paramName(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kUaDser: return "t_ua_dser";
+    case ParamKind::kUa: return "t_ua";
+    case ParamKind::kFaDser: return "t_fa_dser";
+    case ParamKind::kFa: return "t_fa";
+    case ParamKind::kNpc: return "t_npc";
+    case ParamKind::kAoi: return "t_aoi";
+    case ParamKind::kSu: return "t_su";
+    case ParamKind::kMigIni: return "t_mig_ini";
+    case ParamKind::kMigRcv: return "t_mig_rcv";
+    case ParamKind::kCount: break;
+  }
+  return "?";
+}
+
+/// Functional form of an approximation function, chosen per parameter as the
+/// paper does (linear for (de)serialization/updates/migration, quadratic for
+/// input application and interest management).
+enum class FunctionForm { kConstant, kLinear, kQuadratic };
+
+[[nodiscard]] constexpr std::size_t formDegree(FunctionForm form) {
+  switch (form) {
+    case FunctionForm::kConstant: return 0;
+    case FunctionForm::kLinear: return 1;
+    case FunctionForm::kQuadratic: return 2;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr const char* formName(FunctionForm form) {
+  switch (form) {
+    case FunctionForm::kConstant: return "constant";
+    case FunctionForm::kLinear: return "linear";
+    case FunctionForm::kQuadratic: return "quadratic";
+  }
+  return "?";
+}
+
+/// One fitted approximation function t(n): polynomial coefficients in
+/// ascending powers, with goodness-of-fit stats from the fitting run.
+struct ParamFunction {
+  FunctionForm form{FunctionForm::kConstant};
+  std::vector<double> coeffs{0.0};
+  fit::GoodnessOfFit gof{};
+  std::size_t sampleCount{0};
+
+  /// Value at user count n, clamped at zero (a cost can never be negative;
+  /// extrapolating a fitted parabola slightly below zero near n=0 is
+  /// harmless but must not corrupt the tick model).
+  [[nodiscard]] double eval(double n) const;
+
+  static ParamFunction constant(double value);
+  static ParamFunction linear(double c0, double c1);
+  static ParamFunction quadratic(double c0, double c1, double c2);
+};
+
+/// The full parameter set of one application.
+class ModelParameters {
+ public:
+  ModelParameters();
+
+  [[nodiscard]] const ParamFunction& at(ParamKind kind) const {
+    return params_[static_cast<std::size_t>(kind)];
+  }
+  void set(ParamKind kind, ParamFunction fn) {
+    params_[static_cast<std::size_t>(kind)] = std::move(fn);
+  }
+
+  /// t_kind(n) in reference microseconds.
+  [[nodiscard]] double eval(ParamKind kind, double n) const { return at(kind).eval(n); }
+
+  /// Human-readable multi-line description of every fitted function.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::array<ParamFunction, kParamCount> params_;
+};
+
+}  // namespace roia::model

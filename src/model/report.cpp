@@ -1,0 +1,40 @@
+#include "model/report.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace roia::model {
+
+ThresholdReport buildReport(const TickModel& model, double thresholdMs, double improvementFactorC,
+                            std::size_t npcs, double triggerFraction) {
+  ThresholdReport report;
+  report.thresholdMs = thresholdMs;
+  report.improvementFactorC = improvementFactorC;
+  report.npcs = npcs;
+  report.triggerFraction = triggerFraction;
+
+  const double thresholdMicros = thresholdMs * 1000.0;
+  const LMaxResult result = lMax(model, npcs, thresholdMicros, improvementFactorC);
+  report.lMax = result.lMax;
+  report.nMaxPerReplica = result.nMaxPerReplica;
+  report.replicationTriggers.reserve(result.nMaxPerReplica.size());
+  for (const std::size_t n : result.nMaxPerReplica) {
+    report.replicationTriggers.push_back(
+        static_cast<std::size_t>(std::floor(triggerFraction * static_cast<double>(n))));
+  }
+  return report;
+}
+
+std::string ThresholdReport::toString() const {
+  std::ostringstream oss;
+  oss << "Scalability thresholds (U = " << thresholdMs << " ms, c = " << improvementFactorC
+      << ", m = " << npcs << " NPCs)\n";
+  oss << "  l_max = " << lMax << " replicas\n";
+  for (std::size_t i = 0; i < nMaxPerReplica.size(); ++i) {
+    oss << "  l = " << (i + 1) << ": n_max = " << nMaxPerReplica[i]
+        << "  (replication trigger at " << replicationTriggers[i] << " users)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace roia::model

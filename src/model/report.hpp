@@ -1,0 +1,36 @@
+// Threshold report: everything the scalability model tells an application
+// provider about one application, in one structure — used by the examples
+// and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/thresholds.hpp"
+#include "model/tick_model.hpp"
+
+namespace roia::model {
+
+struct ThresholdReport {
+  double thresholdMs{40.0};
+  double improvementFactorC{0.15};
+  std::size_t npcs{0};
+
+  std::size_t lMax{1};
+  /// n_max(l) for l = 1..lMax.
+  std::vector<std::size_t> nMaxPerReplica;
+  /// Replication-trigger user counts (the 80 % rule of Fig. 5's dashed
+  /// line), per replica count.
+  std::vector<std::size_t> replicationTriggers;
+  double triggerFraction{0.8};
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Computes the full report for an application's fitted model.
+[[nodiscard]] ThresholdReport buildReport(const TickModel& model, double thresholdMs,
+                                          double improvementFactorC, std::size_t npcs = 0,
+                                          double triggerFraction = 0.8);
+
+}  // namespace roia::model

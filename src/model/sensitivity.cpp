@@ -1,0 +1,77 @@
+#include "model/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace roia::model {
+
+SensitivityReport analyzeSensitivity(const ModelParameters& params, double thresholdMicros,
+                                     double improvementFactorC, double relative,
+                                     std::size_t npcs) {
+  SensitivityReport report;
+  report.thresholdMicros = thresholdMicros;
+  report.improvementFactorC = improvementFactorC;
+  report.perturbation = relative;
+
+  const TickModel baseline(params);
+  report.baselineNMax1 = nMax(baseline, 1, npcs, thresholdMicros);
+  report.baselineLMax = lMax(baseline, npcs, thresholdMicros, improvementFactorC).lMax;
+
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    const auto kind = static_cast<ParamKind>(k);
+    const ParamFunction& fn = params.at(kind);
+    for (std::size_t c = 0; c < fn.coeffs.size(); ++c) {
+      if (fn.coeffs[c] == 0.0) continue;  // nothing to perturb
+      for (const double sign : {+1.0, -1.0}) {
+        ModelParameters perturbed = params;
+        ParamFunction changed = fn;
+        changed.coeffs[c] *= 1.0 + sign * relative;
+        perturbed.set(kind, changed);
+        const TickModel model(std::move(perturbed));
+
+        SensitivityEntry entry;
+        entry.kind = kind;
+        entry.coeffIndex = c;
+        entry.perturbation = sign * relative;
+        entry.nMax1 = nMax(model, 1, npcs, thresholdMicros);
+        entry.lMax = lMax(model, npcs, thresholdMicros, improvementFactorC).lMax;
+        entry.nMaxDeltaPct =
+            report.baselineNMax1 > 0
+                ? 100.0 *
+                      (static_cast<double>(entry.nMax1) -
+                       static_cast<double>(report.baselineNMax1)) /
+                      static_cast<double>(report.baselineNMax1)
+                : 0.0;
+        entry.lMaxDelta = static_cast<int>(entry.lMax) - static_cast<int>(report.baselineLMax);
+        report.entries.push_back(entry);
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<SensitivityEntry> SensitivityReport::rankedByImpact() const {
+  std::vector<SensitivityEntry> ranked = entries;
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const SensitivityEntry& a, const SensitivityEntry& b) {
+                     return std::fabs(a.nMaxDeltaPct) > std::fabs(b.nMaxDeltaPct);
+                   });
+  return ranked;
+}
+
+std::string SensitivityReport::toString() const {
+  std::ostringstream oss;
+  oss << "Sensitivity at U = " << thresholdMicros / 1000.0 << " ms, c = " << improvementFactorC
+      << ", perturbation = " << perturbation * 100 << "%\n";
+  oss << "baseline: n_max(1) = " << baselineNMax1 << ", l_max = " << baselineLMax << "\n";
+  for (const SensitivityEntry& e : rankedByImpact()) {
+    oss << "  " << paramName(e.kind) << "[c" << e.coeffIndex << "] "
+        << (e.perturbation > 0 ? "+" : "") << e.perturbation * 100 << "% -> n_max(1) "
+        << e.nMax1 << " (" << (e.nMaxDeltaPct >= 0 ? "+" : "") << e.nMaxDeltaPct
+        << "%), l_max " << e.lMax << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace roia::model

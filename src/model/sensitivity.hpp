@@ -1,0 +1,52 @@
+// Sensitivity analysis of the scalability model.
+//
+// The thresholds the paper derives (n_max, l_max) come from fitted
+// coefficients that carry measurement uncertainty. This tool perturbs each
+// coefficient by a relative amount and recomputes the thresholds, telling a
+// provider which parameters must be measured carefully and which barely
+// matter — e.g. the t_aoi linear term dominates RTFDemo's capacity while
+// the forwarded-input terms only move l_max.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/thresholds.hpp"
+
+namespace roia::model {
+
+struct SensitivityEntry {
+  ParamKind kind{ParamKind::kUaDser};
+  std::size_t coeffIndex{0};
+  /// Relative perturbation applied (e.g. +0.1 = +10 %).
+  double perturbation{0.0};
+  std::size_t nMax1{0};
+  std::size_t lMax{1};
+  /// Relative change of n_max(1) vs. the baseline, in percent.
+  double nMaxDeltaPct{0.0};
+  /// Absolute change of l_max vs. the baseline.
+  int lMaxDelta{0};
+};
+
+struct SensitivityReport {
+  double thresholdMicros{0.0};
+  double improvementFactorC{0.0};
+  double perturbation{0.0};
+  std::size_t baselineNMax1{0};
+  std::size_t baselineLMax{1};
+  std::vector<SensitivityEntry> entries;
+
+  /// Entries sorted by |n_max impact|, strongest first.
+  [[nodiscard]] std::vector<SensitivityEntry> rankedByImpact() const;
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Perturbs every non-zero coefficient of every parameter by +/-`relative`
+/// and recomputes n_max(1) and l_max for each single-coefficient change.
+[[nodiscard]] SensitivityReport analyzeSensitivity(const ModelParameters& params,
+                                                   double thresholdMicros,
+                                                   double improvementFactorC,
+                                                   double relative = 0.10, std::size_t npcs = 0);
+
+}  // namespace roia::model

@@ -1,0 +1,95 @@
+#include "model/thresholds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roia::model {
+
+std::size_t nMax(const TickModel& model, std::size_t l, std::size_t m, double thresholdMicros,
+                 std::size_t cap) {
+  if (l < 1) throw std::invalid_argument("nMax: l must be >= 1");
+  const auto violates = [&](std::size_t n) {
+    return model.tickMicros(static_cast<double>(l), static_cast<double>(n),
+                            static_cast<double>(m)) >= thresholdMicros;
+  };
+  if (violates(1)) return 0;
+  if (!violates(cap)) return cap;
+  // Binary search the largest n with T(n) < U. Assumes monotonicity of T in
+  // n, which holds for non-negative parameter functions (property-tested).
+  std::size_t lo = 1;        // known good
+  std::size_t hi = cap;      // known violating
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (violates(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+LMaxResult lMax(const TickModel& model, std::size_t m, double thresholdMicros, double c,
+                std::size_t lCap) {
+  if (c <= 0.0 || c > 1.0) throw std::invalid_argument("lMax: c must be in (0, 1]");
+  LMaxResult result;
+  const std::size_t base = nMax(model, 1, m, thresholdMicros);
+  result.nMaxPerReplica.push_back(base);
+  result.requiredImprovement = c * static_cast<double>(base);
+  if (base == 0) {
+    result.lMax = 1;
+    return result;
+  }
+
+  std::size_t l = 1;
+  while (l + 1 <= lCap) {
+    const std::size_t candidate = l + 1;
+    // Eq. (3): replica `candidate` is worthwhile iff it sustains
+    // n'_max = n_max(l) + c * n_max(1) users below the threshold.
+    const double nPrime = static_cast<double>(result.nMaxPerReplica.back()) +
+                          result.requiredImprovement;
+    const double t = model.tickMicros(static_cast<double>(candidate), nPrime,
+                                      static_cast<double>(m));
+    if (t >= thresholdMicros) break;
+    result.nMaxPerReplica.push_back(nMax(model, candidate, m, thresholdMicros));
+    l = candidate;
+  }
+  result.lMax = l;
+  return result;
+}
+
+namespace {
+
+std::size_t budget(double tickMicros, double migCostMicros, double thresholdMicros) {
+  if (tickMicros >= thresholdMicros) return 0;
+  if (migCostMicros <= 0.0) return 0;  // unmeasured cost -> no budget claim
+  const double headroom = thresholdMicros - tickMicros;
+  // max{x | T + x*t < U} == ceil(headroom / t) - 1 for exact multiples.
+  const double x = std::floor(headroom / migCostMicros);
+  const double exact = x * migCostMicros;
+  return static_cast<std::size_t>(exact < headroom ? x : std::max(0.0, x - 1));
+}
+
+}  // namespace
+
+std::size_t xMaxInitiate(const TickModel& model, std::size_t l, std::size_t n, std::size_t m,
+                         std::size_t a, double thresholdMicros) {
+  const double t = model.tickMicros(static_cast<double>(l), static_cast<double>(n),
+                                    static_cast<double>(m), static_cast<double>(a));
+  return budget(t, model.migInitiateMicros(static_cast<double>(n)), thresholdMicros);
+}
+
+std::size_t xMaxReceive(const TickModel& model, std::size_t l, std::size_t n, std::size_t m,
+                        std::size_t a, double thresholdMicros) {
+  const double t = model.tickMicros(static_cast<double>(l), static_cast<double>(n),
+                                    static_cast<double>(m), static_cast<double>(a));
+  return budget(t, model.migReceiveMicros(static_cast<double>(n)), thresholdMicros);
+}
+
+std::size_t xMaxFromObservedTick(double tickMicros, double migCostMicros,
+                                 double thresholdMicros) {
+  return budget(tickMicros, migCostMicros, thresholdMicros);
+}
+
+}  // namespace roia::model

@@ -1,0 +1,47 @@
+// Threshold derivations of the scalability model (paper Eqs. (2), (3), (5)):
+// maximum users per replica count, maximum useful replica count, and
+// per-second migration budgets.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/tick_model.hpp"
+
+namespace roia::model {
+
+/// Eq. (2): n_max(l, m, U) = max{ n | T(l, n, m) < U }.
+/// U is in microseconds. Returns 0 when even a single user violates U.
+/// `cap` bounds the search (tick duration is monotone in n for sane
+/// parameter sets; verified by the property tests).
+[[nodiscard]] std::size_t nMax(const TickModel& model, std::size_t l, std::size_t m,
+                               double thresholdMicros, std::size_t cap = 1000000);
+
+struct LMaxResult {
+  std::size_t lMax{1};
+  /// n_max(l) for l = 1..lMax (index 0 -> l=1).
+  std::vector<std::size_t> nMaxPerReplica;
+  /// Minimum per-replica improvement demanded: c * n_max(1).
+  double requiredImprovement{0.0};
+};
+
+/// Eq. (3): the maximum number of replicas such that adding replica l still
+/// supports n_max(l-1) + c*n_max(1) users under threshold U. c in (0, 1].
+[[nodiscard]] LMaxResult lMax(const TickModel& model, std::size_t m, double thresholdMicros,
+                              double c, std::size_t lCap = 512);
+
+/// Eq. (5): migration budgets. Given the modeled tick duration
+/// T(l, n, m, a), the number of migrations that fit in the remaining
+/// headroom before the threshold U:
+///   x_max = max{ x | T + x * t_mig < U }.
+[[nodiscard]] std::size_t xMaxInitiate(const TickModel& model, std::size_t l, std::size_t n,
+                                       std::size_t m, std::size_t a, double thresholdMicros);
+[[nodiscard]] std::size_t xMaxReceive(const TickModel& model, std::size_t l, std::size_t n,
+                                      std::size_t m, std::size_t a, double thresholdMicros);
+
+/// Same budgets from an *observed* tick duration instead of the modeled one
+/// (how RTF-RMS applies the model at runtime; x-axis of paper Fig. 7).
+[[nodiscard]] std::size_t xMaxFromObservedTick(double tickMicros, double migCostMicros,
+                                               double thresholdMicros);
+
+}  // namespace roia::model

@@ -1,0 +1,29 @@
+#include "model/tick_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace roia::model {
+
+double TickModel::activeUserCost(double n) const {
+  return params_.eval(ParamKind::kUaDser, n) + params_.eval(ParamKind::kUa, n) +
+         params_.eval(ParamKind::kAoi, n) + params_.eval(ParamKind::kSu, n);
+}
+
+double TickModel::shadowCost(double n) const {
+  return params_.eval(ParamKind::kFaDser, n) + params_.eval(ParamKind::kFa, n);
+}
+
+double TickModel::tickMicros(double l, double n, double m) const {
+  if (l < 1.0) throw std::invalid_argument("TickModel: l must be >= 1");
+  return tickMicros(l, n, m, n / l);
+}
+
+double TickModel::tickMicros(double l, double n, double m, double a) const {
+  if (l < 1.0) throw std::invalid_argument("TickModel: l must be >= 1");
+  a = std::clamp(a, 0.0, n);
+  return a * activeUserCost(n) + (n - a) * shadowCost(n) +
+         (m / l) * params_.eval(ParamKind::kNpc, n);
+}
+
+}  // namespace roia::model

@@ -1,0 +1,60 @@
+// The scalability model's tick-duration equations (paper section III).
+//
+// Eq. (1): equal user distribution over l replicas
+//   T(l,n,m) = n/l * (t_ua_dser + t_ua + t_aoi + t_su)(n)
+//            + (n - n/l) * (t_fa_dser + t_fa)(n)
+//            + m/l * t_npc(n)
+//
+// Eq. (4): explicit active-entity count a (non-equal distributions)
+//   T(l,n,m,a) = a * (t_ua_dser + t_ua + t_aoi + t_su)(n)
+//              + (n - a) * (t_fa_dser + t_fa)(n)
+//              + m/l * t_npc(n)
+//
+// All times are reference microseconds.
+#pragma once
+
+#include "model/parameters.hpp"
+
+namespace roia::model {
+
+class TickModel {
+ public:
+  explicit TickModel(ModelParameters params) : params_(std::move(params)) {}
+
+  [[nodiscard]] const ModelParameters& parameters() const { return params_; }
+
+  /// Per-user cost of the "active" tasks at population n:
+  /// (t_ua_dser + t_ua + t_aoi + t_su)(n).
+  [[nodiscard]] double activeUserCost(double n) const;
+
+  /// Per-shadow cost of the forwarded tasks: (t_fa_dser + t_fa)(n).
+  [[nodiscard]] double shadowCost(double n) const;
+
+  /// Eq. (1): tick duration in microseconds for n users and m NPCs spread
+  /// equally over l replicas (l >= 1).
+  [[nodiscard]] double tickMicros(double l, double n, double m) const;
+
+  /// Eq. (4): tick duration for a server holding `a` active entities out of
+  /// n total users, with m NPCs spread over l replicas.
+  [[nodiscard]] double tickMicros(double l, double n, double m, double a) const;
+
+  [[nodiscard]] double tickMillis(double l, double n, double m) const {
+    return tickMicros(l, n, m) / 1000.0;
+  }
+  [[nodiscard]] double tickMillis(double l, double n, double m, double a) const {
+    return tickMicros(l, n, m, a) / 1000.0;
+  }
+
+  /// Migration-cost parameters of Eq. (5), microseconds at population n.
+  [[nodiscard]] double migInitiateMicros(double n) const {
+    return params_.eval(ParamKind::kMigIni, n);
+  }
+  [[nodiscard]] double migReceiveMicros(double n) const {
+    return params_.eval(ParamKind::kMigRcv, n);
+  }
+
+ private:
+  ModelParameters params_;
+};
+
+}  // namespace roia::model

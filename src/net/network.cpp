@@ -1,0 +1,84 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace roia::net {
+
+NodeId Network::addNode(FrameHandler handler) {
+  const NodeId id{nodes_.size()};
+  nodes_.push_back(NodeState{std::move(handler), true, {}, {}});
+  return id;
+}
+
+void Network::setHandler(NodeId node, FrameHandler handler) {
+  nodes_.at(node.value).handler = std::move(handler);
+  nodes_.at(node.value).attached = true;
+}
+
+void Network::removeNode(NodeId node) {
+  auto& state = nodes_.at(node.value);
+  state.attached = false;
+  state.handler = nullptr;
+}
+
+void Network::setLinkParams(NodeId from, NodeId to, LinkParams params) {
+  auto& l = link(from, to);
+  l.params = params;
+  l.hasParams = true;
+}
+
+Network::LinkState& Network::link(NodeId from, NodeId to) {
+  auto [it, inserted] = links_.try_emplace(linkKey(from, to));
+  if (inserted) {
+    it->second.params = defaultParams_;
+  }
+  return it->second;
+}
+
+std::size_t Network::send(NodeId from, NodeId to, ser::Frame frame) {
+  if (from.value >= nodes_.size() || to.value >= nodes_.size()) {
+    throw std::out_of_range("Network::send: unknown node");
+  }
+  auto& l = link(from, to);
+  const LinkParams& params = l.hasParams ? l.params : defaultParams_;
+
+  const std::size_t wireBytes = ser::encodedFrameSize(frame.payload.size());
+  // Truncate sub-microsecond transmit times; per-link FIFO ordering is
+  // enforced by the lastArrival clamp below regardless.
+  const auto transmit = SimDuration::microseconds(static_cast<std::int64_t>(
+      static_cast<double>(wireBytes) / params.bandwidthBytesPerSec * 1e6));
+  SimTime arrival = sim_.now() + params.latency + transmit;
+  // Reliable in-order channel: never deliver before an earlier send.
+  arrival = std::max(arrival, l.lastArrival);
+  l.lastArrival = arrival;
+
+  nodes_[from.value].egress.add(wireBytes);
+  totals_.add(wireBytes);
+
+  sim_.scheduleAt(arrival, [this, from, to, wireBytes, frame = std::move(frame)]() {
+    auto& dst = nodes_[to.value];
+    if (!dst.attached || !dst.handler) return;  // node left; frame dropped
+    dst.ingress.add(wireBytes);
+    dst.handler(from, frame);
+  });
+  return wireBytes;
+}
+
+void Network::multicast(NodeId from, const std::vector<NodeId>& to, const ser::Frame& frame) {
+  for (const NodeId dest : to) {
+    send(from, dest, frame);
+  }
+}
+
+const TrafficStats& Network::nodeEgress(NodeId node) const { return nodes_.at(node.value).egress; }
+
+const TrafficStats& Network::nodeIngress(NodeId node) const { return nodes_.at(node.value).ingress; }
+
+bool Network::nodeAttached(NodeId node) const {
+  return node.value < nodes_.size() && nodes_[node.value].attached;
+}
+
+}  // namespace roia::net

@@ -1,0 +1,104 @@
+// Simulated network substrate.
+//
+// Models the cluster interconnect and client links as reliable, in-order
+// point-to-point channels with configurable propagation latency and
+// bandwidth. Delivery is driven by the discrete-event simulation, so message
+// interleavings are deterministic. Per-link and per-node traffic statistics
+// feed the bandwidth analysis mentioned in the paper's related-work
+// discussion (Kim et al.: asymmetry of in/out server traffic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serialize/message.hpp"
+#include "sim/simulation.hpp"
+
+namespace roia::net {
+
+/// Properties of a directed link. Defaults model a LAN.
+struct LinkParams {
+  SimDuration latency{SimDuration::microseconds(200)};
+  /// Bytes per second; serialization delay = size / bandwidth.
+  double bandwidthBytesPerSec{125e6};  // 1 Gbit/s
+};
+
+/// Cumulative traffic counters.
+struct TrafficStats {
+  std::uint64_t messages{0};
+  std::uint64_t bytes{0};
+
+  void add(std::size_t messageBytes) {
+    ++messages;
+    bytes += messageBytes;
+  }
+};
+
+/// Handler invoked on the destination node when a frame arrives.
+using FrameHandler = std::function<void(NodeId from, const ser::Frame& frame)>;
+
+class Network {
+ public:
+  explicit Network(sim::Simulation& simulation) : sim_(simulation) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Creates a node and binds its receive handler. Ids are dense and stable.
+  NodeId addNode(FrameHandler handler);
+
+  /// Replaces the receive handler (used when a server restarts or a client
+  /// reconnects elsewhere).
+  void setHandler(NodeId node, FrameHandler handler);
+
+  /// Detaches a node: in-flight frames to it are dropped on arrival.
+  void removeNode(NodeId node);
+
+  /// Default parameters for links with no explicit override.
+  void setDefaultLinkParams(LinkParams params) { defaultParams_ = params; }
+  /// Overrides parameters for the directed link from -> to.
+  void setLinkParams(NodeId from, NodeId to, LinkParams params);
+
+  /// Sends a frame; delivery preserves per-link FIFO order. Returns the
+  /// number of bytes put on the wire.
+  std::size_t send(NodeId from, NodeId to, ser::Frame frame);
+
+  /// Sends the same frame to several destinations (used for replica groups).
+  void multicast(NodeId from, const std::vector<NodeId>& to, const ser::Frame& frame);
+
+  [[nodiscard]] const TrafficStats& nodeEgress(NodeId node) const;
+  [[nodiscard]] const TrafficStats& nodeIngress(NodeId node) const;
+  [[nodiscard]] TrafficStats totals() const { return totals_; }
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_.size(); }
+  [[nodiscard]] bool nodeAttached(NodeId node) const;
+
+ private:
+  struct NodeState {
+    FrameHandler handler;
+    bool attached{false};
+    TrafficStats egress;
+    TrafficStats ingress;
+  };
+
+  struct LinkState {
+    LinkParams params;
+    bool hasParams{false};
+    SimTime lastArrival{SimTime::zero()};
+  };
+
+  LinkState& link(NodeId from, NodeId to);
+  static std::uint64_t linkKey(NodeId from, NodeId to) {
+    return (from.value << 32) | (to.value & 0xFFFFFFFFULL);
+  }
+
+  sim::Simulation& sim_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<std::uint64_t, LinkState> links_;
+  LinkParams defaultParams_{};
+  TrafficStats totals_;
+};
+
+}  // namespace roia::net

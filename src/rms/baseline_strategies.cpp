@@ -1,0 +1,114 @@
+#include "rms/baseline_strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roia::rms {
+
+void planUnthrottledMigrations(const ZoneView& view, std::size_t imbalanceTolerance,
+                               Decision& decision) {
+  const auto& servers = view.servers;
+  if (servers.size() < 2) return;
+
+  std::size_t liveServers = 0;
+  std::size_t n = 0;
+  for (const auto& s : servers) {
+    n += s.activeUsers;
+    if (!view.isDraining(s.server)) ++liveServers;
+  }
+  if (liveServers == 0 || n == 0) return;
+  const double avg = static_cast<double>(n) / static_cast<double>(liveServers);
+
+  // Everything above average flows out; everything below average flows in.
+  // Deterministic greedy matching in snapshot order.
+  struct Flow {
+    ServerId server;
+    std::size_t amount;
+  };
+  std::vector<Flow> sources;
+  std::vector<Flow> sinks;
+  for (const auto& s : servers) {
+    const bool draining = view.isDraining(s.server);
+    const double deviation = static_cast<double>(s.activeUsers) - avg;
+    if (draining) {
+      if (s.activeUsers > 0) sources.push_back({s.server, s.activeUsers});
+    } else if (deviation > static_cast<double>(imbalanceTolerance)) {
+      sources.push_back({s.server, static_cast<std::size_t>(std::floor(deviation))});
+    } else if (-deviation > static_cast<double>(imbalanceTolerance)) {
+      sinks.push_back({s.server, static_cast<std::size_t>(std::floor(-deviation))});
+    }
+  }
+  std::size_t si = 0;
+  for (Flow& source : sources) {
+    while (source.amount > 0 && si < sinks.size()) {
+      const std::size_t moved = std::min(source.amount, sinks[si].amount);
+      if (moved > 0) {
+        decision.migrations.push_back(MigrationOrder{source.server, sinks[si].server, moved});
+        source.amount -= moved;
+        sinks[si].amount -= moved;
+      }
+      if (sinks[si].amount == 0) ++si;
+    }
+  }
+}
+
+Decision StaticIntervalStrategy::decide(const ZoneView& view) {
+  Decision decision;
+  if (view.servers.empty()) return decision;
+
+  planUnthrottledMigrations(view, config_.imbalanceTolerance, decision);
+
+  // Reactive replication: only after the threshold is already violated.
+  if (view.maxTickMs() > config_.upperTickMs && view.pendingStarts == 0) {
+    decision.addReplica = true;
+    decision.rationale = "static: tick above threshold";
+    return decision;
+  }
+  if (view.replicaCount() > 1 && view.pendingStarts == 0 && view.draining.empty() &&
+      view.avgTickMs() < config_.lowerTickMs) {
+    const rtf::MonitoringSnapshot* least = nullptr;
+    for (const auto& s : view.servers) {
+      if (least == nullptr || s.activeUsers < least->activeUsers) least = &s;
+    }
+    if (least != nullptr) {
+      decision.removeServer = least->server;
+      decision.rationale = "static: tick below lower threshold";
+    }
+  }
+  return decision;
+}
+
+UnthrottledMigrationStrategy::UnthrottledMigrationStrategy(model::TickModel tickModel,
+                                                           double upperTickMs,
+                                                           double improvementFactorC,
+                                                           double triggerFraction,
+                                                           std::size_t npcs)
+    : model_(std::move(tickModel)),
+      upperTickMs_(upperTickMs),
+      triggerFraction_(triggerFraction),
+      npcs_(npcs),
+      report_(model::buildReport(model_, upperTickMs, improvementFactorC, npcs,
+                                 triggerFraction)) {}
+
+Decision UnthrottledMigrationStrategy::decide(const ZoneView& view) {
+  Decision decision;
+  if (view.servers.empty()) return decision;
+
+  planUnthrottledMigrations(view, 0, decision);
+
+  const std::size_t effectiveReplicas = view.replicaCount() + view.pendingStarts;
+  const std::size_t n = view.totalUsers();
+  const std::size_t nMaxHere =
+      effectiveReplicas <= report_.nMaxPerReplica.size()
+          ? report_.nMaxPerReplica[effectiveReplicas - 1]
+          : model::nMax(model_, effectiveReplicas, npcs_, upperTickMs_ * 1000.0);
+  const std::size_t trigger = static_cast<std::size_t>(
+      std::floor(triggerFraction_ * static_cast<double>(nMaxHere)));
+  if (n > trigger && effectiveReplicas < report_.lMax) {
+    decision.addReplica = true;
+    decision.rationale = "unthrottled: predictive replication";
+  }
+  return decision;
+}
+
+}  // namespace roia::rms

@@ -1,0 +1,56 @@
+// Baseline load-balancing strategies for the ablation experiment:
+//
+//  * StaticIntervalStrategy — the paper's "initial implementation of
+//    RTF-RMS": migrations equalize users completely each interval with no
+//    budget, replication is reactive (only after the tick threshold is
+//    already violated), and there is no l_max cap.
+//  * UnthrottledMigrationStrategy — model-driven replication thresholds but
+//    unbounded migrations; isolates the contribution of the Eq. (5) budgets.
+#pragma once
+
+#include "model/report.hpp"
+#include "rms/strategy.hpp"
+
+namespace roia::rms {
+
+struct StaticStrategyConfig {
+  double upperTickMs{40.0};
+  /// Remove a replica when the zone-average tick is below this.
+  double lowerTickMs{12.0};
+  std::size_t imbalanceTolerance{0};  // equalize fully, like the initial RTF-RMS
+};
+
+class StaticIntervalStrategy final : public Strategy {
+ public:
+  explicit StaticIntervalStrategy(StaticStrategyConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "static-interval"; }
+  Decision decide(const ZoneView& view) override;
+
+ private:
+  StaticStrategyConfig config_;
+};
+
+/// Model-driven structural decisions + unlimited migrations.
+class UnthrottledMigrationStrategy final : public Strategy {
+ public:
+  UnthrottledMigrationStrategy(model::TickModel tickModel, double upperTickMs,
+                               double improvementFactorC, double triggerFraction = 0.8,
+                               std::size_t npcs = 0);
+
+  [[nodiscard]] std::string name() const override { return "unthrottled-migration"; }
+  Decision decide(const ZoneView& view) override;
+
+ private:
+  model::TickModel model_;
+  double upperTickMs_;
+  double triggerFraction_;
+  std::size_t npcs_;
+  model::ThresholdReport report_;
+};
+
+/// Shared helper: equalizing migration orders with no budget limits.
+void planUnthrottledMigrations(const ZoneView& view, std::size_t imbalanceTolerance,
+                               Decision& decision);
+
+}  // namespace roia::rms

@@ -1,0 +1,195 @@
+#include "rms/manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace roia::rms {
+
+RmsManager::RmsManager(rtf::Cluster& cluster, std::vector<ZoneId> zones,
+                       std::unique_ptr<Strategy> strategy, ResourcePool pool, RmsConfig config)
+    : cluster_(cluster),
+      zones_(std::move(zones)),
+      strategy_(std::move(strategy)),
+      pool_(std::move(pool)),
+      config_(config) {
+  // The initial replicas of the managed zones were provisioned before the
+  // manager exists; lease-account them so server-seconds cover the whole
+  // session.
+  for (const ZoneId zone : zones_) {
+    for (const ServerId id : cluster_.zones().replicas(zone)) {
+      if (auto lease = pool_.lease(config_.standardFlavor, cluster_.simulation().now())) {
+        serverLease_[id] = *lease;
+      }
+    }
+  }
+}
+
+RmsManager::~RmsManager() { stop(); }
+
+void RmsManager::start() {
+  if (runningFlag_) return;
+  runningFlag_ = true;
+  token_ = cluster_.simulation().schedulePeriodic(config_.controlPeriod,
+                                                  [this](SimTime now) { return controlStep(now); });
+}
+
+void RmsManager::stop() {
+  if (!runningFlag_) return;
+  runningFlag_ = false;
+  sim::Simulation::cancelPeriodic(token_);
+}
+
+bool RmsManager::controlStep(SimTime now) {
+  if (!runningFlag_) return false;
+
+  // Complete drains first so the views only contain live servers.
+  finishDrains();
+
+  // Aggregate timeline point across all managed zones (per-zone details are
+  // always available via the cluster's monitoring).
+  TimelinePoint point;
+  point.timeSec = now.asSeconds();
+
+  for (const ZoneId zone : zones_) {
+    ZoneView view;
+    view.zone = zone;
+    view.now = now;
+    if (config_.useNetworkMonitoring && cluster_.monitoringCollector() != nullptr) {
+      // Published snapshots; drop ghosts of servers that left meanwhile.
+      view.servers = cluster_.monitoringCollector()->zoneSnapshots(zone);
+      std::erase_if(view.servers, [this](const rtf::MonitoringSnapshot& s) {
+        return !cluster_.hasServer(s.server);
+      });
+    } else {
+      view.servers = cluster_.zoneMonitoring(zone);
+    }
+    for (const ServerId drainingServer : draining_) {
+      if (cluster_.hasServer(drainingServer) &&
+          cluster_.server(drainingServer).zone() == zone) {
+        view.draining.push_back(drainingServer);
+      }
+    }
+    view.pendingStarts = pendingStarts_[zone];
+    view.npcs = config_.npcs;
+
+    const Decision decision = strategy_->decide(view);
+    executeZone(zone, decision);
+
+    point.users += view.totalUsers();
+    point.servers += view.replicaCount();
+    point.pendingServers += pendingStarts_[zone];
+    double cpuSum = 0.0;
+    for (const auto& s : view.servers) {
+      if (cluster_.hasServer(s.server)) {
+        cpuSum += cluster_.server(s.server).cpuAccount().load();
+      }
+    }
+    if (!view.servers.empty()) {
+      // Weighted mean over all servers of all zones, folded incrementally.
+      point.avgCpuLoad += cpuSum;
+    }
+    point.avgTickMs = std::max(point.avgTickMs, view.avgTickMs());
+    point.maxTickMs = std::max(point.maxTickMs, view.maxTickMs());
+    for (const auto& order : decision.migrations) point.migrationsOrdered += order.count;
+  }
+  if (point.servers > 0) {
+    point.avgCpuLoad /= static_cast<double>(point.servers);
+  }
+  point.violation = point.maxTickMs > config_.upperTickMs;
+  if (point.violation) ++violationPeriods_;
+  timeline_.push_back(point);
+  return true;
+}
+
+void RmsManager::executeZone(ZoneId zone, const Decision& decision) {
+  // Migration orders: pick concrete users deterministically (lowest ids
+  // first) from the source server.
+  for (const MigrationOrder& order : decision.migrations) {
+    if (!cluster_.hasServer(order.from) || !cluster_.hasServer(order.to)) continue;
+    const std::vector<ClientId> candidates = cluster_.server(order.from).clientIds(true);
+    const std::size_t count = std::min(order.count, candidates.size());
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cluster_.migrateClient(candidates[i], order.to)) {
+        ++migrationsOrdered_;
+      }
+    }
+  }
+
+  if (decision.addReplica) {
+    beginReplicaStart(zone, config_.standardFlavor, std::nullopt);
+  } else if (decision.substituteServer) {
+    const ServerId victim = *decision.substituteServer;
+    if (cluster_.hasServer(victim) && !draining_.contains(victim)) {
+      // Compare flavors in pool-relative units (the cluster template may
+      // model a faster hardware generation as its baseline).
+      double currentSpeed = 1.0;
+      if (auto leaseIt = serverLease_.find(victim); leaseIt != serverLease_.end()) {
+        if (const auto flavorIdx = pool_.leaseFlavor(leaseIt->second)) {
+          currentSpeed = pool_.flavor(*flavorIdx).speedFactor;
+        }
+      }
+      if (const auto flavorIdx = pool_.strongerFlavor(currentSpeed)) {
+        beginReplicaStart(zone, *flavorIdx, victim);
+        ++substitutions_;
+      }
+    }
+  } else if (decision.removeServer) {
+    const ServerId victim = *decision.removeServer;
+    if (cluster_.hasServer(victim) && !draining_.contains(victim) &&
+        cluster_.zones().replicaCount(zone) > 1) {
+      draining_.insert(victim);
+    }
+  }
+}
+
+void RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
+                                   std::optional<ServerId> drainAfterStart) {
+  const auto lease = pool_.lease(flavorIdx, cluster_.simulation().now());
+  if (!lease) {
+    ROIA_LOG(LogLevel::kWarn, "rms", "resource pool exhausted for flavor " << flavorIdx);
+    return;
+  }
+  ++pendingStarts_[zone];
+  const double speed = pool_.flavor(flavorIdx).speedFactor;
+  cluster_.simulation().scheduleAfter(
+      config_.serverStartupDelay,
+      [this, zone, speed, leaseId = *lease, drainAfterStart]() {
+        auto& pending = pendingStarts_[zone];
+        if (pending > 0) --pending;
+        if (!runningFlag_) {
+          pool_.release(leaseId, cluster_.simulation().now());
+          return;
+        }
+        const ServerId id = cluster_.addServer(zone, speed);
+        serverLease_[id] = leaseId;
+        ++replicasAdded_;
+        if (drainAfterStart && cluster_.hasServer(*drainAfterStart)) {
+          draining_.insert(*drainAfterStart);
+        }
+      });
+}
+
+void RmsManager::finishDrains() {
+  for (auto it = draining_.begin(); it != draining_.end();) {
+    const ServerId id = *it;
+    if (!cluster_.hasServer(id)) {
+      it = draining_.erase(it);
+      continue;
+    }
+    const ZoneId zone = cluster_.server(id).zone();
+    if (cluster_.server(id).connectedUsers() == 0 && cluster_.zones().replicaCount(zone) > 1) {
+      cluster_.removeServer(id);
+      ++replicasRemoved_;
+      if (auto leaseIt = serverLease_.find(id); leaseIt != serverLease_.end()) {
+        pool_.release(leaseIt->second, cluster_.simulation().now());
+        serverLease_.erase(leaseIt);
+      }
+      it = draining_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace roia::rms

@@ -1,0 +1,109 @@
+// RTF-RMS: the dynamic resource management system (paper section IV).
+//
+// Each control period the manager takes monitoring snapshots of every
+// replica of the managed zone, asks its strategy for a decision, and
+// executes it against the cluster: migration orders become migrateClient
+// calls, replication enactment leases a resource and (after its startup
+// delay) adds a replica, substitution and removal drain a server before
+// shutting it down and releasing its lease.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "rms/resource_pool.hpp"
+#include "rms/strategy.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia::rms {
+
+struct RmsConfig {
+  SimDuration controlPeriod{SimDuration::seconds(1)};
+  /// Time from lease to the replica serving (boot + application start).
+  SimDuration serverStartupDelay{SimDuration::seconds(2)};
+  /// Flavor index used for ordinary replication enactment.
+  std::size_t standardFlavor{0};
+  /// QoS bound used for violation accounting in the timeline.
+  double upperTickMs{40.0};
+  std::size_t npcs{0};
+  /// Read monitoring from the cluster's network-attached collector instead
+  /// of in-process snapshots; decisions then act on slightly stale data,
+  /// like a real management plane. Requires attachMonitoringCollector().
+  bool useNetworkMonitoring{false};
+};
+
+/// One timeline sample per control period (the data behind paper Fig. 8).
+struct TimelinePoint {
+  double timeSec{0.0};
+  std::size_t users{0};
+  std::size_t servers{0};
+  std::size_t pendingServers{0};
+  double avgCpuLoad{0.0};
+  double avgTickMs{0.0};
+  double maxTickMs{0.0};
+  std::size_t migrationsOrdered{0};
+  bool violation{false};
+};
+
+class RmsManager {
+ public:
+  /// Manages every zone in `zones` with one strategy and one shared
+  /// resource pool (zoning: each zone scales independently, but they
+  /// compete for the same leased resources).
+  RmsManager(rtf::Cluster& cluster, std::vector<ZoneId> zones,
+             std::unique_ptr<Strategy> strategy, ResourcePool pool, RmsConfig config);
+  /// Single-zone convenience (the paper's experiments use one zone).
+  RmsManager(rtf::Cluster& cluster, ZoneId zone, std::unique_ptr<Strategy> strategy,
+             ResourcePool pool, RmsConfig config)
+      : RmsManager(cluster, std::vector<ZoneId>{zone}, std::move(strategy), std::move(pool),
+                   config) {}
+  ~RmsManager();
+
+  RmsManager(const RmsManager&) = delete;
+  RmsManager& operator=(const RmsManager&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<TimelinePoint>& timeline() const { return timeline_; }
+  [[nodiscard]] const ResourcePool& pool() const { return pool_; }
+  [[nodiscard]] Strategy& strategy() { return *strategy_; }
+  [[nodiscard]] std::uint64_t migrationsOrderedTotal() const { return migrationsOrdered_; }
+  [[nodiscard]] std::uint64_t replicasAdded() const { return replicasAdded_; }
+  [[nodiscard]] std::uint64_t replicasRemoved() const { return replicasRemoved_; }
+  [[nodiscard]] std::uint64_t substitutions() const { return substitutions_; }
+  [[nodiscard]] std::size_t violationPeriods() const { return violationPeriods_; }
+
+ private:
+  bool controlStep(SimTime now);
+  void executeZone(ZoneId zone, const Decision& decision);
+  void beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
+                         std::optional<ServerId> drainAfterStart);
+  void finishDrains();
+
+  rtf::Cluster& cluster_;
+  std::vector<ZoneId> zones_;
+  std::unique_ptr<Strategy> strategy_;
+  ResourcePool pool_;
+  RmsConfig config_;
+
+  std::map<ServerId, LeaseId> serverLease_;
+  std::set<ServerId> draining_;
+  std::map<ZoneId, std::size_t> pendingStarts_;
+
+  sim::Simulation::PeriodicToken token_;
+  bool runningFlag_{false};
+
+  std::vector<TimelinePoint> timeline_;
+  std::uint64_t migrationsOrdered_{0};
+  std::uint64_t replicasAdded_{0};
+  std::uint64_t replicasRemoved_{0};
+  std::uint64_t substitutions_{0};
+  std::size_t violationPeriods_{0};
+};
+
+}  // namespace roia::rms

@@ -1,0 +1,138 @@
+#include "rms/model_strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roia::rms {
+
+ModelDrivenStrategy::ModelDrivenStrategy(model::TickModel tickModel, ModelStrategyConfig config)
+    : model_(std::move(tickModel)),
+      config_(config),
+      report_(model::buildReport(model_, config.upperTickMs, config.improvementFactorC,
+                                 config.npcs, config.triggerFraction)) {}
+
+std::size_t ModelDrivenStrategy::nMaxFor(std::size_t replicas) const {
+  if (replicas == 0) return 0;
+  if (replicas <= report_.nMaxPerReplica.size()) return report_.nMaxPerReplica[replicas - 1];
+  return model::nMax(model_, replicas, config_.npcs, config_.upperTickMs * 1000.0);
+}
+
+Decision ModelDrivenStrategy::decide(const ZoneView& view) {
+  Decision decision;
+  if (view.servers.empty()) return decision;
+
+  const std::size_t l = view.replicaCount();
+  const std::size_t effectiveReplicas = l + view.pendingStarts;
+  const std::size_t n = view.totalUsers();
+
+  // --- user migration (always considered; Listing 1) ---
+  planMigrations(view, decision);
+
+  // --- structural actions: one per period ---
+  const std::size_t trigger = static_cast<std::size_t>(
+      std::floor(config_.triggerFraction * static_cast<double>(nMaxFor(effectiveReplicas))));
+
+  if (n > trigger) {
+    if (effectiveReplicas < report_.lMax) {
+      // Replication enactment: add a server before the threshold is hit so
+      // migration overhead and late joiners cannot push ticks past U.
+      decision.addReplica = true;
+      decision.rationale = "replication enactment: " + std::to_string(n) + " users > 80% of n_max(" +
+                           std::to_string(effectiveReplicas) + ")";
+    } else if (view.pendingStarts == 0) {
+      // Replication exhausted: substitute the slowest/most loaded standard
+      // replica with a more powerful resource.
+      const rtf::MonitoringSnapshot* worst = nullptr;
+      for (const auto& s : view.servers) {
+        if (view.isDraining(s.server)) continue;
+        if (worst == nullptr || s.activeUsers > worst->activeUsers) worst = &s;
+      }
+      if (worst != nullptr) {
+        decision.substituteServer = worst->server;
+        decision.rationale = "resource substitution: l_max reached";
+      }
+    }
+    return decision;
+  }
+
+  // --- resource removal (hysteresis below the (l-1)-replica trigger) ---
+  if (l > 1 && view.pendingStarts == 0 && view.draining.empty()) {
+    const std::size_t lowerTrigger = static_cast<std::size_t>(
+        std::floor(config_.removalFraction * config_.triggerFraction *
+                   static_cast<double>(nMaxFor(l - 1))));
+    if (n < lowerTrigger) {
+      // Remove the replica with the fewest users (cheapest drain).
+      const rtf::MonitoringSnapshot* least = nullptr;
+      for (const auto& s : view.servers) {
+        if (least == nullptr || s.activeUsers < least->activeUsers) least = &s;
+      }
+      if (least != nullptr) {
+        decision.removeServer = least->server;
+        decision.rationale = "resource removal: " + std::to_string(n) + " users < " +
+                             std::to_string(lowerTrigger);
+      }
+    }
+  }
+  return decision;
+}
+
+void ModelDrivenStrategy::planMigrations(const ZoneView& view, Decision& decision) const {
+  // Listing 1 of the paper, generalized with draining targets excluded.
+  const auto& servers = view.servers;
+  if (servers.size() < 2) return;
+  const std::size_t n = view.totalUsers();
+  const double thresholdMicros = config_.upperTickMs * 1000.0;
+  const std::size_t l = servers.size();
+
+  // Draining servers must empty regardless of the average; treat the
+  // fullest draining server as s_max if any, otherwise the fullest server.
+  const rtf::MonitoringSnapshot* sMax = nullptr;
+  for (const auto& s : servers) {
+    const bool draining = view.isDraining(s.server);
+    const bool currentDraining = sMax != nullptr && view.isDraining(sMax->server);
+    if (sMax == nullptr || (draining && !currentDraining) ||
+        (draining == currentDraining && s.activeUsers > sMax->activeUsers)) {
+      sMax = &s;
+    }
+  }
+  if (sMax == nullptr || sMax->activeUsers == 0) return;
+  const bool drainMode = view.isDraining(sMax->server);
+
+  // Average over non-draining servers (a draining server should reach 0).
+  std::size_t liveServers = 0;
+  for (const auto& s : servers) {
+    if (!view.isDraining(s.server)) ++liveServers;
+  }
+  if (liveServers == 0) return;
+  const double avg = static_cast<double>(n) / static_cast<double>(liveServers);
+
+  // (ii) migration budget of the source, from Eq. (5).
+  std::size_t iniBudget = model::xMaxInitiate(model_, l, n, config_.npcs, sMax->activeUsers,
+                                              thresholdMicros);
+  if (iniBudget == 0) return;
+
+  // (i) + (iii): deviation and receive budget per remaining server.
+  for (const auto& s : servers) {
+    if (iniBudget == 0) break;
+    if (s.server == sMax->server || view.isDraining(s.server)) continue;
+    const double deviation = avg - static_cast<double>(s.activeUsers);
+    std::size_t want = 0;
+    if (drainMode) {
+      // Empty the draining server: spread everything over live servers.
+      want = std::max<std::size_t>(
+          1, sMax->activeUsers / std::max<std::size_t>(1, liveServers));
+    } else {
+      if (deviation <= static_cast<double>(config_.imbalanceTolerance)) continue;
+      want = static_cast<std::size_t>(std::floor(deviation));
+    }
+    const std::size_t rcvBudget = model::xMaxReceive(model_, l, n, config_.npcs, s.activeUsers,
+                                                     thresholdMicros);
+    const std::size_t count = std::min({want, rcvBudget, iniBudget,
+                                        static_cast<std::size_t>(sMax->activeUsers)});
+    if (count == 0) continue;
+    decision.migrations.push_back(MigrationOrder{sMax->server, s.server, count});
+    iniBudget -= count;
+  }
+}
+
+}  // namespace roia::rms

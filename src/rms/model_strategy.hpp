@@ -1,0 +1,58 @@
+// The model-driven load-balancing strategy of RTF-RMS (paper section IV):
+//
+//  * user migration throttled by the model's x_max^ini / x_max^rcv budgets,
+//    implemented exactly as the paper's Listing 1,
+//  * replication enactment triggered at 80 % of the model's n_max(l) and
+//    capped at l_max (Eq. 3),
+//  * resource substitution when replication is exhausted,
+//  * resource removal when the population fits comfortably on fewer
+//    replicas.
+#pragma once
+
+#include <memory>
+
+#include "model/report.hpp"
+#include "model/thresholds.hpp"
+#include "rms/strategy.hpp"
+
+namespace roia::rms {
+
+struct ModelStrategyConfig {
+  /// Upper tick-duration threshold U in milliseconds (QoE bound).
+  double upperTickMs{40.0};
+  /// Minimum-improvement factor c of Eq. (3).
+  double improvementFactorC{0.15};
+  /// Replication triggers at this fraction of n_max(l) (paper: 80 %).
+  double triggerFraction{0.8};
+  /// Remove a replica when the population would fit below this fraction of
+  /// the (l-1)-replica trigger (hysteresis against flapping).
+  double removalFraction{0.7};
+  /// Ignore imbalances smaller than this many users.
+  std::size_t imbalanceTolerance{4};
+  /// NPC count m of the managed zone.
+  std::size_t npcs{0};
+};
+
+class ModelDrivenStrategy final : public Strategy {
+ public:
+  ModelDrivenStrategy(model::TickModel tickModel, ModelStrategyConfig config);
+
+  [[nodiscard]] std::string name() const override { return "model-driven"; }
+  Decision decide(const ZoneView& view) override;
+
+  [[nodiscard]] const model::ThresholdReport& report() const { return report_; }
+  [[nodiscard]] const ModelStrategyConfig& config() const { return config_; }
+
+  /// n_max for a replica count (from the precomputed report; extends past
+  /// l_max with a live Eq. (2) query for robustness).
+  [[nodiscard]] std::size_t nMaxFor(std::size_t replicas) const;
+
+ private:
+  void planMigrations(const ZoneView& view, Decision& decision) const;
+
+  model::TickModel model_;
+  ModelStrategyConfig config_;
+  model::ThresholdReport report_;
+};
+
+}  // namespace roia::rms

@@ -1,0 +1,75 @@
+#include "rms/resource_pool.hpp"
+
+#include <algorithm>
+
+namespace roia::rms {
+
+ResourcePool::ResourcePool()
+    : ResourcePool(std::vector<ResourceFlavor>{
+          ResourceFlavor{"standard", 1.0, 1.0, std::numeric_limits<std::size_t>::max()},
+          ResourceFlavor{"large", 2.0, 2.5, 8},
+      }) {}
+
+ResourcePool::ResourcePool(std::vector<ResourceFlavor> flavors)
+    : flavors_(std::move(flavors)), inUse_(flavors_.size(), 0) {}
+
+std::optional<std::size_t> ResourcePool::strongerFlavor(double speedFactor) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < flavors_.size(); ++i) {
+    if (flavors_[i].speedFactor <= speedFactor) continue;
+    if (availableOf(i) == 0) continue;
+    if (!best || flavors_[i].costPerHour < flavors_[*best].costPerHour) best = i;
+  }
+  return best;
+}
+
+std::size_t ResourcePool::availableOf(std::size_t flavorIdx) const {
+  const ResourceFlavor& f = flavors_.at(flavorIdx);
+  return f.capacity == std::numeric_limits<std::size_t>::max()
+             ? f.capacity
+             : f.capacity - std::min(f.capacity, inUse_[flavorIdx]);
+}
+
+std::optional<LeaseId> ResourcePool::lease(std::size_t flavorIdx, SimTime now) {
+  if (flavorIdx >= flavors_.size() || availableOf(flavorIdx) == 0) return std::nullopt;
+  ++inUse_[flavorIdx];
+  const LeaseId id = nextLease_++;
+  active_.emplace(id, Lease{flavorIdx, now});
+  return id;
+}
+
+void ResourcePool::release(LeaseId id, SimTime now) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  const Lease& lease = it->second;
+  const double seconds = std::max(0.0, (now - lease.start).asSeconds());
+  completedServerSeconds_ += seconds;
+  completedCost_ += seconds / 3600.0 * flavors_[lease.flavorIdx].costPerHour;
+  --inUse_[lease.flavorIdx];
+  active_.erase(it);
+}
+
+std::optional<std::size_t> ResourcePool::leaseFlavor(LeaseId id) const {
+  auto it = active_.find(id);
+  if (it == active_.end()) return std::nullopt;
+  return it->second.flavorIdx;
+}
+
+double ResourcePool::serverSeconds(SimTime now) const {
+  double total = completedServerSeconds_;
+  for (const auto& [id, lease] : active_) {
+    total += std::max(0.0, (now - lease.start).asSeconds());
+  }
+  return total;
+}
+
+double ResourcePool::totalCost(SimTime now) const {
+  double total = completedCost_;
+  for (const auto& [id, lease] : active_) {
+    total += std::max(0.0, (now - lease.start).asSeconds()) / 3600.0 *
+             flavors_[lease.flavorIdx].costPerHour;
+  }
+  return total;
+}
+
+}  // namespace roia::rms

@@ -1,0 +1,73 @@
+// Cloud-style resource pool: heterogeneous server flavors that RTF-RMS
+// leases and releases on demand, with server-seconds cost accounting — the
+// economics side of the paper's motivation (leasing Cloud resources instead
+// of overprovisioning).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace roia::rms {
+
+struct ResourceFlavor {
+  std::string name{"standard"};
+  /// CPU speed relative to the reference server (2.0 = twice as fast).
+  double speedFactor{1.0};
+  /// Cost per leased hour (arbitrary currency), for accounting/reports.
+  double costPerHour{1.0};
+  /// How many instances exist; default effectively unlimited.
+  std::size_t capacity{std::numeric_limits<std::size_t>::max()};
+};
+
+using LeaseId = std::uint64_t;
+
+class ResourcePool {
+ public:
+  /// Default pool: unlimited standard servers plus a limited set of
+  /// double-speed "large" servers for resource substitution.
+  ResourcePool();
+  explicit ResourcePool(std::vector<ResourceFlavor> flavors);
+
+  [[nodiscard]] std::size_t flavorCount() const { return flavors_.size(); }
+  [[nodiscard]] const ResourceFlavor& flavor(std::size_t idx) const { return flavors_.at(idx); }
+
+  /// Index of the cheapest flavor strictly faster than `speedFactor`, if any
+  /// instance is available (used by resource substitution).
+  [[nodiscard]] std::optional<std::size_t> strongerFlavor(double speedFactor) const;
+
+  [[nodiscard]] std::size_t availableOf(std::size_t flavorIdx) const;
+
+  /// Leases one instance; nullopt when the flavor is exhausted.
+  std::optional<LeaseId> lease(std::size_t flavorIdx, SimTime now);
+  /// Returns an instance to the pool. Unknown/duplicate ids are ignored.
+  void release(LeaseId id, SimTime now);
+
+  [[nodiscard]] std::size_t activeLeases() const { return active_.size(); }
+  [[nodiscard]] std::optional<std::size_t> leaseFlavor(LeaseId id) const;
+
+  /// Cumulative leased server-seconds (completed + in-progress up to `now`).
+  [[nodiscard]] double serverSeconds(SimTime now) const;
+  /// Cumulative cost in flavor cost units.
+  [[nodiscard]] double totalCost(SimTime now) const;
+
+ private:
+  struct Lease {
+    std::size_t flavorIdx;
+    SimTime start;
+  };
+
+  std::vector<ResourceFlavor> flavors_;
+  std::vector<std::size_t> inUse_;
+  std::unordered_map<LeaseId, Lease> active_;
+  double completedServerSeconds_{0.0};
+  double completedCost_{0.0};
+  LeaseId nextLease_{1};
+};
+
+}  // namespace roia::rms

@@ -1,0 +1,116 @@
+#include "rms/session.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "rms/baseline_strategies.hpp"
+#include "rms/model_strategy.hpp"
+
+namespace roia::rms {
+
+const char* policyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kModelDriven: return "model-driven";
+    case PolicyKind::kStaticInterval: return "static-interval";
+    case PolicyKind::kUnthrottled: return "unthrottled-migration";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<Strategy> makeStrategy(const ManagedSessionConfig& config,
+                                       const model::TickModel& tickModel) {
+  switch (config.policy) {
+    case PolicyKind::kModelDriven:
+      return std::make_unique<ModelDrivenStrategy>(tickModel, config.modelStrategy);
+    case PolicyKind::kStaticInterval: {
+      StaticStrategyConfig staticConfig;
+      staticConfig.upperTickMs = config.modelStrategy.upperTickMs;
+      return std::make_unique<StaticIntervalStrategy>(staticConfig);
+    }
+    case PolicyKind::kUnthrottled:
+      return std::make_unique<UnthrottledMigrationStrategy>(
+          tickModel, config.modelStrategy.upperTickMs, config.modelStrategy.improvementFactorC,
+          config.modelStrategy.triggerFraction, config.modelStrategy.npcs);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SessionSummary runManagedSession(const ManagedSessionConfig& config,
+                                 const model::TickModel& tickModel) {
+  game::FpsApplication app(config.fps);
+  rtf::Cluster cluster(app, rtf::ClusterConfig{config.server, rtf::ClientEndpoint::Config{},
+                                               config.seed});
+  const ZoneId zone =
+      cluster.createZone("arena", config.fps.arenaOrigin, config.fps.arenaExtent);
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, config.initialReplicas); ++i) {
+    cluster.addServer(zone);
+  }
+
+  RmsConfig rmsConfig = config.rms;
+  rmsConfig.upperTickMs = config.modelStrategy.upperTickMs;
+  rmsConfig.npcs = config.modelStrategy.npcs;
+  RmsManager manager(cluster, zone, makeStrategy(config, tickModel), ResourcePool{}, rmsConfig);
+
+  game::ChurnDriver::Config churnConfig;
+  churnConfig.bots = config.bots;
+  churnConfig.seed = config.seed ^ 0xC0DE;
+  game::ChurnDriver churn(cluster, zone, config.scenario, churnConfig);
+
+  // Client-side QoE sampler: periodically read the update rates players
+  // actually observe.
+  StatAccumulator qoeRates;
+  double qoeMinRate = std::numeric_limits<double>::infinity();
+  double qoeWorstGap = 0.0;
+  auto qoeToken = cluster.simulation().schedulePeriodic(
+      config.rms.controlPeriod, [&](SimTime) {
+        for (const ClientId id : cluster.clientIds()) {
+          const rtf::ClientEndpoint& endpoint = cluster.client(id);
+          // Skip freshly joined clients without a meaningful rate yet.
+          if (endpoint.updatesReceived() < 25) continue;
+          const double rate = endpoint.updateRateHz();
+          if (rate <= 0.0) continue;
+          qoeRates.add(rate);
+          qoeMinRate = std::min(qoeMinRate, rate);
+          qoeWorstGap = std::max(qoeWorstGap, endpoint.worstUpdateGapMs());
+        }
+        return true;
+      });
+
+  manager.start();
+  churn.start();
+  cluster.run(config.scenario.totalDuration() + config.tail);
+  churn.stop();
+  manager.stop();
+  sim::Simulation::cancelPeriodic(qoeToken);
+
+  SessionSummary summary;
+  summary.policy = policyName(config.policy);
+  summary.timeline = manager.timeline();
+  for (const TimelinePoint& p : summary.timeline) {
+    summary.peakUsers = std::max(summary.peakUsers, p.users);
+    summary.peakServers = std::max(summary.peakServers, p.servers);
+    summary.maxTickMs = std::max(summary.maxTickMs, p.maxTickMs);
+  }
+  summary.violationPeriods = manager.violationPeriods();
+  summary.violationFraction =
+      summary.timeline.empty()
+          ? 0.0
+          : static_cast<double>(summary.violationPeriods) /
+                static_cast<double>(summary.timeline.size());
+  summary.migrations = manager.migrationsOrderedTotal();
+  summary.replicasAdded = manager.replicasAdded();
+  summary.replicasRemoved = manager.replicasRemoved();
+  summary.substitutions = manager.substitutions();
+  summary.serverSeconds = manager.pool().serverSeconds(cluster.simulation().now());
+  summary.resourceCost = manager.pool().totalCost(cluster.simulation().now());
+  summary.clientUpdateRateAvgHz = qoeRates.mean();
+  summary.clientUpdateRateMinHz = qoeRates.empty() ? 0.0 : qoeMinRate;
+  summary.clientWorstGapMs = qoeWorstGap;
+  return summary;
+}
+
+}  // namespace roia::rms

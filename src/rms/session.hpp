@@ -1,0 +1,68 @@
+// End-to-end managed session runner: a full RTFDemo-style session with a
+// time-varying bot population, managed by RTF-RMS under a chosen strategy.
+// Produces the timeline of paper Fig. 8 and the summary numbers of the
+// policy-ablation experiment.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "game/calibrate.hpp"
+#include "game/scenario.hpp"
+#include "rms/manager.hpp"
+#include "rms/model_strategy.hpp"
+#include "rms/strategy.hpp"
+
+namespace roia::rms {
+
+enum class PolicyKind {
+  kModelDriven,   // the paper's contribution
+  kStaticInterval,  // initial RTF-RMS (no model)
+  kUnthrottled,   // model thresholds + unbounded migrations
+};
+
+[[nodiscard]] const char* policyName(PolicyKind kind);
+
+struct ManagedSessionConfig {
+  game::FpsConfig fps{};
+  rtf::ServerConfig server{};
+  game::BotConfig bots{};
+  game::WorkloadScenario scenario = game::WorkloadScenario::paperSession();
+  /// Extra time to keep managing after the scenario ends (drain tail).
+  SimDuration tail{SimDuration::seconds(10)};
+  RmsConfig rms{};
+  ModelStrategyConfig modelStrategy{};
+  PolicyKind policy{PolicyKind::kModelDriven};
+  std::size_t initialReplicas{1};
+  std::uint64_t seed{42};
+};
+
+struct SessionSummary {
+  std::string policy;
+  std::vector<TimelinePoint> timeline;
+  std::size_t peakUsers{0};
+  std::size_t peakServers{0};
+  double maxTickMs{0.0};
+  std::size_t violationPeriods{0};
+  double violationFraction{0.0};
+  std::uint64_t migrations{0};
+  std::uint64_t replicasAdded{0};
+  std::uint64_t replicasRemoved{0};
+  std::uint64_t substitutions{0};
+  double serverSeconds{0.0};
+  double resourceCost{0.0};
+
+  // Client-side QoE: update rates observed at the receiving end (the paper
+  // ties the 40 ms tick bound to users needing >= 25 updates/s).
+  double clientUpdateRateAvgHz{0.0};
+  double clientUpdateRateMinHz{0.0};
+  double clientWorstGapMs{0.0};
+};
+
+/// Runs the session. The tick model for model-based policies is calibrated
+/// by the caller (so one calibration can serve many policy runs).
+[[nodiscard]] SessionSummary runManagedSession(const ManagedSessionConfig& config,
+                                               const model::TickModel& tickModel);
+
+}  // namespace roia::rms

@@ -1,0 +1,83 @@
+// Load-balancing strategies: what RTF-RMS decides each control period for
+// one zone. The model-driven strategy (paper section IV) and the baselines
+// used in the ablation experiment all implement this interface.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtf/monitoring.hpp"
+
+namespace roia::rms {
+
+/// One migration order: move `count` users from one replica to another.
+struct MigrationOrder {
+  ServerId from;
+  ServerId to;
+  std::size_t count{0};
+};
+
+/// The decision for one zone in one control period. At most one structural
+/// action (add/substitute/remove) is taken per period, plus any number of
+/// migration orders.
+struct Decision {
+  std::vector<MigrationOrder> migrations;
+  bool addReplica{false};
+  /// Replace this server by a more powerful flavor.
+  std::optional<ServerId> substituteServer;
+  /// Drain and shut down this server.
+  std::optional<ServerId> removeServer;
+  std::string rationale;
+
+  [[nodiscard]] bool structural() const {
+    return addReplica || substituteServer.has_value() || removeServer.has_value();
+  }
+};
+
+/// What a strategy sees each control period.
+struct ZoneView {
+  ZoneId zone;
+  SimTime now{};
+  std::vector<rtf::MonitoringSnapshot> servers;
+  /// Servers currently being drained (migration targets to avoid).
+  std::vector<ServerId> draining;
+  /// Replicas already leased but still starting up.
+  std::size_t pendingStarts{0};
+  std::size_t npcs{0};
+
+  [[nodiscard]] std::size_t totalUsers() const {
+    std::size_t total = 0;
+    for (const auto& s : servers) total += s.activeUsers;
+    return total;
+  }
+  [[nodiscard]] std::size_t replicaCount() const { return servers.size(); }
+  [[nodiscard]] double maxTickMs() const {
+    double v = 0.0;
+    for (const auto& s : servers) v = std::max(v, s.tickMaxMs);
+    return v;
+  }
+  [[nodiscard]] double avgTickMs() const {
+    if (servers.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& s : servers) sum += s.tickAvgMs;
+    return sum / static_cast<double>(servers.size());
+  }
+  [[nodiscard]] bool isDraining(ServerId id) const {
+    for (const ServerId d : draining) {
+      if (d == id) return true;
+    }
+    return false;
+  }
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual Decision decide(const ZoneView& view) = 0;
+};
+
+}  // namespace roia::rms

@@ -1,0 +1,99 @@
+// The application-logic interface between the RTF substrate and a concrete
+// ROIA (our RTFDemo-style shooter lives in src/game).
+//
+// The split follows the paper's section III-C: RTF measures the generic
+// phases itself — (de)serialization of inputs/updates and migration handling
+// — while application-dependent costs (t_ua, t_fa, t_npc, t_aoi and the
+// gathering part of t_su) are charged by the application through the shared
+// CostMeter.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "rtf/entity.hpp"
+#include "rtf/probes.hpp"
+#include "rtf/world.hpp"
+
+namespace roia::rtf {
+
+/// Lets application logic emit interactions whose target is a shadow entity;
+/// the server forwards them to the responsible replica ("forwarded input").
+class ForwardSink {
+ public:
+  virtual ~ForwardSink() = default;
+  virtual void forwardInteraction(EntityId target, EntityId source,
+                                  std::vector<std::uint8_t> payload) = 0;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called once at the start of every server tick, before any processing;
+  /// applications rebuild per-tick structures (e.g. spatial indices) here.
+  /// Default: nothing.
+  virtual void onTickBegin(World& world, CostMeter& meter) {
+    (void)world;
+    (void)meter;
+  }
+
+  /// Applies one client's command batch to its avatar. Called with the meter
+  /// phase set to kUa. Interactions with shadow entities go through
+  /// `forward`; interactions with local actives are applied directly.
+  virtual void applyUserInput(World& world, EntityRecord& avatar,
+                              std::span<const std::uint8_t> commands, CostMeter& meter,
+                              ForwardSink& forward, Rng& rng) = 0;
+
+  /// Applies a forwarded interaction to a locally active entity (phase
+  /// kFa). May itself emit follow-up interactions through `forward` (e.g. a
+  /// kill credit back to the attacker's responsible server).
+  virtual void applyForwardedInteraction(World& world, EntityRecord& target, EntityId source,
+                                         std::span<const std::uint8_t> payload, CostMeter& meter,
+                                         ForwardSink& forward) = 0;
+
+  /// Maintenance after a shadow snapshot was applied (phase kFa), e.g.
+  /// interest-management index updates. Default: no extra cost.
+  virtual void onShadowUpdated(World& world, EntityRecord& shadow, CostMeter& meter) {
+    (void)world;
+    (void)shadow;
+    (void)meter;
+  }
+
+  /// Advances one NPC (phase kNpc).
+  virtual void updateNpc(World& world, EntityRecord& npc, CostMeter& meter, Rng& rng) = 0;
+
+  /// Computes the set of entities visible to `viewer` (phase kAoi).
+  virtual std::vector<EntityId> computeAreaOfInterest(const World& world,
+                                                      const EntityRecord& viewer,
+                                                      CostMeter& meter) = 0;
+
+  /// Encodes the filtered state update for `viewer` (phase kSu). The
+  /// substrate additionally charges generic serialization cost per byte of
+  /// the returned payload.
+  virtual std::vector<std::uint8_t> buildStateUpdate(const World& world,
+                                                     const EntityRecord& viewer,
+                                                     std::span<const EntityId> visible,
+                                                     CostMeter& meter) = 0;
+
+  /// Application state attached to a migrating user (phase kMigIni).
+  virtual std::vector<std::uint8_t> exportUserState(const EntityRecord& avatar,
+                                                    CostMeter& meter) {
+    (void)avatar;
+    (void)meter;
+    return {};
+  }
+
+  /// Restores application state for an adopted user (phase kMigRcv).
+  virtual void importUserState(EntityRecord& avatar, std::span<const std::uint8_t> state,
+                               CostMeter& meter) {
+    (void)avatar;
+    (void)state;
+    (void)meter;
+  }
+};
+
+}  // namespace roia::rtf

@@ -1,0 +1,259 @@
+#include "rtf/cluster.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace roia::rtf {
+
+Cluster::Cluster(Application& app, ClusterConfig config)
+    : app_(app), config_(std::move(config)), net_(sim_), rng_(config_.seed) {}
+
+ZoneId Cluster::createZone(std::string name, Vec2 origin, Vec2 extent) {
+  ZoneDescriptor descriptor;
+  descriptor.id = ZoneId{nextZoneId_++};
+  descriptor.name = std::move(name);
+  descriptor.origin = origin;
+  descriptor.extent = extent;
+  zones_.addZone(descriptor);
+  return descriptor.id;
+}
+
+ZoneId Cluster::createInstance(ZoneId original) {
+  const ZoneDescriptor& base = zones_.zone(original);
+  ZoneDescriptor instance = base;
+  instance.id = ZoneId{nextZoneId_++};
+  instance.name = base.name + "#inst" + std::to_string(instance.id.value);
+  instance.instanceOf = original;
+  zones_.addZone(instance);
+  return instance.id;
+}
+
+ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
+  if (!zones_.hasZone(zone)) throw std::invalid_argument("addServer: unknown zone");
+  const ServerId id{nextServerId_++};
+  ServerConfig serverConfig = config_.serverTemplate;
+  // `speedFactor` is relative to the deployment baseline: a 2.0 "large"
+  // flavor is twice the template's speed, whatever hardware generation the
+  // template models.
+  serverConfig.cpu.speedFactor = config_.serverTemplate.cpu.speedFactor * speedFactor;
+  serverConfig.cpu.noiseSeed = 0x5eed0000ULL + id.value;
+  auto server = std::make_unique<Server>(id, zone, app_, sim_, net_, serverConfig,
+                                         rng_.split(0xA000 + id.value));
+  server->setMigrationCompleteFn([this](ClientId client, ServerId from, ServerId to) {
+    (void)from;
+    auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    auto serverIt = servers_.find(to);
+    if (serverIt == servers_.end()) return;
+    it->second->setServer(to, serverIt->second->node());
+    clientServer_[client] = to;
+  });
+  if (collector_ != nullptr) {
+    server->setMonitoringTarget(collector_->node());
+  }
+  server->start();
+  servers_.emplace(id, std::move(server));
+  zones_.addReplica(zone, id);
+  refreshPeers(zone);
+  return id;
+}
+
+MonitoringCollector& Cluster::attachMonitoringCollector() {
+  if (collector_ == nullptr) {
+    collector_ = std::make_unique<MonitoringCollector>(sim_, net_);
+    for (auto& [id, server] : servers_) {
+      server->setMonitoringTarget(collector_->node());
+    }
+  }
+  return *collector_;
+}
+
+void Cluster::removeServer(ServerId id) {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) throw std::invalid_argument("removeServer: unknown server");
+  Server& victim = *it->second;
+  if (victim.connectedUsers() > 0) {
+    throw std::logic_error("removeServer: server still has connected users");
+  }
+  const ZoneId zone = victim.zone();
+  zones_.removeReplica(zone, id);
+
+  // Hand surviving NPCs to the first remaining replica (management-plane
+  // transfer; a production system would migrate them like users).
+  const std::vector<ServerId> remaining = zones_.replicas(zone);
+  if (!remaining.empty()) {
+    Server& heir = *servers_.at(remaining.front());
+    victim.world().forEach([&](const EntityRecord& e) {
+      if (e.isNpc() && e.owner == id) {
+        EntityRecord copy = e;
+        copy.owner = heir.id();
+        copy.version += 1;
+        heir.world().upsert(copy);
+      }
+    });
+  }
+
+  victim.shutdown();
+  servers_.erase(it);
+  refreshPeers(zone);
+  if (collector_ != nullptr) collector_->forget(id);
+}
+
+std::vector<ServerId> Cluster::serverIds() const {
+  std::vector<ServerId> ids;
+  ids.reserve(servers_.size());
+  for (const auto& [id, server] : servers_) ids.push_back(id);
+  return ids;
+}
+
+ClientId Cluster::connectClient(ZoneId zone, std::unique_ptr<InputProvider> provider) {
+  const std::vector<ServerId> replicas = zones_.replicas(zone);
+  if (replicas.empty()) throw std::logic_error("connectClient: zone has no servers");
+  ServerId best = replicas.front();
+  std::size_t bestUsers = std::numeric_limits<std::size_t>::max();
+  for (const ServerId id : replicas) {
+    const std::size_t users = servers_.at(id)->connectedUsers();
+    if (users < bestUsers) {
+      bestUsers = users;
+      best = id;
+    }
+  }
+  return connectClientTo(best, std::move(provider));
+}
+
+ClientId Cluster::connectClientTo(ServerId serverId, std::unique_ptr<InputProvider> provider) {
+  auto serverIt = servers_.find(serverId);
+  if (serverIt == servers_.end()) throw std::invalid_argument("connectClientTo: unknown server");
+  Server& server = *serverIt->second;
+
+  const ClientId clientId{nextClientId_++};
+  const EntityId entityId{nextEntityId_++};
+  auto endpoint = std::make_unique<ClientEndpoint>(clientId, std::move(provider), sim_, net_,
+                                                   config_.clientTemplate,
+                                                   rng_.split(0xB000 + clientId.value));
+  endpoint->setAvatar(entityId);
+  endpoint->setServer(serverId, server.node());
+
+  const Vec2 spawn = randomSpawn(zones_.zone(server.zone()));
+  server.spawnUser(clientId, entityId, endpoint->node(), spawn);
+  endpoint->start();
+
+  clients_.emplace(clientId, std::move(endpoint));
+  clientServer_[clientId] = serverId;
+  return clientId;
+}
+
+void Cluster::disconnectClient(ClientId id) {
+  auto it = clients_.find(id);
+  if (it == clients_.end()) return;
+  const ServerId serverId = clientServer_.at(id);
+  auto serverIt = servers_.find(serverId);
+  if (serverIt != servers_.end()) {
+    serverIt->second->disconnectUser(id);
+  }
+  it->second->stop();
+  clients_.erase(it);
+  clientServer_.erase(id);
+}
+
+std::vector<ClientId> Cluster::clientIds() const {
+  std::vector<ClientId> ids;
+  ids.reserve(clients_.size());
+  for (const auto& [id, endpoint] : clients_) ids.push_back(id);
+  return ids;
+}
+
+bool Cluster::migrateClient(ClientId client, ServerId target) {
+  auto clientIt = clients_.find(client);
+  auto targetIt = servers_.find(target);
+  if (clientIt == clients_.end() || targetIt == servers_.end()) return false;
+  const ServerId sourceId = clientServer_.at(client);
+  if (sourceId == target) return false;
+  auto sourceIt = servers_.find(sourceId);
+  if (sourceIt == servers_.end()) return false;
+  if (sourceIt->second->zone() != targetIt->second->zone()) return false;
+  return sourceIt->second->requestMigration(client, target, targetIt->second->node());
+}
+
+bool Cluster::travelClient(ClientId client, ZoneId targetZone) {
+  auto clientIt = clients_.find(client);
+  if (clientIt == clients_.end() || !zones_.hasZone(targetZone)) return false;
+  const std::vector<ServerId> replicas = zones_.replicas(targetZone);
+  if (replicas.empty()) return false;
+
+  // Leave the old zone: retire the avatar everywhere via the disconnect
+  // path (peers learn through the next replica sync).
+  const ServerId sourceId = clientServer_.at(client);
+  auto sourceIt = servers_.find(sourceId);
+  if (sourceIt != servers_.end()) {
+    if (sourceIt->second->zone() == targetZone) return false;  // already there
+    sourceIt->second->disconnectUser(client);
+  }
+
+  // Join the least-populated replica of the target zone with a new avatar.
+  ServerId best = replicas.front();
+  std::size_t bestUsers = std::numeric_limits<std::size_t>::max();
+  for (const ServerId id : replicas) {
+    const std::size_t users = servers_.at(id)->connectedUsers();
+    if (users < bestUsers) {
+      bestUsers = users;
+      best = id;
+    }
+  }
+  Server& destination = *servers_.at(best);
+  const EntityId entityId{nextEntityId_++};
+  ClientEndpoint& endpoint = *clientIt->second;
+  endpoint.setAvatar(entityId);
+  endpoint.setServer(best, destination.node());
+  destination.spawnUser(client, entityId, endpoint.node(), randomSpawn(zones_.zone(targetZone)));
+  clientServer_[client] = best;
+  return true;
+}
+
+void Cluster::spawnNpcs(ZoneId zone, std::size_t count) {
+  const std::vector<ServerId> replicas = zones_.replicas(zone);
+  if (replicas.empty()) throw std::logic_error("spawnNpcs: zone has no servers");
+  const ZoneDescriptor& descriptor = zones_.zone(zone);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ServerId owner = replicas[i % replicas.size()];
+    servers_.at(owner)->spawnNpc(EntityId{nextEntityId_++}, randomSpawn(descriptor));
+  }
+}
+
+std::size_t Cluster::zoneUserCount(ZoneId zone) const {
+  std::size_t total = 0;
+  for (const ServerId id : zones_.replicas(zone)) {
+    total += servers_.at(id)->connectedUsers();
+  }
+  return total;
+}
+
+std::vector<MonitoringSnapshot> Cluster::zoneMonitoring(ZoneId zone) const {
+  std::vector<MonitoringSnapshot> snapshots;
+  for (const ServerId id : zones_.replicas(zone)) {
+    snapshots.push_back(servers_.at(id)->monitoring());
+  }
+  return snapshots;
+}
+
+void Cluster::refreshPeers(ZoneId zone) {
+  const std::vector<ServerId> replicas = zones_.replicas(zone);
+  std::vector<std::pair<ServerId, NodeId>> peers;
+  peers.reserve(replicas.size());
+  for (const ServerId id : replicas) {
+    peers.emplace_back(id, servers_.at(id)->node());
+  }
+  for (const ServerId id : replicas) {
+    servers_.at(id)->setPeers(peers);
+  }
+}
+
+Vec2 Cluster::randomSpawn(const ZoneDescriptor& zone) {
+  return Vec2{rng_.uniform(zone.origin.x, zone.origin.x + zone.extent.x),
+              rng_.uniform(zone.origin.y, zone.origin.y + zone.extent.y)};
+}
+
+}  // namespace roia::rtf

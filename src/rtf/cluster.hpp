@@ -1,0 +1,131 @@
+// The multi-server session harness: owns the simulation, the network, all
+// application servers and clients, and the zone directory. This is the
+// management plane that RTF-RMS drives: adding/removing replicas, connecting
+// and migrating users.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "rtf/client.hpp"
+#include "rtf/monitoring.hpp"
+#include "rtf/server.hpp"
+#include "rtf/zone.hpp"
+#include "sim/simulation.hpp"
+
+namespace roia::rtf {
+
+struct ClusterConfig {
+  ServerConfig serverTemplate{};
+  ClientEndpoint::Config clientTemplate{};
+  std::uint64_t seed{42};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(Application& app, ClusterConfig config = {});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] ZoneDirectory& zones() { return zones_; }
+  [[nodiscard]] const ZoneDirectory& zones() const { return zones_; }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  /// Creates a zone with the given geometry; returns its id.
+  ZoneId createZone(std::string name, Vec2 origin = {0, 0}, Vec2 extent = {1000, 1000});
+
+  /// Creates an instance (independent copy) of an existing zone.
+  ZoneId createInstance(ZoneId original);
+
+  /// Starts a new application server replicating `zone`. `speedFactor` is
+  /// relative to the template's baseline speed; > 1 models a more powerful
+  /// resource (used by resource substitution).
+  ServerId addServer(ZoneId zone, double speedFactor = 1.0);
+
+  /// Removes a server. All its users must have been migrated or
+  /// disconnected first; remaining NPCs are handed to another replica.
+  /// Throws std::logic_error if users are still connected.
+  void removeServer(ServerId id);
+
+  [[nodiscard]] Server& server(ServerId id) { return *servers_.at(id); }
+  [[nodiscard]] const Server& server(ServerId id) const { return *servers_.at(id); }
+  [[nodiscard]] bool hasServer(ServerId id) const { return servers_.contains(id); }
+  [[nodiscard]] std::vector<ServerId> serverIds() const;
+  [[nodiscard]] std::size_t serverCount() const { return servers_.size(); }
+
+  /// Connects a new user to the least-populated replica of `zone`.
+  ClientId connectClient(ZoneId zone, std::unique_ptr<InputProvider> provider);
+  /// Connects a new user to a specific server.
+  ClientId connectClientTo(ServerId server, std::unique_ptr<InputProvider> provider);
+  /// Disconnects a user wherever it currently lives.
+  void disconnectClient(ClientId id);
+
+  [[nodiscard]] ClientEndpoint& client(ClientId id) { return *clients_.at(id); }
+  [[nodiscard]] bool hasClient(ClientId id) const { return clients_.contains(id); }
+  [[nodiscard]] std::size_t clientCount() const { return clients_.size(); }
+  [[nodiscard]] std::vector<ClientId> clientIds() const;
+
+  /// Requests migration of `client` to `target` (same zone). Returns false
+  /// when the client is unknown, already migrating, or target is invalid.
+  bool migrateClient(ClientId client, ServerId target);
+
+  /// Cross-zone travel (zoning): hands the user over to the least-populated
+  /// replica of `targetZone`. The avatar leaves its old zone entirely (a new
+  /// entity is spawned in the target zone); the client endpoint and its
+  /// input stream are preserved. Returns false when the client is unknown
+  /// or the target zone has no servers.
+  bool travelClient(ClientId client, ZoneId targetZone);
+
+  /// Spawns `count` NPCs in the zone, distributed equally over its replicas.
+  void spawnNpcs(ZoneId zone, std::size_t count);
+
+  /// Total connected users across all replicas of a zone.
+  [[nodiscard]] std::size_t zoneUserCount(ZoneId zone) const;
+
+  /// Monitoring snapshots of every replica of `zone` (direct, in-process).
+  [[nodiscard]] std::vector<MonitoringSnapshot> zoneMonitoring(ZoneId zone) const;
+
+  /// Attaches a management-plane monitoring collector: all current and
+  /// future servers publish snapshots to it over the network. Idempotent.
+  MonitoringCollector& attachMonitoringCollector();
+  /// The collector, or nullptr when none is attached.
+  [[nodiscard]] MonitoringCollector* monitoringCollector() { return collector_.get(); }
+
+  /// Which server currently serves the client (tracks migrations).
+  [[nodiscard]] ServerId clientServer(ClientId id) const { return clientServer_.at(id); }
+
+  /// Runs the simulation for `duration` of simulated time.
+  void run(SimDuration duration) { sim_.runUntil(sim_.now() + duration); }
+
+ private:
+  void refreshPeers(ZoneId zone);
+  Vec2 randomSpawn(const ZoneDescriptor& zone);
+
+  Application& app_;
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  net::Network net_;
+  ZoneDirectory zones_;
+  Rng rng_;
+
+  std::map<ServerId, std::unique_ptr<Server>> servers_;
+  std::map<ClientId, std::unique_ptr<ClientEndpoint>> clients_;
+  std::map<ClientId, ServerId> clientServer_;
+  std::unique_ptr<MonitoringCollector> collector_;
+
+  std::uint64_t nextServerId_{1};
+  std::uint64_t nextClientId_{1};
+  std::uint64_t nextEntityId_{1};
+  std::uint64_t nextZoneId_{1};
+};
+
+}  // namespace roia::rtf

@@ -1,0 +1,87 @@
+// Entity model of the RTF substrate.
+//
+// Replication (Fig. 1 of the paper) keeps a complete copy of the zone state
+// on every replica: each server is *responsible* for a disjoint subset of
+// entities (its "active entities") and mirrors the rest as "shadow
+// entities" whose state arrives from the owning servers each tick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/types.hpp"
+
+namespace roia::rtf {
+
+enum class EntityKind : std::uint8_t {
+  kAvatar = 0,  // user-controlled
+  kNpc = 1,     // computer-controlled non-player character
+};
+
+/// One entity as stored on a server. Whether it is active or shadow on a
+/// given server is derived from `owner` vs. that server's id.
+struct EntityRecord {
+  EntityId id;
+  EntityKind kind{EntityKind::kAvatar};
+  ZoneId zone;
+  /// Server currently responsible for input processing and state updates.
+  ServerId owner;
+  /// Connected client for avatars; invalid for NPCs.
+  ClientId client;
+  Vec2 position;
+  Vec2 velocity;
+  double health{100.0};
+  /// Monotonic per-entity state version; shadows only apply newer snapshots.
+  std::uint64_t version{0};
+  /// Opaque application-defined state (scores, inventory, ...) marshalled
+  /// generically by RTF: replicated to shadows and carried by migrations.
+  std::vector<std::uint8_t> appData;
+
+  [[nodiscard]] bool isAvatar() const { return kind == EntityKind::kAvatar; }
+  [[nodiscard]] bool isNpc() const { return kind == EntityKind::kNpc; }
+  [[nodiscard]] bool activeOn(ServerId server) const { return owner == server; }
+};
+
+/// Compact wire representation of an entity used for replica sync and
+/// migration transfers.
+struct EntitySnapshot {
+  EntityId id;
+  EntityKind kind{EntityKind::kAvatar};
+  ServerId owner;
+  ClientId client;
+  float x{0.0f};
+  float y{0.0f};
+  float vx{0.0f};
+  float vy{0.0f};
+  float health{100.0f};
+  std::uint64_t version{0};
+  std::vector<std::uint8_t> appData;
+
+  static EntitySnapshot of(const EntityRecord& e) {
+    return EntitySnapshot{e.id,
+                          e.kind,
+                          e.owner,
+                          e.client,
+                          static_cast<float>(e.position.x),
+                          static_cast<float>(e.position.y),
+                          static_cast<float>(e.velocity.x),
+                          static_cast<float>(e.velocity.y),
+                          static_cast<float>(e.health),
+                          e.version,
+                          e.appData};
+  }
+
+  void applyTo(EntityRecord& e) const {
+    e.kind = kind;
+    e.owner = owner;
+    e.client = client;
+    e.position = {x, y};
+    e.velocity = {vx, vy};
+    e.health = health;
+    e.version = version;
+    e.appData = appData;
+  }
+};
+
+}  // namespace roia::rtf

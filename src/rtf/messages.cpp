@@ -1,0 +1,169 @@
+#include "rtf/messages.hpp"
+
+namespace roia::rtf {
+namespace {
+
+ser::Frame makeFrame(ser::MessageType type, ser::ByteWriter&& writer) {
+  ser::Frame frame;
+  frame.type = type;
+  frame.payload = std::move(writer).take();
+  return frame;
+}
+
+void expectType(const ser::Frame& frame, ser::MessageType type) {
+  if (frame.type != type) throw ser::DecodeError("unexpected frame type");
+}
+
+}  // namespace
+
+void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot) {
+  writer.writeVarU64(snapshot.id.value);
+  writer.writeU8(static_cast<std::uint8_t>(snapshot.kind));
+  writer.writeVarU64(snapshot.owner.value);
+  writer.writeVarU64(snapshot.client.value);
+  writer.writeF32(snapshot.x);
+  writer.writeF32(snapshot.y);
+  writer.writeF32(snapshot.vx);
+  writer.writeF32(snapshot.vy);
+  writer.writeF32(snapshot.health);
+  writer.writeVarU64(snapshot.version);
+  writer.writeBytes(snapshot.appData);
+}
+
+EntitySnapshot readSnapshot(ser::ByteReader& reader) {
+  EntitySnapshot s;
+  s.id = EntityId{reader.readVarU64()};
+  s.kind = static_cast<EntityKind>(reader.readU8());
+  s.owner = ServerId{reader.readVarU64()};
+  s.client = ClientId{reader.readVarU64()};
+  s.x = reader.readF32();
+  s.y = reader.readF32();
+  s.vx = reader.readF32();
+  s.vy = reader.readF32();
+  s.health = reader.readF32();
+  s.version = reader.readVarU64();
+  s.appData = reader.readBytes();
+  return s;
+}
+
+ser::Frame encode(const ClientInputMsg& msg) {
+  ser::ByteWriter writer(16 + msg.commands.size());
+  writer.writeVarU64(msg.client.value);
+  writer.writeVarU64(msg.clientTick);
+  writer.writeBytes(msg.commands);
+  return makeFrame(ser::MessageType::kClientInput, std::move(writer));
+}
+
+ClientInputMsg decodeClientInput(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kClientInput);
+  ser::ByteReader reader(frame.payload);
+  ClientInputMsg msg;
+  msg.client = ClientId{reader.readVarU64()};
+  msg.clientTick = reader.readVarU64();
+  msg.commands = reader.readBytes();
+  return msg;
+}
+
+ser::Frame encode(const StateUpdateMsg& msg) {
+  ser::ByteWriter writer(8 + msg.update.size());
+  writer.writeVarU64(msg.serverTick);
+  writer.writeBytes(msg.update);
+  return makeFrame(ser::MessageType::kStateUpdate, std::move(writer));
+}
+
+StateUpdateMsg decodeStateUpdate(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kStateUpdate);
+  ser::ByteReader reader(frame.payload);
+  StateUpdateMsg msg;
+  msg.serverTick = reader.readVarU64();
+  msg.update = reader.readBytes();
+  return msg;
+}
+
+ser::Frame encode(const ForwardedInputMsg& msg) {
+  ser::ByteWriter writer(20 + msg.interaction.size());
+  writer.writeVarU64(msg.target.value);
+  writer.writeVarU64(msg.source.value);
+  writer.writeBytes(msg.interaction);
+  return makeFrame(ser::MessageType::kForwardedInput, std::move(writer));
+}
+
+ForwardedInputMsg decodeForwardedInput(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kForwardedInput);
+  ser::ByteReader reader(frame.payload);
+  ForwardedInputMsg msg;
+  msg.target = EntityId{reader.readVarU64()};
+  msg.source = EntityId{reader.readVarU64()};
+  msg.interaction = reader.readBytes();
+  return msg;
+}
+
+ser::Frame encode(const EntityReplicationMsg& msg) {
+  ser::ByteWriter writer(8 + msg.entities.size() * 32);
+  writer.writeVarU64(msg.serverTick);
+  writer.writeVarU64(msg.entities.size());
+  for (const auto& snapshot : msg.entities) writeSnapshot(writer, snapshot);
+  writer.writeVarU64(msg.removed.size());
+  for (const EntityId id : msg.removed) writer.writeVarU64(id.value);
+  return makeFrame(ser::MessageType::kEntityReplication, std::move(writer));
+}
+
+EntityReplicationMsg decodeEntityReplication(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kEntityReplication);
+  ser::ByteReader reader(frame.payload);
+  EntityReplicationMsg msg;
+  msg.serverTick = reader.readVarU64();
+  const std::uint64_t count = reader.readVarU64();
+  // Every snapshot occupies multiple bytes; a count beyond the remaining
+  // payload is malformed (and must not drive a huge allocation).
+  if (count > reader.remaining()) throw ser::DecodeError("implausible entity count");
+  msg.entities.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) msg.entities.push_back(readSnapshot(reader));
+  const std::uint64_t removedCount = reader.readVarU64();
+  if (removedCount > reader.remaining()) throw ser::DecodeError("implausible removed count");
+  msg.removed.reserve(removedCount);
+  for (std::uint64_t i = 0; i < removedCount; ++i) msg.removed.push_back(EntityId{reader.readVarU64()});
+  return msg;
+}
+
+ser::Frame encode(const MigrationDataMsg& msg) {
+  ser::ByteWriter writer(48 + msg.appState.size());
+  writer.writeVarU64(msg.client.value);
+  writer.writeVarU64(msg.clientNode.value);
+  writeSnapshot(writer, msg.entity);
+  writer.writeBytes(msg.appState);
+  writer.writeVarU64(msg.source.value);
+  return makeFrame(ser::MessageType::kMigrationData, std::move(writer));
+}
+
+MigrationDataMsg decodeMigrationData(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kMigrationData);
+  ser::ByteReader reader(frame.payload);
+  MigrationDataMsg msg;
+  msg.client = ClientId{reader.readVarU64()};
+  msg.clientNode = NodeId{reader.readVarU64()};
+  msg.entity = readSnapshot(reader);
+  msg.appState = reader.readBytes();
+  msg.source = ServerId{reader.readVarU64()};
+  return msg;
+}
+
+ser::Frame encode(const MigrationAckMsg& msg) {
+  ser::ByteWriter writer(24);
+  writer.writeVarU64(msg.client.value);
+  writer.writeVarU64(msg.entity.value);
+  writer.writeVarU64(msg.newOwner.value);
+  return makeFrame(ser::MessageType::kMigrationAck, std::move(writer));
+}
+
+MigrationAckMsg decodeMigrationAck(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kMigrationAck);
+  ser::ByteReader reader(frame.payload);
+  MigrationAckMsg msg;
+  msg.client = ClientId{reader.readVarU64()};
+  msg.entity = EntityId{reader.readVarU64()};
+  msg.newOwner = ServerId{reader.readVarU64()};
+  return msg;
+}
+
+}  // namespace roia::rtf

@@ -1,0 +1,85 @@
+// Wire payload codecs for the RTF protocol.
+//
+// Application-level content (game commands, per-entity deltas) is carried as
+// opaque byte blobs inside these envelopes, mirroring how RTF performs
+// generic (de)serialization around application-defined data types.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtf/entity.hpp"
+#include "serialize/message.hpp"
+
+namespace roia::rtf {
+
+/// Client -> server: one batch of user commands for a tick.
+struct ClientInputMsg {
+  ClientId client;
+  std::uint64_t clientTick{0};
+  std::vector<std::uint8_t> commands;  // application-defined encoding
+};
+
+/// Server -> client: filtered world delta produced by the application.
+struct StateUpdateMsg {
+  std::uint64_t serverTick{0};
+  std::vector<std::uint8_t> update;  // application-defined encoding
+};
+
+/// Server -> server: an interaction of a local user with a shadow entity,
+/// forwarded to the entity's responsible server ("forwarded input").
+struct ForwardedInputMsg {
+  EntityId target;
+  EntityId source;
+  std::vector<std::uint8_t> interaction;  // application-defined encoding
+};
+
+/// Server -> server: state of active entities for shadow maintenance, plus
+/// ids that left this server's responsibility entirely (disconnects/deaths)
+/// so peers can retire the shadows.
+struct EntityReplicationMsg {
+  std::uint64_t serverTick{0};
+  std::vector<EntitySnapshot> entities;
+  std::vector<EntityId> removed;
+};
+
+/// Server -> server: begin migrating one user; carries the full entity and
+/// application state so the target can adopt the user in one step.
+struct MigrationDataMsg {
+  ClientId client;
+  /// Network node of the client, so the target can serve it immediately.
+  NodeId clientNode;
+  EntitySnapshot entity;
+  std::vector<std::uint8_t> appState;  // application-defined encoding
+  ServerId source;
+};
+
+/// Server -> server: user adopted; source may drop responsibility.
+struct MigrationAckMsg {
+  ClientId client;
+  EntityId entity;
+  ServerId newOwner;
+};
+
+// Encoders produce ready-to-send frames; decoders throw ser::DecodeError on
+// malformed payloads.
+[[nodiscard]] ser::Frame encode(const ClientInputMsg& msg);
+[[nodiscard]] ser::Frame encode(const StateUpdateMsg& msg);
+[[nodiscard]] ser::Frame encode(const ForwardedInputMsg& msg);
+[[nodiscard]] ser::Frame encode(const EntityReplicationMsg& msg);
+[[nodiscard]] ser::Frame encode(const MigrationDataMsg& msg);
+[[nodiscard]] ser::Frame encode(const MigrationAckMsg& msg);
+
+[[nodiscard]] ClientInputMsg decodeClientInput(const ser::Frame& frame);
+[[nodiscard]] StateUpdateMsg decodeStateUpdate(const ser::Frame& frame);
+[[nodiscard]] ForwardedInputMsg decodeForwardedInput(const ser::Frame& frame);
+[[nodiscard]] EntityReplicationMsg decodeEntityReplication(const ser::Frame& frame);
+[[nodiscard]] MigrationDataMsg decodeMigrationData(const ser::Frame& frame);
+[[nodiscard]] MigrationAckMsg decodeMigrationAck(const ser::Frame& frame);
+
+/// Snapshot codec shared by replication and migration payloads.
+void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot);
+[[nodiscard]] EntitySnapshot readSnapshot(ser::ByteReader& reader);
+
+}  // namespace roia::rtf

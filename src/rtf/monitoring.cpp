@@ -1,0 +1,124 @@
+#include "rtf/monitoring.hpp"
+
+#include <algorithm>
+
+#include "serialize/byte_buffer.hpp"
+
+namespace roia::rtf {
+
+ser::Frame encodeMonitoring(const MonitoringSnapshot& snapshot) {
+  ser::ByteWriter writer(96);
+  writer.writeVarU64(snapshot.server.value);
+  writer.writeVarU64(snapshot.zone.value);
+  writer.writeVarI64(snapshot.takenAt.micros);
+  writer.writeVarU64(snapshot.activeUsers);
+  writer.writeVarU64(snapshot.totalAvatars);
+  writer.writeVarU64(snapshot.npcs);
+  writer.writeF64(snapshot.tickAvgMs);
+  writer.writeF64(snapshot.tickMaxMs);
+  writer.writeF64(snapshot.cpuLoad);
+  for (const double v : snapshot.phaseAvgMicros) writer.writeF32(static_cast<float>(v));
+  writer.writeVarU64(snapshot.ticksObserved);
+  writer.writeVarU64(snapshot.migrationsInitiated);
+  writer.writeVarU64(snapshot.migrationsReceived);
+  ser::Frame frame;
+  frame.type = ser::MessageType::kMonitoring;
+  frame.payload = std::move(writer).take();
+  return frame;
+}
+
+MonitoringSnapshot decodeMonitoring(const ser::Frame& frame) {
+  if (frame.type != ser::MessageType::kMonitoring) {
+    throw ser::DecodeError("unexpected frame type");
+  }
+  ser::ByteReader reader(frame.payload);
+  MonitoringSnapshot snapshot;
+  snapshot.server = ServerId{reader.readVarU64()};
+  snapshot.zone = ZoneId{reader.readVarU64()};
+  snapshot.takenAt = SimTime{reader.readVarI64()};
+  snapshot.activeUsers = reader.readVarU64();
+  snapshot.totalAvatars = reader.readVarU64();
+  snapshot.npcs = reader.readVarU64();
+  snapshot.tickAvgMs = reader.readF64();
+  snapshot.tickMaxMs = reader.readF64();
+  snapshot.cpuLoad = reader.readF64();
+  for (double& v : snapshot.phaseAvgMicros) v = reader.readF32();
+  snapshot.ticksObserved = reader.readVarU64();
+  snapshot.migrationsInitiated = reader.readVarU64();
+  snapshot.migrationsReceived = reader.readVarU64();
+  return snapshot;
+}
+
+MonitoringCollector::MonitoringCollector(sim::Simulation& simulation, net::Network& network)
+    : sim_(simulation), net_(network) {
+  node_ = net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); });
+}
+
+MonitoringCollector::~MonitoringCollector() { net_.removeNode(node_); }
+
+void MonitoringCollector::onFrame(NodeId from, const ser::Frame& frame) {
+  (void)from;
+  if (frame.type != ser::MessageType::kMonitoring) return;
+  MonitoringSnapshot snapshot = decodeMonitoring(frame);
+  const ServerId id = snapshot.server;
+  receivedAt_[id] = sim_.now();
+  latest_[id] = std::move(snapshot);
+  ++received_;
+}
+
+std::optional<MonitoringSnapshot> MonitoringCollector::latest(ServerId server) const {
+  auto it = latest_.find(server);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MonitoringSnapshot> MonitoringCollector::zoneSnapshots(ZoneId zone) const {
+  std::vector<MonitoringSnapshot> snapshots;
+  for (const auto& [id, snapshot] : latest_) {
+    if (snapshot.zone == zone) snapshots.push_back(snapshot);
+  }
+  return snapshots;
+}
+
+std::optional<SimDuration> MonitoringCollector::staleness(ServerId server) const {
+  auto it = receivedAt_.find(server);
+  if (it == receivedAt_.end()) return std::nullopt;
+  return sim_.now() - it->second;
+}
+
+void MonitoringCollector::forget(ServerId server) {
+  latest_.erase(server);
+  receivedAt_.erase(server);
+}
+
+void MonitoringWindow::record(const TickProbes& probes) {
+  samples_.push_back(Sample{probes.start, probes.totalMicros(), probes.phaseMicros});
+  const SimTime cutoff = probes.start - window_;
+  while (!samples_.empty() && samples_.front().start < cutoff) {
+    samples_.pop_front();
+  }
+}
+
+void MonitoringWindow::fill(MonitoringSnapshot& snapshot) const {
+  snapshot.phaseAvgMicros.fill(0.0);
+  if (samples_.empty()) {
+    snapshot.tickAvgMs = 0.0;
+    snapshot.tickMaxMs = 0.0;
+    return;
+  }
+  double sum = 0.0;
+  double maxTick = 0.0;
+  for (const Sample& s : samples_) {
+    sum += s.totalMicros;
+    maxTick = std::max(maxTick, s.totalMicros);
+    for (std::size_t p = 0; p < kPhaseCount; ++p) {
+      snapshot.phaseAvgMicros[p] += s.phaseMicros[p];
+    }
+  }
+  const double count = static_cast<double>(samples_.size());
+  snapshot.tickAvgMs = sum / count / 1000.0;
+  snapshot.tickMaxMs = maxTick / 1000.0;
+  for (double& v : snapshot.phaseAvgMicros) v /= count;
+}
+
+}  // namespace roia::rtf

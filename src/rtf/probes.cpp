@@ -1,0 +1,15 @@
+#include "rtf/probes.hpp"
+
+namespace roia::rtf {
+
+SimDuration CostMeter::charge(double units) { return chargeTo(phase_, units); }
+
+SimDuration CostMeter::chargeTo(Phase phase, double units) {
+  const SimDuration d = cpu_->charge(units);
+  if (probes_ != nullptr) {
+    probes_->phaseMicros[static_cast<std::size_t>(phase)] += static_cast<double>(d.micros);
+  }
+  return d;
+}
+
+}  // namespace roia::rtf

@@ -1,0 +1,125 @@
+// Per-tick measurement probes.
+//
+// These are the measurement and logging mechanisms the paper describes in
+// section III-C: RTF measures the generic phases ((de)serialization,
+// migration) itself, while application-logic phases (t_ua, t_aoi, t_fa,
+// t_npc) are charged by the application through the same meter. The
+// parameter estimator consumes TickProbes streams to fit the model.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sim/cpu.hpp"
+
+namespace roia::rtf {
+
+/// The computational phases of one real-time-loop iteration, matching the
+/// model parameters of Eq. (1)/(4)/(5) one-to-one.
+enum class Phase : std::size_t {
+  kUaDser = 0,  // receive + deserialize user inputs        -> t_ua_dser
+  kUa,          // validate + apply user inputs             -> t_ua
+  kFaDser,      // deserialize forwarded/shadow inputs      -> t_fa_dser
+  kFa,          // apply forwarded/shadow inputs            -> t_fa
+  kNpc,         // update NPCs                              -> t_npc
+  kAoi,         // compute areas of interest                -> t_aoi
+  kSu,          // compute + serialize state updates        -> t_su
+  kMigIni,      // initiate user migrations                 -> t_mig_ini
+  kMigRcv,      // receive user migrations                  -> t_mig_rcv
+  kOther,       // bookkeeping outside the model
+  kCount
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+[[nodiscard]] constexpr const char* phaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kUaDser: return "t_ua_dser";
+    case Phase::kUa: return "t_ua";
+    case Phase::kFaDser: return "t_fa_dser";
+    case Phase::kFa: return "t_fa";
+    case Phase::kNpc: return "t_npc";
+    case Phase::kAoi: return "t_aoi";
+    case Phase::kSu: return "t_su";
+    case Phase::kMigIni: return "t_mig_ini";
+    case Phase::kMigRcv: return "t_mig_rcv";
+    case Phase::kOther: return "t_other";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+/// Everything measured during one loop iteration on one server.
+struct TickProbes {
+  SimTime start{};
+  std::uint64_t tickSeq{0};
+  /// Simulated CPU microseconds spent in each phase this tick.
+  std::array<double, kPhaseCount> phaseMicros{};
+
+  // Workload facts for normalising phase times into per-item parameters.
+  std::size_t activeUsers{0};     // a: avatars owned by this server
+  std::size_t totalAvatars{0};    // n: avatars known in the zone
+  std::size_t shadowAvatars{0};   // n - a
+  std::size_t npcs{0};            // NPCs owned by this server
+  std::size_t inputsApplied{0};
+  std::size_t forwardedApplied{0};
+  std::size_t migrationsInitiated{0};
+  std::size_t migrationsReceived{0};
+
+  [[nodiscard]] double phase(Phase p) const { return phaseMicros[static_cast<std::size_t>(p)]; }
+
+  /// Total busy time of the tick in microseconds.
+  [[nodiscard]] double totalMicros() const {
+    double sum = 0.0;
+    for (const double v : phaseMicros) sum += v;
+    return sum;
+  }
+  [[nodiscard]] SimDuration totalDuration() const {
+    return SimDuration::microseconds(static_cast<std::int64_t>(totalMicros()));
+  }
+};
+
+/// Charges simulated CPU cost to the current phase. The server sets the
+/// phase; RTF internals and application logic both charge through this.
+class CostMeter {
+ public:
+  explicit CostMeter(sim::CpuCostModel& cpu) : cpu_(&cpu) {}
+
+  void beginTick(TickProbes& probes) { probes_ = &probes; }
+  void endTick() { probes_ = nullptr; }
+
+  void setPhase(Phase phase) { phase_ = phase; }
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  /// Charges `units` cost units (1 unit ~= 1 us on a reference server) to
+  /// the current phase. Returns the simulated duration actually consumed
+  /// (after speed scaling and deterministic noise).
+  SimDuration charge(double units);
+
+  /// Charges to an explicit phase without changing the current one.
+  SimDuration chargeTo(Phase phase, double units);
+
+ private:
+  sim::CpuCostModel* cpu_;
+  TickProbes* probes_{nullptr};
+  Phase phase_{Phase::kOther};
+};
+
+/// RAII phase scope: restores the previous phase on destruction.
+class PhaseScope {
+ public:
+  PhaseScope(CostMeter& meter, Phase phase) : meter_(meter), previous_(meter.phase()) {
+    meter_.setPhase(phase);
+  }
+  ~PhaseScope() { meter_.setPhase(previous_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  CostMeter& meter_;
+  Phase previous_;
+};
+
+}  // namespace roia::rtf

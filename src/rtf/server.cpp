@@ -1,0 +1,429 @@
+#include "rtf/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace roia::rtf {
+
+Server::Server(ServerId id, ZoneId zone, Application& app, sim::Simulation& simulation,
+               net::Network& network, ServerConfig config, Rng rng)
+    : id_(id),
+      app_(app),
+      sim_(simulation),
+      net_(network),
+      config_(config),
+      world_(zone),
+      rng_(rng),
+      cpu_([&] {
+        auto cpuConfig = config.cpu;
+        // Distinct noise stream per server even when the caller forgets to
+        // set one: derive it from the server id.
+        if (cpuConfig.noiseSeed == 0) cpuConfig.noiseSeed = 0x5eed0000ULL + id.value;
+        return cpuConfig;
+      }()),
+      meter_(cpu_),
+      cpuAccount_(SimDuration::seconds(2)),
+      monitoringWindow_(config.monitoringWindow) {
+  node_ = net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  if (running_) return;
+  running_ = true;
+  // Stagger the first tick so replicas do not fire at identical instants.
+  const auto offset =
+      SimDuration::microseconds(static_cast<std::int64_t>(rng_.uniformInt(
+          0, static_cast<std::uint64_t>(std::max<std::int64_t>(1, config_.tickInterval.micros)) - 1)));
+  nextTick_ = sim_.scheduleAfter(offset, [this] { tick(); });
+}
+
+void Server::shutdown() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(nextTick_);
+  net_.removeNode(node_);
+}
+
+void Server::setPeers(std::vector<std::pair<ServerId, NodeId>> peers) {
+  peers_ = std::move(peers);
+  // Never keep ourselves in the peer list.
+  std::erase_if(peers_, [this](const auto& p) { return p.first == id_; });
+}
+
+void Server::spawnUser(ClientId client, EntityId entity, NodeId clientNode, Vec2 position) {
+  EntityRecord record;
+  record.id = entity;
+  record.kind = EntityKind::kAvatar;
+  record.zone = world_.zone();
+  record.owner = id_;
+  record.client = client;
+  record.position = position;
+  record.version = 1;
+  world_.upsert(record);
+  clients_[client] = ClientSession{clientNode, entity, false};
+}
+
+void Server::spawnNpc(EntityId entity, Vec2 position) {
+  EntityRecord record;
+  record.id = entity;
+  record.kind = EntityKind::kNpc;
+  record.zone = world_.zone();
+  record.owner = id_;
+  record.position = position;
+  record.version = 1;
+  world_.upsert(record);
+}
+
+bool Server::disconnectUser(ClientId client) {
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return false;
+  const EntityId entity = it->second.entity;
+  world_.remove(entity);
+  departedEntities_.push_back(entity);
+  clients_.erase(it);
+  return true;
+}
+
+bool Server::requestMigration(ClientId client, ServerId target, NodeId targetNode) {
+  auto it = clients_.find(client);
+  if (it == clients_.end() || it->second.migrating) return false;
+  it->second.migrating = true;
+  migrationQueue_.push_back(PendingMigration{client, target, targetNode});
+  return true;
+}
+
+void Server::forwardInteraction(EntityId target, EntityId source,
+                                std::vector<std::uint8_t> payload) {
+  outForwarded_.push_back(ForwardedInputMsg{target, source, std::move(payload)});
+}
+
+void Server::onFrame(NodeId from, const ser::Frame& frame) {
+  (void)from;
+  if (!running_) return;
+  const std::size_t bytes = frame.payload.size();
+  switch (frame.type) {
+    case ser::MessageType::kClientInput:
+      inClientInputs_.push_back({decodeClientInput(frame), bytes});
+      break;
+    case ser::MessageType::kForwardedInput:
+      inForwarded_.push_back({decodeForwardedInput(frame), bytes});
+      break;
+    case ser::MessageType::kEntityReplication:
+      inReplication_.push_back({decodeEntityReplication(frame), bytes});
+      break;
+    case ser::MessageType::kMigrationData:
+      inMigrationData_.push_back({decodeMigrationData(frame), bytes});
+      break;
+    case ser::MessageType::kMigrationAck:
+      inMigrationAcks_.push_back(decodeMigrationAck(frame));
+      break;
+    default:
+      ROIA_LOG(LogLevel::kWarn, "rtf.server", "unhandled frame type "
+                                                   << static_cast<int>(frame.type));
+      break;
+  }
+}
+
+void Server::tick() {
+  if (!running_) return;
+  inTick_ = true;
+  TickProbes probes;
+  probes.start = sim_.now();
+  probes.tickSeq = tickSeq_;
+  meter_.beginTick(probes);
+  meter_.chargeTo(Phase::kOther, config_.tickBaseCost);
+  app_.onTickBegin(world_, meter_);
+
+  processMigrationArrivals();
+  processReplication();
+  processForwardedInputs();
+  processClientInputs();
+  updateNpcs();
+  flushForwarded();  // interactions emitted by any phase above
+  sendStateUpdates();
+  sendReplicaSync();
+  initiateMigrations();
+  processMigrationAcks();
+
+  // Workload facts for the estimator: a (active users), n (total avatars).
+  probes.activeUsers = world_.countIf(
+      [this](const EntityRecord& e) { return e.isAvatar() && e.owner == id_; });
+  probes.totalAvatars = world_.avatarCount();
+  probes.shadowAvatars = probes.totalAvatars - probes.activeUsers;
+  probes.npcs = world_.countIf(
+      [this](const EntityRecord& e) { return e.isNpc() && e.owner == id_; });
+  lastTickActiveUsers_ = probes.activeUsers;
+
+  // Fold per-tick counters captured during the phases above.
+  probes.migrationsInitiated = tickMigrationsInitiated_;
+  probes.migrationsReceived = tickMigrationsReceived_;
+  probes.inputsApplied = tickInputsApplied_;
+  probes.forwardedApplied = tickForwardedApplied_;
+  tickMigrationsInitiated_ = tickMigrationsReceived_ = 0;
+  tickInputsApplied_ = tickForwardedApplied_ = 0;
+
+  // Publish monitoring to the management plane on its own cadence.
+  if (monitoringTarget_.valid() &&
+      (tickSeq_ == 0 ||
+       sim_.now() - lastMonitoringPublish_ >= config_.monitoringPublishPeriod)) {
+    meter_.chargeTo(Phase::kOther, config_.monitoringPublishCost);
+    net_.send(node_, monitoringTarget_, encodeMonitoring(monitoring()));
+    lastMonitoringPublish_ = sim_.now();
+  }
+
+  meter_.endTick();
+  const SimDuration busy = probes.totalDuration();
+  cpuAccount_.recordTick(probes.start, busy, config_.tickInterval);
+  monitoringWindow_.record(probes);
+  if (probeListener_) probeListener_(*this, probes);
+  ++tickSeq_;
+  inTick_ = false;
+
+  // An overloaded server cannot hold its tick rate: the next iteration
+  // starts when this one finishes, i.e. the loop stretches.
+  const SimDuration delay = std::max(config_.tickInterval, busy);
+  nextTick_ = sim_.scheduleAfter(delay, [this] { tick(); });
+}
+
+void Server::processMigrationArrivals() {
+  PhaseScope scope(meter_, Phase::kMigRcv);
+  while (!inMigrationData_.empty()) {
+    auto [msg, bytes] = std::move(inMigrationData_.front());
+    inMigrationData_.pop_front();
+    meter_.charge(config_.migRcvBaseCost +
+                  config_.migRcvPerEntityCost * static_cast<double>(world_.size()) +
+                  config_.migRcvPerByteCost * static_cast<double>(bytes));
+    EntityRecord record;
+    record.id = msg.entity.id;
+    record.zone = world_.zone();
+    msg.entity.applyTo(record);
+    record.owner = id_;  // we adopt responsibility
+    record.version += 1;
+    EntityRecord& stored = world_.upsert(record);
+    app_.importUserState(stored, msg.appState, meter_);
+    clients_[msg.client] = ClientSession{msg.clientNode, msg.entity.id, false};
+    ++tickMigrationsReceived_;
+    ++migrationsReceivedTotal_;
+
+    // Acknowledge to the source so it can release the user.
+    MigrationAckMsg ack{msg.client, msg.entity.id, id_};
+    // The source's node: find it among peers; sources are always peers.
+    for (const auto& [serverId, nodeId] : peers_) {
+      if (serverId == msg.source) {
+        net_.send(node_, nodeId, encode(ack));
+        break;
+      }
+    }
+  }
+}
+
+void Server::processReplication() {
+  while (!inReplication_.empty()) {
+    auto [msg, bytes] = std::move(inReplication_.front());
+    inReplication_.pop_front();
+    meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
+                                        config_.peerDserPerByteCost * static_cast<double>(bytes));
+    PhaseScope scope(meter_, Phase::kFa);
+    for (const EntitySnapshot& snapshot : msg.entities) {
+      if (snapshot.owner == id_) continue;  // stale echo of a migrated entity
+      EntityRecord* existing = world_.find(snapshot.id);
+      if (existing != nullptr) {
+        if (snapshot.version <= existing->version) continue;  // out of date
+        snapshot.applyTo(*existing);
+        meter_.charge(config_.shadowApplyCost);
+        app_.onShadowUpdated(world_, *existing, meter_);
+      } else {
+        EntityRecord record;
+        record.id = snapshot.id;
+        record.zone = world_.zone();
+        snapshot.applyTo(record);
+        EntityRecord& stored = world_.upsert(record);
+        meter_.charge(config_.shadowApplyCost);
+        app_.onShadowUpdated(world_, stored, meter_);
+      }
+    }
+    for (const EntityId removed : msg.removed) {
+      const EntityRecord* record = world_.find(removed);
+      if (record != nullptr && record->owner != id_) {
+        world_.remove(removed);
+      }
+    }
+  }
+}
+
+void Server::processForwardedInputs() {
+  while (!inForwarded_.empty()) {
+    auto [msg, bytes] = std::move(inForwarded_.front());
+    inForwarded_.pop_front();
+    meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
+                                        config_.peerDserPerByteCost * static_cast<double>(bytes));
+    EntityRecord* target = world_.find(msg.target);
+    if (target == nullptr || target->owner != id_) continue;  // moved on
+    PhaseScope scope(meter_, Phase::kFa);
+    app_.applyForwardedInteraction(world_, *target, msg.source, msg.interaction, meter_, *this);
+    ++tickForwardedApplied_;
+  }
+}
+
+void Server::flushForwarded() {
+  for (ForwardedInputMsg& fwd : outForwarded_) {
+    const EntityRecord* target = world_.find(fwd.target);
+    if (target == nullptr) continue;
+    for (const auto& [serverId, nodeId] : peers_) {
+      if (serverId == target->owner) {
+        net_.send(node_, nodeId, encode(fwd));
+        break;
+      }
+    }
+  }
+  outForwarded_.clear();
+}
+
+void Server::processClientInputs() {
+  while (!inClientInputs_.empty()) {
+    auto [msg, bytes] = std::move(inClientInputs_.front());
+    inClientInputs_.pop_front();
+    meter_.chargeTo(Phase::kUaDser, config_.inputDserBaseCost +
+                                        config_.inputDserPerByteCost * static_cast<double>(bytes));
+    auto it = clients_.find(msg.client);
+    if (it == clients_.end() || it->second.migrating) continue;  // handover
+    EntityRecord* avatar = world_.find(it->second.entity);
+    if (avatar == nullptr || avatar->owner != id_) continue;
+    PhaseScope scope(meter_, Phase::kUa);
+    app_.applyUserInput(world_, *avatar, msg.commands, meter_, *this, rng_);
+    avatar->version += 1;
+    ++tickInputsApplied_;
+  }
+}
+
+void Server::updateNpcs() {
+  PhaseScope scope(meter_, Phase::kNpc);
+  world_.forEach([this](EntityRecord& e) {
+    if (e.isNpc() && e.owner == id_) {
+      app_.updateNpc(world_, e, meter_, rng_);
+      e.version += 1;
+    }
+  });
+}
+
+void Server::sendStateUpdates() {
+  for (const auto& [clientId, session] : clients_) {
+    if (session.migrating) continue;
+    const EntityRecord* viewer = world_.find(session.entity);
+    if (viewer == nullptr || viewer->owner != id_) continue;
+
+    std::vector<EntityId> visible;
+    {
+      PhaseScope scope(meter_, Phase::kAoi);
+      visible = app_.computeAreaOfInterest(world_, *viewer, meter_);
+    }
+    PhaseScope scope(meter_, Phase::kSu);
+    std::vector<std::uint8_t> update = app_.buildStateUpdate(world_, *viewer, visible, meter_);
+    meter_.charge(config_.updateSerBaseCost +
+                  config_.updateSerPerByteCost * static_cast<double>(update.size()));
+    StateUpdateMsg msg{tickSeq_, std::move(update)};
+    net_.send(node_, session.clientNode, encode(msg));
+  }
+}
+
+void Server::sendReplicaSync() {
+  if (peers_.empty()) {
+    departedEntities_.clear();
+    return;
+  }
+  EntityReplicationMsg msg;
+  msg.serverTick = tickSeq_;
+  world_.forEach([this, &msg](const EntityRecord& e) {
+    if (e.owner == id_) msg.entities.push_back(EntitySnapshot::of(e));
+  });
+  msg.removed = std::move(departedEntities_);
+  departedEntities_.clear();
+  if (msg.entities.empty() && msg.removed.empty()) return;
+
+  const ser::Frame frame = encode(msg);
+  meter_.chargeTo(Phase::kSu,
+                  config_.replSerBaseCost +
+                      config_.replSerPerByteCost * static_cast<double>(frame.payload.size()));
+  for (const auto& [serverId, nodeId] : peers_) {
+    (void)serverId;
+    net_.send(node_, nodeId, frame);
+  }
+}
+
+void Server::initiateMigrations() {
+  PhaseScope scope(meter_, Phase::kMigIni);
+  while (!migrationQueue_.empty()) {
+    const PendingMigration pending = migrationQueue_.front();
+    migrationQueue_.pop_front();
+    auto it = clients_.find(pending.client);
+    if (it == clients_.end()) continue;  // user left meanwhile
+    EntityRecord* avatar = world_.find(it->second.entity);
+    if (avatar == nullptr || avatar->owner != id_) {
+      it->second.migrating = false;
+      continue;
+    }
+
+    MigrationDataMsg msg;
+    msg.client = pending.client;
+    msg.clientNode = it->second.clientNode;
+    avatar->version += 1;
+    avatar->owner = pending.target;  // hand over responsibility
+    msg.entity = EntitySnapshot::of(*avatar);
+    msg.appState = app_.exportUserState(*avatar, meter_);
+    msg.source = id_;
+
+    const ser::Frame frame = encode(msg);
+    meter_.charge(config_.migIniBaseCost +
+                  config_.migIniPerEntityCost * static_cast<double>(world_.size()) +
+                  config_.migIniPerByteCost * static_cast<double>(frame.payload.size()));
+    net_.send(node_, pending.targetNode, frame);
+    ++tickMigrationsInitiated_;
+    ++migrationsInitiatedTotal_;
+  }
+}
+
+void Server::processMigrationAcks() {
+  PhaseScope scope(meter_, Phase::kOther);
+  while (!inMigrationAcks_.empty()) {
+    const MigrationAckMsg ack = inMigrationAcks_.front();
+    inMigrationAcks_.pop_front();
+    auto it = clients_.find(ack.client);
+    if (it == clients_.end()) continue;
+    clients_.erase(it);
+    if (onMigrationComplete_) onMigrationComplete_(ack.client, id_, ack.newOwner);
+  }
+}
+
+std::vector<ClientId> Server::clientIds(bool migratableOnly) const {
+  std::vector<ClientId> ids;
+  ids.reserve(clients_.size());
+  for (const auto& [id, session] : clients_) {
+    if (migratableOnly && session.migrating) continue;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+MonitoringSnapshot Server::monitoring() const {
+  MonitoringSnapshot snapshot;
+  snapshot.server = id_;
+  snapshot.zone = world_.zone();
+  snapshot.takenAt = sim_.now();
+  snapshot.activeUsers = world_.countIf(
+      [this](const EntityRecord& e) { return e.isAvatar() && e.owner == id_; });
+  snapshot.totalAvatars = world_.avatarCount();
+  snapshot.npcs = world_.countIf(
+      [this](const EntityRecord& e) { return e.isNpc() && e.owner == id_; });
+  snapshot.cpuLoad = cpuAccount_.load();
+  snapshot.ticksObserved = tickSeq_;
+  snapshot.migrationsInitiated = migrationsInitiatedTotal_;
+  snapshot.migrationsReceived = migrationsReceivedTotal_;
+  monitoringWindow_.fill(snapshot);
+  return snapshot;
+}
+
+}  // namespace roia::rtf

@@ -1,0 +1,232 @@
+// An RTF application server: executes the real-time loop for one zone
+// replica, maintains active/shadow entities, exchanges replication and
+// forwarded-input traffic with peer replicas, serves connected clients and
+// participates in the two-sided user-migration protocol.
+//
+// One loop iteration ("tick", section II of the paper):
+//   1. receive inputs from connected users (+ forwarded inputs, shadow
+//      snapshots and migration transfers from peers),
+//   2. compute the new application state via the application logic,
+//   3. send filtered state updates to users and active-entity snapshots to
+//      peer replicas.
+// Every phase charges simulated CPU cost through the CostMeter, producing
+// the per-tick probes that the scalability model is fitted from.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "rtf/application.hpp"
+#include "rtf/messages.hpp"
+#include "rtf/monitoring.hpp"
+#include "rtf/probes.hpp"
+#include "rtf/world.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulation.hpp"
+
+namespace roia::rtf {
+
+/// Cost constants of the RTF-generic phases. Units: cost units (~reference
+/// microseconds); *PerByte values multiply encoded payload bytes, matching
+/// the paper's observation that (de)serialization effort is proportional to
+/// data size.
+struct ServerConfig {
+  SimDuration tickInterval{SimDuration::milliseconds(40)};  // 25 Hz
+
+  // Fixed per-iteration bookkeeping outside the model (kept small).
+  double tickBaseCost{12.0};
+
+  // Deserialization of client input batches (t_ua_dser).
+  double inputDserBaseCost{0.9};
+  double inputDserPerByteCost{0.045};
+
+  // Deserialization of inter-server traffic (t_fa_dser): forwarded inputs
+  // and shadow snapshots.
+  double peerDserBaseCost{0.35};
+  double peerDserPerByteCost{0.02};
+
+  // Applying a shadow snapshot to the local copy (t_fa, substrate part; the
+  // application adds index maintenance via onShadowUpdated).
+  double shadowApplyCost{0.4};
+
+  // State update serialization (t_su, substrate part, per encoded byte).
+  double updateSerBaseCost{1.0};
+  double updateSerPerByteCost{0.04};
+
+  // Replica-sync serialization, charged under t_su like all outbound state
+  // (the loop's step 3 sends state to users AND other servers).
+  double replSerBaseCost{0.8};
+  double replSerPerByteCost{0.012};
+
+  // Migration: initiating is costlier than receiving (paper Fig. 6) since
+  // the source must unsubscribe the user from every interest structure.
+  double migIniBaseCost{150.0};
+  double migIniPerEntityCost{5.0};
+  double migIniPerByteCost{0.04};
+  double migRcvBaseCost{80.0};
+  double migRcvPerEntityCost{2.2};
+  double migRcvPerByteCost{0.02};
+
+  sim::CpuCostModel::Config cpu{};
+  SimDuration monitoringWindow{SimDuration::seconds(1)};
+  /// Cadence of monitoring publication when a collector is attached.
+  SimDuration monitoringPublishPeriod{SimDuration::milliseconds(500)};
+  /// Cost of serializing + sending one monitoring snapshot.
+  double monitoringPublishCost{3.0};
+};
+
+class Server : public ForwardSink {
+ public:
+  /// Fired at the end of every tick with that tick's probes.
+  using ProbeListener = std::function<void(const Server&, const TickProbes&)>;
+  /// Fired on the *source* server when the target acknowledges adoption.
+  using MigrationCompleteFn = std::function<void(ClientId client, ServerId from, ServerId to)>;
+
+  Server(ServerId id, ZoneId zone, Application& app, sim::Simulation& simulation,
+         net::Network& network, ServerConfig config, Rng rng);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] ServerId id() const { return id_; }
+  [[nodiscard]] ZoneId zone() const { return world_.zone(); }
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] const World& world() const { return world_; }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+  /// Begins ticking; idempotent.
+  void start();
+  /// Stops ticking and detaches from the network.
+  void shutdown();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Registers/updates a peer replica of the same zone.
+  void setPeers(std::vector<std::pair<ServerId, NodeId>> peers);
+
+  /// Spawns a brand-new user avatar owned by this server (client connect).
+  /// Peers learn about it through the next replica sync.
+  void spawnUser(ClientId client, EntityId entity, NodeId clientNode, Vec2 position);
+
+  /// Spawns an NPC owned by this server (the paper distributes the zone's m
+  /// NPCs equally over the l replicas).
+  void spawnNpc(EntityId entity, Vec2 position);
+
+  /// Disconnects a user: removes the avatar and tells peers to retire it.
+  /// Returns false if the client is not active here.
+  bool disconnectUser(ClientId client);
+
+  /// Queues a migration of `client` to `target`, executed during the next
+  /// tick's migration phase. Returns false if the client is not active here
+  /// or already migrating.
+  bool requestMigration(ClientId client, ServerId target, NodeId targetNode);
+
+  void setMigrationCompleteFn(MigrationCompleteFn fn) { onMigrationComplete_ = std::move(fn); }
+  void setProbeListener(ProbeListener listener) { probeListener_ = std::move(listener); }
+
+  /// Starts publishing monitoring snapshots to `collector` every
+  /// monitoringPublishPeriod; an invalid id stops publication.
+  void setMonitoringTarget(NodeId collector) { monitoringTarget_ = collector; }
+
+  [[nodiscard]] std::size_t connectedUsers() const { return clients_.size(); }
+  /// Connected clients in ascending id order; `migratableOnly` filters out
+  /// users already in hand-over.
+  [[nodiscard]] std::vector<ClientId> clientIds(bool migratableOnly = false) const;
+  [[nodiscard]] MonitoringSnapshot monitoring() const;
+  [[nodiscard]] const sim::CpuAccount& cpuAccount() const { return cpuAccount_; }
+  [[nodiscard]] std::uint64_t tickCount() const { return tickSeq_; }
+
+  // ForwardSink: emit an interaction targeting an entity owned elsewhere.
+  void forwardInteraction(EntityId target, EntityId source,
+                          std::vector<std::uint8_t> payload) override;
+
+ private:
+  struct ClientSession {
+    NodeId clientNode;
+    EntityId entity;
+    bool migrating{false};
+  };
+
+  struct PendingMigration {
+    ClientId client;
+    ServerId target;
+    NodeId targetNode;
+  };
+
+  void onFrame(NodeId from, const ser::Frame& frame);
+  void tick();
+
+  void processMigrationArrivals();
+  void processReplication();
+  void processForwardedInputs();
+  void processClientInputs();
+  void flushForwarded();
+  void updateNpcs();
+  void sendStateUpdates();
+  void sendReplicaSync();
+  void initiateMigrations();
+  void processMigrationAcks();
+
+  ServerId id_;
+  Application& app_;
+  sim::Simulation& sim_;
+  net::Network& net_;
+  ServerConfig config_;
+  World world_;
+  Rng rng_;
+  sim::CpuCostModel cpu_;
+  CostMeter meter_;
+  sim::CpuAccount cpuAccount_;
+  MonitoringWindow monitoringWindow_;
+  NodeId node_;
+
+  std::map<ClientId, ClientSession> clients_;      // deterministic order
+  std::vector<std::pair<ServerId, NodeId>> peers_;  // same-zone replicas
+
+  // Inboxes drained at the next tick. Each entry carries the payload byte
+  // count so deserialization cost can be charged inside the tick.
+  template <class T>
+  struct Inbound {
+    T msg;
+    std::size_t bytes;
+  };
+  std::deque<Inbound<ClientInputMsg>> inClientInputs_;
+  std::deque<Inbound<ForwardedInputMsg>> inForwarded_;
+  std::deque<Inbound<EntityReplicationMsg>> inReplication_;
+  std::deque<Inbound<MigrationDataMsg>> inMigrationData_;
+  std::deque<MigrationAckMsg> inMigrationAcks_;
+
+  std::deque<PendingMigration> migrationQueue_;
+  std::vector<ForwardedInputMsg> outForwarded_;
+  std::vector<EntityId> departedEntities_;  // to announce in next sync
+
+  bool running_{false};
+  bool inTick_{false};
+  std::uint64_t tickSeq_{0};
+  std::uint64_t migrationsInitiatedTotal_{0};
+  std::uint64_t migrationsReceivedTotal_{0};
+  // Per-tick counters, folded into TickProbes at the end of each tick.
+  std::size_t tickMigrationsInitiated_{0};
+  std::size_t tickMigrationsReceived_{0};
+  std::size_t tickInputsApplied_{0};
+  std::size_t tickForwardedApplied_{0};
+  sim::EventHandle nextTick_{};
+  std::size_t lastTickActiveUsers_{0};
+
+  NodeId monitoringTarget_{};
+  SimTime lastMonitoringPublish_{SimTime::zero()};
+
+  ProbeListener probeListener_;
+  MigrationCompleteFn onMigrationComplete_;
+};
+
+}  // namespace roia::rtf

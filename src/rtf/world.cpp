@@ -1,0 +1,50 @@
+#include "rtf/world.hpp"
+
+namespace roia::rtf {
+
+EntityRecord& World::upsert(const EntityRecord& entity) {
+  auto [it, inserted] = entities_.insert_or_assign(entity.id, entity);
+  return it->second;
+}
+
+bool World::remove(EntityId id) { return entities_.erase(id) > 0; }
+
+EntityRecord* World::find(EntityId id) {
+  auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+const EntityRecord* World::find(EntityId id) const {
+  auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+std::size_t World::countIf(const std::function<bool(const EntityRecord&)>& pred) const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : entities_) {
+    if (pred(e)) ++n;
+  }
+  return n;
+}
+
+std::size_t World::activeCount(ServerId server) const {
+  return countIf([server](const EntityRecord& e) { return e.owner == server; });
+}
+
+std::size_t World::avatarCount() const {
+  return countIf([](const EntityRecord& e) { return e.isAvatar(); });
+}
+
+std::size_t World::npcCount() const {
+  return countIf([](const EntityRecord& e) { return e.isNpc(); });
+}
+
+std::vector<EntityId> World::activeIds(ServerId server) const {
+  std::vector<EntityId> ids;
+  for (const auto& [id, e] : entities_) {
+    if (e.owner == server) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace roia::rtf

@@ -1,0 +1,58 @@
+// Per-server view of one zone's application state: every entity of the zone
+// (actives + shadows) indexed for deterministic iteration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtf/entity.hpp"
+
+namespace roia::rtf {
+
+class World {
+ public:
+  explicit World(ZoneId zone) : zone_(zone) {}
+
+  [[nodiscard]] ZoneId zone() const { return zone_; }
+
+  /// Inserts or replaces an entity. Returns the stored record.
+  EntityRecord& upsert(const EntityRecord& entity);
+
+  /// Removes the entity if present; returns true when something was removed.
+  bool remove(EntityId id);
+
+  [[nodiscard]] EntityRecord* find(EntityId id);
+  [[nodiscard]] const EntityRecord* find(EntityId id) const;
+  [[nodiscard]] bool contains(EntityId id) const { return entities_.contains(id); }
+
+  [[nodiscard]] std::size_t size() const { return entities_.size(); }
+
+  /// Deterministic iteration in ascending id order.
+  template <class Fn>
+  void forEach(Fn&& fn) {
+    for (auto& [id, e] : entities_) fn(e);
+  }
+  template <class Fn>
+  void forEach(Fn&& fn) const {
+    for (const auto& [id, e] : entities_) fn(e);
+  }
+
+  /// Counts with a predicate (used by monitoring).
+  [[nodiscard]] std::size_t countIf(const std::function<bool(const EntityRecord&)>& pred) const;
+
+  [[nodiscard]] std::size_t activeCount(ServerId server) const;
+  [[nodiscard]] std::size_t avatarCount() const;
+  [[nodiscard]] std::size_t npcCount() const;
+
+  /// Ids of all entities active on `server`, ascending.
+  [[nodiscard]] std::vector<EntityId> activeIds(ServerId server) const;
+
+ private:
+  ZoneId zone_;
+  std::map<EntityId, EntityRecord> entities_;  // ordered => deterministic
+};
+
+}  // namespace roia::rtf

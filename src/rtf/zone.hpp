@@ -1,0 +1,66 @@
+// Zones: disjoint areas of the virtual environment. Zoning assigns zones to
+// distinct servers; replication lets several servers process one zone
+// cooperatively (the paper's focus); instancing creates independent copies.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/types.hpp"
+
+namespace roia::rtf {
+
+/// Geometry and identity of one zone.
+struct ZoneDescriptor {
+  ZoneId id;
+  std::string name;
+  Vec2 origin;           // lower-left corner of the rectangular area
+  Vec2 extent{1000, 1000};
+  /// For instancing: the zone this one is an instance of (invalid if none).
+  ZoneId instanceOf{};
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= origin.x && p.y >= origin.y && p.x < origin.x + extent.x &&
+           p.y < origin.y + extent.y;
+  }
+};
+
+/// Tracks which servers replicate which zone.
+class ZoneDirectory {
+ public:
+  void addZone(const ZoneDescriptor& descriptor) { zones_[descriptor.id] = descriptor; }
+  [[nodiscard]] bool hasZone(ZoneId zone) const { return zones_.contains(zone); }
+  [[nodiscard]] const ZoneDescriptor& zone(ZoneId id) const { return zones_.at(id); }
+
+  void addReplica(ZoneId zone, ServerId server) { replicas_[zone].push_back(server); }
+  void removeReplica(ZoneId zone, ServerId server) {
+    auto it = replicas_.find(zone);
+    if (it == replicas_.end()) return;
+    std::erase(it->second, server);
+  }
+
+  /// Servers replicating `zone`, in the order they were added.
+  [[nodiscard]] std::vector<ServerId> replicas(ZoneId zone) const {
+    auto it = replicas_.find(zone);
+    return it == replicas_.end() ? std::vector<ServerId>{} : it->second;
+  }
+  [[nodiscard]] std::size_t replicaCount(ZoneId zone) const {
+    auto it = replicas_.find(zone);
+    return it == replicas_.end() ? 0 : it->second.size();
+  }
+
+  [[nodiscard]] std::vector<ZoneId> zoneIds() const {
+    std::vector<ZoneId> ids;
+    ids.reserve(zones_.size());
+    for (const auto& [id, desc] : zones_) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  std::unordered_map<ZoneId, ZoneDescriptor> zones_;
+  std::unordered_map<ZoneId, std::vector<ServerId>> replicas_;
+};
+
+}  // namespace roia::rtf

@@ -1,0 +1,120 @@
+#include "serialize/byte_buffer.hpp"
+
+#include <bit>
+
+namespace roia::ser {
+
+void ByteWriter::writeU16(std::uint16_t v) {
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::writeU32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::writeU64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void ByteWriter::writeF32(float v) { writeU32(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::writeF64(double v) { writeU64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::writeVarU64(std::uint64_t v) {
+  while (v >= 0x80) {
+    buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buffer_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::writeVarI64(std::int64_t v) { writeVarU64(zigzagEncode(v)); }
+
+void ByteWriter::writeBytes(std::span<const std::uint8_t> bytes) {
+  writeVarU64(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::writeString(std::string_view s) {
+  writeVarU64(s.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  buffer_.insert(buffer_.end(), p, p + s.size());
+}
+
+std::uint8_t ByteReader::readU8() {
+  require(1);
+  return data_[offset_++];
+}
+
+std::uint16_t ByteReader::readU16() {
+  require(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[offset_]) |
+                    static_cast<std::uint16_t>(data_[offset_ + 1]) << 8;
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::readU32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[offset_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::readU64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[offset_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+float ByteReader::readF32() { return std::bit_cast<float>(readU32()); }
+
+double ByteReader::readF64() { return std::bit_cast<double>(readU64()); }
+
+std::uint64_t ByteReader::readVarU64() {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    require(1);
+    const std::uint8_t byte = data_[offset_++];
+    if (shift == 63 && (byte & 0xFE) != 0) throw DecodeError("varint overflow");
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) throw DecodeError("varint too long");
+  }
+  return result;
+}
+
+std::int64_t ByteReader::readVarI64() { return zigzagDecode(readVarU64()); }
+
+std::vector<std::uint8_t> ByteReader::readBytes() {
+  const std::uint64_t len = readVarU64();
+  require(len);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(offset_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(offset_ + len));
+  offset_ += len;
+  return out;
+}
+
+std::string ByteReader::readString() {
+  const std::uint64_t len = readVarU64();
+  require(len);
+  std::string out(reinterpret_cast<const char*>(data_.data() + offset_), len);
+  offset_ += len;
+  return out;
+}
+
+}  // namespace roia::ser

@@ -1,0 +1,104 @@
+// Binary (de)serialization primitives used by the simulated network stack.
+//
+// RTF performs implicit (de)serialization of user inputs and state updates;
+// this module is our equivalent. Encoded sizes feed both the bandwidth model
+// and the CPU cost model (serialization cost is proportional to bytes, which
+// is exactly the assumption the paper makes for t_su / t_*_dser).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roia::ser {
+
+/// Thrown by ByteReader on malformed or truncated input.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only encoder. Integers use little-endian fixed width or LEB128
+/// varints; floats are bit-cast to their IEEE-754 representation.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserveBytes) { buffer_.reserve(reserveBytes); }
+
+  void writeU8(std::uint8_t v) { buffer_.push_back(v); }
+  void writeU16(std::uint16_t v);
+  void writeU32(std::uint32_t v);
+  void writeU64(std::uint64_t v);
+  void writeI32(std::int32_t v) { writeU32(static_cast<std::uint32_t>(v)); }
+  void writeI64(std::int64_t v) { writeU64(static_cast<std::uint64_t>(v)); }
+  void writeF32(float v);
+  void writeF64(double v);
+  void writeBool(bool v) { writeU8(v ? 1 : 0); }
+
+  /// Unsigned LEB128 varint (1-10 bytes).
+  void writeVarU64(std::uint64_t v);
+  /// Signed varint via zigzag encoding.
+  void writeVarI64(std::int64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void writeBytes(std::span<const std::uint8_t> bytes);
+  void writeString(std::string_view s);
+
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return buffer_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && { return std::move(buffer_); }
+  void clear() { buffer_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+};
+
+/// Consuming decoder over a borrowed byte span. Every read validates bounds
+/// and throws DecodeError on truncation, so corrupted frames cannot smear
+/// into undefined behaviour.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t readU8();
+  std::uint16_t readU16();
+  std::uint32_t readU32();
+  std::uint64_t readU64();
+  std::int32_t readI32() { return static_cast<std::int32_t>(readU32()); }
+  std::int64_t readI64() { return static_cast<std::int64_t>(readU64()); }
+  float readF32();
+  double readF64();
+  bool readBool() { return readU8() != 0; }
+
+  std::uint64_t readVarU64();
+  std::int64_t readVarI64();
+
+  std::vector<std::uint8_t> readBytes();
+  std::string readString();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - offset_; }
+  [[nodiscard]] bool atEnd() const { return remaining() == 0; }
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+
+ private:
+  void require(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated buffer");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_{0};
+};
+
+/// Zigzag transforms for signed varints.
+constexpr std::uint64_t zigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzagDecode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace roia::ser

@@ -1,0 +1,35 @@
+#include "serialize/crc32.hpp"
+
+#include <array>
+
+namespace roia::ser {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> buildTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = buildTable();
+
+}  // namespace
+
+std::uint32_t crc32Update(std::uint32_t state, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t byte : data) {
+    state = kTable[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32Final(crc32Update(crc32Init(), data));
+}
+
+}  // namespace roia::ser

@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for message-frame integrity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace roia::ser {
+
+/// CRC-32 of the byte span (init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental form: feed `state = crc32Update(state, chunk)` starting from
+/// crc32Init() and finish with crc32Final(state).
+[[nodiscard]] constexpr std::uint32_t crc32Init() { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32Update(std::uint32_t state, std::span<const std::uint8_t> data);
+[[nodiscard]] constexpr std::uint32_t crc32Final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+}  // namespace roia::ser

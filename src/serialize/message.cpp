@@ -1,0 +1,52 @@
+#include "serialize/message.hpp"
+
+#include "serialize/crc32.hpp"
+
+namespace roia::ser {
+namespace {
+
+std::size_t varintSize(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encodeFrame(const Frame& frame) {
+  ByteWriter writer(encodedFrameSize(frame.payload.size()));
+  writer.writeU16(kFrameMagic);
+  writer.writeU16(static_cast<std::uint16_t>(frame.type));
+  writer.writeVarU64(frame.payload.size());
+  for (const std::uint8_t b : frame.payload) writer.writeU8(b);
+  const std::uint32_t crc = crc32(writer.bytes());
+  writer.writeU32(crc);
+  return std::move(writer).take();
+}
+
+Frame decodeFrame(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4 + 1 + 4) throw DecodeError("frame too short");
+  // CRC covers everything except the trailing 4 CRC bytes.
+  const auto body = bytes.subspan(0, bytes.size() - 4);
+  ByteReader crcReader(bytes.subspan(bytes.size() - 4));
+  const std::uint32_t expected = crcReader.readU32();
+  if (crc32(body) != expected) throw DecodeError("frame CRC mismatch");
+
+  ByteReader reader(body);
+  if (reader.readU16() != kFrameMagic) throw DecodeError("bad frame magic");
+  Frame frame;
+  frame.type = static_cast<MessageType>(reader.readU16());
+  const std::uint64_t length = reader.readVarU64();
+  if (length != reader.remaining()) throw DecodeError("frame length mismatch");
+  frame.payload.assign(body.begin() + static_cast<std::ptrdiff_t>(reader.offset()), body.end());
+  return frame;
+}
+
+std::size_t encodedFrameSize(std::size_t payloadSize) {
+  return 2 + 2 + varintSize(payloadSize) + payloadSize + 4;
+}
+
+}  // namespace roia::ser

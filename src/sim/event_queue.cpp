@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace roia::sim {
+
+EventHandle EventQueue::schedule(SimTime at, EventFn fn) {
+  const std::uint64_t seq = nextSeq_++;
+  heap_.push(Entry{at, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventHandle{seq};
+}
+
+void EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  callbacks_.erase(handle.seq);
+  // The heap entry stays; skipDead() discards it lazily.
+}
+
+void EventQueue::skipDead() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::nextTime() const {
+  skipDead();
+  return heap_.empty() ? SimTime::max() : heap_.top().at;
+}
+
+EventFn EventQueue::pop(SimTime& at) {
+  skipDead();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.seq);
+  EventFn fn = std::move(it->second);
+  callbacks_.erase(it);
+  at = entry.at;
+  return fn;
+}
+
+}  // namespace roia::sim

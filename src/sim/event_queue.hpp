@@ -1,0 +1,62 @@
+// Deterministic discrete-event queue.
+//
+// Events at the same simulated time fire in insertion order (FIFO tie-break
+// via a monotonically increasing sequence number), which is what makes whole
+// experiment runs bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace roia::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancelling a scheduled event.
+struct EventHandle {
+  std::uint64_t seq{0};
+  [[nodiscard]] bool valid() const { return seq != 0; }
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Returns a cancellation handle.
+  EventHandle schedule(SimTime at, EventFn fn);
+
+  /// Removes the event if it has not fired yet; safe on stale handles.
+  void cancel(EventHandle handle);
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+
+  /// Time of the earliest live event; SimTime::max() when empty.
+  [[nodiscard]] SimTime nextTime() const;
+
+  /// Pops the earliest live event; returns its callback and writes its
+  /// scheduled time to `at`. Must not be called when empty().
+  EventFn pop(SimTime& at);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  /// Discards heap entries whose callback was cancelled.
+  void skipDead() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<std::uint64_t, EventFn> callbacks_;
+  std::uint64_t nextSeq_{1};
+};
+
+}  // namespace roia::sim

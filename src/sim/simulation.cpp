@@ -1,0 +1,62 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace roia::sim {
+
+EventHandle Simulation::scheduleAt(SimTime at, EventFn fn) {
+  if (at < now_) at = now_;
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventHandle Simulation::scheduleAfter(SimDuration delay, EventFn fn) {
+  return scheduleAt(now_ + delay, std::move(fn));
+}
+
+Simulation::PeriodicToken Simulation::schedulePeriodic(SimDuration period,
+                                                       std::function<bool(SimTime)> fn) {
+  auto alive = std::make_shared<bool>(true);
+  // Self-rescheduling closure; owns the user callback.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), alive, tick]() {
+    if (!*alive) return;
+    if (!fn(now_)) {
+      *alive = false;
+      return;
+    }
+    if (*alive) {
+      scheduleAfter(period, *tick);
+    }
+  };
+  scheduleAfter(period, *tick);
+  return PeriodicToken{std::move(alive)};
+}
+
+void Simulation::cancelPeriodic(PeriodicToken& token) {
+  if (token.alive) *token.alive = false;
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  SimTime at;
+  EventFn fn = queue_.pop(at);
+  now_ = at;
+  ++executed_;
+  fn();
+  return true;
+}
+
+void Simulation::runUntil(SimTime until) {
+  while (!queue_.empty() && queue_.nextTime() <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulation::runAll() {
+  while (step()) {
+  }
+}
+
+}  // namespace roia::sim

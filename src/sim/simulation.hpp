@@ -1,0 +1,58 @@
+// The simulation kernel: a clock plus the event queue, with helpers for
+// periodic processes. Every experiment run is a single-threaded, fully
+// deterministic traversal of this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/types.hpp"
+#include "sim/event_queue.hpp"
+
+namespace roia::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now for past times).
+  EventHandle scheduleAt(SimTime at, EventFn fn);
+  /// Schedules `fn` after `delay` from now.
+  EventHandle scheduleAfter(SimDuration delay, EventFn fn);
+  void cancel(EventHandle handle) { queue_.cancel(handle); }
+
+  /// Repeats `fn(now)` every `period`, first firing at now + period, until
+  /// `fn` returns false or the returned handle is cancelled via
+  /// cancelPeriodic. Note: the handle changes internally each period, so
+  /// periodic tasks are cancelled through the returned token.
+  struct PeriodicToken {
+    std::shared_ptr<bool> alive;
+  };
+  PeriodicToken schedulePeriodic(SimDuration period, std::function<bool(SimTime)> fn);
+  static void cancelPeriodic(PeriodicToken& token);
+
+  /// Executes a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or the clock would pass `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void runUntil(SimTime until);
+
+  /// Runs until the queue drains.
+  void runAll();
+
+  [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_{SimTime::zero()};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace roia::sim

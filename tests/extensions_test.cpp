@@ -1,0 +1,231 @@
+// Tests for the extension features: the bandwidth model (the paper's stated
+// future work), multi-zone management with a shared resource pool (zoning),
+// and cross-zone user travel.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "game/measurement.hpp"
+#include "model/bandwidth.hpp"
+#include "rms/manager.hpp"
+#include "rms/model_strategy.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia {
+namespace {
+
+// ---------- bandwidth model ----------
+
+model::BandwidthSample syntheticSample(std::size_t n, std::size_t l = 2) {
+  model::BandwidthSample s;
+  s.users = n;
+  s.replicas = l;
+  const double dn = static_cast<double>(n);
+  s.ingressBytesPerSec = 800.0 + 550.0 * dn;
+  s.egressBytesPerSec = 10000.0 + 250.0 * dn + 20.0 * dn * dn;
+  return s;
+}
+
+TEST(BandwidthModelTest, FitsSyntheticRates) {
+  std::vector<model::BandwidthSample> samples;
+  for (std::size_t n = 40; n <= 280; n += 40) samples.push_back(syntheticSample(n));
+  const model::BandwidthModel bw = model::BandwidthModel::fit(samples);
+  EXPECT_EQ(bw.replicas(), 2u);
+  EXPECT_NEAR(bw.predictEgressBytesPerSec(200), 10000.0 + 50000.0 + 800000.0, 2000.0);
+  EXPECT_NEAR(bw.predictIngressBytesPerSec(200), 800.0 + 110000.0, 1000.0);
+  EXPECT_GT(bw.egressFunction().gof.r2, 0.999);
+}
+
+TEST(BandwidthModelTest, RejectsBadInput) {
+  std::vector<model::BandwidthSample> tooFew{syntheticSample(40), syntheticSample(80)};
+  EXPECT_THROW(model::BandwidthModel::fit(tooFew), std::invalid_argument);
+  std::vector<model::BandwidthSample> mixed{syntheticSample(40, 1), syntheticSample(80, 2),
+                                            syntheticSample(120, 2)};
+  EXPECT_THROW(model::BandwidthModel::fit(mixed), std::invalid_argument);
+}
+
+TEST(BandwidthModelTest, AsymmetryGrowsWithPopulation) {
+  std::vector<model::BandwidthSample> samples;
+  for (std::size_t n = 40; n <= 280; n += 40) samples.push_back(syntheticSample(n));
+  const model::BandwidthModel bw = model::BandwidthModel::fit(samples);
+  EXPECT_GT(bw.asymmetry(100), 1.0);
+  EXPECT_GT(bw.asymmetry(250), bw.asymmetry(100));
+}
+
+TEST(BandwidthModelTest, NMaxForLinkBoundary) {
+  std::vector<model::BandwidthSample> samples;
+  for (std::size_t n = 40; n <= 280; n += 40) samples.push_back(syntheticSample(n));
+  const model::BandwidthModel bw = model::BandwidthModel::fit(samples);
+  const double link = 12.5e6;  // 100 Mbit/s
+  const std::size_t nMax = bw.nMaxForLink(link);
+  EXPECT_LT(bw.predictEgressBytesPerSec(static_cast<double>(nMax)), link);
+  EXPECT_GE(bw.predictEgressBytesPerSec(static_cast<double>(nMax + 1)), link);
+  // A tiny link fits nobody; a giant one is capped by the search bound.
+  EXPECT_EQ(bw.nMaxForLink(1.0), 0u);
+  EXPECT_EQ(bw.nMaxForLink(1e18, 5000), 5000u);
+}
+
+TEST(BandwidthMeasurementTest, RealTrafficIsEgressDominatedAndGrows) {
+  game::MeasurementConfig config;
+  config.warmup = SimDuration::seconds(1);
+  config.measure = SimDuration::seconds(2);
+  const model::BandwidthSample small = game::measureBandwidth(config, 40, 2);
+  const model::BandwidthSample large = game::measureBandwidth(config, 160, 2);
+  EXPECT_GT(small.egressBytesPerSec, small.ingressBytesPerSec);
+  EXPECT_GT(large.egressBytesPerSec, large.ingressBytesPerSec);
+  EXPECT_GT(large.egressBytesPerSec, 2.0 * small.egressBytesPerSec);  // superlinear
+  EXPECT_GT(large.ingressBytesPerSec, small.ingressBytesPerSec);
+}
+
+// ---------- cross-zone travel ----------
+
+struct TravelFixture {
+  game::FpsApplication app;
+  rtf::Cluster cluster;
+  ZoneId zoneA;
+  ZoneId zoneB;
+  ServerId serverA;
+  ServerId serverB;
+
+  TravelFixture() : cluster(app, rtf::ClusterConfig{}) {
+    zoneA = cluster.createZone("A");
+    zoneB = cluster.createZone("B");
+    serverA = cluster.addServer(zoneA);
+    serverB = cluster.addServer(zoneB);
+  }
+};
+
+TEST(TravelTest, MovesClientBetweenZones) {
+  TravelFixture f;
+  const ClientId c = f.cluster.connectClient(f.zoneA, std::make_unique<game::BotProvider>());
+  f.cluster.run(SimDuration::milliseconds(500));
+  const EntityId oldAvatar = f.cluster.client(c).avatar();
+
+  ASSERT_TRUE(f.cluster.travelClient(c, f.zoneB));
+  f.cluster.run(SimDuration::milliseconds(500));
+
+  EXPECT_EQ(f.cluster.zoneUserCount(f.zoneA), 0u);
+  EXPECT_EQ(f.cluster.zoneUserCount(f.zoneB), 1u);
+  EXPECT_EQ(f.cluster.clientServer(c), f.serverB);
+  // The old avatar is gone from zone A; a fresh one exists in zone B.
+  EXPECT_EQ(f.cluster.server(f.serverA).world().find(oldAvatar), nullptr);
+  const EntityId newAvatar = f.cluster.client(c).avatar();
+  EXPECT_NE(newAvatar, oldAvatar);
+  ASSERT_NE(f.cluster.server(f.serverB).world().find(newAvatar), nullptr);
+}
+
+TEST(TravelTest, ClientKeepsReceivingUpdatesAfterTravel) {
+  TravelFixture f;
+  const ClientId c = f.cluster.connectClient(f.zoneA, std::make_unique<game::BotProvider>());
+  f.cluster.run(SimDuration::seconds(1));
+  ASSERT_TRUE(f.cluster.travelClient(c, f.zoneB));
+  const std::uint64_t before = f.cluster.client(c).updatesReceived();
+  f.cluster.run(SimDuration::seconds(1));
+  EXPECT_GT(f.cluster.client(c).updatesReceived(), before + 10);
+}
+
+TEST(TravelTest, RejectsInvalidTravel) {
+  TravelFixture f;
+  const ClientId c = f.cluster.connectClient(f.zoneA, std::make_unique<game::BotProvider>());
+  EXPECT_FALSE(f.cluster.travelClient(c, f.zoneA));            // same zone
+  EXPECT_FALSE(f.cluster.travelClient(ClientId{999}, f.zoneB));  // unknown client
+  const ZoneId empty = f.cluster.createZone("empty");
+  EXPECT_FALSE(f.cluster.travelClient(c, empty));  // no servers there
+}
+
+TEST(TravelTest, PicksLeastLoadedReplicaInTargetZone) {
+  TravelFixture f;
+  const ServerId serverB2 = f.cluster.addServer(f.zoneB);
+  for (int i = 0; i < 4; ++i) {
+    f.cluster.connectClientTo(f.serverB, std::make_unique<game::BotProvider>());
+  }
+  const ClientId c = f.cluster.connectClient(f.zoneA, std::make_unique<game::BotProvider>());
+  ASSERT_TRUE(f.cluster.travelClient(c, f.zoneB));
+  EXPECT_EQ(f.cluster.clientServer(c), serverB2);
+}
+
+// ---------- multi-zone RMS ----------
+
+model::TickModel paperLikeTickModel() {
+  model::ModelParameters params;
+  params.set(model::ParamKind::kUaDser, model::ParamFunction::linear(1.0, 0.0015));
+  params.set(model::ParamKind::kUa, model::ParamFunction::quadratic(1.2, 0.009, 1.2e-4));
+  params.set(model::ParamKind::kAoi, model::ParamFunction::quadratic(0.1, 0.45, 0.8e-4));
+  params.set(model::ParamKind::kSu, model::ParamFunction::linear(1.5, 0.2));
+  params.set(model::ParamKind::kFaDser, model::ParamFunction::linear(0.55, 0.0007));
+  params.set(model::ParamKind::kFa, model::ParamFunction::linear(0.9, 0.0023));
+  params.set(model::ParamKind::kMigIni, model::ParamFunction::linear(150.0, 5.0));
+  params.set(model::ParamKind::kMigRcv, model::ParamFunction::linear(80.0, 2.2));
+  return model::TickModel(params);
+}
+
+TEST(MultiZoneRmsTest, ScalesZonesIndependently) {
+  game::FpsApplication app;
+  rtf::Cluster cluster(app, rtf::ClusterConfig{});
+  const ZoneId busy = cluster.createZone("busy");
+  const ZoneId quiet = cluster.createZone("quiet");
+  cluster.addServer(busy);
+  cluster.addServer(quiet);
+  for (int i = 0; i < 210; ++i) {
+    cluster.connectClient(busy, std::make_unique<game::BotProvider>());
+  }
+  for (int i = 0; i < 30; ++i) {
+    cluster.connectClient(quiet, std::make_unique<game::BotProvider>());
+  }
+
+  rms::RmsConfig config;
+  config.controlPeriod = SimDuration::milliseconds(500);
+  config.serverStartupDelay = SimDuration::seconds(1);
+  rms::RmsManager manager(cluster, std::vector<ZoneId>{busy, quiet},
+                          std::make_unique<rms::ModelDrivenStrategy>(paperLikeTickModel(),
+                                                                     rms::ModelStrategyConfig{}),
+                          rms::ResourcePool{}, config);
+  manager.start();
+  cluster.run(SimDuration::seconds(10));
+  manager.stop();
+
+  // The busy zone (210 > trigger 191) gained a replica; the quiet one kept
+  // its single server.
+  EXPECT_GE(cluster.zones().replicaCount(busy), 2u);
+  EXPECT_EQ(cluster.zones().replicaCount(quiet), 1u);
+  EXPECT_EQ(cluster.zoneUserCount(busy), 210u);
+  EXPECT_EQ(cluster.zoneUserCount(quiet), 30u);
+  // One aggregate timeline covering both zones.
+  ASSERT_FALSE(manager.timeline().empty());
+  EXPECT_EQ(manager.timeline().back().users, 240u);
+}
+
+TEST(MultiZoneRmsTest, SharedPoolLimitsBothZones) {
+  game::FpsApplication app;
+  rtf::Cluster cluster(app, rtf::ClusterConfig{});
+  const ZoneId a = cluster.createZone("a");
+  const ZoneId b = cluster.createZone("b");
+  cluster.addServer(a);
+  cluster.addServer(b);
+  for (int i = 0; i < 200; ++i) {
+    cluster.connectClient(a, std::make_unique<game::BotProvider>());
+    cluster.connectClient(b, std::make_unique<game::BotProvider>());
+  }
+
+  // Pool with exactly the two initial servers plus ONE spare: only one zone
+  // can replicate even though both want to.
+  rms::ResourcePool pool({{"standard", 1.0, 1.0, 3}});
+  rms::RmsConfig config;
+  config.controlPeriod = SimDuration::milliseconds(500);
+  config.serverStartupDelay = SimDuration::milliseconds(500);
+  rms::RmsManager manager(cluster, std::vector<ZoneId>{a, b},
+                          std::make_unique<rms::ModelDrivenStrategy>(paperLikeTickModel(),
+                                                                     rms::ModelStrategyConfig{}),
+                          std::move(pool), config);
+  manager.start();
+  cluster.run(SimDuration::seconds(8));
+  manager.stop();
+
+  EXPECT_EQ(cluster.serverCount(), 3u);  // 2 initial + the single spare
+  EXPECT_EQ(manager.replicasAdded(), 1u);
+}
+
+}  // namespace
+}  // namespace roia

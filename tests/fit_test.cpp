@@ -1,0 +1,259 @@
+// Tests for the fitting pipeline: dense linear algebra, closed-form
+// polynomial least squares and Levenberg-Marquardt, including recovery of
+// known coefficients from noisy data (the paper's gnuplot workflow).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "fit/gof.hpp"
+#include "fit/levmar.hpp"
+#include "fit/matrix.hpp"
+#include "fit/polyfit.hpp"
+
+namespace roia::fit {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  m(1, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW(Matrix({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityAndMultiply) {
+  const Matrix i = Matrix::identity(3);
+  Matrix m({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(i * m, m);
+  EXPECT_EQ(m * i, m);
+}
+
+TEST(MatrixTest, MultiplyKnown) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  EXPECT_EQ(a * b, Matrix({{19, 22}, {43, 50}}));
+  EXPECT_THROW(a * Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{4, 3}, {2, 1}});
+  EXPECT_EQ(a + b, Matrix({{5, 5}, {5, 5}}));
+  EXPECT_EQ(a - a, Matrix(2, 2));
+  Matrix c = a;
+  c *= 2.0;
+  EXPECT_EQ(c, Matrix({{2, 4}, {6, 8}}));
+}
+
+TEST(MatrixTest, TransposedAndMatvec) {
+  Matrix a({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(a.transposed(), Matrix({{1, 4}, {2, 5}, {3, 6}}));
+  const std::vector<double> v{1, 1, 1};
+  const std::vector<double> out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(CholeskyTest, FactorizesSpd) {
+  Matrix a({{4, 2}, {2, 3}});
+  const Matrix l = cholesky(a);
+  // Reconstruct L * L^T.
+  const Matrix reconstructed = l * l.transposed();
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(reconstructed(r, c), a(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  EXPECT_THROW(cholesky(Matrix({{0, 0}, {0, 0}})), SingularMatrixError);
+  EXPECT_THROW(cholesky(Matrix({{1, 5}, {5, 1}})), SingularMatrixError);
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(CholeskyTest, SolveRecoversSolution) {
+  Matrix a({{25, 15, -5}, {15, 18, 0}, {-5, 0, 11}});
+  const std::vector<double> xTrue{1.0, -2.0, 3.0};
+  const std::vector<double> b = a.multiply(xTrue);
+  const std::vector<double> x = choleskySolve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-10);
+}
+
+TEST(PolyFitTest, ExactLinear) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.5 + 1.5 * xi);
+  const auto c = polyFit(x, y, 1);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c[0], 2.5, 1e-9);
+  EXPECT_NEAR(c[1], 1.5, 1e-9);
+}
+
+TEST(PolyFitTest, ExactQuadraticAtGameScale) {
+  // Magnitudes match the model's use: n up to ~600, costs in microseconds.
+  std::vector<double> x, y;
+  for (double n = 10; n <= 600; n += 10) {
+    x.push_back(n);
+    y.push_back(1.4 + 0.03 * n + 5e-4 * n * n);
+  }
+  const auto c = polyFit(x, y, 2);
+  EXPECT_NEAR(c[0], 1.4, 1e-6);
+  EXPECT_NEAR(c[1], 0.03, 1e-8);
+  EXPECT_NEAR(c[2], 5e-4, 1e-10);
+}
+
+TEST(PolyFitTest, NoisyRecovery) {
+  Rng rng(21);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double xi = rng.uniform(1, 300);
+    x.push_back(xi);
+    y.push_back((3.0 + 0.2 * xi) * rng.normal(1.0, 0.05));
+  }
+  const auto c = polyFit(x, y, 1);
+  EXPECT_NEAR(c[0], 3.0, 0.15);
+  EXPECT_NEAR(c[1], 0.2, 0.01);
+}
+
+TEST(PolyFitTest, WeightsBiasTowardHeavySamples) {
+  // Two clusters with different y at the same x-structure; heavy weights on
+  // the first cluster must pull the constant toward it.
+  const std::vector<double> x{1, 2, 3, 1, 2, 3};
+  const std::vector<double> y{10, 10, 10, 0, 0, 0};
+  const std::vector<double> wHeavyFirst{100, 100, 100, 1, 1, 1};
+  const auto c = polyFitWeighted(x, y, wHeavyFirst, 0);
+  EXPECT_GT(c[0], 9.0);
+}
+
+TEST(PolyFitTest, ErrorsOnBadInput) {
+  const std::vector<double> x{1, 2};
+  const std::vector<double> y{1};
+  EXPECT_THROW(polyFit(x, y, 1), std::invalid_argument);
+  const std::vector<double> x2{1, 2};
+  const std::vector<double> y2{1, 2};
+  EXPECT_THROW(polyFit(x2, y2, 2), std::invalid_argument);  // too few samples
+}
+
+TEST(LevMarTest, RecoversLinear) {
+  std::vector<double> x, y;
+  for (double xi = 0; xi <= 50; ++xi) {
+    x.push_back(xi);
+    y.push_back(4.0 - 0.5 * xi);
+  }
+  const auto result = levenbergMarquardt(models::linear(), x, y, {0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.coeffs[0], 4.0, 1e-6);
+  EXPECT_NEAR(result.coeffs[1], -0.5, 1e-7);
+  EXPECT_LT(result.sse, 1e-10);
+}
+
+TEST(LevMarTest, RecoversQuadraticFromPoorStart) {
+  std::vector<double> x, y;
+  for (double xi = 1; xi <= 300; xi += 3) {
+    x.push_back(xi);
+    y.push_back(1.5 + 0.03 * xi + 5e-4 * xi * xi);
+  }
+  const auto result =
+      levenbergMarquardt(models::quadratic(), x, y, {100.0, -1.0, 0.1});
+  EXPECT_NEAR(result.coeffs[0], 1.5, 1e-3);
+  EXPECT_NEAR(result.coeffs[1], 0.03, 1e-5);
+  EXPECT_NEAR(result.coeffs[2], 5e-4, 1e-7);
+}
+
+TEST(LevMarTest, RecoversPowerLaw) {
+  std::vector<double> x, y;
+  for (double xi = 1; xi <= 100; xi += 1) {
+    x.push_back(xi);
+    y.push_back(2.0 * std::pow(xi, 1.3));
+  }
+  const auto result = levenbergMarquardt(models::powerLaw(), x, y, {1.0, 1.0});
+  EXPECT_NEAR(result.coeffs[0], 2.0, 1e-3);
+  EXPECT_NEAR(result.coeffs[1], 1.3, 1e-4);
+}
+
+TEST(LevMarTest, NoisyQuadraticCloseToTruth) {
+  Rng rng(31);
+  std::vector<double> x, y;
+  for (int i = 0; i < 3000; ++i) {
+    const double xi = rng.uniform(10, 300);
+    x.push_back(xi);
+    y.push_back((2.0 + 0.05 * xi + 3e-4 * xi * xi) * rng.normal(1.0, 0.08));
+  }
+  const auto result = levenbergMarquardt(models::quadratic(), x, y, {0.0, 0.0, 0.0});
+  EXPECT_NEAR(result.coeffs[1], 0.05, 0.01);
+  EXPECT_NEAR(result.coeffs[2], 3e-4, 5e-5);
+}
+
+TEST(LevMarTest, InputValidation) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> yShort{1, 2};
+  EXPECT_THROW(levenbergMarquardt(models::linear(), x, yShort, {0, 0}), std::invalid_argument);
+  const std::vector<double> xTiny{1};
+  const std::vector<double> yTiny{1};
+  EXPECT_THROW(levenbergMarquardt(models::linear(), xTiny, yTiny, {0, 0}),
+               std::invalid_argument);
+}
+
+TEST(LevMarTest, MatchesClosedFormOnPolynomials) {
+  Rng rng(41);
+  std::vector<double> x, y;
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.uniform(0, 200);
+    x.push_back(xi);
+    y.push_back(1.0 + 0.1 * xi + rng.normal(0.0, 0.5));
+  }
+  const auto closed = polyFit(x, y, 1);
+  const auto lm = levenbergMarquardt(models::linear(), x, y, {0.0, 0.0});
+  EXPECT_NEAR(lm.coeffs[0], closed[0], 1e-4);
+  EXPECT_NEAR(lm.coeffs[1], closed[1], 1e-6);
+}
+
+class PolynomialDegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PolynomialDegreeSweep, PolyFitRecoversArbitraryDegree) {
+  const std::size_t degree = GetParam();
+  Rng rng(50 + degree);
+  std::vector<double> truth(degree + 1);
+  for (auto& c : truth) c = rng.uniform(-1.0, 1.0);
+  std::vector<double> x, y;
+  for (int i = 0; i <= 60; ++i) {
+    const double xi = static_cast<double>(i) / 10.0;
+    x.push_back(xi);
+    double acc = 0.0;
+    for (std::size_t d = truth.size(); d-- > 0;) acc = acc * xi + truth[d];
+    y.push_back(acc);
+  }
+  const auto c = polyFit(x, y, degree);
+  for (std::size_t d = 0; d <= degree; ++d) {
+    EXPECT_NEAR(c[d], truth[d], 1e-6) << "degree " << degree << " coeff " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolynomialDegreeSweep, ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(GofTest, PerfectFitHasR2One) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  const std::vector<double> coeffs{0.0, 2.0};
+  const auto gof = evaluateFit(models::linear(), x, y, coeffs);
+  EXPECT_NEAR(gof.r2, 1.0, 1e-12);
+  EXPECT_NEAR(gof.rmse, 0.0, 1e-12);
+}
+
+TEST(GofTest, MeanPredictorHasR2Zero) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{1, 3, 5, 7};  // mean 4
+  const std::vector<double> coeffs{4.0, 0.0};
+  const auto gof = evaluateFit(models::linear(), x, y, coeffs);
+  EXPECT_NEAR(gof.r2, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace roia::fit

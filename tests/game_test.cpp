@@ -1,0 +1,453 @@
+// Tests for the FPS demo application: command/update codecs, game mechanics
+// (movement, attacks, respawn, AOI), cost-shape properties that the paper's
+// parameter analysis relies on, bots and workload scenarios.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "game/bots.hpp"
+#include "game/commands.hpp"
+#include "game/fps_app.hpp"
+#include "game/scenario.hpp"
+#include "game/state_update.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia::game {
+namespace {
+
+// ---------- codecs ----------
+
+TEST(CommandsTest, EmptyBatch) {
+  const CommandBatch decoded = decodeCommands(encodeCommands(CommandBatch{}));
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(CommandsTest, MoveOnlyRoundTrip) {
+  CommandBatch batch;
+  batch.move = MoveCommand{{0.6, -0.8}};
+  const CommandBatch decoded = decodeCommands(encodeCommands(batch));
+  ASSERT_TRUE(decoded.move.has_value());
+  EXPECT_FALSE(decoded.attack.has_value());
+  EXPECT_NEAR(decoded.move->direction.x, 0.6, 1e-6);
+  EXPECT_NEAR(decoded.move->direction.y, -0.8, 1e-6);
+}
+
+TEST(CommandsTest, FullBatchRoundTrip) {
+  CommandBatch batch;
+  batch.move = MoveCommand{{1, 0}};
+  batch.attack = AttackCommand{EntityId{4242}, {0, 1}};
+  const CommandBatch decoded = decodeCommands(encodeCommands(batch));
+  ASSERT_TRUE(decoded.attack.has_value());
+  EXPECT_EQ(decoded.attack->target, EntityId{4242});
+  EXPECT_NEAR(decoded.attack->aim.y, 1.0, 1e-6);
+}
+
+TEST(CommandsTest, AttackGrowsPayload) {
+  CommandBatch moveOnly;
+  moveOnly.move = MoveCommand{{1, 0}};
+  CommandBatch both = moveOnly;
+  both.attack = AttackCommand{EntityId{1}, {1, 0}};
+  // More commands -> more bytes -> more deserialization cost (the paper's
+  // linear t_ua_dser argument).
+  EXPECT_GT(encodeCommands(both).size(), encodeCommands(moveOnly).size());
+}
+
+TEST(CommandsTest, InteractionRoundTrip) {
+  const Interaction decoded =
+      decodeInteraction(encodeInteraction({Interaction::Kind::kAttack, 12.5}));
+  EXPECT_EQ(decoded.kind, Interaction::Kind::kAttack);
+  EXPECT_DOUBLE_EQ(decoded.damage, 12.5);
+  const Interaction credit =
+      decodeInteraction(encodeInteraction({Interaction::Kind::kKillCredit, 0.0}));
+  EXPECT_EQ(credit.kind, Interaction::Kind::kKillCredit);
+}
+
+TEST(StateUpdateTest, RoundTrip) {
+  StateUpdatePayload payload;
+  payload.self = {EntityId{1}, 10.0f, 20.0f, 90.0f};
+  payload.visible.push_back({EntityId{2}, 1.0f, 2.0f, 50.0f});
+  payload.visible.push_back({EntityId{3}, -1.0f, -2.0f, 100.0f});
+  const StateUpdatePayload decoded = decodeStateUpdate(encodeStateUpdate(payload));
+  EXPECT_EQ(decoded.self.id, EntityId{1});
+  ASSERT_EQ(decoded.visible.size(), 2u);
+  EXPECT_EQ(decoded.visible[1].id, EntityId{3});
+  EXPECT_FLOAT_EQ(decoded.visible[1].health, 100.0f);
+}
+
+TEST(StateUpdateTest, SizeGrowsLinearlyWithVisible) {
+  StateUpdatePayload small, large;
+  small.self = large.self = {EntityId{1}, 0, 0, 100};
+  for (int i = 0; i < 10; ++i) small.visible.push_back({EntityId{static_cast<std::uint64_t>(i)}, 0, 0, 100});
+  for (int i = 0; i < 20; ++i) large.visible.push_back({EntityId{static_cast<std::uint64_t>(i)}, 0, 0, 100});
+  const std::size_t sSmall = encodeStateUpdate(small).size();
+  const std::size_t sLarge = encodeStateUpdate(large).size();
+  EXPECT_NEAR(static_cast<double>(sLarge - sSmall), 10.0 * 13.0, 25.0);
+}
+
+// ---------- game mechanics through the application interface ----------
+
+struct AppFixture {
+  FpsConfig config;
+  FpsApplication app;
+  rtf::World world{ZoneId{1}};
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter{cpu};
+  rtf::TickProbes probes;
+  Rng rng{7};
+
+  struct NullSink : rtf::ForwardSink {
+    std::vector<rtf::ForwardedInputMsg> forwarded;
+    void forwardInteraction(EntityId target, EntityId source,
+                            std::vector<std::uint8_t> payload) override {
+      forwarded.push_back({target, source, std::move(payload)});
+    }
+  } sink;
+
+  explicit AppFixture(FpsConfig c = {}) : config(c), app(c) { meter.beginTick(probes); }
+
+  rtf::EntityRecord& addAvatar(std::uint64_t id, ServerId owner, Vec2 pos,
+                               double health = 100.0) {
+    rtf::EntityRecord e;
+    e.id = EntityId{id};
+    e.kind = rtf::EntityKind::kAvatar;
+    e.zone = ZoneId{1};
+    e.owner = owner;
+    e.client = ClientId{id};
+    e.position = pos;
+    e.health = health;
+    e.version = 1;
+    return world.upsert(e);
+  }
+
+  void userInput(rtf::EntityRecord& avatar, const CommandBatch& batch) {
+    rtf::PhaseScope scope(meter, rtf::Phase::kUa);
+    const auto bytes = encodeCommands(batch);
+    app.applyUserInput(world, avatar, bytes, meter, sink, rng);
+  }
+};
+
+TEST(FpsAppTest, MoveIntegratesPosition) {
+  AppFixture f;
+  auto& avatar = f.addAvatar(1, ServerId{1}, {100, 100});
+  CommandBatch batch;
+  batch.move = MoveCommand{{1, 0}};
+  f.userInput(avatar, batch);
+  // One tick of 40 ms at 80 units/s = 3.2 units east.
+  EXPECT_NEAR(avatar.position.x, 103.2, 1e-9);
+  EXPECT_NEAR(avatar.position.y, 100.0, 1e-9);
+  EXPECT_GT(f.probes.phase(rtf::Phase::kUa), 0.0);
+}
+
+TEST(FpsAppTest, MoveClampsToArena) {
+  AppFixture f;
+  auto& avatar = f.addAvatar(1, ServerId{1}, {999.5, 0.5});
+  CommandBatch batch;
+  batch.move = MoveCommand{{1, -1}};
+  for (int i = 0; i < 10; ++i) f.userInput(avatar, batch);
+  EXPECT_LE(avatar.position.x, 1000.0);
+  EXPECT_GE(avatar.position.y, 0.0);
+}
+
+TEST(FpsAppTest, LocalAttackDamagesTarget) {
+  AppFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
+  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0});
+  CommandBatch batch;
+  batch.attack = AttackCommand{victim.id, {1, 0}};
+  f.userInput(attacker, batch);
+  EXPECT_DOUBLE_EQ(victim.health, 92.0);  // default damage 8
+  EXPECT_TRUE(f.sink.forwarded.empty());
+}
+
+TEST(FpsAppTest, AttackOutOfRangeMisses) {
+  AppFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
+  auto& victim = f.addAvatar(2, ServerId{1}, {900, 900});  // way beyond 260
+  CommandBatch batch;
+  batch.attack = AttackCommand{victim.id, {1, 1}};
+  f.userInput(attacker, batch);
+  EXPECT_DOUBLE_EQ(victim.health, 100.0);
+}
+
+TEST(FpsAppTest, AttackOnShadowForwards) {
+  AppFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
+  auto& victim = f.addAvatar(2, ServerId{2}, {50, 0});  // owned elsewhere
+  CommandBatch batch;
+  batch.attack = AttackCommand{victim.id, {1, 0}};
+  f.userInput(attacker, batch);
+  EXPECT_DOUBLE_EQ(victim.health, 100.0);  // untouched locally
+  ASSERT_EQ(f.sink.forwarded.size(), 1u);
+  EXPECT_EQ(f.sink.forwarded[0].target, victim.id);
+  EXPECT_EQ(f.sink.forwarded[0].source, attacker.id);
+  const Interaction interaction = decodeInteraction(f.sink.forwarded[0].interaction);
+  EXPECT_EQ(interaction.kind, Interaction::Kind::kAttack);
+  EXPECT_DOUBLE_EQ(interaction.damage, 8.0);
+}
+
+TEST(FpsAppTest, ForwardedInteractionAppliesDamageAndRespawn) {
+  AppFixture f;
+  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 5.0);
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
+  const auto payload = encodeInteraction({Interaction::Kind::kAttack, 8.0});
+  f.app.applyForwardedInteraction(f.world, victim, EntityId{1}, payload, f.meter, f.sink);
+  // 5 - 8 <= 0 -> respawned at full health.
+  EXPECT_DOUBLE_EQ(victim.health, 100.0);
+  EXPECT_GT(f.probes.phase(rtf::Phase::kFa), 0.0);
+}
+
+TEST(FpsAppTest, KillRespawnsAtFullHealthRandomPosition) {
+  AppFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
+  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  CommandBatch batch;
+  batch.attack = AttackCommand{victim.id, {1, 0}};
+  f.userInput(attacker, batch);
+  EXPECT_DOUBLE_EQ(victim.health, 100.0);
+}
+
+TEST(FpsAppTest, AoiReturnsOnlyEntitiesWithinRadius) {
+  AppFixture f;
+  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(2, ServerId{1}, {500 + 100, 500});        // inside (100 < 220)
+  f.addAvatar(3, ServerId{1}, {500, 500 + 219});        // inside
+  f.addAvatar(4, ServerId{1}, {500 + 300, 500});        // outside
+  f.addAvatar(5, ServerId{2}, {500 - 50, 500});         // shadow, inside
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
+  const auto visible = f.app.computeAreaOfInterest(f.world, viewer, f.meter);
+  EXPECT_EQ(visible.size(), 3u);
+  EXPECT_EQ(visible, (std::vector<EntityId>{EntityId{2}, EntityId{3}, EntityId{5}}));
+}
+
+TEST(FpsAppTest, AoiExcludesViewerAndHasNoDuplicates) {
+  AppFixture f;
+  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  for (std::uint64_t id = 2; id < 30; ++id) f.addAvatar(id, ServerId{1}, {510, 510});
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
+  const auto visible = f.app.computeAreaOfInterest(f.world, viewer, f.meter);
+  EXPECT_EQ(visible.size(), 28u);
+  for (const EntityId id : visible) EXPECT_NE(id, viewer.id);
+  std::set<EntityId> unique(visible.begin(), visible.end());
+  EXPECT_EQ(unique.size(), visible.size());
+}
+
+TEST(FpsAppTest, AoiCostGrowsSuperlinearly) {
+  // The Euclidean Distance Algorithm with duplicate-check subscriptions must
+  // produce superlinear per-user cost growth: doubling a dense population
+  // more than doubles the AOI charge (paper: t_aoi quadratic).
+  auto aoiCost = [](std::size_t population) {
+    AppFixture f;
+    auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+    for (std::uint64_t id = 2; id < 2 + population; ++id) {
+      f.addAvatar(id, ServerId{1}, {505, 505});  // all visible -> max scans
+    }
+    rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
+    f.app.computeAreaOfInterest(f.world, viewer, f.meter);
+    return f.probes.phase(rtf::Phase::kAoi);
+  };
+  const double c100 = aoiCost(100);
+  const double c200 = aoiCost(200);
+  EXPECT_GT(c200, 2.0 * c100 * 1.05);
+}
+
+TEST(FpsAppTest, AttackCostScansWholeWorld) {
+  auto attackCost = [](std::size_t population) {
+    AppFixture f;
+    auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
+    for (std::uint64_t id = 2; id < 2 + population; ++id) {
+      f.addAvatar(id, ServerId{1}, {900, 900});
+    }
+    CommandBatch batch;
+    batch.attack = AttackCommand{EntityId{2}, {1, 0}};
+    f.userInput(attacker, batch);
+    return f.probes.phase(rtf::Phase::kUa);
+  };
+  // Cost grows linearly with world population per attack (paper's argument
+  // for super-linear t_ua once attack frequency also grows with n).
+  const double c50 = attackCost(50);
+  const double c150 = attackCost(150);
+  EXPECT_NEAR(c150 - c50, 100.0 * FpsConfig{}.attackScanPerEntityCost, 2.0);
+}
+
+TEST(FpsAppTest, BuildStateUpdateEncodesVisible) {
+  AppFixture f;
+  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(2, ServerId{1}, {510, 500});
+  f.addAvatar(3, ServerId{1}, {520, 500});
+  const std::vector<EntityId> visible{EntityId{2}, EntityId{3}};
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
+  const auto bytes = f.app.buildStateUpdate(f.world, viewer, visible, f.meter);
+  const StateUpdatePayload payload = decodeStateUpdate(bytes);
+  EXPECT_EQ(payload.self.id, viewer.id);
+  ASSERT_EQ(payload.visible.size(), 2u);
+  EXPECT_GT(f.probes.phase(rtf::Phase::kSu), 0.0);
+}
+
+TEST(FpsAppTest, BuildStateUpdateSkipsVanishedEntities) {
+  AppFixture f;
+  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(2, ServerId{1}, {510, 500});
+  const std::vector<EntityId> visible{EntityId{2}, EntityId{999}};  // 999 gone
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
+  const auto payload = decodeStateUpdate(f.app.buildStateUpdate(f.world, viewer, visible, f.meter));
+  EXPECT_EQ(payload.visible.size(), 1u);
+}
+
+TEST(FpsAppTest, NpcWandersAndCharges) {
+  AppFixture f;
+  rtf::EntityRecord npc;
+  npc.id = EntityId{100};
+  npc.kind = rtf::EntityKind::kNpc;
+  npc.owner = ServerId{1};
+  npc.position = {500, 500};
+  auto& stored = f.world.upsert(npc);
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kNpc);
+  for (int i = 0; i < 100; ++i) f.app.updateNpc(f.world, stored, f.meter, f.rng);
+  EXPECT_GT(f.probes.phase(rtf::Phase::kNpc), 0.0);
+  EXPECT_NE(stored.position, Vec2(500, 500));
+}
+
+TEST(FpsAppTest, ShadowUpdateCostGrowsWithPopulation) {
+  auto shadowCost = [](std::size_t population) {
+    AppFixture f;
+    for (std::uint64_t id = 1; id <= population; ++id) {
+      f.addAvatar(id, ServerId{1}, {500, 500});
+    }
+    auto& shadow = f.addAvatar(9999, ServerId{2}, {100, 100});
+    rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
+    f.app.onShadowUpdated(f.world, shadow, f.meter);
+    return f.probes.phase(rtf::Phase::kFa);
+  };
+  EXPECT_GT(shadowCost(300), shadowCost(50));
+}
+
+// ---------- bots ----------
+
+TEST(BotTest, AlwaysMoves) {
+  BotProvider bot;
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto bytes = bot.nextCommands(SimTime{0}, rng);
+    const CommandBatch batch = decodeCommands(bytes);
+    ASSERT_TRUE(batch.move.has_value());
+    EXPECT_NEAR(batch.move->direction.length(), 1.0, 1e-6);
+  }
+  EXPECT_EQ(bot.commandsIssued(), 50u);
+}
+
+TEST(BotTest, NeverAttacksWithoutVisibleTargets) {
+  BotProvider bot;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const CommandBatch batch = decodeCommands(bot.nextCommands(SimTime{0}, rng));
+    EXPECT_FALSE(batch.attack.has_value());
+  }
+  EXPECT_EQ(bot.attacksIssued(), 0u);
+}
+
+TEST(BotTest, AttackRateGrowsWithVisiblePopulation) {
+  auto attackRate = [](std::size_t visible) {
+    BotProvider bot;
+    Rng rng(5);
+    StateUpdatePayload payload;
+    payload.self = {EntityId{1}, 0, 0, 100};
+    for (std::uint64_t id = 2; id < 2 + visible; ++id) {
+      payload.visible.push_back({EntityId{id}, 0, 0, 100});
+    }
+    bot.onStateUpdate(encodeStateUpdate(payload));
+    int attacks = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+      if (decodeCommands(bot.nextCommands(SimTime{0}, rng)).attack) ++attacks;
+    }
+    return static_cast<double>(attacks) / trials;
+  };
+  const double r5 = attackRate(5);
+  const double r40 = attackRate(40);
+  // Defaults: p = 0.08 + 0.01 * visible.
+  EXPECT_NEAR(r5, 0.13, 0.02);
+  EXPECT_NEAR(r40, 0.48, 0.03);
+  EXPECT_GT(r40, r5 * 2.0);
+}
+
+TEST(BotTest, AttackTargetsComeFromLastUpdate) {
+  BotProvider bot(BotConfig{0.1, 1.0, 0.0, 1.0});  // always attack
+  Rng rng(9);
+  StateUpdatePayload payload;
+  payload.self = {EntityId{1}, 0, 0, 100};
+  payload.visible.push_back({EntityId{77}, 0, 0, 100});
+  bot.onStateUpdate(encodeStateUpdate(payload));
+  const CommandBatch batch = decodeCommands(bot.nextCommands(SimTime{0}, rng));
+  ASSERT_TRUE(batch.attack.has_value());
+  EXPECT_EQ(batch.attack->target, EntityId{77});
+  EXPECT_EQ(bot.lastVisibleCount(), 1u);
+}
+
+// ---------- scenarios ----------
+
+TEST(ScenarioTest, PiecewiseLinearInterpolation) {
+  WorkloadScenario s;
+  s.then(SimDuration::seconds(10), 100).then(SimDuration::seconds(10), 100)
+      .then(SimDuration::seconds(10), 0);
+  EXPECT_EQ(s.targetAt(SimTime::zero()), 0u);
+  EXPECT_EQ(s.targetAt(SimTime{5000000}), 50u);
+  EXPECT_EQ(s.targetAt(SimTime{10000000}), 100u);
+  EXPECT_EQ(s.targetAt(SimTime{15000000}), 100u);
+  EXPECT_EQ(s.targetAt(SimTime{25000000}), 50u);
+  EXPECT_EQ(s.targetAt(SimTime{30000000}), 0u);
+  EXPECT_EQ(s.targetAt(SimTime{99000000}), 0u);  // holds last value
+  EXPECT_EQ(s.totalDuration().micros, 30000000);
+}
+
+TEST(ScenarioTest, EmptyScenarioIsZero) {
+  WorkloadScenario s;
+  EXPECT_EQ(s.targetAt(SimTime{123}), 0u);
+  EXPECT_EQ(s.totalDuration(), SimDuration::zero());
+}
+
+TEST(ScenarioTest, FactoryShapes) {
+  const WorkloadScenario paper = WorkloadScenario::paperSession(300);
+  EXPECT_EQ(paper.targetAt(SimTime{60000000}), 300u);  // after ramp-up
+  EXPECT_EQ(paper.targetAt(SimTime::zero() + paper.totalDuration()), 0u);
+  const WorkloadScenario flat = WorkloadScenario::constant(42, SimDuration::seconds(5));
+  EXPECT_EQ(flat.targetAt(SimTime{1}), 42u);
+  EXPECT_EQ(flat.targetAt(SimTime{4999999}), 42u);
+}
+
+TEST(ChurnDriverTest, TracksTarget) {
+  FpsApplication app;
+  rtf::Cluster cluster(app, rtf::ClusterConfig{});
+  const ZoneId zone = cluster.createZone("arena");
+  cluster.addServer(zone);
+  WorkloadScenario scenario;
+  scenario.then(SimDuration::seconds(4), 40).then(SimDuration::seconds(4), 10);
+  game::ChurnDriver driver(cluster, zone, scenario);
+  driver.start();
+  cluster.run(SimDuration::seconds(4));
+  EXPECT_NEAR(static_cast<double>(cluster.clientCount()), 40.0, 4.0);
+  cluster.run(SimDuration::seconds(5));
+  EXPECT_NEAR(static_cast<double>(cluster.clientCount()), 10.0, 4.0);
+  EXPECT_GT(driver.totalJoins(), driver.totalLeaves());
+  driver.stop();
+}
+
+TEST(ChurnDriverTest, RateLimitBoundsStepSize) {
+  FpsApplication app;
+  rtf::Cluster cluster(app, rtf::ClusterConfig{});
+  const ZoneId zone = cluster.createZone("arena");
+  cluster.addServer(zone);
+  game::ChurnDriver::Config config;
+  config.maxChangePerPeriod = 2;
+  config.period = SimDuration::seconds(1);
+  game::ChurnDriver driver(cluster, zone, WorkloadScenario::constant(100, SimDuration::seconds(30)),
+                           config);
+  driver.start();
+  cluster.run(SimDuration::milliseconds(3500));
+  // Three periods at <= 2 joins each.
+  EXPECT_LE(cluster.clientCount(), 6u);
+  EXPECT_GE(cluster.clientCount(), 4u);
+  driver.stop();
+}
+
+}  // namespace
+}  // namespace roia::game

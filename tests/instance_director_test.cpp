@@ -1,0 +1,129 @@
+// Tests for instancing-based load distribution: routing, on-demand instance
+// creation, capacity caps and retirement of drained instances.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "rms/instance_director.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia::rms {
+namespace {
+
+struct Fixture {
+  game::FpsApplication app;
+  rtf::Cluster cluster{app, rtf::ClusterConfig{}};
+  ZoneId zone = cluster.createZone("dungeon");
+
+  Fixture() { cluster.addServer(zone); }
+
+  ClientId join(InstanceDirector& director) {
+    return cluster.connectClient(director.routeJoin(),
+                                 std::make_unique<game::BotProvider>());
+  }
+};
+
+TEST(InstanceDirectorTest, RequiresProvisionedTemplate) {
+  game::FpsApplication app;
+  rtf::Cluster cluster(app, rtf::ClusterConfig{});
+  const ZoneId empty = cluster.createZone("empty");
+  EXPECT_THROW(InstanceDirector(cluster, empty, InstanceDirector::Config{}),
+               std::invalid_argument);
+  const ZoneId ok = cluster.createZone("ok");
+  cluster.addServer(ok);
+  EXPECT_THROW(InstanceDirector(cluster, ok, InstanceDirector::Config{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(InstanceDirectorTest, FillsTemplateBeforeOpeningInstances) {
+  Fixture f;
+  InstanceDirector director(f.cluster, f.zone, InstanceDirector::Config{10, 1});
+  for (int i = 0; i < 10; ++i) f.join(director);
+  EXPECT_EQ(director.instanceCount(), 1u);
+  EXPECT_EQ(f.cluster.zoneUserCount(f.zone), 10u);
+}
+
+TEST(InstanceDirectorTest, OpensInstancesAtCriticalDensity) {
+  Fixture f;
+  InstanceDirector director(f.cluster, f.zone, InstanceDirector::Config{10, 1});
+  for (int i = 0; i < 35; ++i) f.join(director);
+  // 35 users at cap 10 -> 4 instances (10 + 10 + 10 + 5).
+  EXPECT_EQ(director.instanceCount(), 4u);
+  EXPECT_EQ(director.totalUsers(), 35u);
+  for (const ZoneId instance : director.instances()) {
+    EXPECT_LE(f.cluster.zoneUserCount(instance), 10u);
+    EXPECT_GE(f.cluster.zones().replicaCount(instance), 1u);
+  }
+}
+
+TEST(InstanceDirectorTest, RoutesToFullestWithHeadroom) {
+  Fixture f;
+  InstanceDirector director(f.cluster, f.zone, InstanceDirector::Config{10, 1});
+  std::vector<ClientId> clients;
+  for (int i = 0; i < 20; ++i) clients.push_back(f.join(director));
+  ASSERT_EQ(director.instanceCount(), 2u);
+  // Free a slot in the first (full) instance; the next join must land
+  // there, not open a third instance.
+  const ZoneId first = director.instances()[0];
+  for (const ClientId c : clients) {
+    if (f.cluster.server(f.cluster.clientServer(c)).zone() == first) {
+      f.cluster.disconnectClient(c);
+      break;
+    }
+  }
+  const ZoneId routed = director.routeJoin();
+  EXPECT_EQ(routed, first);
+  EXPECT_EQ(director.instanceCount(), 2u);
+}
+
+TEST(InstanceDirectorTest, RetiresDrainedInstances) {
+  Fixture f;
+  InstanceDirector director(f.cluster, f.zone, InstanceDirector::Config{10, 1});
+  std::vector<ClientId> clients;
+  for (int i = 0; i < 25; ++i) clients.push_back(f.join(director));
+  ASSERT_EQ(director.instanceCount(), 3u);
+  const std::size_t serversBefore = f.cluster.serverCount();
+
+  // Everyone leaves except users of the template zone.
+  for (const ClientId c : clients) {
+    if (f.cluster.server(f.cluster.clientServer(c)).zone() != f.zone) {
+      f.cluster.disconnectClient(c);
+    }
+  }
+  const std::size_t retired = director.retireEmptyInstances();
+  EXPECT_EQ(retired, 2u);
+  EXPECT_EQ(director.instanceCount(), 1u);
+  EXPECT_LT(f.cluster.serverCount(), serversBefore);
+  // The template zone never retires, even when empty.
+  for (const ClientId c : f.cluster.clientIds()) f.cluster.disconnectClient(c);
+  EXPECT_EQ(director.retireEmptyInstances(), 0u);
+  EXPECT_EQ(director.instanceCount(), 1u);
+}
+
+TEST(InstanceDirectorTest, InstancesAreIsolatedWorlds) {
+  Fixture f;
+  InstanceDirector director(f.cluster, f.zone, InstanceDirector::Config{5, 1});
+  for (int i = 0; i < 10; ++i) f.join(director);
+  ASSERT_EQ(director.instanceCount(), 2u);
+  f.cluster.run(SimDuration::seconds(1));
+  // Each instance's servers know only their own 5 avatars.
+  for (const ZoneId instance : director.instances()) {
+    for (const ServerId server : f.cluster.zones().replicas(instance)) {
+      EXPECT_EQ(f.cluster.server(server).world().avatarCount(), 5u);
+    }
+  }
+}
+
+TEST(InstanceDirectorTest, MultiReplicaInstances) {
+  Fixture f;
+  f.cluster.addServer(f.zone);  // template has 2 replicas
+  InstanceDirector director(f.cluster, f.zone, InstanceDirector::Config{8, 2});
+  for (int i = 0; i < 12; ++i) f.join(director);
+  ASSERT_EQ(director.instanceCount(), 2u);
+  EXPECT_EQ(f.cluster.zones().replicaCount(director.instances()[1]), 2u);
+}
+
+}  // namespace
+}  // namespace roia::rms

@@ -1,0 +1,213 @@
+// End-to-end integration tests: the full paper pipeline.
+//
+//  * calibrate the model from instrumented sessions and check that the
+//    fitted functions have the shapes section V-A predicts,
+//  * validate the model: predicted tick duration T(l, n, m) vs. directly
+//    measured steady-state tick duration,
+//  * run RTF-RMS managed sessions and check the paper's headline claims:
+//    no QoS violations after warm-up with the model-driven policy, users
+//    conserved, replicas added under load and removed after it.
+#include <gtest/gtest.h>
+
+#include "game/calibrate.hpp"
+#include "game/measurement.hpp"
+#include "model/report.hpp"
+#include "model/thresholds.hpp"
+#include "rms/session.hpp"
+
+namespace roia {
+namespace {
+
+/// Shared, lazily-built calibration (measurement campaigns are the slow
+/// part; one run serves all tests in this file).
+const game::CalibrationResult& calibration() {
+  static const game::CalibrationResult result = [] {
+    game::CalibrationConfig config;
+    config.replicationPopulations = {50, 100, 150, 200, 250, 300};
+    config.migrationPopulations = {60, 140, 220};
+    return game::calibrateModel(config);
+  }();
+  return result;
+}
+
+TEST(CalibrationTest, FittedShapesMatchPaperSectionVA) {
+  const model::ModelParameters& params = calibration().parameters;
+
+  // t_ua quadratic with positive curvature (attack scan over all users).
+  const auto& ua = params.at(model::ParamKind::kUa);
+  ASSERT_EQ(ua.coeffs.size(), 3u);
+  EXPECT_GT(ua.coeffs[2], 0.0);
+  EXPECT_GT(ua.gof.r2, 0.7);
+
+  // t_aoi quadratic, dominating the per-user cost at large n.
+  const auto& aoi = params.at(model::ParamKind::kAoi);
+  EXPECT_GT(aoi.coeffs[2], 0.0);
+  EXPECT_GT(aoi.gof.r2, 0.95);
+
+  // Linear parameters grow with n.
+  for (const auto kind : {model::ParamKind::kUaDser, model::ParamKind::kSu,
+                          model::ParamKind::kFa, model::ParamKind::kFaDser}) {
+    const auto& fn = params.at(kind);
+    ASSERT_EQ(fn.coeffs.size(), 2u) << model::paramName(kind);
+    EXPECT_GT(fn.coeffs[1], 0.0) << model::paramName(kind);
+  }
+
+  // Forwarded-input costs are small compared to the active-user tasks
+  // (paper: "very short CPU time ... compared to the other parameters").
+  EXPECT_LT(params.eval(model::ParamKind::kFa, 300) +
+                params.eval(model::ParamKind::kFaDser, 300),
+            0.2 * (params.eval(model::ParamKind::kUa, 300) +
+                   params.eval(model::ParamKind::kAoi, 300)));
+
+  // Initiating migrations is costlier than receiving them (paper Fig. 6).
+  EXPECT_GT(params.eval(model::ParamKind::kMigIni, 150),
+            params.eval(model::ParamKind::kMigRcv, 150));
+}
+
+TEST(CalibrationTest, ThresholdsMatchPaperAnchors) {
+  const model::TickModel tickModel(calibration().parameters);
+  const model::ThresholdReport report = model::buildReport(tickModel, 40.0, 0.15);
+  // Paper: single server ~235 users, trigger 188, l_max = 8.
+  EXPECT_NEAR(static_cast<double>(report.nMaxPerReplica[0]), 235.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(report.lMax), 8.0, 1.0);
+  // c = 0.05 admits far more replicas; c = 1 only one (paper discussion).
+  EXPECT_GE(model::lMax(tickModel, 0, 40000.0, 0.05).lMax, 20u);
+  EXPECT_EQ(model::lMax(tickModel, 0, 40000.0, 1.0).lMax, 1u);
+}
+
+TEST(ModelValidationTest, PredictionMatchesMeasurementAcrossReplicaCounts) {
+  const model::TickModel tickModel(calibration().parameters);
+  game::MeasurementConfig config;
+  config.warmup = SimDuration::seconds(2);
+  config.measure = SimDuration::seconds(2);
+
+  struct Case {
+    std::size_t users;
+    std::size_t replicas;
+  };
+  for (const Case c : {Case{120, 1}, Case{120, 2}, Case{200, 2}, Case{240, 3}}) {
+    const game::SteadyStateResult measured =
+        game::measureSteadyState(config, c.users, c.replicas);
+    const double predictedMs = tickModel.tickMillis(static_cast<double>(c.replicas),
+                                                    static_cast<double>(c.users), 0);
+    EXPECT_NEAR(measured.tickAvgMs, predictedMs, 0.30 * predictedMs + 0.5)
+        << "n=" << c.users << " l=" << c.replicas;
+  }
+}
+
+TEST(ModelValidationTest, NMaxIsARealCapacityBoundary) {
+  const model::TickModel tickModel(calibration().parameters);
+  const std::size_t nMax1 = model::nMax(tickModel, 1, 0, 40000.0);
+  game::MeasurementConfig config;
+  config.warmup = SimDuration::seconds(2);
+  config.measure = SimDuration::seconds(2);
+
+  // Below n_max the real server holds the threshold...
+  const auto below = game::measureSteadyState(config, nMax1 * 8 / 10, 1);
+  EXPECT_LT(below.tickAvgMs, 40.0);
+  // ...well above it, the real server violates it.
+  const auto above = game::measureSteadyState(config, nMax1 * 13 / 10, 1);
+  EXPECT_GT(above.tickAvgMs, 40.0);
+}
+
+TEST(ManagedSessionTest, ModelDrivenSessionHoldsQoS) {
+  // The paper's Fig. 8 claim: with model-driven thresholds the tick duration
+  // never exceeds 40 ms while the population ramps 0 -> 300 -> 0.
+  rms::ManagedSessionConfig config;
+  config.scenario = game::WorkloadScenario::paperSession(
+      300, SimDuration::seconds(40), SimDuration::seconds(15), SimDuration::seconds(40));
+  config.rms.controlPeriod = SimDuration::seconds(1);
+  config.rms.serverStartupDelay = SimDuration::seconds(2);
+  const rms::SessionSummary summary =
+      rms::runManagedSession(config, model::TickModel(calibration().parameters));
+
+  EXPECT_EQ(summary.policy, "model-driven");
+  EXPECT_GE(summary.peakUsers, 280u);
+  EXPECT_GE(summary.peakServers, 2u);        // replication enactment happened
+  EXPECT_GT(summary.replicasAdded, 0u);
+  EXPECT_GT(summary.replicasRemoved, 0u);    // and resources were returned
+  EXPECT_LE(summary.maxTickMs, 40.0);        // headline: no QoS violation
+  EXPECT_EQ(summary.violationPeriods, 0u);
+  EXPECT_GT(summary.migrations, 0u);
+  EXPECT_GT(summary.serverSeconds, 0.0);
+}
+
+TEST(ManagedSessionTest, ReplicationEnactmentReducesCpuLoad) {
+  rms::ManagedSessionConfig config;
+  config.scenario = game::WorkloadScenario::paperSession(
+      280, SimDuration::seconds(40), SimDuration::seconds(10), SimDuration::seconds(30));
+  const rms::SessionSummary summary =
+      rms::runManagedSession(config, model::TickModel(calibration().parameters));
+
+  // Find the first control period where the server count rises; average CPU
+  // load shortly after must drop below the load just before (Fig. 8).
+  const auto& timeline = summary.timeline;
+  for (std::size_t i = 1; i + 3 < timeline.size(); ++i) {
+    if (timeline[i].servers > timeline[i - 1].servers && timeline[i - 1].servers == 1) {
+      const double before = timeline[i - 1].avgCpuLoad;
+      const double after = timeline[i + 3].avgCpuLoad;
+      EXPECT_LT(after, before);
+      return;
+    }
+  }
+  FAIL() << "no replication enactment found in timeline";
+}
+
+TEST(ManagedSessionTest, SessionsAreDeterministic) {
+  rms::ManagedSessionConfig config;
+  config.scenario = game::WorkloadScenario::paperSession(
+      120, SimDuration::seconds(15), SimDuration::seconds(5), SimDuration::seconds(15));
+  const model::TickModel tickModel(calibration().parameters);
+  const rms::SessionSummary a = rms::runManagedSession(config, tickModel);
+  const rms::SessionSummary b = rms::runManagedSession(config, tickModel);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.maxTickMs, b.maxTickMs);
+  EXPECT_EQ(a.serverSeconds, b.serverSeconds);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].users, b.timeline[i].users);
+    EXPECT_EQ(a.timeline[i].servers, b.timeline[i].servers);
+  }
+}
+
+TEST(ManagedSessionTest, StaticBaselineViolatesQoSUnderRamp) {
+  // The static baseline only reacts after the threshold is crossed, so the
+  // ramp pushes at least one period above 40 ms (the contrast motivating
+  // the paper's predictive model).
+  rms::ManagedSessionConfig config;
+  config.policy = rms::PolicyKind::kStaticInterval;
+  config.scenario = game::WorkloadScenario::paperSession(
+      300, SimDuration::seconds(40), SimDuration::seconds(15), SimDuration::seconds(30));
+  config.rms.serverStartupDelay = SimDuration::seconds(2);
+  const rms::SessionSummary summary =
+      rms::runManagedSession(config, model::TickModel(calibration().parameters));
+  EXPECT_GT(summary.maxTickMs, 40.0);
+  EXPECT_GT(summary.violationPeriods, 0u);
+}
+
+TEST(ManagedSessionTest, PoliciesProduceDifferentMigrationVolumes) {
+  rms::ManagedSessionConfig config;
+  config.scenario = game::WorkloadScenario::paperSession(
+      200, SimDuration::seconds(25), SimDuration::seconds(10), SimDuration::seconds(25));
+  const model::TickModel tickModel(calibration().parameters);
+
+  config.policy = rms::PolicyKind::kModelDriven;
+  const auto throttled = rms::runManagedSession(config, tickModel);
+  config.policy = rms::PolicyKind::kUnthrottled;
+  const auto unthrottled = rms::runManagedSession(config, tickModel);
+
+  // The throttled policy trickles small bursts; the unthrottled one may move
+  // a whole imbalance at once. The distinguishing invariant is the largest
+  // per-period burst, which Eq. (5) caps for the model-driven policy.
+  auto maxBurst = [](const rms::SessionSummary& s) {
+    std::size_t burst = 0;
+    for (const auto& p : s.timeline) burst = std::max(burst, p.migrationsOrdered);
+    return burst;
+  };
+  EXPECT_GE(maxBurst(unthrottled), maxBurst(throttled));
+  EXPECT_GT(throttled.migrations, 0u);
+  EXPECT_GT(unthrottled.migrations, 0u);
+}
+
+}  // namespace
+}  // namespace roia

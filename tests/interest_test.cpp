@@ -1,0 +1,172 @@
+// Tests for the interest-management module: both algorithms must return
+// identical visibility sets (the grid is an exact index, not an
+// approximation), while their costs scale differently with population.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "game/fps_app.hpp"
+#include "game/interest.hpp"
+#include "rtf/world.hpp"
+
+namespace roia::game {
+namespace {
+
+struct Fixture {
+  rtf::World world{ZoneId{1}};
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter{cpu};
+  rtf::TickProbes probes;
+
+  Fixture() { meter.beginTick(probes); }
+
+  void populate(std::size_t n, std::uint64_t seed, Vec2 extent = {1000, 1000}) {
+    Rng rng(seed);
+    for (std::uint64_t id = 1; id <= n; ++id) {
+      rtf::EntityRecord e;
+      e.id = EntityId{id};
+      e.kind = rtf::EntityKind::kAvatar;
+      e.owner = ServerId{1};
+      e.client = ClientId{id};
+      e.position = {rng.uniform(0, extent.x), rng.uniform(0, extent.y)};
+      world.upsert(e);
+    }
+  }
+
+  double chargedCost() {
+    double total = 0.0;
+    for (const double v : probes.phaseMicros) total += v;
+    return total;
+  }
+};
+
+class InterestEquivalence : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(InterestEquivalence, GridMatchesEuclideanExactly) {
+  const auto [population, radius] = GetParam();
+  Fixture f;
+  f.populate(population, 40 + population);
+
+  EuclideanInterest euclid;
+  GridInterest grid(radius);  // cell size = radius
+  euclid.prepare(f.world, f.meter);
+  grid.prepare(f.world, f.meter);
+
+  f.world.forEach([&](const rtf::EntityRecord& viewer) {
+    const auto fromEuclid = euclid.query(f.world, viewer, radius, f.meter);
+    const auto fromGrid = grid.query(f.world, viewer, radius, f.meter);
+    ASSERT_EQ(fromEuclid, fromGrid) << "viewer " << viewer.id.value << " n=" << population
+                                    << " r=" << radius;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InterestEquivalence,
+                         ::testing::Combine(::testing::Values(10u, 60u, 150u),
+                                            ::testing::Values(50.0, 220.0, 500.0)));
+
+TEST(InterestTest, GridHandlesEdgePositions) {
+  Fixture f;
+  // Entities exactly on cell boundaries and arena corners.
+  std::uint64_t id = 1;
+  for (const Vec2 pos : {Vec2{0, 0}, Vec2{220, 220}, Vec2{440, 0}, Vec2{999.99, 999.99},
+                         Vec2{220, 0}, Vec2{0, 220}}) {
+    rtf::EntityRecord e;
+    e.id = EntityId{id++};
+    e.kind = rtf::EntityKind::kAvatar;
+    e.owner = ServerId{1};
+    e.position = pos;
+    f.world.upsert(e);
+  }
+  EuclideanInterest euclid;
+  GridInterest grid(220.0);
+  grid.prepare(f.world, f.meter);
+  f.world.forEach([&](const rtf::EntityRecord& viewer) {
+    ASSERT_EQ(euclid.query(f.world, viewer, 220.0, f.meter),
+              grid.query(f.world, viewer, 220.0, f.meter));
+  });
+}
+
+TEST(InterestTest, GridQueryCheaperAtScaleWithLocalClusters) {
+  // Viewer in one corner, the mass of the population in the opposite one:
+  // the grid touches only nearby cells while Euclidean scans everyone.
+  auto costOf = [](bool useGrid) {
+    Fixture f;
+    rtf::EntityRecord viewer;
+    viewer.id = EntityId{1};
+    viewer.kind = rtf::EntityKind::kAvatar;
+    viewer.owner = ServerId{1};
+    viewer.position = {10, 10};
+    f.world.upsert(viewer);
+    Rng rng(3);
+    for (std::uint64_t id = 2; id <= 400; ++id) {
+      rtf::EntityRecord e;
+      e.id = EntityId{id};
+      e.kind = rtf::EntityKind::kAvatar;
+      e.owner = ServerId{1};
+      e.position = {rng.uniform(800, 1000), rng.uniform(800, 1000)};
+      f.world.upsert(e);
+    }
+    std::unique_ptr<InterestPolicy> policy;
+    if (useGrid) {
+      policy = std::make_unique<GridInterest>(220.0);
+    } else {
+      policy = std::make_unique<EuclideanInterest>();
+    }
+    policy->prepare(f.world, f.meter);
+    const double costBefore = f.chargedCost();
+    policy->query(f.world, *f.world.find(EntityId{1}), 220.0, f.meter);
+    return f.chargedCost() - costBefore;  // query cost only
+  };
+  EXPECT_LT(costOf(true), 0.25 * costOf(false));
+}
+
+TEST(InterestTest, GridPrepareCostScalesWithPopulation) {
+  auto prepareCost = [](std::size_t n) {
+    Fixture f;
+    f.populate(n, 7);
+    GridInterest grid(220.0);
+    grid.prepare(f.world, f.meter);
+    return f.chargedCost();
+  };
+  EXPECT_NEAR(prepareCost(200), 2.0 * prepareCost(100), prepareCost(100) * 0.1);
+}
+
+TEST(InterestTest, FpsApplicationSwapsPolicies) {
+  FpsConfig config;
+  FpsApplication app(config);
+  EXPECT_EQ(app.interestPolicy().name(), "euclidean");
+  app.setInterestPolicy(std::make_unique<GridInterest>(config.aoiRadius));
+  EXPECT_EQ(app.interestPolicy().name(), "grid");
+  app.setInterestPolicy(nullptr);  // ignored
+  EXPECT_EQ(app.interestPolicy().name(), "grid");
+
+  // AOI queries through the app now go through the grid and still work.
+  Fixture f;
+  f.populate(50, 9);
+  app.onTickBegin(f.world, f.meter);
+  const auto visible =
+      app.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter);
+  FpsApplication euclidApp(config);
+  euclidApp.onTickBegin(f.world, f.meter);
+  EXPECT_EQ(visible,
+            euclidApp.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter));
+}
+
+TEST(InterestTest, EmptyWorldQueriesAreSafe) {
+  Fixture f;
+  rtf::EntityRecord lonely;
+  lonely.id = EntityId{1};
+  lonely.kind = rtf::EntityKind::kAvatar;
+  lonely.owner = ServerId{1};
+  lonely.position = {500, 500};
+  f.world.upsert(lonely);
+  EuclideanInterest euclid;
+  GridInterest grid(220.0);
+  grid.prepare(f.world, f.meter);
+  EXPECT_TRUE(euclid.query(f.world, lonely, 220.0, f.meter).empty());
+  EXPECT_TRUE(grid.query(f.world, lonely, 220.0, f.meter).empty());
+}
+
+}  // namespace
+}  // namespace roia::game

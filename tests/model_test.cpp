@@ -1,0 +1,421 @@
+// Tests for the scalability model: parameter functions, the tick-duration
+// equations (1)/(4), thresholds (2)/(3)/(5) including the paper's worked
+// examples, the estimator fitting pipeline, and model-property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "model/estimator.hpp"
+#include "model/parameters.hpp"
+#include "model/report.hpp"
+#include "model/thresholds.hpp"
+#include "model/tick_model.hpp"
+
+namespace roia::model {
+namespace {
+
+/// A hand-built parameter set mirroring the calibrated FPS demo: per-user
+/// cost ~ 4 + 0.66 n + 2e-4 n^2, shadow cost ~ 1.5 + 0.003 n (microseconds).
+ModelParameters paperLikeParameters() {
+  ModelParameters params;
+  params.set(ParamKind::kUaDser, ParamFunction::linear(1.0, 0.0015));
+  params.set(ParamKind::kUa, ParamFunction::quadratic(1.2, 0.009, 1.2e-4));
+  params.set(ParamKind::kAoi, ParamFunction::quadratic(0.1, 0.45, 0.8e-4));
+  params.set(ParamKind::kSu, ParamFunction::linear(1.5, 0.2));
+  params.set(ParamKind::kFaDser, ParamFunction::linear(0.55, 0.0007));
+  params.set(ParamKind::kFa, ParamFunction::linear(0.9, 0.0023));
+  params.set(ParamKind::kNpc, ParamFunction::linear(2.0, 0.02));
+  params.set(ParamKind::kMigIni, ParamFunction::linear(150.0, 5.0));
+  params.set(ParamKind::kMigRcv, ParamFunction::linear(80.0, 2.2));
+  return params;
+}
+
+constexpr double kU = 40000.0;  // 40 ms in microseconds
+
+// ---------- parameter functions ----------
+
+TEST(ParamFunctionTest, EvalForms) {
+  EXPECT_DOUBLE_EQ(ParamFunction::constant(3.0).eval(100), 3.0);
+  EXPECT_DOUBLE_EQ(ParamFunction::linear(1.0, 0.5).eval(10), 6.0);
+  EXPECT_DOUBLE_EQ(ParamFunction::quadratic(1.0, 0.0, 0.01).eval(10), 2.0);
+}
+
+TEST(ParamFunctionTest, ClampsNegativeToZero) {
+  // A fitted parabola can dip below zero near n = 0; cost must not.
+  const ParamFunction f = ParamFunction::quadratic(-5.0, 0.1, 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.eval(100), 5.0);
+}
+
+TEST(ParamFunctionTest, NamesAndForms) {
+  EXPECT_STREQ(paramName(ParamKind::kUa), "t_ua");
+  EXPECT_STREQ(paramName(ParamKind::kMigRcv), "t_mig_rcv");
+  EXPECT_EQ(formDegree(FunctionForm::kQuadratic), 2u);
+  EXPECT_STREQ(formName(FunctionForm::kLinear), "linear");
+}
+
+TEST(ModelParametersTest, DescribeMentionsEveryParameter) {
+  const std::string text = ModelParameters().describe();
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    EXPECT_NE(text.find(paramName(static_cast<ParamKind>(k))), std::string::npos);
+  }
+}
+
+// ---------- tick model (Eq. 1 / Eq. 4) ----------
+
+TEST(TickModelTest, SingleServerHasNoShadowTerm) {
+  const TickModel model(paperLikeParameters());
+  const double n = 100;
+  // Eq. (1) with l = 1: T = n * activeUserCost(n) + m/l * t_npc.
+  const double expected = n * model.activeUserCost(n);
+  EXPECT_NEAR(model.tickMicros(1, n, 0), expected, 1e-9);
+}
+
+TEST(TickModelTest, EqualSplitMatchesExplicitActives) {
+  const TickModel model(paperLikeParameters());
+  // Eq. (1) is Eq. (4) with a = n/l.
+  EXPECT_DOUBLE_EQ(model.tickMicros(4, 200, 0), model.tickMicros(4, 200, 0, 50));
+  EXPECT_DOUBLE_EQ(model.tickMicros(2, 301, 12), model.tickMicros(2, 301, 12, 150.5));
+}
+
+TEST(TickModelTest, ShadowTermUsesRemainder) {
+  const TickModel model(paperLikeParameters());
+  const double n = 120, a = 30;
+  const double expected = a * model.activeUserCost(n) + (n - a) * model.shadowCost(n);
+  EXPECT_NEAR(model.tickMicros(3, n, 0, a), expected, 1e-9);
+}
+
+TEST(TickModelTest, NpcTermDividesByReplicas) {
+  const TickModel model(paperLikeParameters());
+  const double withNpcs1 = model.tickMicros(1, 0, 100);
+  const double withNpcs4 = model.tickMicros(4, 0, 100);
+  EXPECT_NEAR(withNpcs1, 100 * model.parameters().eval(ParamKind::kNpc, 0), 1e-9);
+  EXPECT_NEAR(withNpcs4, withNpcs1 / 4.0, 1e-9);
+}
+
+TEST(TickModelTest, ActivesClampedToPopulation) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_DOUBLE_EQ(model.tickMicros(1, 100, 0, 500), model.tickMicros(1, 100, 0, 100));
+  EXPECT_DOUBLE_EQ(model.tickMicros(1, 100, 0, -5), model.tickMicros(1, 100, 0, 0));
+}
+
+TEST(TickModelTest, RejectsInvalidReplicaCount) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_THROW((void)model.tickMicros(0, 10, 0), std::invalid_argument);
+}
+
+TEST(TickModelTest, MillisConversion) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_NEAR(model.tickMillis(2, 200, 0), model.tickMicros(2, 200, 0) / 1000.0, 1e-12);
+}
+
+// Property sweep: T is monotone in n and decreasing in l for the active
+// part, for every parameter set of this family.
+class TickMonotonicity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TickMonotonicity, IncreasingInUsersDecreasingInReplicas) {
+  const auto [l, n] = GetParam();
+  const TickModel model(paperLikeParameters());
+  const double t = model.tickMicros(l, n, 0);
+  EXPECT_LT(model.tickMicros(l, n - 5, 0), t);
+  EXPECT_GT(model.tickMicros(l, n + 5, 0), t);
+  if (l > 1) {
+    // Fewer replicas -> strictly more work per server at the same n.
+    EXPECT_GT(model.tickMicros(l - 1, n, 0), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TickMonotonicity,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(50, 150, 300, 600)));
+
+// ---------- Eq. (2): n_max ----------
+
+TEST(NMaxTest, MatchesBisectionDefinition) {
+  const TickModel model(paperLikeParameters());
+  const std::size_t n = nMax(model, 1, 0, kU);
+  EXPECT_LT(model.tickMicros(1, static_cast<double>(n), 0), kU);
+  EXPECT_GE(model.tickMicros(1, static_cast<double>(n + 1), 0), kU);
+}
+
+TEST(NMaxTest, CalibratedSingleServerNearPaperValue) {
+  // The calibrated FPS demo saturates a single reference server around the
+  // paper's 235 users at U = 40 ms.
+  const TickModel model(paperLikeParameters());
+  const std::size_t n = nMax(model, 1, 0, kU);
+  EXPECT_GE(n, 210u);
+  EXPECT_LE(n, 260u);
+}
+
+TEST(NMaxTest, GrowsWithReplicas) {
+  const TickModel model(paperLikeParameters());
+  std::size_t previous = 0;
+  for (std::size_t l = 1; l <= 8; ++l) {
+    const std::size_t n = nMax(model, l, 0, kU);
+    EXPECT_GT(n, previous) << "l=" << l;
+    previous = n;
+  }
+}
+
+TEST(NMaxTest, ShrinksWithNpcs) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_LT(nMax(model, 1, 500, kU), nMax(model, 1, 0, kU));
+}
+
+TEST(NMaxTest, ZeroWhenThresholdTooTight) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_EQ(nMax(model, 1, 0, 1.0), 0u);  // 1 us threshold: nothing fits
+}
+
+TEST(NMaxTest, CapRespected) {
+  ModelParameters cheap;  // all-zero costs -> unbounded users
+  const TickModel model(cheap);
+  EXPECT_EQ(nMax(model, 1, 0, kU, 5000), 5000u);
+}
+
+TEST(NMaxTest, InvalidReplicasThrow) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_THROW((void)nMax(model, 0, 0, kU), std::invalid_argument);
+}
+
+class NMaxThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NMaxThresholdSweep, MonotoneInThreshold) {
+  const TickModel model(paperLikeParameters());
+  const double u = GetParam();
+  EXPECT_LE(nMax(model, 2, 0, u), nMax(model, 2, 0, u * 1.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, NMaxThresholdSweep,
+                         ::testing::Values(10000.0, 20000.0, 40000.0, 100000.0));
+
+// ---------- Eq. (3): l_max ----------
+
+TEST(LMaxTest, PaperValueForC015) {
+  // The paper's RTFDemo calibration: c = 0.15 -> l_max = 8.
+  const TickModel model(paperLikeParameters());
+  const LMaxResult result = lMax(model, 0, kU, 0.15);
+  EXPECT_GE(result.lMax, 7u);
+  EXPECT_LE(result.lMax, 9u);
+  EXPECT_EQ(result.nMaxPerReplica.size(), result.lMax);
+}
+
+TEST(LMaxTest, SmallCAllowsManyReplicas) {
+  // Paper: c = 0.05 -> l_max = 48 (large); ours lands in the same regime.
+  const TickModel model(paperLikeParameters());
+  const LMaxResult result = lMax(model, 0, kU, 0.05);
+  EXPECT_GE(result.lMax, 25u);
+}
+
+TEST(LMaxTest, CEqualOneStopsEarly) {
+  // Paper: c ~ 1 -> l_max = 1 (no replica doubles the single-server
+  // capacity given the replication overhead).
+  const TickModel model(paperLikeParameters());
+  const LMaxResult result = lMax(model, 0, kU, 1.0);
+  EXPECT_EQ(result.lMax, 1u);
+}
+
+TEST(LMaxTest, MonotoneInC) {
+  const TickModel model(paperLikeParameters());
+  std::size_t previous = 1000;
+  for (const double c : {0.05, 0.1, 0.15, 0.3, 0.6, 1.0}) {
+    const std::size_t l = lMax(model, 0, kU, c).lMax;
+    EXPECT_LE(l, previous) << "c=" << c;
+    previous = l;
+  }
+}
+
+TEST(LMaxTest, EveryStepMeetsImprovementContract) {
+  const TickModel model(paperLikeParameters());
+  const LMaxResult result = lMax(model, 0, kU, 0.15);
+  // Eq. (3): replica l supports n_max(l-1) + c*n_max(1) under U.
+  for (std::size_t l = 2; l <= result.lMax; ++l) {
+    const double nPrime = static_cast<double>(result.nMaxPerReplica[l - 2]) +
+                          result.requiredImprovement;
+    EXPECT_LT(model.tickMicros(static_cast<double>(l), nPrime, 0), kU) << "l=" << l;
+  }
+  // And replica l_max+1 would not.
+  const double nBeyond = static_cast<double>(result.nMaxPerReplica.back()) +
+                         result.requiredImprovement;
+  EXPECT_GE(model.tickMicros(static_cast<double>(result.lMax + 1), nBeyond, 0), kU);
+}
+
+TEST(LMaxTest, RejectsInvalidC) {
+  const TickModel model(paperLikeParameters());
+  EXPECT_THROW(lMax(model, 0, kU, 0.0), std::invalid_argument);
+  EXPECT_THROW(lMax(model, 0, kU, 1.5), std::invalid_argument);
+  EXPECT_THROW(lMax(model, 0, kU, -0.1), std::invalid_argument);
+}
+
+TEST(LMaxTest, ImpossibleThresholdGivesOne) {
+  const TickModel model(paperLikeParameters());
+  const LMaxResult result = lMax(model, 0, 1.0, 0.15);
+  EXPECT_EQ(result.lMax, 1u);
+  EXPECT_EQ(result.nMaxPerReplica[0], 0u);
+}
+
+// ---------- Eq. (5): migration budgets ----------
+
+TEST(XMaxTest, DefinitionHolds) {
+  const TickModel model(paperLikeParameters());
+  const std::size_t l = 2, n = 260, a = 180;
+  const std::size_t x = xMaxInitiate(model, l, n, 0, a, kU);
+  const double t = model.tickMicros(l, n, 0, a);
+  const double mig = model.migInitiateMicros(n);
+  EXPECT_LT(t + static_cast<double>(x) * mig, kU);
+  EXPECT_GE(t + static_cast<double>(x + 1) * mig, kU);
+}
+
+TEST(XMaxTest, PaperWorkedExampleShape) {
+  // Paper (Fig. 7 discussion): heavily loaded initiator gets a small budget
+  // (~3), lightly loaded receiver a much larger one (~34), and RTF-RMS
+  // performs min{ini, rcv}.
+  const TickModel model(paperLikeParameters());
+  const std::size_t ini = xMaxInitiate(model, 2, 260, 0, 180, kU);
+  const std::size_t rcv = xMaxReceive(model, 2, 260, 0, 80, kU);
+  EXPECT_GE(ini, 1u);
+  EXPECT_LE(ini, 8u);
+  EXPECT_GE(rcv, 20u);
+  EXPECT_GT(rcv, ini * 4);
+}
+
+TEST(XMaxTest, ZeroWhenAlreadyOverloaded) {
+  const TickModel model(paperLikeParameters());
+  // 300 active users on one replica of a 300-user zone is far beyond U.
+  EXPECT_EQ(xMaxInitiate(model, 1, 300, 0, 300, kU), 0u);
+  EXPECT_EQ(xMaxReceive(model, 1, 300, 0, 300, kU), 0u);
+}
+
+TEST(XMaxTest, ReceiveBudgetExceedsInitiateBudget) {
+  // t_mig_rcv < t_mig_ini everywhere (paper Fig. 6), so at equal load the
+  // receive budget dominates.
+  const TickModel model(paperLikeParameters());
+  for (std::size_t a : {40u, 80u, 120u}) {
+    EXPECT_GE(xMaxReceive(model, 2, 240, 0, a, kU), xMaxInitiate(model, 2, 240, 0, a, kU));
+  }
+}
+
+TEST(XMaxTest, FromObservedTick) {
+  // Fig. 7's x-axis: budgets from the observed tick duration. 35 ms of a
+  // 40 ms budget leaves 5 ms; at ~1.45 ms per initiation that is 3.
+  EXPECT_EQ(xMaxFromObservedTick(35000.0, 1450.0, kU), 3u);
+  EXPECT_EQ(xMaxFromObservedTick(30000.0, 1450.0, kU), 6u);
+  EXPECT_EQ(xMaxFromObservedTick(40000.0, 1450.0, kU), 0u);
+  EXPECT_EQ(xMaxFromObservedTick(45000.0, 1450.0, kU), 0u);
+  EXPECT_EQ(xMaxFromObservedTick(10000.0, 0.0, kU), 0u);  // unmeasured cost
+}
+
+TEST(XMaxTest, ExactMultipleIsExcluded) {
+  // max{x | T + x*t < U} must use strict inequality.
+  EXPECT_EQ(xMaxFromObservedTick(30000.0, 5000.0, kU), 1u);  // 30+2*5 = 40 not < 40
+  EXPECT_EQ(xMaxFromObservedTick(29999.0, 5000.0, kU), 2u);
+}
+
+class XMaxLoadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XMaxLoadSweep, BudgetShrinksWithLoad) {
+  const TickModel model(paperLikeParameters());
+  const std::size_t a = GetParam();
+  const std::size_t budget = xMaxInitiate(model, 2, 260, 0, a, kU);
+  const std::size_t budgetHigher = xMaxInitiate(model, 2, 260, 0, a + 20, kU);
+  EXPECT_GE(budget, budgetHigher);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, XMaxLoadSweep, ::testing::Values(20u, 60u, 100u, 140u, 180u));
+
+// ---------- estimator ----------
+
+TEST(EstimatorTest, RecoversSyntheticLinearParameter) {
+  ParameterEstimator estimator;
+  SampleSeries series;
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double n = rng.uniform(20, 300);
+    series.add(n, (2.0 + 0.05 * n) * rng.normal(1.0, 0.05));
+  }
+  estimator.setSamples(ParamKind::kSu, series);
+  const ModelParameters params = estimator.fit();
+  const ParamFunction& fn = params.at(ParamKind::kSu);
+  EXPECT_EQ(fn.form, FunctionForm::kLinear);
+  EXPECT_NEAR(fn.coeffs[0], 2.0, 0.25);
+  EXPECT_NEAR(fn.coeffs[1], 0.05, 0.005);
+  EXPECT_GT(fn.gof.r2, 0.8);
+  EXPECT_EQ(fn.sampleCount, 500u);
+}
+
+TEST(EstimatorTest, RecoversSyntheticQuadraticParameter) {
+  ParameterEstimator estimator;
+  SampleSeries series;
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const double n = rng.uniform(20, 300);
+    series.add(n, (1.0 + 0.01 * n + 4e-4 * n * n) * rng.normal(1.0, 0.06));
+  }
+  estimator.setSamples(ParamKind::kUa, series);
+  const ModelParameters params = estimator.fit();
+  const ParamFunction& fn = params.at(ParamKind::kUa);
+  EXPECT_EQ(fn.form, FunctionForm::kQuadratic);
+  EXPECT_NEAR(fn.coeffs[2], 4e-4, 8e-5);
+}
+
+TEST(EstimatorTest, MissingSamplesStayZero) {
+  ParameterEstimator estimator;
+  const ModelParameters params = estimator.fit();
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    EXPECT_DOUBLE_EQ(params.eval(static_cast<ParamKind>(k), 200.0), 0.0);
+  }
+}
+
+TEST(EstimatorTest, LevMarRefinementMatchesClosedForm) {
+  ParameterEstimator estimator;
+  SampleSeries series;
+  Rng rng(8);
+  for (int i = 0; i < 400; ++i) {
+    const double n = rng.uniform(10, 250);
+    series.add(n, 3.0 + 0.1 * n + rng.normal(0.0, 0.2));
+  }
+  estimator.setSamples(ParamKind::kMigIni, series);
+  const ModelParameters withLm = estimator.fit(FitPlan::paperDefault(), true);
+  const ModelParameters withoutLm = estimator.fit(FitPlan::paperDefault(), false);
+  EXPECT_NEAR(withLm.at(ParamKind::kMigIni).coeffs[1], withoutLm.at(ParamKind::kMigIni).coeffs[1],
+              1e-4);
+}
+
+TEST(EstimatorTest, PhaseMappingRoundTrips) {
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    const auto kind = static_cast<ParamKind>(k);
+    const auto phase = phaseForParamKind(kind);
+    const auto back = paramKindForPhase(phase);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(paramKindForPhase(rtf::Phase::kOther).has_value());
+}
+
+// ---------- report ----------
+
+TEST(ReportTest, TriggersAreEightyPercent) {
+  const TickModel model(paperLikeParameters());
+  const ThresholdReport report = buildReport(model, 40.0, 0.15);
+  ASSERT_FALSE(report.nMaxPerReplica.empty());
+  for (std::size_t i = 0; i < report.nMaxPerReplica.size(); ++i) {
+    EXPECT_EQ(report.replicationTriggers[i],
+              static_cast<std::size_t>(std::floor(0.8 * static_cast<double>(
+                                                            report.nMaxPerReplica[i]))));
+  }
+  // Paper: single server 235 users -> trigger 188. We calibrate nearby.
+  EXPECT_NEAR(static_cast<double>(report.replicationTriggers[0]), 188.0, 20.0);
+}
+
+TEST(ReportTest, ToStringMentionsKeyNumbers) {
+  const TickModel model(paperLikeParameters());
+  const ThresholdReport report = buildReport(model, 40.0, 0.15);
+  const std::string text = report.toString();
+  EXPECT_NE(text.find("l_max"), std::string::npos);
+  EXPECT_NE(text.find("n_max"), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(report.nMaxPerReplica[0])), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roia::model

@@ -1,0 +1,250 @@
+// Tests for per-player application state: the stats codec, kill/death
+// attribution (local, forwarded, and credited back across servers), state
+// replication to shadows, and score continuity across user migration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "game/bots.hpp"
+#include "game/commands.hpp"
+#include "game/fps_app.hpp"
+#include "game/player_stats.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia::game {
+namespace {
+
+TEST(PlayerStatsTest, CodecRoundTrip) {
+  const PlayerStats stats{7, 3, 712};
+  EXPECT_EQ(decodeStats(encodeStats(stats)), stats);
+}
+
+TEST(PlayerStatsTest, EmptyBlobIsFreshPlayer) {
+  const PlayerStats stats = decodeStats({});
+  EXPECT_EQ(stats.kills, 0u);
+  EXPECT_EQ(stats.deaths, 0u);
+  EXPECT_EQ(stats.score, 0u);
+}
+
+TEST(PlayerStatsTest, MalformedBlobThrows) {
+  const std::vector<std::uint8_t> bad(11, 0x80);  // overlong varint
+  EXPECT_THROW((void)decodeStats(bad), ser::DecodeError);
+}
+
+// ---------- attribution through the application interface ----------
+
+struct StatsFixture {
+  FpsConfig config;
+  FpsApplication app;
+  rtf::World world{ZoneId{1}};
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter{cpu};
+  rtf::TickProbes probes;
+  Rng rng{7};
+
+  struct CapturingSink : rtf::ForwardSink {
+    std::vector<rtf::ForwardedInputMsg> forwarded;
+    void forwardInteraction(EntityId target, EntityId source,
+                            std::vector<std::uint8_t> payload) override {
+      forwarded.push_back({target, source, std::move(payload)});
+    }
+  } sink;
+
+  StatsFixture() : app(config) { meter.beginTick(probes); }
+
+  rtf::EntityRecord& addAvatar(std::uint64_t id, ServerId owner, Vec2 pos, double health) {
+    rtf::EntityRecord e;
+    e.id = EntityId{id};
+    e.kind = rtf::EntityKind::kAvatar;
+    e.owner = owner;
+    e.client = ClientId{id};
+    e.position = pos;
+    e.health = health;
+    e.version = 1;
+    return world.upsert(e);
+  }
+
+  void attack(rtf::EntityRecord& attacker, EntityId target) {
+    CommandBatch batch;
+    batch.attack = AttackCommand{target, {1, 0}};
+    const auto bytes = encodeCommands(batch);
+    rtf::PhaseScope scope(meter, rtf::Phase::kUa);
+    app.applyUserInput(world, attacker, bytes, meter, sink, rng);
+  }
+};
+
+TEST(KillAttributionTest, LocalKillCreditsAttackerAndVictim) {
+  StatsFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  f.attack(attacker, victim.id);
+  const PlayerStats attackerStats = decodeStats(attacker.appData);
+  const PlayerStats victimStats = decodeStats(victim.appData);
+  EXPECT_EQ(attackerStats.kills, 1u);
+  EXPECT_EQ(attackerStats.score, FpsConfig{}.killScore);
+  EXPECT_EQ(victimStats.deaths, 1u);
+  EXPECT_EQ(victimStats.kills, 0u);
+}
+
+TEST(KillAttributionTest, NonLethalHitChangesNoStats) {
+  StatsFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 100.0);
+  f.attack(attacker, victim.id);
+  EXPECT_TRUE(attacker.appData.empty());
+  EXPECT_TRUE(victim.appData.empty());
+  EXPECT_DOUBLE_EQ(victim.health, 92.0);
+}
+
+TEST(KillAttributionTest, ForwardedKillEmitsCreditBack) {
+  StatsFixture f;
+  // Victim active here (server 2); attacker is a shadow owned by server 1.
+  auto& victim = f.addAvatar(2, ServerId{2}, {50, 0}, 4.0);
+  f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
+  const auto payload = encodeInteraction({Interaction::Kind::kAttack, 8.0});
+  f.app.applyForwardedInteraction(f.world, victim, EntityId{1}, payload, f.meter, f.sink);
+
+  EXPECT_EQ(decodeStats(victim.appData).deaths, 1u);
+  ASSERT_EQ(f.sink.forwarded.size(), 1u);
+  EXPECT_EQ(f.sink.forwarded[0].target, EntityId{1});  // back to the attacker
+  const Interaction credit = decodeInteraction(f.sink.forwarded[0].interaction);
+  EXPECT_EQ(credit.kind, Interaction::Kind::kKillCredit);
+}
+
+TEST(KillAttributionTest, KillCreditAppliesToAttacker) {
+  StatsFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
+  const auto payload = encodeInteraction({Interaction::Kind::kKillCredit, 0.0});
+  f.app.applyForwardedInteraction(f.world, attacker, EntityId{2}, payload, f.meter, f.sink);
+  const PlayerStats stats = decodeStats(attacker.appData);
+  EXPECT_EQ(stats.kills, 1u);
+  EXPECT_EQ(stats.score, FpsConfig{}.killScore);
+}
+
+TEST(KillAttributionTest, ScoreboardChangeBumpsVersion) {
+  StatsFixture f;
+  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  const std::uint64_t before = attacker.version;
+  f.attack(attacker, victim.id);
+  EXPECT_GT(attacker.version, before);  // shadows will learn the new score
+}
+
+// ---------- end-to-end: state across servers and migrations ----------
+
+struct ClusterFixture {
+  // Small arena: every spawn point is within attack range of every other.
+  static FpsConfig smallArena() {
+    FpsConfig fps;
+    fps.arenaExtent = {100, 100};
+    return fps;
+  }
+
+  FpsApplication app{smallArena()};
+  rtf::Cluster cluster;
+  ZoneId zone;
+
+  ClusterFixture() : cluster(app, rtf::ClusterConfig{}) {
+    zone = cluster.createZone("arena", smallArena().arenaOrigin, smallArena().arenaExtent);
+  }
+};
+
+/// Always attacks a fixed target (once set) and stands still.
+class AssassinProvider final : public rtf::InputProvider {
+ public:
+  std::vector<std::uint8_t> nextCommands(SimTime, Rng&) override {
+    CommandBatch batch;
+    if (target_.valid()) batch.attack = AttackCommand{target_, {1, 0}};
+    return encodeCommands(batch);
+  }
+  void onStateUpdate(std::span<const std::uint8_t>) override {}
+  void setTarget(EntityId target) { target_ = target; }
+
+ private:
+  EntityId target_{};
+};
+
+TEST(PlayerStateE2ETest, StatsSurviveMigration) {
+  ClusterFixture f;
+  const ServerId a = f.cluster.addServer(f.zone);
+  const ServerId b = f.cluster.addServer(f.zone);
+  auto killerProvider = std::make_unique<AssassinProvider>();
+  AssassinProvider* killer = killerProvider.get();
+  const ClientId killerClient = f.cluster.connectClientTo(a, std::move(killerProvider));
+  const ClientId victimClient =
+      f.cluster.connectClientTo(a, std::make_unique<AssassinProvider>());
+  f.cluster.run(SimDuration::milliseconds(200));
+  killer->setTarget(f.cluster.client(victimClient).avatar());
+  f.cluster.run(SimDuration::seconds(4));  // plenty of kills at 25 Hz
+
+  const EntityId killerAvatar = f.cluster.client(killerClient).avatar();
+  const PlayerStats before =
+      decodeStats(f.cluster.server(a).world().find(killerAvatar)->appData);
+  ASSERT_GT(before.kills, 0u);
+
+  ASSERT_TRUE(f.cluster.migrateClient(killerClient, b));
+  f.cluster.run(SimDuration::seconds(1));
+  const rtf::EntityRecord* migrated = f.cluster.server(b).world().find(killerAvatar);
+  ASSERT_NE(migrated, nullptr);
+  EXPECT_TRUE(migrated->activeOn(b));
+  const PlayerStats after = decodeStats(migrated->appData);
+  EXPECT_GE(after.kills, before.kills);  // nothing lost in the hand-over
+  EXPECT_GE(after.score, before.score);
+}
+
+TEST(PlayerStateE2ETest, CrossServerKillCreditsArrive) {
+  ClusterFixture f;
+  const ServerId a = f.cluster.addServer(f.zone);
+  const ServerId b = f.cluster.addServer(f.zone);
+  auto killerProvider = std::make_unique<AssassinProvider>();
+  AssassinProvider* killer = killerProvider.get();
+  const ClientId killerClient = f.cluster.connectClientTo(a, std::move(killerProvider));
+  const ClientId victimClient =
+      f.cluster.connectClientTo(b, std::make_unique<AssassinProvider>());  // other server!
+  f.cluster.run(SimDuration::milliseconds(400));  // shadows form
+
+  killer->setTarget(f.cluster.client(victimClient).avatar());
+  f.cluster.run(SimDuration::seconds(5));
+
+  const EntityId killerAvatar = f.cluster.client(killerClient).avatar();
+  const EntityId victimAvatar = f.cluster.client(victimClient).avatar();
+  // Kill credits crossed twice (attack a->b, credit b->a).
+  const PlayerStats killerStats =
+      decodeStats(f.cluster.server(a).world().find(killerAvatar)->appData);
+  const PlayerStats victimStats =
+      decodeStats(f.cluster.server(b).world().find(victimAvatar)->appData);
+  EXPECT_GT(killerStats.kills, 0u);
+  EXPECT_EQ(killerStats.kills, victimStats.deaths);
+
+  // The victim's server also sees the killer's score via shadow sync.
+  const rtf::EntityRecord* killerShadow = f.cluster.server(b).world().find(killerAvatar);
+  ASSERT_NE(killerShadow, nullptr);
+  EXPECT_EQ(decodeStats(killerShadow->appData).kills, killerStats.kills);
+}
+
+TEST(PlayerStateE2ETest, AttackRangeMattersAcrossServers) {
+  // Victim in the far corner: cross-server attacks must all miss.
+  ClusterFixture f;
+  const ServerId a = f.cluster.addServer(f.zone);
+  const ServerId b = f.cluster.addServer(f.zone);
+  (void)a;
+  auto killerProvider = std::make_unique<AssassinProvider>();
+  AssassinProvider* killer = killerProvider.get();
+  f.cluster.connectClientTo(a, std::move(killerProvider));
+  const ClientId victimClient =
+      f.cluster.connectClientTo(b, std::make_unique<AssassinProvider>());
+  f.cluster.run(SimDuration::milliseconds(400));
+
+  // Park the victim far outside attack range by teleporting both records.
+  const EntityId victimAvatar = f.cluster.client(victimClient).avatar();
+  f.cluster.server(b).world().find(victimAvatar)->position = {5000, 5000};
+  f.cluster.server(a).world().find(victimAvatar)->position = {5000, 5000};
+  killer->setTarget(victimAvatar);
+  f.cluster.run(SimDuration::seconds(2));
+  EXPECT_TRUE(f.cluster.server(b).world().find(victimAvatar)->appData.empty());
+}
+
+}  // namespace
+}  // namespace roia::game

@@ -1,0 +1,88 @@
+// Tests for client-side QoE measurement: the update-rate probes on the
+// client endpoints and their link to server tick duration — the paper's
+// premise that a tick above 40 ms means users drop below 25 updates/s.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia::rtf {
+namespace {
+
+struct Fixture {
+  game::FpsApplication app;
+  Cluster cluster{app, ClusterConfig{}};
+  ZoneId zone = cluster.createZone("arena");
+};
+
+TEST(QoeTest, HealthyServerDelivers25Hz) {
+  Fixture f;
+  f.cluster.addServer(f.zone);
+  const ClientId c = f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  for (int i = 0; i < 30; ++i) {
+    f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  }
+  f.cluster.run(SimDuration::seconds(4));
+  const ClientEndpoint& endpoint = f.cluster.client(c);
+  EXPECT_NEAR(endpoint.avgUpdateGapMs(), 40.0, 2.0);      // one update per tick
+  EXPECT_NEAR(endpoint.updateRateHz(), 25.0, 1.5);
+  EXPECT_LT(endpoint.worstUpdateGapMs(), 60.0);
+}
+
+TEST(QoeTest, OverloadedServerDropsBelow25Hz) {
+  // Far beyond n_max(1): ticks stretch past 40 ms, so clients receive
+  // fewer than 25 updates/s — the paper's QoE violation.
+  Fixture f;
+  const ServerId s = f.cluster.addServer(f.zone);
+  ClientId probe{};
+  for (int i = 0; i < 400; ++i) {
+    probe = f.cluster.connectClientTo(s, std::make_unique<game::BotProvider>());
+  }
+  f.cluster.run(SimDuration::seconds(5));
+  const ClientEndpoint& endpoint = f.cluster.client(probe);
+  EXPECT_GT(endpoint.avgUpdateGapMs(), 45.0);
+  EXPECT_LT(endpoint.updateRateHz(), 23.0);
+  // And the server-side cause is visible: tick duration above the interval.
+  EXPECT_GT(f.cluster.server(s).monitoring().tickAvgMs, 40.0);
+}
+
+TEST(QoeTest, RateRecoversAfterLoadIsSplit) {
+  Fixture f;
+  const ServerId a = f.cluster.addServer(f.zone);
+  ClientId probe{};
+  for (int i = 0; i < 320; ++i) {
+    probe = f.cluster.connectClientTo(a, std::make_unique<game::BotProvider>());
+  }
+  f.cluster.run(SimDuration::seconds(3));
+  EXPECT_LT(f.cluster.client(probe).updateRateHz(), 24.0);
+
+  // Split onto a second replica, as RTF-RMS would.
+  const ServerId b = f.cluster.addServer(f.zone);
+  const std::vector<ClientId> clients = f.cluster.server(a).clientIds(true);
+  for (std::size_t i = 0; i < clients.size() / 2; ++i) {
+    f.cluster.migrateClient(clients[i], b);
+  }
+  f.cluster.run(SimDuration::seconds(4));
+
+  // Ticks are healthy again; fresh clients see full rate.
+  EXPECT_LT(f.cluster.server(a).monitoring().tickAvgMs, 40.0);
+  EXPECT_LT(f.cluster.server(b).monitoring().tickAvgMs, 40.0);
+  const ClientId fresh = f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  f.cluster.run(SimDuration::seconds(2));
+  EXPECT_NEAR(f.cluster.client(fresh).updateRateHz(), 25.0, 1.5);
+}
+
+TEST(QoeTest, NoUpdatesMeansZeroRate) {
+  Fixture f;
+  f.cluster.addServer(f.zone);
+  const ClientId c = f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  const ClientEndpoint& endpoint = f.cluster.client(c);
+  EXPECT_DOUBLE_EQ(endpoint.updateRateHz(), 0.0);
+  EXPECT_DOUBLE_EQ(endpoint.avgUpdateGapMs(), 0.0);
+}
+
+}  // namespace
+}  // namespace roia::rtf

@@ -1,0 +1,413 @@
+// Tests for RTF-RMS: the resource pool, the model-driven strategy
+// (Listing 1 migration planning, replication/substitution/removal
+// triggers), the baseline strategies, and the manager executing decisions
+// against a live cluster.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "rms/baseline_strategies.hpp"
+#include "rms/manager.hpp"
+#include "rms/model_strategy.hpp"
+#include "rms/resource_pool.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia::rms {
+namespace {
+
+constexpr double kU = 40000.0;
+
+model::ModelParameters paperLikeParameters() {
+  model::ModelParameters params;
+  params.set(model::ParamKind::kUaDser, model::ParamFunction::linear(1.0, 0.0015));
+  params.set(model::ParamKind::kUa, model::ParamFunction::quadratic(1.2, 0.009, 1.2e-4));
+  params.set(model::ParamKind::kAoi, model::ParamFunction::quadratic(0.1, 0.45, 0.8e-4));
+  params.set(model::ParamKind::kSu, model::ParamFunction::linear(1.5, 0.2));
+  params.set(model::ParamKind::kFaDser, model::ParamFunction::linear(0.55, 0.0007));
+  params.set(model::ParamKind::kFa, model::ParamFunction::linear(0.9, 0.0023));
+  params.set(model::ParamKind::kMigIni, model::ParamFunction::linear(150.0, 5.0));
+  params.set(model::ParamKind::kMigRcv, model::ParamFunction::linear(80.0, 2.2));
+  return params;
+}
+
+rtf::MonitoringSnapshot snapshotOf(std::uint64_t server, std::size_t active, std::size_t total,
+                                   double tickAvgMs = 10.0) {
+  rtf::MonitoringSnapshot s;
+  s.server = ServerId{server};
+  s.zone = ZoneId{1};
+  s.activeUsers = active;
+  s.totalAvatars = total;
+  s.tickAvgMs = tickAvgMs;
+  s.tickMaxMs = tickAvgMs * 1.2;
+  return s;
+}
+
+ZoneView makeView(std::vector<rtf::MonitoringSnapshot> servers) {
+  ZoneView view;
+  view.zone = ZoneId{1};
+  view.servers = std::move(servers);
+  return view;
+}
+
+// ---------- resource pool ----------
+
+TEST(ResourcePoolTest, LeaseAndRelease) {
+  ResourcePool pool({{"standard", 1.0, 1.0, 2}});
+  EXPECT_EQ(pool.availableOf(0), 2u);
+  const auto l1 = pool.lease(0, SimTime{0});
+  const auto l2 = pool.lease(0, SimTime{0});
+  ASSERT_TRUE(l1 && l2);
+  EXPECT_EQ(pool.availableOf(0), 0u);
+  EXPECT_FALSE(pool.lease(0, SimTime{0}).has_value());  // exhausted
+  pool.release(*l1, SimTime{10000000});
+  EXPECT_EQ(pool.availableOf(0), 1u);
+  EXPECT_EQ(pool.activeLeases(), 1u);
+}
+
+TEST(ResourcePoolTest, UnknownFlavorOrLeaseSafe) {
+  ResourcePool pool({{"standard", 1.0, 1.0, 1}});
+  EXPECT_FALSE(pool.lease(5, SimTime{0}).has_value());
+  pool.release(LeaseId{999}, SimTime{0});  // no-op
+  EXPECT_EQ(pool.activeLeases(), 0u);
+}
+
+TEST(ResourcePoolTest, ServerSecondsAccounting) {
+  ResourcePool pool({{"standard", 1.0, 3600.0, 4}});
+  const auto l1 = pool.lease(0, SimTime{0});
+  const auto l2 = pool.lease(0, SimTime{0});
+  pool.release(*l1, SimTime{SimDuration::seconds(10).micros});
+  (void)l2;
+  // 10 s completed + 20 s in progress at t = 20 s.
+  EXPECT_NEAR(pool.serverSeconds(SimTime{SimDuration::seconds(20).micros}), 30.0, 1e-9);
+  // Cost: 3600 per hour == 1 per second.
+  EXPECT_NEAR(pool.totalCost(SimTime{SimDuration::seconds(20).micros}), 30.0, 1e-9);
+}
+
+TEST(ResourcePoolTest, StrongerFlavorSelection) {
+  ResourcePool pool({{"standard", 1.0, 1.0, 10},
+                     {"large", 2.0, 2.5, 1},
+                     {"xlarge", 4.0, 9.0, 1}});
+  const auto stronger = pool.strongerFlavor(1.0);
+  ASSERT_TRUE(stronger.has_value());
+  EXPECT_EQ(*stronger, 1u);  // cheapest faster flavor
+  const auto evenStronger = pool.strongerFlavor(2.0);
+  ASSERT_TRUE(evenStronger.has_value());
+  EXPECT_EQ(*evenStronger, 2u);
+  EXPECT_FALSE(pool.strongerFlavor(4.0).has_value());
+  // Exhaust the large flavor: selection falls through to xlarge.
+  (void)pool.lease(1, SimTime{0});
+  const auto fallback = pool.strongerFlavor(1.0);
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(*fallback, 2u);
+}
+
+TEST(ResourcePoolTest, DefaultPoolHasStandardAndLarge) {
+  ResourcePool pool;
+  EXPECT_GE(pool.flavorCount(), 2u);
+  EXPECT_TRUE(pool.lease(0, SimTime{0}).has_value());
+  EXPECT_TRUE(pool.strongerFlavor(1.0).has_value());
+}
+
+// ---------- model-driven strategy ----------
+
+ModelStrategyConfig defaultConfig() {
+  ModelStrategyConfig config;
+  config.upperTickMs = 40.0;
+  config.improvementFactorC = 0.15;
+  return config;
+}
+
+TEST(ModelStrategyTest, BalancedZoneNeedsNothing) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  // 200 users on two replicas: above the removal hysteresis, below the
+  // replication trigger of l = 2 -> steady state.
+  const Decision d =
+      strategy.decide(makeView({snapshotOf(1, 100, 200), snapshotOf(2, 100, 200)}));
+  EXPECT_TRUE(d.migrations.empty());
+  EXPECT_FALSE(d.structural());
+}
+
+TEST(ModelStrategyTest, ImbalanceProducesListing1Plan) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  // 150 vs 50 users: s_max = server 1, deviation of server 2 = 50.
+  const Decision d = strategy.decide(makeView({snapshotOf(1, 150, 200), snapshotOf(2, 50, 200)}));
+  ASSERT_EQ(d.migrations.size(), 1u);
+  EXPECT_EQ(d.migrations[0].from, ServerId{1});
+  EXPECT_EQ(d.migrations[0].to, ServerId{2});
+  // Bounded by the initiator budget of Eq. (5), far below the deviation 50.
+  const std::size_t iniBudget = model::xMaxInitiate(model::TickModel(paperLikeParameters()), 2,
+                                                    200, 0, 150, kU);
+  EXPECT_EQ(d.migrations[0].count, std::min<std::size_t>(50, iniBudget));
+  EXPECT_LT(d.migrations[0].count, 50u);
+}
+
+TEST(ModelStrategyTest, MigrationsRespectReceiverBudget) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  // Receiver is itself loaded (total population high): its x_max^rcv caps
+  // what it may take.
+  const auto view = makeView({snapshotOf(1, 200, 300), snapshotOf(2, 100, 300)});
+  const Decision d = strategy.decide(view);
+  const std::size_t rcvBudget = model::xMaxReceive(model::TickModel(paperLikeParameters()), 2,
+                                                   300, 0, 100, kU);
+  for (const auto& order : d.migrations) {
+    EXPECT_LE(order.count, rcvBudget);
+  }
+}
+
+TEST(ModelStrategyTest, SmallImbalanceIgnored) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  const Decision d = strategy.decide(makeView({snapshotOf(1, 52, 100), snapshotOf(2, 48, 100)}));
+  EXPECT_TRUE(d.migrations.empty());
+}
+
+TEST(ModelStrategyTest, ReplicationAtEightyPercent) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  const std::size_t nMax1 = strategy.nMaxFor(1);
+  const std::size_t trigger = static_cast<std::size_t>(0.8 * static_cast<double>(nMax1));
+  // Just below the trigger: nothing.
+  EXPECT_FALSE(strategy.decide(makeView({snapshotOf(1, trigger - 2, trigger - 2)})).addReplica);
+  // Just above: replication enactment.
+  const Decision d = strategy.decide(makeView({snapshotOf(1, trigger + 2, trigger + 2)}));
+  EXPECT_TRUE(d.addReplica);
+  EXPECT_FALSE(d.removeServer.has_value());
+}
+
+TEST(ModelStrategyTest, PendingStartSuppressesSecondAdd) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  auto view = makeView({snapshotOf(1, 230, 230)});
+  view.pendingStarts = 1;
+  // With the pending server counted, 230 < 0.8 * n_max(2): no second add.
+  EXPECT_FALSE(strategy.decide(view).addReplica);
+}
+
+TEST(ModelStrategyTest, SubstitutionWhenLMaxReached) {
+  ModelStrategyConfig config = defaultConfig();
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), config);
+  const std::size_t lMax = strategy.report().lMax;
+  std::vector<rtf::MonitoringSnapshot> servers;
+  const std::size_t perServer = strategy.nMaxFor(lMax) / lMax;  // near capacity
+  for (std::size_t i = 1; i <= lMax; ++i) {
+    servers.push_back(snapshotOf(i, perServer, perServer * lMax));
+  }
+  const Decision d = strategy.decide(makeView(std::move(servers)));
+  EXPECT_FALSE(d.addReplica);
+  ASSERT_TRUE(d.substituteServer.has_value());
+}
+
+TEST(ModelStrategyTest, RemovalWithHysteresis) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  // Two replicas, population far below the 1-replica trigger.
+  const Decision d = strategy.decide(makeView({snapshotOf(1, 30, 60), snapshotOf(2, 30, 60)}));
+  ASSERT_TRUE(d.removeServer.has_value());
+  // Population just below the 2-replica trigger but above the shrunken
+  // 1-replica one: keep both (hysteresis).
+  const std::size_t nMax1 = strategy.nMaxFor(1);
+  const std::size_t keep = static_cast<std::size_t>(0.8 * 0.9 * static_cast<double>(nMax1));
+  const Decision d2 =
+      strategy.decide(makeView({snapshotOf(1, keep / 2, keep), snapshotOf(2, keep - keep / 2, keep)}));
+  EXPECT_FALSE(d2.removeServer.has_value());
+}
+
+TEST(ModelStrategyTest, NeverRemoveLastReplica) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  const Decision d = strategy.decide(makeView({snapshotOf(1, 5, 5)}));
+  EXPECT_FALSE(d.removeServer.has_value());
+}
+
+TEST(ModelStrategyTest, DrainingServerIsEmptiedFirst) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  auto view = makeView({snapshotOf(1, 40, 100), snapshotOf(2, 60, 100)});
+  view.draining = {ServerId{1}};
+  const Decision d = strategy.decide(view);
+  ASSERT_FALSE(d.migrations.empty());
+  for (const auto& order : d.migrations) {
+    EXPECT_EQ(order.from, ServerId{1});
+    EXPECT_EQ(order.to, ServerId{2});
+  }
+}
+
+TEST(ModelStrategyTest, NoMigrationTargetsDrainingServers) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  auto view = makeView(
+      {snapshotOf(1, 100, 160), snapshotOf(2, 30, 160), snapshotOf(3, 30, 160)});
+  view.draining = {ServerId{2}};
+  const Decision d = strategy.decide(view);
+  for (const auto& order : d.migrations) {
+    EXPECT_NE(order.to, ServerId{2});
+  }
+}
+
+TEST(ModelStrategyTest, EmptyViewIsNoop) {
+  ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
+  const Decision d = strategy.decide(makeView({}));
+  EXPECT_TRUE(d.migrations.empty());
+  EXPECT_FALSE(d.structural());
+}
+
+// ---------- baseline strategies ----------
+
+TEST(StaticStrategyTest, EqualizesFullyWithoutBudgets) {
+  StaticIntervalStrategy strategy(StaticStrategyConfig{});
+  const Decision d = strategy.decide(makeView({snapshotOf(1, 150, 200), snapshotOf(2, 50, 200)}));
+  ASSERT_EQ(d.migrations.size(), 1u);
+  EXPECT_EQ(d.migrations[0].count, 50u);  // full deviation, no throttle
+}
+
+TEST(StaticStrategyTest, ReactiveReplicationOnlyAfterViolation) {
+  StaticIntervalStrategy strategy(StaticStrategyConfig{});
+  EXPECT_FALSE(strategy.decide(makeView({snapshotOf(1, 200, 200, 30.0)})).addReplica);
+  EXPECT_TRUE(strategy.decide(makeView({snapshotOf(1, 220, 220, 45.0)})).addReplica);
+}
+
+TEST(StaticStrategyTest, RemovesOnLowTick) {
+  StaticIntervalStrategy strategy(StaticStrategyConfig{});
+  const Decision d =
+      strategy.decide(makeView({snapshotOf(1, 20, 40, 5.0), snapshotOf(2, 20, 40, 5.0)}));
+  EXPECT_TRUE(d.removeServer.has_value());
+}
+
+TEST(UnthrottledStrategyTest, PredictiveAddButUnboundedMigrations) {
+  UnthrottledMigrationStrategy strategy(model::TickModel(paperLikeParameters()), 40.0, 0.15);
+  const Decision d = strategy.decide(makeView({snapshotOf(1, 150, 200), snapshotOf(2, 50, 200)}));
+  ASSERT_EQ(d.migrations.size(), 1u);
+  EXPECT_EQ(d.migrations[0].count, 50u);
+}
+
+TEST(UnthrottledPlannerTest, MultiWayFlowConservation) {
+  Decision d;
+  const auto view = makeView({snapshotOf(1, 90, 150), snapshotOf(2, 40, 150),
+                              snapshotOf(3, 20, 150)});
+  planUnthrottledMigrations(view, 0, d);
+  std::size_t out1 = 0, into2 = 0, into3 = 0;
+  for (const auto& order : d.migrations) {
+    EXPECT_EQ(order.from, ServerId{1});
+    out1 += order.count;
+    if (order.to == ServerId{2}) into2 += order.count;
+    if (order.to == ServerId{3}) into3 += order.count;
+  }
+  // avg = 50: server 1 sheds 40, server 2 takes 10, server 3 takes 30.
+  EXPECT_EQ(out1, 40u);
+  EXPECT_EQ(into2, 10u);
+  EXPECT_EQ(into3, 30u);
+}
+
+// ---------- manager against a live cluster ----------
+
+struct ManagerFixture {
+  game::FpsApplication app;
+  rtf::Cluster cluster;
+  ZoneId zone;
+
+  ManagerFixture() : app(), cluster(app, rtf::ClusterConfig{}), zone(cluster.createZone("z")) {
+    cluster.addServer(zone);
+  }
+};
+
+TEST(ManagerTest, ExecutesMigrationOrders) {
+  ManagerFixture f;
+  const ServerId b = f.cluster.addServer(f.zone);
+  const ServerId a = f.cluster.zones().replicas(f.zone).front();
+  // Enough users that the strategy keeps both replicas (above the removal
+  // hysteresis) but all parked on one server: a pure imbalance.
+  for (int i = 0; i < 160; ++i) {
+    f.cluster.connectClientTo(a, std::make_unique<game::BotProvider>());
+  }
+  RmsConfig config;
+  config.controlPeriod = SimDuration::milliseconds(500);
+  RmsManager manager(f.cluster, f.zone,
+                     std::make_unique<ModelDrivenStrategy>(
+                         model::TickModel(paperLikeParameters()), defaultConfig()),
+                     ResourcePool{}, config);
+  manager.start();
+  f.cluster.run(SimDuration::seconds(20));
+  manager.stop();
+  // The imbalance (160/0) converged toward equal despite throttled budgets.
+  const std::size_t onA = f.cluster.server(a).connectedUsers();
+  const std::size_t onB = f.cluster.server(b).connectedUsers();
+  EXPECT_EQ(onA + onB, 160u);
+  EXPECT_NEAR(static_cast<double>(onA), 80.0, 10.0);
+  EXPECT_GT(manager.migrationsOrderedTotal(), 30u);
+}
+
+TEST(ManagerTest, AddsReplicaAfterStartupDelay) {
+  ManagerFixture f;
+  for (int i = 0; i < 210; ++i) {
+    f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  }
+  RmsConfig config;
+  config.controlPeriod = SimDuration::milliseconds(500);
+  config.serverStartupDelay = SimDuration::seconds(2);
+  RmsManager manager(f.cluster, f.zone,
+                     std::make_unique<ModelDrivenStrategy>(
+                         model::TickModel(paperLikeParameters()), defaultConfig()),
+                     ResourcePool{}, config);
+  manager.start();
+  f.cluster.run(SimDuration::milliseconds(1500));
+  // Decision made, but the server is still booting.
+  EXPECT_EQ(f.cluster.serverCount(), 1u);
+  f.cluster.run(SimDuration::seconds(3));
+  EXPECT_EQ(f.cluster.serverCount(), 2u);
+  EXPECT_EQ(manager.replicasAdded(), 1u);
+  manager.stop();
+}
+
+TEST(ManagerTest, DrainsAndRemovesUnderutilizedReplica) {
+  ManagerFixture f;
+  const ServerId b = f.cluster.addServer(f.zone);
+  for (int i = 0; i < 20; ++i) {
+    f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  }
+  RmsConfig config;
+  config.controlPeriod = SimDuration::milliseconds(500);
+  RmsManager manager(f.cluster, f.zone,
+                     std::make_unique<ModelDrivenStrategy>(
+                         model::TickModel(paperLikeParameters()), defaultConfig()),
+                     ResourcePool{}, config);
+  manager.start();
+  f.cluster.run(SimDuration::seconds(30));
+  manager.stop();
+  EXPECT_EQ(f.cluster.serverCount(), 1u);
+  EXPECT_EQ(manager.replicasRemoved(), 1u);
+  EXPECT_EQ(f.cluster.zoneUserCount(f.zone), 20u);  // nobody lost
+  (void)b;
+}
+
+TEST(ManagerTest, TimelineRecordsSessions) {
+  ManagerFixture f;
+  for (int i = 0; i < 30; ++i) {
+    f.cluster.connectClient(f.zone, std::make_unique<game::BotProvider>());
+  }
+  RmsConfig config;
+  config.controlPeriod = SimDuration::seconds(1);
+  RmsManager manager(f.cluster, f.zone,
+                     std::make_unique<ModelDrivenStrategy>(
+                         model::TickModel(paperLikeParameters()), defaultConfig()),
+                     ResourcePool{}, config);
+  manager.start();
+  f.cluster.run(SimDuration::seconds(5));
+  manager.stop();
+  ASSERT_GE(manager.timeline().size(), 4u);
+  const TimelinePoint& p = manager.timeline().back();
+  EXPECT_EQ(p.users, 30u);
+  EXPECT_EQ(p.servers, 1u);
+  EXPECT_GT(p.avgTickMs, 0.0);
+  EXPECT_GT(p.avgCpuLoad, 0.0);
+  EXPECT_FALSE(p.violation);
+  EXPECT_EQ(manager.violationPeriods(), 0u);
+}
+
+TEST(ManagerTest, AccountsInitialServersInPool) {
+  ManagerFixture f;
+  RmsConfig config;
+  RmsManager manager(f.cluster, f.zone,
+                     std::make_unique<ModelDrivenStrategy>(
+                         model::TickModel(paperLikeParameters()), defaultConfig()),
+                     ResourcePool{}, config);
+  f.cluster.run(SimDuration::seconds(10));
+  EXPECT_NEAR(manager.pool().serverSeconds(f.cluster.simulation().now()), 10.0, 0.5);
+}
+
+}  // namespace
+}  // namespace roia::rms

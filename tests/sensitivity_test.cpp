@@ -1,0 +1,108 @@
+// Tests for the sensitivity-analysis tooling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/sensitivity.hpp"
+
+namespace roia::model {
+namespace {
+
+ModelParameters paperLikeParameters() {
+  ModelParameters params;
+  params.set(ParamKind::kUaDser, ParamFunction::linear(1.0, 0.0015));
+  params.set(ParamKind::kUa, ParamFunction::quadratic(1.2, 0.009, 1.2e-4));
+  params.set(ParamKind::kAoi, ParamFunction::quadratic(0.1, 0.45, 0.8e-4));
+  params.set(ParamKind::kSu, ParamFunction::linear(1.5, 0.2));
+  params.set(ParamKind::kFaDser, ParamFunction::linear(0.55, 0.0007));
+  params.set(ParamKind::kFa, ParamFunction::linear(0.9, 0.0023));
+  params.set(ParamKind::kMigIni, ParamFunction::linear(150.0, 5.0));
+  params.set(ParamKind::kMigRcv, ParamFunction::linear(80.0, 2.2));
+  return params;
+}
+
+constexpr double kU = 40000.0;
+
+TEST(SensitivityTest, BaselineMatchesDirectComputation) {
+  const ModelParameters params = paperLikeParameters();
+  const SensitivityReport report = analyzeSensitivity(params, kU, 0.15, 0.10);
+  const TickModel model(params);
+  EXPECT_EQ(report.baselineNMax1, nMax(model, 1, 0, kU));
+  EXPECT_EQ(report.baselineLMax, lMax(model, 0, kU, 0.15).lMax);
+}
+
+TEST(SensitivityTest, ZeroCoefficientsAreSkipped) {
+  ModelParameters params = paperLikeParameters();
+  params.set(ParamKind::kNpc, ParamFunction::constant(0.0));  // all-zero
+  const SensitivityReport report = analyzeSensitivity(params, kU, 0.15, 0.10);
+  for (const SensitivityEntry& e : report.entries) {
+    EXPECT_NE(e.kind, ParamKind::kNpc);
+  }
+  // Every non-zero coefficient produces exactly two entries (+ and -).
+  std::size_t nonZero = 0;
+  for (std::size_t k = 0; k < kParamCount; ++k) {
+    for (const double c : params.at(static_cast<ParamKind>(k)).coeffs) {
+      if (c != 0.0) ++nonZero;
+    }
+  }
+  EXPECT_EQ(report.entries.size(), 2 * nonZero);
+}
+
+TEST(SensitivityTest, PerturbationSignsActOppositely) {
+  const SensitivityReport report =
+      analyzeSensitivity(paperLikeParameters(), kU, 0.15, 0.10);
+  // For the dominant t_aoi linear coefficient: +10% must not increase
+  // capacity, -10% must not decrease it.
+  std::size_t checked = 0;
+  for (const SensitivityEntry& e : report.entries) {
+    if (e.kind == ParamKind::kAoi && e.coeffIndex == 1) {
+      if (e.perturbation > 0) {
+        EXPECT_LE(e.nMax1, report.baselineNMax1);
+      }
+      if (e.perturbation < 0) {
+        EXPECT_GE(e.nMax1, report.baselineNMax1);
+      }
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 2u);
+}
+
+TEST(SensitivityTest, DominantTermOutranksTinyTerms) {
+  const SensitivityReport report =
+      analyzeSensitivity(paperLikeParameters(), kU, 0.15, 0.10);
+  const auto ranked = report.rankedByImpact();
+  ASSERT_FALSE(ranked.empty());
+  // The strongest entry must be a per-user task (aoi/su/ua), never a
+  // forwarded or migration parameter.
+  const ParamKind top = ranked.front().kind;
+  EXPECT_TRUE(top == ParamKind::kAoi || top == ParamKind::kSu || top == ParamKind::kUa);
+  // Migration parameters never move n_max(1) (they are not in Eq. (1)).
+  for (const SensitivityEntry& e : report.entries) {
+    if (e.kind == ParamKind::kMigIni || e.kind == ParamKind::kMigRcv) {
+      EXPECT_EQ(e.nMax1, report.baselineNMax1);
+    }
+  }
+}
+
+TEST(SensitivityTest, LargerPerturbationLargerImpact) {
+  const SensitivityReport small =
+      analyzeSensitivity(paperLikeParameters(), kU, 0.15, 0.05);
+  const SensitivityReport large =
+      analyzeSensitivity(paperLikeParameters(), kU, 0.15, 0.20);
+  const double smallTop = std::fabs(small.rankedByImpact().front().nMaxDeltaPct);
+  const double largeTop = std::fabs(large.rankedByImpact().front().nMaxDeltaPct);
+  EXPECT_GT(largeTop, smallTop);
+}
+
+TEST(SensitivityTest, ToStringListsBaselineAndEntries) {
+  const SensitivityReport report =
+      analyzeSensitivity(paperLikeParameters(), kU, 0.15, 0.10);
+  const std::string text = report.toString();
+  EXPECT_NE(text.find("baseline"), std::string::npos);
+  EXPECT_NE(text.find("t_aoi"), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(report.baselineNMax1)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roia::model
