@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bandwidth.dir/ext_bandwidth.cpp.o"
+  "CMakeFiles/ext_bandwidth.dir/ext_bandwidth.cpp.o.d"
+  "ext_bandwidth"
+  "ext_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

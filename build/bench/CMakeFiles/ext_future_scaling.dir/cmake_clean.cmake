@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_future_scaling.dir/ext_future_scaling.cpp.o"
+  "CMakeFiles/ext_future_scaling.dir/ext_future_scaling.cpp.o.d"
+  "ext_future_scaling"
+  "ext_future_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_future_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

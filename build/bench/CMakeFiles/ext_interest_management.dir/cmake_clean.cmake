@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_interest_management.dir/ext_interest_management.cpp.o"
+  "CMakeFiles/ext_interest_management.dir/ext_interest_management.cpp.o.d"
+  "ext_interest_management"
+  "ext_interest_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_interest_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_npc_model.dir/ext_npc_model.cpp.o"
+  "CMakeFiles/ext_npc_model.dir/ext_npc_model.cpp.o.d"
+  "ext_npc_model"
+  "ext_npc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_npc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_replication_params.dir/fig4_replication_params.cpp.o"
+  "CMakeFiles/fig4_replication_params.dir/fig4_replication_params.cpp.o.d"
+  "fig4_replication_params"
+  "fig4_replication_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_replication_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

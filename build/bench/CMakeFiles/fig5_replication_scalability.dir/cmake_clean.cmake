@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_replication_scalability.dir/fig5_replication_scalability.cpp.o"
+  "CMakeFiles/fig5_replication_scalability.dir/fig5_replication_scalability.cpp.o.d"
+  "fig5_replication_scalability"
+  "fig5_replication_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_replication_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

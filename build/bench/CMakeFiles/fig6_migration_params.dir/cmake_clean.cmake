@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_migration_params.dir/fig6_migration_params.cpp.o"
+  "CMakeFiles/fig6_migration_params.dir/fig6_migration_params.cpp.o.d"
+  "fig6_migration_params"
+  "fig6_migration_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_migration_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

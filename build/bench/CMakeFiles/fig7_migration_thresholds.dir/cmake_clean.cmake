@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_migration_thresholds.dir/fig7_migration_thresholds.cpp.o"
+  "CMakeFiles/fig7_migration_thresholds.dir/fig7_migration_thresholds.cpp.o.d"
+  "fig7_migration_thresholds"
+  "fig7_migration_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_migration_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_dynamic_session.cpp" "bench/CMakeFiles/fig8_dynamic_session.dir/fig8_dynamic_session.cpp.o" "gcc" "bench/CMakeFiles/fig8_dynamic_session.dir/fig8_dynamic_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/game/CMakeFiles/roia_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/roia_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/roia_rms.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/roia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtf/CMakeFiles/roia_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/roia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/roia_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

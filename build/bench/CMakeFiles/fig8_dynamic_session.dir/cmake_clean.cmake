@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dynamic_session.dir/fig8_dynamic_session.cpp.o"
+  "CMakeFiles/fig8_dynamic_session.dir/fig8_dynamic_session.cpp.o.d"
+  "fig8_dynamic_session"
+  "fig8_dynamic_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dynamic_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_of_zones.dir/world_of_zones.cpp.o"
+  "CMakeFiles/world_of_zones.dir/world_of_zones.cpp.o.d"
+  "world_of_zones"
+  "world_of_zones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_of_zones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

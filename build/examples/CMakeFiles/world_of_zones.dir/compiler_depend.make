@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for world_of_zones.
+# This may be replaced when dependencies are built.

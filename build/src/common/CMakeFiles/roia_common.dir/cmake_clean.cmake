@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_common.dir/log.cpp.o"
+  "CMakeFiles/roia_common.dir/log.cpp.o.d"
+  "CMakeFiles/roia_common.dir/rng.cpp.o"
+  "CMakeFiles/roia_common.dir/rng.cpp.o.d"
+  "CMakeFiles/roia_common.dir/stats.cpp.o"
+  "CMakeFiles/roia_common.dir/stats.cpp.o.d"
+  "libroia_common.a"
+  "libroia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

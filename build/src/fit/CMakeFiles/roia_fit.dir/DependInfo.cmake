@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fit/gof.cpp" "src/fit/CMakeFiles/roia_fit.dir/gof.cpp.o" "gcc" "src/fit/CMakeFiles/roia_fit.dir/gof.cpp.o.d"
+  "/root/repo/src/fit/levmar.cpp" "src/fit/CMakeFiles/roia_fit.dir/levmar.cpp.o" "gcc" "src/fit/CMakeFiles/roia_fit.dir/levmar.cpp.o.d"
+  "/root/repo/src/fit/matrix.cpp" "src/fit/CMakeFiles/roia_fit.dir/matrix.cpp.o" "gcc" "src/fit/CMakeFiles/roia_fit.dir/matrix.cpp.o.d"
+  "/root/repo/src/fit/polyfit.cpp" "src/fit/CMakeFiles/roia_fit.dir/polyfit.cpp.o" "gcc" "src/fit/CMakeFiles/roia_fit.dir/polyfit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_fit.dir/gof.cpp.o"
+  "CMakeFiles/roia_fit.dir/gof.cpp.o.d"
+  "CMakeFiles/roia_fit.dir/levmar.cpp.o"
+  "CMakeFiles/roia_fit.dir/levmar.cpp.o.d"
+  "CMakeFiles/roia_fit.dir/matrix.cpp.o"
+  "CMakeFiles/roia_fit.dir/matrix.cpp.o.d"
+  "CMakeFiles/roia_fit.dir/polyfit.cpp.o"
+  "CMakeFiles/roia_fit.dir/polyfit.cpp.o.d"
+  "libroia_fit.a"
+  "libroia_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/bots.cpp" "src/game/CMakeFiles/roia_game.dir/bots.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/bots.cpp.o.d"
+  "/root/repo/src/game/calibrate.cpp" "src/game/CMakeFiles/roia_game.dir/calibrate.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/calibrate.cpp.o.d"
+  "/root/repo/src/game/commands.cpp" "src/game/CMakeFiles/roia_game.dir/commands.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/commands.cpp.o.d"
+  "/root/repo/src/game/fps_app.cpp" "src/game/CMakeFiles/roia_game.dir/fps_app.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/fps_app.cpp.o.d"
+  "/root/repo/src/game/interest.cpp" "src/game/CMakeFiles/roia_game.dir/interest.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/interest.cpp.o.d"
+  "/root/repo/src/game/measurement.cpp" "src/game/CMakeFiles/roia_game.dir/measurement.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/measurement.cpp.o.d"
+  "/root/repo/src/game/player_stats.cpp" "src/game/CMakeFiles/roia_game.dir/player_stats.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/player_stats.cpp.o.d"
+  "/root/repo/src/game/scenario.cpp" "src/game/CMakeFiles/roia_game.dir/scenario.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/scenario.cpp.o.d"
+  "/root/repo/src/game/state_update.cpp" "src/game/CMakeFiles/roia_game.dir/state_update.cpp.o" "gcc" "src/game/CMakeFiles/roia_game.dir/state_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtf/CMakeFiles/roia_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/roia_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/roia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/roia_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/roia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_game.dir/bots.cpp.o"
+  "CMakeFiles/roia_game.dir/bots.cpp.o.d"
+  "CMakeFiles/roia_game.dir/calibrate.cpp.o"
+  "CMakeFiles/roia_game.dir/calibrate.cpp.o.d"
+  "CMakeFiles/roia_game.dir/commands.cpp.o"
+  "CMakeFiles/roia_game.dir/commands.cpp.o.d"
+  "CMakeFiles/roia_game.dir/fps_app.cpp.o"
+  "CMakeFiles/roia_game.dir/fps_app.cpp.o.d"
+  "CMakeFiles/roia_game.dir/interest.cpp.o"
+  "CMakeFiles/roia_game.dir/interest.cpp.o.d"
+  "CMakeFiles/roia_game.dir/measurement.cpp.o"
+  "CMakeFiles/roia_game.dir/measurement.cpp.o.d"
+  "CMakeFiles/roia_game.dir/player_stats.cpp.o"
+  "CMakeFiles/roia_game.dir/player_stats.cpp.o.d"
+  "CMakeFiles/roia_game.dir/scenario.cpp.o"
+  "CMakeFiles/roia_game.dir/scenario.cpp.o.d"
+  "CMakeFiles/roia_game.dir/state_update.cpp.o"
+  "CMakeFiles/roia_game.dir/state_update.cpp.o.d"
+  "libroia_game.a"
+  "libroia_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroia_game.a"
+)

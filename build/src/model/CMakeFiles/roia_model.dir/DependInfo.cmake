@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bandwidth.cpp" "src/model/CMakeFiles/roia_model.dir/bandwidth.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/model/estimator.cpp" "src/model/CMakeFiles/roia_model.dir/estimator.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/estimator.cpp.o.d"
+  "/root/repo/src/model/parameters.cpp" "src/model/CMakeFiles/roia_model.dir/parameters.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/parameters.cpp.o.d"
+  "/root/repo/src/model/report.cpp" "src/model/CMakeFiles/roia_model.dir/report.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/report.cpp.o.d"
+  "/root/repo/src/model/sensitivity.cpp" "src/model/CMakeFiles/roia_model.dir/sensitivity.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/model/thresholds.cpp" "src/model/CMakeFiles/roia_model.dir/thresholds.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/thresholds.cpp.o.d"
+  "/root/repo/src/model/tick_model.cpp" "src/model/CMakeFiles/roia_model.dir/tick_model.cpp.o" "gcc" "src/model/CMakeFiles/roia_model.dir/tick_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/roia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtf/CMakeFiles/roia_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/roia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/roia_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

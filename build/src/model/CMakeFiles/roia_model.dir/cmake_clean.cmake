@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_model.dir/bandwidth.cpp.o"
+  "CMakeFiles/roia_model.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/roia_model.dir/estimator.cpp.o"
+  "CMakeFiles/roia_model.dir/estimator.cpp.o.d"
+  "CMakeFiles/roia_model.dir/parameters.cpp.o"
+  "CMakeFiles/roia_model.dir/parameters.cpp.o.d"
+  "CMakeFiles/roia_model.dir/report.cpp.o"
+  "CMakeFiles/roia_model.dir/report.cpp.o.d"
+  "CMakeFiles/roia_model.dir/sensitivity.cpp.o"
+  "CMakeFiles/roia_model.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/roia_model.dir/thresholds.cpp.o"
+  "CMakeFiles/roia_model.dir/thresholds.cpp.o.d"
+  "CMakeFiles/roia_model.dir/tick_model.cpp.o"
+  "CMakeFiles/roia_model.dir/tick_model.cpp.o.d"
+  "libroia_model.a"
+  "libroia_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

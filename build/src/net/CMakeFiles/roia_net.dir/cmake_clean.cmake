@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_net.dir/network.cpp.o"
+  "CMakeFiles/roia_net.dir/network.cpp.o.d"
+  "libroia_net.a"
+  "libroia_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

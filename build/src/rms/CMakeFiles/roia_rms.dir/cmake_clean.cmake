@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_rms.dir/baseline_strategies.cpp.o"
+  "CMakeFiles/roia_rms.dir/baseline_strategies.cpp.o.d"
+  "CMakeFiles/roia_rms.dir/instance_director.cpp.o"
+  "CMakeFiles/roia_rms.dir/instance_director.cpp.o.d"
+  "CMakeFiles/roia_rms.dir/manager.cpp.o"
+  "CMakeFiles/roia_rms.dir/manager.cpp.o.d"
+  "CMakeFiles/roia_rms.dir/model_strategy.cpp.o"
+  "CMakeFiles/roia_rms.dir/model_strategy.cpp.o.d"
+  "CMakeFiles/roia_rms.dir/resource_pool.cpp.o"
+  "CMakeFiles/roia_rms.dir/resource_pool.cpp.o.d"
+  "CMakeFiles/roia_rms.dir/session.cpp.o"
+  "CMakeFiles/roia_rms.dir/session.cpp.o.d"
+  "libroia_rms.a"
+  "libroia_rms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_rms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

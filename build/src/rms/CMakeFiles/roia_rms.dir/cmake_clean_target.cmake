@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libroia_rms.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtf/client.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/client.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/client.cpp.o.d"
+  "/root/repo/src/rtf/cluster.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/cluster.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/cluster.cpp.o.d"
+  "/root/repo/src/rtf/messages.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/messages.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/messages.cpp.o.d"
+  "/root/repo/src/rtf/monitoring.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/monitoring.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/monitoring.cpp.o.d"
+  "/root/repo/src/rtf/probes.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/probes.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/probes.cpp.o.d"
+  "/root/repo/src/rtf/server.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/server.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/server.cpp.o.d"
+  "/root/repo/src/rtf/world.cpp" "src/rtf/CMakeFiles/roia_rtf.dir/world.cpp.o" "gcc" "src/rtf/CMakeFiles/roia_rtf.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/roia_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/roia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_rtf.dir/client.cpp.o"
+  "CMakeFiles/roia_rtf.dir/client.cpp.o.d"
+  "CMakeFiles/roia_rtf.dir/cluster.cpp.o"
+  "CMakeFiles/roia_rtf.dir/cluster.cpp.o.d"
+  "CMakeFiles/roia_rtf.dir/messages.cpp.o"
+  "CMakeFiles/roia_rtf.dir/messages.cpp.o.d"
+  "CMakeFiles/roia_rtf.dir/monitoring.cpp.o"
+  "CMakeFiles/roia_rtf.dir/monitoring.cpp.o.d"
+  "CMakeFiles/roia_rtf.dir/probes.cpp.o"
+  "CMakeFiles/roia_rtf.dir/probes.cpp.o.d"
+  "CMakeFiles/roia_rtf.dir/server.cpp.o"
+  "CMakeFiles/roia_rtf.dir/server.cpp.o.d"
+  "CMakeFiles/roia_rtf.dir/world.cpp.o"
+  "CMakeFiles/roia_rtf.dir/world.cpp.o.d"
+  "libroia_rtf.a"
+  "libroia_rtf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_rtf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

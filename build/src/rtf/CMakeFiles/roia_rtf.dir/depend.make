@@ -1,0 +1,2 @@
+# Empty dependencies file for roia_rtf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serialize/byte_buffer.cpp" "src/serialize/CMakeFiles/roia_serialize.dir/byte_buffer.cpp.o" "gcc" "src/serialize/CMakeFiles/roia_serialize.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/serialize/crc32.cpp" "src/serialize/CMakeFiles/roia_serialize.dir/crc32.cpp.o" "gcc" "src/serialize/CMakeFiles/roia_serialize.dir/crc32.cpp.o.d"
+  "/root/repo/src/serialize/message.cpp" "src/serialize/CMakeFiles/roia_serialize.dir/message.cpp.o" "gcc" "src/serialize/CMakeFiles/roia_serialize.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

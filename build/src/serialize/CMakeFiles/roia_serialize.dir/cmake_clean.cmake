@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_serialize.dir/byte_buffer.cpp.o"
+  "CMakeFiles/roia_serialize.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/roia_serialize.dir/crc32.cpp.o"
+  "CMakeFiles/roia_serialize.dir/crc32.cpp.o.d"
+  "CMakeFiles/roia_serialize.dir/message.cpp.o"
+  "CMakeFiles/roia_serialize.dir/message.cpp.o.d"
+  "libroia_serialize.a"
+  "libroia_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

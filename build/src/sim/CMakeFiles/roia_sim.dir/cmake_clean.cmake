@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roia_sim.dir/cpu.cpp.o"
+  "CMakeFiles/roia_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/roia_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/roia_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/roia_sim.dir/simulation.cpp.o"
+  "CMakeFiles/roia_sim.dir/simulation.cpp.o.d"
+  "libroia_sim.a"
+  "libroia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/roia_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/roia_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/fit_test.cpp" "tests/CMakeFiles/roia_tests.dir/fit_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/fit_test.cpp.o.d"
+  "/root/repo/tests/game_test.cpp" "tests/CMakeFiles/roia_tests.dir/game_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/game_test.cpp.o.d"
+  "/root/repo/tests/instance_director_test.cpp" "tests/CMakeFiles/roia_tests.dir/instance_director_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/instance_director_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/roia_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/interest_test.cpp" "tests/CMakeFiles/roia_tests.dir/interest_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/interest_test.cpp.o.d"
+  "/root/repo/tests/misc_test.cpp" "tests/CMakeFiles/roia_tests.dir/misc_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/misc_test.cpp.o.d"
+  "/root/repo/tests/model_test.cpp" "tests/CMakeFiles/roia_tests.dir/model_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/model_test.cpp.o.d"
+  "/root/repo/tests/monitoring_transport_test.cpp" "tests/CMakeFiles/roia_tests.dir/monitoring_transport_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/monitoring_transport_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/roia_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/player_state_test.cpp" "tests/CMakeFiles/roia_tests.dir/player_state_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/player_state_test.cpp.o.d"
+  "/root/repo/tests/qoe_test.cpp" "tests/CMakeFiles/roia_tests.dir/qoe_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/qoe_test.cpp.o.d"
+  "/root/repo/tests/rms_test.cpp" "tests/CMakeFiles/roia_tests.dir/rms_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/rms_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/roia_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/rtf_cluster_test.cpp" "tests/CMakeFiles/roia_tests.dir/rtf_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/rtf_cluster_test.cpp.o.d"
+  "/root/repo/tests/rtf_test.cpp" "tests/CMakeFiles/roia_tests.dir/rtf_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/rtf_test.cpp.o.d"
+  "/root/repo/tests/sensitivity_test.cpp" "tests/CMakeFiles/roia_tests.dir/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/roia_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/roia_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/roia_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/roia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serialize/CMakeFiles/roia_serialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/roia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/roia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fit/CMakeFiles/roia_fit.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtf/CMakeFiles/roia_rtf.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/roia_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/roia_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rms/CMakeFiles/roia_rms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
