@@ -1,0 +1,83 @@
+#include "net/fault.hpp"
+
+#include <utility>
+
+namespace roia::net {
+
+void FaultInjector::setLinkFaults(NodeId from, NodeId to, FaultParams params) {
+  linkFaults_[linkKey(from, to)] = params;
+}
+
+void FaultInjector::clearLinkFaults(NodeId from, NodeId to) {
+  linkFaults_.erase(linkKey(from, to));
+}
+
+void FaultInjector::partition(std::string name, std::vector<NodeId> group, SimTime start,
+                              SimTime end) {
+  Partition p;
+  for (const NodeId node : group) p.group.insert(node.value);
+  p.start = start;
+  p.end = end;
+  partitions_[std::move(name)] = std::move(p);
+}
+
+void FaultInjector::heal(const std::string& name, SimTime at) {
+  auto it = partitions_.find(name);
+  if (it != partitions_.end()) it->second.end = at;
+}
+
+bool FaultInjector::isPartitioned(NodeId from, NodeId to, SimTime now) const {
+  for (const auto& [name, p] : partitions_) {
+    if (now < p.start || now >= p.end) continue;
+    const bool fromInside = p.group.contains(from.value);
+    const bool toInside = p.group.contains(to.value);
+    if (fromInside != toInside) return true;
+  }
+  return false;
+}
+
+const FaultParams& FaultInjector::paramsFor(NodeId from, NodeId to) const {
+  auto it = linkFaults_.find(linkKey(from, to));
+  return it == linkFaults_.end() ? defaultFaults_ : it->second;
+}
+
+FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to, SimTime now) {
+  ++stats_.framesJudged;
+  Verdict verdict;
+
+  if (isPartitioned(from, to, now)) {
+    ++stats_.framesPartitioned;
+    ++stats_.framesDropped;
+    verdict.drop = true;
+    return verdict;  // consumes no randomness: partitions are time-driven
+  }
+
+  const FaultParams& params = paramsFor(from, to);
+  if (params.inert()) return verdict;  // fault-free links perturb nothing
+
+  if (params.dropProbability > 0.0 && rng_.chance(params.dropProbability)) {
+    ++stats_.framesDropped;
+    verdict.drop = true;
+    return verdict;
+  }
+  if (params.jitterMax > SimDuration::zero()) {
+    verdict.extraDelay = SimDuration::microseconds(static_cast<std::int64_t>(
+        rng_.uniformInt(0, static_cast<std::uint64_t>(params.jitterMax.micros))));
+    if (verdict.extraDelay > SimDuration::zero()) ++stats_.framesDelayed;
+  }
+  if (params.reorderProbability > 0.0 && rng_.chance(params.reorderProbability)) {
+    ++stats_.framesReordered;
+    verdict.reorder = true;
+  }
+  if (params.duplicateProbability > 0.0 && rng_.chance(params.duplicateProbability)) {
+    ++stats_.framesDuplicated;
+    verdict.duplicate = true;
+    if (params.jitterMax > SimDuration::zero()) {
+      verdict.duplicateExtraDelay = SimDuration::microseconds(static_cast<std::int64_t>(
+          rng_.uniformInt(0, static_cast<std::uint64_t>(params.jitterMax.micros))));
+    }
+  }
+  return verdict;
+}
+
+}  // namespace roia::net

@@ -1,6 +1,8 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+
+#include "net/fault.hpp"
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -51,20 +53,47 @@ std::size_t Network::send(NodeId from, NodeId to, ser::Frame frame) {
   const auto transmit = SimDuration::microseconds(static_cast<std::int64_t>(
       static_cast<double>(wireBytes) / params.bandwidthBytesPerSec * 1e6));
   SimTime arrival = sim_.now() + params.latency + transmit;
-  // Reliable in-order channel: never deliver before an earlier send.
-  arrival = std::max(arrival, l.lastArrival);
-  l.lastArrival = arrival;
 
+  // The frame goes on the wire even when the injector then loses it, so
+  // egress is charged unconditionally; ingress only on actual delivery.
   nodes_[from.value].egress.add(wireBytes);
   totals_.add(wireBytes);
 
+  FaultInjector::Verdict verdict;
+  if (faults_ != nullptr) verdict = faults_->judge(from, to, sim_.now());
+  if (verdict.drop) {
+    // Keep FIFO bookkeeping consistent: a lost frame still occupied the
+    // link, so later sends cannot arrive before its would-be arrival.
+    l.lastArrival = std::max(l.lastArrival, arrival);
+    return wireBytes;
+  }
+
+  arrival = arrival + verdict.extraDelay;
+  if (!verdict.reorder) {
+    // Reliable in-order channel: never deliver before an earlier send.
+    arrival = std::max(arrival, l.lastArrival);
+    l.lastArrival = arrival;
+  }
+
+  if (verdict.duplicate) {
+    // The copy is extra wire traffic and takes its own jitter; it never
+    // participates in FIFO ordering (duplicates arrive "whenever").
+    nodes_[from.value].egress.add(wireBytes);
+    totals_.add(wireBytes);
+    scheduleDelivery(from, to, arrival + verdict.duplicateExtraDelay, wireBytes, frame);
+  }
+  scheduleDelivery(from, to, arrival, wireBytes, std::move(frame));
+  return wireBytes;
+}
+
+void Network::scheduleDelivery(NodeId from, NodeId to, SimTime arrival, std::size_t wireBytes,
+                               ser::Frame frame) {
   sim_.scheduleAt(arrival, [this, from, to, wireBytes, frame = std::move(frame)]() {
     auto& dst = nodes_[to.value];
     if (!dst.attached || !dst.handler) return;  // node left; frame dropped
     dst.ingress.add(wireBytes);
     dst.handler(from, frame);
   });
-  return wireBytes;
 }
 
 void Network::multicast(NodeId from, const std::vector<NodeId>& to, const ser::Frame& frame) {

@@ -1,11 +1,14 @@
 // Simulated network substrate.
 //
-// Models the cluster interconnect and client links as reliable, in-order
-// point-to-point channels with configurable propagation latency and
-// bandwidth. Delivery is driven by the discrete-event simulation, so message
-// interleavings are deterministic. Per-link and per-node traffic statistics
-// feed the bandwidth analysis mentioned in the paper's related-work
-// discussion (Kim et al.: asymmetry of in/out server traffic).
+// Models the cluster interconnect and client links as point-to-point
+// channels with configurable propagation latency and bandwidth. Without a
+// FaultInjector attached the channels are reliable and in-order; with one,
+// frames can be dropped, duplicated, jittered, reordered or partitioned
+// away (see net/fault.hpp). Delivery is driven by the discrete-event
+// simulation, so message interleavings are deterministic either way.
+// Per-link and per-node traffic statistics feed the bandwidth analysis
+// mentioned in the paper's related-work discussion (Kim et al.: asymmetry
+// of in/out server traffic).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,8 @@
 #include "sim/simulation.hpp"
 
 namespace roia::net {
+
+class FaultInjector;
 
 /// Properties of a directed link. Defaults model a LAN.
 struct LinkParams {
@@ -57,6 +62,11 @@ class Network {
   /// Detaches a node: in-flight frames to it are dropped on arrival.
   void removeNode(NodeId node);
 
+  /// Attaches (or detaches, with nullptr) a fault injector consulted on
+  /// every send. The injector must outlive the network while attached.
+  void setFaultInjector(FaultInjector* injector) { faults_ = injector; }
+  [[nodiscard]] FaultInjector* faultInjector() { return faults_; }
+
   /// Default parameters for links with no explicit override.
   void setDefaultLinkParams(LinkParams params) { defaultParams_ = params; }
   /// Overrides parameters for the directed link from -> to.
@@ -89,6 +99,8 @@ class Network {
     SimTime lastArrival{SimTime::zero()};
   };
 
+  void scheduleDelivery(NodeId from, NodeId to, SimTime arrival, std::size_t wireBytes,
+                        ser::Frame frame);
   LinkState& link(NodeId from, NodeId to);
   static std::uint64_t linkKey(NodeId from, NodeId to) {
     return (from.value << 32) | (to.value & 0xFFFFFFFFULL);
@@ -99,6 +111,7 @@ class Network {
   std::unordered_map<std::uint64_t, LinkState> links_;
   LinkParams defaultParams_{};
   TrafficStats totals_;
+  FaultInjector* faults_{nullptr};
 };
 
 }  // namespace roia::net

@@ -51,6 +51,8 @@ bool RmsManager::controlStep(SimTime now) {
   TimelinePoint point;
   point.timeSec = now.asSeconds();
 
+  detectAndRecover(now, point);
+
   for (const ZoneId zone : zones_) {
     ZoneView view;
     view.zone = zone;
@@ -102,6 +104,48 @@ bool RmsManager::controlStep(SimTime now) {
   return true;
 }
 
+void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
+  if (!config_.detectFailures) return;
+  auto* collector = cluster_.monitoringCollector();
+  if (collector == nullptr) return;
+
+  for (const ServerId dead :
+       collector->suspectDead(config_.heartbeatPeriod, config_.missedHeartbeats)) {
+    if (!cluster_.hasServer(dead)) continue;  // ghost of an earlier recovery
+    const ZoneId zone = cluster_.server(dead).zone();
+    if (std::find(zones_.begin(), zones_.end(), zone) == zones_.end()) continue;
+
+    ROIA_LOG(LogLevel::kWarn, "rms",
+             "server " << dead.value << " declared dead (heartbeat silent), recovering");
+    // The dead replica's flavor, for a like-for-like replacement.
+    std::size_t flavorIdx = config_.standardFlavor;
+    if (auto leaseIt = serverLease_.find(dead); leaseIt != serverLease_.end()) {
+      if (const auto idx = pool_.leaseFlavor(leaseIt->second)) flavorIdx = *idx;
+      // The machine died with the server on it: reclaim its lease.
+      pool_.release(leaseIt->second, now);
+      serverLease_.erase(leaseIt);
+    }
+    draining_.erase(dead);
+
+    const rtf::Cluster::RecoveryReport report = cluster_.recoverCrashedServer(dead);
+
+    RecoveryRecord record;
+    record.detectedAt = now;
+    record.server = dead;
+    record.zone = zone;
+    record.clientsRehomed = report.clientsRehomed;
+    record.shadowsPromoted = report.shadowsPromoted;
+    record.clientsLost = report.clientsLost;
+    record.npcsAdopted = report.npcsAdopted;
+    // Restore the replica count the strategy last decided on.
+    record.replacementOrdered = beginReplicaStart(zone, flavorIdx, std::nullopt);
+    recoveries_.push_back(record);
+
+    ++point.crashesDetected;
+    point.clientsRehomed += report.clientsRehomed;
+  }
+}
+
 void RmsManager::executeZone(ZoneId zone, const Decision& decision) {
   // Migration orders: pick concrete users deterministically (lowest ids
   // first) from the source server.
@@ -143,12 +187,12 @@ void RmsManager::executeZone(ZoneId zone, const Decision& decision) {
   }
 }
 
-void RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
+bool RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
                                    std::optional<ServerId> drainAfterStart) {
   const auto lease = pool_.lease(flavorIdx, cluster_.simulation().now());
   if (!lease) {
     ROIA_LOG(LogLevel::kWarn, "rms", "resource pool exhausted for flavor " << flavorIdx);
-    return;
+    return false;
   }
   ++pendingStarts_[zone];
   const double speed = pool_.flavor(flavorIdx).speedFactor;
@@ -168,6 +212,7 @@ void RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
           draining_.insert(*drainAfterStart);
         }
       });
+  return true;
 }
 
 void RmsManager::finishDrains() {

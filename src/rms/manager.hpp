@@ -34,6 +34,17 @@ struct RmsConfig {
   /// of in-process snapshots; decisions then act on slightly stale data,
   /// like a real management plane. Requires attachMonitoringCollector().
   bool useNetworkMonitoring{false};
+
+  /// Crash-failure detection and recovery. Each control period the manager
+  /// asks the collector which managed servers have been heartbeat-silent for
+  /// missedHeartbeats periods; those are declared dead, their clients are
+  /// re-homed onto surviving replicas, their lease is reclaimed and a
+  /// replacement replica is enacted. Requires useNetworkMonitoring (the
+  /// detector reads the network-attached collector).
+  bool detectFailures{false};
+  /// Must match the servers' ServerConfig::heartbeatPeriod.
+  SimDuration heartbeatPeriod{SimDuration::milliseconds(250)};
+  std::size_t missedHeartbeats{2};
 };
 
 /// One timeline sample per control period (the data behind paper Fig. 8).
@@ -47,6 +58,22 @@ struct TimelinePoint {
   double maxTickMs{0.0};
   std::size_t migrationsOrdered{0};
   bool violation{false};
+  /// Crash-failures detected (and recovered from) this period.
+  std::size_t crashesDetected{0};
+  /// Clients of dead replicas re-homed onto survivors this period.
+  std::size_t clientsRehomed{0};
+};
+
+/// One detected crash and what recovery did about it.
+struct RecoveryRecord {
+  SimTime detectedAt{};
+  ServerId server{};
+  ZoneId zone{};
+  std::size_t clientsRehomed{0};
+  std::size_t shadowsPromoted{0};
+  std::size_t clientsLost{0};
+  std::size_t npcsAdopted{0};
+  bool replacementOrdered{false};
 };
 
 class RmsManager {
@@ -77,11 +104,14 @@ class RmsManager {
   [[nodiscard]] std::uint64_t replicasRemoved() const { return replicasRemoved_; }
   [[nodiscard]] std::uint64_t substitutions() const { return substitutions_; }
   [[nodiscard]] std::size_t violationPeriods() const { return violationPeriods_; }
+  [[nodiscard]] std::uint64_t crashesDetected() const { return recoveries_.size(); }
+  [[nodiscard]] const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
 
  private:
   bool controlStep(SimTime now);
+  void detectAndRecover(SimTime now, TimelinePoint& point);
   void executeZone(ZoneId zone, const Decision& decision);
-  void beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
+  bool beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
                          std::optional<ServerId> drainAfterStart);
   void finishDrains();
 
@@ -104,6 +134,7 @@ class RmsManager {
   std::uint64_t replicasRemoved_{0};
   std::uint64_t substitutions_{0};
   std::size_t violationPeriods_{0};
+  std::vector<RecoveryRecord> recoveries_;
 };
 
 }  // namespace roia::rms

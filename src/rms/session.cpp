@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/log.hpp"
 #include "rms/baseline_strategies.hpp"
 #include "rms/model_strategy.hpp"
 
@@ -53,6 +54,42 @@ SessionSummary runManagedSession(const ManagedSessionConfig& config,
   RmsConfig rmsConfig = config.rms;
   rmsConfig.upperTickMs = config.modelStrategy.upperTickMs;
   rmsConfig.npcs = config.modelStrategy.npcs;
+  // The detector's notion of "missed a beat" must match what servers send.
+  rmsConfig.heartbeatPeriod = config.server.heartbeatPeriod;
+  if (rmsConfig.useNetworkMonitoring || rmsConfig.detectFailures) {
+    cluster.attachMonitoringCollector();
+  }
+
+  std::uint64_t crashesInjected = 0;
+  if (config.faults) {
+    const SessionFaultPlan& plan = *config.faults;
+    net::FaultInjector& injector = cluster.enableFaultInjection(
+        plan.faultSeed != 0 ? plan.faultSeed : config.seed ^ 0xC4A05ULL);
+    injector.setDefaultFaults(plan.link);
+    if (plan.crashAt) {
+      cluster.simulation().scheduleAfter(*plan.crashAt, [&cluster, &crashesInjected, zone] {
+        // Kill the most-loaded replica — the worst case for recovery. With a
+        // single replica the whole zone would vanish; skip then.
+        const std::vector<ServerId> replicas = cluster.zones().replicas(zone);
+        if (replicas.size() < 2) {
+          ROIA_LOG(LogLevel::kWarn, "rms.session", "crash skipped: zone has a lone replica");
+          return;
+        }
+        ServerId victim = replicas.front();
+        std::size_t most = 0;
+        for (const ServerId id : replicas) {
+          const std::size_t users = cluster.server(id).connectedUsers();
+          if (users > most) {
+            most = users;
+            victim = id;
+          }
+        }
+        cluster.crashServer(victim);
+        ++crashesInjected;
+      });
+    }
+  }
+
   RmsManager manager(cluster, zone, makeStrategy(config, tickModel), ResourcePool{}, rmsConfig);
 
   game::ChurnDriver::Config churnConfig;
@@ -110,6 +147,13 @@ SessionSummary runManagedSession(const ManagedSessionConfig& config,
   summary.clientUpdateRateAvgHz = qoeRates.mean();
   summary.clientUpdateRateMinHz = qoeRates.empty() ? 0.0 : qoeMinRate;
   summary.clientWorstGapMs = qoeWorstGap;
+  summary.crashesInjected = crashesInjected;
+  summary.crashesDetected = manager.crashesDetected();
+  summary.recoveries = manager.recoveries();
+  for (const RecoveryRecord& r : summary.recoveries) {
+    summary.clientsRehomed += r.clientsRehomed;
+    summary.clientsLost += r.clientsLost;
+  }
   return summary;
 }
 

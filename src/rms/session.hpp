@@ -6,10 +6,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "game/calibrate.hpp"
 #include "game/scenario.hpp"
+#include "net/fault.hpp"
 #include "rms/manager.hpp"
 #include "rms/model_strategy.hpp"
 #include "rms/strategy.hpp"
@@ -24,6 +26,19 @@ enum class PolicyKind {
 
 [[nodiscard]] const char* policyName(PolicyKind kind);
 
+/// Network/crash fault plan for chaos sessions. The injector seed and the
+/// plan fully determine the fault schedule: same config, same seed → same
+/// timeline, bit for bit.
+struct SessionFaultPlan {
+  /// Faults applied to every link of the cluster (loss, dup, jitter, ...).
+  net::FaultParams link{};
+  /// Crash the most-loaded replica of the managed zone at this session time
+  /// (skipped, with a warning, while the zone has fewer than two replicas).
+  std::optional<SimDuration> crashAt{};
+  /// Fault-injector seed; 0 derives it from the session seed.
+  std::uint64_t faultSeed{0};
+};
+
 struct ManagedSessionConfig {
   game::FpsConfig fps{};
   rtf::ServerConfig server{};
@@ -36,6 +51,8 @@ struct ManagedSessionConfig {
   PolicyKind policy{PolicyKind::kModelDriven};
   std::size_t initialReplicas{1};
   std::uint64_t seed{42};
+  /// Chaos mode: inject network faults and optionally a mid-session crash.
+  std::optional<SessionFaultPlan> faults{};
 };
 
 struct SessionSummary {
@@ -58,6 +75,13 @@ struct SessionSummary {
   double clientUpdateRateAvgHz{0.0};
   double clientUpdateRateMinHz{0.0};
   double clientWorstGapMs{0.0};
+
+  // Chaos sessions: crash-failure recovery outcomes.
+  std::uint64_t crashesInjected{0};
+  std::uint64_t crashesDetected{0};
+  std::uint64_t clientsRehomed{0};
+  std::uint64_t clientsLost{0};
+  std::vector<RecoveryRecord> recoveries;
 };
 
 /// Runs the session. The tick model for model-based policies is calibrated

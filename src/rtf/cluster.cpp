@@ -239,6 +239,109 @@ std::vector<MonitoringSnapshot> Cluster::zoneMonitoring(ZoneId zone) const {
   return snapshots;
 }
 
+net::FaultInjector& Cluster::enableFaultInjection(std::uint64_t seed) {
+  if (faults_ == nullptr) {
+    faults_ = std::make_unique<net::FaultInjector>(
+        seed != 0 ? seed : config_.seed ^ 0xFA0171A6B5ULL);
+    net_.setFaultInjector(faults_.get());
+  }
+  return *faults_;
+}
+
+void Cluster::crashServer(ServerId id) {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) throw std::invalid_argument("crashServer: unknown server");
+  // The server object stays registered: the zone directory, peer sets and
+  // client endpoints all still reference the dead replica, exactly as a real
+  // deployment would until a failure detector fires.
+  it->second->crash();
+}
+
+std::vector<ServerId> Cluster::crashedServers() const {
+  std::vector<ServerId> ids;
+  for (const auto& [id, server] : servers_) {
+    if (server->crashed()) ids.push_back(id);
+  }
+  return ids;
+}
+
+Cluster::RecoveryReport Cluster::recoverCrashedServer(ServerId id) {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) throw std::invalid_argument("recoverCrashedServer: unknown server");
+  Server& dead = *it->second;
+  if (!dead.crashed()) dead.crash();  // direct recovery implies the kill
+  const ZoneId zone = dead.zone();
+
+  RecoveryReport report;
+  report.zone = zone;
+
+  // The cluster's routing table is the authoritative list of orphans: the
+  // dead server's own session map may disagree mid-migration.
+  std::vector<ClientId> orphans;
+  for (const auto& [client, serverId] : clientServer_) {
+    if (serverId == id) orphans.push_back(client);
+  }
+
+  // Excise the dead replica before re-homing so survivors neither pick it as
+  // a peer nor keep hand-overs to it pending.
+  zones_.removeReplica(zone, id);
+  servers_.erase(it);
+  refreshPeers(zone);
+  const std::vector<ServerId> survivors = zones_.replicas(zone);
+  for (const ServerId sid : survivors) {
+    servers_.at(sid)->cancelMigrationsTo(id);
+  }
+
+  for (const ClientId client : orphans) {
+    ClientEndpoint& endpoint = *clients_.at(client);
+    // A migration target may have adopted the session right around the
+    // crash; then the ack just never made it back. Prefer that server: it
+    // already runs the avatar.
+    ServerId home{};
+    for (const ServerId sid : survivors) {
+      if (servers_.at(sid)->hasClient(client)) {
+        home = sid;
+        break;
+      }
+    }
+    if (!home.valid()) {
+      // Adopt on the least-loaded survivor; a replica-sync shadow keeps the
+      // avatar's state, otherwise the user respawns.
+      ServerId best{};
+      std::size_t bestUsers = std::numeric_limits<std::size_t>::max();
+      for (const ServerId sid : survivors) {
+        const std::size_t users = servers_.at(sid)->connectedUsers();
+        if (users < bestUsers) {
+          bestUsers = users;
+          best = sid;
+        }
+      }
+      if (!best.valid()) {
+        // Zone wiped out: nobody can serve this user any more.
+        endpoint.stop();
+        clients_.erase(client);
+        clientServer_.erase(client);
+        ++report.clientsLost;
+        continue;
+      }
+      if (servers_.at(best)->adoptOrphan(client, endpoint.avatar(), endpoint.node(),
+                                         randomSpawn(zones_.zone(zone)))) {
+        ++report.shadowsPromoted;
+      }
+      home = best;
+    }
+    endpoint.setServer(home, servers_.at(home)->node());
+    clientServer_[client] = home;
+    ++report.clientsRehomed;
+  }
+
+  if (!survivors.empty()) {
+    report.npcsAdopted = servers_.at(survivors.front())->adoptNpcsFrom(id);
+  }
+  if (collector_ != nullptr) collector_->forget(id);
+  return report;
+}
+
 void Cluster::refreshPeers(ZoneId zone) {
   const std::vector<ServerId> replicas = zones_.replicas(zone);
   std::vector<std::pair<ServerId, NodeId>> peers;

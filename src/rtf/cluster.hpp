@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "rtf/client.hpp"
 #include "rtf/monitoring.hpp"
@@ -103,6 +104,39 @@ class Cluster {
   /// Which server currently serves the client (tracks migrations).
   [[nodiscard]] ServerId clientServer(ClientId id) const { return clientServer_.at(id); }
 
+  // --- fault injection & crash-failure recovery ---
+
+  /// Attaches a fault injector to the network (idempotent). Seed 0 derives
+  /// the injector seed from the cluster seed, so a given cluster seed fully
+  /// determines the fault schedule.
+  net::FaultInjector& enableFaultInjection(std::uint64_t seed = 0);
+  [[nodiscard]] net::FaultInjector* faultInjector() { return faults_.get(); }
+
+  /// What recoverCrashedServer did; all counters refer to one dead replica.
+  struct RecoveryReport {
+    ZoneId zone{};
+    std::size_t clientsRehomed{0};   // endpoints repointed at a survivor
+    std::size_t shadowsPromoted{0};  // avatars resumed from replica-sync state
+    std::size_t clientsLost{0};      // no surviving replica to adopt them
+    std::size_t npcsAdopted{0};
+  };
+
+  /// Abrupt crash-failure of a replica: it stops mid-interval with no drain,
+  /// no NPC hand-off and no notification — peers and the zone directory
+  /// still list it, its clients keep sending into the void. Nothing reacts
+  /// until a failure detector notices (or recoverCrashedServer is called).
+  void crashServer(ServerId id);
+  /// Servers that crashed and have not been recovered yet.
+  [[nodiscard]] std::vector<ServerId> crashedServers() const;
+
+  /// Management-plane recovery of a dead replica: removes it from the zone
+  /// directory and peer sets, aborts hand-overs targeting it, re-homes each
+  /// of its clients onto the surviving replica already holding their state
+  /// (adopted mid-migration session or replica-sync shadow; fresh spawn as
+  /// the last resort) and re-owns its NPC shadows. Works for crashed servers
+  /// still in the cluster; throws std::invalid_argument otherwise.
+  RecoveryReport recoverCrashedServer(ServerId id);
+
   /// Runs the simulation for `duration` of simulated time.
   void run(SimDuration duration) { sim_.runUntil(sim_.now() + duration); }
 
@@ -121,6 +155,7 @@ class Cluster {
   std::map<ClientId, std::unique_ptr<ClientEndpoint>> clients_;
   std::map<ClientId, ServerId> clientServer_;
   std::unique_ptr<MonitoringCollector> collector_;
+  std::unique_ptr<net::FaultInjector> faults_;
 
   std::uint64_t nextServerId_{1};
   std::uint64_t nextClientId_{1};

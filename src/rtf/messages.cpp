@@ -166,4 +166,22 @@ MigrationAckMsg decodeMigrationAck(const ser::Frame& frame) {
   return msg;
 }
 
+ser::Frame encode(const HeartbeatMsg& msg) {
+  ser::ByteWriter writer(24);
+  writer.writeVarU64(msg.server.value);
+  writer.writeVarU64(msg.seq);
+  writer.writeVarI64(msg.sentAt.micros);
+  return makeFrame(ser::MessageType::kHeartbeat, std::move(writer));
+}
+
+HeartbeatMsg decodeHeartbeat(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kHeartbeat);
+  ser::ByteReader reader(frame.payload);
+  HeartbeatMsg msg;
+  msg.server = ServerId{reader.readVarU64()};
+  msg.seq = reader.readVarU64();
+  msg.sentAt = SimTime{reader.readVarI64()};
+  return msg;
+}
+
 }  // namespace roia::rtf

@@ -62,6 +62,15 @@ struct MigrationAckMsg {
   ServerId newOwner;
 };
 
+/// Server -> manager: lightweight liveness beacon, sent best-effort (no
+/// reliable wrapping — a retransmitted heartbeat would defeat its purpose).
+/// The failure detector declares a server dead after enough missed beats.
+struct HeartbeatMsg {
+  ServerId server;
+  std::uint64_t seq{0};
+  SimTime sentAt{};
+};
+
 // Encoders produce ready-to-send frames; decoders throw ser::DecodeError on
 // malformed payloads.
 [[nodiscard]] ser::Frame encode(const ClientInputMsg& msg);
@@ -70,6 +79,7 @@ struct MigrationAckMsg {
 [[nodiscard]] ser::Frame encode(const EntityReplicationMsg& msg);
 [[nodiscard]] ser::Frame encode(const MigrationDataMsg& msg);
 [[nodiscard]] ser::Frame encode(const MigrationAckMsg& msg);
+[[nodiscard]] ser::Frame encode(const HeartbeatMsg& msg);
 
 [[nodiscard]] ClientInputMsg decodeClientInput(const ser::Frame& frame);
 [[nodiscard]] StateUpdateMsg decodeStateUpdate(const ser::Frame& frame);
@@ -77,6 +87,7 @@ struct MigrationAckMsg {
 [[nodiscard]] EntityReplicationMsg decodeEntityReplication(const ser::Frame& frame);
 [[nodiscard]] MigrationDataMsg decodeMigrationData(const ser::Frame& frame);
 [[nodiscard]] MigrationAckMsg decodeMigrationAck(const ser::Frame& frame);
+[[nodiscard]] HeartbeatMsg decodeHeartbeat(const ser::Frame& frame);
 
 /// Snapshot codec shared by replication and migration payloads.
 void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rtf/messages.hpp"
 #include "serialize/byte_buffer.hpp"
 
 namespace roia::rtf {
@@ -50,18 +51,37 @@ MonitoringSnapshot decodeMonitoring(const ser::Frame& frame) {
 }
 
 MonitoringCollector::MonitoringCollector(sim::Simulation& simulation, net::Network& network)
-    : sim_(simulation), net_(network) {
-  node_ = net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); });
+    : sim_(simulation),
+      net_(network),
+      node_(net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); })),
+      reliable_(simulation, network, node_) {
+  reliable_.setDeliver([this](NodeId from, const ser::Frame& inner) { handleFrame(from, inner); });
 }
 
 MonitoringCollector::~MonitoringCollector() { net_.removeNode(node_); }
 
 void MonitoringCollector::onFrame(NodeId from, const ser::Frame& frame) {
+  if (reliable_.onFrame(from, frame)) return;  // envelope/ack; inner follows
+  handleFrame(from, frame);
+}
+
+void MonitoringCollector::handleFrame(NodeId from, const ser::Frame& frame) {
   (void)from;
+  if (frame.type == ser::MessageType::kHeartbeat) {
+    const HeartbeatMsg beat = decodeHeartbeat(frame);
+    lastAliveAt_[beat.server] = sim_.now();
+    ++heartbeats_;
+    return;
+  }
   if (frame.type != ser::MessageType::kMonitoring) return;
   MonitoringSnapshot snapshot = decodeMonitoring(frame);
   const ServerId id = snapshot.server;
+  // Reliable delivery is unordered: a retransmitted old snapshot may trail
+  // a newer one. Keep only the freshest by capture time.
+  auto it = latest_.find(id);
+  if (it != latest_.end() && snapshot.takenAt < it->second.takenAt) return;
   receivedAt_[id] = sim_.now();
+  lastAliveAt_[id] = sim_.now();
   latest_[id] = std::move(snapshot);
   ++received_;
 }
@@ -89,6 +109,23 @@ std::optional<SimDuration> MonitoringCollector::staleness(ServerId server) const
 void MonitoringCollector::forget(ServerId server) {
   latest_.erase(server);
   receivedAt_.erase(server);
+  lastAliveAt_.erase(server);
+}
+
+std::optional<SimDuration> MonitoringCollector::heartbeatAge(ServerId server) const {
+  auto it = lastAliveAt_.find(server);
+  if (it == lastAliveAt_.end()) return std::nullopt;
+  return sim_.now() - it->second;
+}
+
+std::vector<ServerId> MonitoringCollector::suspectDead(SimDuration period,
+                                                       std::size_t missedBeats) const {
+  const SimDuration limit = period * static_cast<std::int64_t>(missedBeats);
+  std::vector<ServerId> dead;
+  for (const auto& [server, lastAlive] : lastAliveAt_) {
+    if (sim_.now() - lastAlive > limit) dead.push_back(server);
+  }
+  return dead;
 }
 
 void MonitoringWindow::record(const TickProbes& probes) {

@@ -10,10 +10,13 @@
 #include <optional>
 #include <vector>
 
+#include <memory>
+
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "rtf/probes.hpp"
+#include "rtf/reliable.hpp"
 #include "serialize/message.hpp"
 #include "sim/simulation.hpp"
 
@@ -71,15 +74,34 @@ class MonitoringCollector {
 
   [[nodiscard]] std::uint64_t snapshotsReceived() const { return received_; }
 
+  // --- crash-failure detection ---
+  // Servers publish best-effort heartbeats alongside their monitoring
+  // snapshots; the collector timestamps each one. A server whose heartbeat
+  // has been silent for `missedBeats` periods is suspected dead. Both beats
+  // and monitoring refresh liveness, so an isolated lost heartbeat does not
+  // trip the detector.
+  [[nodiscard]] std::uint64_t heartbeatsReceived() const { return heartbeats_; }
+  /// Time since the last sign of life from `server`; nullopt if never seen.
+  [[nodiscard]] std::optional<SimDuration> heartbeatAge(ServerId server) const;
+  /// Servers silent for longer than `period * missedBeats`.
+  [[nodiscard]] std::vector<ServerId> suspectDead(SimDuration period,
+                                                  std::size_t missedBeats = 3) const;
+
+  [[nodiscard]] const ReliableStats& reliableStats() const { return reliable_.stats(); }
+
  private:
   void onFrame(NodeId from, const ser::Frame& frame);
+  void handleFrame(NodeId from, const ser::Frame& frame);
 
   sim::Simulation& sim_;
   net::Network& net_;
   NodeId node_;
+  ReliableTransport reliable_;
   std::map<ServerId, MonitoringSnapshot> latest_;
   std::map<ServerId, SimTime> receivedAt_;
+  std::map<ServerId, SimTime> lastAliveAt_;
   std::uint64_t received_{0};
+  std::uint64_t heartbeats_{0};
 };
 
 /// Rolling window over recent TickProbes; maintained by the server.

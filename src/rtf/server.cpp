@@ -27,6 +27,9 @@ Server::Server(ServerId id, ZoneId zone, Application& app, sim::Simulation& simu
       cpuAccount_(SimDuration::seconds(2)),
       monitoringWindow_(config.monitoringWindow) {
   node_ = net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); });
+  reliable_ = std::make_unique<ReliableTransport>(sim_, net_, node_, config_.reliable);
+  reliable_->setDeliver(
+      [this](NodeId from, const ser::Frame& inner) { dispatchFrame(from, inner); });
 }
 
 Server::~Server() { shutdown(); }
@@ -46,6 +49,11 @@ void Server::shutdown() {
   running_ = false;
   sim_.cancel(nextTick_);
   net_.removeNode(node_);
+}
+
+void Server::crash() {
+  crashed_ = true;
+  shutdown();
 }
 
 void Server::setPeers(std::vector<std::pair<ServerId, NodeId>> peers) {
@@ -96,12 +104,67 @@ bool Server::requestMigration(ClientId client, ServerId target, NodeId targetNod
   return true;
 }
 
+void Server::cancelMigrationsTo(ServerId deadTarget) {
+  // Queued hand-overs that never left: just un-flag the session.
+  std::erase_if(migrationQueue_, [&](const PendingMigration& p) {
+    if (p.target != deadTarget) return false;
+    auto it = clients_.find(p.client);
+    if (it != clients_.end()) it->second.migrating = false;
+    return true;
+  });
+  // Hand-overs already signed over (avatar owner flipped, MigrationData
+  // possibly in flight or lost with the crash): re-own the avatar. The dead
+  // target can never ack, so without this the client wedges forever.
+  for (auto& [client, session] : clients_) {
+    if (!session.migrating) continue;
+    EntityRecord* avatar = world_.find(session.entity);
+    if (avatar == nullptr || avatar->owner != deadTarget) continue;
+    avatar->owner = id_;
+    avatar->version += 1;  // outranks the stale signed-over snapshot
+    session.migrating = false;
+  }
+}
+
+bool Server::adoptOrphan(ClientId client, EntityId entity, NodeId clientNode, Vec2 fallbackSpawn) {
+  EntityRecord* shadow = world_.find(entity);
+  if (shadow != nullptr) {
+    // Promote the replica-sync shadow: the user resumes with the state the
+    // crashed owner last published.
+    shadow->owner = id_;
+    shadow->version += 1;
+    clients_[client] = ClientSession{clientNode, entity, false};
+    return true;
+  }
+  spawnUser(client, entity, clientNode, fallbackSpawn);
+  return false;
+}
+
+std::size_t Server::adoptNpcsFrom(ServerId deadOwner) {
+  std::size_t adopted = 0;
+  world_.forEach([&](EntityRecord& e) {
+    if (e.isNpc() && e.owner == deadOwner) {
+      e.owner = id_;
+      e.version += 1;
+      ++adopted;
+    }
+  });
+  return adopted;
+}
+
 void Server::forwardInteraction(EntityId target, EntityId source,
                                 std::vector<std::uint8_t> payload) {
   outForwarded_.push_back(ForwardedInputMsg{target, source, std::move(payload)});
 }
 
 void Server::onFrame(NodeId from, const ser::Frame& frame) {
+  if (!running_) return;
+  // Control-plane traffic arrives in reliable envelopes; the transport acks,
+  // deduplicates and hands the inner frame back to dispatchFrame.
+  if (reliable_->onFrame(from, frame)) return;
+  dispatchFrame(from, frame);
+}
+
+void Server::dispatchFrame(NodeId from, const ser::Frame& frame) {
   (void)from;
   if (!running_) return;
   const std::size_t bytes = frame.payload.size();
@@ -166,13 +229,21 @@ void Server::tick() {
   tickMigrationsInitiated_ = tickMigrationsReceived_ = 0;
   tickInputsApplied_ = tickForwardedApplied_ = 0;
 
-  // Publish monitoring to the management plane on its own cadence.
+  // Publish monitoring to the management plane on its own cadence. The
+  // snapshot rides the reliable channel: RTF-RMS must not starve under
+  // loss. Heartbeats go raw — a retransmitted beat proves nothing.
   if (monitoringTarget_.valid() &&
       (tickSeq_ == 0 ||
        sim_.now() - lastMonitoringPublish_ >= config_.monitoringPublishPeriod)) {
     meter_.chargeTo(Phase::kOther, config_.monitoringPublishCost);
-    net_.send(node_, monitoringTarget_, encodeMonitoring(monitoring()));
+    reliable_->send(monitoringTarget_, encodeMonitoring(monitoring()));
     lastMonitoringPublish_ = sim_.now();
+  }
+  if (monitoringTarget_.valid() &&
+      (heartbeatSeq_ == 0 || sim_.now() - lastHeartbeat_ >= config_.heartbeatPeriod)) {
+    net_.send(node_, monitoringTarget_, encode(HeartbeatMsg{id_, heartbeatSeq_, sim_.now()}));
+    ++heartbeatSeq_;
+    lastHeartbeat_ = sim_.now();
   }
 
   meter_.endTick();
@@ -194,6 +265,13 @@ void Server::processMigrationArrivals() {
   while (!inMigrationData_.empty()) {
     auto [msg, bytes] = std::move(inMigrationData_.front());
     inMigrationData_.pop_front();
+    // Refuse hand-overs from servers that are no longer peers: the source
+    // crashed (or was decommissioned) after sending, and adopting now would
+    // race with the management plane re-homing the same user elsewhere.
+    const bool sourceIsPeer =
+        std::any_of(peers_.begin(), peers_.end(),
+                    [&](const auto& p) { return p.first == msg.source; });
+    if (!sourceIsPeer) continue;
     meter_.charge(config_.migRcvBaseCost +
                   config_.migRcvPerEntityCost * static_cast<double>(world_.size()) +
                   config_.migRcvPerByteCost * static_cast<double>(bytes));
@@ -214,7 +292,7 @@ void Server::processMigrationArrivals() {
     // The source's node: find it among peers; sources are always peers.
     for (const auto& [serverId, nodeId] : peers_) {
       if (serverId == msg.source) {
-        net_.send(node_, nodeId, encode(ack));
+        reliable_->send(nodeId, encode(ack));
         break;
       }
     }
@@ -350,7 +428,7 @@ void Server::sendReplicaSync() {
                       config_.replSerPerByteCost * static_cast<double>(frame.payload.size()));
   for (const auto& [serverId, nodeId] : peers_) {
     (void)serverId;
-    net_.send(node_, nodeId, frame);
+    reliable_->send(nodeId, frame);
   }
 }
 
@@ -380,7 +458,7 @@ void Server::initiateMigrations() {
     meter_.charge(config_.migIniBaseCost +
                   config_.migIniPerEntityCost * static_cast<double>(world_.size()) +
                   config_.migIniPerByteCost * static_cast<double>(frame.payload.size()));
-    net_.send(node_, pending.targetNode, frame);
+    reliable_->send(pending.targetNode, frame);
     ++tickMigrationsInitiated_;
     ++migrationsInitiatedTotal_;
   }

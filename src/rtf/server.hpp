@@ -28,6 +28,7 @@
 #include "rtf/messages.hpp"
 #include "rtf/monitoring.hpp"
 #include "rtf/probes.hpp"
+#include "rtf/reliable.hpp"
 #include "rtf/world.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulation.hpp"
@@ -81,6 +82,11 @@ struct ServerConfig {
   SimDuration monitoringPublishPeriod{SimDuration::milliseconds(500)};
   /// Cost of serializing + sending one monitoring snapshot.
   double monitoringPublishCost{3.0};
+  /// Cadence of liveness heartbeats to the collector (best-effort frames;
+  /// the failure detector tolerates individual losses).
+  SimDuration heartbeatPeriod{SimDuration::milliseconds(250)};
+  /// Retransmission behaviour of the reliable control-plane channel.
+  ReliableConfig reliable{};
 };
 
 class Server : public ForwardSink {
@@ -108,7 +114,12 @@ class Server : public ForwardSink {
   void start();
   /// Stops ticking and detaches from the network.
   void shutdown();
+  /// Crash-failure: the process dies mid-tick-interval. Identical to
+  /// shutdown at this level (no drain, no goodbye) but remembered, so the
+  /// harness can distinguish decommissioned from crashed replicas.
+  void crash();
   [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
 
   /// Registers/updates a peer replica of the same zone.
   void setPeers(std::vector<std::pair<ServerId, NodeId>> peers);
@@ -129,6 +140,26 @@ class Server : public ForwardSink {
   /// tick's migration phase. Returns false if the client is not active here
   /// or already migrating.
   bool requestMigration(ClientId client, ServerId target, NodeId targetNode);
+
+  // --- crash recovery (invoked by the cluster / management plane) ---
+
+  /// Aborts hand-overs to a peer that died: queued migrations to it are
+  /// dropped and users whose avatar was already signed over are re-owned
+  /// locally, so no client wedges in the migrating state forever.
+  void cancelMigrationsTo(ServerId deadTarget);
+
+  /// Adopts an orphaned user of a crashed replica. If this server still
+  /// holds a shadow of the avatar (from replica sync) it is promoted to an
+  /// active entity — the user keeps position/health; otherwise a fresh
+  /// avatar spawns at `fallbackSpawn`. Returns true when a shadow was
+  /// promoted.
+  bool adoptOrphan(ClientId client, EntityId entity, NodeId clientNode, Vec2 fallbackSpawn);
+
+  /// Takes ownership of NPC shadows left behind by a crashed replica.
+  /// Returns the number of NPCs adopted.
+  std::size_t adoptNpcsFrom(ServerId deadOwner);
+
+  [[nodiscard]] bool hasClient(ClientId client) const { return clients_.contains(client); }
 
   void setMigrationCompleteFn(MigrationCompleteFn fn) { onMigrationComplete_ = std::move(fn); }
   void setProbeListener(ProbeListener listener) { probeListener_ = std::move(listener); }
@@ -163,6 +194,7 @@ class Server : public ForwardSink {
   };
 
   void onFrame(NodeId from, const ser::Frame& frame);
+  void dispatchFrame(NodeId from, const ser::Frame& frame);
   void tick();
 
   void processMigrationArrivals();
@@ -188,6 +220,7 @@ class Server : public ForwardSink {
   sim::CpuAccount cpuAccount_;
   MonitoringWindow monitoringWindow_;
   NodeId node_;
+  std::unique_ptr<ReliableTransport> reliable_;
 
   std::map<ClientId, ClientSession> clients_;      // deterministic order
   std::vector<std::pair<ServerId, NodeId>> peers_;  // same-zone replicas
@@ -210,6 +243,7 @@ class Server : public ForwardSink {
   std::vector<EntityId> departedEntities_;  // to announce in next sync
 
   bool running_{false};
+  bool crashed_{false};
   bool inTick_{false};
   std::uint64_t tickSeq_{0};
   std::uint64_t migrationsInitiatedTotal_{0};
@@ -224,6 +258,8 @@ class Server : public ForwardSink {
 
   NodeId monitoringTarget_{};
   SimTime lastMonitoringPublish_{SimTime::zero()};
+  SimTime lastHeartbeat_{SimTime::zero()};
+  std::uint64_t heartbeatSeq_{0};
 
   ProbeListener probeListener_;
   MigrationCompleteFn onMigrationComplete_;

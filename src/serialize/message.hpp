@@ -27,6 +27,9 @@ enum class MessageType : std::uint16_t {
   kMigrationAck = 7,       // server -> server: adoption confirmed
   kControl = 8,            // manager -> server: RMS commands
   kMonitoring = 9,         // server -> manager: monitoring snapshot
+  kReliableData = 10,      // reliable-delivery envelope around another frame
+  kReliableAck = 11,       // ack for one reliable sequence number
+  kHeartbeat = 12,         // server -> manager: liveness beacon
 };
 
 /// An encoded frame plus its decoded header, as seen by the network layer.

@@ -163,6 +163,52 @@ TEST(NetworkTest, PerLinkOverridesBeatDefaults) {
   EXPECT_EQ(arrivals[1], 50000);
 }
 
+TEST(NetworkTest, RemoveNodeDropsInFlightFrames) {
+  Fixture f;
+  int delivered = 0;
+  const NodeId a = f.net.addNode(nullptr);
+  const NodeId b = f.net.addNode([&](NodeId, const ser::Frame&) { ++delivered; });
+  LinkParams params;
+  params.latency = SimDuration::milliseconds(5);
+  params.bandwidthBytesPerSec = 1e12;
+  f.net.setDefaultLinkParams(params);
+
+  f.net.send(a, b, makeFrame(10));
+  f.net.send(a, b, makeFrame(10));
+  // Detach before the frames land: they must vanish, not crash or deliver.
+  f.sim.runUntil(SimTime{1000});
+  f.net.removeNode(b);
+  f.sim.runAll();
+  EXPECT_EQ(delivered, 0);
+  // Egress was still charged at send time; ingress never happened.
+  EXPECT_EQ(f.net.nodeEgress(a).messages, 2u);
+  EXPECT_EQ(f.net.nodeIngress(b).messages, 0u);
+}
+
+TEST(NetworkTest, MulticastAccountsPerRecipient) {
+  Fixture f;
+  int atB = 0, atC = 0;
+  const NodeId a = f.net.addNode(nullptr);
+  const NodeId b = f.net.addNode([&](NodeId, const ser::Frame&) { ++atB; });
+  const NodeId c = f.net.addNode([&](NodeId, const ser::Frame&) { ++atC; });
+
+  f.net.multicast(a, {b, c}, makeFrame(100));
+  f.sim.runAll();
+  EXPECT_EQ(atB, 1);
+  EXPECT_EQ(atC, 1);
+
+  // A multicast is n unicasts on the wire: egress and the global totals
+  // count one message per recipient, each of the same wire size.
+  const std::size_t wire = ser::encodedFrameSize(100);
+  EXPECT_EQ(f.net.nodeEgress(a).messages, 2u);
+  EXPECT_EQ(f.net.nodeEgress(a).bytes, 2 * wire);
+  EXPECT_EQ(f.net.nodeIngress(b).messages, 1u);
+  EXPECT_EQ(f.net.nodeIngress(b).bytes, wire);
+  EXPECT_EQ(f.net.nodeIngress(c).messages, 1u);
+  EXPECT_EQ(f.net.totals().messages, 2u);
+  EXPECT_EQ(f.net.totals().bytes, 2 * wire);
+}
+
 TEST(NetworkTest, HandlerReplacement) {
   Fixture f;
   int first = 0, second = 0;

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "game/bots.hpp"
@@ -121,6 +122,7 @@ TEST(StressTest, EventQueueMatchesReferenceModel) {
   // Reference: multimap of (time, seq) -> alive flag.
   struct Ref {
     SimTime at;
+    std::uint64_t tag{0};
     bool alive{true};
   };
   std::map<std::uint64_t, Ref> reference;  // seq -> record
@@ -137,7 +139,7 @@ TEST(StressTest, EventQueueMatchesReferenceModel) {
         fired.emplace_back(at.micros, tag);
       });
       handles.push_back(handle);
-      reference.emplace(handle.seq, Ref{at, true});
+      reference.emplace(handle.seq, Ref{at, tag, true});
     } else if (dice < 0.7 && !handles.empty()) {
       const std::size_t pick = rng.uniformInt(0, handles.size() - 1);
       queue.cancel(handles[pick]);
@@ -149,21 +151,21 @@ TEST(StressTest, EventQueueMatchesReferenceModel) {
       queue.pop(at)();
       ASSERT_EQ(fired.size(), before + 1);
       // The fired event must be the earliest alive (time, seq) in reference.
-      std::uint64_t bestSeq = 0;
+      // The map iterates in ascending seq order, so strict < on time picks
+      // the lowest seq among equal times automatically.
+      std::optional<std::uint64_t> bestSeq;
       SimTime bestAt = SimTime::max();
       for (const auto& [seq, ref] : reference) {
         if (!ref.alive) continue;
-        if (ref.at < bestAt || (ref.at == bestAt && seq < bestSeq) || bestSeq == 0) {
-          if (ref.at < bestAt || bestSeq == 0 ||
-              (ref.at == bestAt && seq < bestSeq)) {
-            bestAt = ref.at;
-            bestSeq = seq;
-          }
+        if (!bestSeq || ref.at < bestAt) {
+          bestAt = ref.at;
+          bestSeq = seq;
         }
       }
+      ASSERT_TRUE(bestSeq.has_value());
       ASSERT_EQ(fired.back().first, bestAt.micros);
-      reference[bestSeq].alive = false;
-      reference.erase(bestSeq);
+      ASSERT_EQ(fired.back().second, reference.at(*bestSeq).tag);
+      reference.erase(*bestSeq);
     }
   }
 }
