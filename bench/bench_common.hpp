@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -12,8 +14,85 @@
 #include "common/stats.hpp"
 #include "game/calibrate.hpp"
 #include "model/tick_model.hpp"
+#include "obs/telemetry.hpp"
 
 namespace roia::benchharness {
+
+/// Activates the process-global telemetry context from environment knobs
+/// and writes the requested sidecar files when the harness exits:
+///   ROIA_TRACE_OUT    Chrome/Perfetto trace-event JSON (simulated time)
+///   ROIA_METRICS_OUT  metrics snapshot; format by extension: .prom
+///                     (Prometheus text), .csv, anything else JSONL
+///   ROIA_AUDIT_OUT    RMS decision audit log, JSONL
+///   ROIA_TRACE_SAMPLE synthesize tick spans every Nth tick (default 1)
+/// With none of the knobs set, telemetry stays off and the run is
+/// bit-identical to one without this scope.
+class TelemetryScope {
+ public:
+  TelemetryScope() {
+    traceOut_ = envString("ROIA_TRACE_OUT");
+    metricsOut_ = envString("ROIA_METRICS_OUT");
+    auditOut_ = envString("ROIA_AUDIT_OUT");
+    if (traceOut_.empty() && metricsOut_.empty() && auditOut_.empty()) return;
+    active_ = true;
+    obs::Telemetry& telemetry = obs::Telemetry::global();
+    telemetry.setActive(true);
+    telemetry.tracer.setEnabled(!traceOut_.empty());
+    telemetry.audit.setEnabled(!auditOut_.empty());
+    if (const char* sample = std::getenv("ROIA_TRACE_SAMPLE")) {
+      const long every = std::strtol(sample, nullptr, 10);
+      if (every > 0) telemetry.traceTickSampleEvery = static_cast<std::size_t>(every);
+    }
+  }
+
+  ~TelemetryScope() { flush(); }
+
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  /// Writes the sidecars; idempotent, also runs at scope exit.
+  void flush() {
+    if (!active_ || flushed_) return;
+    flushed_ = true;
+    obs::Telemetry& telemetry = obs::Telemetry::global();
+    if (!traceOut_.empty()) {
+      std::ofstream out(traceOut_);
+      telemetry.tracer.writeJson(out);
+      std::fprintf(stderr, "telemetry: %zu trace events -> %s\n",
+                   telemetry.tracer.eventCount(), traceOut_.c_str());
+    }
+    if (!metricsOut_.empty()) {
+      std::ofstream out(metricsOut_);
+      if (metricsOut_.ends_with(".prom")) {
+        telemetry.metrics.writePrometheus(out);
+      } else if (metricsOut_.ends_with(".csv")) {
+        telemetry.metrics.writeCsv(out);
+      } else {
+        telemetry.metrics.writeJsonl(out);
+      }
+      std::fprintf(stderr, "telemetry: %zu metrics -> %s\n", telemetry.metrics.size(),
+                   metricsOut_.c_str());
+    }
+    if (!auditOut_.empty()) {
+      std::ofstream out(auditOut_);
+      telemetry.audit.writeJsonl(out);
+      std::fprintf(stderr, "telemetry: %zu audit records -> %s\n", telemetry.audit.size(),
+                   auditOut_.c_str());
+    }
+  }
+
+ private:
+  static std::string envString(const char* name) {
+    const char* value = std::getenv(name);
+    return value != nullptr ? std::string(value) : std::string();
+  }
+
+  bool active_{false};
+  bool flushed_{false};
+  std::string traceOut_;
+  std::string metricsOut_;
+  std::string auditOut_;
+};
 
 /// Full-strength calibration campaign (matches the paper: up to 300 bots on
 /// two replicas of one zone, plus a migration sweep).

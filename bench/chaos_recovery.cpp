@@ -12,6 +12,7 @@
 #include "rms/session.hpp"
 
 int main() {
+  roia::benchharness::TelemetryScope telemetryScope;
   using namespace roia;
   using benchharness::printHeader;
 

@@ -24,6 +24,7 @@ struct Variant {
 }  // namespace
 
 int main() {
+  roia::benchharness::TelemetryScope telemetryScope;
   using namespace roia;
   using benchharness::printHeader;
 

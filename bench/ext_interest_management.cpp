@@ -15,6 +15,7 @@
 #include "model/report.hpp"
 
 int main() {
+  roia::benchharness::TelemetryScope telemetryScope;
   using namespace roia;
   using benchharness::printHeader;
 

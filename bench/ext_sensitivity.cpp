@@ -7,6 +7,7 @@
 #include "model/sensitivity.hpp"
 
 int main() {
+  roia::benchharness::TelemetryScope telemetryScope;
   using namespace roia;
   using benchharness::printHeader;
 

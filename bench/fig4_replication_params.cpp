@@ -10,6 +10,7 @@
 #include "model/estimator.hpp"
 
 int main() {
+  roia::benchharness::TelemetryScope telemetryScope;
   using namespace roia;
   using benchharness::printHeader;
   using benchharness::printParamTable;

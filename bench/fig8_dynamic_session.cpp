@@ -13,6 +13,7 @@
 #include "rms/session.hpp"
 
 int main() {
+  roia::benchharness::TelemetryScope telemetryScope;
   using namespace roia;
   using benchharness::printHeader;
 

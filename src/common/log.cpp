@@ -2,13 +2,26 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
 #include <mutex>
 
 namespace roia {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_writeMutex;
+/// Fast-path flag: component lookup only happens while overrides exist.
+std::atomic<bool> g_hasOverrides{false};
+std::mutex g_mutex;  // guards overrides and sink pointer swaps
+
+std::map<std::string, int, std::less<>>& overrides() {
+  static std::map<std::string, int, std::less<>> map;
+  return map;
+}
+
+std::shared_ptr<LogSink>& sinkSlot() {
+  static std::shared_ptr<LogSink> sink = std::make_shared<StderrSink>();
+  return sink;
+}
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -24,17 +37,81 @@ const char* levelName(LogLevel level) {
 
 }  // namespace
 
+void StderrSink::write(const LogEntry& entry) {
+  std::string line = entry.message;
+  for (const auto& [key, value] : entry.fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += value;
+  }
+  std::fprintf(stderr, "[%s] %s: %s\n", levelName(entry.level), entry.component.c_str(),
+               line.c_str());
+}
+
+std::vector<LogEntry> MemorySink::entriesFor(std::string_view component) const {
+  std::vector<LogEntry> out;
+  for (const LogEntry& e : entries_) {
+    if (e.component == component) out.push_back(e);
+  }
+  return out;
+}
+
 void Logger::setLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
 LogLevel Logger::level() { return static_cast<LogLevel>(g_level.load()); }
 
+void Logger::setComponentLevel(std::string_view component, LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  overrides()[std::string(component)] = static_cast<int>(level);
+  g_hasOverrides.store(true);
+}
+
+void Logger::clearComponentLevel(std::string_view component) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = overrides().find(component);
+  if (it != overrides().end()) overrides().erase(it);
+  g_hasOverrides.store(!overrides().empty());
+}
+
+void Logger::clearComponentLevels() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  overrides().clear();
+  g_hasOverrides.store(false);
+}
+
 bool Logger::enabled(LogLevel level) { return static_cast<int>(level) >= g_level.load(); }
 
+bool Logger::enabled(LogLevel level, std::string_view component) {
+  if (g_hasOverrides.load()) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = overrides().find(component);
+    if (it != overrides().end()) return static_cast<int>(level) >= it->second;
+  }
+  return enabled(level);
+}
+
+std::shared_ptr<LogSink> Logger::setSink(std::shared_ptr<LogSink> sink) {
+  if (sink == nullptr) sink = std::make_shared<StderrSink>();
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::shared_ptr<LogSink> previous = sinkSlot();
+  sinkSlot() = std::move(sink);
+  return previous;
+}
+
 void Logger::write(LogLevel level, std::string_view component, std::string_view message) {
-  std::lock_guard<std::mutex> lock(g_writeMutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", levelName(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  write(level, component, message, {});
+}
+
+void Logger::write(LogLevel level, std::string_view component, std::string_view message,
+                   std::vector<std::pair<std::string, std::string>> fields) {
+  LogEntry entry{level, std::string(component), std::string(message), std::move(fields)};
+  std::shared_ptr<LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    sink = sinkSlot();
+  }
+  sink->write(entry);
 }
 
 }  // namespace roia

@@ -41,13 +41,33 @@ const FaultParams& FaultInjector::paramsFor(NodeId from, NodeId to) const {
   return it == linkFaults_.end() ? defaultFaults_ : it->second;
 }
 
+void FaultInjector::setMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_.reset();
+    return;
+  }
+  metrics_ = MetricSet{
+      &registry->counter("roia_fault_frames_judged_total"),
+      &registry->counter("roia_fault_frames_dropped_total"),
+      &registry->counter("roia_fault_frames_duplicated_total"),
+      &registry->counter("roia_fault_frames_delayed_total"),
+      &registry->counter("roia_fault_frames_reordered_total"),
+      &registry->counter("roia_fault_frames_partitioned_total"),
+  };
+}
+
 FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to, SimTime now) {
   ++stats_.framesJudged;
+  if (metrics_) metrics_->judged->increment();
   Verdict verdict;
 
   if (isPartitioned(from, to, now)) {
     ++stats_.framesPartitioned;
     ++stats_.framesDropped;
+    if (metrics_) {
+      metrics_->partitioned->increment();
+      metrics_->dropped->increment();
+    }
     verdict.drop = true;
     return verdict;  // consumes no randomness: partitions are time-driven
   }
@@ -57,20 +77,26 @@ FaultInjector::Verdict FaultInjector::judge(NodeId from, NodeId to, SimTime now)
 
   if (params.dropProbability > 0.0 && rng_.chance(params.dropProbability)) {
     ++stats_.framesDropped;
+    if (metrics_) metrics_->dropped->increment();
     verdict.drop = true;
     return verdict;
   }
   if (params.jitterMax > SimDuration::zero()) {
     verdict.extraDelay = SimDuration::microseconds(static_cast<std::int64_t>(
         rng_.uniformInt(0, static_cast<std::uint64_t>(params.jitterMax.micros))));
-    if (verdict.extraDelay > SimDuration::zero()) ++stats_.framesDelayed;
+    if (verdict.extraDelay > SimDuration::zero()) {
+      ++stats_.framesDelayed;
+      if (metrics_) metrics_->delayed->increment();
+    }
   }
   if (params.reorderProbability > 0.0 && rng_.chance(params.reorderProbability)) {
     ++stats_.framesReordered;
+    if (metrics_) metrics_->reordered->increment();
     verdict.reorder = true;
   }
   if (params.duplicateProbability > 0.0 && rng_.chance(params.duplicateProbability)) {
     ++stats_.framesDuplicated;
+    if (metrics_) metrics_->duplicated->increment();
     verdict.duplicate = true;
     if (params.jitterMax > SimDuration::zero()) {
       verdict.duplicateExtraDelay = SimDuration::microseconds(static_cast<std::int64_t>(

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -17,6 +18,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace roia::net {
 
@@ -84,6 +86,11 @@ class FaultInjector {
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
+  /// Mirrors injector activity into counters (roia_fault_*_total); nullptr
+  /// detaches. Consumes no randomness, so attaching telemetry never
+  /// changes the fault schedule.
+  void setMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct Partition {
     std::unordered_set<std::uint64_t> group;  // NodeId values
@@ -101,6 +108,17 @@ class FaultInjector {
   std::unordered_map<std::uint64_t, FaultParams> linkFaults_;
   std::unordered_map<std::string, Partition> partitions_;
   FaultStats stats_;
+
+  /// Cached instrument pointers (registry references are stable).
+  struct MetricSet {
+    obs::Counter* judged;
+    obs::Counter* dropped;
+    obs::Counter* duplicated;
+    obs::Counter* delayed;
+    obs::Counter* reordered;
+    obs::Counter* partitioned;
+  };
+  std::optional<MetricSet> metrics_;
 };
 
 }  // namespace roia::net

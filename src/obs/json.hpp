@@ -1,0 +1,45 @@
+// Tiny JSON emission helpers shared by the telemetry exporters. Emission
+// only — the repo deliberately has no JSON parser; validation of emitted
+// documents lives in the tests and the CI python check.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace roia::obs {
+
+/// Appends `s` as a quoted, escaped JSON string.
+inline void appendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Appends a double as a JSON number (finite values only; NaN/inf become 0,
+/// which JSON cannot represent).
+inline void appendJsonNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace roia::obs

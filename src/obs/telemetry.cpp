@@ -1,0 +1,15 @@
+#include "obs/telemetry.hpp"
+
+namespace roia::obs {
+
+Telemetry& Telemetry::global() {
+  static Telemetry instance;
+  return instance;
+}
+
+Telemetry* Telemetry::globalIfActive() {
+  Telemetry& g = global();
+  return g.active() ? &g : nullptr;
+}
+
+}  // namespace roia::obs

@@ -1,0 +1,45 @@
+// The telemetry context: one metrics registry + event tracer + RMS audit
+// log shared by a cluster, its servers, the monitoring collector, the
+// reliable transports, the fault injector and the RMS manager. Components
+// hold a `Telemetry*` that is nullptr when observability is off, so the
+// disabled path is a single pointer check and recording never charges
+// simulated CPU cost — telemetry observes the experiment, it is not part
+// of it.
+//
+// Benches use the process-global instance (activated from the ROIA_*_OUT
+// environment knobs); tests construct their own to stay isolated.
+#pragma once
+
+#include <cstddef>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace roia::obs {
+
+class Telemetry {
+ public:
+  MetricsRegistry metrics;
+  Tracer tracer;
+  AuditLog audit;
+
+  /// Synthesize tick/phase spans only every Nth tick per server (1 = every
+  /// tick). Flow and RMS events are never sampled out.
+  std::size_t traceTickSampleEvery{1};
+
+  /// The process-global instance used by benches. Inactive until
+  /// setActive(true); components fall back to it only when active.
+  static Telemetry& global();
+  /// &global() when activated, nullptr otherwise — the default telemetry
+  /// hook of a Cluster constructed without an explicit context.
+  static Telemetry* globalIfActive();
+
+  void setActive(bool active) { active_ = active; }
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_{false};
+};
+
+}  // namespace roia::obs

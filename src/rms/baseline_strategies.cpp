@@ -61,6 +61,7 @@ Decision StaticIntervalStrategy::decide(const ZoneView& view) {
   // Reactive replication: only after the threshold is already violated.
   if (view.maxTickMs() > config_.upperTickMs && view.pendingStarts == 0) {
     decision.addReplica = true;
+    decision.threshold = "reactive:tick_upper";
     decision.rationale = "static: tick above threshold";
     return decision;
   }
@@ -72,6 +73,7 @@ Decision StaticIntervalStrategy::decide(const ZoneView& view) {
     }
     if (least != nullptr) {
       decision.removeServer = least->server;
+      decision.threshold = "reactive:tick_lower";
       decision.rationale = "static: tick below lower threshold";
     }
   }
@@ -104,8 +106,12 @@ Decision UnthrottledMigrationStrategy::decide(const ZoneView& view) {
           : model::nMax(model_, effectiveReplicas, npcs_, upperTickMs_ * 1000.0);
   const std::size_t trigger = static_cast<std::size_t>(
       std::floor(triggerFraction_ * static_cast<double>(nMaxHere)));
+  decision.predictedTickMs =
+      model_.tickMillis(static_cast<double>(std::max<std::size_t>(1, view.replicaCount())),
+                        static_cast<double>(n), static_cast<double>(npcs_));
   if (n > trigger && effectiveReplicas < report_.lMax) {
     decision.addReplica = true;
+    decision.threshold = "eq2:n_trigger";
     decision.rationale = "unthrottled: predictive replication";
   }
   return decision;

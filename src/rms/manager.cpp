@@ -12,7 +12,9 @@ RmsManager::RmsManager(rtf::Cluster& cluster, std::vector<ZoneId> zones,
       zones_(std::move(zones)),
       strategy_(std::move(strategy)),
       pool_(std::move(pool)),
-      config_(config) {
+      config_(config),
+      telemetry_(cluster.telemetry()) {
+  if (telemetry_ != nullptr) traceTrack_ = telemetry_->tracer.track("rms");
   // The initial replicas of the managed zones were provisioned before the
   // manager exists; lease-account them so server-seconds cover the whole
   // session.
@@ -42,6 +44,14 @@ void RmsManager::stop() {
 
 bool RmsManager::controlStep(SimTime now) {
   if (!runningFlag_) return false;
+
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.beginSpan(traceTrack_, now, "control-period", "rms");
+    // Refresh collector-health gauges on the management-plane cadence.
+    if (auto* collector = cluster_.monitoringCollector()) {
+      collector->publishMetrics();
+    }
+  }
 
   // Complete drains first so the views only contain live servers.
   finishDrains();
@@ -76,6 +86,7 @@ bool RmsManager::controlStep(SimTime now) {
     view.npcs = config_.npcs;
 
     const Decision decision = strategy_->decide(view);
+    if (telemetry_ != nullptr) auditZoneDecision(now, view, decision);
     executeZone(zone, decision);
 
     point.users += view.totalUsers();
@@ -101,7 +112,41 @@ bool RmsManager::controlStep(SimTime now) {
   point.violation = point.maxTickMs > config_.upperTickMs;
   if (point.violation) ++violationPeriods_;
   timeline_.push_back(point);
+  if (telemetry_ != nullptr) telemetry_->tracer.endSpan(traceTrack_, now);
   return true;
+}
+
+void RmsManager::auditZoneDecision(SimTime now, const ZoneView& view, const Decision& decision) {
+  obs::AuditRecord record;
+  record.at = now;
+  record.zone = view.zone;
+  record.strategy = strategy_->name();
+  record.users = view.totalUsers();
+  record.npcs = view.npcs;
+  record.replicas = view.replicaCount();
+  record.pendingStarts = view.pendingStarts;
+  record.measuredAvgTickMs = view.avgTickMs();
+  record.measuredP95TickMs = view.p95TickMs();
+  record.measuredMaxTickMs = view.maxTickMs();
+  record.predictedTickMs = decision.predictedTickMs;
+  record.threshold = decision.threshold;
+  if (decision.addReplica) {
+    record.action = "add_replica";
+  } else if (decision.substituteServer) {
+    record.action = "substitute_server";
+  } else if (decision.removeServer) {
+    record.action = "remove_server";
+  } else if (!decision.migrations.empty()) {
+    record.action = "migrate_only";
+  }
+  for (const MigrationOrder& order : decision.migrations) {
+    record.migrationsOrdered += order.count;
+  }
+  for (const RejectedAction& rejected : decision.rejected) {
+    record.rejected.push_back(rejected.action + ": " + rejected.reason);
+  }
+  record.rationale = decision.rationale;
+  telemetry_->audit.record(std::move(record));
 }
 
 void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
@@ -140,6 +185,23 @@ void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
     // Restore the replica count the strategy last decided on.
     record.replacementOrdered = beginReplicaStart(zone, flavorIdx, std::nullopt);
     recoveries_.push_back(record);
+
+    if (telemetry_ != nullptr) {
+      obs::AuditRecord audit;
+      audit.at = now;
+      audit.zone = zone;
+      audit.strategy = strategy_->name();
+      audit.replicas = cluster_.zones().replicaCount(zone);
+      audit.pendingStarts = pendingStarts_[zone];
+      audit.threshold = "detector:missed_heartbeats";
+      audit.action = "recover_crash";
+      audit.rationale = "server " + std::to_string(dead.value) +
+                        " heartbeat-silent; rehomed=" + std::to_string(report.clientsRehomed) +
+                        " promoted=" + std::to_string(report.shadowsPromoted) +
+                        " lost=" + std::to_string(report.clientsLost);
+      telemetry_->audit.record(std::move(audit));
+      telemetry_->tracer.instant(traceTrack_, now, "crash-recovery", "rms");
+    }
 
     ++point.crashesDetected;
     point.clientsRehomed += report.clientsRehomed;

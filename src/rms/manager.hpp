@@ -15,6 +15,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "rms/resource_pool.hpp"
 #include "rms/strategy.hpp"
 #include "rtf/cluster.hpp"
@@ -109,6 +110,7 @@ class RmsManager {
 
  private:
   bool controlStep(SimTime now);
+  void auditZoneDecision(SimTime now, const ZoneView& view, const Decision& decision);
   void detectAndRecover(SimTime now, TimelinePoint& point);
   void executeZone(ZoneId zone, const Decision& decision);
   bool beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
@@ -127,6 +129,10 @@ class RmsManager {
 
   sim::Simulation::PeriodicToken token_;
   bool runningFlag_{false};
+
+  // Telemetry (pure observer; inherited from the cluster, may be null).
+  obs::Telemetry* telemetry_{nullptr};
+  std::uint32_t traceTrack_{0};
 
   std::vector<TimelinePoint> timeline_;
   std::uint64_t migrationsOrdered_{0};

@@ -25,6 +25,11 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
   const std::size_t effectiveReplicas = l + view.pendingStarts;
   const std::size_t n = view.totalUsers();
 
+  // Audit: what the fitted model expects the current workload to cost.
+  decision.predictedTickMs = model_.tickMillis(static_cast<double>(std::max<std::size_t>(1, l)),
+                                               static_cast<double>(n),
+                                               static_cast<double>(config_.npcs));
+
   // --- user migration (always considered; Listing 1) ---
   planMigrations(view, decision);
 
@@ -37,11 +42,14 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
       // Replication enactment: add a server before the threshold is hit so
       // migration overhead and late joiners cannot push ticks past U.
       decision.addReplica = true;
+      decision.threshold = "eq2:n_trigger";
       decision.rationale = "replication enactment: " + std::to_string(n) + " users > 80% of n_max(" +
                            std::to_string(effectiveReplicas) + ")";
     } else if (view.pendingStarts == 0) {
       // Replication exhausted: substitute the slowest/most loaded standard
       // replica with a more powerful resource.
+      decision.rejected.push_back(
+          {"add_replica", "l_max=" + std::to_string(report_.lMax) + " reached (Eq. 3)"});
       const rtf::MonitoringSnapshot* worst = nullptr;
       for (const auto& s : view.servers) {
         if (view.isDraining(s.server)) continue;
@@ -49,8 +57,12 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
       }
       if (worst != nullptr) {
         decision.substituteServer = worst->server;
+        decision.threshold = "eq3:l_max";
         decision.rationale = "resource substitution: l_max reached";
       }
+    } else {
+      decision.rejected.push_back(
+          {"add_replica", "l_max reached and a replica start is already pending"});
     }
     return decision;
   }
@@ -68,9 +80,14 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
       }
       if (least != nullptr) {
         decision.removeServer = least->server;
+        decision.threshold = "eq2:n_lower";
         decision.rationale = "resource removal: " + std::to_string(n) + " users < " +
                              std::to_string(lowerTrigger);
       }
+    } else {
+      decision.rejected.push_back(
+          {"remove_replica", std::to_string(n) + " users >= hysteresis floor " +
+                                 std::to_string(lowerTrigger)});
     }
   }
   return decision;
@@ -109,7 +126,11 @@ void ModelDrivenStrategy::planMigrations(const ZoneView& view, Decision& decisio
   // (ii) migration budget of the source, from Eq. (5).
   std::size_t iniBudget = model::xMaxInitiate(model_, l, n, config_.npcs, sMax->activeUsers,
                                               thresholdMicros);
-  if (iniBudget == 0) return;
+  if (iniBudget == 0) {
+    decision.rejected.push_back(
+        {"migrate", "eq5 initiate budget x_max=0 on fullest replica"});
+    return;
+  }
 
   // (i) + (iii): deviation and receive budget per remaining server.
   for (const auto& s : servers) {
@@ -133,6 +154,9 @@ void ModelDrivenStrategy::planMigrations(const ZoneView& view, Decision& decisio
     decision.migrations.push_back(MigrationOrder{sMax->server, s.server, count});
     iniBudget -= count;
   }
+  // Audit: migrations are gated by Eq. 5 budgets; structural paths may
+  // overwrite this with the (primary) eq2/eq3 threshold afterwards.
+  if (!decision.migrations.empty()) decision.threshold = "eq5:x_max";
 }
 
 }  // namespace roia::rms

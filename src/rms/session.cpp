@@ -44,7 +44,7 @@ SessionSummary runManagedSession(const ManagedSessionConfig& config,
                                  const model::TickModel& tickModel) {
   game::FpsApplication app(config.fps);
   rtf::Cluster cluster(app, rtf::ClusterConfig{config.server, rtf::ClientEndpoint::Config{},
-                                               config.seed});
+                                               config.seed, config.telemetry});
   const ZoneId zone =
       cluster.createZone("arena", config.fps.arenaOrigin, config.fps.arenaExtent);
   for (std::size_t i = 0; i < std::max<std::size_t>(1, config.initialReplicas); ++i) {

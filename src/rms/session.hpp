@@ -53,6 +53,9 @@ struct ManagedSessionConfig {
   std::uint64_t seed{42};
   /// Chaos mode: inject network faults and optionally a mid-session crash.
   std::optional<SessionFaultPlan> faults{};
+  /// Telemetry context handed to the cluster; nullptr falls back to the
+  /// process-global context when active (see obs::Telemetry).
+  obs::Telemetry* telemetry{nullptr};
 };
 
 struct SessionSummary {

@@ -20,6 +20,13 @@ struct MigrationOrder {
   std::size_t count{0};
 };
 
+/// An action the strategy considered but did not take, and why — recorded so
+/// the audit log explains decisions, not just states them.
+struct RejectedAction {
+  std::string action;
+  std::string reason;
+};
+
 /// The decision for one zone in one control period. At most one structural
 /// action (add/substitute/remove) is taken per period, plus any number of
 /// migration orders.
@@ -31,6 +38,16 @@ struct Decision {
   /// Drain and shut down this server.
   std::optional<ServerId> removeServer;
   std::string rationale;
+
+  // --- audit annotations (observability only; never drive execution) ---
+  /// Model-predicted tick duration for the zone's current workload, ms;
+  /// negative when the strategy has no model.
+  double predictedTickMs{-1.0};
+  /// Which threshold fired, e.g. "eq2:n_trigger", "eq3:l_max",
+  /// "eq5:x_max"; "none" when no threshold was crossed.
+  std::string threshold{"none"};
+  /// Alternatives considered and discarded this period.
+  std::vector<RejectedAction> rejected;
 
   [[nodiscard]] bool structural() const {
     return addReplica || substituteServer.has_value() || removeServer.has_value();
@@ -64,6 +81,12 @@ struct ZoneView {
     double sum = 0.0;
     for (const auto& s : servers) sum += s.tickAvgMs;
     return sum / static_cast<double>(servers.size());
+  }
+  /// Worst per-replica p95 tick duration across the zone.
+  [[nodiscard]] double p95TickMs() const {
+    double v = 0.0;
+    for (const auto& s : servers) v = std::max(v, s.tickP95Ms);
+    return v;
   }
   [[nodiscard]] bool isDraining(ServerId id) const {
     for (const ServerId d : draining) {

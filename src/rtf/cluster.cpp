@@ -9,7 +9,12 @@
 namespace roia::rtf {
 
 Cluster::Cluster(Application& app, ClusterConfig config)
-    : app_(app), config_(std::move(config)), net_(sim_), rng_(config_.seed) {}
+    : app_(app),
+      config_(std::move(config)),
+      net_(sim_),
+      rng_(config_.seed),
+      telemetry_(config_.telemetry != nullptr ? config_.telemetry
+                                              : obs::Telemetry::globalIfActive()) {}
 
 ZoneId Cluster::createZone(std::string name, Vec2 origin, Vec2 extent) {
   ZoneDescriptor descriptor;
@@ -54,6 +59,7 @@ ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
   if (collector_ != nullptr) {
     server->setMonitoringTarget(collector_->node());
   }
+  if (telemetry_ != nullptr) server->setTelemetry(telemetry_);
   server->start();
   servers_.emplace(id, std::move(server));
   zones_.addReplica(zone, id);
@@ -64,6 +70,7 @@ ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
 MonitoringCollector& Cluster::attachMonitoringCollector() {
   if (collector_ == nullptr) {
     collector_ = std::make_unique<MonitoringCollector>(sim_, net_);
+    if (telemetry_ != nullptr) collector_->setTelemetry(telemetry_);
     for (auto& [id, server] : servers_) {
       server->setMonitoringTarget(collector_->node());
     }
@@ -243,6 +250,7 @@ net::FaultInjector& Cluster::enableFaultInjection(std::uint64_t seed) {
   if (faults_ == nullptr) {
     faults_ = std::make_unique<net::FaultInjector>(
         seed != 0 ? seed : config_.seed ^ 0xFA0171A6B5ULL);
+    if (telemetry_ != nullptr) faults_->setMetrics(&telemetry_->metrics);
     net_.setFaultInjector(faults_.get());
   }
   return *faults_;

@@ -14,6 +14,7 @@
 #include "common/types.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "rtf/client.hpp"
 #include "rtf/monitoring.hpp"
 #include "rtf/server.hpp"
@@ -26,6 +27,12 @@ struct ClusterConfig {
   ServerConfig serverTemplate{};
   ClientEndpoint::Config clientTemplate{};
   std::uint64_t seed{42};
+  /// Telemetry context shared by all servers, the collector and the fault
+  /// injector. nullptr falls back to the process-global context when that
+  /// has been activated (obs::Telemetry::globalIfActive()), else telemetry
+  /// stays off. Recording is a pure observer: simulated timelines are
+  /// bit-identical with telemetry on or off.
+  obs::Telemetry* telemetry{nullptr};
 };
 
 class Cluster {
@@ -104,6 +111,10 @@ class Cluster {
   /// Which server currently serves the client (tracks migrations).
   [[nodiscard]] ServerId clientServer(ClientId id) const { return clientServer_.at(id); }
 
+  /// The telemetry context in effect (config override or active global);
+  /// nullptr when telemetry is off.
+  [[nodiscard]] obs::Telemetry* telemetry() const { return telemetry_; }
+
   // --- fault injection & crash-failure recovery ---
 
   /// Attaches a fault injector to the network (idempotent). Seed 0 derives
@@ -150,6 +161,7 @@ class Cluster {
   net::Network net_;
   ZoneDirectory zones_;
   Rng rng_;
+  obs::Telemetry* telemetry_{nullptr};
 
   std::map<ServerId, std::unique_ptr<Server>> servers_;
   std::map<ClientId, std::unique_ptr<ClientEndpoint>> clients_;

@@ -1,6 +1,7 @@
 #include "rtf/monitoring.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "rtf/messages.hpp"
 #include "serialize/byte_buffer.hpp"
@@ -16,6 +17,7 @@ ser::Frame encodeMonitoring(const MonitoringSnapshot& snapshot) {
   writer.writeVarU64(snapshot.totalAvatars);
   writer.writeVarU64(snapshot.npcs);
   writer.writeF64(snapshot.tickAvgMs);
+  writer.writeF64(snapshot.tickP95Ms);
   writer.writeF64(snapshot.tickMaxMs);
   writer.writeF64(snapshot.cpuLoad);
   for (const double v : snapshot.phaseAvgMicros) writer.writeF32(static_cast<float>(v));
@@ -41,6 +43,7 @@ MonitoringSnapshot decodeMonitoring(const ser::Frame& frame) {
   snapshot.totalAvatars = reader.readVarU64();
   snapshot.npcs = reader.readVarU64();
   snapshot.tickAvgMs = reader.readF64();
+  snapshot.tickP95Ms = reader.readF64();
   snapshot.tickMaxMs = reader.readF64();
   snapshot.cpuLoad = reader.readF64();
   for (double& v : snapshot.phaseAvgMicros) v = reader.readF32();
@@ -71,9 +74,15 @@ void MonitoringCollector::handleFrame(NodeId from, const ser::Frame& frame) {
     const HeartbeatMsg beat = decodeHeartbeat(frame);
     lastAliveAt_[beat.server] = sim_.now();
     ++heartbeats_;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("roia_collector_heartbeats_received_total").increment();
+    }
     return;
   }
   if (frame.type != ser::MessageType::kMonitoring) return;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("roia_collector_snapshots_received_total").increment();
+  }
   MonitoringSnapshot snapshot = decodeMonitoring(frame);
   const ServerId id = snapshot.server;
   // Reliable delivery is unordered: a retransmitted old snapshot may trail
@@ -128,6 +137,31 @@ std::vector<ServerId> MonitoringCollector::suspectDead(SimDuration period,
   return dead;
 }
 
+void MonitoringCollector::setTelemetry(obs::Telemetry* telemetry) { telemetry_ = telemetry; }
+
+void MonitoringCollector::publishMetrics() {
+  if (telemetry_ == nullptr) return;
+  obs::MetricsRegistry& metrics = telemetry_->metrics;
+  for (const auto& [server, snapshot] : latest_) {
+    (void)snapshot;
+    const obs::Labels labels{{"server", std::to_string(server.value)}};
+    if (const auto age = staleness(server)) {
+      metrics.gauge("roia_collector_staleness_ms", labels).set(age->asMillis());
+    }
+    if (const auto beat = heartbeatAge(server)) {
+      metrics.gauge("roia_collector_heartbeat_age_ms", labels).set(beat->asMillis());
+    }
+  }
+  // Fault-injection pressure on the control plane, visible directly in the
+  // metrics sidecar of chaos runs.
+  const ReliableStats& rs = reliable_.stats();
+  const obs::Labels self{{"endpoint", "collector"}};
+  metrics.counter("roia_reliable_retransmissions_total", self).setTotal(rs.retransmissions);
+  metrics.counter("roia_reliable_duplicates_dropped_total", self).setTotal(rs.duplicatesDropped);
+  metrics.counter("roia_reliable_messages_delivered_total", self).setTotal(rs.messagesDelivered);
+  metrics.counter("roia_reliable_abandoned_total", self).setTotal(rs.abandoned);
+}
+
 void MonitoringWindow::record(const TickProbes& probes) {
   samples_.push_back(Sample{probes.start, probes.totalMicros(), probes.phaseMicros});
   const SimTime cutoff = probes.start - window_;
@@ -140,20 +174,31 @@ void MonitoringWindow::fill(MonitoringSnapshot& snapshot) const {
   snapshot.phaseAvgMicros.fill(0.0);
   if (samples_.empty()) {
     snapshot.tickAvgMs = 0.0;
+    snapshot.tickP95Ms = 0.0;
     snapshot.tickMaxMs = 0.0;
     return;
   }
   double sum = 0.0;
   double maxTick = 0.0;
+  std::vector<double> totals;
+  totals.reserve(samples_.size());
   for (const Sample& s : samples_) {
     sum += s.totalMicros;
     maxTick = std::max(maxTick, s.totalMicros);
+    totals.push_back(s.totalMicros);
     for (std::size_t p = 0; p < kPhaseCount; ++p) {
       snapshot.phaseAvgMicros[p] += s.phaseMicros[p];
     }
   }
   const double count = static_cast<double>(samples_.size());
+  // Nearest-rank p95 over the window's tick totals.
+  const std::size_t rank =
+      std::min(samples_.size() - 1,
+               static_cast<std::size_t>(std::ceil(0.95 * count)) - (totals.empty() ? 0 : 1));
+  std::nth_element(totals.begin(), totals.begin() + static_cast<std::ptrdiff_t>(rank),
+                   totals.end());
   snapshot.tickAvgMs = sum / count / 1000.0;
+  snapshot.tickP95Ms = totals[rank] / 1000.0;
   snapshot.tickMaxMs = maxTick / 1000.0;
   for (double& v : snapshot.phaseAvgMicros) v /= count;
 }

@@ -15,6 +15,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "rtf/probes.hpp"
 #include "rtf/reliable.hpp"
 #include "serialize/message.hpp"
@@ -33,6 +34,7 @@ struct MonitoringSnapshot {
 
   /// Average / p95 / max tick duration over the monitoring window, in ms.
   double tickAvgMs{0.0};
+  double tickP95Ms{0.0};
   double tickMaxMs{0.0};
   /// CPU load in [0, 1] over the window.
   double cpuLoad{0.0};
@@ -89,6 +91,13 @@ class MonitoringCollector {
 
   [[nodiscard]] const ReliableStats& reliableStats() const { return reliable_.stats(); }
 
+  /// Attaches telemetry: receive counters update live; staleness(),
+  /// heartbeatAge() and the reliable-transport counters are exported by
+  /// publishMetrics() (the manager calls it each control period, so the
+  /// gauges age exactly like the data the RMS acts on).
+  void setTelemetry(obs::Telemetry* telemetry);
+  void publishMetrics();
+
  private:
   void onFrame(NodeId from, const ser::Frame& frame);
   void handleFrame(NodeId from, const ser::Frame& frame);
@@ -102,6 +111,7 @@ class MonitoringCollector {
   std::map<ServerId, SimTime> lastAliveAt_;
   std::uint64_t received_{0};
   std::uint64_t heartbeats_{0};
+  obs::Telemetry* telemetry_{nullptr};
 };
 
 /// Rolling window over recent TickProbes; maintained by the server.

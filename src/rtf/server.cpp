@@ -151,6 +151,73 @@ std::size_t Server::adoptNpcsFrom(ServerId deadOwner) {
   return adopted;
 }
 
+void Server::setTelemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  tickMetrics_.reset();
+  if (telemetry_ == nullptr) return;
+  traceTrack_ = telemetry_->tracer.track("server-" + std::to_string(id_.value));
+
+  obs::MetricsRegistry& metrics = telemetry_->metrics;
+  const obs::Labels labels{{"server", std::to_string(id_.value)}};
+  TickMetrics cached{};
+  cached.tickDurationMs = &metrics.histogram("roia_tick_duration_ms", labels);
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    obs::Labels phaseLabels = labels;
+    phaseLabels.emplace_back("phase", phaseName(static_cast<Phase>(p)));
+    cached.phaseMicros[p] = &metrics.histogram("roia_tick_phase_us", phaseLabels);
+  }
+  cached.migrationsInitiated = &metrics.counter("roia_server_migrations_initiated_total", labels);
+  cached.migrationsReceived = &metrics.counter("roia_server_migrations_received_total", labels);
+  cached.inputsApplied = &metrics.counter("roia_server_inputs_applied_total", labels);
+  cached.forwardedApplied = &metrics.counter("roia_server_forwarded_applied_total", labels);
+  const obs::Labels endpoint{{"endpoint", "server-" + std::to_string(id_.value)}};
+  cached.reliableRetransmissions =
+      &metrics.counter("roia_reliable_retransmissions_total", endpoint);
+  cached.reliableDuplicatesDropped =
+      &metrics.counter("roia_reliable_duplicates_dropped_total", endpoint);
+  cached.reliableAbandoned = &metrics.counter("roia_reliable_abandoned_total", endpoint);
+  tickMetrics_ = cached;
+}
+
+void Server::recordTickTelemetry(const TickProbes& probes) {
+  TickMetrics& m = *tickMetrics_;
+  m.tickDurationMs->add(probes.totalMicros() / 1000.0);
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    if (probes.phaseMicros[p] > 0.0) m.phaseMicros[p]->add(probes.phaseMicros[p]);
+  }
+  m.migrationsInitiated->increment(probes.migrationsInitiated);
+  m.migrationsReceived->increment(probes.migrationsReceived);
+  m.inputsApplied->increment(probes.inputsApplied);
+  m.forwardedApplied->increment(probes.forwardedApplied);
+  const ReliableStats& rs = reliable_->stats();
+  m.reliableRetransmissions->setTotal(rs.retransmissions);
+  m.reliableDuplicatesDropped->setTotal(rs.duplicatesDropped);
+  m.reliableAbandoned->setTotal(rs.abandoned);
+
+  obs::Tracer& tracer = telemetry_->tracer;
+  if (!tracer.enabled()) return;
+  const std::size_t sample = std::max<std::size_t>(1, telemetry_->traceTickSampleEvery);
+  if (probes.tickSeq % sample != 0) return;
+  // The tick occupies [start, start + busy] in simulated time. The phases
+  // did not run contiguously (PhaseScope interleaves them), but their
+  // per-tick totals laid out back to back inside the tick span show the
+  // same cost breakdown Perfetto-style: one child span per phase.
+  tracer.beginSpan(traceTrack_, probes.start, "tick", "tick",
+                   {{"seq", std::to_string(probes.tickSeq)},
+                    {"users", std::to_string(probes.activeUsers)},
+                    {"avatars", std::to_string(probes.totalAvatars)},
+                    {"npcs", std::to_string(probes.npcs)}});
+  SimTime cursor = probes.start;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const double micros = probes.phaseMicros[p];
+    if (micros <= 0.0) continue;
+    const auto duration = SimDuration::microseconds(static_cast<std::int64_t>(micros));
+    tracer.completeSpan(traceTrack_, cursor, duration, phaseName(static_cast<Phase>(p)), "phase");
+    cursor = cursor + duration;
+  }
+  tracer.endSpan(traceTrack_, probes.start + probes.totalDuration());
+}
+
 void Server::forwardInteraction(EntityId target, EntityId source,
                                 std::vector<std::uint8_t> payload) {
   outForwarded_.push_back(ForwardedInputMsg{target, source, std::move(payload)});
@@ -165,21 +232,20 @@ void Server::onFrame(NodeId from, const ser::Frame& frame) {
 }
 
 void Server::dispatchFrame(NodeId from, const ser::Frame& frame) {
-  (void)from;
   if (!running_) return;
   const std::size_t bytes = frame.payload.size();
   switch (frame.type) {
     case ser::MessageType::kClientInput:
-      inClientInputs_.push_back({decodeClientInput(frame), bytes});
+      inClientInputs_.push_back({decodeClientInput(frame), bytes, from});
       break;
     case ser::MessageType::kForwardedInput:
-      inForwarded_.push_back({decodeForwardedInput(frame), bytes});
+      inForwarded_.push_back({decodeForwardedInput(frame), bytes, from});
       break;
     case ser::MessageType::kEntityReplication:
-      inReplication_.push_back({decodeEntityReplication(frame), bytes});
+      inReplication_.push_back({decodeEntityReplication(frame), bytes, from});
       break;
     case ser::MessageType::kMigrationData:
-      inMigrationData_.push_back({decodeMigrationData(frame), bytes});
+      inMigrationData_.push_back({decodeMigrationData(frame), bytes, from});
       break;
     case ser::MessageType::kMigrationAck:
       inMigrationAcks_.push_back(decodeMigrationAck(frame));
@@ -250,6 +316,7 @@ void Server::tick() {
   const SimDuration busy = probes.totalDuration();
   cpuAccount_.recordTick(probes.start, busy, config_.tickInterval);
   monitoringWindow_.record(probes);
+  if (tickMetrics_) recordTickTelemetry(probes);
   if (probeListener_) probeListener_(*this, probes);
   ++tickSeq_;
   inTick_ = false;
@@ -263,7 +330,8 @@ void Server::tick() {
 void Server::processMigrationArrivals() {
   PhaseScope scope(meter_, Phase::kMigRcv);
   while (!inMigrationData_.empty()) {
-    auto [msg, bytes] = std::move(inMigrationData_.front());
+    auto [msg, bytes, from] = std::move(inMigrationData_.front());
+    (void)from;  // migration flows are matched by ClientId, not sender
     inMigrationData_.pop_front();
     // Refuse hand-overs from servers that are no longer peers: the source
     // crashed (or was decommissioned) after sending, and adopting now would
@@ -286,6 +354,10 @@ void Server::processMigrationArrivals() {
     clients_[msg.client] = ClientSession{msg.clientNode, msg.entity.id, false};
     ++tickMigrationsReceived_;
     ++migrationsReceivedTotal_;
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.flowFinish(traceTrack_, sim_.now(), obs::migrationFlowId(msg.client),
+                                    "migration", "migration");
+    }
 
     // Acknowledge to the source so it can release the user.
     MigrationAckMsg ack{msg.client, msg.entity.id, id_};
@@ -301,10 +373,15 @@ void Server::processMigrationArrivals() {
 
 void Server::processReplication() {
   while (!inReplication_.empty()) {
-    auto [msg, bytes] = std::move(inReplication_.front());
+    auto [msg, bytes, from] = std::move(inReplication_.front());
     inReplication_.pop_front();
     meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
                                         config_.peerDserPerByteCost * static_cast<double>(bytes));
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.flowFinish(traceTrack_, sim_.now(),
+                                    obs::replicaSyncFlowId(from, msg.serverTick), "replica-sync",
+                                    "replication");
+    }
     PhaseScope scope(meter_, Phase::kFa);
     for (const EntitySnapshot& snapshot : msg.entities) {
       if (snapshot.owner == id_) continue;  // stale echo of a migrated entity
@@ -335,7 +412,8 @@ void Server::processReplication() {
 
 void Server::processForwardedInputs() {
   while (!inForwarded_.empty()) {
-    auto [msg, bytes] = std::move(inForwarded_.front());
+    auto [msg, bytes, from] = std::move(inForwarded_.front());
+    (void)from;
     inForwarded_.pop_front();
     meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
                                         config_.peerDserPerByteCost * static_cast<double>(bytes));
@@ -363,7 +441,8 @@ void Server::flushForwarded() {
 
 void Server::processClientInputs() {
   while (!inClientInputs_.empty()) {
-    auto [msg, bytes] = std::move(inClientInputs_.front());
+    auto [msg, bytes, from] = std::move(inClientInputs_.front());
+    (void)from;
     inClientInputs_.pop_front();
     meter_.chargeTo(Phase::kUaDser, config_.inputDserBaseCost +
                                         config_.inputDserPerByteCost * static_cast<double>(bytes));
@@ -426,6 +505,12 @@ void Server::sendReplicaSync() {
   meter_.chargeTo(Phase::kSu,
                   config_.replSerBaseCost +
                       config_.replSerPerByteCost * static_cast<double>(frame.payload.size()));
+  if (telemetry_ != nullptr) {
+    // One fan-out flow per sync round; each peer's receive ends it.
+    telemetry_->tracer.flowStart(traceTrack_, sim_.now(),
+                                 obs::replicaSyncFlowId(node_, tickSeq_), "replica-sync",
+                                 "replication");
+  }
   for (const auto& [serverId, nodeId] : peers_) {
     (void)serverId;
     reliable_->send(nodeId, frame);
@@ -461,6 +546,10 @@ void Server::initiateMigrations() {
     reliable_->send(pending.targetNode, frame);
     ++tickMigrationsInitiated_;
     ++migrationsInitiatedTotal_;
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.flowStart(traceTrack_, sim_.now(), obs::migrationFlowId(pending.client),
+                                   "migration", "migration");
+    }
   }
 }
 

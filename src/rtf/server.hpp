@@ -13,6 +13,7 @@
 // the per-tick probes that the scalability model is fitted from.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -24,6 +25,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "obs/telemetry.hpp"
 #include "rtf/application.hpp"
 #include "rtf/messages.hpp"
 #include "rtf/monitoring.hpp"
@@ -164,6 +166,12 @@ class Server : public ForwardSink {
   void setMigrationCompleteFn(MigrationCompleteFn fn) { onMigrationComplete_ = std::move(fn); }
   void setProbeListener(ProbeListener listener) { probeListener_ = std::move(listener); }
 
+  /// Attaches telemetry (tick/phase histograms, tick spans, migration and
+  /// replica-sync flow events, reliable-transport counters). Recording
+  /// charges no simulated CPU cost, so tick results are identical with
+  /// telemetry attached, detached, or disabled.
+  void setTelemetry(obs::Telemetry* telemetry);
+
   /// Starts publishing monitoring snapshots to `collector` every
   /// monitoringPublishPeriod; an invalid id stops publication.
   void setMonitoringTarget(NodeId collector) { monitoringTarget_ = collector; }
@@ -196,6 +204,7 @@ class Server : public ForwardSink {
   void onFrame(NodeId from, const ser::Frame& frame);
   void dispatchFrame(NodeId from, const ser::Frame& frame);
   void tick();
+  void recordTickTelemetry(const TickProbes& probes);
 
   void processMigrationArrivals();
   void processReplication();
@@ -226,11 +235,13 @@ class Server : public ForwardSink {
   std::vector<std::pair<ServerId, NodeId>> peers_;  // same-zone replicas
 
   // Inboxes drained at the next tick. Each entry carries the payload byte
-  // count so deserialization cost can be charged inside the tick.
+  // count so deserialization cost can be charged inside the tick, plus the
+  // sending node (used only by telemetry flow events).
   template <class T>
   struct Inbound {
     T msg;
     std::size_t bytes;
+    NodeId from{};
   };
   std::deque<Inbound<ClientInputMsg>> inClientInputs_;
   std::deque<Inbound<ForwardedInputMsg>> inForwarded_;
@@ -263,6 +274,23 @@ class Server : public ForwardSink {
 
   ProbeListener probeListener_;
   MigrationCompleteFn onMigrationComplete_;
+
+  // --- telemetry (pure observer; never charges CPU cost) ---
+  obs::Telemetry* telemetry_{nullptr};
+  std::uint32_t traceTrack_{0};
+  /// Cached instrument pointers, resolved once per attach.
+  struct TickMetrics {
+    obs::LogHistogram* tickDurationMs;
+    std::array<obs::LogHistogram*, kPhaseCount> phaseMicros;
+    obs::Counter* migrationsInitiated;
+    obs::Counter* migrationsReceived;
+    obs::Counter* inputsApplied;
+    obs::Counter* forwardedApplied;
+    obs::Counter* reliableRetransmissions;
+    obs::Counter* reliableDuplicatesDropped;
+    obs::Counter* reliableAbandoned;
+  };
+  std::optional<TickMetrics> tickMetrics_;
 };
 
 }  // namespace roia::rtf

@@ -24,6 +24,7 @@ TEST(MonitoringCodecTest, RoundTrip) {
   snapshot.totalAvatars = 84;
   snapshot.npcs = 5;
   snapshot.tickAvgMs = 12.5;
+  snapshot.tickP95Ms = 17.75;
   snapshot.tickMaxMs = 19.25;
   snapshot.cpuLoad = 0.31;
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
@@ -39,6 +40,8 @@ TEST(MonitoringCodecTest, RoundTrip) {
   EXPECT_EQ(decoded.takenAt, snapshot.takenAt);
   EXPECT_EQ(decoded.activeUsers, 42u);
   EXPECT_DOUBLE_EQ(decoded.tickAvgMs, 12.5);
+  EXPECT_DOUBLE_EQ(decoded.tickP95Ms, 17.75);
+  EXPECT_DOUBLE_EQ(decoded.tickMaxMs, 19.25);
   EXPECT_DOUBLE_EQ(decoded.cpuLoad, 0.31);
   EXPECT_NEAR(decoded.phaseAvgMicros[3], 31.5, 1e-4);
   EXPECT_EQ(decoded.migrationsReceived, 9u);
@@ -72,6 +75,9 @@ TEST(MonitoringCollectorTest, ReceivesPublishedSnapshots) {
   ASSERT_TRUE(latest.has_value());
   EXPECT_EQ(latest->activeUsers, 10u);
   EXPECT_EQ(latest->zone, f.zone);
+  // p95 comes from the same window as avg/max and must sit within them.
+  EXPECT_GT(latest->tickP95Ms, 0.0);
+  EXPECT_LE(latest->tickP95Ms, latest->tickMaxMs + 1e-9);
   const auto staleness = collector.staleness(s);
   ASSERT_TRUE(staleness.has_value());
   EXPECT_LE(staleness->micros, SimDuration::milliseconds(600).micros);

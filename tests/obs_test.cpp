@@ -1,0 +1,376 @@
+// Tests for the telemetry subsystem: log-bucketed histograms (bucket
+// geometry, quantile error bound, merge), the metrics registry and its
+// exporters, trace JSON well-formedness (monotone timestamps, matched B/E
+// pairs), the RMS decision audit log, the pluggable logger sinks, and the
+// zero-cost-observer invariant (telemetry on/off yields bit-identical
+// simulations).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "obs/telemetry.hpp"
+#include "rms/baseline_strategies.hpp"
+#include "rms/manager.hpp"
+#include "rtf/cluster.hpp"
+
+namespace roia {
+namespace {
+
+// --- LogHistogram ---
+
+TEST(LogHistogramTest, BucketBoundariesFollowGrowthFactor) {
+  obs::LogHistogram h(obs::LogHistogram::Config{1.0, 16.0, 2.0});
+  // [1,2) [2,4) [4,8) [8,16)
+  ASSERT_EQ(h.bucketCount(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucketLow(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucketHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucketLow(3), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucketHigh(3), 16.0);
+
+  h.add(1.5);
+  h.add(2.5);
+  h.add(3.0);
+  h.add(12.0);
+  EXPECT_EQ(h.bucketHits(0), 1u);
+  EXPECT_EQ(h.bucketHits(1), 2u);
+  EXPECT_EQ(h.bucketHits(2), 0u);
+  EXPECT_EQ(h.bucketHits(3), 1u);
+
+  h.add(0.5);    // below minValue
+  h.add(-3.0);   // non-positive
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(16.0);   // at maxValue -> overflow
+  h.add(1e9);
+  EXPECT_EQ(h.underflow(), 3u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 9u);
+}
+
+TEST(LogHistogramTest, QuantilesWithinRelativeErrorBound) {
+  obs::LogHistogram h;  // default config: growth 2^(1/8)
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const double bound = h.config().growth - 1.0;  // ~9% worst case
+  const std::vector<std::pair<double, double>> expected{{0.5, 500.0}, {0.95, 950.0}, {0.99, 990.0}};
+  for (const auto& [q, exact] : expected) {
+    const double estimate = h.quantile(q);
+    EXPECT_NEAR(estimate / exact, 1.0, bound) << "q=" << q;
+  }
+  // Extremes clamp to the observed range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 500.5);
+}
+
+TEST(LogHistogramTest, MergeMatchesAddingAllSamples) {
+  obs::LogHistogram a;
+  obs::LogHistogram b;
+  obs::LogHistogram both;
+  for (int i = 1; i <= 100; ++i) {
+    a.add(static_cast<double>(i));
+    both.add(static_cast<double>(i));
+  }
+  for (int i = 500; i <= 600; ++i) {
+    b.add(static_cast<double>(i));
+    both.add(static_cast<double>(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), both.quantile(0.5));
+  EXPECT_DOUBLE_EQ(a.quantile(0.95), both.quantile(0.95));
+
+  obs::LogHistogram mismatched(obs::LogHistogram::Config{1.0, 100.0, 2.0});
+  EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndLabelOrderInsensitive) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c1 = registry.counter("ticks_total", {{"server", "1"}, {"zone", "a"}});
+  obs::Counter& c2 = registry.counter("ticks_total", {{"zone", "a"}, {"server", "1"}});
+  EXPECT_EQ(&c1, &c2);
+  c1.increment(3);
+  c1.setTotal(10);
+  c1.setTotal(5);  // never moves backwards
+  EXPECT_EQ(c1.value(), 10u);
+
+  registry.gauge("load").set(0.5);
+  registry.histogram("tick_ms").add(12.0);
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_NE(registry.findCounter("ticks_total", {{"server", "1"}, {"zone", "a"}}), nullptr);
+  EXPECT_EQ(registry.findCounter("ticks_total"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ExportersEmitAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("roia_frames_total", {{"server", "1"}}).increment(7);
+  registry.gauge("roia_load").set(0.25);
+  auto& h = registry.histogram("roia_tick_ms");
+  h.add(10.0);
+  h.add(20.0);
+
+  std::ostringstream prom;
+  registry.writePrometheus(prom);
+  const std::string promText = prom.str();
+  EXPECT_NE(promText.find("# TYPE roia_frames_total counter"), std::string::npos);
+  EXPECT_NE(promText.find("roia_frames_total{server=\"1\"} 7"), std::string::npos);
+  EXPECT_NE(promText.find("# TYPE roia_tick_ms summary"), std::string::npos);
+  EXPECT_NE(promText.find("roia_tick_ms{quantile=\"0.95\"}"), std::string::npos);
+  EXPECT_NE(promText.find("roia_tick_ms_count 2"), std::string::npos);
+
+  std::ostringstream jsonl;
+  registry.writeJsonl(jsonl);
+  EXPECT_NE(jsonl.str().find("\"p95\":"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"kind\":\"gauge\""), std::string::npos);
+
+  std::ostringstream csv;
+  registry.writeCsv(csv);
+  EXPECT_NE(csv.str().find("kind,name,labels,field,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("histogram,roia_tick_ms,,p95,"), std::string::npos);
+}
+
+// --- Tracer ---
+
+std::vector<long long> timestampsInOrder(const std::string& json) {
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ts\":", pos)) != std::string::npos) {
+    pos += 5;
+    out.push_back(std::stoll(json.substr(pos)));
+  }
+  return out;
+}
+
+std::size_t countOccurrences(const std::string& text, const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = text.find(needle, pos)) != std::string::npos; pos += needle.size()) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TracerTest, JsonIsMonotoneWithMatchedBeginEndPairs) {
+  obs::Tracer tracer;
+  tracer.setEnabled(true);
+  const std::uint32_t s1 = tracer.track("server-1");
+  const std::uint32_t s2 = tracer.track("server-2");
+
+  // server-1's span overruns past server-2's next span: appended out of
+  // global ts order, the exporter must still emit non-decreasing ts.
+  tracer.beginSpan(s1, SimTime{100}, "tick", "tick", {{"seq", "0"}});
+  tracer.completeSpan(s1, SimTime{100}, SimDuration{500}, "phase", "phase");
+  tracer.endSpan(s1, SimTime{600});
+  tracer.beginSpan(s2, SimTime{300}, "tick", "tick");
+  tracer.endSpan(s2, SimTime{350});
+  tracer.flowStart(s1, SimTime{600}, obs::migrationFlowId(ClientId{9}), "migration", "migration");
+  tracer.flowFinish(s2, SimTime{700}, obs::migrationFlowId(ClientId{9}), "migration", "migration");
+  tracer.instant(s2, SimTime{800}, "crash-recovery", "rms");
+
+  std::ostringstream out;
+  tracer.writeJson(out);
+  const std::string json = out.str();
+
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(countOccurrences(json, "{"), countOccurrences(json, "}"));
+  EXPECT_EQ(countOccurrences(json, "["), countOccurrences(json, "]"));
+  EXPECT_EQ(countOccurrences(json, "\"ph\":\"B\""), countOccurrences(json, "\"ph\":\"E\""));
+  EXPECT_EQ(countOccurrences(json, "\"ph\":\"M\""), 2u);  // two thread_name records
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+
+  const std::vector<long long> ts = timestampsInOrder(json);
+  ASSERT_EQ(ts.size(), 9u);  // 3 B/E pairs + 2 flow events + 1 instant
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    EXPECT_LE(ts[i - 1], ts[i]) << "timestamps regress at event " << i;
+  }
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothingAndCapCounts) {
+  obs::Tracer tracer;
+  tracer.beginSpan(0, SimTime{1}, "x", "y");
+  EXPECT_EQ(tracer.eventCount(), 0u);
+
+  tracer.setEnabled(true);
+  tracer.setMaxEvents(2);
+  for (int i = 0; i < 5; ++i) tracer.instant(0, SimTime{i}, "e", "c");
+  EXPECT_EQ(tracer.eventCount(), 2u);
+  EXPECT_EQ(tracer.droppedEvents(), 3u);
+  std::ostringstream out;
+  tracer.writeJson(out);
+  EXPECT_NE(out.str().find("trace_truncated"), std::string::npos);
+}
+
+// --- AuditLog ---
+
+TEST(AuditLogTest, RecordsOnlyWhenEnabledAndExportsJsonl) {
+  obs::AuditLog log;
+  obs::AuditRecord record;
+  record.at = SimTime{} + SimDuration::seconds(2);
+  record.zone = ZoneId{1};
+  record.strategy = "model-driven";
+  record.users = 120;
+  record.npcs = 64;
+  record.replicas = 2;
+  record.predictedTickMs = 31.5;
+  record.threshold = "eq2:n_trigger";
+  record.action = "add_replica";
+  record.rejected.push_back("remove_replica: users above hysteresis floor");
+  record.rationale = "replication enactment";
+
+  log.record(record);
+  EXPECT_EQ(log.size(), 0u);  // disabled: no-op
+  log.setEnabled(true);
+  log.record(record);
+  ASSERT_EQ(log.size(), 1u);
+
+  const std::string json = obs::AuditLog::toJson(log.records().front());
+  EXPECT_NE(json.find("\"threshold\":\"eq2:n_trigger\""), std::string::npos);
+  EXPECT_NE(json.find("\"action\":\"add_replica\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\":120"), std::string::npos);
+  EXPECT_NE(json.find("\"m\":64"), std::string::npos);
+  EXPECT_NE(json.find("\"l\":2"), std::string::npos);
+  std::ostringstream out;
+  log.writeJsonl(out);
+  EXPECT_EQ(countOccurrences(out.str(), "\n"), 1u);
+}
+
+// --- Logger sinks and component overrides ---
+
+TEST(LoggerTest, MemorySinkAndComponentLevelOverrides) {
+  auto sink = std::make_shared<MemorySink>();
+  auto previous = Logger::setSink(sink);
+  const LogLevel previousLevel = Logger::level();
+  Logger::setLevel(LogLevel::kWarn);
+  Logger::setComponentLevel("rms", LogLevel::kDebug);
+
+  ROIA_LOG(LogLevel::kDebug, "rms", "debug visible for rms " << 42);
+  ROIA_LOG(LogLevel::kDebug, "rtf.server", "suppressed");
+  ROIA_LOG(LogLevel::kError, "rtf.server", "errors always pass");
+  ROIA_LOG_KV(LogLevel::kWarn, "rms", "decision", {{"action", "add"}, {"n", "120"}});
+
+  ASSERT_EQ(sink->count(), 3u);
+  EXPECT_EQ(sink->entriesFor("rms").size(), 2u);
+  EXPECT_EQ(sink->entries()[0].message, "debug visible for rms 42");
+  EXPECT_EQ(sink->entries()[1].component, "rtf.server");
+  ASSERT_EQ(sink->entries()[2].fields.size(), 2u);
+  EXPECT_EQ(sink->entries()[2].fields[0].first, "action");
+
+  Logger::clearComponentLevel("rms");
+  ROIA_LOG(LogLevel::kDebug, "rms", "now suppressed");
+  EXPECT_EQ(sink->count(), 3u);
+
+  Logger::clearComponentLevels();
+  Logger::setLevel(previousLevel);
+  Logger::setSink(std::move(previous));
+}
+
+// --- Zero-cost observer: identical simulations with telemetry on/off ---
+
+std::vector<double> runFingerprint(obs::Telemetry* telemetry) {
+  game::FpsApplication app;
+  rtf::ClusterConfig config;
+  config.telemetry = telemetry;
+  rtf::Cluster cluster(app, config);
+  const ZoneId zone = cluster.createZone("arena");
+  cluster.attachMonitoringCollector();
+  cluster.addServer(zone);
+  const ServerId second = cluster.addServer(zone);
+  for (int i = 0; i < 12; ++i) {
+    cluster.connectClient(zone, std::make_unique<game::BotProvider>());
+  }
+  cluster.run(SimDuration::seconds(2));
+  // Force cross-server migration traffic (flow events on the traced run).
+  const std::vector<ClientId> ids = cluster.clientIds();
+  for (std::size_t i = 0; i < 2 && i < ids.size(); ++i) {
+    cluster.migrateClient(ids[i], second);
+  }
+  cluster.run(SimDuration::seconds(1));
+
+  std::vector<double> fingerprint;
+  for (const ServerId id : cluster.serverIds()) {
+    rtf::Server& server = cluster.server(id);
+    fingerprint.push_back(static_cast<double>(server.tickCount()));
+    const rtf::MonitoringSnapshot snapshot = server.monitoring();
+    fingerprint.push_back(snapshot.tickAvgMs);
+    fingerprint.push_back(snapshot.tickP95Ms);
+    fingerprint.push_back(snapshot.tickMaxMs);
+    fingerprint.push_back(snapshot.cpuLoad);
+    server.world().forEach([&](const rtf::EntityRecord& e) {
+      fingerprint.push_back(e.position.x);
+      fingerprint.push_back(e.position.y);
+    });
+  }
+  return fingerprint;
+}
+
+TEST(TelemetryDeterminismTest, SimulationIsBitIdenticalWithTelemetryAttached) {
+  obs::Telemetry telemetry;
+  telemetry.tracer.setEnabled(true);
+  telemetry.audit.setEnabled(true);
+
+  const std::vector<double> traced = runFingerprint(&telemetry);
+  const std::vector<double> plain = runFingerprint(nullptr);
+  EXPECT_EQ(traced, plain);
+
+  // The observer actually observed: tick spans and tick-duration samples.
+  EXPECT_GT(telemetry.tracer.eventCount(), 0u);
+  const obs::LogHistogram* tickHist =
+      telemetry.metrics.findHistogram("roia_tick_duration_ms", {{"server", "1"}});
+  ASSERT_NE(tickHist, nullptr);
+  EXPECT_GT(tickHist->count(), 0u);
+  // Migration flow events were recorded on both ends.
+  std::ostringstream out;
+  telemetry.tracer.writeJson(out);
+  EXPECT_NE(out.str().find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"ph\":\"f\""), std::string::npos);
+}
+
+// --- RMS audit integration: decisions land in the audit log ---
+
+TEST(RmsAuditTest, ControlPeriodsProduceAuditRecords) {
+  obs::Telemetry telemetry;
+  telemetry.audit.setEnabled(true);
+  telemetry.tracer.setEnabled(true);
+
+  game::FpsApplication app;
+  rtf::ClusterConfig clusterConfig;
+  clusterConfig.telemetry = &telemetry;
+  rtf::Cluster cluster(app, clusterConfig);
+  const ZoneId zone = cluster.createZone("arena");
+  cluster.addServer(zone);
+  for (int i = 0; i < 8; ++i) {
+    cluster.connectClient(zone, std::make_unique<game::BotProvider>());
+  }
+
+  rms::StaticStrategyConfig strategyConfig;
+  rms::RmsManager manager(cluster, zone,
+                          std::make_unique<rms::StaticIntervalStrategy>(strategyConfig),
+                          rms::ResourcePool{}, rms::RmsConfig{});
+  manager.start();
+  cluster.run(SimDuration::seconds(3));
+  manager.stop();
+
+  ASSERT_GE(telemetry.audit.size(), 2u);
+  const obs::AuditRecord& record = telemetry.audit.records().front();
+  EXPECT_EQ(record.strategy, "static-interval");
+  EXPECT_EQ(record.zone, zone);
+  EXPECT_EQ(record.users, 8u);
+  EXPECT_EQ(record.replicas, 1u);
+  // RMS control periods appear as spans on their own track.
+  std::ostringstream out;
+  telemetry.tracer.writeJson(out);
+  EXPECT_NE(out.str().find("control-period"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roia
