@@ -7,7 +7,10 @@
 // Reported per policy, on the same ramp workload: QoS violations, max tick
 // duration, migrations issued, largest per-period migration burst, replicas
 // used and server-seconds leased.
+#include <vector>
+
 #include "bench_common.hpp"
+#include "common/sweep.hpp"
 #include "rms/session.hpp"
 
 int main() {
@@ -25,18 +28,23 @@ int main() {
       rms::PolicyKind::kUnthrottled,
   };
 
+  // Each policy drives its own managed session: fan out across the sweep
+  // pool and print in the declaration order afterwards.
+  const std::vector<rms::SessionSummary> summaries = par::runSweep<rms::SessionSummary>(
+      std::size(policies), [&](std::size_t i) {
+        rms::ManagedSessionConfig config;
+        config.policy = policies[i];
+        config.scenario = game::WorkloadScenario::paperSession(
+            300, SimDuration::seconds(50), SimDuration::seconds(20), SimDuration::seconds(50));
+        config.rms.controlPeriod = SimDuration::seconds(1);
+        config.rms.serverStartupDelay = SimDuration::seconds(2);
+        return rms::runManagedSession(config, tickModel);
+      });
+
   std::printf(
       "\n# policy                 violations  max_tick_ms  migrations  max_burst  peak_srv  "
       "server_seconds\n");
-  for (const rms::PolicyKind policy : policies) {
-    rms::ManagedSessionConfig config;
-    config.policy = policy;
-    config.scenario = game::WorkloadScenario::paperSession(
-        300, SimDuration::seconds(50), SimDuration::seconds(20), SimDuration::seconds(50));
-    config.rms.controlPeriod = SimDuration::seconds(1);
-    config.rms.serverStartupDelay = SimDuration::seconds(2);
-    const rms::SessionSummary summary = rms::runManagedSession(config, tickModel);
-
+  for (const rms::SessionSummary& summary : summaries) {
     std::size_t maxBurst = 0;
     for (const auto& p : summary.timeline) maxBurst = std::max(maxBurst, p.migrationsOrdered);
 

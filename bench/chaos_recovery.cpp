@@ -8,7 +8,10 @@
 // Determinism: the fault injector is seeded from the session seed, so
 // re-running this binary reproduces the exact same fault schedule, crash
 // point and timeline, sample for sample.
+#include <vector>
+
 #include "bench_common.hpp"
+#include "common/sweep.hpp"
 #include "rms/session.hpp"
 
 int main() {
@@ -38,20 +41,21 @@ int main() {
     double lossPct;
     rms::SessionSummary summary;
   };
-  std::vector<Run> runs;
 
-  // Clean baseline.
-  runs.push_back({0.0, rms::runManagedSession(makeConfig(), tickModel)});
-
-  // Lossy runs, each with one crash at the plateau peak (t = 75 s).
-  for (const double lossPct : {1.0, 3.0, 5.0}) {
+  // One clean baseline plus three lossy runs, each with one crash at the
+  // plateau peak (t = 75 s). The four sessions are independent, so fan out
+  // across the sweep pool and keep the legacy (clean-first) order.
+  const std::vector<double> lossLevels{0.0, 1.0, 3.0, 5.0};
+  const std::vector<Run> runs = par::runSweep<Run>(lossLevels, [&](double lossPct) {
     rms::ManagedSessionConfig config = makeConfig();
-    rms::SessionFaultPlan plan;
-    plan.link.dropProbability = lossPct / 100.0;
-    plan.crashAt = SimDuration::seconds(75);
-    config.faults = plan;
-    runs.push_back({lossPct, rms::runManagedSession(config, tickModel)});
-  }
+    if (lossPct > 0.0) {
+      rms::SessionFaultPlan plan;
+      plan.link.dropProbability = lossPct / 100.0;
+      plan.crashAt = SimDuration::seconds(75);
+      config.faults = plan;
+    }
+    return Run{lossPct, rms::runManagedSession(config, tickModel)};
+  });
 
   printHeader("QoS under faults vs. the clean run");
   std::printf("# run                violations/periods   max_tick_ms   crashes(det)   rehomed   lost   peak_srv\n");

@@ -9,7 +9,10 @@
 //   heavy + modern  — both.
 // For each: the fitted single-server capacity, l_max, and a managed session
 // verifying the thresholds still hold under RTF-RMS.
+#include <vector>
+
 #include "bench_common.hpp"
+#include "common/sweep.hpp"
 #include "model/report.hpp"
 #include "rms/session.hpp"
 
@@ -42,31 +45,45 @@ int main() {
       {"heavy + modern", heavyBots, 4.0},
   };
 
+  // One job per variant: calibrate, derive thresholds, drive the managed
+  // session. Jobs are independent end-to-end, so fan out and print in the
+  // declaration order afterwards.
+  struct VariantResult {
+    model::ThresholdReport report;
+    rms::SessionSummary summary;
+  };
+  const std::vector<VariantResult> results = par::runSweep<VariantResult>(
+      std::size(variants), [&](std::size_t i) {
+        const Variant& variant = variants[i];
+        game::CalibrationConfig config;
+        config.replicationPopulations = {50, 100, 150, 200, 250, 300};
+        config.migrationPopulations = {80, 160, 240};
+        config.measurement.bots = variant.bots;
+        config.measurement.server.cpu.speedFactor = variant.speedFactor;
+        const model::TickModel tickModel = game::calibrateTickModel(config);
+        const model::ThresholdReport report = model::buildReport(tickModel, 40.0, 0.15);
+
+        // Managed session at the variant's own scale: peak at ~90 % of the
+        // 2-replica capacity so replication must engage.
+        rms::ManagedSessionConfig sessionConfig;
+        sessionConfig.bots = variant.bots;
+        sessionConfig.server.cpu.speedFactor = variant.speedFactor;
+        const std::size_t peak =
+            std::max<std::size_t>(50, report.nMaxPerReplica.size() > 1
+                                          ? report.nMaxPerReplica[1] * 9 / 10
+                                          : report.nMaxPerReplica[0]);
+        sessionConfig.scenario = game::WorkloadScenario::paperSession(
+            peak, SimDuration::seconds(40), SimDuration::seconds(10), SimDuration::seconds(40));
+        const rms::SessionSummary summary = rms::runManagedSession(sessionConfig, tickModel);
+        return VariantResult{report, summary};
+      });
+
   std::printf(
       "\n# variant                n_max(1)   trigger   l_max   session_max_tick_ms   violations\n");
-  for (const Variant& variant : variants) {
-    game::CalibrationConfig config;
-    config.replicationPopulations = {50, 100, 150, 200, 250, 300};
-    config.migrationPopulations = {80, 160, 240};
-    config.measurement.bots = variant.bots;
-    config.measurement.server.cpu.speedFactor = variant.speedFactor;
-    const model::TickModel tickModel = game::calibrateTickModel(config);
-    const model::ThresholdReport report = model::buildReport(tickModel, 40.0, 0.15);
-
-    // Managed session at the variant's own scale: peak at ~90 % of the
-    // 2-replica capacity so replication must engage.
-    rms::ManagedSessionConfig sessionConfig;
-    sessionConfig.bots = variant.bots;
-    sessionConfig.server.cpu.speedFactor = variant.speedFactor;
-    const std::size_t peak =
-        std::max<std::size_t>(50, report.nMaxPerReplica.size() > 1
-                                      ? report.nMaxPerReplica[1] * 9 / 10
-                                      : report.nMaxPerReplica[0]);
-    sessionConfig.scenario = game::WorkloadScenario::paperSession(
-        peak, SimDuration::seconds(40), SimDuration::seconds(10), SimDuration::seconds(40));
-    const rms::SessionSummary summary = rms::runManagedSession(sessionConfig, tickModel);
-
-    std::printf("  %-22s   %7zu   %7zu   %5zu   %19.2f   %10zu\n", variant.name,
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    const model::ThresholdReport& report = results[i].report;
+    const rms::SessionSummary& summary = results[i].summary;
+    std::printf("  %-22s   %7zu   %7zu   %5zu   %19.2f   %10zu\n", variants[i].name,
                 report.nMaxPerReplica[0], report.replicationTriggers[0], report.lMax,
                 summary.maxTickMs, summary.violationPeriods);
   }

@@ -7,8 +7,10 @@
 // that the choice of IM algorithm changes the *form* of t_aoi and with it
 // every threshold of the model: n_max(1), the 80 % trigger, and l_max.
 #include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "common/sweep.hpp"
 #include "game/interest.hpp"
 #include "game/measurement.hpp"
 #include "model/estimator.hpp"
@@ -34,37 +36,51 @@ int main() {
 
   std::printf("\n# per-user t_aoi (us), measured at steady state\n");
   std::printf("# n      euclidean      grid\n");
+
+  // Each (n, policy) cell is its own cluster and seed: fan out the grid and
+  // fold results back in the legacy (n-major, euclidean-first) order.
+  struct Cell {
+    std::size_t n;
+    bool useGrid;
+  };
+  std::vector<Cell> cells;
+  for (const std::size_t n : {50u, 100u, 150u, 200u, 250u, 300u}) {
+    for (const bool useGrid : {false, true}) cells.push_back({n, useGrid});
+  }
+  const std::vector<double> perUserAoi = par::runSweep<double>(cells, [&](const Cell& cell) {
+    game::FpsApplication app(config.fps);
+    if (cell.useGrid) {
+      app.setInterestPolicy(std::make_unique<game::GridInterest>(config.fps.aoiRadius));
+    }
+    rtf::Cluster cluster(app, rtf::ClusterConfig{config.server, {}, 1234 + cell.n});
+    const ZoneId zone = cluster.createZone("arena", config.fps.arenaOrigin,
+                                           config.fps.arenaExtent);
+    const ServerId s1 = cluster.addServer(zone);
+    const ServerId s2 = cluster.addServer(zone);
+    for (std::size_t i = 0; i < cell.n; ++i) {
+      cluster.connectClientTo(i % 2 == 0 ? s1 : s2,
+                              std::make_unique<game::BotProvider>(config.bots));
+    }
+    cluster.run(config.warmup);
+    StatAccumulator perUser;
+    for (const ServerId id : cluster.serverIds()) {
+      cluster.server(id).setProbeListener(
+          [&perUser](const rtf::Server&, const rtf::TickProbes& probes) {
+            if (probes.activeUsers > 0) {
+              perUser.add(probes.phase(rtf::Phase::kAoi) /
+                          static_cast<double>(probes.activeUsers));
+            }
+          });
+    }
+    cluster.run(config.measure);
+    return perUser.mean();
+  });
+
   SampleSeries gridAoi;
   SampleSeries euclidAoi;
-  for (const std::size_t n : {50u, 100u, 150u, 200u, 250u, 300u}) {
-    for (const bool useGrid : {false, true}) {
-      game::FpsApplication app(config.fps);
-      if (useGrid) {
-        app.setInterestPolicy(std::make_unique<game::GridInterest>(config.fps.aoiRadius));
-      }
-      rtf::Cluster cluster(app, rtf::ClusterConfig{config.server, {}, 1234 + n});
-      const ZoneId zone = cluster.createZone("arena", config.fps.arenaOrigin,
-                                             config.fps.arenaExtent);
-      const ServerId s1 = cluster.addServer(zone);
-      const ServerId s2 = cluster.addServer(zone);
-      for (std::size_t i = 0; i < n; ++i) {
-        cluster.connectClientTo(i % 2 == 0 ? s1 : s2,
-                                std::make_unique<game::BotProvider>(config.bots));
-      }
-      cluster.run(config.warmup);
-      StatAccumulator perUser;
-      for (const ServerId id : cluster.serverIds()) {
-        cluster.server(id).setProbeListener(
-            [&perUser](const rtf::Server&, const rtf::TickProbes& probes) {
-              if (probes.activeUsers > 0) {
-                perUser.add(probes.phase(rtf::Phase::kAoi) /
-                            static_cast<double>(probes.activeUsers));
-              }
-            });
-      }
-      cluster.run(config.measure);
-      (useGrid ? gridAoi : euclidAoi).add(static_cast<double>(n), perUser.mean());
-    }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    (cells[i].useGrid ? gridAoi : euclidAoi)
+        .add(static_cast<double>(cells[i].n), perUserAoi[i]);
   }
   for (std::size_t i = 0; i < gridAoi.size(); ++i) {
     std::printf("  %4.0f   %9.2f   %9.2f\n", euclidAoi.x[i], euclidAoi.y[i], gridAoi.y[i]);

@@ -7,7 +7,10 @@
 // and fitted like every other parameter, and the capacity loss n_max(l, m)
 // is quantified for growing NPC counts — including how replication dilutes
 // the NPC load (each replica only updates m/l NPCs).
+#include <vector>
+
 #include "bench_common.hpp"
+#include "common/sweep.hpp"
 #include "model/estimator.hpp"
 #include "model/thresholds.hpp"
 
@@ -46,13 +49,18 @@ int main() {
   mConfig.npcs = 100;
   mConfig.warmup = SimDuration::seconds(2);
   mConfig.measure = SimDuration::seconds(2);
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs{
+      {100, 1}, {150, 1}, {150, 2}, {250, 2}};
+  const std::vector<game::SteadyStateResult> measurements =
+      par::runSweep<game::SteadyStateResult>(pairs, [&](const auto& pair) {
+        return game::measureSteadyState(mConfig, pair.first, pair.second);
+      });
   std::printf("\n# n     l   predicted_ms   measured_ms\n");
-  for (const auto& [n, l] : std::vector<std::pair<std::size_t, std::size_t>>{
-           {100, 1}, {150, 1}, {150, 2}, {250, 2}}) {
-    const auto measured = game::measureSteadyState(mConfig, n, l);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto [n, l] = pairs[i];
     const double predicted = tickModel.tickMillis(static_cast<double>(l),
                                                   static_cast<double>(n), 100);
-    std::printf("  %4zu   %zu   %12.2f   %11.2f\n", n, l, predicted, measured.tickAvgMs);
+    std::printf("  %4zu   %zu   %12.2f   %11.2f\n", n, l, predicted, measurements[i].tickAvgMs);
   }
   return 0;
 }

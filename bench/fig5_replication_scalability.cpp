@@ -12,7 +12,10 @@
 // We additionally *validate* each n_max prediction against the running
 // system: a session with n_max(l) users on l replicas must stay below the
 // 40 ms threshold, and one with 120 % of n_max(l) must violate it.
+#include <vector>
+
 #include "bench_common.hpp"
+#include "common/sweep.hpp"
 #include "game/measurement.hpp"
 #include "model/report.hpp"
 #include "model/thresholds.hpp"
@@ -45,21 +48,39 @@ int main() {
   game::MeasurementConfig mConfig;
   mConfig.warmup = SimDuration::seconds(2);
   mConfig.measure = SimDuration::seconds(2);
-  std::printf("\n# l   n      load     predicted_ms   measured_ms   note\n");
+
+  // Each (l, frac) cell is an independent session: fan out the grid across
+  // the sweep pool, then print in the legacy order.
+  struct Cell {
+    std::size_t l;
+    double frac;
+    std::size_t n;
+  };
+  std::vector<Cell> cells;
   for (std::size_t l = 1; l <= std::min<std::size_t>(4, report.lMax); ++l) {
     const std::size_t nMax = report.nMaxPerReplica[l - 1];
     for (const double frac : {0.8, 1.0, 1.2}) {
-      const auto n = static_cast<std::size_t>(static_cast<double>(nMax) * frac);
-      const game::SteadyStateResult measured = game::measureSteadyState(mConfig, n, l);
-      const double predicted =
-          tickModel.tickMillis(static_cast<double>(l), static_cast<double>(n), 0);
-      const char* note = frac < 0.9   ? (measured.tickAvgMs < 40.0 ? "ok (below)" : "UNEXPECTED")
-                         : frac > 1.1 ? (measured.tickAvgMs > 40.0 ? "ok (violates as predicted)"
-                                                                   : "UNEXPECTED")
-                                      : "boundary (~40 ms expected)";
-      std::printf("  %zu   %5zu   %3.0f%%   %12.2f   %11.2f   %s\n", l, n, frac * 100,
-                  predicted, measured.tickAvgMs, note);
+      cells.push_back({l, frac, static_cast<std::size_t>(static_cast<double>(nMax) * frac)});
     }
+  }
+  const std::vector<game::SteadyStateResult> measurements =
+      par::runSweep<game::SteadyStateResult>(cells, [&](const Cell& cell) {
+        return game::measureSteadyState(mConfig, cell.n, cell.l);
+      });
+
+  std::printf("\n# l   n      load     predicted_ms   measured_ms   note\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    const game::SteadyStateResult& measured = measurements[i];
+    const double predicted =
+        tickModel.tickMillis(static_cast<double>(cell.l), static_cast<double>(cell.n), 0);
+    const char* note =
+        cell.frac < 0.9   ? (measured.tickAvgMs < 40.0 ? "ok (below)" : "UNEXPECTED")
+        : cell.frac > 1.1 ? (measured.tickAvgMs > 40.0 ? "ok (violates as predicted)"
+                                                       : "UNEXPECTED")
+                          : "boundary (~40 ms expected)";
+    std::printf("  %zu   %5zu   %3.0f%%   %12.2f   %11.2f   %s\n", cell.l, cell.n,
+                cell.frac * 100, predicted, measured.tickAvgMs, note);
   }
   return 0;
 }

@@ -8,10 +8,12 @@
 #include "fit/polyfit.hpp"
 #include "game/commands.hpp"
 #include "game/fps_app.hpp"
+#include "game/interest.hpp"
 #include "game/state_update.hpp"
 #include "model/thresholds.hpp"
 #include "model/tick_model.hpp"
 #include "rtf/messages.hpp"
+#include "serialize/byte_buffer.hpp"
 #include "serialize/message.hpp"
 #include "sim/event_queue.hpp"
 
@@ -190,6 +192,87 @@ void BM_LevenbergMarquardt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LevenbergMarquardt)->Arg(256)->Arg(1024);
+
+void BM_StateUpdateEncodeReuse(benchmark::State& state) {
+  game::StateUpdatePayload payload;
+  payload.self = {EntityId{1}, 0, 0, 100};
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    payload.visible.push_back(
+        {EntityId{static_cast<std::uint64_t>(i + 2)}, 1.0f, 2.0f, 100.0f});
+  }
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    game::encodeStateUpdate(payload, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StateUpdateEncodeReuse)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ByteWriterBulkAppend(benchmark::State& state) {
+  const std::vector<std::uint8_t> chunk(static_cast<std::size_t>(state.range(0)), 0xA5);
+  std::vector<std::uint8_t> reuse;
+  for (auto _ : state) {
+    ser::ByteWriter writer(std::move(reuse));
+    writer.reserve(chunk.size() + 16);
+    writer.writeU32(static_cast<std::uint32_t>(chunk.size()));
+    writer.appendRaw(chunk.data(), chunk.size());
+    reuse = std::move(writer).take();
+    benchmark::DoNotOptimize(reuse.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ByteWriterBulkAppend)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_WorldForEach(benchmark::State& state) {
+  const rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double sum = 0.0;
+    world.forEach([&sum](const rtf::EntityRecord& e) { sum += e.position.x; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorldForEach)->Arg(50)->Arg(300)->Arg(1000);
+
+void BM_WorldCensus(benchmark::State& state) {
+  const rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const rtf::World::Census census = world.census(ServerId{1});
+    benchmark::DoNotOptimize(census.totalAvatars);
+  }
+}
+BENCHMARK(BM_WorldCensus)->Arg(50)->Arg(300)->Arg(1000);
+
+void BM_WorldUpsertRemove(benchmark::State& state) {
+  // Churn at the id tail — the common case (spawn new entities, despawn
+  // recent ones) hits the append/pop fast path of the slot vector.
+  rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
+  const std::uint64_t base = static_cast<std::uint64_t>(state.range(0)) + 1;
+  for (auto _ : state) {
+    rtf::EntityRecord e;
+    e.id = EntityId{base};
+    e.kind = rtf::EntityKind::kAvatar;
+    e.owner = ServerId{1};
+    world.upsert(e);
+    world.remove(EntityId{base});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldUpsertRemove)->Arg(50)->Arg(300)->Arg(1000);
+
+void BM_GridInterestQuery(benchmark::State& state) {
+  rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
+  game::GridInterest grid(60.0);
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter(cpu);
+  const rtf::EntityRecord* viewer = world.find(EntityId{1});
+  std::vector<EntityId> out;
+  for (auto _ : state) {
+    grid.queryInto(world, *viewer, 60.0, meter, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GridInterestQuery)->Arg(50)->Arg(150)->Arg(300);
 
 void BM_EventQueueScheduleDrain(benchmark::State& state) {
   for (auto _ : state) {

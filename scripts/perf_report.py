@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Perf regression report: BENCH_wallclock.json.
+
+Collects two kinds of wall-clock evidence from a built tree:
+
+ 1. micro benchmarks — runs bench/micro_benchmarks with google-benchmark's
+    JSON output and embeds the per-benchmark timings.
+ 2. sweep benchmarks — runs each multi-config figure/extension harness twice,
+    with ROIA_BENCH_THREADS=1 (exact legacy serial behaviour) and with
+    ROIA_BENCH_THREADS=N, records both wall-clock times and the speedup, and
+    asserts the two runs produced byte-identical stdout (the determinism
+    contract of the sweep engine).
+
+Only the Python standard library is used. Typical CI invocation:
+
+    python3 scripts/perf_report.py --build-dir build --threads 4 \
+        --out build/BENCH_wallclock.json --require-speedup 2.0
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+DEFAULT_SWEEPS = [
+    "fig5_replication_scalability",
+    "ext_npc_model",
+    "chaos_recovery",
+]
+
+
+def run_micro(build_dir: str) -> list:
+    binary = os.path.join(build_dir, "bench", "micro_benchmarks")
+    out_path = os.path.join(build_dir, "micro_benchmarks.json")
+    subprocess.run(
+        [binary, "--benchmark_format=json", f"--benchmark_out={out_path}",
+         "--benchmark_out_format=json"],
+        check=True, stdout=subprocess.DEVNULL)
+    with open(out_path, encoding="utf-8") as f:
+        report = json.load(f)
+    return [
+        {
+            "name": b["name"],
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b["time_unit"],
+            "iterations": b["iterations"],
+        }
+        for b in report.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    ]
+
+
+def run_sweep(build_dir: str, bench: str, threads: int) -> dict:
+    binary = os.path.join(build_dir, "bench", bench)
+
+    def timed(thread_count: int):
+        env = dict(os.environ, ROIA_BENCH_THREADS=str(thread_count))
+        start = time.monotonic()
+        proc = subprocess.run([binary], check=True, env=env,
+                              stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+        return time.monotonic() - start, proc.stdout
+
+    serial_s, serial_out = timed(1)
+    parallel_s, parallel_out = timed(threads)
+    if serial_out != parallel_out:
+        raise SystemExit(
+            f"{bench}: stdout differs between ROIA_BENCH_THREADS=1 and "
+            f"={threads} — the sweep engine broke per-config determinism")
+    return {
+        "bench": bench,
+        "threads": threads,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "stdout_identical": True,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="worker count for the parallel sweep runs")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: <build-dir>/BENCH_wallclock.json)")
+    parser.add_argument("--sweeps", nargs="*", default=DEFAULT_SWEEPS,
+                        help="sweep bench binaries to compare at 1 vs N threads")
+    parser.add_argument("--skip-micro", action="store_true")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail unless at least one sweep reaches this speedup")
+    args = parser.parse_args()
+
+    out_path = args.out or os.path.join(args.build_dir, "BENCH_wallclock.json")
+    report = {
+        "schema": "roia-bench-wallclock/1",
+        "threads": args.threads,
+        "cpu_count": os.cpu_count(),
+        "micro": [] if args.skip_micro else run_micro(args.build_dir),
+        "sweeps": [],
+    }
+
+    for bench in args.sweeps:
+        result = run_sweep(args.build_dir, bench, args.threads)
+        report["sweeps"].append(result)
+        print(f"{bench}: serial {result['serial_seconds']}s, "
+              f"{args.threads} threads {result['parallel_seconds']}s "
+              f"-> {result['speedup']}x (stdout identical)")
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(report['micro'])} micro benchmarks, "
+          f"{len(report['sweeps'])} sweeps)")
+
+    if args.require_speedup is not None:
+        best = max((s["speedup"] for s in report["sweeps"]), default=0.0)
+        if best < args.require_speedup:
+            print(f"FAIL: best sweep speedup {best}x < required "
+                  f"{args.require_speedup}x", file=sys.stderr)
+            return 1
+        print(f"best sweep speedup {best}x >= {args.require_speedup}x: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

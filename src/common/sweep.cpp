@@ -1,0 +1,34 @@
+#include "common/sweep.hpp"
+
+#include <cstdlib>
+
+namespace roia::par {
+namespace {
+
+// Set while the process-global telemetry context is active (the obs layer
+// toggles it): the global sidecars aggregate across configs and only the
+// serial legacy order reproduces them bit for bit.
+std::atomic<bool> g_serialOverride{false};
+
+}  // namespace
+
+void setSerialOverride(bool force) { g_serialOverride.store(force); }
+
+bool serialOverride() { return g_serialOverride.load(); }
+
+std::size_t configuredSweepThreads() {
+  if (const char* env = std::getenv("ROIA_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    return 1;  // malformed or <= 0: safest is the legacy serial path
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t sweepThreads() {
+  if (serialOverride()) return 1;
+  return configuredSweepThreads();
+}
+
+}  // namespace roia::par

@@ -207,11 +207,26 @@ std::vector<EntityId> FpsApplication::computeAreaOfInterest(const rtf::World& wo
   return interest_->query(world, viewer, config_.aoiRadius, meter);
 }
 
+void FpsApplication::computeAreaOfInterest(const rtf::World& world,
+                                           const rtf::EntityRecord& viewer, rtf::CostMeter& meter,
+                                           std::vector<EntityId>& out) {
+  interest_->queryInto(world, viewer, config_.aoiRadius, meter, out);
+}
+
 std::vector<std::uint8_t> FpsApplication::buildStateUpdate(const rtf::World& world,
                                                            const rtf::EntityRecord& viewer,
                                                            std::span<const EntityId> visible,
                                                            rtf::CostMeter& meter) {
-  StateUpdatePayload payload;
+  std::vector<std::uint8_t> out;
+  buildStateUpdate(world, viewer, visible, meter, out);
+  return out;
+}
+
+void FpsApplication::buildStateUpdate(const rtf::World& world, const rtf::EntityRecord& viewer,
+                                      std::span<const EntityId> visible, rtf::CostMeter& meter,
+                                      std::vector<std::uint8_t>& out) {
+  StateUpdatePayload& payload = payloadScratch_;
+  payload.visible.clear();
   payload.self = VisibleEntity{viewer.id, static_cast<float>(viewer.position.x),
                                static_cast<float>(viewer.position.y),
                                static_cast<float>(viewer.health)};
@@ -226,7 +241,7 @@ std::vector<std::uint8_t> FpsApplication::buildStateUpdate(const rtf::World& wor
                                             static_cast<float>(e->health)});
   }
   meter.charge(cost);
-  return encodeStateUpdate(payload);
+  encodeStateUpdate(payload, out);
 }
 
 void FpsApplication::clampToArena(Vec2& position) const {

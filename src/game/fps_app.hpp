@@ -23,6 +23,7 @@
 #include "common/math.hpp"
 #include "game/commands.hpp"
 #include "game/interest.hpp"
+#include "game/state_update.hpp"
 #include "rtf/application.hpp"
 
 namespace roia::game {
@@ -99,11 +100,16 @@ class FpsApplication final : public rtf::Application {
   std::vector<EntityId> computeAreaOfInterest(const rtf::World& world,
                                               const rtf::EntityRecord& viewer,
                                               rtf::CostMeter& meter) override;
+  void computeAreaOfInterest(const rtf::World& world, const rtf::EntityRecord& viewer,
+                             rtf::CostMeter& meter, std::vector<EntityId>& out) override;
 
   std::vector<std::uint8_t> buildStateUpdate(const rtf::World& world,
                                              const rtf::EntityRecord& viewer,
                                              std::span<const EntityId> visible,
                                              rtf::CostMeter& meter) override;
+  void buildStateUpdate(const rtf::World& world, const rtf::EntityRecord& viewer,
+                        std::span<const EntityId> visible, rtf::CostMeter& meter,
+                        std::vector<std::uint8_t>& out) override;
 
  private:
   void applyMove(rtf::EntityRecord& avatar, const MoveCommand& move, rtf::CostMeter& meter);
@@ -117,6 +123,9 @@ class FpsApplication final : public rtf::Application {
 
   FpsConfig config_;
   std::unique_ptr<InterestPolicy> interest_;
+  /// Reused across buildStateUpdate calls: gathering runs once per client
+  /// per tick, and the visible-set size is stable between ticks.
+  StateUpdatePayload payloadScratch_;
 };
 
 }  // namespace roia::game

@@ -15,6 +15,14 @@ std::vector<EntityId> EuclideanInterest::query(const rtf::World& world,
                                                const rtf::EntityRecord& viewer, double radius,
                                                rtf::CostMeter& meter) {
   std::vector<EntityId> visible;
+  queryInto(world, viewer, radius, meter, visible);
+  return visible;
+}
+
+void EuclideanInterest::queryInto(const rtf::World& world, const rtf::EntityRecord& viewer,
+                                  double radius, rtf::CostMeter& meter,
+                                  std::vector<EntityId>& visible) {
+  visible.clear();
   const double radiusSq = radius * radius;
   double cost = 0.0;
   world.forEach([&](const rtf::EntityRecord& e) {
@@ -35,7 +43,7 @@ std::vector<EntityId> EuclideanInterest::query(const rtf::World& world,
     }
   });
   meter.charge(cost);
-  return visible;  // world iteration is id-ordered already
+  // World iteration is id-ordered already, so `visible` is too.
 }
 
 std::int64_t GridInterest::cellKey(double x, double y) const {
@@ -57,8 +65,15 @@ void GridInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) {
 std::vector<EntityId> GridInterest::query(const rtf::World& world,
                                           const rtf::EntityRecord& viewer, double radius,
                                           rtf::CostMeter& meter) {
-  (void)world;
   std::vector<EntityId> visible;
+  queryInto(world, viewer, radius, meter, visible);
+  return visible;
+}
+
+void GridInterest::queryInto(const rtf::World& world, const rtf::EntityRecord& viewer,
+                             double radius, rtf::CostMeter& meter, std::vector<EntityId>& visible) {
+  (void)world;
+  visible.clear();
   const double radiusSq = radius * radius;
   const auto loX = static_cast<std::int64_t>(std::floor((viewer.position.x - radius) / cellSize_));
   const auto hiX = static_cast<std::int64_t>(std::floor((viewer.position.x + radius) / cellSize_));
@@ -86,7 +101,6 @@ std::vector<EntityId> GridInterest::query(const rtf::World& world,
   // format and downstream behaviour are identical across IM algorithms.
   std::sort(visible.begin(), visible.end());
   visible.erase(std::unique(visible.begin(), visible.end()), visible.end());
-  return visible;
 }
 
 }  // namespace roia::game

@@ -59,6 +59,14 @@ class InterestPolicy {
   /// ascending id order. Charges the query cost to the meter.
   virtual std::vector<EntityId> query(const rtf::World& world, const rtf::EntityRecord& viewer,
                                       double radius, rtf::CostMeter& meter) = 0;
+
+  /// Same results and charged cost as query(), written into `out` (cleared
+  /// first) so per-tick callers can reuse one allocation. The default
+  /// delegates to query(); the built-in policies override it allocation-free.
+  virtual void queryInto(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+                         rtf::CostMeter& meter, std::vector<EntityId>& out) {
+    out = query(world, viewer, radius, meter);
+  }
 };
 
 /// The paper's Euclidean Distance Algorithm (section V-A).
@@ -70,6 +78,8 @@ class EuclideanInterest final : public InterestPolicy {
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override;
   std::vector<EntityId> query(const rtf::World& world, const rtf::EntityRecord& viewer,
                               double radius, rtf::CostMeter& meter) override;
+  void queryInto(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+                 rtf::CostMeter& meter, std::vector<EntityId>& out) override;
 
  private:
   InterestCosts costs_;
@@ -86,6 +96,8 @@ class GridInterest final : public InterestPolicy {
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override;
   std::vector<EntityId> query(const rtf::World& world, const rtf::EntityRecord& viewer,
                               double radius, rtf::CostMeter& meter) override;
+  void queryInto(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+                 rtf::CostMeter& meter, std::vector<EntityId>& out) override;
 
   [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
 

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "common/sweep.hpp"
+
 namespace roia::game {
 namespace {
 
@@ -88,18 +90,24 @@ ParameterSamples measureReplicationParameters(const MeasurementConfig& config,
   for (std::size_t p = 0; p < rtf::kPhaseCount; ++p) {
     all.perItem[p].label = rtf::phaseName(static_cast<rtf::Phase>(p));
   }
-  for (const std::size_t users : populations) {
-    MeasurementConfig runConfig = config;
-    runConfig.seed = config.seed + users;  // decorrelate runs
-    SessionFixture fixture(runConfig, users, config.replicas);
-    fixture.cluster.run(config.warmup);
+  // Each population runs a self-contained simulation with its own seed, so
+  // the configs fan out across the sweep pool; merging in index order keeps
+  // the aggregate bit-identical to the sequential loop.
+  const std::vector<ParameterSamples> runs = par::runSweep<ParameterSamples>(
+      populations.size(), [&](std::size_t i) {
+        const std::size_t users = populations[i];
+        MeasurementConfig runConfig = config;
+        runConfig.seed = config.seed + users;  // decorrelate runs
+        SessionFixture fixture(runConfig, users, config.replicas);
+        fixture.cluster.run(config.warmup);
 
-    ParameterSamples runSamples;
-    collectProbeSamples(fixture.cluster, runSamples);
-    fixture.cluster.run(config.measure);
-    detachProbeListeners(fixture.cluster);
-    all.merge(runSamples);
-  }
+        ParameterSamples runSamples;
+        collectProbeSamples(fixture.cluster, runSamples);
+        fixture.cluster.run(config.measure);
+        detachProbeListeners(fixture.cluster);
+        return runSamples;
+      });
+  for (const ParameterSamples& runSamples : runs) all.merge(runSamples);
   return all;
 }
 
@@ -110,37 +118,40 @@ ParameterSamples measureMigrationParameters(const MeasurementConfig& config,
   for (std::size_t p = 0; p < rtf::kPhaseCount; ++p) {
     all.perItem[p].label = rtf::phaseName(static_cast<rtf::Phase>(p));
   }
-  for (const std::size_t users : populations) {
-    MeasurementConfig runConfig = config;
-    runConfig.seed = config.seed + 7919 * users;
-    SessionFixture fixture(runConfig, users, 2);
-    auto& cluster = fixture.cluster;
-    cluster.run(config.warmup);
+  const std::vector<ParameterSamples> runs = par::runSweep<ParameterSamples>(
+      populations.size(), [&](std::size_t i) {
+        const std::size_t users = populations[i];
+        MeasurementConfig runConfig = config;
+        runConfig.seed = config.seed + 7919 * users;
+        SessionFixture fixture(runConfig, users, 2);
+        auto& cluster = fixture.cluster;
+        cluster.run(config.warmup);
 
-    ParameterSamples runSamples;
-    collectProbeSamples(cluster, runSamples);
+        ParameterSamples runSamples;
+        collectProbeSamples(cluster, runSamples);
 
-    // Ping-pong migration stream: alternate source/target every burst so
-    // populations stay balanced while both sides exercise both roles.
-    const std::vector<ServerId> servers = cluster.serverIds();
-    bool forward = true;
-    auto token = cluster.simulation().schedulePeriodic(
-        SimDuration::milliseconds(250), [&](SimTime) {
-          const ServerId from = forward ? servers[0] : servers[1];
-          const ServerId to = forward ? servers[1] : servers[0];
-          forward = !forward;
-          const std::vector<ClientId> candidates = cluster.server(from).clientIds(true);
-          const std::size_t count = std::min(migrationsPerBurst, candidates.size());
-          for (std::size_t i = 0; i < count; ++i) {
-            cluster.migrateClient(candidates[i], to);
-          }
-          return true;
-        });
-    cluster.run(config.measure);
-    sim::Simulation::cancelPeriodic(token);
-    detachProbeListeners(cluster);
-    all.merge(runSamples);
-  }
+        // Ping-pong migration stream: alternate source/target every burst so
+        // populations stay balanced while both sides exercise both roles.
+        const std::vector<ServerId> servers = cluster.serverIds();
+        bool forward = true;
+        auto token = cluster.simulation().schedulePeriodic(
+            SimDuration::milliseconds(250), [&](SimTime) {
+              const ServerId from = forward ? servers[0] : servers[1];
+              const ServerId to = forward ? servers[1] : servers[0];
+              forward = !forward;
+              const std::vector<ClientId> candidates = cluster.server(from).clientIds(true);
+              const std::size_t count = std::min(migrationsPerBurst, candidates.size());
+              for (std::size_t j = 0; j < count; ++j) {
+                cluster.migrateClient(candidates[j], to);
+              }
+              return true;
+            });
+        cluster.run(config.measure);
+        sim::Simulation::cancelPeriodic(token);
+        detachProbeListeners(cluster);
+        return runSamples;
+      });
+  for (const ParameterSamples& runSamples : runs) all.merge(runSamples);
   return all;
 }
 
@@ -213,14 +224,12 @@ model::BandwidthSample measureBandwidth(const MeasurementConfig& config, std::si
 std::vector<model::BandwidthSample> measureBandwidthSweep(
     const MeasurementConfig& config, std::span<const std::size_t> populations,
     std::size_t replicas) {
-  std::vector<model::BandwidthSample> samples;
-  samples.reserve(populations.size());
-  for (const std::size_t users : populations) {
+  return par::runSweep<model::BandwidthSample>(populations.size(), [&](std::size_t i) {
+    const std::size_t users = populations[i];
     MeasurementConfig runConfig = config;
     runConfig.seed = config.seed + 31337 * users;
-    samples.push_back(measureBandwidth(runConfig, users, replicas));
-  }
-  return samples;
+    return measureBandwidth(runConfig, users, replicas);
+  });
 }
 
 }  // namespace roia::game

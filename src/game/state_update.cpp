@@ -24,11 +24,19 @@ VisibleEntity readVisible(ser::ByteReader& reader) {
 }  // namespace
 
 std::vector<std::uint8_t> encodeStateUpdate(const StateUpdatePayload& payload) {
-  ser::ByteWriter writer(16 + payload.visible.size() * 16);
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + payload.visible.size() * 16);
+  encodeStateUpdate(payload, out);
+  return out;
+}
+
+void encodeStateUpdate(const StateUpdatePayload& payload, std::vector<std::uint8_t>& out) {
+  ser::ByteWriter writer(std::move(out));
+  writer.reserve(16 + payload.visible.size() * 16);
   writeVisible(writer, payload.self);
   writer.writeVarU64(payload.visible.size());
   for (const VisibleEntity& e : payload.visible) writeVisible(writer, e);
-  return std::move(writer).take();
+  out = std::move(writer).take();
 }
 
 StateUpdatePayload decodeStateUpdate(std::span<const std::uint8_t> bytes) {

@@ -24,6 +24,9 @@ struct StateUpdatePayload {
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encodeStateUpdate(const StateUpdatePayload& payload);
+/// Encodes into `out`, reusing its capacity (hot path: one update per client
+/// per tick). Produces bytes identical to the value-returning overload.
+void encodeStateUpdate(const StateUpdatePayload& payload, std::vector<std::uint8_t>& out);
 [[nodiscard]] StateUpdatePayload decodeStateUpdate(std::span<const std::uint8_t> bytes);
 
 /// Encoded size of one visible-entity record, used by cost accounting tests.

@@ -1,10 +1,17 @@
 #include "obs/telemetry.hpp"
 
+#include "common/sweep.hpp"
+
 namespace roia::obs {
 
 Telemetry& Telemetry::global() {
   static Telemetry instance;
   return instance;
+}
+
+void Telemetry::setActive(bool active) {
+  active_ = active;
+  if (this == &global()) par::setSerialOverride(active);
 }
 
 Telemetry* Telemetry::globalIfActive() {

@@ -35,7 +35,10 @@ class Telemetry {
   /// hook of a Cluster constructed without an explicit context.
   static Telemetry* globalIfActive();
 
-  void setActive(bool active) { active_ = active; }
+  /// Activating the *global* instance also forces sweep fan-out serial
+  /// (par::setSerialOverride): the global sidecars aggregate across sweep
+  /// configs and only the legacy serial order reproduces them exactly.
+  void setActive(bool active);
   [[nodiscard]] bool active() const { return active_; }
 
  private:

@@ -71,6 +71,15 @@ class Application {
                                                       const EntityRecord& viewer,
                                                       CostMeter& meter) = 0;
 
+  /// Out-parameter variant of computeAreaOfInterest with identical results
+  /// and charged cost. The server calls this overload with a per-tick
+  /// scratch vector; applications override it to skip the per-call
+  /// allocation. Default: delegate to the value-returning version.
+  virtual void computeAreaOfInterest(const World& world, const EntityRecord& viewer,
+                                     CostMeter& meter, std::vector<EntityId>& out) {
+    out = computeAreaOfInterest(world, viewer, meter);
+  }
+
   /// Encodes the filtered state update for `viewer` (phase kSu). The
   /// substrate additionally charges generic serialization cost per byte of
   /// the returned payload.
@@ -78,6 +87,15 @@ class Application {
                                                      const EntityRecord& viewer,
                                                      std::span<const EntityId> visible,
                                                      CostMeter& meter) = 0;
+
+  /// Out-parameter variant of buildStateUpdate with identical bytes and
+  /// charged cost, reusing `out`'s capacity. Default: delegate to the
+  /// value-returning version.
+  virtual void buildStateUpdate(const World& world, const EntityRecord& viewer,
+                                std::span<const EntityId> visible, CostMeter& meter,
+                                std::vector<std::uint8_t>& out) {
+    out = buildStateUpdate(world, viewer, visible, meter);
+  }
 
   /// Application state attached to a migrating user (phase kMigIni).
   virtual std::vector<std::uint8_t> exportUserState(const EntityRecord& avatar,

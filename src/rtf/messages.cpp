@@ -65,9 +65,13 @@ ClientInputMsg decodeClientInput(const ser::Frame& frame) {
 }
 
 ser::Frame encode(const StateUpdateMsg& msg) {
-  ser::ByteWriter writer(8 + msg.update.size());
-  writer.writeVarU64(msg.serverTick);
-  writer.writeBytes(msg.update);
+  return encodeStateUpdate(msg.serverTick, msg.update);
+}
+
+ser::Frame encodeStateUpdate(std::uint64_t serverTick, std::span<const std::uint8_t> update) {
+  ser::ByteWriter writer(8 + update.size());
+  writer.writeVarU64(serverTick);
+  writer.writeBytes(update);
   return makeFrame(ser::MessageType::kStateUpdate, std::move(writer));
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -75,6 +76,11 @@ struct HeartbeatMsg {
 // malformed payloads.
 [[nodiscard]] ser::Frame encode(const ClientInputMsg& msg);
 [[nodiscard]] ser::Frame encode(const StateUpdateMsg& msg);
+/// Frame-identical to encode(StateUpdateMsg{serverTick, update}) without
+/// requiring the caller to hand over an owned vector (hot path: the server
+/// encodes straight from a reused scratch buffer).
+[[nodiscard]] ser::Frame encodeStateUpdate(std::uint64_t serverTick,
+                                           std::span<const std::uint8_t> update);
 [[nodiscard]] ser::Frame encode(const ForwardedInputMsg& msg);
 [[nodiscard]] ser::Frame encode(const EntityReplicationMsg& msg);
 [[nodiscard]] ser::Frame encode(const MigrationDataMsg& msg);

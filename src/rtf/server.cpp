@@ -279,12 +279,12 @@ void Server::tick() {
   processMigrationAcks();
 
   // Workload facts for the estimator: a (active users), n (total avatars).
-  probes.activeUsers = world_.countIf(
-      [this](const EntityRecord& e) { return e.isAvatar() && e.owner == id_; });
-  probes.totalAvatars = world_.avatarCount();
-  probes.shadowAvatars = probes.totalAvatars - probes.activeUsers;
-  probes.npcs = world_.countIf(
-      [this](const EntityRecord& e) { return e.isNpc() && e.owner == id_; });
+  // One pass over the world replaces three predicate scans.
+  const World::Census census = world_.census(id_);
+  probes.activeUsers = census.activeAvatars;
+  probes.totalAvatars = census.totalAvatars;
+  probes.shadowAvatars = census.shadowAvatars();
+  probes.npcs = census.activeNpcs;
   lastTickActiveUsers_ = probes.activeUsers;
 
   // Fold per-tick counters captured during the phases above.
@@ -473,17 +473,15 @@ void Server::sendStateUpdates() {
     const EntityRecord* viewer = world_.find(session.entity);
     if (viewer == nullptr || viewer->owner != id_) continue;
 
-    std::vector<EntityId> visible;
     {
       PhaseScope scope(meter_, Phase::kAoi);
-      visible = app_.computeAreaOfInterest(world_, *viewer, meter_);
+      app_.computeAreaOfInterest(world_, *viewer, meter_, aoiScratch_);
     }
     PhaseScope scope(meter_, Phase::kSu);
-    std::vector<std::uint8_t> update = app_.buildStateUpdate(world_, *viewer, visible, meter_);
+    app_.buildStateUpdate(world_, *viewer, aoiScratch_, meter_, updateScratch_);
     meter_.charge(config_.updateSerBaseCost +
-                  config_.updateSerPerByteCost * static_cast<double>(update.size()));
-    StateUpdateMsg msg{tickSeq_, std::move(update)};
-    net_.send(node_, session.clientNode, encode(msg));
+                  config_.updateSerPerByteCost * static_cast<double>(updateScratch_.size()));
+    net_.send(node_, session.clientNode, encodeStateUpdate(tickSeq_, updateScratch_));
   }
 }
 
@@ -580,11 +578,10 @@ MonitoringSnapshot Server::monitoring() const {
   snapshot.server = id_;
   snapshot.zone = world_.zone();
   snapshot.takenAt = sim_.now();
-  snapshot.activeUsers = world_.countIf(
-      [this](const EntityRecord& e) { return e.isAvatar() && e.owner == id_; });
-  snapshot.totalAvatars = world_.avatarCount();
-  snapshot.npcs = world_.countIf(
-      [this](const EntityRecord& e) { return e.isNpc() && e.owner == id_; });
+  const World::Census census = world_.census(id_);
+  snapshot.activeUsers = census.activeAvatars;
+  snapshot.totalAvatars = census.totalAvatars;
+  snapshot.npcs = census.activeNpcs;
   snapshot.cpuLoad = cpuAccount_.load();
   snapshot.ticksObserved = tickSeq_;
   snapshot.migrationsInitiated = migrationsInitiatedTotal_;

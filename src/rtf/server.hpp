@@ -253,6 +253,12 @@ class Server : public ForwardSink {
   std::vector<ForwardedInputMsg> outForwarded_;
   std::vector<EntityId> departedEntities_;  // to announce in next sync
 
+  // Per-tick scratch buffers for sendStateUpdates: the AOI result and the
+  // encoded update are rebuilt per client, so their allocations are reused
+  // across clients and ticks. Simulated costs are unaffected.
+  std::vector<EntityId> aoiScratch_;
+  std::vector<std::uint8_t> updateScratch_;
+
   bool running_{false};
   bool crashed_{false};
   bool inTick_{false};

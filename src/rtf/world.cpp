@@ -1,30 +1,63 @@
 #include "rtf/world.hpp"
 
+#include <algorithm>
+
 namespace roia::rtf {
 
 EntityRecord& World::upsert(const EntityRecord& entity) {
-  auto [it, inserted] = entities_.insert_or_assign(entity.id, entity);
-  return it->second;
+  const auto it = slotOf_.find(entity.id.value);
+  if (it != slotOf_.end()) {
+    EntityRecord& stored = slots_[it->second];
+    stored = entity;
+    return stored;
+  }
+  // New entity: insert keeping ascending id order. Ids are usually spawned
+  // in increasing order, so the common case is a cheap append.
+  std::size_t pos = slots_.size();
+  if (!slots_.empty() && slots_.back().id.value > entity.id.value) {
+    pos = static_cast<std::size_t>(
+        std::lower_bound(slots_.begin(), slots_.end(), entity.id.value,
+                         [](const EntityRecord& e, std::uint64_t v) { return e.id.value < v; }) -
+        slots_.begin());
+  }
+  slots_.insert(slots_.begin() + static_cast<std::ptrdiff_t>(pos), entity);
+  for (std::size_t i = pos + 1; i < slots_.size(); ++i) slotOf_[slots_[i].id.value] = i;
+  slotOf_.emplace(entity.id.value, pos);
+  return slots_[pos];
 }
 
-bool World::remove(EntityId id) { return entities_.erase(id) > 0; }
+bool World::remove(EntityId id) {
+  const auto it = slotOf_.find(id.value);
+  if (it == slotOf_.end()) return false;
+  const std::size_t pos = it->second;
+  slotOf_.erase(it);
+  slots_.erase(slots_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (std::size_t i = pos; i < slots_.size(); ++i) slotOf_[slots_[i].id.value] = i;
+  return true;
+}
 
 EntityRecord* World::find(EntityId id) {
-  auto it = entities_.find(id);
-  return it == entities_.end() ? nullptr : &it->second;
+  const auto it = slotOf_.find(id.value);
+  return it == slotOf_.end() ? nullptr : &slots_[it->second];
 }
 
 const EntityRecord* World::find(EntityId id) const {
-  auto it = entities_.find(id);
-  return it == entities_.end() ? nullptr : &it->second;
+  const auto it = slotOf_.find(id.value);
+  return it == slotOf_.end() ? nullptr : &slots_[it->second];
 }
 
-std::size_t World::countIf(const std::function<bool(const EntityRecord&)>& pred) const {
-  std::size_t n = 0;
-  for (const auto& [id, e] : entities_) {
-    if (pred(e)) ++n;
+World::Census World::census(ServerId server) const {
+  Census census;
+  for (const EntityRecord& e : slots_) {
+    if (e.isAvatar()) {
+      ++census.totalAvatars;
+      if (e.owner == server) ++census.activeAvatars;
+    } else {
+      ++census.totalNpcs;
+      if (e.owner == server) ++census.activeNpcs;
+    }
   }
-  return n;
+  return census;
 }
 
 std::size_t World::activeCount(ServerId server) const {
@@ -41,8 +74,8 @@ std::size_t World::npcCount() const {
 
 std::vector<EntityId> World::activeIds(ServerId server) const {
   std::vector<EntityId> ids;
-  for (const auto& [id, e] : entities_) {
-    if (e.owner == server) ids.push_back(id);
+  for (const EntityRecord& e : slots_) {
+    if (e.owner == server) ids.push_back(e.id);
   }
   return ids;
 }

@@ -1,10 +1,23 @@
 // Per-server view of one zone's application state: every entity of the zone
 // (actives + shadows) indexed for deterministic iteration.
+//
+// Storage is a contiguous vector sorted by ascending entity id plus an
+// id -> slot hash index: forEach — the hottest loop in the codebase (AOI
+// scans, attack resolution, NPC updates, replica sync all iterate it every
+// tick) — walks cache-friendly contiguous records, while find stays O(1).
+// Spawns/despawns/migrations are orders of magnitude rarer than per-tick
+// scans, so the O(n) slot shift on insert/erase is a good trade.
+//
+// Invalidation contract: references/pointers returned by find()/upsert()
+// and the records visited by forEach are invalidated by any subsequent
+// upsert() or remove(). Callers must not mutate the entity set while
+// iterating or while holding a record pointer (the tick phases respect
+// this: structural changes and scans never interleave).
 #pragma once
 
 #include <cstddef>
-#include <functional>
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -18,7 +31,8 @@ class World {
 
   [[nodiscard]] ZoneId zone() const { return zone_; }
 
-  /// Inserts or replaces an entity. Returns the stored record.
+  /// Inserts or replaces an entity. Returns the stored record (valid until
+  /// the next upsert/remove).
   EntityRecord& upsert(const EntityRecord& entity);
 
   /// Removes the entity if present; returns true when something was removed.
@@ -26,22 +40,41 @@ class World {
 
   [[nodiscard]] EntityRecord* find(EntityId id);
   [[nodiscard]] const EntityRecord* find(EntityId id) const;
-  [[nodiscard]] bool contains(EntityId id) const { return entities_.contains(id); }
+  [[nodiscard]] bool contains(EntityId id) const { return slotOf_.contains(id.value); }
 
-  [[nodiscard]] std::size_t size() const { return entities_.size(); }
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
 
-  /// Deterministic iteration in ascending id order.
+  /// Deterministic iteration in ascending id order over contiguous storage.
   template <class Fn>
   void forEach(Fn&& fn) {
-    for (auto& [id, e] : entities_) fn(e);
+    for (EntityRecord& e : slots_) fn(e);
   }
   template <class Fn>
   void forEach(Fn&& fn) const {
-    for (const auto& [id, e] : entities_) fn(e);
+    for (const EntityRecord& e : slots_) fn(e);
   }
 
-  /// Counts with a predicate (used by monitoring).
-  [[nodiscard]] std::size_t countIf(const std::function<bool(const EntityRecord&)>& pred) const;
+  /// Counts with a predicate (template: no std::function indirection).
+  template <class Pred>
+  [[nodiscard]] std::size_t countIf(Pred&& pred) const {
+    std::size_t n = 0;
+    for (const EntityRecord& e : slots_) {
+      if (pred(e)) ++n;
+    }
+    return n;
+  }
+
+  /// One-pass population counts, replacing repeated countIf scans in the
+  /// tick epilogue and monitoring-snapshot build.
+  struct Census {
+    std::size_t activeAvatars{0};  ///< avatars owned by the queried server
+    std::size_t totalAvatars{0};
+    std::size_t activeNpcs{0};  ///< NPCs owned by the queried server
+    std::size_t totalNpcs{0};
+
+    [[nodiscard]] std::size_t shadowAvatars() const { return totalAvatars - activeAvatars; }
+  };
+  [[nodiscard]] Census census(ServerId server) const;
 
   [[nodiscard]] std::size_t activeCount(ServerId server) const;
   [[nodiscard]] std::size_t avatarCount() const;
@@ -52,7 +85,8 @@ class World {
 
  private:
   ZoneId zone_;
-  std::map<EntityId, EntityRecord> entities_;  // ordered => deterministic
+  std::vector<EntityRecord> slots_;  // ascending id => deterministic iteration
+  std::unordered_map<std::uint64_t, std::size_t> slotOf_;  // id -> index into slots_
 };
 
 }  // namespace roia::rtf

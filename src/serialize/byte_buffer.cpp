@@ -4,21 +4,23 @@
 
 namespace roia::ser {
 
+// Fixed-width integers are materialized as little-endian byte arrays and
+// bulk-inserted: one capacity check instead of one per byte.
 void ByteWriter::writeU16(std::uint16_t v) {
-  buffer_.push_back(static_cast<std::uint8_t>(v));
-  buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  const std::uint8_t raw[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
+  appendRaw(raw, sizeof raw);
 }
 
 void ByteWriter::writeU32(std::uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
-  }
+  std::uint8_t raw[4];
+  for (int i = 0; i < 4; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  appendRaw(raw, sizeof raw);
 }
 
 void ByteWriter::writeU64(std::uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    buffer_.push_back(static_cast<std::uint8_t>(v >> shift));
-  }
+  std::uint8_t raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  appendRaw(raw, sizeof raw);
 }
 
 void ByteWriter::writeF32(float v) { writeU32(std::bit_cast<std::uint32_t>(v)); }

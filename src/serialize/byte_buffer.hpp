@@ -28,6 +28,11 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserveBytes) { buffer_.reserve(reserveBytes); }
+  /// Adopts an existing buffer to reuse its capacity across encodes: the
+  /// contents are cleared, the allocation is kept. Pair with take().
+  explicit ByteWriter(std::vector<std::uint8_t>&& reuse) : buffer_(std::move(reuse)) {
+    buffer_.clear();
+  }
 
   void writeU8(std::uint8_t v) { buffer_.push_back(v); }
   void writeU16(std::uint16_t v);
@@ -47,6 +52,15 @@ class ByteWriter {
   /// Length-prefixed (varint) byte string.
   void writeBytes(std::span<const std::uint8_t> bytes);
   void writeString(std::string_view s);
+
+  /// Raw bulk append, no length prefix.
+  void appendRaw(const std::uint8_t* data, std::size_t size) {
+    buffer_.insert(buffer_.end(), data, data + size);
+  }
+  void appendRaw(std::span<const std::uint8_t> bytes) { appendRaw(bytes.data(), bytes.size()); }
+
+  /// Pre-size the underlying buffer for a known-ahead encode size.
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
 
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
   [[nodiscard]] std::span<const std::uint8_t> bytes() const { return buffer_; }

@@ -21,7 +21,7 @@ std::vector<std::uint8_t> encodeFrame(const Frame& frame) {
   writer.writeU16(kFrameMagic);
   writer.writeU16(static_cast<std::uint16_t>(frame.type));
   writer.writeVarU64(frame.payload.size());
-  for (const std::uint8_t b : frame.payload) writer.writeU8(b);
+  writer.appendRaw(frame.payload.data(), frame.payload.size());
   const std::uint32_t crc = crc32(writer.bytes());
   writer.writeU32(crc);
   return std::move(writer).take();

@@ -17,19 +17,22 @@ EventHandle Simulation::scheduleAfter(SimDuration delay, EventFn fn) {
 Simulation::PeriodicToken Simulation::schedulePeriodic(SimDuration period,
                                                        std::function<bool(SimTime)> fn) {
   auto alive = std::make_shared<bool>(true);
-  // Self-rescheduling closure; owns the user callback.
+  // Self-rescheduling closure; owns the user callback. The queued events
+  // hold the owning reference while the closure reschedules through a weak
+  // one — a strong self-capture would cycle and never free.
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), alive, tick]() {
+  *tick = [this, period, fn = std::move(fn), alive,
+           weak = std::weak_ptr<std::function<void()>>(tick)]() {
     if (!*alive) return;
     if (!fn(now_)) {
       *alive = false;
       return;
     }
     if (*alive) {
-      scheduleAfter(period, *tick);
+      if (auto self = weak.lock()) scheduleAfter(period, [self] { (*self)(); });
     }
   };
-  scheduleAfter(period, *tick);
+  scheduleAfter(period, [self = std::move(tick)] { (*self)(); });
   return PeriodicToken{std::move(alive)};
 }
 

@@ -105,8 +105,9 @@ struct AppFixture {
 
   explicit AppFixture(FpsConfig c = {}) : config(c), app(c) { meter.beginTick(probes); }
 
-  rtf::EntityRecord& addAvatar(std::uint64_t id, ServerId owner, Vec2 pos,
-                               double health = 100.0) {
+  // Returns the id, not a reference: World's contiguous storage invalidates
+  // records on insert, so tests grab references via entity() after all adds.
+  EntityId addAvatar(std::uint64_t id, ServerId owner, Vec2 pos, double health = 100.0) {
     rtf::EntityRecord e;
     e.id = EntityId{id};
     e.kind = rtf::EntityKind::kAvatar;
@@ -116,8 +117,10 @@ struct AppFixture {
     e.position = pos;
     e.health = health;
     e.version = 1;
-    return world.upsert(e);
+    return world.upsert(e).id;
   }
+
+  rtf::EntityRecord& entity(std::uint64_t id) { return *world.find(EntityId{id}); }
 
   void userInput(rtf::EntityRecord& avatar, const CommandBatch& batch) {
     rtf::PhaseScope scope(meter, rtf::Phase::kUa);
@@ -128,7 +131,8 @@ struct AppFixture {
 
 TEST(FpsAppTest, MoveIntegratesPosition) {
   AppFixture f;
-  auto& avatar = f.addAvatar(1, ServerId{1}, {100, 100});
+  f.addAvatar(1, ServerId{1}, {100, 100});
+  auto& avatar = f.entity(1);
   CommandBatch batch;
   batch.move = MoveCommand{{1, 0}};
   f.userInput(avatar, batch);
@@ -140,7 +144,8 @@ TEST(FpsAppTest, MoveIntegratesPosition) {
 
 TEST(FpsAppTest, MoveClampsToArena) {
   AppFixture f;
-  auto& avatar = f.addAvatar(1, ServerId{1}, {999.5, 0.5});
+  f.addAvatar(1, ServerId{1}, {999.5, 0.5});
+  auto& avatar = f.entity(1);
   CommandBatch batch;
   batch.move = MoveCommand{{1, -1}};
   for (int i = 0; i < 10; ++i) f.userInput(avatar, batch);
@@ -150,8 +155,10 @@ TEST(FpsAppTest, MoveClampsToArena) {
 
 TEST(FpsAppTest, LocalAttackDamagesTarget) {
   AppFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
-  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0});
+  f.addAvatar(1, ServerId{1}, {0, 0});
+  f.addAvatar(2, ServerId{1}, {50, 0});
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 0}};
   f.userInput(attacker, batch);
@@ -161,8 +168,10 @@ TEST(FpsAppTest, LocalAttackDamagesTarget) {
 
 TEST(FpsAppTest, AttackOutOfRangeMisses) {
   AppFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
-  auto& victim = f.addAvatar(2, ServerId{1}, {900, 900});  // way beyond 260
+  f.addAvatar(1, ServerId{1}, {0, 0});
+  f.addAvatar(2, ServerId{1}, {900, 900});  // way beyond 260
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 1}};
   f.userInput(attacker, batch);
@@ -171,8 +180,10 @@ TEST(FpsAppTest, AttackOutOfRangeMisses) {
 
 TEST(FpsAppTest, AttackOnShadowForwards) {
   AppFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
-  auto& victim = f.addAvatar(2, ServerId{2}, {50, 0});  // owned elsewhere
+  f.addAvatar(1, ServerId{1}, {0, 0});
+  f.addAvatar(2, ServerId{2}, {50, 0});  // owned elsewhere
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 0}};
   f.userInput(attacker, batch);
@@ -187,7 +198,8 @@ TEST(FpsAppTest, AttackOnShadowForwards) {
 
 TEST(FpsAppTest, ForwardedInteractionAppliesDamageAndRespawn) {
   AppFixture f;
-  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 5.0);
+  f.addAvatar(2, ServerId{1}, {50, 0}, 5.0);
+  auto& victim = f.entity(2);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
   const auto payload = encodeInteraction({Interaction::Kind::kAttack, 8.0});
   f.app.applyForwardedInteraction(f.world, victim, EntityId{1}, payload, f.meter, f.sink);
@@ -198,8 +210,10 @@ TEST(FpsAppTest, ForwardedInteractionAppliesDamageAndRespawn) {
 
 TEST(FpsAppTest, KillRespawnsAtFullHealthRandomPosition) {
   AppFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
-  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  f.addAvatar(1, ServerId{1}, {0, 0});
+  f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 0}};
   f.userInput(attacker, batch);
@@ -208,11 +222,12 @@ TEST(FpsAppTest, KillRespawnsAtFullHealthRandomPosition) {
 
 TEST(FpsAppTest, AoiReturnsOnlyEntitiesWithinRadius) {
   AppFixture f;
-  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(1, ServerId{1}, {500, 500});
   f.addAvatar(2, ServerId{1}, {500 + 100, 500});        // inside (100 < 220)
   f.addAvatar(3, ServerId{1}, {500, 500 + 219});        // inside
   f.addAvatar(4, ServerId{1}, {500 + 300, 500});        // outside
   f.addAvatar(5, ServerId{2}, {500 - 50, 500});         // shadow, inside
+  auto& viewer = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
   const auto visible = f.app.computeAreaOfInterest(f.world, viewer, f.meter);
   EXPECT_EQ(visible.size(), 3u);
@@ -221,8 +236,9 @@ TEST(FpsAppTest, AoiReturnsOnlyEntitiesWithinRadius) {
 
 TEST(FpsAppTest, AoiExcludesViewerAndHasNoDuplicates) {
   AppFixture f;
-  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(1, ServerId{1}, {500, 500});
   for (std::uint64_t id = 2; id < 30; ++id) f.addAvatar(id, ServerId{1}, {510, 510});
+  auto& viewer = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
   const auto visible = f.app.computeAreaOfInterest(f.world, viewer, f.meter);
   EXPECT_EQ(visible.size(), 28u);
@@ -237,10 +253,11 @@ TEST(FpsAppTest, AoiCostGrowsSuperlinearly) {
   // more than doubles the AOI charge (paper: t_aoi quadratic).
   auto aoiCost = [](std::size_t population) {
     AppFixture f;
-    auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+    f.addAvatar(1, ServerId{1}, {500, 500});
     for (std::uint64_t id = 2; id < 2 + population; ++id) {
       f.addAvatar(id, ServerId{1}, {505, 505});  // all visible -> max scans
     }
+    auto& viewer = f.entity(1);
     rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
     f.app.computeAreaOfInterest(f.world, viewer, f.meter);
     return f.probes.phase(rtf::Phase::kAoi);
@@ -253,10 +270,11 @@ TEST(FpsAppTest, AoiCostGrowsSuperlinearly) {
 TEST(FpsAppTest, AttackCostScansWholeWorld) {
   auto attackCost = [](std::size_t population) {
     AppFixture f;
-    auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0});
+    f.addAvatar(1, ServerId{1}, {0, 0});
     for (std::uint64_t id = 2; id < 2 + population; ++id) {
       f.addAvatar(id, ServerId{1}, {900, 900});
     }
+    auto& attacker = f.entity(1);
     CommandBatch batch;
     batch.attack = AttackCommand{EntityId{2}, {1, 0}};
     f.userInput(attacker, batch);
@@ -271,9 +289,10 @@ TEST(FpsAppTest, AttackCostScansWholeWorld) {
 
 TEST(FpsAppTest, BuildStateUpdateEncodesVisible) {
   AppFixture f;
-  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(1, ServerId{1}, {500, 500});
   f.addAvatar(2, ServerId{1}, {510, 500});
   f.addAvatar(3, ServerId{1}, {520, 500});
+  auto& viewer = f.entity(1);
   const std::vector<EntityId> visible{EntityId{2}, EntityId{3}};
   rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
   const auto bytes = f.app.buildStateUpdate(f.world, viewer, visible, f.meter);
@@ -285,8 +304,9 @@ TEST(FpsAppTest, BuildStateUpdateEncodesVisible) {
 
 TEST(FpsAppTest, BuildStateUpdateSkipsVanishedEntities) {
   AppFixture f;
-  auto& viewer = f.addAvatar(1, ServerId{1}, {500, 500});
+  f.addAvatar(1, ServerId{1}, {500, 500});
   f.addAvatar(2, ServerId{1}, {510, 500});
+  auto& viewer = f.entity(1);
   const std::vector<EntityId> visible{EntityId{2}, EntityId{999}};  // 999 gone
   rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
   const auto payload = decodeStateUpdate(f.app.buildStateUpdate(f.world, viewer, visible, f.meter));
@@ -313,7 +333,8 @@ TEST(FpsAppTest, ShadowUpdateCostGrowsWithPopulation) {
     for (std::uint64_t id = 1; id <= population; ++id) {
       f.addAvatar(id, ServerId{1}, {500, 500});
     }
-    auto& shadow = f.addAvatar(9999, ServerId{2}, {100, 100});
+    f.addAvatar(9999, ServerId{2}, {100, 100});
+    auto& shadow = f.entity(9999);
     rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
     f.app.onShadowUpdated(f.world, shadow, f.meter);
     return f.probes.phase(rtf::Phase::kFa);

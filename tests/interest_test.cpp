@@ -65,6 +65,77 @@ INSTANTIATE_TEST_SUITE_P(Sweep, InterestEquivalence,
                          ::testing::Combine(::testing::Values(10u, 60u, 150u),
                                             ::testing::Values(50.0, 220.0, 500.0)));
 
+TEST(InterestTest, RandomizedWorldsGridMatchesEuclidean) {
+  // Property test: on worlds with random extents, radii, clustering and a
+  // mix of avatars and NPCs, both policies must return the same visible set
+  // for every viewer — and queryInto must match query while reusing its
+  // output buffer across calls.
+  Rng scenarioRng(20260805);
+  for (int round = 0; round < 12; ++round) {
+    Fixture f;
+    const std::size_t n = 5 + static_cast<std::size_t>(scenarioRng.uniform(0, 120));
+    const Vec2 extent{scenarioRng.uniform(100, 1500), scenarioRng.uniform(100, 1500)};
+    const double radius = scenarioRng.uniform(10, 600);
+    Rng rng(1000 + static_cast<std::uint64_t>(round));
+    for (std::uint64_t id = 1; id <= n; ++id) {
+      rtf::EntityRecord e;
+      e.id = EntityId{id};
+      e.kind = (id % 4 == 0) ? rtf::EntityKind::kNpc : rtf::EntityKind::kAvatar;
+      e.owner = ServerId{1};
+      if (e.isAvatar()) e.client = ClientId{id};
+      // Half the population clusters into a corner blob to stress dense cells.
+      e.position = (id % 2 == 0)
+                       ? Vec2{rng.uniform(0, extent.x * 0.2), rng.uniform(0, extent.y * 0.2)}
+                       : Vec2{rng.uniform(0, extent.x), rng.uniform(0, extent.y)};
+      f.world.upsert(e);
+    }
+
+    EuclideanInterest euclid;
+    GridInterest grid(radius);
+    euclid.prepare(f.world, f.meter);
+    grid.prepare(f.world, f.meter);
+
+    std::vector<EntityId> euclidOut;
+    std::vector<EntityId> gridOut;
+    f.world.forEach([&](const rtf::EntityRecord& viewer) {
+      euclid.queryInto(f.world, viewer, radius, f.meter, euclidOut);
+      grid.queryInto(f.world, viewer, radius, f.meter, gridOut);
+      ASSERT_EQ(euclidOut, gridOut)
+          << "round " << round << " viewer " << viewer.id.value << " n=" << n << " r=" << radius;
+      ASSERT_EQ(euclidOut, euclid.query(f.world, viewer, radius, f.meter));
+    });
+  }
+}
+
+TEST(InterestTest, QueryIntoChargesSameCostAsQuery) {
+  Fixture intoFixture;
+  intoFixture.populate(80, 11);
+  Fixture valueFixture;
+  valueFixture.populate(80, 11);
+
+  for (const bool useGrid : {false, true}) {
+    std::unique_ptr<InterestPolicy> intoPolicy;
+    std::unique_ptr<InterestPolicy> valuePolicy;
+    if (useGrid) {
+      intoPolicy = std::make_unique<GridInterest>(220.0);
+      valuePolicy = std::make_unique<GridInterest>(220.0);
+    } else {
+      intoPolicy = std::make_unique<EuclideanInterest>();
+      valuePolicy = std::make_unique<EuclideanInterest>();
+    }
+    intoPolicy->prepare(intoFixture.world, intoFixture.meter);
+    valuePolicy->prepare(valueFixture.world, valueFixture.meter);
+    std::vector<EntityId> out;
+    intoFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
+      intoPolicy->queryInto(intoFixture.world, viewer, 220.0, intoFixture.meter, out);
+    });
+    valueFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
+      valuePolicy->query(valueFixture.world, viewer, 220.0, valueFixture.meter);
+    });
+  }
+  EXPECT_DOUBLE_EQ(intoFixture.chargedCost(), valueFixture.chargedCost());
+}
+
 TEST(InterestTest, GridHandlesEdgePositions) {
   Fixture f;
   // Entities exactly on cell boundaries and arena corners.

@@ -285,6 +285,8 @@ std::vector<double> runFingerprint(obs::Telemetry* telemetry) {
   cluster.attachMonitoringCollector();
   cluster.addServer(zone);
   const ServerId second = cluster.addServer(zone);
+  // NPCs in the zone exercise the census/NPC-update tick paths too.
+  cluster.spawnNpcs(zone, 6);
   for (int i = 0; i < 12; ++i) {
     cluster.connectClient(zone, std::make_unique<game::BotProvider>());
   }
@@ -305,9 +307,15 @@ std::vector<double> runFingerprint(obs::Telemetry* telemetry) {
     fingerprint.push_back(snapshot.tickP95Ms);
     fingerprint.push_back(snapshot.tickMaxMs);
     fingerprint.push_back(snapshot.cpuLoad);
+    const rtf::World::Census census = server.world().census(id);
+    fingerprint.push_back(static_cast<double>(census.activeAvatars));
+    fingerprint.push_back(static_cast<double>(census.totalAvatars));
+    fingerprint.push_back(static_cast<double>(census.activeNpcs));
+    fingerprint.push_back(static_cast<double>(census.totalNpcs));
     server.world().forEach([&](const rtf::EntityRecord& e) {
       fingerprint.push_back(e.position.x);
       fingerprint.push_back(e.position.y);
+      fingerprint.push_back(e.health);
     });
   }
   return fingerprint;

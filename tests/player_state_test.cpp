@@ -52,7 +52,9 @@ struct StatsFixture {
 
   StatsFixture() : app(config) { meter.beginTick(probes); }
 
-  rtf::EntityRecord& addAvatar(std::uint64_t id, ServerId owner, Vec2 pos, double health) {
+  // Returns the id, not a reference: World's contiguous storage invalidates
+  // records on insert, so tests grab references via entity() after all adds.
+  EntityId addAvatar(std::uint64_t id, ServerId owner, Vec2 pos, double health) {
     rtf::EntityRecord e;
     e.id = EntityId{id};
     e.kind = rtf::EntityKind::kAvatar;
@@ -61,8 +63,10 @@ struct StatsFixture {
     e.position = pos;
     e.health = health;
     e.version = 1;
-    return world.upsert(e);
+    return world.upsert(e).id;
   }
+
+  rtf::EntityRecord& entity(std::uint64_t id) { return *world.find(EntityId{id}); }
 
   void attack(rtf::EntityRecord& attacker, EntityId target) {
     CommandBatch batch;
@@ -75,8 +79,10 @@ struct StatsFixture {
 
 TEST(KillAttributionTest, LocalKillCreditsAttackerAndVictim) {
   StatsFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
-  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   f.attack(attacker, victim.id);
   const PlayerStats attackerStats = decodeStats(attacker.appData);
   const PlayerStats victimStats = decodeStats(victim.appData);
@@ -88,8 +94,10 @@ TEST(KillAttributionTest, LocalKillCreditsAttackerAndVictim) {
 
 TEST(KillAttributionTest, NonLethalHitChangesNoStats) {
   StatsFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
-  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 100.0);
+  f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  f.addAvatar(2, ServerId{1}, {50, 0}, 100.0);
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   f.attack(attacker, victim.id);
   EXPECT_TRUE(attacker.appData.empty());
   EXPECT_TRUE(victim.appData.empty());
@@ -99,8 +107,9 @@ TEST(KillAttributionTest, NonLethalHitChangesNoStats) {
 TEST(KillAttributionTest, ForwardedKillEmitsCreditBack) {
   StatsFixture f;
   // Victim active here (server 2); attacker is a shadow owned by server 1.
-  auto& victim = f.addAvatar(2, ServerId{2}, {50, 0}, 4.0);
+  f.addAvatar(2, ServerId{2}, {50, 0}, 4.0);
   f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  auto& victim = f.entity(2);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
   const auto payload = encodeInteraction({Interaction::Kind::kAttack, 8.0});
   f.app.applyForwardedInteraction(f.world, victim, EntityId{1}, payload, f.meter, f.sink);
@@ -114,7 +123,8 @@ TEST(KillAttributionTest, ForwardedKillEmitsCreditBack) {
 
 TEST(KillAttributionTest, KillCreditAppliesToAttacker) {
   StatsFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  auto& attacker = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
   const auto payload = encodeInteraction({Interaction::Kind::kKillCredit, 0.0});
   f.app.applyForwardedInteraction(f.world, attacker, EntityId{2}, payload, f.meter, f.sink);
@@ -125,8 +135,10 @@ TEST(KillAttributionTest, KillCreditAppliesToAttacker) {
 
 TEST(KillAttributionTest, ScoreboardChangeBumpsVersion) {
   StatsFixture f;
-  auto& attacker = f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
-  auto& victim = f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
+  f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
+  auto& attacker = f.entity(1);
+  auto& victim = f.entity(2);
   const std::uint64_t before = attacker.version;
   f.attack(attacker, victim.id);
   EXPECT_GT(attacker.version, before);  // shadows will learn the new score

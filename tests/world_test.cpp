@@ -1,0 +1,149 @@
+// Tests for the contiguous-slot World storage: the id->slot index must stay
+// consistent under arbitrary spawn/despawn/migration churn, forEach must
+// iterate in ascending id order, and the single-pass census must agree with
+// the predicate scans it replaced.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rtf/world.hpp"
+
+namespace roia::rtf {
+namespace {
+
+EntityRecord makeEntity(std::uint64_t id, EntityKind kind, std::uint64_t owner) {
+  EntityRecord e;
+  e.id = EntityId{id};
+  e.kind = kind;
+  e.zone = ZoneId{1};
+  e.owner = ServerId{owner};
+  if (kind == EntityKind::kAvatar) e.client = ClientId{id};
+  e.position = {static_cast<double>(id), static_cast<double>(id * 2)};
+  return e;
+}
+
+std::vector<std::uint64_t> idsInOrder(const World& world) {
+  std::vector<std::uint64_t> ids;
+  world.forEach([&ids](const EntityRecord& e) { ids.push_back(e.id.value); });
+  return ids;
+}
+
+TEST(WorldTest, UpsertFindRemoveBasics) {
+  World world(ZoneId{1});
+  EXPECT_EQ(world.size(), 0u);
+  EXPECT_EQ(world.find(EntityId{1}), nullptr);
+  EXPECT_FALSE(world.remove(EntityId{1}));
+
+  world.upsert(makeEntity(1, EntityKind::kAvatar, 1));
+  ASSERT_NE(world.find(EntityId{1}), nullptr);
+  EXPECT_TRUE(world.contains(EntityId{1}));
+  EXPECT_EQ(world.size(), 1u);
+
+  // Upsert of an existing id updates in place without growing.
+  EntityRecord updated = makeEntity(1, EntityKind::kAvatar, 2);
+  updated.health = 55.0;
+  world.upsert(updated);
+  EXPECT_EQ(world.size(), 1u);
+  EXPECT_EQ(world.find(EntityId{1})->owner, ServerId{2});
+  EXPECT_DOUBLE_EQ(world.find(EntityId{1})->health, 55.0);
+
+  EXPECT_TRUE(world.remove(EntityId{1}));
+  EXPECT_FALSE(world.contains(EntityId{1}));
+  EXPECT_EQ(world.size(), 0u);
+}
+
+TEST(WorldTest, ForEachIteratesInAscendingIdOrder) {
+  World world(ZoneId{1});
+  // Insert out of order, including mid-range ids that force slot reindexing.
+  for (const std::uint64_t id : {50u, 10u, 90u, 30u, 70u, 20u, 80u, 40u, 60u, 1u}) {
+    world.upsert(makeEntity(id, EntityKind::kAvatar, 1));
+  }
+  EXPECT_EQ(idsInOrder(world),
+            (std::vector<std::uint64_t>{1, 10, 20, 30, 40, 50, 60, 70, 80, 90}));
+
+  world.remove(EntityId{30});
+  world.remove(EntityId{90});
+  world.upsert(makeEntity(35, EntityKind::kNpc, 1));
+  EXPECT_EQ(idsInOrder(world), (std::vector<std::uint64_t>{1, 10, 20, 35, 40, 50, 60, 70, 80}));
+}
+
+TEST(WorldTest, RandomizedChurnMatchesReferenceModel) {
+  // Drive the same operation stream into the World and a std::map reference
+  // model; they must agree on membership, record contents and iteration
+  // order at every step.
+  World world(ZoneId{1});
+  std::map<std::uint64_t, EntityRecord> reference;
+  Rng rng(42);
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t id = 1 + static_cast<std::uint64_t>(rng.uniform(0, 64));
+    const double action = rng.uniform(0, 1);
+    if (action < 0.55) {
+      const EntityKind kind = rng.uniform(0, 1) < 0.3 ? EntityKind::kNpc : EntityKind::kAvatar;
+      const std::uint64_t owner = 1 + static_cast<std::uint64_t>(rng.uniform(0, 3));
+      EntityRecord e = makeEntity(id, kind, owner);
+      e.version = static_cast<std::uint64_t>(step);
+      world.upsert(e);
+      reference[id] = e;
+    } else if (action < 0.8) {
+      EXPECT_EQ(world.remove(EntityId{id}), reference.erase(id) > 0) << "step " << step;
+    } else if (EntityRecord* found = world.find(EntityId{id}); found != nullptr) {
+      // Migration: flip ownership through the returned reference, as the
+      // server's migration path does.
+      found->owner = ServerId{found->owner.value % 3 + 1};
+      reference[id].owner = found->owner;
+    } else {
+      EXPECT_FALSE(reference.contains(id)) << "step " << step;
+    }
+
+    ASSERT_EQ(world.size(), reference.size()) << "step " << step;
+    std::vector<std::uint64_t> referenceIds;
+    for (const auto& [refId, record] : reference) {
+      referenceIds.push_back(refId);
+      const EntityRecord* stored = world.find(EntityId{refId});
+      ASSERT_NE(stored, nullptr) << "step " << step << " id " << refId;
+      ASSERT_EQ(stored->id.value, refId);
+      ASSERT_EQ(stored->owner, record.owner) << "step " << step << " id " << refId;
+      ASSERT_EQ(stored->version, record.version) << "step " << step << " id " << refId;
+      ASSERT_EQ(stored->kind, record.kind) << "step " << step << " id " << refId;
+    }
+    ASSERT_EQ(idsInOrder(world), referenceIds) << "step " << step;
+  }
+}
+
+TEST(WorldTest, CensusMatchesPredicateScans) {
+  World world(ZoneId{1});
+  Rng rng(7);
+  for (std::uint64_t id = 1; id <= 200; ++id) {
+    const EntityKind kind = rng.uniform(0, 1) < 0.4 ? EntityKind::kNpc : EntityKind::kAvatar;
+    world.upsert(makeEntity(id, kind, 1 + static_cast<std::uint64_t>(rng.uniform(0, 3))));
+  }
+  for (const std::uint64_t server : {1u, 2u, 3u, 99u}) {
+    const ServerId sid{server};
+    const World::Census census = world.census(sid);
+    EXPECT_EQ(census.totalAvatars, world.avatarCount());
+    EXPECT_EQ(census.totalNpcs, world.npcCount());
+    EXPECT_EQ(census.activeAvatars,
+              world.countIf([sid](const EntityRecord& e) { return e.isAvatar() && e.owner == sid; }));
+    EXPECT_EQ(census.activeNpcs,
+              world.countIf([sid](const EntityRecord& e) { return e.isNpc() && e.owner == sid; }));
+    EXPECT_EQ(census.activeAvatars + census.activeNpcs, world.activeCount(sid));
+    EXPECT_EQ(census.shadowAvatars(), census.totalAvatars - census.activeAvatars);
+  }
+}
+
+TEST(WorldTest, ActiveIdsAscendingAndOwnerFiltered) {
+  World world(ZoneId{1});
+  for (const std::uint64_t id : {9u, 3u, 6u, 1u, 8u}) {
+    world.upsert(makeEntity(id, EntityKind::kAvatar, id % 2 == 0 ? 2u : 1u));
+  }
+  const std::vector<EntityId> active = world.activeIds(ServerId{1});
+  std::vector<std::uint64_t> values;
+  for (const EntityId id : active) values.push_back(id.value);
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 3, 9}));
+}
+
+}  // namespace
+}  // namespace roia::rtf
