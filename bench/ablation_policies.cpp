@@ -22,10 +22,10 @@ int main() {
   const game::CalibrationResult calibration = benchharness::runCalibration(true);
   const model::TickModel tickModel(calibration.parameters);
 
-  const rms::PolicyKind policies[] = {
-      rms::PolicyKind::kModelDriven,
-      rms::PolicyKind::kStaticInterval,
-      rms::PolicyKind::kUnthrottled,
+  const rms::StrategyFactory policies[] = {
+      rms::makeModelDrivenFactory(),
+      rms::makeStaticIntervalFactory(),
+      rms::makeUnthrottledFactory(),
   };
 
   // Each policy drives its own managed session: fan out across the sweep
@@ -33,7 +33,7 @@ int main() {
   const std::vector<rms::SessionSummary> summaries = par::runSweep<rms::SessionSummary>(
       std::size(policies), [&](std::size_t i) {
         rms::ManagedSessionConfig config;
-        config.policy = policies[i];
+        config.strategyFactory = policies[i];
         config.scenario = game::WorkloadScenario::paperSession(
             300, SimDuration::seconds(50), SimDuration::seconds(20), SimDuration::seconds(50));
         config.rms.controlPeriod = SimDuration::seconds(1);

@@ -99,8 +99,9 @@ void BM_AreaOfInterest(benchmark::State& state) {
   sim::CpuCostModel cpu;
   rtf::CostMeter meter(cpu);
   const rtf::EntityRecord* viewer = world.find(EntityId{1});
+  std::vector<EntityId> visible;
   for (auto _ : state) {
-    const auto visible = app.computeAreaOfInterest(world, *viewer, meter);
+    app.computeAreaOfInterest(world, *viewer, meter, visible);
     benchmark::DoNotOptimize(visible.data());
   }
 }
@@ -268,7 +269,7 @@ void BM_GridInterestQuery(benchmark::State& state) {
   const rtf::EntityRecord* viewer = world.find(EntityId{1});
   std::vector<EntityId> out;
   for (auto _ : state) {
-    grid.queryInto(world, *viewer, 60.0, meter, out);
+    grid.query(world, *viewer, 60.0, meter, out);
     benchmark::DoNotOptimize(out.data());
   }
 }

@@ -47,14 +47,15 @@ int main() {
     view.servers = cluster.zoneMonitoring(zone);
 
     const rms::Decision decision = strategy.decide(view);
+    const std::vector<rms::UserMigration> orders = decision.migrations();
     std::printf("  %4d   %4zu/%3zu/%3zu      %5.1f/%5.1f/%5.1f     ", step,
                 cluster.server(s1).connectedUsers(), cluster.server(s2).connectedUsers(),
                 cluster.server(s3).connectedUsers(), view.servers[0].tickAvgMs,
                 view.servers[1].tickAvgMs, view.servers[2].tickAvgMs);
-    if (decision.migrations.empty()) {
+    if (orders.empty()) {
       std::printf("balanced — no migrations\n");
     } else {
-      for (const auto& order : decision.migrations) {
+      for (const auto& order : orders) {
         std::printf("s%llu->s%llu:%zu  ", static_cast<unsigned long long>(order.from.value),
                     static_cast<unsigned long long>(order.to.value), order.count);
       }
@@ -62,14 +63,14 @@ int main() {
     }
 
     // Execute the plan as RTF-RMS would.
-    for (const auto& order : decision.migrations) {
+    for (const auto& order : orders) {
       const auto candidates = cluster.server(order.from).clientIds(true);
       for (std::size_t i = 0; i < std::min(order.count, candidates.size()); ++i) {
         cluster.migrateClient(candidates[i], order.to);
       }
     }
     cluster.run(SimDuration::seconds(1));
-    if (decision.migrations.empty() && step > 0) break;
+    if (orders.empty() && step > 0) break;
   }
 
   std::printf("\nfinal distribution: %zu / %zu / %zu (target: 45 each)\n",

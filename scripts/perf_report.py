@@ -28,7 +28,12 @@ DEFAULT_SWEEPS = [
     "fig5_replication_scalability",
     "ext_npc_model",
     "chaos_recovery",
+    "ext_zone_sharding",
 ]
+
+
+class DeterminismError(RuntimeError):
+    """A sweep produced different stdout at different thread counts."""
 
 
 def run_micro(build_dir: str) -> list:
@@ -66,7 +71,7 @@ def run_sweep(build_dir: str, bench: str, threads: int) -> dict:
     serial_s, serial_out = timed(1)
     parallel_s, parallel_out = timed(threads)
     if serial_out != parallel_out:
-        raise SystemExit(
+        raise DeterminismError(
             f"{bench}: stdout differs between ROIA_BENCH_THREADS=1 and "
             f"={threads} — the sweep engine broke per-config determinism")
     return {
@@ -93,6 +98,19 @@ def main() -> int:
                         help="fail unless at least one sweep reaches this speedup")
     args = parser.parse_args()
 
+    # Validate every binary up front: a missing benchmark must produce a
+    # clean one-line error and a nonzero exit, never a traceback or a
+    # partially-written report.
+    needed = [] if args.skip_micro else [os.path.join(args.build_dir, "bench", "micro_benchmarks")]
+    needed += [os.path.join(args.build_dir, "bench", bench) for bench in args.sweeps]
+    missing = [path for path in needed if not os.path.isfile(path)]
+    if missing:
+        for path in missing:
+            print(f"ERROR: benchmark binary not found: {path}", file=sys.stderr)
+        print("ERROR: build the bench targets first (cmake --build <build-dir>)",
+              file=sys.stderr)
+        return 1
+
     out_path = args.out or os.path.join(args.build_dir, "BENCH_wallclock.json")
     report = {
         "schema": "roia-bench-wallclock/1",
@@ -103,15 +121,25 @@ def main() -> int:
     }
 
     for bench in args.sweeps:
-        result = run_sweep(args.build_dir, bench, args.threads)
+        try:
+            result = run_sweep(args.build_dir, bench, args.threads)
+        except DeterminismError as err:
+            # No report is written: a byte-compare failure means the numbers
+            # are untrustworthy, and a partial JSON would look like success
+            # to downstream tooling.
+            print(f"ERROR: {err}", file=sys.stderr)
+            return 1
         report["sweeps"].append(result)
         print(f"{bench}: serial {result['serial_seconds']}s, "
               f"{args.threads} threads {result['parallel_seconds']}s "
               f"-> {result['speedup']}x (stdout identical)")
 
-    with open(out_path, "w", encoding="utf-8") as f:
+    # Atomic write: downstream tooling never observes a half-written report.
+    tmp_path = out_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
+    os.replace(tmp_path, out_path)
     print(f"wrote {out_path} ({len(report['micro'])} micro benchmarks, "
           f"{len(report['sweeps'])} sweeps)")
 

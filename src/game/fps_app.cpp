@@ -199,27 +199,12 @@ void FpsApplication::updateNpc(rtf::World& world, rtf::EntityRecord& npc, rtf::C
   clampToArena(npc.position);
 }
 
-std::vector<EntityId> FpsApplication::computeAreaOfInterest(const rtf::World& world,
-                                                            const rtf::EntityRecord& viewer,
-                                                            rtf::CostMeter& meter) {
-  // Delegated to the configured interest-management algorithm; the default
-  // EuclideanInterest is the paper's Euclidean Distance Algorithm.
-  return interest_->query(world, viewer, config_.aoiRadius, meter);
-}
-
 void FpsApplication::computeAreaOfInterest(const rtf::World& world,
                                            const rtf::EntityRecord& viewer, rtf::CostMeter& meter,
                                            std::vector<EntityId>& out) {
-  interest_->queryInto(world, viewer, config_.aoiRadius, meter, out);
-}
-
-std::vector<std::uint8_t> FpsApplication::buildStateUpdate(const rtf::World& world,
-                                                           const rtf::EntityRecord& viewer,
-                                                           std::span<const EntityId> visible,
-                                                           rtf::CostMeter& meter) {
-  std::vector<std::uint8_t> out;
-  buildStateUpdate(world, viewer, visible, meter, out);
-  return out;
+  // Delegated to the configured interest-management algorithm; the default
+  // EuclideanInterest is the paper's Euclidean Distance Algorithm.
+  interest_->query(world, viewer, config_.aoiRadius, meter, out);
 }
 
 void FpsApplication::buildStateUpdate(const rtf::World& world, const rtf::EntityRecord& viewer,

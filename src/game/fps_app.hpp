@@ -97,16 +97,9 @@ class FpsApplication final : public rtf::Application {
   void updateNpc(rtf::World& world, rtf::EntityRecord& npc, rtf::CostMeter& meter,
                  Rng& rng) override;
 
-  std::vector<EntityId> computeAreaOfInterest(const rtf::World& world,
-                                              const rtf::EntityRecord& viewer,
-                                              rtf::CostMeter& meter) override;
   void computeAreaOfInterest(const rtf::World& world, const rtf::EntityRecord& viewer,
                              rtf::CostMeter& meter, std::vector<EntityId>& out) override;
 
-  std::vector<std::uint8_t> buildStateUpdate(const rtf::World& world,
-                                             const rtf::EntityRecord& viewer,
-                                             std::span<const EntityId> visible,
-                                             rtf::CostMeter& meter) override;
   void buildStateUpdate(const rtf::World& world, const rtf::EntityRecord& viewer,
                         std::span<const EntityId> visible, rtf::CostMeter& meter,
                         std::vector<std::uint8_t>& out) override;

@@ -11,17 +11,9 @@ void EuclideanInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) 
   (void)meter;
 }
 
-std::vector<EntityId> EuclideanInterest::query(const rtf::World& world,
-                                               const rtf::EntityRecord& viewer, double radius,
-                                               rtf::CostMeter& meter) {
-  std::vector<EntityId> visible;
-  queryInto(world, viewer, radius, meter, visible);
-  return visible;
-}
-
-void EuclideanInterest::queryInto(const rtf::World& world, const rtf::EntityRecord& viewer,
-                                  double radius, rtf::CostMeter& meter,
-                                  std::vector<EntityId>& visible) {
+void EuclideanInterest::query(const rtf::World& world, const rtf::EntityRecord& viewer,
+                              double radius, rtf::CostMeter& meter,
+                              std::vector<EntityId>& visible) {
   visible.clear();
   const double radiusSq = radius * radius;
   double cost = 0.0;
@@ -62,16 +54,8 @@ void GridInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) {
   meter.charge(cost);
 }
 
-std::vector<EntityId> GridInterest::query(const rtf::World& world,
-                                          const rtf::EntityRecord& viewer, double radius,
-                                          rtf::CostMeter& meter) {
-  std::vector<EntityId> visible;
-  queryInto(world, viewer, radius, meter, visible);
-  return visible;
-}
-
-void GridInterest::queryInto(const rtf::World& world, const rtf::EntityRecord& viewer,
-                             double radius, rtf::CostMeter& meter, std::vector<EntityId>& visible) {
+void GridInterest::query(const rtf::World& world, const rtf::EntityRecord& viewer,
+                         double radius, rtf::CostMeter& meter, std::vector<EntityId>& visible) {
   (void)world;
   visible.clear();
   const double radiusSq = radius * radius;

@@ -56,17 +56,11 @@ class InterestPolicy {
   virtual void prepare(const rtf::World& world, rtf::CostMeter& meter) = 0;
 
   /// Entities within `radius` of the viewer, excluding the viewer, in
-  /// ascending id order. Charges the query cost to the meter.
-  virtual std::vector<EntityId> query(const rtf::World& world, const rtf::EntityRecord& viewer,
-                                      double radius, rtf::CostMeter& meter) = 0;
-
-  /// Same results and charged cost as query(), written into `out` (cleared
-  /// first) so per-tick callers can reuse one allocation. The default
-  /// delegates to query(); the built-in policies override it allocation-free.
-  virtual void queryInto(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-                         rtf::CostMeter& meter, std::vector<EntityId>& out) {
-    out = query(world, viewer, radius, meter);
-  }
+  /// ascending id order, written into `out` (cleared first) so per-tick
+  /// callers can reuse one scratch allocation. Charges the query cost to
+  /// the meter.
+  virtual void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+                     rtf::CostMeter& meter, std::vector<EntityId>& out) = 0;
 };
 
 /// The paper's Euclidean Distance Algorithm (section V-A).
@@ -76,10 +70,8 @@ class EuclideanInterest final : public InterestPolicy {
 
   [[nodiscard]] std::string name() const override { return "euclidean"; }
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override;
-  std::vector<EntityId> query(const rtf::World& world, const rtf::EntityRecord& viewer,
-                              double radius, rtf::CostMeter& meter) override;
-  void queryInto(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-                 rtf::CostMeter& meter, std::vector<EntityId>& out) override;
+  void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+             rtf::CostMeter& meter, std::vector<EntityId>& out) override;
 
  private:
   InterestCosts costs_;
@@ -94,10 +86,8 @@ class GridInterest final : public InterestPolicy {
 
   [[nodiscard]] std::string name() const override { return "grid"; }
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override;
-  std::vector<EntityId> query(const rtf::World& world, const rtf::EntityRecord& viewer,
-                              double radius, rtf::CostMeter& meter) override;
-  void queryInto(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-                 rtf::CostMeter& meter, std::vector<EntityId>& out) override;
+  void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+             rtf::CostMeter& meter, std::vector<EntityId>& out) override;
 
   [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
 namespace roia::game {
 
@@ -47,13 +48,15 @@ WorkloadScenario WorkloadScenario::constant(std::size_t users, SimDuration durat
   return scenario;
 }
 
-ChurnDriver::ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario,
-                         Config config)
+ChurnDriver::ChurnDriver(rtf::Cluster& cluster, std::vector<ZoneId> zones,
+                         WorkloadScenario scenario, Config config)
     : cluster_(cluster),
-      zone_(zone),
+      zones_(std::move(zones)),
       scenario_(std::move(scenario)),
       config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed) {
+  if (zones_.empty()) throw std::invalid_argument("ChurnDriver: no zones");
+}
 
 void ChurnDriver::start() {
   if (runningFlag_) return;
@@ -75,7 +78,17 @@ bool ChurnDriver::step(SimTime now) {
   if (target > current) {
     const std::size_t joins = std::min(config_.maxChangePerPeriod, target - current);
     for (std::size_t i = 0; i < joins; ++i) {
-      cluster_.connectClient(zone_, std::make_unique<BotProvider>(config_.bots));
+      // Least-populated zone first keeps a sharded world's load spread.
+      ZoneId pick = zones_.front();
+      std::size_t fewest = cluster_.zoneUserCount(pick);
+      for (std::size_t z = 1; z < zones_.size(); ++z) {
+        const std::size_t users = cluster_.zoneUserCount(zones_[z]);
+        if (users < fewest) {
+          fewest = users;
+          pick = zones_[z];
+        }
+      }
+      cluster_.connectClient(pick, std::make_unique<BotProvider>(config_.bots));
       ++joins_;
     }
   } else if (target < current) {

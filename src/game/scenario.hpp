@@ -63,7 +63,13 @@ class ChurnDriver {
     std::uint64_t seed{7};
   };
 
-  ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario, Config config);
+  /// Multi-zone form (sharded worlds): joins go to the zone with the fewest
+  /// users (earliest zone wins ties), leaves pick uniformly over all
+  /// clients. Deterministic for a given seed.
+  ChurnDriver(rtf::Cluster& cluster, std::vector<ZoneId> zones, WorkloadScenario scenario,
+              Config config);
+  ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario, Config config)
+      : ChurnDriver(cluster, std::vector<ZoneId>{zone}, std::move(scenario), config) {}
   ChurnDriver(rtf::Cluster& cluster, ZoneId zone, WorkloadScenario scenario)
       : ChurnDriver(cluster, zone, std::move(scenario), Config{}) {}
 
@@ -79,7 +85,7 @@ class ChurnDriver {
   bool step(SimTime now);
 
   rtf::Cluster& cluster_;
-  ZoneId zone_;
+  std::vector<ZoneId> zones_;
   WorkloadScenario scenario_;
   Config config_;
   Rng rng_;

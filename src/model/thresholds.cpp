@@ -30,6 +30,32 @@ std::size_t nMax(const TickModel& model, std::size_t l, std::size_t m, double th
   return lo;
 }
 
+std::size_t nMaxZoned(const TickModel& model, std::size_t l, std::size_t m,
+                      double thresholdMicros, std::size_t neighbors, double borderShare,
+                      std::size_t cap) {
+  if (l < 1) throw std::invalid_argument("nMaxZoned: l must be >= 1");
+  borderShare = std::clamp(borderShare, 0.0, 1.0);
+  const auto violates = [&](std::size_t n) {
+    const double nd = static_cast<double>(n);
+    return model.zoneTickMicros(static_cast<double>(l), nd, static_cast<double>(m),
+                                static_cast<double>(neighbors), borderShare * nd) >=
+           thresholdMicros;
+  };
+  if (violates(1)) return 0;
+  if (!violates(cap)) return cap;
+  std::size_t lo = 1;
+  std::size_t hi = cap;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (violates(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
 LMaxResult lMax(const TickModel& model, std::size_t m, double thresholdMicros, double c,
                 std::size_t lCap) {
   if (c <= 0.0 || c > 1.0) throw std::invalid_argument("lMax: c must be in (0, 1]");

@@ -17,6 +17,15 @@ namespace roia::model {
 [[nodiscard]] std::size_t nMax(const TickModel& model, std::size_t l, std::size_t m,
                                double thresholdMicros, std::size_t cap = 1000000);
 
+/// Eq. (2) extended for a sharded world: largest per-zone population whose
+/// zone tick — Eq. (1) plus the inter-zone coordination term — stays below
+/// U, with `borderShare` of the zone's users assumed to sit inside the
+/// border band (so borderEntities = borderShare * n of each neighbor is
+/// mirrored here; we charge it symmetrically as borderShare * n).
+[[nodiscard]] std::size_t nMaxZoned(const TickModel& model, std::size_t l, std::size_t m,
+                                    double thresholdMicros, std::size_t neighbors,
+                                    double borderShare, std::size_t cap = 1000000);
+
 struct LMaxResult {
   std::size_t lMax{1};
   /// n_max(l) for l = 1..lMax (index 0 -> l=1).

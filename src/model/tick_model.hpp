@@ -17,11 +17,42 @@
 
 namespace roia::model {
 
+/// Inter-zone coordination costs of a sharded world (extension beyond the
+/// paper, in the spirit of Gunther's USL coherence term): per neighboring
+/// zone a fixed border-sync overhead, plus a per-border-shadow cost for
+/// deserializing and applying cross-zone AOI mirrors. Defaults are zero, so
+/// single-zone predictions are untouched.
+struct CoordinationParams {
+  double perNeighborMicros{0.0};
+  double perBorderEntityMicros{0.0};
+};
+
 class TickModel {
  public:
   explicit TickModel(ModelParameters params) : params_(std::move(params)) {}
 
   [[nodiscard]] const ModelParameters& parameters() const { return params_; }
+
+  void setCoordination(CoordinationParams coordination) { coordination_ = coordination; }
+  [[nodiscard]] const CoordinationParams& coordination() const { return coordination_; }
+
+  /// Inter-zone coordination term: cost added to every tick of a zone with
+  /// `neighbors` adjacent zones mirroring `borderEntities` border shadows.
+  [[nodiscard]] double coordinationMicros(double neighbors, double borderEntities) const {
+    return neighbors * coordination_.perNeighborMicros +
+           borderEntities * coordination_.perBorderEntityMicros;
+  }
+
+  /// Per-zone tick prediction for a sharded world: Eq. (1) for the zone's
+  /// own population plus the coordination term.
+  [[nodiscard]] double zoneTickMicros(double l, double n, double m, double neighbors,
+                                      double borderEntities) const {
+    return tickMicros(l, n, m) + coordinationMicros(neighbors, borderEntities);
+  }
+  [[nodiscard]] double zoneTickMillis(double l, double n, double m, double neighbors,
+                                      double borderEntities) const {
+    return zoneTickMicros(l, n, m, neighbors, borderEntities) / 1000.0;
+  }
 
   /// Per-user cost of the "active" tasks at population n:
   /// (t_ua_dser + t_ua + t_aoi + t_su)(n).
@@ -55,6 +86,7 @@ class TickModel {
 
  private:
   ModelParameters params_;
+  CoordinationParams coordination_{};
 };
 
 }  // namespace roia::model

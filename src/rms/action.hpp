@@ -1,0 +1,58 @@
+// Typed RMS actions: everything a load-balancing strategy can order the
+// management plane to do, as one closed variant. The names returned by
+// actionName() are the audit-log vocabulary (stable JSONL contract):
+// "migrate_only", "add_replica", "substitute_server", "remove_server",
+// "zone_handoff".
+#pragma once
+
+#include <cstddef>
+#include <variant>
+
+#include "common/types.hpp"
+
+namespace roia::rms {
+
+/// Move `count` users from one replica to another (same zone).
+struct UserMigration {
+  ServerId from;
+  ServerId to;
+  std::size_t count{0};
+};
+
+/// Lease a standard resource and add a replica to the zone under decision.
+struct ReplicationEnactment {};
+
+/// Replace `victim` by a more powerful flavor (drain after the stand-in
+/// serves).
+struct ResourceSubstitution {
+  ServerId victim;
+};
+
+/// Drain and shut down `victim`.
+struct ResourceRemoval {
+  ServerId victim;
+};
+
+/// Cross-zone load balancing: hand `count` users over from the fullest
+/// replica of `fromZone` to `toZone` via the zone-handoff protocol.
+struct ZoneHandoff {
+  ZoneId fromZone;
+  ZoneId toZone;
+  std::size_t count{0};
+};
+
+using Action = std::variant<UserMigration, ReplicationEnactment, ResourceSubstitution,
+                            ResourceRemoval, ZoneHandoff>;
+
+[[nodiscard]] inline const char* actionName(const Action& action) {
+  struct Namer {
+    const char* operator()(const UserMigration&) const { return "migrate_only"; }
+    const char* operator()(const ReplicationEnactment&) const { return "add_replica"; }
+    const char* operator()(const ResourceSubstitution&) const { return "substitute_server"; }
+    const char* operator()(const ResourceRemoval&) const { return "remove_server"; }
+    const char* operator()(const ZoneHandoff&) const { return "zone_handoff"; }
+  };
+  return std::visit(Namer{}, action);
+}
+
+}  // namespace roia::rms

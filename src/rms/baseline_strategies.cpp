@@ -43,7 +43,7 @@ void planUnthrottledMigrations(const ZoneView& view, std::size_t imbalanceTolera
     while (source.amount > 0 && si < sinks.size()) {
       const std::size_t moved = std::min(source.amount, sinks[si].amount);
       if (moved > 0) {
-        decision.migrations.push_back(MigrationOrder{source.server, sinks[si].server, moved});
+        decision.add(UserMigration{source.server, sinks[si].server, moved});
         source.amount -= moved;
         sinks[si].amount -= moved;
       }
@@ -60,7 +60,7 @@ Decision StaticIntervalStrategy::decide(const ZoneView& view) {
 
   // Reactive replication: only after the threshold is already violated.
   if (view.maxTickMs() > config_.upperTickMs && view.pendingStarts == 0) {
-    decision.addReplica = true;
+    decision.add(ReplicationEnactment{});
     decision.threshold = "reactive:tick_upper";
     decision.rationale = "static: tick above threshold";
     return decision;
@@ -72,7 +72,7 @@ Decision StaticIntervalStrategy::decide(const ZoneView& view) {
       if (least == nullptr || s.activeUsers < least->activeUsers) least = &s;
     }
     if (least != nullptr) {
-      decision.removeServer = least->server;
+      decision.add(ResourceRemoval{least->server});
       decision.threshold = "reactive:tick_lower";
       decision.rationale = "static: tick below lower threshold";
     }
@@ -110,7 +110,7 @@ Decision UnthrottledMigrationStrategy::decide(const ZoneView& view) {
       model_.tickMillis(static_cast<double>(std::max<std::size_t>(1, view.replicaCount())),
                         static_cast<double>(n), static_cast<double>(npcs_));
   if (n > trigger && effectiveReplicas < report_.lMax) {
-    decision.addReplica = true;
+    decision.add(ReplicationEnactment{});
     decision.threshold = "eq2:n_trigger";
     decision.rationale = "unthrottled: predictive replication";
   }

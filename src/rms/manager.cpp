@@ -1,6 +1,8 @@
 #include "rms/manager.hpp"
 
 #include <algorithm>
+#include <type_traits>
+#include <variant>
 
 #include "common/log.hpp"
 
@@ -63,6 +65,9 @@ bool RmsManager::controlStep(SimTime now) {
 
   detectAndRecover(now, point);
 
+  WorldView world;
+  world.now = now;
+
   for (const ZoneId zone : zones_) {
     ZoneView view;
     view.zone = zone;
@@ -84,6 +89,8 @@ bool RmsManager::controlStep(SimTime now) {
     }
     view.pendingStarts = pendingStarts_[zone];
     view.npcs = config_.npcs;
+    view.neighbors = cluster_.zones().neighbors(zone);
+    for (const auto& s : view.servers) view.borderShadows += s.borderShadows;
 
     const Decision decision = strategy_->decide(view);
     if (telemetry_ != nullptr) auditZoneDecision(now, view, decision);
@@ -104,8 +111,24 @@ bool RmsManager::controlStep(SimTime now) {
     }
     point.avgTickMs = std::max(point.avgTickMs, view.avgTickMs());
     point.maxTickMs = std::max(point.maxTickMs, view.maxTickMs());
-    for (const auto& order : decision.migrations) point.migrationsOrdered += order.count;
+    for (const UserMigration& order : decision.migrations()) {
+      point.migrationsOrdered += order.count;
+    }
+    world.zones.push_back(std::move(view));
   }
+
+  // Cross-zone balance pass of a sharded world: one decision over all
+  // managed zones, after every zone had its per-zone turn.
+  if (zones_.size() > 1) {
+    const Decision decision = strategy_->balance(world);
+    executeBalance(now, decision);
+    for (const Action& action : decision.actions) {
+      if (const auto* handoff = std::get_if<ZoneHandoff>(&action)) {
+        point.handoffsOrdered += handoff->count;
+      }
+    }
+  }
+
   if (point.servers > 0) {
     point.avgCpuLoad /= static_cast<double>(point.servers);
   }
@@ -130,16 +153,8 @@ void RmsManager::auditZoneDecision(SimTime now, const ZoneView& view, const Deci
   record.measuredMaxTickMs = view.maxTickMs();
   record.predictedTickMs = decision.predictedTickMs;
   record.threshold = decision.threshold;
-  if (decision.addReplica) {
-    record.action = "add_replica";
-  } else if (decision.substituteServer) {
-    record.action = "substitute_server";
-  } else if (decision.removeServer) {
-    record.action = "remove_server";
-  } else if (!decision.migrations.empty()) {
-    record.action = "migrate_only";
-  }
-  for (const MigrationOrder& order : decision.migrations) {
+  record.action = decision.primaryActionName();
+  for (const UserMigration& order : decision.migrations()) {
     record.migrationsOrdered += order.count;
   }
   for (const RejectedAction& rejected : decision.rejected) {
@@ -209,43 +224,100 @@ void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
 }
 
 void RmsManager::executeZone(ZoneId zone, const Decision& decision) {
-  // Migration orders: pick concrete users deterministically (lowest ids
-  // first) from the source server.
-  for (const MigrationOrder& order : decision.migrations) {
-    if (!cluster_.hasServer(order.from) || !cluster_.hasServer(order.to)) continue;
-    const std::vector<ClientId> candidates = cluster_.server(order.from).clientIds(true);
-    const std::size_t count = std::min(order.count, candidates.size());
+  for (const Action& action : decision.actions) {
+    std::visit(
+        [&](const auto& a) {
+          using T = std::decay_t<decltype(a)>;
+          if constexpr (std::is_same_v<T, UserMigration>) {
+            // Pick concrete users deterministically (lowest ids first) from
+            // the source server.
+            if (!cluster_.hasServer(a.from) || !cluster_.hasServer(a.to)) return;
+            const std::vector<ClientId> candidates = cluster_.server(a.from).clientIds(true);
+            const std::size_t count = std::min(a.count, candidates.size());
+            for (std::size_t i = 0; i < count; ++i) {
+              if (cluster_.migrateClient(candidates[i], a.to)) {
+                ++migrationsOrdered_;
+              }
+            }
+          } else if constexpr (std::is_same_v<T, ReplicationEnactment>) {
+            beginReplicaStart(zone, config_.standardFlavor, std::nullopt);
+          } else if constexpr (std::is_same_v<T, ResourceSubstitution>) {
+            const ServerId victim = a.victim;
+            if (cluster_.hasServer(victim) && !draining_.contains(victim)) {
+              // Compare flavors in pool-relative units (the cluster template
+              // may model a faster hardware generation as its baseline).
+              double currentSpeed = 1.0;
+              if (auto leaseIt = serverLease_.find(victim); leaseIt != serverLease_.end()) {
+                if (const auto flavorIdx = pool_.leaseFlavor(leaseIt->second)) {
+                  currentSpeed = pool_.flavor(*flavorIdx).speedFactor;
+                }
+              }
+              if (const auto flavorIdx = pool_.strongerFlavor(currentSpeed)) {
+                beginReplicaStart(zone, *flavorIdx, victim);
+                ++substitutions_;
+              }
+            }
+          } else if constexpr (std::is_same_v<T, ResourceRemoval>) {
+            const ServerId victim = a.victim;
+            if (cluster_.hasServer(victim) && !draining_.contains(victim) &&
+                cluster_.zones().replicaCount(zone) > 1) {
+              draining_.insert(victim);
+            }
+          } else if constexpr (std::is_same_v<T, ZoneHandoff>) {
+            // Zone handoffs belong to the cross-zone balance pass; a
+            // strategy emitting one from decide() is a bug, not a crash.
+            ROIA_LOG(LogLevel::kWarn, "rms", "ZoneHandoff ignored in per-zone decision");
+          }
+        },
+        action);
+  }
+}
+
+void RmsManager::executeBalance(SimTime now, const Decision& decision) {
+  std::size_t ordered = 0;
+  ZoneId auditZone{};
+  for (const Action& action : decision.actions) {
+    const auto* handoff = std::get_if<ZoneHandoff>(&action);
+    if (handoff == nullptr) continue;  // balance() only orders cross-zone moves
+    if (!auditZone.valid()) auditZone = handoff->fromZone;
+
+    // Source: the fullest live replica of the overloaded zone; users leave
+    // lowest-id first, like same-zone migration orders.
+    ServerId source{};
+    std::size_t most = 0;
+    for (const ServerId id : cluster_.zones().replicas(handoff->fromZone)) {
+      if (!cluster_.hasServer(id)) continue;
+      const std::size_t users = cluster_.server(id).connectedUsers();
+      if (!source.valid() || users > most) {
+        source = id;
+        most = users;
+      }
+    }
+    if (!source.valid()) continue;
+    const std::vector<ClientId> candidates = cluster_.server(source).clientIds(true);
+    const std::size_t count = std::min(handoff->count, candidates.size());
     for (std::size_t i = 0; i < count; ++i) {
-      if (cluster_.migrateClient(candidates[i], order.to)) {
-        ++migrationsOrdered_;
+      if (cluster_.travelClient(candidates[i], handoff->toZone)) {
+        ++zoneHandoffsOrdered_;
+        ++ordered;
       }
     }
   }
 
-  if (decision.addReplica) {
-    beginReplicaStart(zone, config_.standardFlavor, std::nullopt);
-  } else if (decision.substituteServer) {
-    const ServerId victim = *decision.substituteServer;
-    if (cluster_.hasServer(victim) && !draining_.contains(victim)) {
-      // Compare flavors in pool-relative units (the cluster template may
-      // model a faster hardware generation as its baseline).
-      double currentSpeed = 1.0;
-      if (auto leaseIt = serverLease_.find(victim); leaseIt != serverLease_.end()) {
-        if (const auto flavorIdx = pool_.leaseFlavor(leaseIt->second)) {
-          currentSpeed = pool_.flavor(*flavorIdx).speedFactor;
-        }
-      }
-      if (const auto flavorIdx = pool_.strongerFlavor(currentSpeed)) {
-        beginReplicaStart(zone, *flavorIdx, victim);
-        ++substitutions_;
-      }
+  if (telemetry_ != nullptr && (!decision.actions.empty() || !decision.rejected.empty())) {
+    obs::AuditRecord record;
+    record.at = now;
+    record.zone = auditZone;
+    record.strategy = strategy_->name();
+    record.predictedTickMs = decision.predictedTickMs;
+    record.threshold = decision.threshold;
+    record.action = decision.primaryActionName();
+    record.migrationsOrdered = ordered;
+    for (const RejectedAction& rejected : decision.rejected) {
+      record.rejected.push_back(rejected.action + ": " + rejected.reason);
     }
-  } else if (decision.removeServer) {
-    const ServerId victim = *decision.removeServer;
-    if (cluster_.hasServer(victim) && !draining_.contains(victim) &&
-        cluster_.zones().replicaCount(zone) > 1) {
-      draining_.insert(victim);
-    }
+    record.rationale = decision.rationale;
+    telemetry_->audit.record(std::move(record));
   }
 }
 

@@ -58,6 +58,8 @@ struct TimelinePoint {
   double avgTickMs{0.0};
   double maxTickMs{0.0};
   std::size_t migrationsOrdered{0};
+  /// Cross-zone handoffs ordered by the balance pass this period.
+  std::size_t handoffsOrdered{0};
   bool violation{false};
   /// Crash-failures detected (and recovered from) this period.
   std::size_t crashesDetected{0};
@@ -101,6 +103,7 @@ class RmsManager {
   [[nodiscard]] const ResourcePool& pool() const { return pool_; }
   [[nodiscard]] Strategy& strategy() { return *strategy_; }
   [[nodiscard]] std::uint64_t migrationsOrderedTotal() const { return migrationsOrdered_; }
+  [[nodiscard]] std::uint64_t zoneHandoffsOrdered() const { return zoneHandoffsOrdered_; }
   [[nodiscard]] std::uint64_t replicasAdded() const { return replicasAdded_; }
   [[nodiscard]] std::uint64_t replicasRemoved() const { return replicasRemoved_; }
   [[nodiscard]] std::uint64_t substitutions() const { return substitutions_; }
@@ -113,6 +116,8 @@ class RmsManager {
   void auditZoneDecision(SimTime now, const ZoneView& view, const Decision& decision);
   void detectAndRecover(SimTime now, TimelinePoint& point);
   void executeZone(ZoneId zone, const Decision& decision);
+  /// Executes the cross-zone balance() decision (ZoneHandoff actions).
+  void executeBalance(SimTime now, const Decision& decision);
   bool beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
                          std::optional<ServerId> drainAfterStart);
   void finishDrains();
@@ -136,6 +141,7 @@ class RmsManager {
 
   std::vector<TimelinePoint> timeline_;
   std::uint64_t migrationsOrdered_{0};
+  std::uint64_t zoneHandoffsOrdered_{0};
   std::uint64_t replicasAdded_{0};
   std::uint64_t replicasRemoved_{0};
   std::uint64_t substitutions_{0};

@@ -25,10 +25,21 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
   const std::size_t effectiveReplicas = l + view.pendingStarts;
   const std::size_t n = view.totalUsers();
 
-  // Audit: what the fitted model expects the current workload to cost.
-  decision.predictedTickMs = model_.tickMillis(static_cast<double>(std::max<std::size_t>(1, l)),
-                                               static_cast<double>(n),
-                                               static_cast<double>(config_.npcs));
+  // Audit: what the fitted model expects the current workload to cost. In a
+  // sharded world the per-zone prediction includes the coordination term
+  // (border sync to each neighbor plus the zone's border shadows, which are
+  // mirrored per replica).
+  const double lEff = static_cast<double>(std::max<std::size_t>(1, l));
+  if (view.neighbors.empty()) {
+    decision.predictedTickMs =
+        model_.tickMillis(lEff, static_cast<double>(n), static_cast<double>(config_.npcs));
+  } else {
+    const double borderPerReplica =
+        static_cast<double>(view.borderShadows) / static_cast<double>(std::max<std::size_t>(1, l));
+    decision.predictedTickMs = model_.zoneTickMillis(
+        lEff, static_cast<double>(n), static_cast<double>(config_.npcs),
+        static_cast<double>(view.neighbors.size()), borderPerReplica);
+  }
 
   // --- user migration (always considered; Listing 1) ---
   planMigrations(view, decision);
@@ -41,7 +52,7 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
     if (effectiveReplicas < report_.lMax) {
       // Replication enactment: add a server before the threshold is hit so
       // migration overhead and late joiners cannot push ticks past U.
-      decision.addReplica = true;
+      decision.add(ReplicationEnactment{});
       decision.threshold = "eq2:n_trigger";
       decision.rationale = "replication enactment: " + std::to_string(n) + " users > 80% of n_max(" +
                            std::to_string(effectiveReplicas) + ")";
@@ -56,7 +67,7 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
         if (worst == nullptr || s.activeUsers > worst->activeUsers) worst = &s;
       }
       if (worst != nullptr) {
-        decision.substituteServer = worst->server;
+        decision.add(ResourceSubstitution{worst->server});
         decision.threshold = "eq3:l_max";
         decision.rationale = "resource substitution: l_max reached";
       }
@@ -79,7 +90,7 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
         if (least == nullptr || s.activeUsers < least->activeUsers) least = &s;
       }
       if (least != nullptr) {
-        decision.removeServer = least->server;
+        decision.add(ResourceRemoval{least->server});
         decision.threshold = "eq2:n_lower";
         decision.rationale = "resource removal: " + std::to_string(n) + " users < " +
                              std::to_string(lowerTrigger);
@@ -90,6 +101,77 @@ Decision ModelDrivenStrategy::decide(const ZoneView& view) {
                                  std::to_string(lowerTrigger)});
     }
   }
+  return decision;
+}
+
+Decision ModelDrivenStrategy::balance(const WorldView& world) {
+  Decision decision;
+  if (world.zones.size() < 2) return decision;
+  const double thresholdMicros = config_.upperTickMs * 1000.0;
+
+  // The most overloaded zone whose replication is already exhausted: only
+  // then is crossing a border cheaper than another replica (Eq. 3). Earlier
+  // zone wins ties, so the pass is deterministic.
+  const ZoneView* source = nullptr;
+  std::size_t worstExcess = 0;
+  for (const ZoneView& z : world.zones) {
+    if (z.servers.empty()) continue;
+    const std::size_t effectiveReplicas = z.replicaCount() + z.pendingStarts;
+    if (effectiveReplicas < report_.lMax) continue;  // in-zone replication first
+    const std::size_t trigger = static_cast<std::size_t>(
+        std::floor(config_.triggerFraction * static_cast<double>(nMaxFor(effectiveReplicas))));
+    const std::size_t n = z.totalUsers();
+    if (n <= trigger) continue;
+    const std::size_t excess = n - trigger;
+    if (excess > worstExcess) {
+      worstExcess = excess;
+      source = &z;
+    }
+  }
+  if (source == nullptr) return decision;
+
+  // Best neighbor: the adjacent zone with the most headroom below its own
+  // trigger (neighbors are sorted by id, so ties resolve deterministically).
+  const ZoneView* target = nullptr;
+  std::size_t bestHeadroom = 0;
+  for (const ZoneId neighborId : source->neighbors) {
+    for (const ZoneView& z : world.zones) {
+      if (z.zone != neighborId || z.servers.empty()) continue;
+      const std::size_t effectiveReplicas = z.replicaCount() + z.pendingStarts;
+      const std::size_t trigger = static_cast<std::size_t>(
+          std::floor(config_.triggerFraction * static_cast<double>(nMaxFor(effectiveReplicas))));
+      const std::size_t n = z.totalUsers();
+      if (n >= trigger) continue;
+      const std::size_t headroom = trigger - n;
+      if (headroom > bestHeadroom) {
+        bestHeadroom = headroom;
+        target = &z;
+      }
+    }
+  }
+  if (target == nullptr) {
+    decision.rejected.push_back({"zone_handoff", "no neighbor zone with headroom"});
+    return decision;
+  }
+
+  // Eq. (5): the handoff count is throttled like any migration burst, by
+  // the initiate budget of the source zone's fullest replica.
+  std::size_t aMax = 0;
+  for (const auto& s : source->servers) aMax = std::max(aMax, s.activeUsers);
+  const std::size_t budget =
+      model::xMaxInitiate(model_, std::max<std::size_t>(1, source->replicaCount()),
+                          source->totalUsers(), config_.npcs, aMax, thresholdMicros);
+  const std::size_t count = std::min({worstExcess, bestHeadroom, budget});
+  if (count == 0) {
+    decision.rejected.push_back({"zone_handoff", "eq5 initiate budget x_max=0 on source zone"});
+    return decision;
+  }
+  decision.add(ZoneHandoff{source->zone, target->zone, count});
+  decision.threshold = "eq2:zone_n_trigger";
+  decision.rationale = "zone handoff: zone " + std::to_string(source->zone.value) + " over trigger by " +
+                       std::to_string(worstExcess) + ", neighbor " +
+                       std::to_string(target->zone.value) + " has headroom " +
+                       std::to_string(bestHeadroom);
   return decision;
 }
 
@@ -133,6 +215,7 @@ void ModelDrivenStrategy::planMigrations(const ZoneView& view, Decision& decisio
   }
 
   // (i) + (iii): deviation and receive budget per remaining server.
+  bool ordered = false;
   for (const auto& s : servers) {
     if (iniBudget == 0) break;
     if (s.server == sMax->server || view.isDraining(s.server)) continue;
@@ -151,12 +234,13 @@ void ModelDrivenStrategy::planMigrations(const ZoneView& view, Decision& decisio
     const std::size_t count = std::min({want, rcvBudget, iniBudget,
                                         static_cast<std::size_t>(sMax->activeUsers)});
     if (count == 0) continue;
-    decision.migrations.push_back(MigrationOrder{sMax->server, s.server, count});
+    decision.add(UserMigration{sMax->server, s.server, count});
+    ordered = true;
     iniBudget -= count;
   }
   // Audit: migrations are gated by Eq. 5 budgets; structural paths may
   // overwrite this with the (primary) eq2/eq3 threshold afterwards.
-  if (!decision.migrations.empty()) decision.threshold = "eq5:x_max";
+  if (ordered) decision.threshold = "eq5:x_max";
 }
 
 }  // namespace roia::rms

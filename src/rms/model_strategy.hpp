@@ -6,7 +6,9 @@
 //    capped at l_max (Eq. 3),
 //  * resource substitution when replication is exhausted,
 //  * resource removal when the population fits comfortably on fewer
-//    replicas.
+//    replicas,
+//  * cross-zone user handoff (sharded worlds) when a zone's replication is
+//    exhausted and a neighbor zone has headroom.
 #pragma once
 
 #include <memory>
@@ -39,6 +41,10 @@ class ModelDrivenStrategy final : public Strategy {
 
   [[nodiscard]] std::string name() const override { return "model-driven"; }
   Decision decide(const ZoneView& view) override;
+  /// Cross-zone balancing of a sharded world: when a zone is over its
+  /// trigger with replication exhausted (Eq. 3) and a neighbor zone has
+  /// headroom, hand users across the border (Eq. 5 budget on the source).
+  Decision balance(const WorldView& world) override;
 
   [[nodiscard]] const model::ThresholdReport& report() const { return report_; }
   [[nodiscard]] const ModelStrategyConfig& config() const { return config_; }

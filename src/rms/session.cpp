@@ -9,36 +9,27 @@
 
 namespace roia::rms {
 
-const char* policyName(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kModelDriven: return "model-driven";
-    case PolicyKind::kStaticInterval: return "static-interval";
-    case PolicyKind::kUnthrottled: return "unthrottled-migration";
-  }
-  return "?";
+StrategyFactory makeModelDrivenFactory() {
+  return [](const ManagedSessionConfig& config, const model::TickModel& tickModel) {
+    return std::make_unique<ModelDrivenStrategy>(tickModel, config.modelStrategy);
+  };
 }
 
-namespace {
-
-std::unique_ptr<Strategy> makeStrategy(const ManagedSessionConfig& config,
-                                       const model::TickModel& tickModel) {
-  switch (config.policy) {
-    case PolicyKind::kModelDriven:
-      return std::make_unique<ModelDrivenStrategy>(tickModel, config.modelStrategy);
-    case PolicyKind::kStaticInterval: {
-      StaticStrategyConfig staticConfig;
-      staticConfig.upperTickMs = config.modelStrategy.upperTickMs;
-      return std::make_unique<StaticIntervalStrategy>(staticConfig);
-    }
-    case PolicyKind::kUnthrottled:
-      return std::make_unique<UnthrottledMigrationStrategy>(
-          tickModel, config.modelStrategy.upperTickMs, config.modelStrategy.improvementFactorC,
-          config.modelStrategy.triggerFraction, config.modelStrategy.npcs);
-  }
-  return nullptr;
+StrategyFactory makeStaticIntervalFactory() {
+  return [](const ManagedSessionConfig& config, const model::TickModel&) {
+    StaticStrategyConfig staticConfig;
+    staticConfig.upperTickMs = config.modelStrategy.upperTickMs;
+    return std::make_unique<StaticIntervalStrategy>(staticConfig);
+  };
 }
 
-}  // namespace
+StrategyFactory makeUnthrottledFactory() {
+  return [](const ManagedSessionConfig& config, const model::TickModel& tickModel) {
+    return std::make_unique<UnthrottledMigrationStrategy>(
+        tickModel, config.modelStrategy.upperTickMs, config.modelStrategy.improvementFactorC,
+        config.modelStrategy.triggerFraction, config.modelStrategy.npcs);
+  };
+}
 
 SessionSummary runManagedSession(const ManagedSessionConfig& config,
                                  const model::TickModel& tickModel) {
@@ -90,7 +81,9 @@ SessionSummary runManagedSession(const ManagedSessionConfig& config,
     }
   }
 
-  RmsManager manager(cluster, zone, makeStrategy(config, tickModel), ResourcePool{}, rmsConfig);
+  std::unique_ptr<Strategy> strategy = config.strategyFactory(config, tickModel);
+  const std::string policy = strategy->name();
+  RmsManager manager(cluster, zone, std::move(strategy), ResourcePool{}, rmsConfig);
 
   game::ChurnDriver::Config churnConfig;
   churnConfig.bots = config.bots;
@@ -125,7 +118,7 @@ SessionSummary runManagedSession(const ManagedSessionConfig& config,
   sim::Simulation::cancelPeriodic(qoeToken);
 
   SessionSummary summary;
-  summary.policy = policyName(config.policy);
+  summary.policy = policy;
   summary.timeline = manager.timeline();
   for (const TimelinePoint& p : summary.timeline) {
     summary.peakUsers = std::max(summary.peakUsers, p.users);

@@ -18,13 +18,20 @@
 
 namespace roia::rms {
 
-enum class PolicyKind {
-  kModelDriven,   // the paper's contribution
-  kStaticInterval,  // initial RTF-RMS (no model)
-  kUnthrottled,   // model thresholds + unbounded migrations
-};
+struct ManagedSessionConfig;
 
-[[nodiscard]] const char* policyName(PolicyKind kind);
+/// Builds the strategy a managed session runs under. The factory replaces
+/// the old PolicyKind enum: any Strategy implementation can be plugged in,
+/// and the three canonical policies are provided as factories below.
+using StrategyFactory = std::function<std::unique_ptr<Strategy>(const ManagedSessionConfig&,
+                                                                const model::TickModel&)>;
+
+/// The paper's contribution: model-driven thresholds + Eq. (5) budgets.
+[[nodiscard]] StrategyFactory makeModelDrivenFactory();
+/// The "initial RTF-RMS": reactive thresholds, full equalization, no model.
+[[nodiscard]] StrategyFactory makeStaticIntervalFactory();
+/// Model thresholds + unbounded migrations (budget-ablation baseline).
+[[nodiscard]] StrategyFactory makeUnthrottledFactory();
 
 /// Network/crash fault plan for chaos sessions. The injector seed and the
 /// plan fully determine the fault schedule: same config, same seed → same
@@ -48,7 +55,8 @@ struct ManagedSessionConfig {
   SimDuration tail{SimDuration::seconds(10)};
   RmsConfig rms{};
   ModelStrategyConfig modelStrategy{};
-  PolicyKind policy{PolicyKind::kModelDriven};
+  /// Strategy the manager runs; defaults to the model-driven policy.
+  StrategyFactory strategyFactory{makeModelDrivenFactory()};
   std::size_t initialReplicas{1};
   std::uint64_t seed{42};
   /// Chaos mode: inject network faults and optionally a mid-session crash.

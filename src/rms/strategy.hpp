@@ -1,24 +1,19 @@
 // Load-balancing strategies: what RTF-RMS decides each control period for
 // one zone. The model-driven strategy (paper section IV) and the baselines
-// used in the ablation experiment all implement this interface.
+// used in the ablation experiment all implement this interface. Decisions
+// are lists of typed Actions (rms/action.hpp); the audit annotations ride
+// along for observability only.
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "rms/action.hpp"
 #include "rtf/monitoring.hpp"
 
 namespace roia::rms {
-
-/// One migration order: move `count` users from one replica to another.
-struct MigrationOrder {
-  ServerId from;
-  ServerId to;
-  std::size_t count{0};
-};
 
 /// An action the strategy considered but did not take, and why — recorded so
 /// the audit log explains decisions, not just states them.
@@ -27,16 +22,12 @@ struct RejectedAction {
   std::string reason;
 };
 
-/// The decision for one zone in one control period. At most one structural
-/// action (add/substitute/remove) is taken per period, plus any number of
-/// migration orders.
+/// The decision for one zone in one control period: a list of typed actions.
+/// Convention (enforced by the strategies, relied on by the audit log): at
+/// most one structural action (add/substitute/remove) per period, plus any
+/// number of migration orders.
 struct Decision {
-  std::vector<MigrationOrder> migrations;
-  bool addReplica{false};
-  /// Replace this server by a more powerful flavor.
-  std::optional<ServerId> substituteServer;
-  /// Drain and shut down this server.
-  std::optional<ServerId> removeServer;
+  std::vector<Action> actions;
   std::string rationale;
 
   // --- audit annotations (observability only; never drive execution) ---
@@ -49,8 +40,46 @@ struct Decision {
   /// Alternatives considered and discarded this period.
   std::vector<RejectedAction> rejected;
 
+  void add(Action action) { actions.push_back(std::move(action)); }
+
+  template <typename T>
+  [[nodiscard]] const T* first() const {
+    for (const Action& action : actions) {
+      if (const T* a = std::get_if<T>(&action)) return a;
+    }
+    return nullptr;
+  }
+  template <typename T>
+  [[nodiscard]] bool has() const {
+    return first<T>() != nullptr;
+  }
+
+  /// All migration orders, in decision order.
+  [[nodiscard]] std::vector<UserMigration> migrations() const {
+    std::vector<UserMigration> orders;
+    for (const Action& action : actions) {
+      if (const auto* m = std::get_if<UserMigration>(&action)) orders.push_back(*m);
+    }
+    return orders;
+  }
+
   [[nodiscard]] bool structural() const {
-    return addReplica || substituteServer.has_value() || removeServer.has_value();
+    return has<ReplicationEnactment>() || has<ResourceSubstitution>() || has<ResourceRemoval>();
+  }
+
+  /// The audit-log action label: the first structural action's name, else
+  /// "zone_handoff" / "migrate_only" when only balancing actions were taken,
+  /// else "none". Matches the pre-Action audit vocabulary exactly.
+  [[nodiscard]] const char* primaryActionName() const {
+    for (const Action& action : actions) {
+      if (!std::holds_alternative<UserMigration>(action) &&
+          !std::holds_alternative<ZoneHandoff>(action)) {
+        return actionName(action);
+      }
+    }
+    if (has<ZoneHandoff>()) return "zone_handoff";
+    if (has<UserMigration>()) return "migrate_only";
+    return "none";
   }
 };
 
@@ -64,6 +93,11 @@ struct ZoneView {
   /// Replicas already leased but still starting up.
   std::size_t pendingStarts{0};
   std::size_t npcs{0};
+  /// Edge-adjacent zones in a sharded world (empty for single-zone worlds).
+  std::vector<ZoneId> neighbors;
+  /// Cross-zone border shadows mirrored on this zone's replicas, summed over
+  /// the replicas (each replica holds its own copy of the border band).
+  std::size_t borderShadows{0};
 
   [[nodiscard]] std::size_t totalUsers() const {
     std::size_t total = 0;
@@ -96,11 +130,26 @@ struct ZoneView {
   }
 };
 
+/// Cross-zone view for the balance() pass of a sharded world: the per-zone
+/// views of one control period, in managed-zone order.
+struct WorldView {
+  SimTime now{};
+  std::vector<ZoneView> zones;
+};
+
 class Strategy {
  public:
   virtual ~Strategy() = default;
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Per-zone decision (replication, substitution, removal, migrations).
   virtual Decision decide(const ZoneView& view) = 0;
+  /// Cross-zone decision of a sharded world, taken once per control period
+  /// after the per-zone pass; ZoneHandoff is the expected action kind.
+  /// Default: no cross-zone balancing.
+  virtual Decision balance(const WorldView& world) {
+    (void)world;
+    return {};
+  }
 };
 
 }  // namespace roia::rms

@@ -66,36 +66,19 @@ class Application {
   /// Advances one NPC (phase kNpc).
   virtual void updateNpc(World& world, EntityRecord& npc, CostMeter& meter, Rng& rng) = 0;
 
-  /// Computes the set of entities visible to `viewer` (phase kAoi).
-  virtual std::vector<EntityId> computeAreaOfInterest(const World& world,
-                                                      const EntityRecord& viewer,
-                                                      CostMeter& meter) = 0;
-
-  /// Out-parameter variant of computeAreaOfInterest with identical results
-  /// and charged cost. The server calls this overload with a per-tick
-  /// scratch vector; applications override it to skip the per-call
-  /// allocation. Default: delegate to the value-returning version.
+  /// Computes the set of entities visible to `viewer` (phase kAoi), written
+  /// into `out` (cleared first). The server calls this with a per-tick
+  /// scratch vector, so implementations are allocation-free on the steady
+  /// path.
   virtual void computeAreaOfInterest(const World& world, const EntityRecord& viewer,
-                                     CostMeter& meter, std::vector<EntityId>& out) {
-    out = computeAreaOfInterest(world, viewer, meter);
-  }
+                                     CostMeter& meter, std::vector<EntityId>& out) = 0;
 
-  /// Encodes the filtered state update for `viewer` (phase kSu). The
-  /// substrate additionally charges generic serialization cost per byte of
-  /// the returned payload.
-  virtual std::vector<std::uint8_t> buildStateUpdate(const World& world,
-                                                     const EntityRecord& viewer,
-                                                     std::span<const EntityId> visible,
-                                                     CostMeter& meter) = 0;
-
-  /// Out-parameter variant of buildStateUpdate with identical bytes and
-  /// charged cost, reusing `out`'s capacity. Default: delegate to the
-  /// value-returning version.
+  /// Encodes the filtered state update for `viewer` (phase kSu) into `out`
+  /// (cleared first), reusing its capacity. The substrate additionally
+  /// charges generic serialization cost per byte of the payload.
   virtual void buildStateUpdate(const World& world, const EntityRecord& viewer,
                                 std::span<const EntityId> visible, CostMeter& meter,
-                                std::vector<std::uint8_t>& out) {
-    out = buildStateUpdate(world, viewer, visible, meter);
-  }
+                                std::vector<std::uint8_t>& out) = 0;
 
   /// Application state attached to a migrating user (phase kMigIni).
   virtual std::vector<std::uint8_t> exportUserState(const EntityRecord& avatar,

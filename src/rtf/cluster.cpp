@@ -36,6 +36,25 @@ ZoneId Cluster::createInstance(ZoneId original) {
   return instance.id;
 }
 
+std::vector<ZoneId> Cluster::createZoneGrid(Vec2 origin, Vec2 extent, std::size_t cols,
+                                            std::size_t rows, const std::string& namePrefix) {
+  if (cols == 0 || rows == 0) throw std::invalid_argument("createZoneGrid: empty grid");
+  const Vec2 cell{extent.x / static_cast<double>(cols), extent.y / static_cast<double>(rows)};
+  std::vector<ZoneId> ids;
+  ids.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const Vec2 zoneOrigin{origin.x + static_cast<double>(c) * cell.x,
+                            origin.y + static_cast<double>(r) * cell.y};
+      ids.push_back(createZone(
+          namePrefix + "-" + std::to_string(c) + "x" + std::to_string(r), zoneOrigin, cell));
+    }
+  }
+  sharding_ = true;
+  refreshSharding();
+  return ids;
+}
+
 ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
   if (!zones_.hasZone(zone)) throw std::invalid_argument("addServer: unknown zone");
   const ServerId id{nextServerId_++};
@@ -56,6 +75,21 @@ ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
     it->second->setServer(to, serverIt->second->node());
     clientServer_[client] = to;
   });
+  server->setZoneHandoffCompleteFn(
+      [this](ClientId client, ServerId from, ServerId to, ZoneId toZone) {
+        (void)from;
+        (void)toZone;
+        auto it = clients_.find(client);
+        if (it == clients_.end()) return;
+        auto serverIt = servers_.find(to);
+        if (serverIt == servers_.end()) return;
+        it->second->setServer(to, serverIt->second->node());
+        clientServer_[client] = to;
+      });
+  server->setHandoffAdmission([this](ServerId source) {
+    auto it = servers_.find(source);
+    return it != servers_.end() && !it->second->crashed();
+  });
   if (collector_ != nullptr) {
     server->setMonitoringTarget(collector_->node());
   }
@@ -64,6 +98,7 @@ ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
   servers_.emplace(id, std::move(server));
   zones_.addReplica(zone, id);
   refreshPeers(zone);
+  refreshSharding();
   return id;
 }
 
@@ -106,6 +141,7 @@ void Cluster::removeServer(ServerId id) {
   victim.shutdown();
   servers_.erase(it);
   refreshPeers(zone);
+  refreshSharding();
   if (collector_ != nullptr) collector_->forget(id);
 }
 
@@ -188,36 +224,27 @@ bool Cluster::migrateClient(ClientId client, ServerId target) {
 bool Cluster::travelClient(ClientId client, ZoneId targetZone) {
   auto clientIt = clients_.find(client);
   if (clientIt == clients_.end() || !zones_.hasZone(targetZone)) return false;
-  const std::vector<ServerId> replicas = zones_.replicas(targetZone);
-  if (replicas.empty()) return false;
 
-  // Leave the old zone: retire the avatar everywhere via the disconnect
-  // path (peers learn through the next replica sync).
-  const ServerId sourceId = clientServer_.at(client);
-  auto sourceIt = servers_.find(sourceId);
-  if (sourceIt != servers_.end()) {
-    if (sourceIt->second->zone() == targetZone) return false;  // already there
-    sourceIt->second->disconnectUser(client);
-  }
-
-  // Join the least-populated replica of the target zone with a new avatar.
-  ServerId best = replicas.front();
+  // Least-populated live replica of the target zone adopts the user.
+  ServerId best{};
   std::size_t bestUsers = std::numeric_limits<std::size_t>::max();
-  for (const ServerId id : replicas) {
-    const std::size_t users = servers_.at(id)->connectedUsers();
+  for (const ServerId id : zones_.replicas(targetZone)) {
+    const Server& candidate = *servers_.at(id);
+    if (candidate.crashed()) continue;
+    const std::size_t users = candidate.connectedUsers();
     if (users < bestUsers) {
       bestUsers = users;
       best = id;
     }
   }
-  Server& destination = *servers_.at(best);
-  const EntityId entityId{nextEntityId_++};
-  ClientEndpoint& endpoint = *clientIt->second;
-  endpoint.setAvatar(entityId);
-  endpoint.setServer(best, destination.node());
-  destination.spawnUser(client, entityId, endpoint.node(), randomSpawn(zones_.zone(targetZone)));
-  clientServer_[client] = best;
-  return true;
+  if (!best.valid()) return false;
+
+  const ServerId sourceId = clientServer_.at(client);
+  auto sourceIt = servers_.find(sourceId);
+  if (sourceIt == servers_.end()) return false;
+  if (sourceIt->second->zone() == targetZone) return false;  // already there
+  return sourceIt->second->requestZoneHandoff(client, best, servers_.at(best)->node(),
+                                              targetZone);
 }
 
 void Cluster::spawnNpcs(ZoneId zone, std::size_t count) {
@@ -291,25 +318,35 @@ Cluster::RecoveryReport Cluster::recoverCrashedServer(ServerId id) {
   }
 
   // Excise the dead replica before re-homing so survivors neither pick it as
-  // a peer nor keep hand-overs to it pending.
+  // a peer nor keep hand-overs to it pending. Cross-zone handoffs may target
+  // any zone, so every remaining server aborts hand-overs to the dead one.
   zones_.removeReplica(zone, id);
   servers_.erase(it);
   refreshPeers(zone);
+  refreshSharding();
   const std::vector<ServerId> survivors = zones_.replicas(zone);
-  for (const ServerId sid : survivors) {
-    servers_.at(sid)->cancelMigrationsTo(id);
+  for (auto& [sid, remaining] : servers_) {
+    remaining->cancelMigrationsTo(id);
   }
 
   for (const ClientId client : orphans) {
     ClientEndpoint& endpoint = *clients_.at(client);
-    // A migration target may have adopted the session right around the
-    // crash; then the ack just never made it back. Prefer that server: it
-    // already runs the avatar.
+    // A migration or handoff target may have adopted the session right
+    // around the crash; then the ack just never made it back. Prefer that
+    // server — in any zone — it already runs the avatar.
     ServerId home{};
-    for (const ServerId sid : survivors) {
-      if (servers_.at(sid)->hasClient(client)) {
+    for (const auto& [sid, candidate] : servers_) {
+      if (!candidate->crashed() && candidate->hasClient(client)) {
         home = sid;
         break;
+      }
+    }
+    if (home.valid() && servers_.at(home)->zone() != zone) {
+      // Adopted across a zone border: the old zone's replicas still hold
+      // stale shadows of the departed avatar (the dead source never lived
+      // to announce the departure). Retire them.
+      for (const ServerId sid : survivors) {
+        servers_.at(sid)->world().remove(endpoint.avatar());
       }
     }
     if (!home.valid()) {
@@ -359,6 +396,47 @@ void Cluster::refreshPeers(ZoneId zone) {
   }
   for (const ServerId id : replicas) {
     servers_.at(id)->setPeers(peers);
+  }
+}
+
+void Cluster::refreshSharding() {
+  if (!sharding_) return;
+  for (auto& [sid, server] : servers_) {
+    const ZoneDescriptor& desc = zones_.zone(server->zone());
+    if (desc.instanceOf.valid()) continue;  // instances live outside the grid
+    server->setZoneBounds(desc.origin, desc.extent);
+    // The resolver plays the role of RTF's zone directory service: given a
+    // position, name the owning zone and a live replica there to adopt the
+    // user. Evaluated inside ticks — everything it reads is simulated state.
+    server->setHandoffResolver([this](Vec2 position) -> std::optional<HandoffTarget> {
+      const ZoneId zone = zones_.zoneAt(position);
+      if (!zone.valid()) return std::nullopt;
+      ServerId best{};
+      std::size_t bestUsers = std::numeric_limits<std::size_t>::max();
+      for (const ServerId rid : zones_.replicas(zone)) {
+        auto rit = servers_.find(rid);
+        if (rit == servers_.end() || rit->second->crashed()) continue;
+        const std::size_t users = rit->second->connectedUsers();
+        if (users < bestUsers) {
+          bestUsers = users;
+          best = rid;
+        }
+      }
+      if (!best.valid()) return std::nullopt;
+      return HandoffTarget{zone, best, servers_.at(best)->node()};
+    });
+    std::vector<ZoneNeighbor> neighbors;
+    for (const ZoneId nz : zones_.neighbors(server->zone())) {
+      const ZoneDescriptor& nd = zones_.zone(nz);
+      ZoneNeighbor neighbor{nz, nd.origin, nd.extent, {}};
+      for (const ServerId rid : zones_.replicas(nz)) {
+        auto rit = servers_.find(rid);
+        if (rit == servers_.end() || rit->second->crashed()) continue;
+        neighbor.servers.emplace_back(rid, rit->second->node());
+      }
+      neighbors.push_back(std::move(neighbor));
+    }
+    server->setNeighborZones(std::move(neighbors));
   }
 }
 

@@ -54,6 +54,17 @@ class Cluster {
   /// Creates an instance (independent copy) of an existing zone.
   ZoneId createInstance(ZoneId original);
 
+  /// Partitions the rectangle [origin, origin + extent) into a cols x rows
+  /// grid of zones (row-major ids) and enables zone sharding: every server
+  /// gets a position -> zone resolver (automatic handoff when an avatar
+  /// crosses a zone border) and a neighbor table for cross-zone border
+  /// shadows (serverTemplate.borderWidth controls the band; 0 disables).
+  std::vector<ZoneId> createZoneGrid(Vec2 origin, Vec2 extent, std::size_t cols,
+                                     std::size_t rows, const std::string& namePrefix = "zone");
+
+  /// Whether createZoneGrid enabled sharded-world wiring.
+  [[nodiscard]] bool sharded() const { return sharding_; }
+
   /// Starts a new application server replicating `zone`. `speedFactor` is
   /// relative to the template's baseline speed; > 1 models a more powerful
   /// resource (used by resource substitution).
@@ -87,10 +98,13 @@ class Cluster {
   bool migrateClient(ClientId client, ServerId target);
 
   /// Cross-zone travel (zoning): hands the user over to the least-populated
-  /// replica of `targetZone`. The avatar leaves its old zone entirely (a new
-  /// entity is spawned in the target zone); the client endpoint and its
-  /// input stream are preserved. Returns false when the client is unknown
-  /// or the target zone has no servers.
+  /// live replica of `targetZone` via the deterministic zone-handoff
+  /// protocol — the entity (identity, position, health, application state)
+  /// is serialized over the reliable control plane and adopted by the
+  /// target; the client endpoint re-homes when the adoption ack returns.
+  /// Asynchronous: completes within a few ticks. Returns false when the
+  /// client is unknown, already in hand-over, or the target zone has no
+  /// live servers.
   bool travelClient(ClientId client, ZoneId targetZone);
 
   /// Spawns `count` NPCs in the zone, distributed equally over its replicas.
@@ -153,6 +167,9 @@ class Cluster {
 
  private:
   void refreshPeers(ZoneId zone);
+  /// Rebuilds handoff resolvers, zone bounds and neighbor tables on every
+  /// server; no-op unless createZoneGrid enabled sharding.
+  void refreshSharding();
   Vec2 randomSpawn(const ZoneDescriptor& zone);
 
   Application& app_;
@@ -173,6 +190,7 @@ class Cluster {
   std::uint64_t nextClientId_{1};
   std::uint64_t nextEntityId_{1};
   std::uint64_t nextZoneId_{1};
+  bool sharding_{false};
 };
 
 }  // namespace roia::rtf

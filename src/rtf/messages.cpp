@@ -170,6 +170,80 @@ MigrationAckMsg decodeMigrationAck(const ser::Frame& frame) {
   return msg;
 }
 
+ser::Frame encode(const ZoneHandoffMsg& msg) {
+  ser::ByteWriter writer(64 + msg.appState.size());
+  writer.writeVarU64(msg.client.value);
+  writer.writeVarU64(msg.clientNode.value);
+  writer.writeVarU64(msg.fromZone.value);
+  writer.writeVarU64(msg.toZone.value);
+  writeSnapshot(writer, msg.entity);
+  writer.writeBytes(msg.appState);
+  writer.writeVarU64(msg.source.value);
+  writer.writeVarU64(msg.sourceNode.value);
+  return makeFrame(ser::MessageType::kZoneHandoff, std::move(writer));
+}
+
+ZoneHandoffMsg decodeZoneHandoff(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kZoneHandoff);
+  ser::ByteReader reader(frame.payload);
+  ZoneHandoffMsg msg;
+  msg.client = ClientId{reader.readVarU64()};
+  msg.clientNode = NodeId{reader.readVarU64()};
+  msg.fromZone = ZoneId{reader.readVarU64()};
+  msg.toZone = ZoneId{reader.readVarU64()};
+  msg.entity = readSnapshot(reader);
+  msg.appState = reader.readBytes();
+  msg.source = ServerId{reader.readVarU64()};
+  msg.sourceNode = NodeId{reader.readVarU64()};
+  return msg;
+}
+
+ser::Frame encode(const ZoneHandoffAckMsg& msg) {
+  ser::ByteWriter writer(32);
+  writer.writeVarU64(msg.client.value);
+  writer.writeVarU64(msg.entity.value);
+  writer.writeVarU64(msg.newOwner.value);
+  writer.writeVarU64(msg.newZone.value);
+  writer.writeVarU64(msg.version);
+  return makeFrame(ser::MessageType::kZoneHandoffAck, std::move(writer));
+}
+
+ZoneHandoffAckMsg decodeZoneHandoffAck(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kZoneHandoffAck);
+  ser::ByteReader reader(frame.payload);
+  ZoneHandoffAckMsg msg;
+  msg.client = ClientId{reader.readVarU64()};
+  msg.entity = EntityId{reader.readVarU64()};
+  msg.newOwner = ServerId{reader.readVarU64()};
+  msg.newZone = ZoneId{reader.readVarU64()};
+  msg.version = reader.readVarU64();
+  return msg;
+}
+
+ser::Frame encode(const BorderSyncMsg& msg) {
+  ser::ByteWriter writer(16 + msg.entities.size() * 32);
+  writer.writeVarU64(msg.serverTick);
+  writer.writeVarU64(msg.zone.value);
+  writer.writeVarU64(msg.source.value);
+  writer.writeVarU64(msg.entities.size());
+  for (const auto& snapshot : msg.entities) writeSnapshot(writer, snapshot);
+  return makeFrame(ser::MessageType::kBorderSync, std::move(writer));
+}
+
+BorderSyncMsg decodeBorderSync(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kBorderSync);
+  ser::ByteReader reader(frame.payload);
+  BorderSyncMsg msg;
+  msg.serverTick = reader.readVarU64();
+  msg.zone = ZoneId{reader.readVarU64()};
+  msg.source = ServerId{reader.readVarU64()};
+  const std::uint64_t count = reader.readVarU64();
+  if (count > reader.remaining()) throw ser::DecodeError("implausible entity count");
+  msg.entities.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) msg.entities.push_back(readSnapshot(reader));
+  return msg;
+}
+
 ser::Frame encode(const HeartbeatMsg& msg) {
   ser::ByteWriter writer(24);
   writer.writeVarU64(msg.server.value);

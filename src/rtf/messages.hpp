@@ -63,6 +63,47 @@ struct MigrationAckMsg {
   ServerId newOwner;
 };
 
+/// Server -> server: cross-zone user hand-over. Unlike MigrationDataMsg the
+/// target is in a *different* zone (so source and target are not replica
+/// peers); the entity leaves the source zone entirely and the ack travels
+/// back to `sourceNode` directly.
+struct ZoneHandoffMsg {
+  ClientId client;
+  NodeId clientNode;
+  ZoneId fromZone;
+  ZoneId toZone;
+  EntitySnapshot entity;
+  std::vector<std::uint8_t> appState;  // application-defined encoding
+  ServerId source;
+  NodeId sourceNode;
+};
+
+/// Server -> server: cross-zone adoption confirmed; the source retires the
+/// entity from its zone (and tells its replica peers to drop their shadows).
+struct ZoneHandoffAckMsg {
+  ClientId client;
+  EntityId entity;
+  ServerId newOwner;
+  ZoneId newZone;
+  /// Echo of the signed-over entity version. The source retires its copy
+  /// only when this matches its record, so an ack of a superseded
+  /// hand-over (fast ping-pong between two zones) can never release an
+  /// entity nobody adopted.
+  std::uint64_t version{0};
+};
+
+/// Server -> server: state of own-zone entities inside a neighboring zone's
+/// border band, so servers of the neighbor can maintain cross-zone AOI
+/// shadows. Best-effort (raw frames): versions + TTL expiry make loss,
+/// duplication and reordering harmless.
+struct BorderSyncMsg {
+  std::uint64_t serverTick{0};
+  /// Home zone of the carried entities (the sender's zone).
+  ZoneId zone;
+  ServerId source;
+  std::vector<EntitySnapshot> entities;
+};
+
 /// Server -> manager: lightweight liveness beacon, sent best-effort (no
 /// reliable wrapping — a retransmitted heartbeat would defeat its purpose).
 /// The failure detector declares a server dead after enough missed beats.
@@ -85,6 +126,9 @@ struct HeartbeatMsg {
 [[nodiscard]] ser::Frame encode(const EntityReplicationMsg& msg);
 [[nodiscard]] ser::Frame encode(const MigrationDataMsg& msg);
 [[nodiscard]] ser::Frame encode(const MigrationAckMsg& msg);
+[[nodiscard]] ser::Frame encode(const ZoneHandoffMsg& msg);
+[[nodiscard]] ser::Frame encode(const ZoneHandoffAckMsg& msg);
+[[nodiscard]] ser::Frame encode(const BorderSyncMsg& msg);
 [[nodiscard]] ser::Frame encode(const HeartbeatMsg& msg);
 
 [[nodiscard]] ClientInputMsg decodeClientInput(const ser::Frame& frame);
@@ -93,6 +137,9 @@ struct HeartbeatMsg {
 [[nodiscard]] EntityReplicationMsg decodeEntityReplication(const ser::Frame& frame);
 [[nodiscard]] MigrationDataMsg decodeMigrationData(const ser::Frame& frame);
 [[nodiscard]] MigrationAckMsg decodeMigrationAck(const ser::Frame& frame);
+[[nodiscard]] ZoneHandoffMsg decodeZoneHandoff(const ser::Frame& frame);
+[[nodiscard]] ZoneHandoffAckMsg decodeZoneHandoffAck(const ser::Frame& frame);
+[[nodiscard]] BorderSyncMsg decodeBorderSync(const ser::Frame& frame);
 [[nodiscard]] HeartbeatMsg decodeHeartbeat(const ser::Frame& frame);
 
 /// Snapshot codec shared by replication and migration payloads.

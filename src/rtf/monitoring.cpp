@@ -24,6 +24,9 @@ ser::Frame encodeMonitoring(const MonitoringSnapshot& snapshot) {
   writer.writeVarU64(snapshot.ticksObserved);
   writer.writeVarU64(snapshot.migrationsInitiated);
   writer.writeVarU64(snapshot.migrationsReceived);
+  writer.writeVarU64(snapshot.borderShadows);
+  writer.writeVarU64(snapshot.handoffsInitiated);
+  writer.writeVarU64(snapshot.handoffsReceived);
   ser::Frame frame;
   frame.type = ser::MessageType::kMonitoring;
   frame.payload = std::move(writer).take();
@@ -50,6 +53,9 @@ MonitoringSnapshot decodeMonitoring(const ser::Frame& frame) {
   snapshot.ticksObserved = reader.readVarU64();
   snapshot.migrationsInitiated = reader.readVarU64();
   snapshot.migrationsReceived = reader.readVarU64();
+  snapshot.borderShadows = reader.readVarU64();
+  snapshot.handoffsInitiated = reader.readVarU64();
+  snapshot.handoffsReceived = reader.readVarU64();
   return snapshot;
 }
 

@@ -44,6 +44,11 @@ struct MonitoringSnapshot {
   std::uint64_t ticksObserved{0};
   std::uint64_t migrationsInitiated{0};
   std::uint64_t migrationsReceived{0};
+
+  /// Cross-zone AOI shadows currently mirrored at the zone border.
+  std::size_t borderShadows{0};
+  std::uint64_t handoffsInitiated{0};
+  std::uint64_t handoffsReceived{0};
 };
 
 /// Wire codec for monitoring snapshots (ser::MessageType::kMonitoring).

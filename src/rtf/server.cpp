@@ -100,8 +100,27 @@ bool Server::requestMigration(ClientId client, ServerId target, NodeId targetNod
   auto it = clients_.find(client);
   if (it == clients_.end() || it->second.migrating) return false;
   it->second.migrating = true;
-  migrationQueue_.push_back(PendingMigration{client, target, targetNode});
+  migrationQueue_.push_back(PendingMigration{client, target, targetNode, ZoneId{}});
   return true;
+}
+
+bool Server::requestZoneHandoff(ClientId client, ServerId target, NodeId targetNode,
+                                ZoneId targetZone) {
+  auto it = clients_.find(client);
+  if (it == clients_.end() || it->second.migrating) return false;
+  it->second.migrating = true;
+  migrationQueue_.push_back(PendingMigration{client, target, targetNode, targetZone});
+  return true;
+}
+
+void Server::setNeighborZones(std::vector<ZoneNeighbor> neighbors) {
+  neighbors_ = std::move(neighbors);
+}
+
+void Server::setZoneBounds(Vec2 origin, Vec2 extent) {
+  hasZoneBounds_ = true;
+  zoneOrigin_ = origin;
+  zoneExtent_ = extent;
 }
 
 void Server::cancelMigrationsTo(ServerId deadTarget) {
@@ -250,6 +269,15 @@ void Server::dispatchFrame(NodeId from, const ser::Frame& frame) {
     case ser::MessageType::kMigrationAck:
       inMigrationAcks_.push_back(decodeMigrationAck(frame));
       break;
+    case ser::MessageType::kZoneHandoff:
+      inZoneHandoffs_.push_back({decodeZoneHandoff(frame), bytes, from});
+      break;
+    case ser::MessageType::kZoneHandoffAck:
+      inZoneHandoffAcks_.push_back(decodeZoneHandoffAck(frame));
+      break;
+    case ser::MessageType::kBorderSync:
+      inBorderSync_.push_back({decodeBorderSync(frame), bytes, from});
+      break;
     default:
       ROIA_LOG(LogLevel::kWarn, "rtf.server", "unhandled frame type "
                                                    << static_cast<int>(frame.type));
@@ -268,13 +296,18 @@ void Server::tick() {
   app_.onTickBegin(world_, meter_);
 
   processMigrationArrivals();
+  processZoneHandoffArrivals();
   processReplication();
+  processBorderSync();
+  expireBorderShadows();
   processForwardedInputs();
   processClientInputs();
   updateNpcs();
   flushForwarded();  // interactions emitted by any phase above
   sendStateUpdates();
   sendReplicaSync();
+  sendBorderSync();
+  detectZoneExits();
   initiateMigrations();
   processMigrationAcks();
 
@@ -371,6 +404,74 @@ void Server::processMigrationArrivals() {
   }
 }
 
+void Server::processZoneHandoffArrivals() {
+  PhaseScope scope(meter_, Phase::kMigRcv);
+  while (!inZoneHandoffs_.empty()) {
+    auto [msg, bytes, from] = std::move(inZoneHandoffs_.front());
+    (void)from;
+    inZoneHandoffs_.pop_front();
+    // Only the destination zone may adopt; anything else is a routing bug
+    // or a frame that outlived a topology change.
+    if (msg.toZone != world_.zone()) continue;
+    // Refuse hand-overs whose source has crashed: recovery will re-home the
+    // user in its original zone, and adopting here too would duplicate it.
+    if (handoffAdmission_ && !handoffAdmission_(msg.source)) continue;
+    meter_.charge(config_.migRcvBaseCost +
+                  config_.migRcvPerEntityCost * static_cast<double>(world_.size()) +
+                  config_.migRcvPerByteCost * static_cast<double>(bytes));
+    const auto ackTo = [&](const ZoneHandoffAckMsg& ack) {
+      if (msg.sourceNode.valid()) reliable_->send(msg.sourceNode, encode(ack));
+    };
+    auto existing = clients_.find(msg.client);
+    if (existing != clients_.end()) {
+      const EntityRecord* current = world_.find(existing->second.entity);
+      if (current != nullptr && msg.entity.version <= current->version) {
+        // Stale or duplicate delivery (redelivery after a lost ack): we
+        // already hold a newer incarnation; re-acknowledge so the sender
+        // retires its copy, but adopt nothing. Echoing the message's own
+        // version keeps the re-ack inert at any sender that moved on.
+        ackTo(ZoneHandoffAckMsg{msg.client, existing->second.entity, id_, world_.zone(),
+                                msg.entity.version});
+        continue;
+      }
+      // Otherwise this hand-over supersedes ours: the peer adopted the
+      // entity we signed over and is already handing it back (fast
+      // ping-pong across the border). Adopt it below — the overwrite
+      // refreshes record and session, and the stale ack of our own
+      // outbound sign-over is ignored by the version guard in
+      // processMigrationAcks.
+    }
+    EntityRecord record;
+    record.id = msg.entity.id;
+    msg.entity.applyTo(record);
+    record.zone = world_.zone();
+    record.owner = id_;
+    record.version += 1;
+    if (hasZoneBounds_) {
+      // RMS-driven rebalancing hands off users whose position is still in
+      // the old zone; pull them inside so they are not bounced back.
+      const double insetX = zoneExtent_.x * 1e-6;
+      const double insetY = zoneExtent_.y * 1e-6;
+      record.position.x =
+          std::clamp(record.position.x, zoneOrigin_.x, zoneOrigin_.x + zoneExtent_.x - insetX);
+      record.position.y =
+          std::clamp(record.position.y, zoneOrigin_.y, zoneOrigin_.y + zoneExtent_.y - insetY);
+    }
+    // Replaces any border shadow of the same entity.
+    borderSeen_.erase(record.id);
+    EntityRecord& stored = world_.upsert(record);
+    app_.importUserState(stored, msg.appState, meter_);
+    clients_[msg.client] = ClientSession{msg.clientNode, msg.entity.id, false};
+    ++tickMigrationsReceived_;
+    ++handoffsReceivedTotal_;
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.flowFinish(traceTrack_, sim_.now(), obs::migrationFlowId(msg.client),
+                                    "zone-handoff", "migration");
+    }
+    ackTo(ZoneHandoffAckMsg{msg.client, msg.entity.id, id_, world_.zone(), msg.entity.version});
+  }
+}
+
 void Server::processReplication() {
   while (!inReplication_.empty()) {
     auto [msg, bytes, from] = std::move(inReplication_.front());
@@ -389,6 +490,12 @@ void Server::processReplication() {
       if (existing != nullptr) {
         if (snapshot.version <= existing->version) continue;  // out of date
         snapshot.applyTo(*existing);
+        if (existing->zone != world_.zone()) {
+          // A border shadow just handed off into this zone: a replica peer
+          // owns it now, so it becomes a regular same-zone shadow.
+          existing->zone = world_.zone();
+          borderSeen_.erase(existing->id);
+        }
         meter_.charge(config_.shadowApplyCost);
         app_.onShadowUpdated(world_, *existing, meter_);
       } else {
@@ -407,6 +514,60 @@ void Server::processReplication() {
         world_.remove(removed);
       }
     }
+  }
+}
+
+void Server::processBorderSync() {
+  while (!inBorderSync_.empty()) {
+    auto [msg, bytes, from] = std::move(inBorderSync_.front());
+    (void)from;
+    inBorderSync_.pop_front();
+    if (msg.zone == world_.zone()) continue;  // misrouted: our own zone
+    meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
+                                        config_.peerDserPerByteCost * static_cast<double>(bytes));
+    PhaseScope scope(meter_, Phase::kFa);
+    for (const EntitySnapshot& snapshot : msg.entities) {
+      if (snapshot.owner == id_) continue;
+      EntityRecord* existing = world_.find(snapshot.id);
+      if (existing != nullptr) {
+        if (existing->zone == world_.zone()) continue;  // ours or same-zone shadow
+        if (snapshot.version > existing->version) {
+          snapshot.applyTo(*existing);
+          existing->zone = msg.zone;
+          meter_.charge(config_.shadowApplyCost);
+          app_.onShadowUpdated(world_, *existing, meter_);
+        }
+        // Any fresh word from the home zone refreshes the TTL, even a
+        // duplicate or reordered frame carrying an older version.
+        borderSeen_[snapshot.id] = sim_.now();
+      } else {
+        EntityRecord record;
+        record.id = snapshot.id;
+        snapshot.applyTo(record);
+        record.zone = msg.zone;  // homed in the neighbor zone
+        EntityRecord& stored = world_.upsert(record);
+        meter_.charge(config_.shadowApplyCost);
+        app_.onShadowUpdated(world_, stored, meter_);
+        borderSeen_[snapshot.id] = sim_.now();
+      }
+    }
+  }
+}
+
+void Server::expireBorderShadows() {
+  if (borderSeen_.empty()) return;
+  for (auto it = borderSeen_.begin(); it != borderSeen_.end();) {
+    EntityRecord* record = world_.find(it->first);
+    if (record == nullptr || record->zone == world_.zone() || record->owner == id_) {
+      it = borderSeen_.erase(it);  // adopted, handed off here, or gone
+      continue;
+    }
+    if (sim_.now() - it->second > config_.borderShadowTtl) {
+      world_.remove(it->first);
+      it = borderSeen_.erase(it);
+      continue;
+    }
+    ++it;
   }
 }
 
@@ -515,6 +676,59 @@ void Server::sendReplicaSync() {
   }
 }
 
+void Server::sendBorderSync() {
+  if (neighbors_.empty() || config_.borderWidth <= 0.0) return;
+  for (const ZoneNeighbor& neighbor : neighbors_) {
+    if (neighbor.servers.empty()) continue;
+    // Own-zone active entities inside the neighbor's rectangle inflated by
+    // the border width: what avatars just across the border could see.
+    const double loX = neighbor.origin.x - config_.borderWidth;
+    const double hiX = neighbor.origin.x + neighbor.extent.x + config_.borderWidth;
+    const double loY = neighbor.origin.y - config_.borderWidth;
+    const double hiY = neighbor.origin.y + neighbor.extent.y + config_.borderWidth;
+    borderScratch_.clear();
+    world_.forEach([&](const EntityRecord& e) {
+      if (e.owner != id_ || e.zone != world_.zone()) return;
+      if (e.position.x < loX || e.position.x >= hiX || e.position.y < loY ||
+          e.position.y >= hiY) {
+        return;
+      }
+      borderScratch_.push_back(EntitySnapshot::of(e));
+    });
+    if (borderScratch_.empty()) continue;
+    BorderSyncMsg msg;
+    msg.serverTick = tickSeq_;
+    msg.zone = world_.zone();
+    msg.source = id_;
+    msg.entities = borderScratch_;
+    const ser::Frame frame = encode(msg);
+    meter_.chargeTo(Phase::kSu,
+                    config_.borderSerBaseCost +
+                        config_.borderSerPerByteCost * static_cast<double>(frame.payload.size()));
+    // Best-effort raw frames: versions + TTL absorb loss and duplication,
+    // and reliable state per (server, neighbor-server) pair would dwarf the
+    // payload at scale.
+    for (const auto& [serverId, nodeId] : neighbor.servers) {
+      (void)serverId;
+      net_.send(node_, nodeId, frame);
+    }
+  }
+}
+
+void Server::detectZoneExits() {
+  if (!handoffResolver_) return;
+  for (auto& [clientId, session] : clients_) {
+    if (session.migrating) continue;
+    EntityRecord* avatar = world_.find(session.entity);
+    if (avatar == nullptr || avatar->owner != id_ || avatar->zone != world_.zone()) continue;
+    const auto target = handoffResolver_(avatar->position);
+    if (!target.has_value() || target->zone == world_.zone()) continue;
+    session.migrating = true;
+    migrationQueue_.push_back(
+        PendingMigration{clientId, target->server, target->node, target->zone});
+  }
+}
+
 void Server::initiateMigrations() {
   PhaseScope scope(meter_, Phase::kMigIni);
   while (!migrationQueue_.empty()) {
@@ -528,25 +742,41 @@ void Server::initiateMigrations() {
       continue;
     }
 
-    MigrationDataMsg msg;
-    msg.client = pending.client;
-    msg.clientNode = it->second.clientNode;
     avatar->version += 1;
     avatar->owner = pending.target;  // hand over responsibility
-    msg.entity = EntitySnapshot::of(*avatar);
-    msg.appState = app_.exportUserState(*avatar, meter_);
-    msg.source = id_;
 
-    const ser::Frame frame = encode(msg);
+    ser::Frame frame;
+    if (pending.targetZone.valid()) {
+      ZoneHandoffMsg msg;
+      msg.client = pending.client;
+      msg.clientNode = it->second.clientNode;
+      msg.fromZone = world_.zone();
+      msg.toZone = pending.targetZone;
+      msg.entity = EntitySnapshot::of(*avatar);
+      msg.appState = app_.exportUserState(*avatar, meter_);
+      msg.source = id_;
+      msg.sourceNode = node_;
+      frame = encode(msg);
+      ++handoffsInitiatedTotal_;
+    } else {
+      MigrationDataMsg msg;
+      msg.client = pending.client;
+      msg.clientNode = it->second.clientNode;
+      msg.entity = EntitySnapshot::of(*avatar);
+      msg.appState = app_.exportUserState(*avatar, meter_);
+      msg.source = id_;
+      frame = encode(msg);
+      ++migrationsInitiatedTotal_;
+    }
     meter_.charge(config_.migIniBaseCost +
                   config_.migIniPerEntityCost * static_cast<double>(world_.size()) +
                   config_.migIniPerByteCost * static_cast<double>(frame.payload.size()));
     reliable_->send(pending.targetNode, frame);
     ++tickMigrationsInitiated_;
-    ++migrationsInitiatedTotal_;
     if (telemetry_ != nullptr) {
       telemetry_->tracer.flowStart(traceTrack_, sim_.now(), obs::migrationFlowId(pending.client),
-                                   "migration", "migration");
+                                   pending.targetZone.valid() ? "zone-handoff" : "migration",
+                                   "migration");
     }
   }
 }
@@ -560,6 +790,29 @@ void Server::processMigrationAcks() {
     if (it == clients_.end()) continue;
     clients_.erase(it);
     if (onMigrationComplete_) onMigrationComplete_(ack.client, id_, ack.newOwner);
+  }
+  while (!inZoneHandoffAcks_.empty()) {
+    const ZoneHandoffAckMsg ack = inZoneHandoffAcks_.front();
+    inZoneHandoffAcks_.pop_front();
+    auto it = clients_.find(ack.client);
+    if (it == clients_.end()) continue;
+    // Only the ack matching the outstanding sign-over may release the
+    // entity: the session must be mid-handoff, signed over to the acking
+    // server, at the acked version. Anything else is the stale ack of a
+    // superseded hand-over (the entity ping-ponged back and we adopted a
+    // newer incarnation meanwhile) and must not retire it.
+    const EntityRecord* signedOver = world_.find(it->second.entity);
+    if (!it->second.migrating || signedOver == nullptr || signedOver->owner != ack.newOwner ||
+        signedOver->version != ack.version) {
+      continue;
+    }
+    // The entity left this zone for good: retire it locally and tell the
+    // same-zone peers to drop their shadows (the target's replica sync
+    // repopulates it in the destination zone).
+    world_.remove(it->second.entity);
+    departedEntities_.push_back(it->second.entity);
+    clients_.erase(it);
+    if (onZoneHandoffComplete_) onZoneHandoffComplete_(ack.client, id_, ack.newOwner, ack.newZone);
   }
 }
 
@@ -586,6 +839,9 @@ MonitoringSnapshot Server::monitoring() const {
   snapshot.ticksObserved = tickSeq_;
   snapshot.migrationsInitiated = migrationsInitiatedTotal_;
   snapshot.migrationsReceived = migrationsReceivedTotal_;
+  snapshot.borderShadows = census.borderShadows;
+  snapshot.handoffsInitiated = handoffsInitiatedTotal_;
+  snapshot.handoffsReceived = handoffsReceivedTotal_;
   monitoringWindow_.fill(snapshot);
   return snapshot;
 }

@@ -78,6 +78,16 @@ struct ServerConfig {
   double migRcvPerEntityCost{2.2};
   double migRcvPerByteCost{0.02};
 
+  // Cross-zone border synchronization (zone sharding). Entities of this
+  // zone within `borderWidth` of a neighboring zone are mirrored to that
+  // neighbor's servers as best-effort border shadows (raw frames; versions
+  // plus TTL expiry make loss/duplication harmless). 0 disables.
+  double borderWidth{0.0};
+  /// A border shadow not refreshed for this long is dropped.
+  SimDuration borderShadowTtl{SimDuration::milliseconds(250)};
+  double borderSerBaseCost{0.8};
+  double borderSerPerByteCost{0.012};
+
   sim::CpuCostModel::Config cpu{};
   SimDuration monitoringWindow{SimDuration::seconds(1)};
   /// Cadence of monitoring publication when a collector is attached.
@@ -91,12 +101,36 @@ struct ServerConfig {
   ReliableConfig reliable{};
 };
 
+/// One neighboring zone as seen by a server: geometry (for the border band)
+/// plus the servers currently replicating it (border-sync fan-out targets).
+struct ZoneNeighbor {
+  ZoneId zone;
+  Vec2 origin;
+  Vec2 extent;
+  std::vector<std::pair<ServerId, NodeId>> servers;
+};
+
+/// Where a position outside this server's zone should be handed off to:
+/// the owning zone plus one of its replicas, chosen by the cluster.
+struct HandoffTarget {
+  ZoneId zone;
+  ServerId server;
+  NodeId node;
+};
+
 class Server : public ForwardSink {
  public:
   /// Fired at the end of every tick with that tick's probes.
   using ProbeListener = std::function<void(const Server&, const TickProbes&)>;
   /// Fired on the *source* server when the target acknowledges adoption.
   using MigrationCompleteFn = std::function<void(ClientId client, ServerId from, ServerId to)>;
+  /// Fired on the *source* server when a cross-zone handoff completes.
+  using ZoneHandoffCompleteFn =
+      std::function<void(ClientId client, ServerId from, ServerId to, ZoneId toZone)>;
+  /// Maps a world position to the zone owning it (and a replica to adopt
+  /// there); nullopt when no zone covers the position. Provided by the
+  /// cluster; evaluated inside the tick, so it must be deterministic.
+  using HandoffResolver = std::function<std::optional<HandoffTarget>(Vec2 position)>;
 
   Server(ServerId id, ZoneId zone, Application& app, sim::Simulation& simulation,
          net::Network& network, ServerConfig config, Rng rng);
@@ -142,6 +176,35 @@ class Server : public ForwardSink {
   /// tick's migration phase. Returns false if the client is not active here
   /// or already migrating.
   bool requestMigration(ClientId client, ServerId target, NodeId targetNode);
+
+  /// Queues a cross-zone handoff of `client` to `target` in `targetZone`.
+  /// Same two-sided protocol as requestMigration, but the entity leaves the
+  /// source zone entirely once the target acknowledges adoption. Returns
+  /// false if the client is not active here or already in hand-over.
+  bool requestZoneHandoff(ClientId client, ServerId target, NodeId targetNode, ZoneId targetZone);
+
+  // --- zone sharding wiring (provided by the cluster) ---
+
+  /// Replaces the neighbor-zone table used for border sync.
+  void setNeighborZones(std::vector<ZoneNeighbor> neighbors);
+  /// Geometry of this server's own zone. Handoff arrivals whose entity
+  /// position lies outside (RMS-driven load-balancing moves) are clamped
+  /// into the rectangle so they are not immediately handed back.
+  void setZoneBounds(Vec2 origin, Vec2 extent);
+  /// Admission check for incoming handoffs: the cluster vetoes hand-overs
+  /// whose source has crashed (adopting those would race with recovery
+  /// re-homing the same user). Accept-all when unset.
+  void setHandoffAdmission(std::function<bool(ServerId source)> admission) {
+    handoffAdmission_ = std::move(admission);
+  }
+  /// Installs the position -> zone resolver; when set, avatars that move
+  /// beyond the zone rectangle are handed off to the owning zone
+  /// automatically at the next migration phase.
+  void setHandoffResolver(HandoffResolver resolver) { handoffResolver_ = std::move(resolver); }
+  void setZoneHandoffCompleteFn(ZoneHandoffCompleteFn fn) { onZoneHandoffComplete_ = std::move(fn); }
+
+  [[nodiscard]] std::uint64_t handoffsInitiated() const { return handoffsInitiatedTotal_; }
+  [[nodiscard]] std::uint64_t handoffsReceived() const { return handoffsReceivedTotal_; }
 
   // --- crash recovery (invoked by the cluster / management plane) ---
 
@@ -199,6 +262,8 @@ class Server : public ForwardSink {
     ClientId client;
     ServerId target;
     NodeId targetNode;
+    /// Invalid for same-zone migrations; the destination zone of a handoff.
+    ZoneId targetZone{};
   };
 
   void onFrame(NodeId from, const ser::Frame& frame);
@@ -207,13 +272,18 @@ class Server : public ForwardSink {
   void recordTickTelemetry(const TickProbes& probes);
 
   void processMigrationArrivals();
+  void processZoneHandoffArrivals();
   void processReplication();
+  void processBorderSync();
+  void expireBorderShadows();
   void processForwardedInputs();
   void processClientInputs();
   void flushForwarded();
   void updateNpcs();
   void sendStateUpdates();
   void sendReplicaSync();
+  void sendBorderSync();
+  void detectZoneExits();
   void initiateMigrations();
   void processMigrationAcks();
 
@@ -248,10 +318,26 @@ class Server : public ForwardSink {
   std::deque<Inbound<EntityReplicationMsg>> inReplication_;
   std::deque<Inbound<MigrationDataMsg>> inMigrationData_;
   std::deque<MigrationAckMsg> inMigrationAcks_;
+  std::deque<Inbound<ZoneHandoffMsg>> inZoneHandoffs_;
+  std::deque<ZoneHandoffAckMsg> inZoneHandoffAcks_;
+  std::deque<Inbound<BorderSyncMsg>> inBorderSync_;
 
   std::deque<PendingMigration> migrationQueue_;
   std::vector<ForwardedInputMsg> outForwarded_;
   std::vector<EntityId> departedEntities_;  // to announce in next sync
+
+  // --- zone sharding state ---
+  std::vector<ZoneNeighbor> neighbors_;
+  HandoffResolver handoffResolver_;
+  ZoneHandoffCompleteFn onZoneHandoffComplete_;
+  std::function<bool(ServerId)> handoffAdmission_;
+  bool hasZoneBounds_{false};
+  Vec2 zoneOrigin_;
+  Vec2 zoneExtent_;
+  /// Last refresh time per border shadow (std::map: deterministic expiry
+  /// order).
+  std::map<EntityId, SimTime> borderSeen_;
+  std::vector<EntitySnapshot> borderScratch_;
 
   // Per-tick scratch buffers for sendStateUpdates: the AOI result and the
   // encoded update are rebuilt per client, so their allocations are reused
@@ -265,6 +351,8 @@ class Server : public ForwardSink {
   std::uint64_t tickSeq_{0};
   std::uint64_t migrationsInitiatedTotal_{0};
   std::uint64_t migrationsReceivedTotal_{0};
+  std::uint64_t handoffsInitiatedTotal_{0};
+  std::uint64_t handoffsReceivedTotal_{0};
   // Per-tick counters, folded into TickProbes at the end of each tick.
   std::size_t tickMigrationsInitiated_{0};
   std::size_t tickMigrationsReceived_{0};

@@ -49,6 +49,12 @@ const EntityRecord* World::find(EntityId id) const {
 World::Census World::census(ServerId server) const {
   Census census;
   for (const EntityRecord& e : slots_) {
+    if (e.zone != zone_) {
+      // Border shadow from a neighboring zone (cross-zone AOI): mirrored
+      // state only, never active here and never a local population count.
+      ++census.borderShadows;
+      continue;
+    }
     if (e.isAvatar()) {
       ++census.totalAvatars;
       if (e.owner == server) ++census.activeAvatars;

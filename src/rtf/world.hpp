@@ -71,6 +71,9 @@ class World {
     std::size_t totalAvatars{0};
     std::size_t activeNpcs{0};  ///< NPCs owned by the queried server
     std::size_t totalNpcs{0};
+    /// Mirrored entities homed in a *different* zone (cross-zone AOI at the
+    /// border); excluded from the avatar/NPC population counts above.
+    std::size_t borderShadows{0};
 
     [[nodiscard]] std::size_t shadowAvatars() const { return totalAvatars - activeAvatars; }
   };

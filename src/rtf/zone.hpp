@@ -3,6 +3,8 @@
 // cooperatively (the paper's focus); instancing creates independent copies.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +58,40 @@ class ZoneDirectory {
     ids.reserve(zones_.size());
     for (const auto& [id, desc] : zones_) ids.push_back(id);
     return ids;
+  }
+
+  /// World zone (not an instance) whose rectangle contains `p`; invalid id
+  /// when no zone covers the point. Ties are impossible: world zones are
+  /// disjoint half-open rectangles.
+  [[nodiscard]] ZoneId zoneAt(Vec2 p) const {
+    for (const auto& [id, desc] : zones_) {
+      if (desc.instanceOf.valid()) continue;
+      if (desc.contains(p)) return id;
+    }
+    return ZoneId{};
+  }
+
+  /// Edge-adjacent world zones of `zone` (shared border segment of nonzero
+  /// length; corner contact does not count), ascending id — deterministic
+  /// regardless of map iteration order.
+  [[nodiscard]] std::vector<ZoneId> neighbors(ZoneId zone) const {
+    auto it = zones_.find(zone);
+    if (it == zones_.end() || it->second.instanceOf.valid()) return {};
+    const ZoneDescriptor& a = it->second;
+    constexpr double kEps = 1e-9;
+    std::vector<ZoneId> out;
+    for (const auto& [id, b] : zones_) {
+      if (id == zone || b.instanceOf.valid()) continue;
+      const double overlapX = std::min(a.origin.x + a.extent.x, b.origin.x + b.extent.x) -
+                              std::max(a.origin.x, b.origin.x);
+      const double overlapY = std::min(a.origin.y + a.extent.y, b.origin.y + b.extent.y) -
+                              std::max(a.origin.y, b.origin.y);
+      const bool touchX = std::abs(overlapX) <= kEps && overlapY > kEps;
+      const bool touchY = std::abs(overlapY) <= kEps && overlapX > kEps;
+      if (touchX || touchY) out.push_back(id);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
  private:

@@ -30,6 +30,10 @@ enum class MessageType : std::uint16_t {
   kReliableData = 10,      // reliable-delivery envelope around another frame
   kReliableAck = 11,       // ack for one reliable sequence number
   kHeartbeat = 12,         // server -> manager: liveness beacon
+  kZoneHandoff = 13,       // server -> server: cross-zone user hand-over
+  kZoneHandoffAck = 14,    // server -> server: cross-zone adoption confirmed
+  kBorderSync = 15,        // server -> server: border-entity state for
+                           // cross-zone AOI shadows (best-effort)
 };
 
 /// An encoded frame plus its decoded header, as seen by the network layer.

@@ -109,10 +109,11 @@ TEST(TravelTest, MovesClientBetweenZones) {
   EXPECT_EQ(f.cluster.zoneUserCount(f.zoneA), 0u);
   EXPECT_EQ(f.cluster.zoneUserCount(f.zoneB), 1u);
   EXPECT_EQ(f.cluster.clientServer(c), f.serverB);
-  // The old avatar is gone from zone A; a fresh one exists in zone B.
+  // The handoff serialized the avatar into zone B: same entity identity,
+  // removed from zone A's world once the target acknowledged.
   EXPECT_EQ(f.cluster.server(f.serverA).world().find(oldAvatar), nullptr);
   const EntityId newAvatar = f.cluster.client(c).avatar();
-  EXPECT_NE(newAvatar, oldAvatar);
+  EXPECT_EQ(newAvatar, oldAvatar);
   ASSERT_NE(f.cluster.server(f.serverB).world().find(newAvatar), nullptr);
 }
 
@@ -143,6 +144,7 @@ TEST(TravelTest, PicksLeastLoadedReplicaInTargetZone) {
   }
   const ClientId c = f.cluster.connectClient(f.zoneA, std::make_unique<game::BotProvider>());
   ASSERT_TRUE(f.cluster.travelClient(c, f.zoneB));
+  f.cluster.run(SimDuration::milliseconds(500));  // handoff is asynchronous
   EXPECT_EQ(f.cluster.clientServer(c), serverB2);
 }
 

@@ -229,7 +229,8 @@ TEST(FpsAppTest, AoiReturnsOnlyEntitiesWithinRadius) {
   f.addAvatar(5, ServerId{2}, {500 - 50, 500});         // shadow, inside
   auto& viewer = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
-  const auto visible = f.app.computeAreaOfInterest(f.world, viewer, f.meter);
+  std::vector<EntityId> visible;
+  f.app.computeAreaOfInterest(f.world, viewer, f.meter, visible);
   EXPECT_EQ(visible.size(), 3u);
   EXPECT_EQ(visible, (std::vector<EntityId>{EntityId{2}, EntityId{3}, EntityId{5}}));
 }
@@ -240,7 +241,8 @@ TEST(FpsAppTest, AoiExcludesViewerAndHasNoDuplicates) {
   for (std::uint64_t id = 2; id < 30; ++id) f.addAvatar(id, ServerId{1}, {510, 510});
   auto& viewer = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
-  const auto visible = f.app.computeAreaOfInterest(f.world, viewer, f.meter);
+  std::vector<EntityId> visible;
+  f.app.computeAreaOfInterest(f.world, viewer, f.meter, visible);
   EXPECT_EQ(visible.size(), 28u);
   for (const EntityId id : visible) EXPECT_NE(id, viewer.id);
   std::set<EntityId> unique(visible.begin(), visible.end());
@@ -259,7 +261,8 @@ TEST(FpsAppTest, AoiCostGrowsSuperlinearly) {
     }
     auto& viewer = f.entity(1);
     rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
-    f.app.computeAreaOfInterest(f.world, viewer, f.meter);
+    std::vector<EntityId> visible;
+    f.app.computeAreaOfInterest(f.world, viewer, f.meter, visible);
     return f.probes.phase(rtf::Phase::kAoi);
   };
   const double c100 = aoiCost(100);
@@ -295,7 +298,8 @@ TEST(FpsAppTest, BuildStateUpdateEncodesVisible) {
   auto& viewer = f.entity(1);
   const std::vector<EntityId> visible{EntityId{2}, EntityId{3}};
   rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
-  const auto bytes = f.app.buildStateUpdate(f.world, viewer, visible, f.meter);
+  std::vector<std::uint8_t> bytes;
+  f.app.buildStateUpdate(f.world, viewer, visible, f.meter, bytes);
   const StateUpdatePayload payload = decodeStateUpdate(bytes);
   EXPECT_EQ(payload.self.id, viewer.id);
   ASSERT_EQ(payload.visible.size(), 2u);
@@ -309,7 +313,9 @@ TEST(FpsAppTest, BuildStateUpdateSkipsVanishedEntities) {
   auto& viewer = f.entity(1);
   const std::vector<EntityId> visible{EntityId{2}, EntityId{999}};  // 999 gone
   rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
-  const auto payload = decodeStateUpdate(f.app.buildStateUpdate(f.world, viewer, visible, f.meter));
+  std::vector<std::uint8_t> bytes;
+  f.app.buildStateUpdate(f.world, viewer, visible, f.meter, bytes);
+  const auto payload = decodeStateUpdate(bytes);
   EXPECT_EQ(payload.visible.size(), 1u);
 }
 

@@ -175,7 +175,7 @@ TEST(ManagedSessionTest, StaticBaselineViolatesQoSUnderRamp) {
   // ramp pushes at least one period above 40 ms (the contrast motivating
   // the paper's predictive model).
   rms::ManagedSessionConfig config;
-  config.policy = rms::PolicyKind::kStaticInterval;
+  config.strategyFactory = rms::makeStaticIntervalFactory();
   config.scenario = game::WorkloadScenario::paperSession(
       300, SimDuration::seconds(40), SimDuration::seconds(15), SimDuration::seconds(30));
   config.rms.serverStartupDelay = SimDuration::seconds(2);
@@ -191,9 +191,9 @@ TEST(ManagedSessionTest, PoliciesProduceDifferentMigrationVolumes) {
       200, SimDuration::seconds(25), SimDuration::seconds(10), SimDuration::seconds(25));
   const model::TickModel tickModel(calibration().parameters);
 
-  config.policy = rms::PolicyKind::kModelDriven;
+  config.strategyFactory = rms::makeModelDrivenFactory();
   const auto throttled = rms::runManagedSession(config, tickModel);
-  config.policy = rms::PolicyKind::kUnthrottled;
+  config.strategyFactory = rms::makeUnthrottledFactory();
   const auto unthrottled = rms::runManagedSession(config, tickModel);
 
   // The throttled policy trickles small bursts; the unthrottled one may move

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "game/fps_app.hpp"
@@ -41,6 +42,13 @@ struct Fixture {
   }
 };
 
+std::vector<EntityId> queryOf(InterestPolicy& policy, Fixture& f,
+                              const rtf::EntityRecord& viewer, double radius) {
+  std::vector<EntityId> out;
+  policy.query(f.world, viewer, radius, f.meter, out);
+  return out;
+}
+
 class InterestEquivalence : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
 
 TEST_P(InterestEquivalence, GridMatchesEuclideanExactly) {
@@ -54,8 +62,8 @@ TEST_P(InterestEquivalence, GridMatchesEuclideanExactly) {
   grid.prepare(f.world, f.meter);
 
   f.world.forEach([&](const rtf::EntityRecord& viewer) {
-    const auto fromEuclid = euclid.query(f.world, viewer, radius, f.meter);
-    const auto fromGrid = grid.query(f.world, viewer, radius, f.meter);
+    const auto fromEuclid = queryOf(euclid, f, viewer, radius);
+    const auto fromGrid = queryOf(grid, f, viewer, radius);
     ASSERT_EQ(fromEuclid, fromGrid) << "viewer " << viewer.id.value << " n=" << population
                                     << " r=" << radius;
   });
@@ -68,8 +76,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, InterestEquivalence,
 TEST(InterestTest, RandomizedWorldsGridMatchesEuclidean) {
   // Property test: on worlds with random extents, radii, clustering and a
   // mix of avatars and NPCs, both policies must return the same visible set
-  // for every viewer — and queryInto must match query while reusing its
-  // output buffer across calls.
+  // for every viewer — while reusing their output buffers across calls.
   Rng scenarioRng(20260805);
   for (int round = 0; round < 12; ++round) {
     Fixture f;
@@ -98,42 +105,45 @@ TEST(InterestTest, RandomizedWorldsGridMatchesEuclidean) {
     std::vector<EntityId> euclidOut;
     std::vector<EntityId> gridOut;
     f.world.forEach([&](const rtf::EntityRecord& viewer) {
-      euclid.queryInto(f.world, viewer, radius, f.meter, euclidOut);
-      grid.queryInto(f.world, viewer, radius, f.meter, gridOut);
+      euclid.query(f.world, viewer, radius, f.meter, euclidOut);
+      grid.query(f.world, viewer, radius, f.meter, gridOut);
       ASSERT_EQ(euclidOut, gridOut)
           << "round " << round << " viewer " << viewer.id.value << " n=" << n << " r=" << radius;
-      ASSERT_EQ(euclidOut, euclid.query(f.world, viewer, radius, f.meter));
     });
   }
 }
 
-TEST(InterestTest, QueryIntoChargesSameCostAsQuery) {
-  Fixture intoFixture;
-  intoFixture.populate(80, 11);
-  Fixture valueFixture;
-  valueFixture.populate(80, 11);
+TEST(InterestTest, QueryCostIndependentOfBufferReuse) {
+  // The scratch-buffer API must charge the same simulated cost whether the
+  // caller reuses one vector across calls or hands over a fresh one each
+  // time — cost models the work, not the allocation pattern.
+  Fixture reuseFixture;
+  reuseFixture.populate(80, 11);
+  Fixture freshFixture;
+  freshFixture.populate(80, 11);
 
   for (const bool useGrid : {false, true}) {
-    std::unique_ptr<InterestPolicy> intoPolicy;
-    std::unique_ptr<InterestPolicy> valuePolicy;
+    std::unique_ptr<InterestPolicy> reusePolicy;
+    std::unique_ptr<InterestPolicy> freshPolicy;
     if (useGrid) {
-      intoPolicy = std::make_unique<GridInterest>(220.0);
-      valuePolicy = std::make_unique<GridInterest>(220.0);
+      reusePolicy = std::make_unique<GridInterest>(220.0);
+      freshPolicy = std::make_unique<GridInterest>(220.0);
     } else {
-      intoPolicy = std::make_unique<EuclideanInterest>();
-      valuePolicy = std::make_unique<EuclideanInterest>();
+      reusePolicy = std::make_unique<EuclideanInterest>();
+      freshPolicy = std::make_unique<EuclideanInterest>();
     }
-    intoPolicy->prepare(intoFixture.world, intoFixture.meter);
-    valuePolicy->prepare(valueFixture.world, valueFixture.meter);
-    std::vector<EntityId> out;
-    intoFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
-      intoPolicy->queryInto(intoFixture.world, viewer, 220.0, intoFixture.meter, out);
+    reusePolicy->prepare(reuseFixture.world, reuseFixture.meter);
+    freshPolicy->prepare(freshFixture.world, freshFixture.meter);
+    std::vector<EntityId> scratch;
+    reuseFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
+      reusePolicy->query(reuseFixture.world, viewer, 220.0, reuseFixture.meter, scratch);
     });
-    valueFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
-      valuePolicy->query(valueFixture.world, viewer, 220.0, valueFixture.meter);
+    freshFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
+      std::vector<EntityId> fresh;
+      freshPolicy->query(freshFixture.world, viewer, 220.0, freshFixture.meter, fresh);
     });
   }
-  EXPECT_DOUBLE_EQ(intoFixture.chargedCost(), valueFixture.chargedCost());
+  EXPECT_DOUBLE_EQ(reuseFixture.chargedCost(), freshFixture.chargedCost());
 }
 
 TEST(InterestTest, GridHandlesEdgePositions) {
@@ -153,8 +163,7 @@ TEST(InterestTest, GridHandlesEdgePositions) {
   GridInterest grid(220.0);
   grid.prepare(f.world, f.meter);
   f.world.forEach([&](const rtf::EntityRecord& viewer) {
-    ASSERT_EQ(euclid.query(f.world, viewer, 220.0, f.meter),
-              grid.query(f.world, viewer, 220.0, f.meter));
+    ASSERT_EQ(queryOf(euclid, f, viewer, 220.0), queryOf(grid, f, viewer, 220.0));
   });
 }
 
@@ -186,7 +195,8 @@ TEST(InterestTest, GridQueryCheaperAtScaleWithLocalClusters) {
     }
     policy->prepare(f.world, f.meter);
     const double costBefore = f.chargedCost();
-    policy->query(f.world, *f.world.find(EntityId{1}), 220.0, f.meter);
+    std::vector<EntityId> out;
+    policy->query(f.world, *f.world.find(EntityId{1}), 220.0, f.meter, out);
     return f.chargedCost() - costBefore;  // query cost only
   };
   EXPECT_LT(costOf(true), 0.25 * costOf(false));
@@ -216,12 +226,13 @@ TEST(InterestTest, FpsApplicationSwapsPolicies) {
   Fixture f;
   f.populate(50, 9);
   app.onTickBegin(f.world, f.meter);
-  const auto visible =
-      app.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter);
+  std::vector<EntityId> visible;
+  app.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter, visible);
   FpsApplication euclidApp(config);
   euclidApp.onTickBegin(f.world, f.meter);
-  EXPECT_EQ(visible,
-            euclidApp.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter));
+  std::vector<EntityId> fromEuclid;
+  euclidApp.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter, fromEuclid);
+  EXPECT_EQ(visible, fromEuclid);
 }
 
 TEST(InterestTest, EmptyWorldQueriesAreSafe) {
@@ -235,8 +246,8 @@ TEST(InterestTest, EmptyWorldQueriesAreSafe) {
   EuclideanInterest euclid;
   GridInterest grid(220.0);
   grid.prepare(f.world, f.meter);
-  EXPECT_TRUE(euclid.query(f.world, lonely, 220.0, f.meter).empty());
-  EXPECT_TRUE(grid.query(f.world, lonely, 220.0, f.meter).empty());
+  EXPECT_TRUE(queryOf(euclid, f, lonely, 220.0).empty());
+  EXPECT_TRUE(queryOf(grid, f, lonely, 220.0).empty());
 }
 
 }  // namespace

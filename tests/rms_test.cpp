@@ -125,7 +125,7 @@ TEST(ModelStrategyTest, BalancedZoneNeedsNothing) {
   // replication trigger of l = 2 -> steady state.
   const Decision d =
       strategy.decide(makeView({snapshotOf(1, 100, 200), snapshotOf(2, 100, 200)}));
-  EXPECT_TRUE(d.migrations.empty());
+  EXPECT_TRUE(d.migrations().empty());
   EXPECT_FALSE(d.structural());
 }
 
@@ -133,14 +133,15 @@ TEST(ModelStrategyTest, ImbalanceProducesListing1Plan) {
   ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
   // 150 vs 50 users: s_max = server 1, deviation of server 2 = 50.
   const Decision d = strategy.decide(makeView({snapshotOf(1, 150, 200), snapshotOf(2, 50, 200)}));
-  ASSERT_EQ(d.migrations.size(), 1u);
-  EXPECT_EQ(d.migrations[0].from, ServerId{1});
-  EXPECT_EQ(d.migrations[0].to, ServerId{2});
+  const std::vector<UserMigration> orders = d.migrations();
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0].from, ServerId{1});
+  EXPECT_EQ(orders[0].to, ServerId{2});
   // Bounded by the initiator budget of Eq. (5), far below the deviation 50.
   const std::size_t iniBudget = model::xMaxInitiate(model::TickModel(paperLikeParameters()), 2,
                                                     200, 0, 150, kU);
-  EXPECT_EQ(d.migrations[0].count, std::min<std::size_t>(50, iniBudget));
-  EXPECT_LT(d.migrations[0].count, 50u);
+  EXPECT_EQ(orders[0].count, std::min<std::size_t>(50, iniBudget));
+  EXPECT_LT(orders[0].count, 50u);
 }
 
 TEST(ModelStrategyTest, MigrationsRespectReceiverBudget) {
@@ -151,7 +152,7 @@ TEST(ModelStrategyTest, MigrationsRespectReceiverBudget) {
   const Decision d = strategy.decide(view);
   const std::size_t rcvBudget = model::xMaxReceive(model::TickModel(paperLikeParameters()), 2,
                                                    300, 0, 100, kU);
-  for (const auto& order : d.migrations) {
+  for (const auto& order : d.migrations()) {
     EXPECT_LE(order.count, rcvBudget);
   }
 }
@@ -159,7 +160,7 @@ TEST(ModelStrategyTest, MigrationsRespectReceiverBudget) {
 TEST(ModelStrategyTest, SmallImbalanceIgnored) {
   ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
   const Decision d = strategy.decide(makeView({snapshotOf(1, 52, 100), snapshotOf(2, 48, 100)}));
-  EXPECT_TRUE(d.migrations.empty());
+  EXPECT_TRUE(d.migrations().empty());
 }
 
 TEST(ModelStrategyTest, ReplicationAtEightyPercent) {
@@ -167,11 +168,12 @@ TEST(ModelStrategyTest, ReplicationAtEightyPercent) {
   const std::size_t nMax1 = strategy.nMaxFor(1);
   const std::size_t trigger = static_cast<std::size_t>(0.8 * static_cast<double>(nMax1));
   // Just below the trigger: nothing.
-  EXPECT_FALSE(strategy.decide(makeView({snapshotOf(1, trigger - 2, trigger - 2)})).addReplica);
+  EXPECT_FALSE(
+      strategy.decide(makeView({snapshotOf(1, trigger - 2, trigger - 2)})).has<ReplicationEnactment>());
   // Just above: replication enactment.
   const Decision d = strategy.decide(makeView({snapshotOf(1, trigger + 2, trigger + 2)}));
-  EXPECT_TRUE(d.addReplica);
-  EXPECT_FALSE(d.removeServer.has_value());
+  EXPECT_TRUE(d.has<ReplicationEnactment>());
+  EXPECT_FALSE(d.has<ResourceRemoval>());
 }
 
 TEST(ModelStrategyTest, PendingStartSuppressesSecondAdd) {
@@ -179,7 +181,7 @@ TEST(ModelStrategyTest, PendingStartSuppressesSecondAdd) {
   auto view = makeView({snapshotOf(1, 230, 230)});
   view.pendingStarts = 1;
   // With the pending server counted, 230 < 0.8 * n_max(2): no second add.
-  EXPECT_FALSE(strategy.decide(view).addReplica);
+  EXPECT_FALSE(strategy.decide(view).has<ReplicationEnactment>());
 }
 
 TEST(ModelStrategyTest, SubstitutionWhenLMaxReached) {
@@ -192,28 +194,28 @@ TEST(ModelStrategyTest, SubstitutionWhenLMaxReached) {
     servers.push_back(snapshotOf(i, perServer, perServer * lMax));
   }
   const Decision d = strategy.decide(makeView(std::move(servers)));
-  EXPECT_FALSE(d.addReplica);
-  ASSERT_TRUE(d.substituteServer.has_value());
+  EXPECT_FALSE(d.has<ReplicationEnactment>());
+  ASSERT_TRUE(d.has<ResourceSubstitution>());
 }
 
 TEST(ModelStrategyTest, RemovalWithHysteresis) {
   ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
   // Two replicas, population far below the 1-replica trigger.
   const Decision d = strategy.decide(makeView({snapshotOf(1, 30, 60), snapshotOf(2, 30, 60)}));
-  ASSERT_TRUE(d.removeServer.has_value());
+  ASSERT_TRUE(d.has<ResourceRemoval>());
   // Population just below the 2-replica trigger but above the shrunken
   // 1-replica one: keep both (hysteresis).
   const std::size_t nMax1 = strategy.nMaxFor(1);
   const std::size_t keep = static_cast<std::size_t>(0.8 * 0.9 * static_cast<double>(nMax1));
   const Decision d2 =
       strategy.decide(makeView({snapshotOf(1, keep / 2, keep), snapshotOf(2, keep - keep / 2, keep)}));
-  EXPECT_FALSE(d2.removeServer.has_value());
+  EXPECT_FALSE(d2.has<ResourceRemoval>());
 }
 
 TEST(ModelStrategyTest, NeverRemoveLastReplica) {
   ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
   const Decision d = strategy.decide(makeView({snapshotOf(1, 5, 5)}));
-  EXPECT_FALSE(d.removeServer.has_value());
+  EXPECT_FALSE(d.has<ResourceRemoval>());
 }
 
 TEST(ModelStrategyTest, DrainingServerIsEmptiedFirst) {
@@ -221,8 +223,9 @@ TEST(ModelStrategyTest, DrainingServerIsEmptiedFirst) {
   auto view = makeView({snapshotOf(1, 40, 100), snapshotOf(2, 60, 100)});
   view.draining = {ServerId{1}};
   const Decision d = strategy.decide(view);
-  ASSERT_FALSE(d.migrations.empty());
-  for (const auto& order : d.migrations) {
+  const std::vector<UserMigration> orders = d.migrations();
+  ASSERT_FALSE(orders.empty());
+  for (const auto& order : orders) {
     EXPECT_EQ(order.from, ServerId{1});
     EXPECT_EQ(order.to, ServerId{2});
   }
@@ -234,7 +237,7 @@ TEST(ModelStrategyTest, NoMigrationTargetsDrainingServers) {
       {snapshotOf(1, 100, 160), snapshotOf(2, 30, 160), snapshotOf(3, 30, 160)});
   view.draining = {ServerId{2}};
   const Decision d = strategy.decide(view);
-  for (const auto& order : d.migrations) {
+  for (const auto& order : d.migrations()) {
     EXPECT_NE(order.to, ServerId{2});
   }
 }
@@ -242,7 +245,7 @@ TEST(ModelStrategyTest, NoMigrationTargetsDrainingServers) {
 TEST(ModelStrategyTest, EmptyViewIsNoop) {
   ModelDrivenStrategy strategy(model::TickModel(paperLikeParameters()), defaultConfig());
   const Decision d = strategy.decide(makeView({}));
-  EXPECT_TRUE(d.migrations.empty());
+  EXPECT_TRUE(d.migrations().empty());
   EXPECT_FALSE(d.structural());
 }
 
@@ -251,28 +254,30 @@ TEST(ModelStrategyTest, EmptyViewIsNoop) {
 TEST(StaticStrategyTest, EqualizesFullyWithoutBudgets) {
   StaticIntervalStrategy strategy(StaticStrategyConfig{});
   const Decision d = strategy.decide(makeView({snapshotOf(1, 150, 200), snapshotOf(2, 50, 200)}));
-  ASSERT_EQ(d.migrations.size(), 1u);
-  EXPECT_EQ(d.migrations[0].count, 50u);  // full deviation, no throttle
+  const std::vector<UserMigration> orders = d.migrations();
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0].count, 50u);  // full deviation, no throttle
 }
 
 TEST(StaticStrategyTest, ReactiveReplicationOnlyAfterViolation) {
   StaticIntervalStrategy strategy(StaticStrategyConfig{});
-  EXPECT_FALSE(strategy.decide(makeView({snapshotOf(1, 200, 200, 30.0)})).addReplica);
-  EXPECT_TRUE(strategy.decide(makeView({snapshotOf(1, 220, 220, 45.0)})).addReplica);
+  EXPECT_FALSE(strategy.decide(makeView({snapshotOf(1, 200, 200, 30.0)})).has<ReplicationEnactment>());
+  EXPECT_TRUE(strategy.decide(makeView({snapshotOf(1, 220, 220, 45.0)})).has<ReplicationEnactment>());
 }
 
 TEST(StaticStrategyTest, RemovesOnLowTick) {
   StaticIntervalStrategy strategy(StaticStrategyConfig{});
   const Decision d =
       strategy.decide(makeView({snapshotOf(1, 20, 40, 5.0), snapshotOf(2, 20, 40, 5.0)}));
-  EXPECT_TRUE(d.removeServer.has_value());
+  EXPECT_TRUE(d.has<ResourceRemoval>());
 }
 
 TEST(UnthrottledStrategyTest, PredictiveAddButUnboundedMigrations) {
   UnthrottledMigrationStrategy strategy(model::TickModel(paperLikeParameters()), 40.0, 0.15);
   const Decision d = strategy.decide(makeView({snapshotOf(1, 150, 200), snapshotOf(2, 50, 200)}));
-  ASSERT_EQ(d.migrations.size(), 1u);
-  EXPECT_EQ(d.migrations[0].count, 50u);
+  const std::vector<UserMigration> orders = d.migrations();
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0].count, 50u);
 }
 
 TEST(UnthrottledPlannerTest, MultiWayFlowConservation) {
@@ -281,7 +286,7 @@ TEST(UnthrottledPlannerTest, MultiWayFlowConservation) {
                               snapshotOf(3, 20, 150)});
   planUnthrottledMigrations(view, 0, d);
   std::size_t out1 = 0, into2 = 0, into3 = 0;
-  for (const auto& order : d.migrations) {
+  for (const auto& order : d.migrations()) {
     EXPECT_EQ(order.from, ServerId{1});
     out1 += order.count;
     if (order.to == ServerId{2}) into2 += order.count;
