@@ -69,6 +69,19 @@ def run_sweep(build_dir: str, bench: str, threads: int) -> dict:
         return time.monotonic() - start, proc.stdout
 
     serial_s, serial_out = timed(1)
+    if threads <= 1:
+        # Serial-only environment (single-core runner or --threads 1): the
+        # 1-vs-N comparison degenerates, so record the serial timing only.
+        # There is no speedup row in this mode; downstream consumers must
+        # treat `speedup: null` as "not measured", not as a regression.
+        return {
+            "bench": bench,
+            "threads": 1,
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": None,
+            "speedup": None,
+            "stdout_identical": None,
+        }
     parallel_s, parallel_out = timed(threads)
     if serial_out != parallel_out:
         raise DeterminismError(
@@ -97,6 +110,18 @@ def main() -> int:
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail unless at least one sweep reaches this speedup")
     args = parser.parse_args()
+
+    # A hostile --threads value (0, negative) means "serial only", never a
+    # divide-by-zero or an empty thread pool.
+    if args.threads < 1:
+        print(f"NOTE: --threads {args.threads} clamped to 1 (serial-only run)",
+              file=sys.stderr)
+        args.threads = 1
+    cpu_count = os.cpu_count() or 1
+    if args.threads > 1 and cpu_count < 2:
+        print(f"NOTE: only {cpu_count} CPU available; forcing serial-only run",
+              file=sys.stderr)
+        args.threads = 1
 
     # Validate every binary up front: a missing benchmark must produce a
     # clean one-line error and a nonzero exit, never a traceback or a
@@ -130,9 +155,12 @@ def main() -> int:
             print(f"ERROR: {err}", file=sys.stderr)
             return 1
         report["sweeps"].append(result)
-        print(f"{bench}: serial {result['serial_seconds']}s, "
-              f"{args.threads} threads {result['parallel_seconds']}s "
-              f"-> {result['speedup']}x (stdout identical)")
+        if result["speedup"] is None:
+            print(f"{bench}: serial {result['serial_seconds']}s (serial-only run)")
+        else:
+            print(f"{bench}: serial {result['serial_seconds']}s, "
+                  f"{args.threads} threads {result['parallel_seconds']}s "
+                  f"-> {result['speedup']}x (stdout identical)")
 
     # Atomic write: downstream tooling never observes a half-written report.
     tmp_path = out_path + ".tmp"
@@ -144,7 +172,16 @@ def main() -> int:
           f"{len(report['sweeps'])} sweeps)")
 
     if args.require_speedup is not None:
-        best = max((s["speedup"] for s in report["sweeps"]), default=0.0)
+        measured = [s["speedup"] for s in report["sweeps"] if s["speedup"] is not None]
+        if not measured:
+            # Serial-only run: there is no parallel row to gate on. Failing
+            # here would turn "this runner has one core" into a fake perf
+            # regression, so the gate is explicitly skipped.
+            print("NOTE: serial-only run, no speedup rows; "
+                  f"--require-speedup {args.require_speedup} gate skipped",
+                  file=sys.stderr)
+            return 0
+        best = max(measured)
         if best < args.require_speedup:
             print(f"FAIL: best sweep speedup {best}x < required "
                   f"{args.require_speedup}x", file=sys.stderr)

@@ -51,6 +51,7 @@ void StderrSink::write(const LogEntry& entry) {
 
 std::vector<LogEntry> MemorySink::entriesFor(std::string_view component) const {
   std::vector<LogEntry> out;
+  out.reserve(entries_.size());
   for (const LogEntry& e : entries_) {
     if (e.component == component) out.push_back(e);
   }

@@ -17,7 +17,9 @@ void setSerialOverride(bool force) { g_serialOverride.store(force); }
 bool serialOverride() { return g_serialOverride.load(); }
 
 std::size_t configuredSweepThreads() {
-  if (const char* env = std::getenv("ROIA_BENCH_THREADS")) {
+  // Read once on the calling thread before any fan-out; no concurrent
+  // setenv exists in this process.
+  if (const char* env = std::getenv("ROIA_BENCH_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
     const long parsed = std::strtol(env, nullptr, 10);
     if (parsed >= 1) return static_cast<std::size_t>(parsed);
     return 1;  // malformed or <= 0: safest is the legacy serial path

@@ -11,6 +11,7 @@ void EuclideanInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) 
   (void)meter;
 }
 
+// roia-hot
 void EuclideanInterest::query(const rtf::World& world, const rtf::EntityRecord& viewer,
                               double radius, rtf::CostMeter& meter,
                               std::vector<EntityId>& visible) {
@@ -54,6 +55,7 @@ void GridInterest::prepare(const rtf::World& world, rtf::CostMeter& meter) {
   meter.charge(cost);
 }
 
+// roia-hot
 void GridInterest::query(const rtf::World& world, const rtf::EntityRecord& viewer,
                          double radius, rtf::CostMeter& meter, std::vector<EntityId>& visible) {
   (void)world;

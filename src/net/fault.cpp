@@ -12,10 +12,10 @@ void FaultInjector::clearLinkFaults(NodeId from, NodeId to) {
   linkFaults_.erase(linkKey(from, to));
 }
 
-void FaultInjector::partition(std::string name, std::vector<NodeId> group, SimTime start,
+void FaultInjector::partition(std::string name, const std::vector<NodeId>& nodes, SimTime start,
                               SimTime end) {
   Partition p;
-  for (const NodeId node : group) p.group.insert(node.value);
+  for (const NodeId node : nodes) p.group.insert(node.value);
   p.start = start;
   p.end = end;
   partitions_[std::move(name)] = std::move(p);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -74,7 +75,7 @@ class FaultInjector {
   /// Declares a named partition: between `start` (inclusive) and `end`
   /// (exclusive) every frame crossing between `group` and the rest of the
   /// network is dropped. Re-declaring a name replaces the partition.
-  void partition(std::string name, std::vector<NodeId> group, SimTime start,
+  void partition(std::string name, const std::vector<NodeId>& nodes, SimTime start,
                  SimTime end = SimTime::max());
   /// Moves the heal time of partition `name` to `at` (no-op if unknown).
   void heal(const std::string& name, SimTime at);
@@ -105,8 +106,10 @@ class FaultInjector {
 
   Rng rng_;
   FaultParams defaultFaults_{};
-  std::unordered_map<std::uint64_t, FaultParams> linkFaults_;
-  std::unordered_map<std::string, Partition> partitions_;
+  std::unordered_map<std::uint64_t, FaultParams> linkFaults_;  // lookup only, never iterated
+  // Ordered by name: isPartitioned() walks this on the frame-judging path
+  // that also drives the seeded RNG, so iteration order must be stable.
+  std::map<std::string, Partition> partitions_;
   FaultStats stats_;
 
   /// Cached instrument pointers (registry references are stable).

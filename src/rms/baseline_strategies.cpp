@@ -27,6 +27,8 @@ void planUnthrottledMigrations(const ZoneView& view, std::size_t imbalanceTolera
   };
   std::vector<Flow> sources;
   std::vector<Flow> sinks;
+  sources.reserve(servers.size());
+  sinks.reserve(servers.size());
   for (const auto& s : servers) {
     const bool draining = view.isDraining(s.server);
     const double deviation = static_cast<double>(s.activeUsers) - avg;

@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
@@ -64,7 +64,10 @@ class ResourcePool {
 
   std::vector<ResourceFlavor> flavors_;
   std::vector<std::size_t> inUse_;
-  std::unordered_map<LeaseId, Lease> active_;
+  // Ordered by lease id: serverSeconds()/totalCost() sum float durations
+  // over this map, and float addition is order-sensitive — an unordered
+  // walk would make the reported cost depend on hash-table layout.
+  std::map<LeaseId, Lease> active_;
   double completedServerSeconds_{0.0};
   double completedCost_{0.0};
   LeaseId nextLease_{1};

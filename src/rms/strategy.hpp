@@ -57,6 +57,7 @@ struct Decision {
   /// All migration orders, in decision order.
   [[nodiscard]] std::vector<UserMigration> migrations() const {
     std::vector<UserMigration> orders;
+    orders.reserve(actions.size());
     for (const Action& action : actions) {
       if (const auto* m = std::get_if<UserMigration>(&action)) orders.push_back(*m);
     }

@@ -266,8 +266,10 @@ std::size_t Cluster::zoneUserCount(ZoneId zone) const {
 }
 
 std::vector<MonitoringSnapshot> Cluster::zoneMonitoring(ZoneId zone) const {
+  const std::vector<ServerId> replicaIds = zones_.replicas(zone);
   std::vector<MonitoringSnapshot> snapshots;
-  for (const ServerId id : zones_.replicas(zone)) {
+  snapshots.reserve(replicaIds.size());
+  for (const ServerId id : replicaIds) {
     snapshots.push_back(servers_.at(id)->monitoring());
   }
   return snapshots;
@@ -294,6 +296,7 @@ void Cluster::crashServer(ServerId id) {
 
 std::vector<ServerId> Cluster::crashedServers() const {
   std::vector<ServerId> ids;
+  ids.reserve(servers_.size());
   for (const auto& [id, server] : servers_) {
     if (server->crashed()) ids.push_back(id);
   }
@@ -313,6 +316,7 @@ Cluster::RecoveryReport Cluster::recoverCrashedServer(ServerId id) {
   // The cluster's routing table is the authoritative list of orphans: the
   // dead server's own session map may disagree mid-migration.
   std::vector<ClientId> orphans;
+  orphans.reserve(clientServer_.size());
   for (const auto& [client, serverId] : clientServer_) {
     if (serverId == id) orphans.push_back(client);
   }
@@ -425,8 +429,10 @@ void Cluster::refreshSharding() {
       if (!best.valid()) return std::nullopt;
       return HandoffTarget{zone, best, servers_.at(best)->node()};
     });
+    const std::vector<ZoneId> neighborIds = zones_.neighbors(server->zone());
     std::vector<ZoneNeighbor> neighbors;
-    for (const ZoneId nz : zones_.neighbors(server->zone())) {
+    neighbors.reserve(neighborIds.size());
+    for (const ZoneId nz : neighborIds) {
       const ZoneDescriptor& nd = zones_.zone(nz);
       ZoneNeighbor neighbor{nz, nd.origin, nd.extent, {}};
       for (const ServerId rid : zones_.replicas(nz)) {

@@ -16,6 +16,7 @@ void expectType(const ser::Frame& frame, ser::MessageType type) {
 
 }  // namespace
 
+// roia-hot
 void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot) {
   writer.writeVarU64(snapshot.id.value);
   writer.writeU8(static_cast<std::uint8_t>(snapshot.kind));

@@ -109,6 +109,7 @@ std::optional<MonitoringSnapshot> MonitoringCollector::latest(ServerId server) c
 
 std::vector<MonitoringSnapshot> MonitoringCollector::zoneSnapshots(ZoneId zone) const {
   std::vector<MonitoringSnapshot> snapshots;
+  snapshots.reserve(latest_.size());
   for (const auto& [id, snapshot] : latest_) {
     if (snapshot.zone == zone) snapshots.push_back(snapshot);
   }
@@ -137,6 +138,7 @@ std::vector<ServerId> MonitoringCollector::suspectDead(SimDuration period,
                                                        std::size_t missedBeats) const {
   const SimDuration limit = period * static_cast<std::int64_t>(missedBeats);
   std::vector<ServerId> dead;
+  dead.reserve(lastAliveAt_.size());
   for (const auto& [server, lastAlive] : lastAliveAt_) {
     if (sim_.now() - lastAlive > limit) dead.push_back(server);
   }

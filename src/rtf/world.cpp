@@ -36,16 +36,19 @@ bool World::remove(EntityId id) {
   return true;
 }
 
+// roia-hot
 EntityRecord* World::find(EntityId id) {
   const auto it = slotOf_.find(id.value);
   return it == slotOf_.end() ? nullptr : &slots_[it->second];
 }
 
+// roia-hot
 const EntityRecord* World::find(EntityId id) const {
   const auto it = slotOf_.find(id.value);
   return it == slotOf_.end() ? nullptr : &slots_[it->second];
 }
 
+// roia-hot
 World::Census World::census(ServerId server) const {
   Census census;
   for (const EntityRecord& e : slots_) {
@@ -80,6 +83,7 @@ std::size_t World::npcCount() const {
 
 std::vector<EntityId> World::activeIds(ServerId server) const {
   std::vector<EntityId> ids;
+  ids.reserve(slots_.size());
   for (const EntityRecord& e : slots_) {
     if (e.owner == server) ids.push_back(e.id);
   }

@@ -45,16 +45,19 @@ class World {
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
 
   /// Deterministic iteration in ascending id order over contiguous storage.
+  // roia-hot
   template <class Fn>
   void forEach(Fn&& fn) {
     for (EntityRecord& e : slots_) fn(e);
   }
+  // roia-hot
   template <class Fn>
   void forEach(Fn&& fn) const {
     for (const EntityRecord& e : slots_) fn(e);
   }
 
   /// Counts with a predicate (template: no std::function indirection).
+  // roia-hot
   template <class Pred>
   [[nodiscard]] std::size_t countIf(Pred&& pred) const {
     std::size_t n = 0;

@@ -5,8 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/math.hpp"
@@ -53,6 +53,7 @@ class ZoneDirectory {
     return it == replicas_.end() ? 0 : it->second.size();
   }
 
+  /// All zone ids, ascending.
   [[nodiscard]] std::vector<ZoneId> zoneIds() const {
     std::vector<ZoneId> ids;
     ids.reserve(zones_.size());
@@ -80,6 +81,7 @@ class ZoneDirectory {
     const ZoneDescriptor& a = it->second;
     constexpr double kEps = 1e-9;
     std::vector<ZoneId> out;
+    out.reserve(zones_.size());
     for (const auto& [id, b] : zones_) {
       if (id == zone || b.instanceOf.valid()) continue;
       const double overlapX = std::min(a.origin.x + a.extent.x, b.origin.x + b.extent.x) -
@@ -95,8 +97,11 @@ class ZoneDirectory {
   }
 
  private:
-  std::unordered_map<ZoneId, ZoneDescriptor> zones_;
-  std::unordered_map<ZoneId, std::vector<ServerId>> replicas_;
+  // Ordered maps: zoneIds()/zoneAt()/neighbors() iterate these, and their
+  // order feeds RMS balance passes and bench output. Zone counts are small
+  // (a grid of dozens), so the O(log n) lookup is irrelevant.
+  std::map<ZoneId, ZoneDescriptor> zones_;
+  std::map<ZoneId, std::vector<ServerId>> replicas_;
 };
 
 }  // namespace roia::rtf

@@ -6,17 +6,20 @@ namespace roia::ser {
 
 // Fixed-width integers are materialized as little-endian byte arrays and
 // bulk-inserted: one capacity check instead of one per byte.
+// roia-hot
 void ByteWriter::writeU16(std::uint16_t v) {
   const std::uint8_t raw[2] = {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8)};
   appendRaw(raw, sizeof raw);
 }
 
+// roia-hot
 void ByteWriter::writeU32(std::uint32_t v) {
   std::uint8_t raw[4];
   for (int i = 0; i < 4; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
   appendRaw(raw, sizeof raw);
 }
 
+// roia-hot
 void ByteWriter::writeU64(std::uint64_t v) {
   std::uint8_t raw[8];
   for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
@@ -27,6 +30,7 @@ void ByteWriter::writeF32(float v) { writeU32(std::bit_cast<std::uint32_t>(v)); 
 
 void ByteWriter::writeF64(double v) { writeU64(std::bit_cast<std::uint64_t>(v)); }
 
+// roia-hot
 void ByteWriter::writeVarU64(std::uint64_t v) {
   while (v >= 0x80) {
     buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
@@ -35,8 +39,10 @@ void ByteWriter::writeVarU64(std::uint64_t v) {
   buffer_.push_back(static_cast<std::uint8_t>(v));
 }
 
+// roia-hot
 void ByteWriter::writeVarI64(std::int64_t v) { writeVarU64(zigzagEncode(v)); }
 
+// roia-hot
 void ByteWriter::writeBytes(std::span<const std::uint8_t> bytes) {
   writeVarU64(bytes.size());
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
@@ -48,6 +54,7 @@ void ByteWriter::writeString(std::string_view s) {
   buffer_.insert(buffer_.end(), p, p + s.size());
 }
 
+// roia-hot
 std::uint8_t ByteReader::readU8() {
   require(1);
   return data_[offset_++];
@@ -61,6 +68,7 @@ std::uint16_t ByteReader::readU16() {
   return v;
 }
 
+// roia-hot
 std::uint32_t ByteReader::readU32() {
   require(4);
   std::uint32_t v = 0;
@@ -71,6 +79,7 @@ std::uint32_t ByteReader::readU32() {
   return v;
 }
 
+// roia-hot
 std::uint64_t ByteReader::readU64() {
   require(8);
   std::uint64_t v = 0;
@@ -85,6 +94,7 @@ float ByteReader::readF32() { return std::bit_cast<float>(readU32()); }
 
 double ByteReader::readF64() { return std::bit_cast<double>(readU64()); }
 
+// roia-hot
 std::uint64_t ByteReader::readVarU64() {
   std::uint64_t result = 0;
   int shift = 0;

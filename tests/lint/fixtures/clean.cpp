@@ -1,0 +1,21 @@
+// Fixture: idiomatic ROIA code — seeded RNG, ordered iteration, an
+// allocation-free hot function. Must produce zero findings.
+#include <cstdint>
+#include <map>
+
+// The sanctioned pattern: all randomness flows through a seeded stream.
+struct SeededStream {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005ULL + 1442695040888963407ULL; }
+};
+
+// roia-hot
+std::uint64_t hotMix(std::uint64_t a, std::uint64_t b) {
+  return (a ^ b) * 0x9e3779b97f4a7c15ULL;
+}
+
+double orderedTotal(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [key, weight] : weights) total += weight / key;
+  return total;
+}

@@ -1,0 +1,14 @@
+// Fixture: allocations inside a function annotated as a hot path.
+#include <string>
+#include <vector>
+
+// roia-hot
+int hotSum(const int* values, int count) {
+  std::vector<int> copy(values, values + count);
+  std::string label = std::to_string(count);
+  int* scratch = new int[4];
+  int total = scratch[0] + static_cast<int>(label.size());
+  for (int v : copy) total += v;
+  delete[] scratch;
+  return total;
+}

@@ -1,0 +1,17 @@
+// Fixture: a wire message whose decode path silently dropped a field.
+// The serialization-coverage rule anchors on files named messages.hpp.
+#pragma once
+
+#include <cstdint>
+
+struct Sink;
+struct Buffer;
+
+struct ProbeMsg {
+  std::uint64_t id{0};
+  std::uint64_t payload{0};
+  std::uint64_t checksum{0};
+};
+
+void encode(const ProbeMsg& msg, Sink& out);
+ProbeMsg decodeProbe(const Buffer& in);

@@ -1,0 +1,12 @@
+// Fixture: range-for over an unordered container in an output-feeding
+// file. The iteration order leaks into the returned sum's float rounding.
+#include <unordered_map>
+
+double weightedTotal() {
+  std::unordered_map<int, double> weights;
+  weights[1] = 0.1;
+  weights[2] = 0.2;
+  double total = 0.0;
+  for (const auto& [key, weight] : weights) total += weight / key;
+  return total;
+}

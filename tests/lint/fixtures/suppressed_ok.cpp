@@ -1,0 +1,6 @@
+// Fixture: a justified suppression silences the finding.
+#include <cstdlib>
+
+int fixtureNoise() {
+  return rand();  // roia-lint: allow(determinism) -- fixture: demonstrates a justified suppression
+}

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/roia_lint.py, run as `ctest -L lint`.
+
+Three checks:
+ 1. The fixture suite produces exactly the expected (file, line, rule)
+    findings — no more, no fewer — and the justified suppression lands in
+    the suppressed list, all via the machine-readable JSON output.
+ 2. The real tree (src/) is clean: exit 0, zero findings.
+ 3. --list-rules names every rule the fixtures exercise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+LINT = os.path.join(REPO_ROOT, "tools", "lint", "roia_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint", "fixtures")
+
+# Exact expectations: basename, 1-indexed line, rule id. A linter that
+# drifts by one line or invents/loses a finding fails this test.
+EXPECTED_FINDINGS = {
+    ("determinism_bad.cpp", 9, "determinism"),
+    ("determinism_bad.cpp", 14, "determinism"),
+    ("determinism_bad.cpp", 15, "determinism"),
+    ("determinism_bad.cpp", 20, "determinism"),
+    ("determinism_bad.cpp", 24, "determinism"),
+    ("hot_alloc_bad.cpp", 7, "hot-path-alloc"),
+    ("hot_alloc_bad.cpp", 8, "hot-path-alloc"),  # std::string
+    ("hot_alloc_bad.cpp", 8, "hot-path-alloc"),  # std::to_string (dedup'd in set)
+    ("hot_alloc_bad.cpp", 9, "hot-path-alloc"),
+    ("messages.hpp", 13, "serialization-coverage"),
+    ("ordered_iteration_bad.cpp", 10, "ordered-iteration"),
+    ("suppression_missing_reason.cpp", 6, "bad-suppression"),
+    ("suppression_missing_reason.cpp", 6, "determinism"),
+}
+EXPECTED_SUPPRESSED = {
+    ("suppressed_ok.cpp", 5, "determinism"),
+}
+EXPECTED_RULES = {
+    "determinism", "ordered-iteration", "serialization-coverage",
+    "hot-path-alloc", "bad-suppression",
+}
+
+
+def run_lint(*args):
+    return subprocess.run([sys.executable, LINT, *args],
+                          capture_output=True, text=True, cwd=REPO_ROOT)
+
+
+def as_keys(entries):
+    return {(os.path.basename(e["file"]), e["line"], e["rule"]) for e in entries}
+
+
+def main():
+    failures = []
+
+    # 1. Fixture suite: exact rule ids and line numbers, nonzero exit.
+    proc = run_lint("--assume-core", "--format", "json", FIXTURES)
+    if proc.returncode != 1:
+        failures.append(f"fixtures: expected exit 1, got {proc.returncode}\n{proc.stderr}")
+    report = json.loads(proc.stdout)
+    if report.get("schema") != "roia-lint/1":
+        failures.append(f"fixtures: unexpected schema {report.get('schema')!r}")
+    got = as_keys(report["findings"])
+    if got != EXPECTED_FINDINGS:
+        failures.append(
+            "fixtures: findings mismatch\n"
+            f"  missing:    {sorted(EXPECTED_FINDINGS - got)}\n"
+            f"  unexpected: {sorted(got - EXPECTED_FINDINGS)}")
+    # The std::string + std::to_string double hit on line 8 must both exist.
+    line8 = [f for f in report["findings"]
+             if os.path.basename(f["file"]) == "hot_alloc_bad.cpp" and f["line"] == 8]
+    if len(line8) != 2:
+        failures.append(f"fixtures: expected 2 findings on hot_alloc_bad.cpp:8, got {len(line8)}")
+    if as_keys(report["suppressed"]) != EXPECTED_SUPPRESSED:
+        failures.append(f"fixtures: suppressed mismatch: {report['suppressed']}")
+
+    # 2. The real tree starts (and stays) clean.
+    proc = run_lint("--format", "json", "src/")
+    if proc.returncode != 0:
+        failures.append(f"src/: expected exit 0, got {proc.returncode}\n{proc.stdout}")
+    else:
+        report = json.loads(proc.stdout)
+        if report["findings"]:
+            failures.append(f"src/: unexpected findings: {report['findings']}")
+        if report["files_scanned"] < 50:
+            failures.append(f"src/: suspiciously few files scanned: {report['files_scanned']}")
+
+    # 3. Rule catalogue is complete.
+    proc = run_lint("--list-rules")
+    listed = {line.split()[0] for line in proc.stdout.splitlines() if line.strip()}
+    if not EXPECTED_RULES <= listed:
+        failures.append(f"--list-rules missing {EXPECTED_RULES - listed}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("roia-lint self-test: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,593 @@
+#!/usr/bin/env python3
+"""roia-lint: project-invariant static analysis for the ROIA codebase.
+
+The repo's correctness story rests on source-level conventions that a
+compiler cannot check: deterministic simulation (seeded RNG only, no wall
+clock), stable iteration order anywhere bytes/RNG/telemetry are produced,
+encode/decode symmetry for every wire message, and allocation-free hot
+paths. This tool turns those conventions into named, machine-checkable
+rules over the C++ sources. Stdlib Python only; token/AST-lite (comments
+and string literals are masked before scanning, so commented-out code
+never fires a rule).
+
+Rules (see --list-rules):
+
+  determinism            bans wall-clock and unseeded randomness in the
+                         deterministic core (src/{sim,rtf,rms,model,game,
+                         serialize}); src/obs and bench timing are exempt.
+  ordered-iteration      flags range-for over std::unordered_map/set in
+                         files that feed serialization, RNG draws, or
+                         telemetry output — iteration order there leaks
+                         into bytes/results and breaks the byte-identical
+                         sweep contract.
+  serialization-coverage parses every *Msg struct in rtf/messages.hpp and
+                         verifies each field is touched by both its encode
+                         and decode path in messages.cpp.
+  hot-path-alloc         flags new / std::string / std::vector
+                         construction inside functions annotated
+                         `// roia-hot`.
+  bad-suppression        a `roia-lint: allow(...)` without a justification
+                         (`-- <reason>`) or naming an unknown rule.
+
+Suppressions: append `// roia-lint: allow(<rule>) -- <reason>` to the
+offending line, or place it on the line directly above. The reason is
+mandatory; a bare allow() is itself a finding.
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+
+Typical invocations:
+
+    python3 tools/lint/roia_lint.py src/
+    python3 tools/lint/roia_lint.py --format json src/ | python3 -m json.tool
+    python3 tools/lint/roia_lint.py --list-rules
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# Subsystems whose behaviour must be bit-reproducible from a seed. src/obs
+# (telemetry sidecars may stamp wall-clock metadata) and the bench harnesses
+# (wall-clock timing is their purpose) are deliberately outside this set.
+CORE_DIRS = {"sim", "rtf", "rms", "model", "game", "serialize"}
+
+CPP_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".hh")
+
+RULES = {
+    "determinism": (
+        "rand()/srand(), std::random_device, std::chrono::system_clock, "
+        "time(), and unseeded std::mt19937 are banned in the deterministic "
+        "core — all randomness must flow through the seeded roia::Rng and "
+        "all time through SimTime"
+    ),
+    "ordered-iteration": (
+        "range-for over std::unordered_map/std::unordered_set in a file "
+        "that feeds serialization, RNG draws, or telemetry output — "
+        "unordered iteration order leaks into bytes/results"
+    ),
+    "serialization-coverage": (
+        "every field of every *Msg struct in rtf/messages.hpp must appear "
+        "in both its encode() and decode*() body in messages.cpp"
+    ),
+    "hot-path-alloc": (
+        "no new / std::string / std::to_string / std::vector construction "
+        "inside a function annotated // roia-hot"
+    ),
+    "bad-suppression": (
+        "roia-lint: allow(...) must name a known rule and carry a "
+        "justification: // roia-lint: allow(<rule>) -- <reason>"
+    ),
+}
+
+ALLOW_RE = re.compile(r"//\s*roia-lint:\s*allow\(([^)]*)\)(?:\s*--\s*(\S.*))?")
+HOT_RE = re.compile(r"//\s*roia-hot\b")
+
+
+class Finding:
+    __slots__ = ("file", "line", "rule", "message")
+
+    def __init__(self, file, line, rule, message):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def as_dict(self):
+        return {"file": self.file, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+
+def mask_source(text):
+    """Replaces comments and string/char literals with spaces.
+
+    Newlines are preserved so offsets and line numbers survive. Handles //,
+    /* */, "...", '...' with escapes, and basic raw strings R"delim(...)delim".
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c == "R" and nxt == '"':
+            close = text.find("(", i + 2)
+            if close == -1:
+                out.append(c)
+                i += 1
+                continue
+            delim = text[i + 2:close]
+            terminator = ")" + delim + '"'
+            end = text.find(terminator, close + 1)
+            end = n if end == -1 else end + len(terminator)
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def match_bracket(text, open_pos, open_ch, close_ch):
+    """Offset just past the bracket closing text[open_pos]; -1 if unbalanced."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def collect_suppressions(raw_lines):
+    """line -> (set of allowed rules, has_reason, raw allow() text)."""
+    allows = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            allows[idx] = (rules, m.group(2) is not None, m.group(0))
+    return allows
+
+
+def suppression_findings(path, allows):
+    findings = []
+    for idx, (rules, has_reason, text) in sorted(allows.items()):
+        unknown = rules - set(RULES)
+        if unknown:
+            findings.append(Finding(
+                path, idx, "bad-suppression",
+                f"allow() names unknown rule(s) {sorted(unknown)}"))
+        if not has_reason:
+            findings.append(Finding(
+                path, idx, "bad-suppression",
+                "allow() without a justification; write "
+                "`// roia-lint: allow(<rule>) -- <reason>`"))
+    return findings
+
+
+def is_suppressed(finding, allows):
+    if finding.rule == "bad-suppression":
+        return False  # a broken suppression cannot suppress itself
+    for line in (finding.line, finding.line - 1):
+        entry = allows.get(line)
+        if entry and finding.rule in entry[0] and entry[1]:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+DETERMINISM_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("),
+     "rand()/srand(): use the seeded roia::Rng instead"),
+    (re.compile(r"\brandom_device\b"),
+     "std::random_device is nondeterministic; seed a roia::Rng"),
+    (re.compile(r"\bsystem_clock\b"),
+     "wall clock in the deterministic core; use SimTime"),
+    (re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time() reads the wall clock; use SimTime"),
+]
+
+MT19937_UNSEEDED_RE = re.compile(
+    r"\bmt19937(?:_64)?\s+\w+\s*(?:;|\(\s*\)|\{\s*\})|\bmt19937(?:_64)?\s*(?:\(\s*\)|\{\s*\})")
+MT19937_ANY_RE = re.compile(r"\bmt19937(?:_64)?\b")
+
+
+def rule_determinism(path, masked, in_core):
+    if not in_core:
+        return []
+    findings = []
+    for pattern, message in DETERMINISM_PATTERNS:
+        for m in pattern.finditer(masked):
+            findings.append(Finding(path, line_of(masked, m.start()),
+                                    "determinism", message))
+    for m in MT19937_UNSEEDED_RE.finditer(masked):
+        findings.append(Finding(
+            path, line_of(masked, m.start()), "determinism",
+            "unseeded std::mt19937; use roia::Rng (or at minimum a "
+            "fixed-seed construction)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# ordered-iteration
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+# Signals that a file's results end up in bytes, RNG-dependent state, or
+# telemetry — the contexts where iteration order becomes observable.
+OUTPUT_FEED_RE = re.compile(
+    r"\bRng\b|\brng_?\b|ser::|ByteWriter|encode\s*\(|Metrics|AuditLog|"
+    r"Tracer|telemetry|printf|std::cout|writeVar")
+
+
+def unordered_container_names(masked):
+    """Identifiers declared with std::unordered_map/std::unordered_set type."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(masked):
+        open_angle = masked.find("<", m.start())
+        # Angle-bracket matching ignoring shifts: template args here never
+        # contain expressions, so <...> counting is exact in practice.
+        end = match_bracket(masked, open_angle, "<", ">")
+        if end == -1:
+            continue
+        tail = masked[end:end + 200]
+        decl = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;{=,)]", tail)
+        if decl:
+            names.add(decl.group(1))
+    return names
+
+
+def range_for_loops(masked):
+    """Yields (line, range_expression) for every range-based for."""
+    for m in re.finditer(r"\bfor\s*\(", masked):
+        open_paren = masked.find("(", m.start())
+        end = match_bracket(masked, open_paren, "(", ")")
+        if end == -1:
+            continue
+        inner = masked[open_paren + 1:end - 1]
+        # Find a top-level ':' that is not part of '::'.
+        depth = 0
+        for i, ch in enumerate(inner):
+            if ch in "(<[{":
+                depth += 1
+            elif ch in ")>]}":
+                depth -= 1
+            elif ch == ":" and depth == 0:
+                if (i > 0 and inner[i - 1] == ":") or inner[i + 1:i + 2] == ":":
+                    continue
+                yield line_of(masked, open_paren), inner[i + 1:].strip()
+                break
+
+
+def rule_ordered_iteration(path, masked, paired_masked, in_scope):
+    if not in_scope:
+        return []
+    names = unordered_container_names(masked)
+    for other in paired_masked:
+        names |= unordered_container_names(other)
+    if not names:
+        return []
+    findings = []
+    for line, expr in range_for_loops(masked):
+        terminal = re.search(r"([A-Za-z_]\w*)\s*$", expr)
+        if terminal and terminal.group(1) in names:
+            findings.append(Finding(
+                path, line, "ordered-iteration",
+                f"range-for over unordered container '{terminal.group(1)}' "
+                "in an output-feeding file; iterate a sorted view or use an "
+                "ordered container"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# serialization-coverage
+
+STRUCT_RE = re.compile(r"\bstruct\s+(\w+Msg)\s*\{")
+
+
+def parse_message_structs(masked):
+    """name -> list of (field_name, line). Depth-1 data members only."""
+    structs = {}
+    for m in STRUCT_RE.finditer(masked):
+        open_brace = masked.find("{", m.start())
+        end = match_bracket(masked, open_brace, "{", "}")
+        if end == -1:
+            continue
+        fields = []
+        depth = 0
+        stmt = []
+        stmt_start = open_brace + 1
+        for i in range(open_brace + 1, end - 1):
+            ch = masked[i]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+            elif depth == 0:
+                if ch == ";":
+                    text = "".join(stmt)
+                    # Data members carry no parentheses once initializers
+                    # (brace form) are stripped; anything with '(' is a
+                    # function/constructor declaration.
+                    if "(" not in text:
+                        # Drop '= default-value' initializers, keep the name.
+                        text = text.split("=")[0]
+                        name = re.search(r"([A-Za-z_]\w*)\s*$", text.strip())
+                        if name and not text.strip().startswith(("using", "static")):
+                            fields.append((name.group(1), line_of(masked, stmt_start)))
+                    stmt = []
+                    stmt_start = i + 1
+                else:
+                    stmt.append(ch)
+                    if ch == "\n" and not "".join(stmt).strip():
+                        stmt_start = i + 1
+        structs[m.group(1)] = fields
+    return structs
+
+
+def function_body(masked, header_re):
+    """Body text of the first function whose header matches header_re."""
+    m = header_re.search(masked)
+    if not m:
+        return None
+    open_brace = masked.find("{", m.end())
+    if open_brace == -1:
+        return None
+    end = match_bracket(masked, open_brace, "{", "}")
+    if end == -1:
+        return None
+    return masked[m.start():end]
+
+
+def rule_serialization_coverage(hpp_path, hpp_masked, cpp_path, cpp_masked):
+    findings = []
+    structs = parse_message_structs(hpp_masked)
+    for struct, fields in sorted(structs.items()):
+        stem = struct[:-3]  # strip the 'Msg' suffix
+        encode_body = function_body(
+            cpp_masked, re.compile(r"\bencode\s*\(\s*const\s+" + struct + r"\s*&"))
+        decode_body = function_body(
+            cpp_masked, re.compile(r"\bdecode" + stem + r"\s*\("))
+        for direction, body in (("encode", encode_body), ("decode", decode_body)):
+            if body is None:
+                findings.append(Finding(
+                    cpp_path, 1, "serialization-coverage",
+                    f"no {direction} function found for {struct}"))
+                continue
+            for field, line in fields:
+                if not re.search(r"\.\s*" + re.escape(field) + r"\b", body):
+                    findings.append(Finding(
+                        hpp_path, line, "serialization-coverage",
+                        f"{struct}.{field} never touched in its {direction} "
+                        f"path in {os.path.basename(cpp_path)} — silent "
+                        "field drift"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# hot-path-alloc
+
+HOT_ALLOC_PATTERNS = [
+    (re.compile(r"(?<![\w:])new\b"), "operator new"),
+    (re.compile(r"\bstd\s*::\s*string\b(?!_view)"), "std::string construction"),
+    (re.compile(r"\bstd\s*::\s*to_string\b"), "std::to_string (allocates)"),
+    (re.compile(r"\bstd\s*::\s*vector\s*<"), "std::vector construction"),
+]
+
+
+def rule_hot_path_alloc(path, raw, masked):
+    findings = []
+    for m in HOT_RE.finditer(raw):
+        anno_line = line_of(raw, m.start())
+        # The annotated function's body: first '{' after the annotation that
+        # follows a ')' (i.e. after a signature, not an initializer).
+        search_from = raw.find("\n", m.start())
+        if search_from == -1:
+            continue
+        open_brace = -1
+        paren_seen = False
+        for i in range(search_from, len(masked)):
+            ch = masked[i]
+            if ch == "(":
+                paren_seen = True
+                i2 = match_bracket(masked, i, "(", ")")
+                if i2 == -1:
+                    break
+            if ch == "{" and paren_seen:
+                open_brace = i
+                break
+            if ch == ";" and not paren_seen:
+                break  # hit a plain statement first: annotation is dangling
+        if open_brace == -1:
+            findings.append(Finding(
+                path, anno_line, "hot-path-alloc",
+                "// roia-hot annotation with no function body following it"))
+            continue
+        end = match_bracket(masked, open_brace, "{", "}")
+        if end == -1:
+            continue
+        body = masked[open_brace:end]
+        for pattern, what in HOT_ALLOC_PATTERNS:
+            for hit in pattern.finditer(body):
+                findings.append(Finding(
+                    path, line_of(masked, open_brace + hit.start()),
+                    "hot-path-alloc",
+                    f"{what} inside // roia-hot function (annotated at "
+                    f"line {anno_line})"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# driver
+
+def path_subsystem(path):
+    """('src', '<subsystem>') component pair, if the path has one."""
+    parts = os.path.normpath(path).split(os.sep)
+    for i, part in enumerate(parts[:-1]):
+        if part == "src" and i + 1 < len(parts):
+            return parts[i + 1]
+    return None
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+        elif os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(d for d in dirs
+                                 if not d.startswith(("build", ".")))
+                for name in sorted(names):
+                    if name.endswith(CPP_EXTENSIONS):
+                        files.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(p)
+    return files
+
+
+def paired_sources(path):
+    """Masked text of same-stem sibling files (foo.cpp <-> foo.hpp/.h)."""
+    stem, _ = os.path.splitext(path)
+    out = []
+    for ext in CPP_EXTENSIONS:
+        sibling = stem + ext
+        if sibling != path and os.path.isfile(sibling):
+            with open(sibling, encoding="utf-8") as f:
+                out.append(mask_source(f.read()))
+    return out
+
+
+def lint_files(files, assume_core=False):
+    findings = []
+    suppressed = []
+    messages_pairs = []
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        masked = mask_source(raw)
+        raw_lines = raw.splitlines()
+        allows = collect_suppressions(raw_lines)
+
+        subsystem = path_subsystem(path)
+        in_core = assume_core or subsystem in CORE_DIRS
+        paired = paired_sources(path)
+        # Ordered iteration matters wherever results become observable:
+        # the deterministic core always qualifies; elsewhere (e.g. the
+        # fault injector in src/net) a reference to RNG/serialization/
+        # telemetry machinery pulls the file into scope. src/obs is exempt:
+        # its own exporters sort before emitting.
+        feeds_output = in_core or (
+            subsystem != "obs"
+            and any(OUTPUT_FEED_RE.search(t) for t in [masked] + paired))
+
+        file_findings = []
+        file_findings += suppression_findings(path, allows)
+        file_findings += rule_determinism(path, masked, in_core)
+        file_findings += rule_ordered_iteration(path, masked, paired, feeds_output)
+        file_findings += rule_hot_path_alloc(path, raw, masked)
+
+        if os.path.basename(path) == "messages.hpp":
+            cpp = os.path.splitext(path)[0] + ".cpp"
+            if os.path.isfile(cpp):
+                with open(cpp, encoding="utf-8") as f:
+                    cpp_masked = mask_source(f.read())
+                messages_pairs.append((path, masked, cpp, cpp_masked, allows))
+
+        for finding in file_findings:
+            (suppressed if is_suppressed(finding, allows) else findings).append(finding)
+
+    for hpp_path, hpp_masked, cpp_path, cpp_masked, allows in messages_pairs:
+        for finding in rule_serialization_coverage(hpp_path, hpp_masked,
+                                                   cpp_path, cpp_masked):
+            (suppressed if is_suppressed(finding, allows) else findings).append(finding)
+
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings, suppressed
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="project-invariant static analysis for the ROIA codebase")
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated subset of rules to report")
+    parser.add_argument("--assume-core", action="store_true",
+                        help="treat every scanned file as deterministic-core "
+                             "(used by the fixture self-test)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule:24} {description}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: roia_lint.py src/)")
+
+    selected = None
+    if args.rules is not None:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = selected - set(RULES)
+        if unknown:
+            parser.error(f"unknown rule(s): {sorted(unknown)}")
+
+    try:
+        files = collect_files(args.paths)
+    except FileNotFoundError as err:
+        print(f"ERROR: no such file or directory: {err}", file=sys.stderr)
+        return 2
+
+    findings, suppressed = lint_files(files, assume_core=args.assume_core)
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
+        suppressed = [f for f in suppressed if f.rule in selected]
+
+    if args.format == "json":
+        print(json.dumps({
+            "schema": "roia-lint/1",
+            "files_scanned": len(files),
+            "findings": [f.as_dict() for f in findings],
+            "suppressed": [f.as_dict() for f in suppressed],
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
+        print(f"{len(files)} files scanned, {len(findings)} finding(s), "
+              f"{len(suppressed)} suppressed", file=sys.stderr)
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
