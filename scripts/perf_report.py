@@ -29,6 +29,7 @@ DEFAULT_SWEEPS = [
     "ext_npc_model",
     "chaos_recovery",
     "ext_zone_sharding",
+    "ext_overload_degradation",
 ]
 
 

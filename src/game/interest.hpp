@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -102,6 +103,31 @@ class GridInterest final : public InterestPolicy {
   double cellSize_;
   InterestCosts costs_;
   std::unordered_map<std::int64_t, std::vector<CellEntry>> cells_;
+};
+
+/// Fidelity-scaled wrapper: multiplies every query radius by the world's
+/// current interest scale before delegating to the wrapped algorithm. The
+/// scale lives in the World (1:1 with a server), set by that server's
+/// overload degradation ladder, so one overloaded replica narrows only its
+/// own users' AOI — peers sharing the same policy object are unaffected.
+class FidelityScaledInterest final : public InterestPolicy {
+ public:
+  explicit FidelityScaledInterest(std::unique_ptr<InterestPolicy> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::string name() const override { return "fidelity(" + inner_->name() + ")"; }
+  void prepare(const rtf::World& world, rtf::CostMeter& meter) override {
+    inner_->prepare(world, meter);
+  }
+  void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
+             rtf::CostMeter& meter, std::vector<EntityId>& out) override {
+    inner_->query(world, viewer, radius * world.interestScale(), meter, out);
+  }
+
+  [[nodiscard]] InterestPolicy& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<InterestPolicy> inner_;
 };
 
 }  // namespace roia::game

@@ -76,6 +76,10 @@ bool ChurnDriver::step(SimTime now) {
   const std::size_t target = scenario_.targetAt(now);
   const std::size_t current = cluster_.clientCount();
   if (target > current) {
+    // Admission backoff: after a vetoed join wave, hold all joins until the
+    // window expires (leaves below are unaffected).
+    if (now < backoffUntil_) return true;
+    if (vetoStreak_ > 0) ++joinRetries_;
     const std::size_t joins = std::min(config_.maxChangePerPeriod, target - current);
     for (std::size_t i = 0; i < joins; ++i) {
       // Least-populated zone first keeps a sharded world's load spread.
@@ -88,7 +92,17 @@ bool ChurnDriver::step(SimTime now) {
           pick = zones_[z];
         }
       }
-      cluster_.connectClient(pick, std::make_unique<BotProvider>(config_.bots));
+      const ClientId admitted =
+          cluster_.connectClient(pick, std::make_unique<BotProvider>(config_.bots));
+      if (!admitted.valid()) {
+        // Admission vetoed: queue behind an exponential backoff with seeded
+        // jitter instead of hammering the gate every period.
+        ++joinsVetoed_;
+        ++vetoStreak_;
+        enterBackoff(now);
+        break;
+      }
+      vetoStreak_ = 0;
       ++joins_;
     }
   } else if (target < current) {
@@ -102,6 +116,16 @@ bool ChurnDriver::step(SimTime now) {
     }
   }
   return true;
+}
+
+void ChurnDriver::enterBackoff(SimTime now) {
+  if (config_.backoffBase.micros <= 0) return;
+  const std::size_t exponent = std::min<std::size_t>(vetoStreak_ > 0 ? vetoStreak_ - 1 : 0, 6);
+  double delayMicros =
+      static_cast<double>(config_.backoffBase.micros) * static_cast<double>(std::size_t{1} << exponent);
+  delayMicros *= 1.0 + config_.backoffJitter * rng_.uniform(0.0, 1.0);
+  delayMicros = std::min(delayMicros, static_cast<double>(config_.backoffCap.micros));
+  backoffUntil_ = now + SimDuration::microseconds(static_cast<std::int64_t>(delayMicros));
 }
 
 }  // namespace roia::game

@@ -61,6 +61,14 @@ class ChurnDriver {
     std::size_t maxChangePerPeriod{5};
     BotConfig bots{};
     std::uint64_t seed{7};
+    /// Retry backoff after the cluster's admission gate vetoes a join:
+    /// base * 2^k with k = consecutive vetoed waves (exponent capped), plus
+    /// seeded jitter, bounded by backoffCap. Jitter draws RNG only on a
+    /// veto, so runs without admission control are byte-identical.
+    SimDuration backoffBase{SimDuration::milliseconds(400)};
+    SimDuration backoffCap{SimDuration::seconds(5)};
+    /// Multiplicative jitter in [0, backoffJitter] on each backoff delay.
+    double backoffJitter{0.25};
   };
 
   /// Multi-zone form (sharded worlds): joins go to the zone with the fewest
@@ -80,9 +88,16 @@ class ChurnDriver {
   [[nodiscard]] std::size_t currentUsers() const { return cluster_.clientCount(); }
   [[nodiscard]] std::uint64_t totalJoins() const { return joins_; }
   [[nodiscard]] std::uint64_t totalLeaves() const { return leaves_; }
+  /// Joins refused by the cluster's admission gate.
+  [[nodiscard]] std::uint64_t totalVetoedJoins() const { return joinsVetoed_; }
+  /// Join waves re-attempted after a backoff window expired.
+  [[nodiscard]] std::uint64_t totalJoinRetries() const { return joinRetries_; }
+  /// End of the current backoff window; zero when not backing off.
+  [[nodiscard]] SimTime backoffUntil() const { return backoffUntil_; }
 
  private:
   bool step(SimTime now);
+  void enterBackoff(SimTime now);
 
   rtf::Cluster& cluster_;
   std::vector<ZoneId> zones_;
@@ -93,6 +108,10 @@ class ChurnDriver {
   bool runningFlag_{false};
   std::uint64_t joins_{0};
   std::uint64_t leaves_{0};
+  std::uint64_t joinsVetoed_{0};
+  std::uint64_t joinRetries_{0};
+  std::size_t vetoStreak_{0};
+  SimTime backoffUntil_{SimTime::zero()};
 };
 
 }  // namespace roia::game

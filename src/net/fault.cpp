@@ -1,5 +1,6 @@
 #include "net/fault.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace roia::net {
@@ -34,6 +35,27 @@ bool FaultInjector::isPartitioned(NodeId from, NodeId to, SimTime now) const {
     if (fromInside != toInside) return true;
   }
   return false;
+}
+
+void FaultInjector::schedulePreemption(ServerId server, SimTime notice, SimDuration window) {
+  preemptions_.push_back(Preemption{server, notice, window});
+  // Keep (notice, server) order so claims come out deterministically no
+  // matter the scheduling order.
+  std::sort(preemptions_.begin(), preemptions_.end(), [](const Preemption& a, const Preemption& b) {
+    return a.notice != b.notice ? a.notice < b.notice : a.server < b.server;
+  });
+}
+
+std::vector<FaultInjector::Preemption> FaultInjector::claimDuePreemptions(SimTime now) {
+  std::vector<Preemption> due;
+  auto it = preemptions_.begin();
+  while (it != preemptions_.end() && it->notice <= now) {
+    due.push_back(*it);
+    ++it;
+  }
+  preemptions_.erase(preemptions_.begin(), it);
+  preemptionsClaimed_ += due.size();
+  return due;
 }
 
 const FaultParams& FaultInjector::paramsFor(NodeId from, NodeId to) const {

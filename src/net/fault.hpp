@@ -87,6 +87,30 @@ class FaultInjector {
 
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
+  // --- scheduled preemptions (cloud-style preemptible nodes) ---
+  // A preemption is a data-only fault: at `notice` the provider announces
+  // that `server` will be reclaimed `window` later. The management plane
+  // polls claimDuePreemptions() and must drain the server before the window
+  // expires (whatever remains is handled as a crash). The facility consumes
+  // no randomness, so scheduling preemptions never perturbs the drop/
+  // jitter/reorder stream.
+
+  struct Preemption {
+    ServerId server;
+    /// When the preemption notice is delivered to the management plane.
+    SimTime notice{};
+    /// Grace window between notice and forced termination.
+    SimDuration window{SimDuration::zero()};
+  };
+
+  /// Schedules a preemption notice; multiple servers may be pending at once.
+  void schedulePreemption(ServerId server, SimTime notice, SimDuration window);
+  /// Removes and returns every preemption whose notice time has arrived,
+  /// ordered by (notice, server) so consumers act deterministically.
+  [[nodiscard]] std::vector<Preemption> claimDuePreemptions(SimTime now);
+  [[nodiscard]] std::size_t pendingPreemptions() const { return preemptions_.size(); }
+  [[nodiscard]] std::uint64_t preemptionsClaimed() const { return preemptionsClaimed_; }
+
   /// Mirrors injector activity into counters (roia_fault_*_total); nullptr
   /// detaches. Consumes no randomness, so attaching telemetry never
   /// changes the fault schedule.
@@ -110,6 +134,9 @@ class FaultInjector {
   // Ordered by name: isPartitioned() walks this on the frame-judging path
   // that also drives the seeded RNG, so iteration order must be stable.
   std::map<std::string, Partition> partitions_;
+  /// Pending preemption notices, kept sorted by (notice, server).
+  std::vector<Preemption> preemptions_;
+  std::uint64_t preemptionsClaimed_{0};
   FaultStats stats_;
 
   /// Cached instrument pointers (registry references are stable).

@@ -63,6 +63,7 @@ bool RmsManager::controlStep(SimTime now) {
   TimelinePoint point;
   point.timeSec = now.asSeconds();
 
+  processPreemptions(now, point);
   detectAndRecover(now, point);
 
   WorldView world;
@@ -162,6 +163,149 @@ void RmsManager::auditZoneDecision(SimTime now, const ZoneView& view, const Deci
   }
   record.rationale = decision.rationale;
   telemetry_->audit.record(std::move(record));
+}
+
+void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
+  auto* faults = cluster_.faultInjector();
+  if (faults == nullptr && preemptionDeadline_.empty()) return;
+
+  // Claim freshly due notices. For each victim: start draining immediately
+  // and order a like-for-like replacement now, so the new capacity (after
+  // its startup delay) is serving before the grace window closes.
+  if (faults != nullptr) {
+    for (const auto& preemption : faults->claimDuePreemptions(now)) {
+      if (!cluster_.hasServer(preemption.server)) continue;
+      const ZoneId zone = cluster_.server(preemption.server).zone();
+      if (std::find(zones_.begin(), zones_.end(), zone) == zones_.end()) continue;
+      if (preemptionDeadline_.contains(preemption.server)) continue;
+
+      // The provider reclaims at notice + window, not at poll + window — a
+      // slow control loop eats into the grace period, like real life.
+      preemptionDeadline_[preemption.server] = preemption.notice + preemption.window;
+      draining_.insert(preemption.server);
+      ++gracefulDrains_;
+
+      std::size_t flavorIdx = config_.standardFlavor;
+      if (auto leaseIt = serverLease_.find(preemption.server); leaseIt != serverLease_.end()) {
+        if (const auto idx = pool_.leaseFlavor(leaseIt->second)) flavorIdx = *idx;
+      }
+      const bool replacement = beginReplicaStart(zone, flavorIdx, std::nullopt);
+
+      ROIA_LOG(LogLevel::kWarn, "rms",
+               "server " << preemption.server.value << " preempted, draining within "
+                         << preemption.window.asMillis() << "ms");
+      if (telemetry_ != nullptr) {
+        obs::AuditRecord audit;
+        audit.at = now;
+        audit.zone = zone;
+        audit.strategy = strategy_->name();
+        audit.users = cluster_.server(preemption.server).connectedUsers();
+        audit.replicas = cluster_.zones().replicaCount(zone);
+        audit.pendingStarts = pendingStarts_[zone];
+        audit.threshold = "preemption:notice";
+        audit.action = "graceful_drain";
+        audit.rationale = "server " + std::to_string(preemption.server.value) +
+                          " preempted; window=" + std::to_string(preemption.window.asMillis()) +
+                          "ms replacement=" + (replacement ? "ordered" : "pool-exhausted");
+        telemetry_->audit.record(std::move(audit));
+        telemetry_->tracer.instant(traceTrack_, now, "preemption-notice", "rms");
+      }
+    }
+  }
+
+  // Advance every in-flight drain: push users off the victim each period,
+  // and enforce the deadline once it passes.
+  for (auto it = preemptionDeadline_.begin(); it != preemptionDeadline_.end();) {
+    const ServerId victim = it->first;
+    if (!cluster_.hasServer(victim)) {
+      // Already gone: drained clean via finishDrains, or crashed and was
+      // recovered by the failure detector.
+      draining_.erase(victim);
+      it = preemptionDeadline_.erase(it);
+      continue;
+    }
+    const ZoneId zone = cluster_.server(victim).zone();
+
+    if (now >= it->second) {
+      // Deadline. A clean victim is removed like any finished drain; one
+      // with users left is reclaimed under us — treat it as a crash so the
+      // remaining clients are re-homed instead of lost.
+      const std::size_t usersLeft = cluster_.server(victim).connectedUsers();
+      if (auto leaseIt = serverLease_.find(victim); leaseIt != serverLease_.end()) {
+        pool_.release(leaseIt->second, now);
+        serverLease_.erase(leaseIt);
+      }
+      if (usersLeft == 0 && cluster_.zones().replicaCount(zone) > 1) {
+        cluster_.removeServer(victim);
+        ++replicasRemoved_;
+        if (telemetry_ != nullptr) {
+          obs::AuditRecord audit;
+          audit.at = now;
+          audit.zone = zone;
+          audit.strategy = strategy_->name();
+          audit.replicas = cluster_.zones().replicaCount(zone);
+          audit.pendingStarts = pendingStarts_[zone];
+          audit.threshold = "preemption:deadline";
+          audit.action = "drain_complete";
+          audit.rationale =
+              "server " + std::to_string(victim.value) + " drained clean before reclaim";
+          telemetry_->audit.record(std::move(audit));
+        }
+      } else {
+        ++drainFallbacks_;
+        if (!cluster_.server(victim).crashed()) cluster_.crashServer(victim);
+        const rtf::Cluster::RecoveryReport report = cluster_.recoverCrashedServer(victim);
+        point.clientsRehomed += report.clientsRehomed;
+        ROIA_LOG(LogLevel::kWarn, "rms",
+                 "preemption window expired on server " << victim.value << " with " << usersLeft
+                                                        << " users; crash-recovering");
+        if (telemetry_ != nullptr) {
+          obs::AuditRecord audit;
+          audit.at = now;
+          audit.zone = zone;
+          audit.strategy = strategy_->name();
+          audit.users = usersLeft;
+          audit.replicas = cluster_.zones().replicaCount(zone);
+          audit.pendingStarts = pendingStarts_[zone];
+          audit.threshold = "preemption:deadline";
+          audit.action = "recover_crash";
+          audit.rationale = "preemption window expired; rehomed=" +
+                            std::to_string(report.clientsRehomed) +
+                            " promoted=" + std::to_string(report.shadowsPromoted) +
+                            " lost=" + std::to_string(report.clientsLost);
+          telemetry_->audit.record(std::move(audit));
+          telemetry_->tracer.instant(traceTrack_, now, "preemption-fallback", "rms");
+        }
+      }
+      draining_.erase(victim);
+      it = preemptionDeadline_.erase(it);
+      continue;
+    }
+
+    // Within the window: order everyone off, spread over the live
+    // non-draining replicas of the zone (lowest client ids first, like all
+    // other migration orders; a null strategy would never move them).
+    const std::vector<ClientId> candidates = cluster_.server(victim).clientIds(true);
+    if (!candidates.empty()) {
+      std::vector<ServerId> targets;
+      for (const ServerId id : cluster_.zones().replicas(zone)) {
+        if (id == victim || !cluster_.hasServer(id) || draining_.contains(id)) continue;
+        targets.push_back(id);
+      }
+      std::sort(targets.begin(), targets.end(), [this](ServerId a, ServerId b) {
+        const std::size_t ua = cluster_.server(a).connectedUsers();
+        const std::size_t ub = cluster_.server(b).connectedUsers();
+        return ua != ub ? ua < ub : a < b;
+      });
+      for (std::size_t i = 0; i < candidates.size() && !targets.empty(); ++i) {
+        if (cluster_.migrateClient(candidates[i], targets[i % targets.size()])) {
+          ++migrationsOrdered_;
+          ++point.migrationsOrdered;
+        }
+      }
+    }
+    ++it;
+  }
 }
 
 void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {

@@ -110,10 +110,19 @@ class RmsManager {
   [[nodiscard]] std::size_t violationPeriods() const { return violationPeriods_; }
   [[nodiscard]] std::uint64_t crashesDetected() const { return recoveries_.size(); }
   [[nodiscard]] const std::vector<RecoveryRecord>& recoveries() const { return recoveries_; }
+  /// Preemption notices answered with an ordered drain (clients migrated off
+  /// before the provider reclaims the machine).
+  [[nodiscard]] std::uint64_t gracefulDrains() const { return gracefulDrains_; }
+  /// Preemption windows that expired with users still on the victim; the
+  /// remainder was handled as a crash (re-homed, not lost silently).
+  [[nodiscard]] std::uint64_t drainFallbacks() const { return drainFallbacks_; }
 
  private:
   bool controlStep(SimTime now);
   void auditZoneDecision(SimTime now, const ZoneView& view, const Decision& decision);
+  /// Claims due preemption notices from the cluster's fault injector, drains
+  /// the victims within their grace windows and enforces expired deadlines.
+  void processPreemptions(SimTime now, TimelinePoint& point);
   void detectAndRecover(SimTime now, TimelinePoint& point);
   void executeZone(ZoneId zone, const Decision& decision);
   /// Executes the cross-zone balance() decision (ZoneHandoff actions).
@@ -131,6 +140,9 @@ class RmsManager {
   std::map<ServerId, LeaseId> serverLease_;
   std::set<ServerId> draining_;
   std::map<ZoneId, std::size_t> pendingStarts_;
+  /// Servers under a preemption notice, mapped to the forced-termination
+  /// deadline (notice time + grace window).
+  std::map<ServerId, SimTime> preemptionDeadline_;
 
   sim::Simulation::PeriodicToken token_;
   bool runningFlag_{false};
@@ -146,6 +158,8 @@ class RmsManager {
   std::uint64_t replicasRemoved_{0};
   std::uint64_t substitutions_{0};
   std::size_t violationPeriods_{0};
+  std::uint64_t gracefulDrains_{0};
+  std::uint64_t drainFallbacks_{0};
   std::vector<RecoveryRecord> recoveries_;
 };
 

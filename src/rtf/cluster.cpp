@@ -94,6 +94,7 @@ ServerId Cluster::addServer(ZoneId zone, double speedFactor) {
     server->setMonitoringTarget(collector_->node());
   }
   if (telemetry_ != nullptr) server->setTelemetry(telemetry_);
+  if (tickPredictor_) server->setTickPredictor(tickPredictor_);
   server->start();
   servers_.emplace(id, std::move(server));
   zones_.addReplica(zone, id);
@@ -172,6 +173,30 @@ ClientId Cluster::connectClientTo(ServerId serverId, std::unique_ptr<InputProvid
   if (serverIt == servers_.end()) throw std::invalid_argument("connectClientTo: unknown server");
   Server& server = *serverIt->second;
 
+  // Admission control runs before any id allocation or RNG draw: a vetoed
+  // connect must leave the cluster's deterministic state byte-identical to
+  // never having tried.
+  if (admissionGate_) {
+    std::string reason;
+    if (!admissionGate_(server, reason)) {
+      ++admissionVetoes_;
+      if (telemetry_ != nullptr && telemetry_->audit.enabled()) {
+        obs::AuditRecord record;
+        record.at = sim_.now();
+        record.zone = server.zone();
+        record.strategy = "admission-control";
+        record.users = server.connectedUsers();
+        record.replicas = zones_.replicas(server.zone()).size();
+        record.threshold = "eq2:n_max";
+        record.action = "admission_throttle";
+        record.rejected.push_back("admit:" + reason);
+        record.rationale = std::move(reason);
+        telemetry_->audit.record(std::move(record));
+      }
+      return ClientId{};
+    }
+  }
+
   const ClientId clientId{nextClientId_++};
   const EntityId entityId{nextEntityId_++};
   auto endpoint = std::make_unique<ClientEndpoint>(clientId, std::move(provider), sim_, net_,
@@ -187,6 +212,13 @@ ClientId Cluster::connectClientTo(ServerId serverId, std::unique_ptr<InputProvid
   clients_.emplace(clientId, std::move(endpoint));
   clientServer_[clientId] = serverId;
   return clientId;
+}
+
+void Cluster::setTickPredictor(Server::TickPredictor predictor) {
+  tickPredictor_ = std::move(predictor);
+  for (auto& [id, server] : servers_) {
+    server->setTickPredictor(tickPredictor_);
+  }
 }
 
 void Cluster::disconnectClient(ClientId id) {

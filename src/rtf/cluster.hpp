@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -81,12 +82,28 @@ class Cluster {
   [[nodiscard]] std::vector<ServerId> serverIds() const;
   [[nodiscard]] std::size_t serverCount() const { return servers_.size(); }
 
-  /// Connects a new user to the least-populated replica of `zone`.
+  /// Connects a new user to the least-populated replica of `zone`. Returns
+  /// an invalid ClientId when the admission gate vetoes the connect (the
+  /// caller is expected to retry with backoff).
   ClientId connectClient(ZoneId zone, std::unique_ptr<InputProvider> provider);
-  /// Connects a new user to a specific server.
+  /// Connects a new user to a specific server; invalid ClientId on veto.
   ClientId connectClientTo(ServerId server, std::unique_ptr<InputProvider> provider);
   /// Disconnects a user wherever it currently lives.
   void disconnectClient(ClientId id);
+
+  // --- admission control ---
+
+  /// Vetoes new-client admission onto `target` (false = refuse). Typically
+  /// an Eq.2 check: predicted tick at n+1 users must stay within budget.
+  /// `reason` is surfaced in the audit log. Evaluated before any id or RNG
+  /// draw, so a vetoed connect leaves the deterministic state untouched.
+  using AdmissionGate = std::function<bool(const Server& target, std::string& reason)>;
+  void setAdmissionGate(AdmissionGate gate) { admissionGate_ = std::move(gate); }
+  [[nodiscard]] std::uint64_t admissionVetoes() const { return admissionVetoes_; }
+
+  /// Installs an Eq.1/4 tick-cost predictor on all current and future
+  /// servers (the overload ladder catches spikes one tick early with it).
+  void setTickPredictor(Server::TickPredictor predictor);
 
   [[nodiscard]] ClientEndpoint& client(ClientId id) { return *clients_.at(id); }
   [[nodiscard]] bool hasClient(ClientId id) const { return clients_.contains(id); }
@@ -185,6 +202,10 @@ class Cluster {
   std::map<ClientId, ServerId> clientServer_;
   std::unique_ptr<MonitoringCollector> collector_;
   std::unique_ptr<net::FaultInjector> faults_;
+
+  AdmissionGate admissionGate_;
+  Server::TickPredictor tickPredictor_;
+  std::uint64_t admissionVetoes_{0};
 
   std::uint64_t nextServerId_{1};
   std::uint64_t nextClientId_{1};

@@ -27,6 +27,8 @@ ser::Frame encodeMonitoring(const MonitoringSnapshot& snapshot) {
   writer.writeVarU64(snapshot.borderShadows);
   writer.writeVarU64(snapshot.handoffsInitiated);
   writer.writeVarU64(snapshot.handoffsReceived);
+  writer.writeVarU64(snapshot.degradationLevel);
+  writer.writeVarU64(snapshot.shedObservers);
   ser::Frame frame;
   frame.type = ser::MessageType::kMonitoring;
   frame.payload = std::move(writer).take();
@@ -56,6 +58,8 @@ MonitoringSnapshot decodeMonitoring(const ser::Frame& frame) {
   snapshot.borderShadows = reader.readVarU64();
   snapshot.handoffsInitiated = reader.readVarU64();
   snapshot.handoffsReceived = reader.readVarU64();
+  snapshot.degradationLevel = reader.readVarU64();
+  snapshot.shedObservers = reader.readVarU64();
   return snapshot;
 }
 

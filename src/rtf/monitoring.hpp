@@ -49,6 +49,11 @@ struct MonitoringSnapshot {
   std::size_t borderShadows{0};
   std::uint64_t handoffsInitiated{0};
   std::uint64_t handoffsReceived{0};
+
+  /// Current rung of the overload degradation ladder (0 = full fidelity).
+  std::size_t degradationLevel{0};
+  /// Observers currently shed at the deepest ladder level.
+  std::size_t shedObservers{0};
 };
 
 /// Wire codec for monitoring snapshots (ser::MessageType::kMonitoring).

@@ -1,0 +1,67 @@
+// Overload-survival policy for an RTF server: a deterministic degradation
+// ladder stepped by the tick-budget controller in Server::tick().
+//
+// The paper's Eq.2 bounds how many users a replica can serve within the
+// tick deadline; the ladder is what the server does in the instant the
+// bound is exceeded anyway (flash crowd, lost replica) and the management
+// plane has not yet rebalanced. Each rung trades fidelity for headroom:
+//   level 0  full fidelity
+//   level 1+ AOI radius scaled down (fidelity-scaled interest policy)
+//   level 2+ non-critical entities (NPCs, shadows) update at half rate
+//   level 3+ NPC decisions run at half frequency
+//   level 4  lowest-priority observers shed (never ownership)
+// Transitions are hysteretic: stepping down needs a sustained over-budget
+// streak, stepping up a longer streak with real headroom, so the ladder
+// cannot flap on a single noisy tick.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace roia::rtf {
+
+/// Number of ladder rungs (level 0 = full fidelity).
+inline constexpr std::size_t kOverloadLevels = 5;
+
+/// AOI radius multiplier applied at each ladder level via
+/// World::interestScale (consumed by game::FidelityScaledInterest).
+inline constexpr std::array<double, kOverloadLevels> kOverloadAoiScale{1.0, 0.75, 0.55, 0.45,
+                                                                      0.40};
+
+/// Level at/above which non-critical entities (NPCs and shadow avatars)
+/// are dropped from state updates on every other tick.
+inline constexpr std::size_t kSuHalvingLevel = 2;
+
+/// Level at/above which NPC decisions run at half frequency.
+inline constexpr std::size_t kNpcThrottleLevel = 3;
+
+/// Deepest rung: shed the newest observers (highest client ids) first.
+inline constexpr std::size_t kShedLevel = kOverloadLevels - 1;
+
+/// Tick-budget enforcement knobs. Disabled by default so existing
+/// experiments replay byte-identically; the overload harness switches it on.
+struct OverloadConfig {
+  bool enabled{false};
+
+  /// Tick budget in milliseconds; 0 derives the budget from tickInterval.
+  double budgetMs{0.0};
+
+  /// Consecutive ticks over budget before stepping one rung down.
+  std::size_t stepDownAfterTicks{5};
+
+  /// Consecutive ticks under headroomFraction * budget before stepping one
+  /// rung back up. Deliberately slower than stepping down.
+  std::size_t stepUpAfterTicks{50};
+
+  /// A tick only counts toward stepping up when its cost is below this
+  /// fraction of the budget (the hysteresis band between headroomFraction
+  /// and 1.0 holds the current level).
+  double headroomFraction{0.7};
+
+  /// Fraction of connected clients shed at the deepest level (rounded up,
+  /// at least one observer is kept). Shedding skips AOI + state updates for
+  /// the victims; inputs still apply and ownership is never dropped.
+  double shedFraction{0.25};
+};
+
+}  // namespace roia::rtf

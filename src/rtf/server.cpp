@@ -1,6 +1,9 @@
 #include "rtf/server.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "common/log.hpp"
@@ -349,6 +352,7 @@ void Server::tick() {
   const SimDuration busy = probes.totalDuration();
   cpuAccount_.recordTick(probes.start, busy, config_.tickInterval);
   monitoringWindow_.record(probes);
+  if (config_.overload.enabled) updateOverloadLadder(probes, busy);
   if (tickMetrics_) recordTickTelemetry(probes);
   if (probeListener_) probeListener_(*this, probes);
   ++tickSeq_;
@@ -620,25 +624,47 @@ void Server::processClientInputs() {
 
 void Server::updateNpcs() {
   PhaseScope scope(meter_, Phase::kNpc);
-  world_.forEach([this](EntityRecord& e) {
-    if (e.isNpc() && e.owner == id_) {
-      app_.updateNpc(world_, e, meter_, rng_);
-      e.version += 1;
-    }
+  // Deep ladder rungs run NPC decisions at half frequency; the id offset
+  // staggers which half thinks each tick so no NPC freezes entirely.
+  const bool throttle = config_.overload.enabled && overloadLevel_ >= kNpcThrottleLevel;
+  world_.forEach([this, throttle](EntityRecord& e) {
+    if (!e.isNpc() || e.owner != id_) return;
+    if (throttle && (tickSeq_ + e.id.value) % 2 != 0) return;
+    app_.updateNpc(world_, e, meter_, rng_);
+    e.version += 1;
   });
 }
 
 void Server::sendStateUpdates() {
+  // Deepest ladder rung: the shedObservers_ highest client ids get no AOI
+  // scan or state update this tick (their inputs still apply and their
+  // avatars stay owned here — only observation is shed).
+  const std::size_t serveLimit =
+      shedObservers_ < clients_.size() ? clients_.size() - shedObservers_ : 0;
+  // Level >= kSuHalvingLevel halves the update rate of non-critical
+  // entities: on odd ticks the update keeps only avatars this server
+  // simulates, dropping NPCs and shadows.
+  const bool halveNonCritical =
+      config_.overload.enabled && overloadLevel_ >= kSuHalvingLevel && tickSeq_ % 2 == 1;
+  std::size_t served = 0;
   for (const auto& [clientId, session] : clients_) {
     if (session.migrating) continue;
+    if (served >= serveLimit) continue;  // shed observer (highest ids)
     const EntityRecord* viewer = world_.find(session.entity);
     if (viewer == nullptr || viewer->owner != id_) continue;
+    ++served;
 
     {
       PhaseScope scope(meter_, Phase::kAoi);
       app_.computeAreaOfInterest(world_, *viewer, meter_, aoiScratch_);
     }
     PhaseScope scope(meter_, Phase::kSu);
+    if (halveNonCritical) {
+      std::erase_if(aoiScratch_, [&](EntityId id) {
+        const EntityRecord* e = world_.find(id);
+        return e == nullptr || e->isNpc() || e->owner != id_;
+      });
+    }
     app_.buildStateUpdate(world_, *viewer, aoiScratch_, meter_, updateScratch_);
     meter_.charge(config_.updateSerBaseCost +
                   config_.updateSerPerByteCost * static_cast<double>(updateScratch_.size()));
@@ -788,6 +814,17 @@ void Server::processMigrationAcks() {
     inMigrationAcks_.pop_front();
     auto it = clients_.find(ack.client);
     if (it == clients_.end()) continue;
+    // Only the ack matching the outstanding sign-over may release the
+    // session: it must be mid-migration with the avatar signed over to the
+    // acking server. Anything else is a stale ack — e.g. the target adopted
+    // and acked, then crashed before delivery, and cancelMigrationsTo()
+    // already re-owned the avatar here; erasing the live session on that
+    // late ack would wedge the client (owned avatar, no session, inputs
+    // dropped forever).
+    const EntityRecord* signedOver = world_.find(it->second.entity);
+    if (!it->second.migrating || signedOver == nullptr || signedOver->owner != ack.newOwner) {
+      continue;
+    }
     clients_.erase(it);
     if (onMigrationComplete_) onMigrationComplete_(ack.client, id_, ack.newOwner);
   }
@@ -842,8 +879,106 @@ MonitoringSnapshot Server::monitoring() const {
   snapshot.borderShadows = census.borderShadows;
   snapshot.handoffsInitiated = handoffsInitiatedTotal_;
   snapshot.handoffsReceived = handoffsReceivedTotal_;
+  snapshot.degradationLevel = overloadLevel_;
+  snapshot.shedObservers = shedObservers_;
   monitoringWindow_.fill(snapshot);
   return snapshot;
+}
+
+void Server::updateOverloadLadder(const TickProbes& probes, SimDuration busy) {
+  const OverloadConfig& cfg = config_.overload;
+  const double predictedMs =
+      tickPredictor_ ? tickPredictor_(probes.activeUsers, probes.totalAvatars, probes.npcs) : 0.0;
+  const double costMs = std::max(busy.asMillis(), predictedMs);
+  lastTickCostMs_ = costMs;
+  const double budget = tickBudgetMs();
+  if (costMs > budget) {
+    ++overBudgetStreak_;
+    underBudgetStreak_ = 0;
+    if (overBudgetStreak_ >= cfg.stepDownAfterTicks && overloadLevel_ + 1 < kOverloadLevels) {
+      applyOverloadLevel(overloadLevel_ + 1, costMs, predictedMs);
+    }
+  } else if (costMs < cfg.headroomFraction * budget) {
+    ++underBudgetStreak_;
+    overBudgetStreak_ = 0;
+    if (underBudgetStreak_ >= cfg.stepUpAfterTicks && overloadLevel_ > 0) {
+      applyOverloadLevel(overloadLevel_ - 1, costMs, predictedMs);
+    }
+  } else {
+    // Hysteresis band between headroomFraction*budget and budget: hold the
+    // current rung, reset both streaks so the next move needs fresh
+    // evidence.
+    overBudgetStreak_ = 0;
+    underBudgetStreak_ = 0;
+  }
+  updateShedCount();
+}
+
+void Server::applyOverloadLevel(std::size_t newLevel, double costMs, double predictedMs) {
+  const bool down = newLevel > overloadLevel_;
+  overloadLevel_ = newLevel;
+  overBudgetStreak_ = 0;
+  underBudgetStreak_ = 0;
+  if (down) {
+    ++overloadStepDownsTotal_;
+  } else {
+    ++overloadStepUpsTotal_;
+  }
+  world_.setInterestScale(kOverloadAoiScale[overloadLevel_]);
+  char rationale[160];
+  std::snprintf(rationale, sizeof(rationale),
+                "%s to level %zu: cost=%.3fms predicted=%.3fms budget=%.3fms aoi_scale=%.2f",
+                down ? "step down" : "step up", newLevel, costMs, predictedMs, tickBudgetMs(),
+                kOverloadAoiScale[overloadLevel_]);
+  auditOverload("degrade_fidelity", down ? "eq2:tick_budget" : "eq2:tick_headroom", costMs,
+                predictedMs, rationale);
+}
+
+void Server::updateShedCount() {
+  std::size_t target = 0;
+  if (config_.overload.enabled && overloadLevel_ >= kShedLevel && !clients_.empty()) {
+    target = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(clients_.size()) * config_.overload.shedFraction));
+    target = std::min(target, clients_.size() - 1);  // keep at least one served
+  }
+  if (target == shedObservers_) return;
+  const bool shedding = target > shedObservers_;
+  if (shedding) {
+    ++shedEventsTotal_;
+  } else {
+    ++readmitEventsTotal_;
+  }
+  char rationale[128];
+  std::snprintf(rationale, sizeof(rationale),
+                "%s: shed observers %zu -> %zu of %zu clients (level %zu)",
+                shedding ? "shed" : "readmit", shedObservers_, target, clients_.size(),
+                overloadLevel_);
+  shedObservers_ = target;
+  auditOverload(shedding ? "shed_observers" : "readmit_observers", "ladder:shed_level",
+                lastTickCostMs_, -1.0, rationale);
+}
+
+void Server::auditOverload(const char* action, const char* threshold, double costMs,
+                           double predictedMs, std::string rationale) const {
+  if (telemetry_ == nullptr || !telemetry_->audit.enabled()) return;
+  obs::AuditRecord record;
+  record.at = sim_.now();
+  record.zone = world_.zone();
+  record.strategy = "overload-ladder";
+  const World::Census census = world_.census(id_);
+  record.users = census.activeAvatars;
+  record.npcs = census.activeNpcs;
+  record.replicas = peers_.size() + 1;
+  record.measuredMaxTickMs = costMs;
+  record.predictedTickMs = predictedMs;
+  record.threshold = threshold;
+  record.action = action;
+  record.rationale = std::move(rationale);
+  MonitoringSnapshot window;
+  monitoringWindow_.fill(window);
+  record.measuredAvgTickMs = window.tickAvgMs;
+  record.measuredP95TickMs = window.tickP95Ms;
+  telemetry_->audit.record(std::move(record));
 }
 
 }  // namespace roia::rtf

@@ -29,6 +29,7 @@
 #include "rtf/application.hpp"
 #include "rtf/messages.hpp"
 #include "rtf/monitoring.hpp"
+#include "rtf/overload.hpp"
 #include "rtf/probes.hpp"
 #include "rtf/reliable.hpp"
 #include "rtf/world.hpp"
@@ -99,6 +100,8 @@ struct ServerConfig {
   SimDuration heartbeatPeriod{SimDuration::milliseconds(250)};
   /// Retransmission behaviour of the reliable control-plane channel.
   ReliableConfig reliable{};
+  /// Tick-budget enforcement + degradation ladder (disabled by default).
+  OverloadConfig overload{};
 };
 
 /// One neighboring zone as seen by a server: geometry (for the border band)
@@ -131,6 +134,13 @@ class Server : public ForwardSink {
   /// there); nullopt when no zone covers the position. Provided by the
   /// cluster; evaluated inside the tick, so it must be deterministic.
   using HandoffResolver = std::function<std::optional<HandoffTarget>(Vec2 position)>;
+  /// Predicts the next tick's cost in milliseconds from the workload
+  /// (activeUsers, totalAvatars, npcs). Injected by the harness — typically
+  /// Eq.1/4 via model::TickModel, which rtf itself cannot link against. The
+  /// ladder controller uses max(measured, predicted) so a spike is caught
+  /// one tick early.
+  using TickPredictor =
+      std::function<double(std::size_t activeUsers, std::size_t totalAvatars, std::size_t npcs)>;
 
   Server(ServerId id, ZoneId zone, Application& app, sim::Simulation& simulation,
          net::Network& network, ServerConfig config, Rng rng);
@@ -239,6 +249,27 @@ class Server : public ForwardSink {
   /// monitoringPublishPeriod; an invalid id stops publication.
   void setMonitoringTarget(NodeId collector) { monitoringTarget_ = collector; }
 
+  // --- overload survival (degradation ladder) ---
+
+  /// Installs the Eq.2-style tick-cost predictor; unset, the ladder runs on
+  /// measured cost alone.
+  void setTickPredictor(TickPredictor predictor) { tickPredictor_ = std::move(predictor); }
+  /// Current rung of the degradation ladder (0 = full fidelity).
+  [[nodiscard]] std::size_t overloadLevel() const { return overloadLevel_; }
+  /// Effective tick budget in milliseconds (config override or tick rate).
+  [[nodiscard]] double tickBudgetMs() const {
+    return config_.overload.budgetMs > 0.0 ? config_.overload.budgetMs
+                                           : config_.tickInterval.asMillis();
+  }
+  /// Latest cost estimate fed to the ladder: max(measured, predicted), ms.
+  [[nodiscard]] double lastTickCostMs() const { return lastTickCostMs_; }
+  [[nodiscard]] std::uint64_t overloadStepDowns() const { return overloadStepDownsTotal_; }
+  [[nodiscard]] std::uint64_t overloadStepUps() const { return overloadStepUpsTotal_; }
+  /// Observers currently shed at the deepest ladder level.
+  [[nodiscard]] std::size_t shedObservers() const { return shedObservers_; }
+  [[nodiscard]] std::uint64_t shedEvents() const { return shedEventsTotal_; }
+  [[nodiscard]] std::uint64_t readmitEvents() const { return readmitEventsTotal_; }
+
   [[nodiscard]] std::size_t connectedUsers() const { return clients_.size(); }
   /// Connected clients in ascending id order; `migratableOnly` filters out
   /// users already in hand-over.
@@ -286,6 +317,11 @@ class Server : public ForwardSink {
   void detectZoneExits();
   void initiateMigrations();
   void processMigrationAcks();
+  void updateOverloadLadder(const TickProbes& probes, SimDuration busy);
+  void applyOverloadLevel(std::size_t newLevel, double costMs, double predictedMs);
+  void updateShedCount();
+  void auditOverload(const char* action, const char* threshold, double costMs, double predictedMs,
+                     std::string rationale) const;
 
   ServerId id_;
   Application& app_;
@@ -360,6 +396,20 @@ class Server : public ForwardSink {
   std::size_t tickForwardedApplied_{0};
   sim::EventHandle nextTick_{};
   std::size_t lastTickActiveUsers_{0};
+
+  // --- overload ladder state ---
+  TickPredictor tickPredictor_;
+  std::size_t overloadLevel_{0};
+  std::size_t overBudgetStreak_{0};
+  std::size_t underBudgetStreak_{0};
+  double lastTickCostMs_{0.0};
+  /// Clients excluded from AOI/state updates this tick (deepest rung only);
+  /// highest client ids first, never owners of anything but their avatar.
+  std::size_t shedObservers_{0};
+  std::uint64_t overloadStepDownsTotal_{0};
+  std::uint64_t overloadStepUpsTotal_{0};
+  std::uint64_t shedEventsTotal_{0};
+  std::uint64_t readmitEventsTotal_{0};
 
   NodeId monitoringTarget_{};
   SimTime lastMonitoringPublish_{SimTime::zero()};

@@ -86,11 +86,19 @@ class World {
   [[nodiscard]] std::size_t avatarCount() const;
   [[nodiscard]] std::size_t npcCount() const;
 
+  /// Fidelity multiplier applied to interest radii by fidelity-aware
+  /// InterestPolicy wrappers. Owned by the world (1:1 with a server) so the
+  /// degradation ladder of one overloaded replica cannot leak into peers
+  /// that share the same policy object.
+  [[nodiscard]] double interestScale() const { return interestScale_; }
+  void setInterestScale(double scale) { interestScale_ = scale; }
+
   /// Ids of all entities active on `server`, ascending.
   [[nodiscard]] std::vector<EntityId> activeIds(ServerId server) const;
 
  private:
   ZoneId zone_;
+  double interestScale_{1.0};
   std::vector<EntityRecord> slots_;  // ascending id => deterministic iteration
   std::unordered_map<std::uint64_t, std::size_t> slotOf_;  // id -> index into slots_
 };

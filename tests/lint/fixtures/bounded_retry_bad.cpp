@@ -1,0 +1,53 @@
+// Fixture: unbounded retry loops the bounded-retry rule must flag, plus
+// bounded / signal-free / queue-drain loops it must leave alone. The
+// signal words live in code identifiers because comments are masked
+// before scanning. Never compiled.
+bool sendFrame(int attempt);
+bool resendFrame();
+bool acked();
+
+void retransmitForever() {
+  while (true) {
+    int retries = 0;
+    sendFrame(retries);
+  }
+}
+
+void pollForReconnect() {
+  for (;;) {
+    bool reconnect = resendFrame();
+    (void)reconnect;
+  }
+}
+
+void spinUntilAcked() {
+  while (!acked()) {
+    resendFrame();
+  }
+}
+
+void boundedRetryOk() {
+  const int maxAttempts = 8;
+  int attempt = 0;
+  while (!acked()) {
+    resendFrame();
+    if (++attempt >= maxAttempts) { break; }
+  }
+}
+
+void signalFreeSpinOk() {
+  while (true) {
+    if (acked()) { break; }
+  }
+}
+
+struct RetransmitQueue {
+  bool empty() const;
+  void pop();
+};
+
+void drainRetransmitsOk(RetransmitQueue& retransmitQueue) {
+  while (!retransmitQueue.empty()) {
+    retransmitQueue.pop();
+  }
+}

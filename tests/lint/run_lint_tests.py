@@ -26,6 +26,9 @@ EXPECTED_FINDINGS = {
     ("determinism_bad.cpp", 15, "determinism"),
     ("determinism_bad.cpp", 20, "determinism"),
     ("determinism_bad.cpp", 24, "determinism"),
+    ("bounded_retry_bad.cpp", 10, "bounded-retry"),
+    ("bounded_retry_bad.cpp", 17, "bounded-retry"),
+    ("bounded_retry_bad.cpp", 24, "bounded-retry"),
     ("hot_alloc_bad.cpp", 7, "hot-path-alloc"),
     ("hot_alloc_bad.cpp", 8, "hot-path-alloc"),  # std::string
     ("hot_alloc_bad.cpp", 8, "hot-path-alloc"),  # std::to_string (dedup'd in set)
@@ -40,7 +43,7 @@ EXPECTED_SUPPRESSED = {
 }
 EXPECTED_RULES = {
     "determinism", "ordered-iteration", "serialization-coverage",
-    "hot-path-alloc", "bad-suppression",
+    "hot-path-alloc", "bounded-retry", "bad-suppression",
 }
 
 

@@ -26,6 +26,11 @@ Rules (see --list-rules):
   hot-path-alloc         flags new / std::string / std::vector
                          construction inside functions annotated
                          `// roia-hot`.
+  bounded-retry          flags retry/retransmit/poll loops in the
+                         deterministic core with no structural exit
+                         (while(true), for(;;), negated-flag spins) and no
+                         attempt cap, deadline, or budget in sight — an
+                         unreachable peer must not spin forever.
   bad-suppression        a `roia-lint: allow(...)` without a justification
                          (`-- <reason>`) or naming an unknown rule.
 
@@ -74,6 +79,12 @@ RULES = {
     "hot-path-alloc": (
         "no new / std::string / std::to_string / std::vector construction "
         "inside a function annotated // roia-hot"
+    ),
+    "bounded-retry": (
+        "retry/retransmit/poll loops in the deterministic core with no "
+        "structural exit (while(true), for(;;), negated-flag spins) must "
+        "carry an attempt cap, deadline, or budget — unreachable peers "
+        "must not spin forever"
     ),
     "bad-suppression": (
         "roia-lint: allow(...) must name a known rule and carry a "
@@ -445,6 +456,78 @@ def rule_hot_path_alloc(path, raw, masked):
 
 
 # ---------------------------------------------------------------------------
+# bounded-retry
+
+# Identifiers that mark a loop as re-attempting delivery of something: a
+# comment saying "retry" is masked away, so only code-level names count.
+RETRY_SIGNAL_RE = re.compile(
+    r"retry|retries|retrying|retransmit|resend|redeliver|backoff|"
+    r"poll(?:ing)?|reconnect", re.IGNORECASE)
+# Evidence that the loop's persistence is bounded: an attempt counter, a
+# deadline/budget/limit, an expiry check, or an explicit give-up path. The
+# camelCase/snake_case max* family is matched case-sensitively so that a
+# plain word like "climax" cannot satisfy the bound.
+RETRY_BOUND_RE = re.compile(
+    r"(?i:attempts?|deadline|budget|limit|expir\w*|remaining|give_?up)"
+    r"|max[A-Z_]\w*")
+
+LOOP_KEYWORD_RE = re.compile(r"\b(while|for)\s*\(")
+
+
+def unbounded_loops(masked):
+    """Yields (line, header, body) for loops with no structural exit: a
+    while(true)/while(1), a for(;;), or a negated-flag spin `while (!x)`.
+
+    Negated-flag spins with comparison/logical operators or an `empty()`
+    check in the condition are excluded — draining a queue until empty is
+    self-limiting, and compound conditions usually encode a bound already.
+    """
+    for m in LOOP_KEYWORD_RE.finditer(masked):
+        open_paren = masked.find("(", m.start())
+        end = match_bracket(masked, open_paren, "(", ")")
+        if end == -1:
+            continue
+        inner = masked[open_paren + 1:end - 1].strip()
+        if m.group(1) == "while":
+            if inner not in ("true", "1"):
+                flag = inner.replace("->", ".")
+                if not (flag.startswith("!")
+                        and not any(ch in flag for ch in "<>=&|")
+                        and "empty" not in flag.lower()):
+                    continue
+        else:  # for
+            if re.sub(r"\s+", "", inner) != ";;":
+                continue
+        j = end
+        while j < len(masked) and masked[j].isspace():
+            j += 1
+        if j < len(masked) and masked[j] == "{":
+            body_end = match_bracket(masked, j, "{", "}")
+            body = masked[j:body_end] if body_end != -1 else masked[j:]
+        else:
+            semi = masked.find(";", j)
+            body = masked[j:semi + 1] if semi != -1 else masked[j:]
+        yield line_of(masked, m.start()), inner, body
+
+
+def rule_bounded_retry(path, masked, in_core):
+    if not in_core:
+        return []
+    findings = []
+    for line, header, body in unbounded_loops(masked):
+        if not RETRY_SIGNAL_RE.search(body):
+            continue
+        if RETRY_BOUND_RE.search(header) or RETRY_BOUND_RE.search(body):
+            continue
+        findings.append(Finding(
+            path, line, "bounded-retry",
+            "retry/retransmit loop with no structural exit and no attempt "
+            "cap, deadline, or budget in sight — bound the retries or the "
+            "loop spins forever against an unreachable peer"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 
 def path_subsystem(path):
@@ -513,6 +596,7 @@ def lint_files(files, assume_core=False):
         file_findings += rule_determinism(path, masked, in_core)
         file_findings += rule_ordered_iteration(path, masked, paired, feeds_output)
         file_findings += rule_hot_path_alloc(path, raw, masked)
+        file_findings += rule_bounded_retry(path, masked, in_core)
 
         if os.path.basename(path) == "messages.hpp":
             cpp = os.path.splitext(path)[0] + ".cpp"
