@@ -24,6 +24,10 @@ namespace roia::benchharness {
 ///   ROIA_METRICS_OUT  metrics snapshot; format by extension: .prom
 ///                     (Prometheus text), .csv, anything else JSONL
 ///   ROIA_AUDIT_OUT    RMS decision audit log, JSONL
+///   ROIA_SLO_OUT      SLO compliance/burn-rate summary, JSONL; also
+///                     installs the default objectives when none are set
+///   ROIA_DRIFT_OUT    Eq.2/Eq.4 model-drift residual summary, JSONL
+///   ROIA_FLIGHT_OUT   flight-recorder dumps (breach/crash rings), JSONL
 ///   ROIA_TRACE_SAMPLE synthesize tick spans every Nth tick (default 1)
 /// With none of the knobs set, telemetry stays off and the run is
 /// bit-identical to one without this scope.
@@ -33,12 +37,21 @@ class TelemetryScope {
     traceOut_ = envString("ROIA_TRACE_OUT");
     metricsOut_ = envString("ROIA_METRICS_OUT");
     auditOut_ = envString("ROIA_AUDIT_OUT");
-    if (traceOut_.empty() && metricsOut_.empty() && auditOut_.empty()) return;
+    sloOut_ = envString("ROIA_SLO_OUT");
+    driftOut_ = envString("ROIA_DRIFT_OUT");
+    flightOut_ = envString("ROIA_FLIGHT_OUT");
+    if (traceOut_.empty() && metricsOut_.empty() && auditOut_.empty() && sloOut_.empty() &&
+        driftOut_.empty() && flightOut_.empty()) {
+      return;
+    }
     active_ = true;
     obs::Telemetry& telemetry = obs::Telemetry::global();
     telemetry.setActive(true);
     telemetry.tracer.setEnabled(!traceOut_.empty());
-    telemetry.audit.setEnabled(!auditOut_.empty());
+    telemetry.audit.setEnabled(!auditOut_.empty() || !sloOut_.empty() || !flightOut_.empty());
+    if (!sloOut_.empty() && telemetry.slo.objectiveCount() == 0) {
+      obs::installDefaultObjectives(telemetry.slo);
+    }
     if (const char* sample = std::getenv("ROIA_TRACE_SAMPLE")) {
       const long every = std::strtol(sample, nullptr, 10);
       if (every > 0) telemetry.traceTickSampleEvery = static_cast<std::size_t>(every);
@@ -79,6 +92,25 @@ class TelemetryScope {
       std::fprintf(stderr, "telemetry: %zu audit records -> %s\n", telemetry.audit.size(),
                    auditOut_.c_str());
     }
+    if (!sloOut_.empty()) {
+      std::ofstream out(sloOut_);
+      telemetry.slo.writeJsonl(out);
+      telemetry.protocols.writeJsonl(out);
+      std::fprintf(stderr, "telemetry: %zu slo objectives, %zu breaches -> %s\n",
+                   telemetry.slo.objectiveCount(), telemetry.slo.breachCount(), sloOut_.c_str());
+    }
+    if (!driftOut_.empty()) {
+      std::ofstream out(driftOut_);
+      telemetry.drift.writeJsonl(out);
+      std::fprintf(stderr, "telemetry: %zu drift events -> %s\n",
+                   telemetry.drift.driftEventCount(), driftOut_.c_str());
+    }
+    if (!flightOut_.empty()) {
+      std::ofstream out(flightOut_);
+      telemetry.flight.writeJsonl(out);
+      std::fprintf(stderr, "telemetry: %zu flight dumps -> %s\n", telemetry.flight.dumpCount(),
+                   flightOut_.c_str());
+    }
   }
 
  private:
@@ -92,6 +124,9 @@ class TelemetryScope {
   std::string traceOut_;
   std::string metricsOut_;
   std::string auditOut_;
+  std::string sloOut_;
+  std::string driftOut_;
+  std::string flightOut_;
 };
 
 /// Full-strength calibration campaign (matches the paper: up to 300 bots on

@@ -10,11 +10,19 @@ Collects two kinds of wall-clock evidence from a built tree:
     ROIA_BENCH_THREADS=N, records both wall-clock times and the speedup, and
     asserts the two runs produced byte-identical stdout (the determinism
     contract of the sweep engine).
+ 3. telemetry overhead (--obs-overhead BENCH...) — runs each named harness
+    with all telemetry sidecars off and then on (every ROIA_*_OUT knob set),
+    asserts the two runs produced byte-identical stdout (the zero-cost-
+    observer contract), and records the wall-clock ratio into
+    BENCH_obs_overhead.json. --max-overhead-ratio gates on it.
 
-Only the Python standard library is used. Typical CI invocation:
+Only the Python standard library is used. Typical CI invocations:
 
     python3 scripts/perf_report.py --build-dir build --threads 4 \
         --out build/BENCH_wallclock.json --require-speedup 2.0
+    python3 scripts/perf_report.py --build-dir build --skip-micro --sweeps \
+        --obs-overhead fig8_dynamic_session ext_overload_degradation \
+        --max-overhead-ratio 1.5
 """
 
 import argparse
@@ -35,6 +43,66 @@ DEFAULT_SWEEPS = [
 
 class DeterminismError(RuntimeError):
     """A sweep produced different stdout at different thread counts."""
+
+
+# Every environment knob bench_common.hpp's TelemetryScope reads; the "off"
+# leg strips them all, the "on" leg sets every sidecar output.
+OBS_ENV_KNOBS = (
+    "ROIA_TRACE_OUT", "ROIA_METRICS_OUT", "ROIA_AUDIT_OUT", "ROIA_SLO_OUT",
+    "ROIA_DRIFT_OUT", "ROIA_FLIGHT_OUT", "ROIA_TRACE_SAMPLE",
+)
+
+
+def run_obs_overhead(build_dir: str, bench: str, repetitions: int = 3) -> dict:
+    """Telemetry-off vs telemetry-on wall clock for one harness.
+
+    Both legs pin ROIA_BENCH_THREADS=1 so scheduling noise cannot masquerade
+    as observer cost; best-of-N damps the remaining jitter. Byte-identical
+    stdout across the two legs is the zero-cost-observer contract — a
+    mismatch aborts the report the same way a sweep determinism break does.
+    """
+    binary = os.path.join(build_dir, "bench", bench)
+    sidecar_dir = os.path.join(build_dir, f"obs_overhead_{bench}")
+    os.makedirs(sidecar_dir, exist_ok=True)
+
+    off_env = {k: v for k, v in os.environ.items() if k not in OBS_ENV_KNOBS}
+    off_env["ROIA_BENCH_THREADS"] = "1"
+    on_env = dict(off_env)
+    on_env.update({
+        "ROIA_TRACE_OUT": os.path.join(sidecar_dir, "trace.json"),
+        "ROIA_METRICS_OUT": os.path.join(sidecar_dir, "metrics.jsonl"),
+        "ROIA_AUDIT_OUT": os.path.join(sidecar_dir, "audit.jsonl"),
+        "ROIA_SLO_OUT": os.path.join(sidecar_dir, "slo.jsonl"),
+        "ROIA_DRIFT_OUT": os.path.join(sidecar_dir, "drift.jsonl"),
+        "ROIA_FLIGHT_OUT": os.path.join(sidecar_dir, "flight.jsonl"),
+    })
+
+    def timed(env):
+        best, out = None, None
+        for _ in range(repetitions):
+            start = time.monotonic()
+            proc = subprocess.run([binary], check=True, env=env,
+                                  stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+            elapsed = time.monotonic() - start
+            if best is None or elapsed < best:
+                best = elapsed
+            out = proc.stdout
+        return best, out
+
+    off_s, off_out = timed(off_env)
+    on_s, on_out = timed(on_env)
+    if off_out != on_out:
+        raise DeterminismError(
+            f"{bench}: stdout differs with telemetry sidecars on vs off — "
+            "the zero-cost-observer contract is broken")
+    return {
+        "bench": bench,
+        "repetitions": repetitions,
+        "telemetry_off_seconds": round(off_s, 3),
+        "telemetry_on_seconds": round(on_s, 3),
+        "overhead_ratio": round(on_s / off_s, 3) if off_s > 0 else None,
+        "stdout_identical": True,
+    }
 
 
 def run_micro(build_dir: str) -> list:
@@ -110,6 +178,13 @@ def main() -> int:
     parser.add_argument("--skip-micro", action="store_true")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail unless at least one sweep reaches this speedup")
+    parser.add_argument("--obs-overhead", nargs="*", default=[],
+                        help="harnesses to time with telemetry off vs on")
+    parser.add_argument("--obs-overhead-out", default=None,
+                        help="overhead report path "
+                             "(default: <build-dir>/BENCH_obs_overhead.json)")
+    parser.add_argument("--max-overhead-ratio", type=float, default=None,
+                        help="fail if any telemetry-on/off ratio exceeds this")
     args = parser.parse_args()
 
     # A hostile --threads value (0, negative) means "serial only", never a
@@ -128,7 +203,8 @@ def main() -> int:
     # clean one-line error and a nonzero exit, never a traceback or a
     # partially-written report.
     needed = [] if args.skip_micro else [os.path.join(args.build_dir, "bench", "micro_benchmarks")]
-    needed += [os.path.join(args.build_dir, "bench", bench) for bench in args.sweeps]
+    needed += [os.path.join(args.build_dir, "bench", bench)
+               for bench in list(args.sweeps) + list(args.obs_overhead)]
     missing = [path for path in needed if not os.path.isfile(path)]
     if missing:
         for path in missing:
@@ -164,13 +240,51 @@ def main() -> int:
                   f"-> {result['speedup']}x (stdout identical)")
 
     # Atomic write: downstream tooling never observes a half-written report.
-    tmp_path = out_path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
-    os.replace(tmp_path, out_path)
-    print(f"wrote {out_path} ({len(report['micro'])} micro benchmarks, "
-          f"{len(report['sweeps'])} sweeps)")
+    # An overhead-only invocation (--skip-micro --sweeps) leaves any existing
+    # wall-clock report untouched instead of overwriting it with an empty one.
+    if not args.skip_micro or args.sweeps:
+        tmp_path = out_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        os.replace(tmp_path, out_path)
+        print(f"wrote {out_path} ({len(report['micro'])} micro benchmarks, "
+              f"{len(report['sweeps'])} sweeps)")
+
+    if args.obs_overhead:
+        overhead_report = {
+            "schema": "roia-bench-obs-overhead/1",
+            "cpu_count": os.cpu_count(),
+            "benches": [],
+        }
+        for bench in args.obs_overhead:
+            try:
+                result = run_obs_overhead(args.build_dir, bench)
+            except DeterminismError as err:
+                print(f"ERROR: {err}", file=sys.stderr)
+                return 1
+            overhead_report["benches"].append(result)
+            print(f"{bench}: telemetry off {result['telemetry_off_seconds']}s, "
+                  f"on {result['telemetry_on_seconds']}s "
+                  f"-> {result['overhead_ratio']}x (stdout identical)")
+        overhead_path = args.obs_overhead_out or os.path.join(
+            args.build_dir, "BENCH_obs_overhead.json")
+        tmp_path = overhead_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(overhead_report, f, indent=2)
+            f.write("\n")
+        os.replace(tmp_path, overhead_path)
+        print(f"wrote {overhead_path} ({len(overhead_report['benches'])} benches)")
+        if args.max_overhead_ratio is not None:
+            ratios = [b["overhead_ratio"] for b in overhead_report["benches"]
+                      if b["overhead_ratio"] is not None]
+            worst = max(ratios, default=None)
+            if worst is not None and worst > args.max_overhead_ratio:
+                print(f"FAIL: worst telemetry overhead {worst}x > allowed "
+                      f"{args.max_overhead_ratio}x", file=sys.stderr)
+                return 1
+            print(f"worst telemetry overhead {worst}x <= "
+                  f"{args.max_overhead_ratio}x: OK")
 
     if args.require_speedup is not None:
         measured = [s["speedup"] for s in report["sweeps"] if s["speedup"] is not None]

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Lightweight schema checks for the telemetry sidecar files.
+
+Validates, without any third-party dependency, the artifacts the bench
+harnesses emit through bench_common.hpp's TelemetryScope:
+
+  trace   Chrome/Perfetto trace-event JSON: a {"traceEvents": [...]} object,
+          non-decreasing "ts", matched B/E span pairs per (pid, tid).
+  slo     SLO + protocol summary JSONL (ROIA_SLO_OUT): objective rows carry
+          objective/key/bound/compliance/breaches, protocol rows carry
+          protocol/count/p50_ms/p95_ms/p99_ms/outcomes/open.
+  drift   model-drift residual JSONL (ROIA_DRIFT_OUT): per-key residual
+          moments, CoV and quantiles, all finite.
+  flight  flight-recorder JSONL (ROIA_FLIGHT_OUT): frames grouped into
+          dumps with non-decreasing tick per (dump, key).
+  audit   RMS/server audit JSONL (ROIA_AUDIT_OUT): t_s/action/strategy/
+          threshold/rationale on every record.
+
+Usage:
+
+    python3 scripts/validate_telemetry.py --trace build/trace.json \
+        --slo build/slo.jsonl --drift build/drift.jsonl \
+        --flight build/flight.jsonl --audit build/audit.jsonl
+
+Missing-file and empty-file handling is strict: a named file must exist and
+contain at least one record unless the flag is prefixed optional: (e.g.
+`--flight optional:build/flight.jsonl` — a run with no breach legitimately
+dumps nothing). Exit 0 clean, 1 on any violation.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise ValidationError(f"{path}: {message}")
+
+
+def load_jsonl(path):
+    rows = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(path, f"line {lineno}: invalid JSON ({err})")
+            if not isinstance(row, dict):
+                fail(path, f"line {lineno}: expected an object, got {type(row).__name__}")
+            rows.append(row)
+    return rows
+
+
+def require_keys(path, row, keys, what):
+    missing = [k for k in keys if k not in row]
+    if missing:
+        fail(path, f"{what} record missing key(s) {missing}: {row}")
+
+
+def require_finite(path, row, keys, what):
+    for k in keys:
+        v = row.get(k)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
+            fail(path, f"{what} record field {k!r} is not a finite number: {v!r}")
+
+
+def validate_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents must be a non-empty array")
+    ts = [e["ts"] for e in events if "ts" in e]
+    if ts != sorted(ts):
+        fail(path, "trace timestamps must be non-decreasing")
+    opens = {}
+    for e in events:
+        if "ph" not in e:
+            fail(path, f"event without a phase: {e}")
+        lane = (e.get("pid"), e.get("tid"))
+        if e["ph"] == "B":
+            opens[lane] = opens.get(lane, 0) + 1
+        elif e["ph"] == "E":
+            opens[lane] = opens.get(lane, 0) - 1
+            if opens[lane] < 0:
+                fail(path, f"span end without begin on lane {lane}")
+    unbalanced = {lane: n for lane, n in opens.items() if n != 0}
+    if unbalanced:
+        fail(path, f"unmatched B/E spans: {unbalanced}")
+    return f"{len(events)} trace events"
+
+
+def validate_slo(path):
+    rows = load_jsonl(path)
+    if not rows:
+        fail(path, "no records")
+    objectives = protocols = 0
+    for row in rows:
+        if "objective" in row:
+            objectives += 1
+            require_keys(path, row,
+                         ("objective", "key", "threshold", "bound", "target",
+                          "samples", "good", "compliance", "short_burn",
+                          "long_burn", "breaches"), "SLO")
+            if row["bound"] not in ("upper", "lower"):
+                fail(path, f"SLO bound must be upper|lower: {row['bound']!r}")
+            require_finite(path, row, ("threshold", "target", "compliance",
+                                       "short_burn", "long_burn"), "SLO")
+            if not 0.0 <= row["compliance"] <= 1.0:
+                fail(path, f"compliance out of [0,1]: {row['compliance']}")
+        elif "protocol" in row:
+            protocols += 1
+            require_keys(path, row, ("protocol", "count", "p50_ms", "p95_ms",
+                                     "p99_ms", "outcomes", "open"), "protocol")
+            require_finite(path, row, ("p50_ms", "p95_ms", "p99_ms"), "protocol")
+            if not isinstance(row["outcomes"], dict):
+                fail(path, f"protocol outcomes must be an object: {row}")
+        else:
+            fail(path, f"record is neither an SLO nor a protocol row: {row}")
+    if objectives == 0:
+        fail(path, "no SLO objective rows")
+    return f"{objectives} SLO rows, {protocols} protocol rows"
+
+
+def validate_drift(path):
+    rows = load_jsonl(path)
+    if not rows:
+        fail(path, "no records")
+    for row in rows:
+        require_keys(path, row,
+                     ("key", "count", "mean_residual_ms", "mean_measured_ms",
+                      "cov", "abs_residual_p50_ms", "abs_residual_p95_ms",
+                      "abs_residual_p99_ms", "window_mean_abs_rel_error",
+                      "drift_events"), "drift")
+        require_finite(path, row, ("mean_residual_ms", "mean_measured_ms",
+                                   "cov", "abs_residual_p50_ms"), "drift")
+        if row["count"] < 0 or row["drift_events"] < 0:
+            fail(path, f"negative counters: {row}")
+    return f"{len(rows)} drift rows"
+
+
+def validate_flight(path):
+    rows = load_jsonl(path)
+    if not rows:
+        fail(path, "no records")
+    last_tick = {}
+    for row in rows:
+        require_keys(path, row, ("dump", "reason", "dump_t_s", "key", "tick",
+                                 "t_s", "dur_ms", "users", "avatars", "npcs",
+                                 "level", "event"), "flight")
+        lane = (row["dump"], row["key"])
+        if lane in last_tick and row["tick"] < last_tick[lane]:
+            fail(path, f"ticks must be non-decreasing within a dump ring: {row}")
+        last_tick[lane] = row["tick"]
+    return f"{len(rows)} flight frames in {len({r['dump'] for r in rows})} dump(s)"
+
+
+def validate_audit(path):
+    rows = load_jsonl(path)
+    if not rows:
+        fail(path, "no records")
+    for row in rows:
+        require_keys(path, row, ("t_s", "action", "strategy", "threshold",
+                                 "rationale"), "audit")
+    return f"{len(rows)} audit records"
+
+
+VALIDATORS = {
+    "trace": validate_trace,
+    "slo": validate_slo,
+    "drift": validate_drift,
+    "flight": validate_flight,
+    "audit": validate_audit,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    for kind in VALIDATORS:
+        parser.add_argument(f"--{kind}", action="append", default=[],
+                            metavar="PATH",
+                            help=f"{kind} file to validate "
+                                 "(prefix optional: to allow a missing/empty file)")
+    args = parser.parse_args()
+
+    jobs = [(kind, path) for kind in VALIDATORS
+            for path in getattr(args, kind)]
+    if not jobs:
+        parser.error("nothing to validate (pass --trace/--slo/--drift/--flight/--audit)")
+
+    failures = 0
+    for kind, path in jobs:
+        optional = path.startswith("optional:")
+        if optional:
+            path = path[len("optional:"):]
+        try:
+            summary = VALIDATORS[kind](path)
+        except FileNotFoundError:
+            if optional:
+                print(f"{path}: absent (optional {kind}) — skipped")
+                continue
+            print(f"FAIL {path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        except ValidationError as err:
+            if optional and str(err).endswith("no records"):
+                print(f"{path}: empty (optional {kind}) — skipped")
+                continue
+            print(f"FAIL {err}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"{path}: {summary}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

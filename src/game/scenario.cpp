@@ -99,8 +99,24 @@ bool ChurnDriver::step(SimTime now) {
         // jitter instead of hammering the gate every period.
         ++joinsVetoed_;
         ++vetoStreak_;
+        if (obs::Telemetry* telemetry = cluster_.telemetry()) {
+          if (vetoStreak_ == 1) {
+            admissionTrace_ = obs::admissionTraceId(joinsVetoed_);
+            telemetry->protocols.begin(obs::Protocol::kAdmissionRetry, admissionTrace_, now);
+          } else if (admissionTrace_ != 0) {
+            telemetry->protocols.phase(obs::Protocol::kAdmissionRetry, admissionTrace_, now,
+                                       "retry_vetoed");
+          }
+        }
         enterBackoff(now);
         break;
+      }
+      if (vetoStreak_ > 0 && admissionTrace_ != 0) {
+        if (obs::Telemetry* telemetry = cluster_.telemetry()) {
+          telemetry->protocols.end(obs::Protocol::kAdmissionRetry, admissionTrace_, now,
+                                   obs::ProtocolOutcome::kCompleted);
+        }
+        admissionTrace_ = 0;
       }
       vetoStreak_ = 0;
       ++joins_;

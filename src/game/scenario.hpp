@@ -112,6 +112,9 @@ class ChurnDriver {
   std::uint64_t joinRetries_{0};
   std::size_t vetoStreak_{0};
   SimTime backoffUntil_{SimTime::zero()};
+  /// Trace id of the open admission refuse+backoff protocol instance
+  /// (0 = none); spans first veto → first successful re-admission.
+  std::uint64_t admissionTrace_{0};
 };
 
 }  // namespace roia::game

@@ -1,0 +1,117 @@
+#include "obs/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace roia::obs {
+
+namespace {
+
+// Residuals live in the same range as tick durations (sub-microsecond to
+// seconds, in ms).
+constexpr LogHistogram::Config kResidualConfig{1e-6, 1e4, 1.0905077326652577};
+
+// Guards the relative-error division against idle ticks that measure ~0 ms.
+constexpr double kMinMeasuredMs = 1e-6;
+
+}  // namespace
+
+DriftMonitor::State::State() : absResidualMs(kResidualConfig) {}
+
+std::optional<DriftEvent> DriftMonitor::record(std::string_view key, double predictedMs,
+                                               double measuredMs, SimTime at) {
+  if (!std::isfinite(predictedMs) || !std::isfinite(measuredMs)) return std::nullopt;
+  auto it = states_.find(key);
+  if (it == states_.end()) it = states_.emplace(std::string(key), State{}).first;
+  State& state = it->second;
+
+  const double residual = measuredMs - predictedMs;
+  const double relError = std::abs(residual) / std::max(kMinMeasuredMs, measuredMs);
+  ++state.count;
+  state.sumResidual += residual;
+  state.sumResidualSq += residual * residual;
+  state.sumMeasured += measuredMs;
+  state.absResidualMs.add(std::abs(residual));
+  state.window.push_back(relError);
+  state.windowSum += relError;
+  if (state.window.size() > config_.windowSamples) {
+    state.windowSum -= state.window.front();
+    state.window.pop_front();
+  }
+
+  if (state.count < config_.minSamples || state.window.size() < config_.windowSamples) {
+    return std::nullopt;
+  }
+  const double windowMean = state.windowSum / static_cast<double>(state.window.size());
+  if (windowMean <= config_.relErrorBand) return std::nullopt;
+  // Cooldown only applies after a first event (see SloEngine::record).
+  if (state.drifts > 0 && at - state.lastDrift < config_.cooldown) return std::nullopt;
+
+  state.lastDrift = at;
+  ++state.drifts;
+  ++driftEvents_;
+  DriftEvent event;
+  event.key = key;
+  event.windowMeanAbsRelError = windowMean;
+  event.band = config_.relErrorBand;
+  event.samples = state.count;
+  event.at = at;
+  return event;
+}
+
+std::uint64_t DriftMonitor::sampleCount(std::string_view key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? 0 : it->second.count;
+}
+
+const LogHistogram* DriftMonitor::residualHistogram(std::string_view key) const {
+  const auto it = states_.find(key);
+  return it == states_.end() ? nullptr : &it->second.absResidualMs;
+}
+
+double DriftMonitor::residualCov(std::string_view key) const {
+  const auto it = states_.find(key);
+  if (it == states_.end() || it->second.count < 2) return 0.0;
+  const State& state = it->second;
+  const auto n = static_cast<double>(state.count);
+  const double mean = state.sumResidual / n;
+  const double variance = std::max(0.0, state.sumResidualSq / n - mean * mean);
+  const double meanMeasured = state.sumMeasured / n;
+  if (meanMeasured <= kMinMeasuredMs) return 0.0;
+  return std::sqrt(variance) / meanMeasured;
+}
+
+void DriftMonitor::writeJsonl(std::ostream& out) const {
+  std::string line;
+  for (const auto& [key, state] : states_) {
+    const auto n = static_cast<double>(std::max<std::uint64_t>(1, state.count));
+    line.clear();
+    line += "{\"key\":";
+    appendJsonString(line, key);
+    line += ",\"count\":" + std::to_string(state.count);
+    line += ",\"mean_residual_ms\":";
+    appendJsonNumber(line, state.sumResidual / n);
+    line += ",\"mean_measured_ms\":";
+    appendJsonNumber(line, state.sumMeasured / n);
+    line += ",\"cov\":";
+    appendJsonNumber(line, residualCov(key));
+    line += ",\"abs_residual_p50_ms\":";
+    appendJsonNumber(line, state.absResidualMs.quantile(0.5));
+    line += ",\"abs_residual_p95_ms\":";
+    appendJsonNumber(line, state.absResidualMs.quantile(0.95));
+    line += ",\"abs_residual_p99_ms\":";
+    appendJsonNumber(line, state.absResidualMs.quantile(0.99));
+    line += ",\"window_mean_abs_rel_error\":";
+    appendJsonNumber(line, state.window.empty()
+                               ? 0.0
+                               : state.windowSum / static_cast<double>(state.window.size()));
+    line += ",\"drift_events\":" + std::to_string(state.drifts);
+    line += "}";
+    out << line << '\n';
+  }
+}
+
+}  // namespace roia::obs

@@ -1,0 +1,85 @@
+// Model-drift monitor: per-server (or per-zone) residuals of the Eq.2/Eq.4
+// predicted tick time against the measured tick time. The paper's control
+// loop is only as good as its predictor, so this is the empirical hook the
+// USL-fit roadmap item needs: residual histograms, coefficient of
+// variation, and a drift event when the windowed mean |relative error|
+// leaves the configured band — the signal to re-fit the model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace roia::obs {
+
+struct DriftConfig {
+  /// Windowed mean |relative error| beyond this fires a drift event.
+  double relErrorBand{0.5};
+  /// Sliding window length (samples) for the drift test.
+  std::size_t windowSamples{64};
+  /// Lifetime samples required before drift can fire for a key.
+  std::uint64_t minSamples{64};
+  /// Re-arm delay per key after a drift event.
+  SimDuration cooldown{SimDuration::seconds(10)};
+};
+
+struct DriftEvent {
+  std::string key;
+  /// Mean |measured - predicted| / measured over the window at fire time.
+  double windowMeanAbsRelError{0.0};
+  double band{0.0};
+  std::uint64_t samples{0};
+  SimTime at{};
+};
+
+class DriftMonitor {
+ public:
+  void setConfig(DriftConfig config) { config_ = config; }
+  [[nodiscard]] const DriftConfig& config() const { return config_; }
+
+  /// Feeds one predicted-vs-measured pair (milliseconds); returns a drift
+  /// event when the windowed error leaves the band (outside the cooldown).
+  std::optional<DriftEvent> record(std::string_view key, double predictedMs, double measuredMs,
+                                   SimTime at);
+
+  [[nodiscard]] std::uint64_t sampleCount(std::string_view key) const;
+  /// |residual| histogram for a key; nullptr before its first sample.
+  [[nodiscard]] const LogHistogram* residualHistogram(std::string_view key) const;
+  /// Coefficient of variation of the residual: stddev(residual) over mean
+  /// measured tick time. 0 before two samples.
+  [[nodiscard]] double residualCov(std::string_view key) const;
+  [[nodiscard]] std::uint64_t driftEventCount() const { return driftEvents_; }
+
+  /// One JSON object per key per line: residual moments, CoV, |residual|
+  /// percentiles, windowed relative error, drift event count.
+  void writeJsonl(std::ostream& out) const;
+
+ private:
+  struct State {
+    std::uint64_t count{0};
+    double sumResidual{0.0};
+    double sumResidualSq{0.0};
+    double sumMeasured{0.0};
+    LogHistogram absResidualMs;
+    std::deque<double> window;  // recent |relative error|
+    double windowSum{0.0};
+    std::uint64_t drifts{0};
+    /// Only meaningful when drifts > 0.
+    SimTime lastDrift{};
+
+    State();
+  };
+
+  DriftConfig config_;
+  std::map<std::string, State, std::less<>> states_;
+  std::uint64_t driftEvents_{0};
+};
+
+}  // namespace roia::obs

@@ -1,0 +1,38 @@
+// roia-audit-event-registry — the single registry of audit event (action)
+// names. Every audit record emitted anywhere in the tree must take its
+// `action` from this vocabulary; the roia-lint `audit-vocabulary` rule
+// flags any emitted literal that is not registered here. Keeping the
+// vocabulary closed makes the audit log greppable and lets downstream
+// tooling (health_report.py, dashboards) switch on event names without
+// chasing free-form strings.
+#pragma once
+
+namespace roia::obs::events {
+
+// RMS strategy actions (Eq.2/3/5 driven decisions).
+inline constexpr const char* kNone = "none";
+inline constexpr const char* kAddReplica = "add_replica";
+inline constexpr const char* kSubstituteServer = "substitute_server";
+inline constexpr const char* kRemoveServer = "remove_server";
+inline constexpr const char* kMigrateOnly = "migrate_only";
+inline constexpr const char* kZoneHandoff = "zone_handoff";
+
+// Crash detection / preemption lifecycle.
+inline constexpr const char* kRecoverCrash = "recover_crash";
+inline constexpr const char* kGracefulDrain = "graceful_drain";
+inline constexpr const char* kDrainComplete = "drain_complete";
+
+// Cluster-edge admission control.
+inline constexpr const char* kAdmissionThrottle = "admission_throttle";
+
+// Per-server overload (degradation ladder).
+inline constexpr const char* kDegradeFidelity = "degrade_fidelity";
+inline constexpr const char* kShedObservers = "shed_observers";
+inline constexpr const char* kReadmitObservers = "readmit_observers";
+
+// Observability v2: SLO engine, model-drift monitor, flight recorder.
+inline constexpr const char* kSloBreach = "slo_breach";
+inline constexpr const char* kModelDrift = "model_drift";
+inline constexpr const char* kFlightDump = "flight_dump";
+
+}  // namespace roia::obs::events

@@ -1,0 +1,116 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace roia::obs {
+
+void FlightRecorder::setCapacity(std::size_t framesPerKey) {
+  capacity_ = std::max<std::size_t>(1, framesPerKey);
+}
+
+FlightRecorder::Ring& FlightRecorder::ring(std::string_view key) {
+  auto it = rings_.find(key);
+  if (it == rings_.end()) {
+    it = rings_.emplace(std::string(key), Ring{}).first;
+    it->second.capacity = capacity_;
+    it->second.frames.reserve(capacity_);
+  }
+  return it->second;
+}
+
+void FlightRecorder::recordTick(std::string_view key, const FlightFrame& frame) {
+  Ring& r = ring(key);
+  if (r.frames.size() < r.capacity) {
+    r.frames.push_back(frame);
+    return;
+  }
+  r.frames[r.next] = frame;
+  r.next = (r.next + 1) % r.capacity;
+  r.wrapped = true;
+}
+
+void FlightRecorder::note(std::string_view key, SimTime at, std::string_view event) {
+  Ring& r = ring(key);
+  FlightFrame frame;
+  if (!r.frames.empty()) {
+    const std::size_t last = r.wrapped || r.next > 0
+                                 ? (r.next + r.capacity - 1) % r.capacity
+                                 : r.frames.size() - 1;
+    frame.tick = r.frames[last].tick;
+  }
+  frame.atMicros = at.micros;
+  frame.event = event;
+  recordTick(key, frame);
+}
+
+std::vector<FlightFrame> FlightRecorder::Ring::snapshot() const {
+  std::vector<FlightFrame> out;
+  out.reserve(frames.size());
+  if (!wrapped) {
+    out.assign(frames.begin(), frames.end());
+    return out;
+  }
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out.push_back(frames[(next + i) % frames.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::string_view reason, SimTime at) {
+  if (dumps_.size() >= maxDumps_) {
+    ++droppedDumps_;
+    return;
+  }
+  Dump d;
+  d.reason = reason;
+  d.atMicros = at.micros;
+  d.rings.reserve(rings_.size());
+  for (const auto& [key, r] : rings_) {
+    d.rings.emplace_back(key, r.snapshot());
+  }
+  dumps_.push_back(std::move(d));
+}
+
+std::size_t FlightRecorder::frameCount(std::string_view key) const {
+  const auto it = rings_.find(key);
+  return it == rings_.end() ? 0 : it->second.frames.size();
+}
+
+void FlightRecorder::writeJsonl(std::ostream& out) const {
+  std::string line;
+  for (std::size_t dumpIndex = 0; dumpIndex < dumps_.size(); ++dumpIndex) {
+    const Dump& d = dumps_[dumpIndex];
+    for (const auto& [key, frames] : d.rings) {
+      for (const FlightFrame& f : frames) {
+        line.clear();
+        line += "{\"dump\":" + std::to_string(dumpIndex);
+        line += ",\"reason\":";
+        appendJsonString(line, d.reason);
+        line += ",\"dump_t_s\":";
+        appendJsonNumber(line, static_cast<double>(d.atMicros) / 1e6);
+        line += ",\"key\":";
+        appendJsonString(line, key);
+        line += ",\"tick\":" + std::to_string(f.tick);
+        line += ",\"t_s\":";
+        appendJsonNumber(line, static_cast<double>(f.atMicros) / 1e6);
+        line += ",\"dur_ms\":";
+        appendJsonNumber(line, f.durationMs);
+        line += ",\"predicted_ms\":";
+        appendJsonNumber(line, f.predictedMs);
+        line += ",\"users\":" + std::to_string(f.users);
+        line += ",\"avatars\":" + std::to_string(f.avatars);
+        line += ",\"npcs\":" + std::to_string(f.npcs);
+        line += ",\"level\":" + std::to_string(f.level);
+        line += ",\"event\":";
+        appendJsonString(line, f.event);
+        line += "}";
+        out << line << '\n';
+      }
+    }
+  }
+}
+
+}  // namespace roia::obs

@@ -1,0 +1,89 @@
+// Flight recorder: a fixed-size per-key (per-server) ring of recent tick
+// frames and notable events, snapshotted into an in-memory dump when
+// something goes wrong — an SLO breach, a crash — and exported as JSONL for
+// post-mortem. The ring records continuously and cheaply (fixed capacity,
+// no allocation after warm-up beyond event strings); a dump freezes the
+// last N ticks of *every* key so cross-server causality around the trigger
+// stays reconstructable. Dumps are capped; further triggers are counted,
+// not stored.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace roia::obs {
+
+/// One recorded tick (or event marker) of one key.
+struct FlightFrame {
+  std::uint64_t tick{0};
+  std::int64_t atMicros{0};
+  double durationMs{0.0};
+  /// Eq.2/4 predicted tick time; negative when no predictor is installed.
+  double predictedMs{-1.0};
+  std::uint64_t users{0};
+  std::uint64_t avatars{0};
+  std::uint64_t npcs{0};
+  /// Degradation-ladder rung at frame time.
+  std::uint64_t level{0};
+  /// Empty for plain tick frames; event name for markers.
+  std::string event;
+};
+
+class FlightRecorder {
+ public:
+  /// Frames retained per key (default 256) — applies to rings created after
+  /// the call.
+  void setCapacity(std::size_t framesPerKey);
+  /// Dumps retained (default 16); further triggers only count.
+  void setMaxDumps(std::size_t maxDumps) { maxDumps_ = maxDumps; }
+
+  void recordTick(std::string_view key, const FlightFrame& frame);
+  /// Appends an event marker frame stamped with the ring's last tick.
+  void note(std::string_view key, SimTime at, std::string_view event);
+
+  /// Freezes every ring (oldest -> newest) into one dump tagged with the
+  /// trigger reason.
+  void dump(std::string_view reason, SimTime at);
+
+  [[nodiscard]] std::size_t dumpCount() const { return dumps_.size(); }
+  [[nodiscard]] std::uint64_t droppedDumps() const { return droppedDumps_; }
+  [[nodiscard]] std::size_t frameCount(std::string_view key) const;
+
+  /// One JSON object per frame per line, tagged with dump index + reason;
+  /// deterministic order (dumps in trigger order, keys sorted, frames
+  /// oldest first).
+  void writeJsonl(std::ostream& out) const;
+
+ private:
+  struct Ring {
+    std::vector<FlightFrame> frames;
+    std::size_t capacity{0};
+    std::size_t next{0};
+    bool wrapped{false};
+
+    [[nodiscard]] std::vector<FlightFrame> snapshot() const;
+  };
+
+  struct Dump {
+    std::string reason;
+    std::int64_t atMicros{0};
+    std::vector<std::pair<std::string, std::vector<FlightFrame>>> rings;
+  };
+
+  Ring& ring(std::string_view key);
+
+  std::size_t capacity_{256};
+  std::size_t maxDumps_{16};
+  std::uint64_t droppedDumps_{0};
+  std::map<std::string, Ring, std::less<>> rings_;
+  std::vector<Dump> dumps_;
+};
+
+}  // namespace roia::obs

@@ -22,19 +22,42 @@ LogHistogram::LogHistogram(Config config) : config_(config) {
 }
 
 std::size_t LogHistogram::bucketIndex(double x) const {
-  return static_cast<std::size_t>((std::log(x) - logMin_) / logGrowth_);
+  auto i = static_cast<std::size_t>(
+      std::max(0.0, (std::log(x) - logMin_) / logGrowth_));
+  // The log-ratio of an exact bucket boundary can land an ulp on either
+  // side of the integer; nudge against the true (pow-computed) edges so a
+  // boundary value always lands in the bucket whose low edge it is.
+  if (i + 1 < counts_.size() && x >= bucketLow(i + 1)) {
+    ++i;
+  } else if (i > 0 && x < bucketLow(i)) {
+    --i;
+  }
+  return i;
 }
 
 void LogHistogram::add(double x) {
-  if (count_ == 0) {
+  // Non-finite samples are tallied (count + under/overflow) but excluded
+  // from the moments: a single NaN must not poison min/max/sum and turn
+  // every later quantile() into NaN.
+  if (!std::isfinite(x)) {
+    ++count_;
+    if (x > 0.0) {
+      ++overflow_;  // +inf
+    } else {
+      ++underflow_;  // NaN, -inf
+    }
+    return;
+  }
+  if (!haveFinite_) {
     min_ = max_ = x;
+    haveFinite_ = true;
   } else {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
   ++count_;
   sum_ += x;
-  if (!(x >= config_.minValue)) {  // also catches NaN and non-positives
+  if (!(x >= config_.minValue)) {  // also catches non-positives
     ++underflow_;
   } else if (x >= config_.maxValue) {
     ++overflow_;
@@ -49,12 +72,15 @@ void LogHistogram::merge(const LogHistogram& other) {
     throw std::invalid_argument("LogHistogram::merge: mismatched configs");
   }
   if (other.count_ == 0) return;
-  if (count_ == 0) {
-    min_ = other.min_;
-    max_ = other.max_;
-  } else {
-    min_ = std::min(min_, other.min_);
-    max_ = std::max(max_, other.max_);
+  if (other.haveFinite_) {
+    if (!haveFinite_) {
+      min_ = other.min_;
+      max_ = other.max_;
+      haveFinite_ = true;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
   }
   count_ += other.count_;
   sum_ += other.sum_;
@@ -67,6 +93,7 @@ void LogHistogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   underflow_ = overflow_ = count_ = 0;
   sum_ = min_ = max_ = 0.0;
+  haveFinite_ = false;
 }
 
 double LogHistogram::bucketLow(std::size_t i) const {

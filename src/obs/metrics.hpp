@@ -107,6 +107,9 @@ class LogHistogram {
   double sum_{0.0};
   double min_{0.0};
   double max_{0.0};
+  /// Whether min_/max_ hold a real sample: non-finite samples are counted
+  /// (in count_ and under/overflow) but excluded from the moments.
+  bool haveFinite_{false};
 };
 
 /// Name + labels → instrument. Reference-stable: registered instruments

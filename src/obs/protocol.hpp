@@ -1,0 +1,127 @@
+// Causal protocol tracing: every multi-step control protocol (zone handoff,
+// migration, graceful drain, crash recovery, admission refuse+backoff)
+// carries a propagated trace id — allocated at the initiator, shipped in
+// the existing reliable messages, echoed in the acks — so the shared
+// telemetry context can stitch the begin / per-phase / end marks back into
+// one causal record even when they happen on different servers.
+//
+// The tracker publishes into the MetricsRegistry it is bound to, so the
+// existing exporters cover protocols for free:
+//   roia_protocol_e2e_ms{protocol=}            end-to-end latency histogram
+//   roia_protocol_phase_ms{protocol=,phase=}   per-phase breakdown
+//   roia_protocol_outcomes_total{protocol=,outcome=}
+//
+// Zero-cost-observer contract: trace ids are *always* allocated and carried
+// in message bytes (so the wire image never depends on whether telemetry is
+// attached); only the begin/phase/end recording calls are telemetry-gated.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+
+namespace roia::obs {
+
+enum class Protocol : std::uint8_t {
+  kMigration = 0,
+  kZoneHandoff,
+  kGracefulDrain,
+  kCrashRecovery,
+  kAdmissionRetry,
+};
+inline constexpr std::size_t kProtocolCount = 5;
+
+enum class ProtocolOutcome : std::uint8_t {
+  kCompleted = 0,
+  kSuperseded,
+  kCrashed,
+  kDeadlineExpired,
+};
+inline constexpr std::size_t kProtocolOutcomeCount = 4;
+
+[[nodiscard]] const char* protocolName(Protocol p);
+[[nodiscard]] const char* protocolOutcomeName(ProtocolOutcome o);
+
+// --- trace-id derivation helpers -----------------------------------------
+// Ids are pure functions of deterministic simulation state (initiator id +
+// a monotone per-initiator sequence, or the simulated time of the
+// triggering event), so a run allocates the same ids with telemetry on or
+// off. The top byte tags the allocator family to keep the spaces disjoint.
+
+/// Server-initiated protocols (migration / zone handoff): initiator server
+/// id + its monotone protocol sequence number.
+[[nodiscard]] constexpr std::uint64_t protocolTraceId(std::uint64_t server, std::uint64_t seq) {
+  return (0x50ULL << 56) | ((server & 0xFFFFFULL) << 36) | (seq & 0xFFFFFFFFFULL);
+}
+/// Graceful drain of `server`, identified by the preemption-notice time.
+[[nodiscard]] constexpr std::uint64_t drainTraceId(std::uint64_t server, std::int64_t atMicros) {
+  return (0x44ULL << 56) | ((server & 0xFFFFFULL) << 36) |
+         (static_cast<std::uint64_t>(atMicros) & 0xFFFFFFFFFULL);
+}
+/// Crash recovery of `server`, identified by the detection time.
+[[nodiscard]] constexpr std::uint64_t recoveryTraceId(std::uint64_t server, std::int64_t atMicros) {
+  return (0x52ULL << 56) | ((server & 0xFFFFFULL) << 36) |
+         (static_cast<std::uint64_t>(atMicros) & 0xFFFFFFFFFULL);
+}
+/// Admission refuse+backoff wave, identified by the cumulative veto count
+/// at the wave's first refusal.
+[[nodiscard]] constexpr std::uint64_t admissionTraceId(std::uint64_t vetoSeq) {
+  return (0x41ULL << 56) | (vetoSeq & 0xFFFFFFFFFFFFFFULL);
+}
+
+/// Stitches distributed begin / phase / end marks into per-protocol
+/// latency histograms and outcome counters. Not thread-safe by itself —
+/// like the rest of the telemetry context it relies on the global
+/// serial-override when shared across sweep configs.
+class ProtocolTracker {
+ public:
+  /// Binds the output instruments. Must be called before any recording;
+  /// the owning Telemetry does this in its constructor.
+  void bindMetrics(MetricsRegistry* metrics);
+
+  /// Opens a protocol instance. A duplicate begin for a live id closes the
+  /// old instance as superseded first.
+  void begin(Protocol p, std::uint64_t traceId, SimTime at);
+
+  /// Marks a named phase boundary: records the time since the previous
+  /// mark (begin or phase) under roia_protocol_phase_ms{phase=name}.
+  /// Unknown ids are ignored (the begin happened outside this context).
+  void phase(Protocol p, std::uint64_t traceId, SimTime at, std::string_view name);
+
+  /// Closes a protocol instance; returns the end-to-end latency in
+  /// simulated milliseconds, or nullopt for an unknown id.
+  std::optional<double> end(Protocol p, std::uint64_t traceId, SimTime at,
+                            ProtocolOutcome outcome);
+
+  /// Instances begun and not yet ended (e.g. initiator crashed mid-flight).
+  [[nodiscard]] std::size_t openCount() const { return open_.size(); }
+  [[nodiscard]] std::uint64_t outcomeCount(Protocol p, ProtocolOutcome o) const;
+  /// The end-to-end histogram, or nullptr before the first end() for `p`.
+  [[nodiscard]] const LogHistogram* latencyHistogram(Protocol p) const;
+
+  /// One summary JSON object per protocol per line (count, p50/p95/p99,
+  /// outcome counts, open instances).
+  void writeJsonl(std::ostream& out) const;
+
+ private:
+  struct Open {
+    Protocol protocol{};
+    SimTime startedAt{};
+    SimTime lastMark{};
+  };
+
+  [[nodiscard]] LogHistogram& e2eHistogram(Protocol p);
+
+  MetricsRegistry* metrics_{nullptr};
+  std::map<std::uint64_t, Open> open_;
+  std::array<LogHistogram*, kProtocolCount> e2e_{};
+  std::array<std::array<std::uint64_t, kProtocolOutcomeCount>, kProtocolCount> outcomes_{};
+};
+
+}  // namespace roia::obs

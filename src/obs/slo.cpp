@@ -1,0 +1,170 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace roia::obs {
+
+namespace {
+
+// With target = 1.0 the error budget is zero and any bad sample would burn
+// infinitely fast; the floor keeps burn rates finite and the breach rule
+// meaningful ("essentially every sample must be good").
+constexpr double kMinErrorBudget = 1e-9;
+
+double burnRate(const std::uint64_t bad, const std::uint64_t total, const double target) {
+  if (total == 0) return 0.0;
+  const double badFraction = static_cast<double>(bad) / static_cast<double>(total);
+  return badFraction / std::max(kMinErrorBudget, 1.0 - target);
+}
+
+double compliance(const std::uint64_t bad, const std::uint64_t total) {
+  if (total == 0) return 1.0;
+  return static_cast<double>(total - bad) / static_cast<double>(total);
+}
+
+}  // namespace
+
+void SloEngine::Window::push(SimTime at, bool isBad) {
+  samples.emplace_back(at, isBad);
+  if (isBad) ++bad;
+}
+
+void SloEngine::Window::trim(SimTime now, SimDuration span) {
+  const SimTime cutoff = now - span;
+  while (!samples.empty() && samples.front().first < cutoff) {
+    if (samples.front().second) --bad;
+    samples.pop_front();
+  }
+}
+
+std::size_t SloEngine::addObjective(SloObjective objective) {
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    if (objectives_[i].name == objective.name) {
+      objectives_[i] = std::move(objective);
+      return i;
+    }
+  }
+  objectives_.push_back(std::move(objective));
+  return objectives_.size() - 1;
+}
+
+std::optional<std::size_t> SloEngine::findHandle(std::string_view name) const {
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    if (objectives_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<SloBreach> SloEngine::record(std::size_t handle, std::string_view key,
+                                           double value, SimTime at) {
+  const SloObjective& obj = objectives_.at(handle);
+  State& state = states_[{handle, std::string(key)}];
+
+  const bool good = obj.upperBound ? value <= obj.threshold : value >= obj.threshold;
+  ++state.total;
+  if (good) ++state.good;
+  state.shortWin.push(at, !good);
+  state.longWin.push(at, !good);
+  state.shortWin.trim(at, obj.shortWindow);
+  state.longWin.trim(at, obj.longWindow);
+
+  if (good) return std::nullopt;
+  if (state.shortWin.samples.size() < obj.minSamples) return std::nullopt;
+  const double shortBurn =
+      burnRate(state.shortWin.bad, state.shortWin.samples.size(), obj.target);
+  const double longBurn = burnRate(state.longWin.bad, state.longWin.samples.size(), obj.target);
+  if (shortBurn < obj.fastBurn || longBurn < obj.slowBurn) return std::nullopt;
+  // Cooldown only applies after a first breach; subtracting from a sentinel
+  // "never" time would overflow.
+  if (state.breaches > 0 && at - state.lastBreach < obj.cooldown) return std::nullopt;
+
+  state.lastBreach = at;
+  ++state.breaches;
+  ++breaches_;
+  SloBreach breach;
+  breach.objective = obj.name;
+  breach.key = key;
+  breach.value = value;
+  breach.shortBurn = shortBurn;
+  breach.longBurn = longBurn;
+  breach.shortCompliance = compliance(state.shortWin.bad, state.shortWin.samples.size());
+  breach.longCompliance = compliance(state.longWin.bad, state.longWin.samples.size());
+  breach.at = at;
+  return breach;
+}
+
+void SloEngine::writeJsonl(std::ostream& out) const {
+  std::string line;
+  for (const auto& [key, state] : states_) {
+    const SloObjective& obj = objectives_.at(key.first);
+    line.clear();
+    line += "{\"objective\":";
+    appendJsonString(line, obj.name);
+    line += ",\"key\":";
+    appendJsonString(line, key.second);
+    line += ",\"description\":";
+    appendJsonString(line, obj.description);
+    line += ",\"threshold\":";
+    appendJsonNumber(line, obj.threshold);
+    line += ",\"bound\":";
+    appendJsonString(line, obj.upperBound ? "upper" : "lower");
+    line += ",\"target\":";
+    appendJsonNumber(line, obj.target);
+    line += ",\"samples\":" + std::to_string(state.total);
+    line += ",\"good\":" + std::to_string(state.good);
+    line += ",\"compliance\":";
+    appendJsonNumber(line, compliance(state.total - state.good, state.total));
+    line += ",\"short_burn\":";
+    appendJsonNumber(line, burnRate(state.shortWin.bad, state.shortWin.samples.size(), obj.target));
+    line += ",\"long_burn\":";
+    appendJsonNumber(line, burnRate(state.longWin.bad, state.longWin.samples.size(), obj.target));
+    line += ",\"breaches\":" + std::to_string(state.breaches);
+    line += "}";
+    out << line << '\n';
+  }
+}
+
+void installDefaultObjectives(SloEngine& engine, double tickBudgetMs) {
+  SloObjective tick;
+  tick.name = kSloTickTime;
+  tick.description = "server tick duration within the QoS budget";
+  tick.threshold = tickBudgetMs;
+  tick.upperBound = true;
+  tick.target = 0.99;
+  engine.addObjective(tick);
+
+  SloObjective rate;
+  rate.name = kSloUpdateRate;
+  rate.description = "client update rate at or above 25 Hz";
+  rate.threshold = 25.0;
+  rate.upperBound = false;
+  rate.target = 0.99;
+  engine.addObjective(rate);
+
+  SloObjective handoff;
+  handoff.name = kSloHandoffLatency;
+  handoff.description = "zone handoff end-to-end within 10 ticks (400 ms)";
+  handoff.threshold = 400.0;
+  handoff.upperBound = true;
+  handoff.target = 0.95;
+  handoff.minSamples = 4;
+  handoff.fastBurn = 4.0;
+  handoff.slowBurn = 2.0;
+  engine.addObjective(handoff);
+
+  SloObjective recovery;
+  recovery.name = kSloRecoveryLatency;
+  recovery.description = "crash recovery (detection to serving replacement) within 5 s";
+  recovery.threshold = 5000.0;
+  recovery.upperBound = true;
+  recovery.target = 0.9;
+  recovery.minSamples = 1;
+  recovery.fastBurn = 1.0;
+  recovery.slowBurn = 1.0;
+  engine.addObjective(recovery);
+}
+
+}  // namespace roia::obs

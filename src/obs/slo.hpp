@@ -1,0 +1,116 @@
+// Declarative service-level objectives with windowed compliance and
+// multi-window burn-rate alerting. Each objective promises that a target
+// fraction of samples stays on the good side of a threshold (tick ≤ 40 ms,
+// update rate ≥ 25 Hz, handoff/recovery latency bounds); the engine keeps a
+// short and a long sliding window per (objective, key) and fires a breach
+// only when *both* windows burn error budget faster than their thresholds —
+// the classic multi-window rule that makes alerts both fast on cliffs and
+// immune to single-sample blips. The caller (server / RMS manager) turns
+// the returned breach into an `slo_breach` audit record carrying the Eq.2
+// state at breach time, because only the caller has that state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace roia::obs {
+
+struct SloObjective {
+  std::string name;
+  std::string description;
+  /// Good-sample predicate: value <= threshold when upperBound, else >=.
+  double threshold{0.0};
+  bool upperBound{true};
+  /// Promised fraction of good samples (the SLO target, e.g. 0.99).
+  double target{0.99};
+  SimDuration shortWindow{SimDuration::seconds(5)};
+  SimDuration longWindow{SimDuration::seconds(60)};
+  /// Burn-rate = badFraction / errorBudget; breach needs both windows hot.
+  double fastBurn{14.4};
+  double slowBurn{3.0};
+  /// Minimum samples in the short window before a breach can fire.
+  std::uint64_t minSamples{8};
+  /// Re-arm delay per (objective, key) after a breach fires.
+  SimDuration cooldown{SimDuration::seconds(10)};
+};
+
+/// Returned by record() on the transition into breach.
+struct SloBreach {
+  std::string objective;
+  std::string key;
+  double value{0.0};
+  double shortBurn{0.0};
+  double longBurn{0.0};
+  double shortCompliance{1.0};
+  double longCompliance{1.0};
+  SimTime at{};
+};
+
+// Canonical objective names installed by installDefaultObjectives();
+// instrumented components look their handles up by these names.
+inline constexpr const char* kSloTickTime = "tick_time";
+inline constexpr const char* kSloUpdateRate = "update_rate";
+inline constexpr const char* kSloHandoffLatency = "handoff_latency";
+inline constexpr const char* kSloRecoveryLatency = "recovery_latency";
+
+class SloEngine {
+ public:
+  /// Registers an objective; the returned handle is stable for the engine's
+  /// lifetime. Duplicate names replace the definition (same handle).
+  std::size_t addObjective(SloObjective objective);
+  [[nodiscard]] std::optional<std::size_t> findHandle(std::string_view name) const;
+  [[nodiscard]] std::size_t objectiveCount() const { return objectives_.size(); }
+  [[nodiscard]] const SloObjective& objective(std::size_t handle) const {
+    return objectives_.at(handle);
+  }
+
+  /// Feeds one sample for (objective, key); returns a breach when the
+  /// multi-window burn rule fires (outside the cooldown).
+  std::optional<SloBreach> record(std::size_t handle, std::string_view key, double value,
+                                  SimTime at);
+
+  [[nodiscard]] std::uint64_t breachCount() const { return breaches_; }
+
+  /// One JSON object per (objective, key) per line: cumulative compliance,
+  /// current window burn rates, breach count.
+  void writeJsonl(std::ostream& out) const;
+
+ private:
+  struct Window {
+    std::deque<std::pair<SimTime, bool>> samples;  // (at, bad)
+    std::uint64_t bad{0};
+
+    void push(SimTime at, bool isBad);
+    void trim(SimTime now, SimDuration span);
+  };
+
+  struct State {
+    Window shortWin;
+    Window longWin;
+    std::uint64_t total{0};
+    std::uint64_t good{0};
+    std::uint64_t breaches{0};
+    /// Only meaningful when breaches > 0.
+    SimTime lastBreach{};
+  };
+
+  std::vector<SloObjective> objectives_;
+  std::map<std::pair<std::size_t, std::string>, State> states_;
+  std::uint64_t breaches_{0};
+};
+
+/// The paper-derived default objective set: tick within the 40 ms QoS
+/// budget, client update rate at the 25 Hz floor, handoff within ~10 ticks
+/// and crash recovery within the detector + replica-spin-up envelope.
+void installDefaultObjectives(SloEngine& engine, double tickBudgetMs = 40.0);
+
+}  // namespace roia::obs

@@ -4,6 +4,8 @@
 
 namespace roia::obs {
 
+Telemetry::Telemetry() { protocols.bindMetrics(&metrics); }
+
 Telemetry& Telemetry::global() {
   static Telemetry instance;
   return instance;

@@ -13,16 +13,32 @@
 #include <cstddef>
 
 #include "obs/audit.hpp"
+#include "obs/drift.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/protocol.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace roia::obs {
 
 class Telemetry {
  public:
+  Telemetry();
+
   MetricsRegistry metrics;
   Tracer tracer;
   AuditLog audit;
+  /// Causal tracing of multi-step control protocols; publishes into
+  /// `metrics` (bound by the constructor).
+  ProtocolTracker protocols;
+  /// Declarative objectives + burn-rate alerting. Empty (no objectives) by
+  /// default; instrumented components no-op until objectives are installed.
+  SloEngine slo;
+  /// Eq.2/Eq.4 predicted-vs-measured tick-time residuals.
+  DriftMonitor drift;
+  /// Per-server ring of recent ticks, dumped on SLO breach or crash.
+  FlightRecorder flight;
 
   /// Synthesize tick/phase spans only every Nth tick per server (1 = every
   /// tick). Flow and RMS events are never sampled out.

@@ -9,6 +9,7 @@
 #include <variant>
 
 #include "common/types.hpp"
+#include "obs/events.hpp"
 
 namespace roia::rms {
 
@@ -46,11 +47,13 @@ using Action = std::variant<UserMigration, ReplicationEnactment, ResourceSubstit
 
 [[nodiscard]] inline const char* actionName(const Action& action) {
   struct Namer {
-    const char* operator()(const UserMigration&) const { return "migrate_only"; }
-    const char* operator()(const ReplicationEnactment&) const { return "add_replica"; }
-    const char* operator()(const ResourceSubstitution&) const { return "substitute_server"; }
-    const char* operator()(const ResourceRemoval&) const { return "remove_server"; }
-    const char* operator()(const ZoneHandoff&) const { return "zone_handoff"; }
+    const char* operator()(const UserMigration&) const { return obs::events::kMigrateOnly; }
+    const char* operator()(const ReplicationEnactment&) const { return obs::events::kAddReplica; }
+    const char* operator()(const ResourceSubstitution&) const {
+      return obs::events::kSubstituteServer;
+    }
+    const char* operator()(const ResourceRemoval&) const { return obs::events::kRemoveServer; }
+    const char* operator()(const ZoneHandoff&) const { return obs::events::kZoneHandoff; }
   };
   return std::visit(Namer{}, action);
 }

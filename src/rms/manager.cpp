@@ -1,10 +1,12 @@
 #include "rms/manager.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <type_traits>
 #include <variant>
 
 #include "common/log.hpp"
+#include "obs/events.hpp"
 
 namespace roia::rms {
 
@@ -184,6 +186,11 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
       preemptionDeadline_[preemption.server] = preemption.notice + preemption.window;
       draining_.insert(preemption.server);
       ++gracefulDrains_;
+      const std::uint64_t drainTrace = obs::drainTraceId(preemption.server.value, now.micros);
+      drainTrace_[preemption.server] = drainTrace;
+      if (telemetry_ != nullptr) {
+        telemetry_->protocols.begin(obs::Protocol::kGracefulDrain, drainTrace, now);
+      }
 
       std::size_t flavorIdx = config_.standardFlavor;
       if (auto leaseIt = serverLease_.find(preemption.server); leaseIt != serverLease_.end()) {
@@ -203,7 +210,7 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
         audit.replicas = cluster_.zones().replicaCount(zone);
         audit.pendingStarts = pendingStarts_[zone];
         audit.threshold = "preemption:notice";
-        audit.action = "graceful_drain";
+        audit.action = obs::events::kGracefulDrain;
         audit.rationale = "server " + std::to_string(preemption.server.value) +
                           " preempted; window=" + std::to_string(preemption.window.asMillis()) +
                           "ms replacement=" + (replacement ? "ordered" : "pool-exhausted");
@@ -219,7 +226,9 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
     const ServerId victim = it->first;
     if (!cluster_.hasServer(victim)) {
       // Already gone: drained clean via finishDrains, or crashed and was
-      // recovered by the failure detector.
+      // recovered by the failure detector. Both paths end the drain
+      // protocol themselves; just drop any leftover bookkeeping.
+      drainTrace_.erase(victim);
       draining_.erase(victim);
       it = preemptionDeadline_.erase(it);
       continue;
@@ -239,6 +248,10 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
         cluster_.removeServer(victim);
         ++replicasRemoved_;
         if (telemetry_ != nullptr) {
+          if (const auto trace = drainTrace_.find(victim); trace != drainTrace_.end()) {
+            telemetry_->protocols.end(obs::Protocol::kGracefulDrain, trace->second, now,
+                                      obs::ProtocolOutcome::kCompleted);
+          }
           obs::AuditRecord audit;
           audit.at = now;
           audit.zone = zone;
@@ -246,13 +259,19 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
           audit.replicas = cluster_.zones().replicaCount(zone);
           audit.pendingStarts = pendingStarts_[zone];
           audit.threshold = "preemption:deadline";
-          audit.action = "drain_complete";
+          audit.action = obs::events::kDrainComplete;
           audit.rationale =
               "server " + std::to_string(victim.value) + " drained clean before reclaim";
           telemetry_->audit.record(std::move(audit));
         }
       } else {
         ++drainFallbacks_;
+        if (telemetry_ != nullptr) {
+          if (const auto trace = drainTrace_.find(victim); trace != drainTrace_.end()) {
+            telemetry_->protocols.end(obs::Protocol::kGracefulDrain, trace->second, now,
+                                      obs::ProtocolOutcome::kDeadlineExpired);
+          }
+        }
         if (!cluster_.server(victim).crashed()) cluster_.crashServer(victim);
         const rtf::Cluster::RecoveryReport report = cluster_.recoverCrashedServer(victim);
         point.clientsRehomed += report.clientsRehomed;
@@ -268,7 +287,7 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
           audit.replicas = cluster_.zones().replicaCount(zone);
           audit.pendingStarts = pendingStarts_[zone];
           audit.threshold = "preemption:deadline";
-          audit.action = "recover_crash";
+          audit.action = obs::events::kRecoverCrash;
           audit.rationale = "preemption window expired; rehomed=" +
                             std::to_string(report.clientsRehomed) +
                             " promoted=" + std::to_string(report.shadowsPromoted) +
@@ -277,6 +296,7 @@ void RmsManager::processPreemptions(SimTime now, TimelinePoint& point) {
           telemetry_->tracer.instant(traceTrack_, now, "preemption-fallback", "rms");
         }
       }
+      drainTrace_.erase(victim);
       draining_.erase(victim);
       it = preemptionDeadline_.erase(it);
       continue;
@@ -321,6 +341,16 @@ void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
 
     ROIA_LOG(LogLevel::kWarn, "rms",
              "server " << dead.value << " declared dead (heartbeat silent), recovering");
+    const std::uint64_t recoveryTrace = obs::recoveryTraceId(dead.value, now.micros);
+    if (telemetry_ != nullptr) {
+      // A drain interrupted by the crash ends here; recovery takes over.
+      if (const auto trace = drainTrace_.find(dead); trace != drainTrace_.end()) {
+        telemetry_->protocols.end(obs::Protocol::kGracefulDrain, trace->second, now,
+                                  obs::ProtocolOutcome::kCrashed);
+      }
+      telemetry_->protocols.begin(obs::Protocol::kCrashRecovery, recoveryTrace, now);
+    }
+    drainTrace_.erase(dead);
     // The dead replica's flavor, for a like-for-like replacement.
     std::size_t flavorIdx = config_.standardFlavor;
     if (auto leaseIt = serverLease_.find(dead); leaseIt != serverLease_.end()) {
@@ -332,6 +362,9 @@ void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
     draining_.erase(dead);
 
     const rtf::Cluster::RecoveryReport report = cluster_.recoverCrashedServer(dead);
+    if (telemetry_ != nullptr) {
+      telemetry_->protocols.phase(obs::Protocol::kCrashRecovery, recoveryTrace, now, "rehome");
+    }
 
     RecoveryRecord record;
     record.detectedAt = now;
@@ -341,8 +374,15 @@ void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
     record.shadowsPromoted = report.shadowsPromoted;
     record.clientsLost = report.clientsLost;
     record.npcsAdopted = report.npcsAdopted;
-    // Restore the replica count the strategy last decided on.
-    record.replacementOrdered = beginReplicaStart(zone, flavorIdx, std::nullopt);
+    // Restore the replica count the strategy last decided on. The recovery
+    // protocol instance ends when the replacement starts serving (the trace
+    // id rides into the startup callback); with no replacement it ends now.
+    record.replacementOrdered = beginReplicaStart(zone, flavorIdx, std::nullopt, recoveryTrace);
+    if (!record.replacementOrdered && telemetry_ != nullptr) {
+      const auto e2eMs = telemetry_->protocols.end(obs::Protocol::kCrashRecovery, recoveryTrace,
+                                                   now, obs::ProtocolOutcome::kCompleted);
+      if (e2eMs) recordRecoveryLatency(zone, dead, *e2eMs, now);
+    }
     recoveries_.push_back(record);
 
     if (telemetry_ != nullptr) {
@@ -353,7 +393,7 @@ void RmsManager::detectAndRecover(SimTime now, TimelinePoint& point) {
       audit.replicas = cluster_.zones().replicaCount(zone);
       audit.pendingStarts = pendingStarts_[zone];
       audit.threshold = "detector:missed_heartbeats";
-      audit.action = "recover_crash";
+      audit.action = obs::events::kRecoverCrash;
       audit.rationale = "server " + std::to_string(dead.value) +
                         " heartbeat-silent; rehomed=" + std::to_string(report.clientsRehomed) +
                         " promoted=" + std::to_string(report.shadowsPromoted) +
@@ -466,7 +506,8 @@ void RmsManager::executeBalance(SimTime now, const Decision& decision) {
 }
 
 bool RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
-                                   std::optional<ServerId> drainAfterStart) {
+                                   std::optional<ServerId> drainAfterStart,
+                                   std::uint64_t recoveryTraceId) {
   const auto lease = pool_.lease(flavorIdx, cluster_.simulation().now());
   if (!lease) {
     ROIA_LOG(LogLevel::kWarn, "rms", "resource pool exhausted for flavor " << flavorIdx);
@@ -476,7 +517,7 @@ bool RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
   const double speed = pool_.flavor(flavorIdx).speedFactor;
   cluster_.simulation().scheduleAfter(
       config_.serverStartupDelay,
-      [this, zone, speed, leaseId = *lease, drainAfterStart]() {
+      [this, zone, speed, leaseId = *lease, drainAfterStart, recoveryTraceId]() {
         auto& pending = pendingStarts_[zone];
         if (pending > 0) --pending;
         if (!runningFlag_) {
@@ -486,11 +527,42 @@ bool RmsManager::beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
         const ServerId id = cluster_.addServer(zone, speed);
         serverLease_[id] = leaseId;
         ++replicasAdded_;
+        if (recoveryTraceId != 0 && telemetry_ != nullptr) {
+          const SimTime now = cluster_.simulation().now();
+          telemetry_->protocols.phase(obs::Protocol::kCrashRecovery, recoveryTraceId, now,
+                                      "replica_start");
+          const auto e2eMs = telemetry_->protocols.end(
+              obs::Protocol::kCrashRecovery, recoveryTraceId, now,
+              obs::ProtocolOutcome::kCompleted);
+          if (e2eMs) recordRecoveryLatency(zone, id, *e2eMs, now);
+        }
         if (drainAfterStart && cluster_.hasServer(*drainAfterStart)) {
           draining_.insert(*drainAfterStart);
         }
       });
   return true;
+}
+
+void RmsManager::recordRecoveryLatency(ZoneId zone, ServerId server, double e2eMs, SimTime now) {
+  if (telemetry_ == nullptr) return;
+  const auto handle = telemetry_->slo.findHandle(obs::kSloRecoveryLatency);
+  if (!handle) return;
+  const auto breach =
+      telemetry_->slo.record(*handle, "server-" + std::to_string(server.value), e2eMs, now);
+  if (!breach) return;
+  obs::AuditRecord audit;
+  audit.at = now;
+  audit.zone = zone;
+  audit.strategy = "slo-engine";
+  audit.replicas = cluster_.zones().replicaCount(zone);
+  audit.threshold = "slo:" + breach->objective;
+  audit.action = obs::events::kSloBreach;
+  char rationale[200];
+  std::snprintf(rationale, sizeof(rationale),
+                "objective '%s': value=%.3f short_burn=%.2f long_burn=%.2f",
+                breach->objective.c_str(), breach->value, breach->shortBurn, breach->longBurn);
+  audit.rationale = rationale;
+  telemetry_->audit.record(std::move(audit));
 }
 
 void RmsManager::finishDrains() {
@@ -504,6 +576,14 @@ void RmsManager::finishDrains() {
     if (cluster_.server(id).connectedUsers() == 0 && cluster_.zones().replicaCount(zone) > 1) {
       cluster_.removeServer(id);
       ++replicasRemoved_;
+      if (const auto trace = drainTrace_.find(id); trace != drainTrace_.end()) {
+        if (telemetry_ != nullptr) {
+          telemetry_->protocols.end(obs::Protocol::kGracefulDrain, trace->second,
+                                    cluster_.simulation().now(),
+                                    obs::ProtocolOutcome::kCompleted);
+        }
+        drainTrace_.erase(trace);
+      }
       if (auto leaseIt = serverLease_.find(id); leaseIt != serverLease_.end()) {
         pool_.release(leaseIt->second, cluster_.simulation().now());
         serverLease_.erase(leaseIt);

@@ -128,8 +128,12 @@ class RmsManager {
   /// Executes the cross-zone balance() decision (ZoneHandoff actions).
   void executeBalance(SimTime now, const Decision& decision);
   bool beginReplicaStart(ZoneId zone, std::size_t flavorIdx,
-                         std::optional<ServerId> drainAfterStart);
+                         std::optional<ServerId> drainAfterStart,
+                         std::uint64_t recoveryTraceId = 0);
   void finishDrains();
+  /// Feeds the recovery-latency SLO and audits a breach (detection →
+  /// replacement serving, per crash-recovery protocol instance).
+  void recordRecoveryLatency(ZoneId zone, ServerId dead, double e2eMs, SimTime now);
 
   rtf::Cluster& cluster_;
   std::vector<ZoneId> zones_;
@@ -143,6 +147,10 @@ class RmsManager {
   /// Servers under a preemption notice, mapped to the forced-termination
   /// deadline (notice time + grace window).
   std::map<ServerId, SimTime> preemptionDeadline_;
+  /// Open graceful-drain protocol instances (victim → trace id). Maintained
+  /// unconditionally (pure bookkeeping, no simulated cost); only the
+  /// tracker calls are telemetry-gated.
+  std::map<ServerId, std::uint64_t> drainTrace_;
 
   sim::Simulation::PeriodicToken token_;
   bool runningFlag_{false};

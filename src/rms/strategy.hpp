@@ -78,9 +78,9 @@ struct Decision {
         return actionName(action);
       }
     }
-    if (has<ZoneHandoff>()) return "zone_handoff";
-    if (has<UserMigration>()) return "migrate_only";
-    return "none";
+    if (has<ZoneHandoff>()) return obs::events::kZoneHandoff;
+    if (has<UserMigration>()) return obs::events::kMigrateOnly;
+    return obs::events::kNone;
   }
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/events.hpp"
 
 namespace roia::rtf {
 
@@ -188,7 +189,7 @@ ClientId Cluster::connectClientTo(ServerId serverId, std::unique_ptr<InputProvid
         record.users = server.connectedUsers();
         record.replicas = zones_.replicas(server.zone()).size();
         record.threshold = "eq2:n_max";
-        record.action = "admission_throttle";
+        record.action = obs::events::kAdmissionThrottle;
         record.rejected.push_back("admit:" + reason);
         record.rationale = std::move(reason);
         telemetry_->audit.record(std::move(record));

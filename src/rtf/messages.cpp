@@ -138,6 +138,7 @@ ser::Frame encode(const MigrationDataMsg& msg) {
   writeSnapshot(writer, msg.entity);
   writer.writeBytes(msg.appState);
   writer.writeVarU64(msg.source.value);
+  writer.writeVarU64(msg.traceId);
   return makeFrame(ser::MessageType::kMigrationData, std::move(writer));
 }
 
@@ -150,14 +151,16 @@ MigrationDataMsg decodeMigrationData(const ser::Frame& frame) {
   msg.entity = readSnapshot(reader);
   msg.appState = reader.readBytes();
   msg.source = ServerId{reader.readVarU64()};
+  msg.traceId = reader.readVarU64();
   return msg;
 }
 
 ser::Frame encode(const MigrationAckMsg& msg) {
-  ser::ByteWriter writer(24);
+  ser::ByteWriter writer(32);
   writer.writeVarU64(msg.client.value);
   writer.writeVarU64(msg.entity.value);
   writer.writeVarU64(msg.newOwner.value);
+  writer.writeVarU64(msg.traceId);
   return makeFrame(ser::MessageType::kMigrationAck, std::move(writer));
 }
 
@@ -168,6 +171,7 @@ MigrationAckMsg decodeMigrationAck(const ser::Frame& frame) {
   msg.client = ClientId{reader.readVarU64()};
   msg.entity = EntityId{reader.readVarU64()};
   msg.newOwner = ServerId{reader.readVarU64()};
+  msg.traceId = reader.readVarU64();
   return msg;
 }
 
@@ -181,6 +185,7 @@ ser::Frame encode(const ZoneHandoffMsg& msg) {
   writer.writeBytes(msg.appState);
   writer.writeVarU64(msg.source.value);
   writer.writeVarU64(msg.sourceNode.value);
+  writer.writeVarU64(msg.traceId);
   return makeFrame(ser::MessageType::kZoneHandoff, std::move(writer));
 }
 
@@ -196,16 +201,18 @@ ZoneHandoffMsg decodeZoneHandoff(const ser::Frame& frame) {
   msg.appState = reader.readBytes();
   msg.source = ServerId{reader.readVarU64()};
   msg.sourceNode = NodeId{reader.readVarU64()};
+  msg.traceId = reader.readVarU64();
   return msg;
 }
 
 ser::Frame encode(const ZoneHandoffAckMsg& msg) {
-  ser::ByteWriter writer(32);
+  ser::ByteWriter writer(40);
   writer.writeVarU64(msg.client.value);
   writer.writeVarU64(msg.entity.value);
   writer.writeVarU64(msg.newOwner.value);
   writer.writeVarU64(msg.newZone.value);
   writer.writeVarU64(msg.version);
+  writer.writeVarU64(msg.traceId);
   return makeFrame(ser::MessageType::kZoneHandoffAck, std::move(writer));
 }
 
@@ -218,6 +225,7 @@ ZoneHandoffAckMsg decodeZoneHandoffAck(const ser::Frame& frame) {
   msg.newOwner = ServerId{reader.readVarU64()};
   msg.newZone = ZoneId{reader.readVarU64()};
   msg.version = reader.readVarU64();
+  msg.traceId = reader.readVarU64();
   return msg;
 }
 

@@ -54,6 +54,9 @@ struct MigrationDataMsg {
   EntitySnapshot entity;
   std::vector<std::uint8_t> appState;  // application-defined encoding
   ServerId source;
+  /// Causal protocol trace id, allocated by the source and echoed in the
+  /// ack. Always carried (the wire image never depends on telemetry).
+  std::uint64_t traceId{0};
 };
 
 /// Server -> server: user adopted; source may drop responsibility.
@@ -61,6 +64,8 @@ struct MigrationAckMsg {
   ClientId client;
   EntityId entity;
   ServerId newOwner;
+  /// Echo of MigrationDataMsg::traceId.
+  std::uint64_t traceId{0};
 };
 
 /// Server -> server: cross-zone user hand-over. Unlike MigrationDataMsg the
@@ -76,6 +81,9 @@ struct ZoneHandoffMsg {
   std::vector<std::uint8_t> appState;  // application-defined encoding
   ServerId source;
   NodeId sourceNode;
+  /// Causal protocol trace id, allocated by the source and echoed in the
+  /// ack. Always carried (the wire image never depends on telemetry).
+  std::uint64_t traceId{0};
 };
 
 /// Server -> server: cross-zone adoption confirmed; the source retires the
@@ -90,6 +98,8 @@ struct ZoneHandoffAckMsg {
   /// hand-over (fast ping-pong between two zones) can never release an
   /// entity nobody adopted.
   std::uint64_t version{0};
+  /// Echo of ZoneHandoffMsg::traceId.
+  std::uint64_t traceId{0};
 };
 
 /// Server -> server: state of own-zone entities inside a neighboring zone's

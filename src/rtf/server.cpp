@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "obs/events.hpp"
 
 namespace roia::rtf {
 
@@ -56,6 +57,10 @@ void Server::shutdown() {
 
 void Server::crash() {
   crashed_ = true;
+  if (telemetry_ != nullptr && !obsKey_.empty()) {
+    telemetry_->flight.note(obsKey_, sim_.now(), "crash");
+    telemetry_->flight.dump("crash:" + obsKey_, sim_.now());
+  }
   shutdown();
 }
 
@@ -144,6 +149,16 @@ void Server::cancelMigrationsTo(ServerId deadTarget) {
     avatar->owner = id_;
     avatar->version += 1;  // outranks the stale signed-over snapshot
     session.migrating = false;
+    if (telemetry_ != nullptr && session.traceId != 0) {
+      // The session does not record which protocol kind went out; the
+      // tracker matches trace id + protocol, so offer both — exactly one
+      // (the one actually begun) closes.
+      telemetry_->protocols.end(obs::Protocol::kMigration, session.traceId, sim_.now(),
+                                obs::ProtocolOutcome::kCrashed);
+      telemetry_->protocols.end(obs::Protocol::kZoneHandoff, session.traceId, sim_.now(),
+                                obs::ProtocolOutcome::kCrashed);
+    }
+    session.traceId = 0;
   }
 }
 
@@ -199,6 +214,14 @@ void Server::setTelemetry(obs::Telemetry* telemetry) {
       &metrics.counter("roia_reliable_duplicates_dropped_total", endpoint);
   cached.reliableAbandoned = &metrics.counter("roia_reliable_abandoned_total", endpoint);
   tickMetrics_ = cached;
+
+  obsKey_ = "server-" + std::to_string(id_.value);
+  // Objectives must be installed before servers attach; a later
+  // addObjective with the same name keeps its handle valid.
+  obsSlo_ = SloHandles{};
+  obsSlo_.tick = telemetry_->slo.findHandle(obs::kSloTickTime);
+  obsSlo_.rate = telemetry_->slo.findHandle(obs::kSloUpdateRate);
+  obsSlo_.handoff = telemetry_->slo.findHandle(obs::kSloHandoffLatency);
 }
 
 void Server::recordTickTelemetry(const TickProbes& probes) {
@@ -215,6 +238,8 @@ void Server::recordTickTelemetry(const TickProbes& probes) {
   m.reliableRetransmissions->setTotal(rs.retransmissions);
   m.reliableDuplicatesDropped->setTotal(rs.duplicatesDropped);
   m.reliableAbandoned->setTotal(rs.abandoned);
+
+  recordHealthTelemetry(probes);
 
   obs::Tracer& tracer = telemetry_->tracer;
   if (!tracer.enabled()) return;
@@ -238,6 +263,67 @@ void Server::recordTickTelemetry(const TickProbes& probes) {
     cursor = cursor + duration;
   }
   tracer.endSpan(traceTrack_, probes.start + probes.totalDuration());
+}
+
+void Server::recordHealthTelemetry(const TickProbes& probes) {
+  const SimTime now = sim_.now();
+  const double measuredMs = probes.totalMicros() / 1000.0;
+  const double predictedMs =
+      tickPredictor_ ? tickPredictor_(probes.activeUsers, probes.totalAvatars, probes.npcs) : -1.0;
+
+  obs::FlightFrame frame;
+  frame.tick = probes.tickSeq;
+  frame.atMicros = probes.start.micros;
+  frame.durationMs = measuredMs;
+  frame.predictedMs = predictedMs;
+  frame.users = probes.activeUsers;
+  frame.avatars = probes.totalAvatars;
+  frame.npcs = probes.npcs;
+  frame.level = overloadLevel_;
+  telemetry_->flight.recordTick(obsKey_, frame);
+
+  // Eq.2/Eq.4 model drift: predicted vs. measured tick time residual. The
+  // predictor is a pure function, so the extra evaluation here never
+  // perturbs the simulated timeline.
+  if (tickPredictor_) {
+    if (const auto drift = telemetry_->drift.record(obsKey_, predictedMs, measuredMs, now)) {
+      char rationale[160];
+      std::snprintf(rationale, sizeof(rationale),
+                    "window mean |rel err| %.3f left band %.3f after %llu samples",
+                    drift->windowMeanAbsRelError, drift->band,
+                    static_cast<unsigned long long>(drift->samples));
+      auditEvent(obs::events::kModelDrift, "drift-monitor", "drift:rel_error_band", measuredMs,
+                 predictedMs, rationale);
+      telemetry_->flight.note(obsKey_, now, "model_drift");
+    }
+  }
+
+  if (obsSlo_.tick) {
+    if (const auto breach = telemetry_->slo.record(*obsSlo_.tick, obsKey_, measuredMs, now)) {
+      onSloBreach(*breach, predictedMs);
+    }
+  }
+  if (obsSlo_.rate) {
+    // Effective update rate: the loop stretches when busy exceeds the tick
+    // interval, so the achieved rate is 1000 / max(interval, busy) Hz.
+    const double intervalMs = std::max(config_.tickInterval.asMillis(), measuredMs);
+    const double rateHz = intervalMs > 0.0 ? 1000.0 / intervalMs : 0.0;
+    if (const auto breach = telemetry_->slo.record(*obsSlo_.rate, obsKey_, rateHz, now)) {
+      onSloBreach(*breach, predictedMs);
+    }
+  }
+}
+
+void Server::onSloBreach(const obs::SloBreach& breach, double predictedMs) {
+  char rationale[200];
+  std::snprintf(rationale, sizeof(rationale),
+                "objective '%s': value=%.3f short_burn=%.2f long_burn=%.2f compliance=%.4f/%.4f",
+                breach.objective.c_str(), breach.value, breach.shortBurn, breach.longBurn,
+                breach.shortCompliance, breach.longCompliance);
+  auditEvent(obs::events::kSloBreach, "slo-engine", "slo:" + breach.objective, breach.value,
+             predictedMs, rationale);
+  telemetry_->flight.note(obsKey_, sim_.now(), "slo_breach:" + breach.objective);
+  telemetry_->flight.dump("slo_breach:" + breach.objective + ":" + obsKey_, sim_.now());
 }
 
 void Server::forwardInteraction(EntityId target, EntityId source,
@@ -392,12 +478,13 @@ void Server::processMigrationArrivals() {
     ++tickMigrationsReceived_;
     ++migrationsReceivedTotal_;
     if (telemetry_ != nullptr) {
+      telemetry_->protocols.phase(obs::Protocol::kMigration, msg.traceId, sim_.now(), "transfer");
       telemetry_->tracer.flowFinish(traceTrack_, sim_.now(), obs::migrationFlowId(msg.client),
                                     "migration", "migration");
     }
 
     // Acknowledge to the source so it can release the user.
-    MigrationAckMsg ack{msg.client, msg.entity.id, id_};
+    MigrationAckMsg ack{msg.client, msg.entity.id, id_, msg.traceId};
     // The source's node: find it among peers; sources are always peers.
     for (const auto& [serverId, nodeId] : peers_) {
       if (serverId == msg.source) {
@@ -435,7 +522,7 @@ void Server::processZoneHandoffArrivals() {
         // retires its copy, but adopt nothing. Echoing the message's own
         // version keeps the re-ack inert at any sender that moved on.
         ackTo(ZoneHandoffAckMsg{msg.client, existing->second.entity, id_, world_.zone(),
-                                msg.entity.version});
+                                msg.entity.version, msg.traceId});
         continue;
       }
       // Otherwise this hand-over supersedes ours: the peer adopted the
@@ -444,6 +531,11 @@ void Server::processZoneHandoffArrivals() {
       // refreshes record and session, and the stale ack of our own
       // outbound sign-over is ignored by the version guard in
       // processMigrationAcks.
+      if (telemetry_ != nullptr && existing->second.migrating &&
+          existing->second.traceId != 0) {
+        telemetry_->protocols.end(obs::Protocol::kZoneHandoff, existing->second.traceId,
+                                  sim_.now(), obs::ProtocolOutcome::kSuperseded);
+      }
     }
     EntityRecord record;
     record.id = msg.entity.id;
@@ -469,10 +561,13 @@ void Server::processZoneHandoffArrivals() {
     ++tickMigrationsReceived_;
     ++handoffsReceivedTotal_;
     if (telemetry_ != nullptr) {
+      telemetry_->protocols.phase(obs::Protocol::kZoneHandoff, msg.traceId, sim_.now(),
+                                  "transfer");
       telemetry_->tracer.flowFinish(traceTrack_, sim_.now(), obs::migrationFlowId(msg.client),
                                     "zone-handoff", "migration");
     }
-    ackTo(ZoneHandoffAckMsg{msg.client, msg.entity.id, id_, world_.zone(), msg.entity.version});
+    ackTo(ZoneHandoffAckMsg{msg.client, msg.entity.id, id_, world_.zone(), msg.entity.version,
+                            msg.traceId});
   }
 }
 
@@ -771,6 +866,11 @@ void Server::initiateMigrations() {
     avatar->version += 1;
     avatar->owner = pending.target;  // hand over responsibility
 
+    // The trace id goes into the message bytes, so it is allocated
+    // unconditionally — the wire image must not depend on telemetry.
+    const std::uint64_t traceId = obs::protocolTraceId(id_.value, ++protocolSeq_);
+    it->second.traceId = traceId;
+
     ser::Frame frame;
     if (pending.targetZone.valid()) {
       ZoneHandoffMsg msg;
@@ -782,6 +882,7 @@ void Server::initiateMigrations() {
       msg.appState = app_.exportUserState(*avatar, meter_);
       msg.source = id_;
       msg.sourceNode = node_;
+      msg.traceId = traceId;
       frame = encode(msg);
       ++handoffsInitiatedTotal_;
     } else {
@@ -791,6 +892,7 @@ void Server::initiateMigrations() {
       msg.entity = EntitySnapshot::of(*avatar);
       msg.appState = app_.exportUserState(*avatar, meter_);
       msg.source = id_;
+      msg.traceId = traceId;
       frame = encode(msg);
       ++migrationsInitiatedTotal_;
     }
@@ -800,6 +902,9 @@ void Server::initiateMigrations() {
     reliable_->send(pending.targetNode, frame);
     ++tickMigrationsInitiated_;
     if (telemetry_ != nullptr) {
+      telemetry_->protocols.begin(
+          pending.targetZone.valid() ? obs::Protocol::kZoneHandoff : obs::Protocol::kMigration,
+          traceId, sim_.now());
       telemetry_->tracer.flowStart(traceTrack_, sim_.now(), obs::migrationFlowId(pending.client),
                                    pending.targetZone.valid() ? "zone-handoff" : "migration",
                                    "migration");
@@ -825,6 +930,11 @@ void Server::processMigrationAcks() {
     if (!it->second.migrating || signedOver == nullptr || signedOver->owner != ack.newOwner) {
       continue;
     }
+    if (telemetry_ != nullptr) {
+      telemetry_->protocols.phase(obs::Protocol::kMigration, ack.traceId, sim_.now(), "ack");
+      telemetry_->protocols.end(obs::Protocol::kMigration, ack.traceId, sim_.now(),
+                                obs::ProtocolOutcome::kCompleted);
+    }
     clients_.erase(it);
     if (onMigrationComplete_) onMigrationComplete_(ack.client, id_, ack.newOwner);
   }
@@ -842,6 +952,17 @@ void Server::processMigrationAcks() {
     if (!it->second.migrating || signedOver == nullptr || signedOver->owner != ack.newOwner ||
         signedOver->version != ack.version) {
       continue;
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->protocols.phase(obs::Protocol::kZoneHandoff, ack.traceId, sim_.now(), "ack");
+      const auto e2eMs = telemetry_->protocols.end(obs::Protocol::kZoneHandoff, ack.traceId,
+                                                   sim_.now(), obs::ProtocolOutcome::kCompleted);
+      if (e2eMs && obsSlo_.handoff) {
+        if (const auto breach =
+                telemetry_->slo.record(*obsSlo_.handoff, obsKey_, *e2eMs, sim_.now())) {
+          onSloBreach(*breach, -1.0);
+        }
+      }
     }
     // The entity left this zone for good: retire it locally and tell the
     // same-zone peers to drop their shadows (the target's replica sync
@@ -930,8 +1051,8 @@ void Server::applyOverloadLevel(std::size_t newLevel, double costMs, double pred
                 "%s to level %zu: cost=%.3fms predicted=%.3fms budget=%.3fms aoi_scale=%.2f",
                 down ? "step down" : "step up", newLevel, costMs, predictedMs, tickBudgetMs(),
                 kOverloadAoiScale[overloadLevel_]);
-  auditOverload("degrade_fidelity", down ? "eq2:tick_budget" : "eq2:tick_headroom", costMs,
-                predictedMs, rationale);
+  auditOverload(obs::events::kDegradeFidelity, down ? "eq2:tick_budget" : "eq2:tick_headroom",
+                costMs, predictedMs, rationale);
 }
 
 void Server::updateShedCount() {
@@ -954,24 +1075,29 @@ void Server::updateShedCount() {
                 shedding ? "shed" : "readmit", shedObservers_, target, clients_.size(),
                 overloadLevel_);
   shedObservers_ = target;
-  auditOverload(shedding ? "shed_observers" : "readmit_observers", "ladder:shed_level",
-                lastTickCostMs_, -1.0, rationale);
+  auditOverload(shedding ? obs::events::kShedObservers : obs::events::kReadmitObservers,
+                "ladder:shed_level", lastTickCostMs_, -1.0, rationale);
 }
 
 void Server::auditOverload(const char* action, const char* threshold, double costMs,
                            double predictedMs, std::string rationale) const {
+  auditEvent(action, "overload-ladder", threshold, costMs, predictedMs, std::move(rationale));
+}
+
+void Server::auditEvent(const char* action, const char* strategy, std::string threshold,
+                        double costMs, double predictedMs, std::string rationale) const {
   if (telemetry_ == nullptr || !telemetry_->audit.enabled()) return;
   obs::AuditRecord record;
   record.at = sim_.now();
   record.zone = world_.zone();
-  record.strategy = "overload-ladder";
+  record.strategy = strategy;
   const World::Census census = world_.census(id_);
   record.users = census.activeAvatars;
   record.npcs = census.activeNpcs;
   record.replicas = peers_.size() + 1;
   record.measuredMaxTickMs = costMs;
   record.predictedTickMs = predictedMs;
-  record.threshold = threshold;
+  record.threshold = std::move(threshold);
   record.action = action;
   record.rationale = std::move(rationale);
   MonitoringSnapshot window;

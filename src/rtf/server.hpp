@@ -287,6 +287,10 @@ class Server : public ForwardSink {
     NodeId clientNode;
     EntityId entity;
     bool migrating{false};
+    /// Trace id of the outstanding migration/handoff protocol instance
+    /// (0 = none). Maintained unconditionally — it mirrors what went on the
+    /// wire, so state never depends on whether telemetry is attached.
+    std::uint64_t traceId{0};
   };
 
   struct PendingMigration {
@@ -301,6 +305,10 @@ class Server : public ForwardSink {
   void dispatchFrame(NodeId from, const ser::Frame& frame);
   void tick();
   void recordTickTelemetry(const TickProbes& probes);
+  /// SLO samples, Eq.2 drift residual and the flight-recorder frame for
+  /// this tick; called only with telemetry attached.
+  void recordHealthTelemetry(const TickProbes& probes);
+  void onSloBreach(const obs::SloBreach& breach, double predictedMs);
 
   void processMigrationArrivals();
   void processZoneHandoffArrivals();
@@ -322,6 +330,9 @@ class Server : public ForwardSink {
   void updateShedCount();
   void auditOverload(const char* action, const char* threshold, double costMs, double predictedMs,
                      std::string rationale) const;
+  /// Generic audit emission (action names come from obs/events.hpp).
+  void auditEvent(const char* action, const char* strategy, std::string threshold, double costMs,
+                  double predictedMs, std::string rationale) const;
 
   ServerId id_;
   Application& app_;
@@ -389,6 +400,9 @@ class Server : public ForwardSink {
   std::uint64_t migrationsReceivedTotal_{0};
   std::uint64_t handoffsInitiatedTotal_{0};
   std::uint64_t handoffsReceivedTotal_{0};
+  /// Monotone allocator for protocol trace ids (always advances, telemetry
+  /// or not — the id goes into message bytes).
+  std::uint64_t protocolSeq_{0};
   // Per-tick counters, folded into TickProbes at the end of each tick.
   std::size_t tickMigrationsInitiated_{0};
   std::size_t tickMigrationsReceived_{0};
@@ -422,6 +436,16 @@ class Server : public ForwardSink {
   // --- telemetry (pure observer; never charges CPU cost) ---
   obs::Telemetry* telemetry_{nullptr};
   std::uint32_t traceTrack_{0};
+  /// Metric/SLO/flight key of this server ("server-<id>"), cached at attach.
+  std::string obsKey_;
+  /// SLO objective handles resolved at attach time; nullopt when the engine
+  /// has no such objective (recording is skipped entirely).
+  struct SloHandles {
+    std::optional<std::size_t> tick;
+    std::optional<std::size_t> rate;
+    std::optional<std::size_t> handoff;
+  };
+  SloHandles obsSlo_{};
   /// Cached instrument pointers, resolved once per attach.
   struct TickMetrics {
     obs::LogHistogram* tickDurationMs;

@@ -1,0 +1,10 @@
+// roia-audit-event-registry — fixture vocabulary for the audit-vocabulary
+// rule self-test (stands in for src/obs/events.hpp).
+#pragma once
+
+namespace roia::obs::events {
+
+inline constexpr const char* kDegradeFidelity = "degrade_fidelity";
+inline constexpr const char* kDrainComplete = "drain_complete";
+
+}  // namespace roia::obs::events

@@ -1,0 +1,15 @@
+// Fixture: audit `action` names must come from the marker-tagged registry
+// header (audit_registry.hpp here); free-form literals break the closed
+// vocabulary. Expected findings: lines 9 and 10.
+#include "audit_registry.hpp"
+
+void emitAudits(AuditSink& sink) {
+  AuditRecord record;
+  record.action = "degrade_fidelity";  // registered: clean
+  record.action = "turbo_boost";       // unregistered literal: finding
+  sink.auditEvent("made_up_event",     // unregistered call literal: finding
+                  "fixture-strategy");
+  sink.auditEvent(roia::obs::events::kDrainComplete,  // constant: clean
+                  "fixture-strategy");
+  // Commented-out emissions never fire: sink.auditEvent("ghost_event", "x");
+}

@@ -21,6 +21,8 @@ FIXTURES = os.path.join(REPO_ROOT, "tests", "lint", "fixtures")
 # Exact expectations: basename, 1-indexed line, rule id. A linter that
 # drifts by one line or invents/loses a finding fails this test.
 EXPECTED_FINDINGS = {
+    ("audit_vocab_bad.cpp", 9, "audit-vocabulary"),
+    ("audit_vocab_bad.cpp", 10, "audit-vocabulary"),
     ("determinism_bad.cpp", 9, "determinism"),
     ("determinism_bad.cpp", 14, "determinism"),
     ("determinism_bad.cpp", 15, "determinism"),
@@ -43,7 +45,7 @@ EXPECTED_SUPPRESSED = {
 }
 EXPECTED_RULES = {
     "determinism", "ordered-iteration", "serialization-coverage",
-    "hot-path-alloc", "bounded-retry", "bad-suppression",
+    "hot-path-alloc", "bounded-retry", "audit-vocabulary", "bad-suppression",
 }
 
 

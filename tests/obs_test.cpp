@@ -93,6 +93,65 @@ TEST(LogHistogramTest, MergeMatchesAddingAllSamples) {
   EXPECT_THROW(a.merge(mismatched), std::invalid_argument);
 }
 
+TEST(LogHistogramTest, EmptyAndSingleSampleQuantilesAreWellDefined) {
+  const obs::LogHistogram empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+
+  obs::LogHistogram single;
+  single.add(3.25);
+  for (const double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(single.quantile(q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, ExactBucketBoundarySamplesLandInOwningBucket) {
+  // Power-of-two edges: each boundary is the low edge of its own bucket.
+  obs::LogHistogram h(obs::LogHistogram::Config{1.0, 16.0, 2.0});
+  h.add(1.0);
+  h.add(2.0);
+  h.add(4.0);
+  h.add(8.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h.bucketHits(i), 1u) << "bucket " << i;
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+
+  // Irrational edges (growth 1.1): log-ratio rounding can land an ulp on
+  // either side of the integer; the pow-computed edge must still own the
+  // sample.
+  obs::LogHistogram g(obs::LogHistogram::Config{1e-3, 1e3, 1.1});
+  for (const std::size_t i : {std::size_t{1}, std::size_t{7}, std::size_t{23}, std::size_t{60}}) {
+    g.add(g.bucketLow(i));
+    EXPECT_EQ(g.bucketHits(i), 1u) << "bucket " << i;
+  }
+  EXPECT_EQ(g.underflow(), 0u);
+  EXPECT_EQ(g.overflow(), 0u);
+}
+
+TEST(LogHistogramTest, NonFiniteSamplesDoNotPoisonMoments) {
+  obs::LogHistogram h;
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.underflow(), 2u);  // NaN and -inf
+  EXPECT_EQ(h.overflow(), 1u);   // +inf
+  EXPECT_FALSE(std::isnan(h.quantile(0.5)));
+  EXPECT_FALSE(std::isnan(h.sum()));
+
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0);
+  EXPECT_FALSE(std::isnan(h.quantile(0.95)));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
 // --- MetricsRegistry ---
 
 TEST(MetricsRegistryTest, InstrumentsAreStableAndLabelOrderInsensitive) {
@@ -274,6 +333,212 @@ TEST(LoggerTest, MemorySinkAndComponentLevelOverrides) {
   Logger::setSink(std::move(previous));
 }
 
+// --- ProtocolTracker ---
+
+TEST(ProtocolTrackerTest, StitchesBeginPhaseEndIntoLatencyAndOutcomes) {
+  obs::MetricsRegistry metrics;
+  obs::ProtocolTracker tracker;
+  tracker.bindMetrics(&metrics);
+
+  const std::uint64_t id = obs::protocolTraceId(3, 1);
+  tracker.begin(obs::Protocol::kZoneHandoff, id, SimTime{0});
+  EXPECT_EQ(tracker.openCount(), 1u);
+  tracker.phase(obs::Protocol::kZoneHandoff, id, SimTime{40'000}, "transfer");
+  const auto e2e =
+      tracker.end(obs::Protocol::kZoneHandoff, id, SimTime{100'000}, obs::ProtocolOutcome::kCompleted);
+  ASSERT_TRUE(e2e.has_value());
+  EXPECT_DOUBLE_EQ(*e2e, 100.0);
+  EXPECT_EQ(tracker.openCount(), 0u);
+  EXPECT_EQ(tracker.outcomeCount(obs::Protocol::kZoneHandoff, obs::ProtocolOutcome::kCompleted), 1u);
+  const obs::LogHistogram* hist = tracker.latencyHistogram(obs::Protocol::kZoneHandoff);
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);
+  // The phase breakdown landed in the registry under the protocol+phase labels.
+  const obs::LogHistogram* phase = metrics.findHistogram(
+      "roia_protocol_phase_ms", {{"protocol", "zone_handoff"}, {"phase", "transfer"}});
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count(), 1u);
+
+  // Unknown ids and protocol mismatches are ignored, not crashes.
+  tracker.phase(obs::Protocol::kMigration, 999, SimTime{1}, "transfer");
+  EXPECT_FALSE(
+      tracker.end(obs::Protocol::kMigration, 999, SimTime{2}, obs::ProtocolOutcome::kCompleted)
+          .has_value());
+
+  // A duplicate begin supersedes the live instance instead of leaking it.
+  const std::uint64_t dup = obs::protocolTraceId(3, 2);
+  tracker.begin(obs::Protocol::kMigration, dup, SimTime{0});
+  tracker.begin(obs::Protocol::kMigration, dup, SimTime{10'000});
+  EXPECT_EQ(tracker.openCount(), 1u);
+  EXPECT_EQ(tracker.outcomeCount(obs::Protocol::kMigration, obs::ProtocolOutcome::kSuperseded), 1u);
+}
+
+TEST(ProtocolTrackerTest, TraceIdFamiliesAreDisjoint) {
+  // Allocator families must never collide across protocols (top-byte tag).
+  EXPECT_NE(obs::protocolTraceId(1, 1), obs::drainTraceId(1, 1));
+  EXPECT_NE(obs::protocolTraceId(1, 1), obs::recoveryTraceId(1, 1));
+  EXPECT_NE(obs::drainTraceId(1, 1), obs::recoveryTraceId(1, 1));
+  EXPECT_NE(obs::protocolTraceId(1, 1), obs::admissionTraceId(1));
+  EXPECT_NE(obs::protocolTraceId(1, 2), obs::protocolTraceId(2, 1));
+}
+
+// --- SloEngine ---
+
+TEST(SloEngineTest, MultiWindowBurnRateFiresOnceThenCoolsDown) {
+  obs::SloEngine engine;
+  obs::SloObjective objective;
+  objective.name = "tick_time";
+  objective.threshold = 10.0;
+  objective.target = 0.9;
+  objective.shortWindow = SimDuration::seconds(1);
+  objective.longWindow = SimDuration::seconds(5);
+  objective.fastBurn = 2.0;
+  objective.slowBurn = 1.0;
+  objective.minSamples = 4;
+  objective.cooldown = SimDuration::seconds(10);
+  const std::size_t handle = engine.addObjective(objective);
+  EXPECT_EQ(engine.findHandle("tick_time"), std::optional<std::size_t>{handle});
+
+  // Good samples never breach.
+  SimTime t{0};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(engine.record(handle, "server-1", 5.0, t).has_value());
+    t = t + SimDuration::milliseconds(100);
+  }
+  // A run of bad samples breaches exactly once (cooldown re-arms later).
+  std::size_t breachesSeen = 0;
+  obs::SloBreach lastBreach;
+  for (int i = 0; i < 12; ++i) {
+    if (const auto breach = engine.record(handle, "server-1", 50.0, t)) {
+      ++breachesSeen;
+      lastBreach = *breach;
+    }
+    t = t + SimDuration::milliseconds(100);
+  }
+  EXPECT_EQ(breachesSeen, 1u);
+  EXPECT_EQ(engine.breachCount(), 1u);
+  EXPECT_EQ(lastBreach.objective, "tick_time");
+  EXPECT_EQ(lastBreach.key, "server-1");
+  EXPECT_GE(lastBreach.shortBurn, objective.fastBurn);
+  EXPECT_GE(lastBreach.longBurn, objective.slowBurn);
+
+  // Keys are independent: a different server starts clean.
+  EXPECT_FALSE(engine.record(handle, "server-2", 50.0, t).has_value());
+}
+
+TEST(SloEngineTest, LowerBoundObjectiveTreatsSmallValuesAsBad) {
+  obs::SloEngine engine;
+  obs::SloObjective objective;
+  objective.name = "update_rate";
+  objective.threshold = 25.0;
+  objective.upperBound = false;  // rate must stay >= 25 Hz
+  objective.target = 0.9;
+  objective.shortWindow = SimDuration::seconds(1);
+  objective.longWindow = SimDuration::seconds(2);
+  objective.fastBurn = 1.0;
+  objective.slowBurn = 1.0;
+  objective.minSamples = 2;
+  objective.cooldown = SimDuration::seconds(60);
+  const std::size_t handle = engine.addObjective(objective);
+
+  SimTime t{0};
+  std::size_t breaches = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (engine.record(handle, "server-1", 12.5, t)) ++breaches;
+    t = t + SimDuration::milliseconds(100);
+  }
+  EXPECT_EQ(breaches, 1u);
+
+  std::ostringstream out;
+  engine.writeJsonl(out);
+  EXPECT_NE(out.str().find("\"objective\":\"update_rate\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"bound\":\"lower\""), std::string::npos);
+}
+
+// --- DriftMonitor ---
+
+TEST(DriftMonitorTest, FiresWhenWindowedRelativeErrorLeavesBand) {
+  obs::DriftMonitor monitor;
+  obs::DriftConfig config;
+  config.relErrorBand = 0.3;
+  config.windowSamples = 8;
+  config.minSamples = 8;
+  config.cooldown = SimDuration::seconds(60);
+  monitor.setConfig(config);
+
+  SimTime t{0};
+  // Accurate predictions: residuals recorded, no event.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(monitor.record("server-1", 10.0, 10.5, t).has_value());
+    t = t + SimDuration::milliseconds(100);
+  }
+  EXPECT_EQ(monitor.sampleCount("server-1"), 8u);
+  ASSERT_NE(monitor.residualHistogram("server-1"), nullptr);
+  EXPECT_EQ(monitor.residualHistogram("server-1")->count(), 8u);
+
+  // Predictions drift to 2x off: the windowed mean crosses the band once.
+  std::size_t events = 0;
+  obs::DriftEvent lastEvent;
+  for (int i = 0; i < 8; ++i) {
+    if (const auto event = monitor.record("server-1", 10.0, 20.0, t)) {
+      ++events;
+      lastEvent = *event;
+    }
+    t = t + SimDuration::milliseconds(100);
+  }
+  EXPECT_EQ(events, 1u);
+  EXPECT_EQ(monitor.driftEventCount(), 1u);
+  EXPECT_EQ(lastEvent.key, "server-1");
+  EXPECT_GT(lastEvent.windowMeanAbsRelError, config.relErrorBand);
+
+  // Non-finite inputs are rejected without corrupting state.
+  EXPECT_FALSE(monitor
+                   .record("server-1", std::numeric_limits<double>::quiet_NaN(), 10.0, t)
+                   .has_value());
+  EXPECT_EQ(monitor.sampleCount("server-1"), 16u);
+  EXPECT_GT(monitor.residualCov("server-1"), 0.0);
+}
+
+// --- FlightRecorder ---
+
+TEST(FlightRecorderTest, RingBoundsFramesAndDumpFreezesEveryKey) {
+  obs::FlightRecorder recorder;
+  recorder.setCapacity(4);
+
+  obs::FlightFrame frame;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    frame.tick = i;
+    frame.atMicros = static_cast<std::int64_t>(i) * 1000;
+    frame.durationMs = 1.0;
+    recorder.recordTick("server-1", frame);
+  }
+  EXPECT_EQ(recorder.frameCount("server-1"), 4u);  // ring kept the last 4
+  frame.tick = 3;
+  recorder.recordTick("server-2", frame);
+  recorder.note("server-2", SimTime{9000}, "crash");
+
+  recorder.dump("crash:server-2", SimTime{9500});
+  EXPECT_EQ(recorder.dumpCount(), 1u);
+
+  std::ostringstream out;
+  recorder.writeJsonl(out);
+  const std::string jsonl = out.str();
+  EXPECT_NE(jsonl.find("\"reason\":\"crash:server-2\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"crash\""), std::string::npos);
+  // Both keys are present in the dump, and evicted frames are not.
+  EXPECT_NE(jsonl.find("\"key\":\"server-1\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"key\":\"server-2\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"tick\":6"), std::string::npos);   // oldest surviving frame
+  EXPECT_EQ(jsonl.find("\"tick\":5,"), std::string::npos);  // evicted
+
+  // The dump cap counts, not stores, extra triggers.
+  recorder.setMaxDumps(2);
+  recorder.dump("second", SimTime{9600});
+  recorder.dump("third", SimTime{9700});
+  EXPECT_EQ(recorder.dumpCount(), 2u);
+  EXPECT_EQ(recorder.droppedDumps(), 1u);
+}
+
 // --- Zero-cost observer: identical simulations with telemetry on/off ---
 
 std::vector<double> runFingerprint(obs::Telemetry* telemetry) {
@@ -283,6 +548,11 @@ std::vector<double> runFingerprint(obs::Telemetry* telemetry) {
   rtf::Cluster cluster(app, config);
   const ZoneId zone = cluster.createZone("arena");
   cluster.attachMonitoringCollector();
+  // A pure tick-time predictor exercises the drift monitor on the traced
+  // run without perturbing either timeline.
+  cluster.setTickPredictor([](std::size_t users, std::size_t avatars, std::size_t npcs) {
+    return 0.01 + 0.001 * static_cast<double>(users + avatars + npcs);
+  });
   cluster.addServer(zone);
   const ServerId second = cluster.addServer(zone);
   // NPCs in the zone exercise the census/NPC-update tick paths too.
@@ -325,6 +595,9 @@ TEST(TelemetryDeterminismTest, SimulationIsBitIdenticalWithTelemetryAttached) {
   obs::Telemetry telemetry;
   telemetry.tracer.setEnabled(true);
   telemetry.audit.setEnabled(true);
+  // Full observability v2 surface: SLO objectives, drift monitor, protocol
+  // tracker and flight recorder all observing.
+  obs::installDefaultObjectives(telemetry.slo);
 
   const std::vector<double> traced = runFingerprint(&telemetry);
   const std::vector<double> plain = runFingerprint(nullptr);
@@ -341,6 +614,13 @@ TEST(TelemetryDeterminismTest, SimulationIsBitIdenticalWithTelemetryAttached) {
   telemetry.tracer.writeJson(out);
   EXPECT_NE(out.str().find("\"ph\":\"s\""), std::string::npos);
   EXPECT_NE(out.str().find("\"ph\":\"f\""), std::string::npos);
+  // Protocol instances completed end-to-end across servers.
+  EXPECT_GE(telemetry.protocols.outcomeCount(obs::Protocol::kMigration,
+                                             obs::ProtocolOutcome::kCompleted),
+            1u);
+  // Eq.2 residuals accumulated per server, and the flight ring is rolling.
+  EXPECT_GT(telemetry.drift.sampleCount("server-1"), 0u);
+  EXPECT_GT(telemetry.flight.frameCount("server-1"), 0u);
 }
 
 // --- RMS audit integration: decisions land in the audit log ---

@@ -31,6 +31,13 @@ Rules (see --list-rules):
                          (while(true), for(;;), negated-flag spins) and no
                          attempt cap, deadline, or budget in sight — an
                          unreachable peer must not spin forever.
+  audit-vocabulary       audit `action` names must come from the
+                         marker-tagged registry header (the file whose
+                         first lines contain `roia-audit-event-registry`,
+                         canonically src/obs/events.hpp); flags string
+                         literals assigned to an `.action` field or passed
+                         as the first argument of an audit*() call that
+                         are not registered there.
   bad-suppression        a `roia-lint: allow(...)` without a justification
                          (`-- <reason>`) or naming an unknown rule.
 
@@ -85,6 +92,12 @@ RULES = {
         "structural exit (while(true), for(;;), negated-flag spins) must "
         "carry an attempt cap, deadline, or budget — unreachable peers "
         "must not spin forever"
+    ),
+    "audit-vocabulary": (
+        "audit event (action) names must come from the registry header "
+        "tagged `roia-audit-event-registry` (src/obs/events.hpp) — a "
+        "free-form literal assigned to `.action` or passed first to an "
+        "audit*() call breaks the closed, greppable audit vocabulary"
     ),
     "bad-suppression": (
         "roia-lint: allow(...) must name a known rule and carry a "
@@ -151,6 +164,55 @@ def mask_source(text):
                 j += 2 if text[j] == "\\" else 1
             j = min(j + 1, n)
             out.append(" " * (j - i))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def mask_comments(text):
+    """Replaces comments with spaces but keeps string literals intact.
+
+    The audit-vocabulary rule needs to *read* string literals (they are the
+    findings), yet commented-out emissions must stay inert — so this is the
+    comment-only counterpart of mask_source(). Newlines are preserved.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:end]))
+            i = end
+        elif c == "R" and nxt == '"':
+            close = text.find("(", i + 2)
+            if close == -1:
+                out.append(c)
+                i += 1
+                continue
+            delim = text[i + 2:close]
+            terminator = ")" + delim + '"'
+            end = text.find(terminator, close + 1)
+            end = n if end == -1 else end + len(terminator)
+            out.append(text[i:end])
+            i = end
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(text[i:j])
             i = j
         else:
             out.append(c)
@@ -528,6 +590,65 @@ def rule_bounded_retry(path, masked, in_core):
 
 
 # ---------------------------------------------------------------------------
+# audit-vocabulary
+
+# The registry header announces itself with this marker in its opening
+# comment (canonically src/obs/events.hpp, line 1).
+AUDIT_REGISTRY_MARKER = "roia-audit-event-registry"
+AUDIT_REGISTRY_CONST_RE = re.compile(r'char\s*\*\s*k\w+\s*=\s*"([^"]*)"')
+# A string literal assigned to an audit record's action field, or passed as
+# the first argument of an audit-emitting call (auditEvent, auditOverload,
+# ...). Whitespace may span lines.
+AUDIT_ACTION_ASSIGN_RE = re.compile(r'\.\s*action\s*=\s*"([^"]*)"')
+AUDIT_CALL_LITERAL_RE = re.compile(r'\baudit\w*\s*\(\s*"([^"]*)"')
+
+
+def load_audit_vocabulary(files):
+    """(vocabulary set, set of registry paths) from marker-tagged headers.
+
+    Every scanned file whose first three lines carry the marker contributes
+    its constants; when none is in the scan set, the canonical registry
+    next to this tool's repo checkout is used so partial-tree invocations
+    (e.g. linting one subdirectory) still know the vocabulary.
+    """
+    vocab = set()
+    registries = set()
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError:
+            continue
+        head = "\n".join(text.splitlines()[:3])
+        if AUDIT_REGISTRY_MARKER in head:
+            registries.add(path)
+            vocab |= {m.group(1) for m in AUDIT_REGISTRY_CONST_RE.finditer(text)}
+    if not registries:
+        fallback = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src", "obs", "events.hpp")
+        if os.path.isfile(fallback):
+            with open(fallback, encoding="utf-8") as f:
+                vocab |= {m.group(1)
+                          for m in AUDIT_REGISTRY_CONST_RE.finditer(f.read())}
+    return vocab, registries
+
+
+def rule_audit_vocabulary(path, comment_masked, vocab):
+    findings = []
+    for pattern, how in ((AUDIT_ACTION_ASSIGN_RE, "assigned to an action field"),
+                         (AUDIT_CALL_LITERAL_RE, "passed to an audit call")):
+        for m in pattern.finditer(comment_masked):
+            if m.group(1) in vocab:
+                continue
+            findings.append(Finding(
+                path, line_of(comment_masked, m.start()), "audit-vocabulary",
+                f'unregistered audit event "{m.group(1)}" {how}; add it to '
+                "the roia-audit-event-registry header (src/obs/events.hpp) "
+                "and reference the constant"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 
 def path_subsystem(path):
@@ -572,6 +693,7 @@ def lint_files(files, assume_core=False):
     findings = []
     suppressed = []
     messages_pairs = []
+    audit_vocab, audit_registries = load_audit_vocabulary(files)
     for path in files:
         with open(path, encoding="utf-8") as f:
             raw = f.read()
@@ -597,6 +719,11 @@ def lint_files(files, assume_core=False):
         file_findings += rule_ordered_iteration(path, masked, paired, feeds_output)
         file_findings += rule_hot_path_alloc(path, raw, masked)
         file_findings += rule_bounded_retry(path, masked, in_core)
+        # The registry itself is exempt (its literals ARE the vocabulary);
+        # with no registry in sight the rule has nothing to check against.
+        if audit_vocab and path not in audit_registries:
+            file_findings += rule_audit_vocabulary(path, mask_comments(raw),
+                                                   audit_vocab)
 
         if os.path.basename(path) == "messages.hpp":
             cpp = os.path.splitext(path)[0] + ".cpp"
