@@ -129,15 +129,37 @@ class TelemetryScope {
   std::string flightOut_;
 };
 
+/// Applies the ROIA_INTEREST environment override to an FpsConfig:
+///   euclidean  paper-default pairwise scan (no-op on a default config)
+///   grid       incremental flat-grid interest via applyGridInterestProfile
+/// Unset leaves the config untouched, so default runs stay byte-identical.
+inline void applyInterestOverride(game::FpsConfig& config) {
+  const char* value = std::getenv("ROIA_INTEREST");
+  if (value == nullptr) return;
+  const std::string policy(value);
+  if (policy == "grid") {
+    game::applyGridInterestProfile(config);
+  } else if (policy == "euclidean") {
+    config.interestPolicy = game::InterestPolicyKind::kEuclidean;
+  } else {
+    std::fprintf(stderr, "warning: ignoring ROIA_INTEREST='%s' (want euclidean|grid)\n", value);
+  }
+}
+
 /// Full-strength calibration campaign (matches the paper: up to 300 bots on
-/// two replicas of one zone, plus a migration sweep).
+/// two replicas of one zone, plus a migration sweep). Honors ROIA_INTEREST;
+/// a grid-policy run is fitted with the adaptive plan so the flattened
+/// t_ua/t_aoi shapes are discovered rather than forced quadratic.
 inline game::CalibrationResult runCalibration(bool quick = false) {
   game::CalibrationConfig config;
   if (quick) {
     config.replicationPopulations = {50, 100, 150, 200, 250, 300};
     config.migrationPopulations = {60, 120, 180, 240};
   }
-  return game::calibrateModel(config);
+  applyInterestOverride(config.measurement.fps);
+  const bool grid = config.measurement.fps.interestPolicy == game::InterestPolicyKind::kGrid;
+  return game::calibrateModel(config,
+                              grid ? model::FitPlan::adaptive() : model::FitPlan::paperDefault());
 }
 
 /// Bins scattered (x, y) samples by x and returns per-bin mean — the

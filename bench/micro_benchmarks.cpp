@@ -98,10 +98,10 @@ void BM_AreaOfInterest(benchmark::State& state) {
   rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
   sim::CpuCostModel cpu;
   rtf::CostMeter meter(cpu);
-  const rtf::EntityRecord* viewer = world.find(EntityId{1});
-  std::vector<EntityId> visible;
+  const auto viewer = *world.find(EntityId{1});
+  std::vector<std::uint32_t> visible;
   for (auto _ : state) {
-    app.computeAreaOfInterest(world, *viewer, meter, visible);
+    app.computeAreaOfInterest(world, viewer, meter, visible);
     benchmark::DoNotOptimize(visible.data());
   }
 }
@@ -116,12 +116,12 @@ void BM_AttackResolution(benchmark::State& state) {
   struct NullSink : rtf::ForwardSink {
     void forwardInteraction(EntityId, EntityId, std::vector<std::uint8_t>) override {}
   } sink;
-  rtf::EntityRecord* attacker = world.find(EntityId{1});
+  const auto attacker = *world.find(EntityId{1});
   game::CommandBatch batch;
   batch.attack = game::AttackCommand{EntityId{2}, {1, 0}};
   const auto commands = game::encodeCommands(batch);
   for (auto _ : state) {
-    app.applyUserInput(world, *attacker, commands, meter, sink, rng);
+    app.applyUserInput(world, attacker, commands, meter, sink, rng);
   }
 }
 BENCHMARK(BM_AttackResolution)->Arg(50)->Arg(150)->Arg(300);
@@ -228,7 +228,7 @@ void BM_WorldForEach(benchmark::State& state) {
   const rtf::World world = denseWorld(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     double sum = 0.0;
-    world.forEach([&sum](const rtf::EntityRecord& e) { sum += e.position.x; });
+    world.forEach([&sum](rtf::ConstEntityRef e) { sum += e.position.x; });
     benchmark::DoNotOptimize(sum);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -266,14 +266,67 @@ void BM_GridInterestQuery(benchmark::State& state) {
   game::GridInterest grid(60.0);
   sim::CpuCostModel cpu;
   rtf::CostMeter meter(cpu);
-  const rtf::EntityRecord* viewer = world.find(EntityId{1});
-  std::vector<EntityId> out;
+  grid.prepare(world, meter);  // measure queries against a built index
+  const auto viewer = *world.find(EntityId{1});
+  std::vector<std::uint32_t> out;
   for (auto _ : state) {
-    grid.query(world, *viewer, 60.0, meter, out);
+    grid.query(world, viewer, 60.0, meter, out);
     benchmark::DoNotOptimize(out.data());
   }
 }
 BENCHMARK(BM_GridInterestQuery)->Arg(50)->Arg(150)->Arg(300);
+
+/// World spread uniformly over the whole 1000x1000 arena: the regime the
+/// flat grid targets. (denseWorld's 200x200 blob collapses into a handful
+/// of cells and measures nothing but the dense-cell scan.)
+rtf::World spreadWorld(std::size_t n) {
+  rtf::World world(ZoneId{1});
+  Rng rng(6);
+  for (std::uint64_t id = 1; id <= n; ++id) {
+    rtf::EntityRecord e;
+    e.id = EntityId{id};
+    e.kind = rtf::EntityKind::kAvatar;
+    e.owner = ServerId{1};
+    e.client = ClientId{id};
+    e.position = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    world.upsert(e);
+  }
+  return world;
+}
+
+// The BM_AoiQuerySpread pair is the CI speedup gate for this optimization:
+// perf_report.py compares grid against euclidean at n=300 and fails the
+// build if the real (wall-clock) ratio drops below its floor.
+void BM_AoiQuerySpreadEuclid(benchmark::State& state) {
+  rtf::World world = spreadWorld(static_cast<std::size_t>(state.range(0)));
+  game::EuclideanInterest euclid;
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter(cpu);
+  const auto viewer = *world.find(EntityId{1});
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    euclid.query(world, viewer, 110.0, meter, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AoiQuerySpreadEuclid)->Arg(50)->Arg(300);
+
+void BM_AoiQuerySpreadGrid(benchmark::State& state) {
+  rtf::World world = spreadWorld(static_cast<std::size_t>(state.range(0)));
+  game::GridInterest grid(110.0);
+  sim::CpuCostModel cpu;
+  rtf::CostMeter meter(cpu);
+  grid.prepare(world, meter);
+  const auto viewer = *world.find(EntityId{1});
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    grid.query(world, viewer, 110.0, meter, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AoiQuerySpreadGrid)->Arg(50)->Arg(300);
 
 void BM_EventQueueScheduleDrain(benchmark::State& state) {
   for (auto _ : state) {

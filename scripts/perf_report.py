@@ -15,6 +15,12 @@ Collects two kinds of wall-clock evidence from a built tree:
     asserts the two runs produced byte-identical stdout (the zero-cost-
     observer contract), and records the wall-clock ratio into
     BENCH_obs_overhead.json. --max-overhead-ratio gates on it.
+ 4. interest-management report (--interest) — runs ext_interest_management,
+    parses the per-policy t_aoi power-law exponents, model thresholds and
+    check lines into BENCH_interest.json, and fails if any check failed.
+    --require-aoi-speedup additionally gates on the AOI micro benchmarks:
+    the grid query must beat the Euclidean scan by the given factor at
+    n = 300 (BM_AoiQuerySpread*).
 
 Only the Python standard library is used. Typical CI invocations:
 
@@ -38,6 +44,7 @@ DEFAULT_SWEEPS = [
     "chaos_recovery",
     "ext_zone_sharding",
     "ext_overload_degradation",
+    "ext_interest_management",
 ]
 
 
@@ -127,6 +134,63 @@ def run_micro(build_dir: str) -> list:
     ]
 
 
+def run_interest(build_dir: str) -> dict:
+    """BENCH_interest.json: per-IM-algorithm scaling facts.
+
+    Runs ext_interest_management once and parses its tables: the aggregate
+    t_aoi power-law fit (exponent/amplitude/R^2), the per-policy model
+    thresholds (n_max(1), 80 % trigger, l_max) and the harness's own
+    check lines. A failing check makes the harness exit nonzero, which
+    fails the report too.
+    """
+    binary = os.path.join(build_dir, "bench", "ext_interest_management")
+    env = dict(os.environ, ROIA_BENCH_THREADS="1")
+    proc = subprocess.run([binary], env=env, stdout=subprocess.PIPE,
+                          stderr=subprocess.DEVNULL)
+    out = proc.stdout.decode()
+
+    policies = {}
+    section = None
+    checks = []
+    for line in out.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            # Section anchors; any other comment line (e.g. the form-selection
+            # table, whose rows also lead with a policy name) ends the section.
+            if stripped.startswith("# algorithm") and "exponent" in stripped:
+                section = "power"
+            elif stripped.startswith("# algorithm") and "n_max(1)" in stripped:
+                section = "thresholds"
+            else:
+                section = None
+            continue
+        if stripped.startswith("check:"):
+            # "check: <description>  PASS|FAIL (<value>)"
+            section = None
+            body = stripped[len("check:"):].strip()
+            passed = " PASS (" in body
+            verdict = " PASS (" if passed else " FAIL ("
+            checks.append({"check": body.split(verdict)[0].strip(), "passed": passed})
+            continue
+        fields = stripped.split()
+        if section and len(fields) >= 4 and fields[0] in ("euclidean", "grid"):
+            entry = policies.setdefault(fields[0], {})
+            if section == "power":
+                entry["aoi_exponent"] = float(fields[1])
+                entry["aoi_amplitude"] = float(fields[2])
+                entry["aoi_loglog_r2"] = float(fields[3])
+            else:
+                entry["n_max_1"] = int(fields[1])
+                entry["trigger_80pct"] = int(fields[2])
+                entry["l_max"] = int(fields[3])
+    return {
+        "schema": "roia-bench-interest/1",
+        "exit_code": proc.returncode,
+        "policies": policies,
+        "checks": checks,
+    }
+
+
 def run_sweep(build_dir: str, bench: str, threads: int) -> dict:
     binary = os.path.join(build_dir, "bench", bench)
 
@@ -185,6 +249,15 @@ def main() -> int:
                              "(default: <build-dir>/BENCH_obs_overhead.json)")
     parser.add_argument("--max-overhead-ratio", type=float, default=None,
                         help="fail if any telemetry-on/off ratio exceeds this")
+    parser.add_argument("--interest", action="store_true",
+                        help="run ext_interest_management and write the "
+                             "per-IM-algorithm report")
+    parser.add_argument("--interest-out", default=None,
+                        help="interest report path "
+                             "(default: <build-dir>/BENCH_interest.json)")
+    parser.add_argument("--require-aoi-speedup", type=float, default=None,
+                        help="fail unless the grid AOI micro benchmark beats the "
+                             "Euclidean one by this factor at n=300")
     args = parser.parse_args()
 
     # A hostile --threads value (0, negative) means "serial only", never a
@@ -205,6 +278,8 @@ def main() -> int:
     needed = [] if args.skip_micro else [os.path.join(args.build_dir, "bench", "micro_benchmarks")]
     needed += [os.path.join(args.build_dir, "bench", bench)
                for bench in list(args.sweeps) + list(args.obs_overhead)]
+    if args.interest:
+        needed.append(os.path.join(args.build_dir, "bench", "ext_interest_management"))
     missing = [path for path in needed if not os.path.isfile(path)]
     if missing:
         for path in missing:
@@ -285,6 +360,50 @@ def main() -> int:
                 return 1
             print(f"worst telemetry overhead {worst}x <= "
                   f"{args.max_overhead_ratio}x: OK")
+
+    if args.interest:
+        interest_report = run_interest(args.build_dir)
+        interest_path = args.interest_out or os.path.join(
+            args.build_dir, "BENCH_interest.json")
+        tmp_path = interest_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(interest_report, f, indent=2)
+            f.write("\n")
+        os.replace(tmp_path, interest_path)
+        for policy, facts in sorted(interest_report["policies"].items()):
+            print(f"{policy}: t_aoi ~ n^{facts.get('aoi_exponent')}, "
+                  f"n_max(1) = {facts.get('n_max_1')}")
+        print(f"wrote {interest_path} ({len(interest_report['policies'])} policies, "
+              f"{len(interest_report['checks'])} checks)")
+        failed = [c["check"] for c in interest_report["checks"] if not c["passed"]]
+        if interest_report["exit_code"] != 0 or failed:
+            for name in failed:
+                print(f"FAIL: interest check failed: {name}", file=sys.stderr)
+            print(f"FAIL: ext_interest_management exit code "
+                  f"{interest_report['exit_code']}", file=sys.stderr)
+            return 1
+
+    if args.require_aoi_speedup is not None:
+        if args.skip_micro:
+            print("ERROR: --require-aoi-speedup needs the micro benchmarks "
+                  "(drop --skip-micro)", file=sys.stderr)
+            return 1
+        # cpu_time, not real_time: the gate must survive noisy shared runners,
+        # and scheduler preemption only pollutes wall clock.
+        times = {b["name"]: b["cpu_time"] for b in report["micro"]}
+        euclid = times.get("BM_AoiQuerySpreadEuclid/300")
+        grid = times.get("BM_AoiQuerySpreadGrid/300")
+        if euclid is None or grid is None or grid <= 0:
+            print("ERROR: AOI spread benchmarks missing from micro run; "
+                  "cannot gate on AOI speedup", file=sys.stderr)
+            return 1
+        ratio = euclid / grid
+        if ratio < args.require_aoi_speedup:
+            print(f"FAIL: grid AOI speedup {ratio:.2f}x < required "
+                  f"{args.require_aoi_speedup}x at n=300", file=sys.stderr)
+            return 1
+        print(f"grid AOI speedup {ratio:.2f}x >= {args.require_aoi_speedup}x "
+              "at n=300: OK")
 
     if args.require_speedup is not None:
         measured = [s["speedup"] for s in report["sweeps"] if s["speedup"] is not None]

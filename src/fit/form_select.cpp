@@ -1,0 +1,53 @@
+#include "fit/form_select.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace roia::fit {
+
+PowerLawFit fitPowerLaw(std::span<const double> x, std::span<const double> y) {
+  PowerLawFit fit;
+  // Ordinary least squares on (ln x, ln y): exponent is the slope, the
+  // amplitude the exponentiated intercept.
+  double sumX = 0.0, sumY = 0.0, sumXX = 0.0, sumXY = 0.0;
+  const std::size_t count = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sumX += lx;
+    sumY += ly;
+    sumXX += lx * lx;
+    sumXY += lx * ly;
+    ++fit.samples;
+  }
+  if (fit.samples < 2) return fit;
+  const double n = static_cast<double>(fit.samples);
+  const double denom = n * sumXX - sumX * sumX;
+  if (denom == 0.0) return PowerLawFit{};  // all x equal: slope undefined
+  fit.exponent = (n * sumXY - sumX * sumY) / denom;
+  const double intercept = (sumY - fit.exponent * sumX) / n;
+  fit.amplitude = std::exp(intercept);
+
+  const double meanY = sumY / n;
+  double ssRes = 0.0, ssTot = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double ly = std::log(y[i]);
+    const double predicted = intercept + fit.exponent * std::log(x[i]);
+    ssRes += (ly - predicted) * (ly - predicted);
+    ssTot += (ly - meanY) * (ly - meanY);
+  }
+  fit.r2 = ssTot > 0.0 ? 1.0 - ssRes / ssTot : 1.0;
+  return fit;
+}
+
+double aicc(double sse, std::size_t n, std::size_t k) {
+  if (n <= k + 1) return std::numeric_limits<double>::infinity();
+  if (sse <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  return nd * std::log(sse / nd) + 2.0 * kd + 2.0 * kd * (kd + 1.0) / (nd - kd - 1.0);
+}
+
+}  // namespace roia::fit

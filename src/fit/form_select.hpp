@@ -1,0 +1,34 @@
+// Model-form selection utilities: a log-log power-law fit for reporting
+// scaling exponents (is t_aoi growing like n^2 or n^1?) and the corrected
+// Akaike information criterion for choosing between nested polynomial
+// forms without overfitting the extra coefficient.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace roia::fit {
+
+/// y ~ amplitude * x^exponent, fitted by least squares on (ln x, ln y).
+/// Pairs with non-positive x or y carry no information in log space and are
+/// skipped; `samples` counts the pairs actually used.
+struct PowerLawFit {
+  double amplitude{0.0};
+  double exponent{0.0};
+  /// R^2 of the fit in log-log space.
+  double r2{0.0};
+  std::size_t samples{0};
+  [[nodiscard]] bool valid() const { return samples >= 2; }
+};
+
+[[nodiscard]] PowerLawFit fitPowerLaw(std::span<const double> x, std::span<const double> y);
+
+/// Corrected Akaike information criterion for a least-squares fit with `k`
+/// estimated coefficients over `n` samples:
+///   AICc = n ln(sse/n) + 2k + 2k(k+1)/(n-k-1).
+/// Lower is better. Returns -infinity for an exact fit (sse == 0) and
+/// +infinity when n <= k + 1 (the correction term blows up: too few samples
+/// to justify the form at all).
+[[nodiscard]] double aicc(double sse, std::size_t n, std::size_t k);
+
+}  // namespace roia::fit

@@ -2,7 +2,7 @@
 
 namespace roia::game {
 
-CalibrationResult calibrateModel(const CalibrationConfig& config) {
+CalibrationResult calibrateModel(const CalibrationConfig& config, const model::FitPlan& plan) {
   CalibrationResult result;
   result.replicationSamples =
       measureReplicationParameters(config.measurement, config.replicationPopulations);
@@ -21,12 +21,12 @@ CalibrationResult calibrateModel(const CalibrationConfig& config) {
       estimator.setSamples(kind, result.replicationSamples.series(phase));
     }
   }
-  result.parameters = estimator.fit();
+  result.parameters = estimator.fit(plan);
   return result;
 }
 
-model::TickModel calibrateTickModel(const CalibrationConfig& config) {
-  return model::TickModel(calibrateModel(config).parameters);
+model::TickModel calibrateTickModel(const CalibrationConfig& config, const model::FitPlan& plan) {
+  return model::TickModel(calibrateModel(config, plan).parameters);
 }
 
 }  // namespace roia::game

@@ -29,10 +29,17 @@ struct CalibrationResult {
   ParameterSamples migrationSamples;
 };
 
-/// Runs both measurement campaigns and fits the paper-default forms.
-[[nodiscard]] CalibrationResult calibrateModel(const CalibrationConfig& config = {});
+/// Runs both measurement campaigns and fits the model. The default plan is
+/// the paper's fixed forms; pass FitPlan::adaptive() to let corrected AIC
+/// pick linear vs quadratic for the interest-dependent parameters (the
+/// right choice when calibrating under the grid policy).
+[[nodiscard]] CalibrationResult calibrateModel(
+    const CalibrationConfig& config = {},
+    const model::FitPlan& plan = model::FitPlan::paperDefault());
 
 /// Convenience: calibrate and wrap in a TickModel.
-[[nodiscard]] model::TickModel calibrateTickModel(const CalibrationConfig& config = {});
+[[nodiscard]] model::TickModel calibrateTickModel(
+    const CalibrationConfig& config = {},
+    const model::FitPlan& plan = model::FitPlan::paperDefault());
 
 }  // namespace roia::game

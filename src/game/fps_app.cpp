@@ -1,6 +1,7 @@
 #include "game/fps_app.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/log.hpp"
 #include "game/player_stats.hpp"
@@ -15,14 +16,33 @@ InterestCosts interestCostsFrom(const FpsConfig& config) {
   InterestCosts costs;
   costs.pairTestCost = config.aoiPerEntityCost;
   costs.subscribeScanCost = config.aoiSubscribeScanCost;
+  costs.rebuildPerEntityCost = config.aoiRebuildPerEntityCost;
+  costs.sweepPerEntityCost = config.aoiSweepPerEntityCost;
+  costs.cellVisitCost = config.aoiCellVisitCost;
+  costs.candidateTestCost = config.aoiCandidateTestCost;
   return costs;
 }
 
 }  // namespace
 
+std::unique_ptr<InterestPolicy> makeInterestPolicy(const FpsConfig& config) {
+  const InterestCosts costs = interestCostsFrom(config);
+  if (config.interestPolicy == InterestPolicyKind::kGrid) {
+    const double cell = config.gridCellSize > 0.0 ? config.gridCellSize : config.aoiRadius * 0.5;
+    return std::make_unique<GridInterest>(cell, costs);
+  }
+  return std::make_unique<EuclideanInterest>(costs);
+}
+
+void applyGridInterestProfile(FpsConfig& config) {
+  config.interestPolicy = InterestPolicyKind::kGrid;
+  // Slot-handle gather over contiguous SoA columns instead of hash find +
+  // fat-record walk per visible id (see header).
+  config.suGatherPerEntityCost = 0.12;
+}
+
 FpsApplication::FpsApplication(FpsConfig config)
-    : config_(config),
-      interest_(std::make_unique<EuclideanInterest>(interestCostsFrom(config))) {}
+    : config_(config), interest_(makeInterestPolicy(config)) {}
 
 void FpsApplication::setInterestPolicy(std::unique_ptr<InterestPolicy> policy) {
   if (policy != nullptr) interest_ = std::move(policy);
@@ -33,7 +53,7 @@ void FpsApplication::onTickBegin(rtf::World& world, rtf::CostMeter& meter) {
   interest_->prepare(world, meter);
 }
 
-void FpsApplication::applyUserInput(rtf::World& world, rtf::EntityRecord& avatar,
+void FpsApplication::applyUserInput(rtf::World& world, rtf::EntityRef avatar,
                                     std::span<const std::uint8_t> commands,
                                     rtf::CostMeter& meter, rtf::ForwardSink& forward, Rng& rng) {
   const CommandBatch batch = decodeCommands(commands);
@@ -45,7 +65,7 @@ void FpsApplication::applyUserInput(rtf::World& world, rtf::EntityRecord& avatar
   }
 }
 
-void FpsApplication::applyMove(rtf::EntityRecord& avatar, const MoveCommand& move,
+void FpsApplication::applyMove(rtf::EntityRef avatar, const MoveCommand& move,
                                rtf::CostMeter& meter) {
   meter.charge(config_.moveApplyCost);
   const Vec2 dir = move.direction.normalized();
@@ -54,43 +74,65 @@ void FpsApplication::applyMove(rtf::EntityRecord& avatar, const MoveCommand& mov
   clampToArena(avatar.position);
 }
 
-void FpsApplication::applyAttack(rtf::World& world, rtf::EntityRecord& attacker,
+// roia-hot
+void FpsApplication::applyAttack(rtf::World& world, rtf::EntityRef attacker,
                                  const AttackCommand& attack, rtf::CostMeter& meter,
                                  rtf::ForwardSink& forward, Rng& rng) {
-  // Hit resolution iterates through all users to check who is hit by the
-  // attack (the paper's stated reason t_ua grows super-linearly). The scan
-  // is genuinely performed, not just charged.
-  std::size_t scanned = 0;
-  rtf::EntityRecord* hit = nullptr;
-  world.forEach([&](rtf::EntityRecord& e) {
-    if (!e.isAvatar() || e.id == attacker.id) return;
-    ++scanned;
-    if (e.id == attack.target &&
-        e.position.distanceSq(attacker.position) <=
-            config_.attackRange * config_.attackRange) {
-      hit = &e;
+  const double rangeSq = config_.attackRange * config_.attackRange;
+  std::size_t hitSlot = rtf::World::npos;
+  if (config_.interestPolicy == InterestPolicyKind::kGrid) {
+    // Grid profile: the spatial index answers "who could this attack hit"
+    // with the occupancy of the cells overlapping the attack circle, so
+    // validation cost is local instead of O(avatars).
+    const std::size_t candidates =
+        interest_->scanCandidates(world, attacker.position, config_.attackRange);
+    meter.charge(config_.attackValidateBaseCost +
+                 config_.attackScanPerEntityCost * static_cast<double>(candidates));
+    const std::size_t s = world.slotOf(attack.target);
+    if (s != rtf::World::npos && world.kinds()[s] == rtf::EntityKind::kAvatar &&
+        attack.target != attacker.id &&
+        world.positions()[s].distanceSq(attacker.position) <= rangeSq) {
+      hitSlot = s;
     }
-  });
-  meter.charge(config_.attackValidateBaseCost +
-               config_.attackScanPerEntityCost * static_cast<double>(scanned));
-  if (hit == nullptr) return;
+  } else {
+    // Euclidean baseline: hit resolution iterates through all users to
+    // check who is hit by the attack (the paper's stated reason t_ua grows
+    // super-linearly). The scan is genuinely performed, not just charged.
+    const std::span<const std::uint64_t> ids = world.ids();
+    const std::span<const rtf::EntityKind> kinds = world.kinds();
+    const std::span<const Vec2> positions = world.positions();
+    std::size_t scanned = 0;
+    const std::size_t n = ids.size();
+    for (std::size_t s = 0; s < n; ++s) {
+      if (kinds[s] != rtf::EntityKind::kAvatar || ids[s] == attacker.id.value) continue;
+      ++scanned;
+      if (ids[s] == attack.target.value &&
+          positions[s].distanceSq(attacker.position) <= rangeSq) {
+        hitSlot = s;
+      }
+    }
+    meter.charge(config_.attackValidateBaseCost +
+                 config_.attackScanPerEntityCost * static_cast<double>(scanned));
+  }
+  if (hitSlot == rtf::World::npos) return;
 
-  if (hit->owner == attacker.owner) {
+  rtf::EntityRef hit = world.refAt(hitSlot);
+  if (hit.owner == attacker.owner) {
     // Target is active on this server: apply the hit locally.
     meter.charge(config_.applyHitCost);
-    if (applyDamage(*hit, config_.attackDamage, &rng, meter)) {
+    if (applyDamage(hit, config_.attackDamage, &rng, meter)) {
       creditKill(attacker, meter);
     }
-    hit->version += 1;
+    hit.version += 1;
   } else {
     // Target is a shadow entity: forward the interaction to its server.
     forward.forwardInteraction(
-        hit->id, attacker.id,
+        hit.id, attacker.id,
         encodeInteraction(Interaction{Interaction::Kind::kAttack, config_.attackDamage}));
   }
 }
 
-void FpsApplication::applyForwardedInteraction(rtf::World& world, rtf::EntityRecord& target,
+void FpsApplication::applyForwardedInteraction(rtf::World& world, rtf::EntityRef target,
                                                EntityId source,
                                                std::span<const std::uint8_t> payload,
                                                rtf::CostMeter& meter,
@@ -105,8 +147,7 @@ void FpsApplication::applyForwardedInteraction(rtf::World& world, rtf::EntityRec
         // Credit the attacker on its own responsible server: if the
         // attacker is active here, book it directly; otherwise forward a
         // kill-credit interaction back.
-        rtf::EntityRecord* attacker = world.find(source);
-        if (attacker != nullptr) {
+        if (auto attacker = world.find(source)) {
           if (attacker->owner == target.owner) {
             creditKill(*attacker, meter);
           } else {
@@ -124,7 +165,7 @@ void FpsApplication::applyForwardedInteraction(rtf::World& world, rtf::EntityRec
   }
 }
 
-bool FpsApplication::applyDamage(rtf::EntityRecord& target, double damage, Rng* rng,
+bool FpsApplication::applyDamage(rtf::EntityRef target, double damage, Rng* rng,
                                  rtf::CostMeter& meter) {
   target.health -= damage;
   if (target.health > 0.0) return false;
@@ -143,7 +184,7 @@ bool FpsApplication::applyDamage(rtf::EntityRecord& target, double damage, Rng* 
   return true;
 }
 
-void FpsApplication::creditKill(rtf::EntityRecord& attacker, rtf::CostMeter& meter) {
+void FpsApplication::creditKill(rtf::EntityRef attacker, rtf::CostMeter& meter) {
   meter.charge(config_.statsUpdateCost);
   PlayerStats stats = decodeStats(attacker.appData);
   ++stats.kills;
@@ -152,7 +193,7 @@ void FpsApplication::creditKill(rtf::EntityRecord& attacker, rtf::CostMeter& met
   attacker.version += 1;  // propagate the scoreboard change to shadows
 }
 
-std::vector<std::uint8_t> FpsApplication::exportUserState(const rtf::EntityRecord& avatar,
+std::vector<std::uint8_t> FpsApplication::exportUserState(rtf::ConstEntityRef avatar,
                                                           rtf::CostMeter& meter) {
   // The entity's appData already travels inside the migration snapshot; the
   // application attaches an integrity token so the target can verify the
@@ -163,8 +204,7 @@ std::vector<std::uint8_t> FpsApplication::exportUserState(const rtf::EntityRecor
   return std::move(writer).take();
 }
 
-void FpsApplication::importUserState(rtf::EntityRecord& avatar,
-                                     std::span<const std::uint8_t> state,
+void FpsApplication::importUserState(rtf::EntityRef avatar, std::span<const std::uint8_t> state,
                                      rtf::CostMeter& meter) {
   meter.charge(config_.statsUpdateCost);
   if (state.size() != 4) return;  // older peer without the token
@@ -176,21 +216,27 @@ void FpsApplication::importUserState(rtf::EntityRecord& avatar,
   }
 }
 
-void FpsApplication::onShadowUpdated(rtf::World& world, rtf::EntityRecord& shadow,
+void FpsApplication::onShadowUpdated(rtf::World& world, rtf::EntityRef shadow,
                                      rtf::CostMeter& meter) {
-  (void)shadow;
   // Interest-management upkeep: the spatial index bucket of the shadow moves
-  // and density-proportional subscriber lists are touched. Grows mildly with
-  // the zone population; this is the knob behind the replication overhead.
+  // and density-proportional subscriber lists are touched. Under Euclidean
+  // every avatar is a candidate (the knob behind the replication overhead);
+  // under the grid only the occupancy around the shadow is.
   meter.charge(config_.shadowIndexBaseCost +
-               config_.shadowIndexPerEntityCost * static_cast<double>(world.avatarCount()));
+               config_.shadowIndexPerEntityCost *
+                   static_cast<double>(
+                       interest_->scanCandidates(world, shadow.position, config_.aoiRadius)));
 }
 
-void FpsApplication::updateNpc(rtf::World& world, rtf::EntityRecord& npc, rtf::CostMeter& meter,
+void FpsApplication::updateNpc(rtf::World& world, rtf::EntityRef npc, rtf::CostMeter& meter,
                                Rng& rng) {
-  // NPC AI scans users for a target, then wanders.
+  // NPC AI scans users for a target, then wanders. The candidate count
+  // comes from the IM algorithm: all avatars under Euclidean, the local
+  // occupancy under the grid.
   meter.charge(config_.npcBaseCost +
-               config_.npcScanPerEntityCost * static_cast<double>(world.avatarCount()));
+               config_.npcScanPerEntityCost *
+                   static_cast<double>(
+                       interest_->scanCandidates(world, npc.position, config_.aoiRadius)));
   if (rng.chance(0.15)) {
     npc.velocity = Vec2{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)}.normalized() *
                    (config_.moveSpeed * 0.5);
@@ -199,31 +245,35 @@ void FpsApplication::updateNpc(rtf::World& world, rtf::EntityRecord& npc, rtf::C
   clampToArena(npc.position);
 }
 
-void FpsApplication::computeAreaOfInterest(const rtf::World& world,
-                                           const rtf::EntityRecord& viewer, rtf::CostMeter& meter,
-                                           std::vector<EntityId>& out) {
+void FpsApplication::computeAreaOfInterest(const rtf::World& world, rtf::ConstEntityRef viewer,
+                                           rtf::CostMeter& meter,
+                                           std::vector<std::uint32_t>& out) {
   // Delegated to the configured interest-management algorithm; the default
   // EuclideanInterest is the paper's Euclidean Distance Algorithm.
   interest_->query(world, viewer, config_.aoiRadius, meter, out);
 }
 
-void FpsApplication::buildStateUpdate(const rtf::World& world, const rtf::EntityRecord& viewer,
-                                      std::span<const EntityId> visible, rtf::CostMeter& meter,
-                                      std::vector<std::uint8_t>& out) {
+// roia-hot
+void FpsApplication::buildStateUpdate(const rtf::World& world, rtf::ConstEntityRef viewer,
+                                      std::span<const std::uint32_t> visible,
+                                      rtf::CostMeter& meter, std::vector<std::uint8_t>& out) {
   StateUpdatePayload& payload = payloadScratch_;
   payload.visible.clear();
   payload.self = VisibleEntity{viewer.id, static_cast<float>(viewer.position.x),
                                static_cast<float>(viewer.position.y),
                                static_cast<float>(viewer.health)};
   payload.visible.reserve(visible.size());
+  // Slot handles gather straight from the SoA columns: no per-visible-id
+  // hash lookup (slots were resolved by the AOI query this same tick).
+  const std::span<const std::uint64_t> ids = world.ids();
+  const std::span<const Vec2> positions = world.positions();
+  const std::span<const double> healths = world.healths();
   double cost = 0.0;
-  for (const EntityId id : visible) {
-    const rtf::EntityRecord* e = world.find(id);
-    if (e == nullptr) continue;
+  for (const std::uint32_t s : visible) {
     cost += config_.suGatherPerEntityCost;
-    payload.visible.push_back(VisibleEntity{e->id, static_cast<float>(e->position.x),
-                                            static_cast<float>(e->position.y),
-                                            static_cast<float>(e->health)});
+    payload.visible.push_back(VisibleEntity{EntityId{ids[s]}, static_cast<float>(positions[s].x),
+                                            static_cast<float>(positions[s].y),
+                                            static_cast<float>(healths[s])});
   }
   meter.charge(cost);
   encodeStateUpdate(payload, out);

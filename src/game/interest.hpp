@@ -10,9 +10,18 @@
 //  * EuclideanInterest — the paper's baseline: for user U every entity is
 //    distance-tested and every subscription scans the update list for
 //    duplicates (the quadratic t_aoi of Fig. 4).
-//  * GridInterest — a uniform spatial hash rebuilt once per tick; queries
-//    visit only nearby cells, making the per-user cost nearly independent
-//    of the arena population outside the radius.
+//  * GridInterest — a persistent flat uniform grid in CSR layout
+//    (cell-start offsets + one slot array grouped by cell, built by
+//    counting sort and incrementally patched as entities move between
+//    cells); queries visit only the cells overlapping the interest circle,
+//    making the per-user cost nearly independent of the arena population
+//    outside the radius.
+//
+// Queries traffic in world *slots* (indices into the SoA columns, ascending
+// slot order == ascending id order), so downstream consumers gather state
+// straight from the columns without per-id hash lookups. Slot-keyed grid
+// state is validated against World::structuralEpoch(): a query that runs
+// after an unseen spawn/despawn lazily rebuilds (and charges for it).
 //
 // Thread-model note: one policy instance may serve several servers because
 // the simulation executes each server tick as one atomic event; prepare()
@@ -21,13 +30,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/math.hpp"
 #include "common/types.hpp"
+#include "rtf/entity.hpp"
 #include "rtf/probes.hpp"
 #include "rtf/world.hpp"
 
@@ -37,10 +48,14 @@ namespace roia::game {
 struct InterestCosts {
   /// Euclidean: one distance test per candidate entity.
   double pairTestCost{0.45};
-  /// Both: duplicate check per update-list entry already subscribed.
+  /// Euclidean: duplicate check per update-list entry already subscribed.
   double subscribeScanCost{0.011};
-  /// Grid: indexing one entity during the per-tick rebuild.
+  /// Grid: indexing one entity during a full (counting-sort) rebuild; also
+  /// charged per *relocated* entity on the incremental path.
   double rebuildPerEntityCost{0.08};
+  /// Grid: detecting whether one entity changed cells during the per-tick
+  /// incremental position sweep.
+  double sweepPerEntityCost{0.004};
   /// Grid: visiting one cell during a query.
   double cellVisitCost{0.15};
   /// Grid: distance test per candidate pulled from a visited cell.
@@ -53,15 +68,25 @@ class InterestPolicy {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Called once at the start of each server tick (phase kAoi); index
-  /// structures are rebuilt here.
+  /// structures are (re)built or incrementally maintained here.
   virtual void prepare(const rtf::World& world, rtf::CostMeter& meter) = 0;
 
-  /// Entities within `radius` of the viewer, excluding the viewer, in
-  /// ascending id order, written into `out` (cleared first) so per-tick
-  /// callers can reuse one scratch allocation. Charges the query cost to
-  /// the meter.
-  virtual void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-                     rtf::CostMeter& meter, std::vector<EntityId>& out) = 0;
+  /// Slots of entities within `radius` of the viewer, excluding the viewer,
+  /// in ascending slot (== id) order, written into `out` (cleared first) so
+  /// per-tick callers can reuse one scratch allocation. Charges the query
+  /// cost to the meter. Returned slots stay valid until the next structural
+  /// world mutation.
+  virtual void query(const rtf::World& world, rtf::ConstEntityRef viewer, double radius,
+                     rtf::CostMeter& meter, std::vector<std::uint32_t>& out) = 0;
+
+  /// Charged candidate count for an application-level radius scan around
+  /// `center` (NPC target acquisition, shadow re-indexing): how many
+  /// entities the algorithm would have to consider. Euclidean has no index,
+  /// so every avatar is a candidate; the grid only counts occupancy of the
+  /// cells overlapping the circle. Pure accounting — no allocation, no
+  /// meter charge (callers fold the count into their own cost terms).
+  [[nodiscard]] virtual std::size_t scanCandidates(const rtf::World& world, Vec2 center,
+                                                   double radius) const = 0;
 };
 
 /// The paper's Euclidean Distance Algorithm (section V-A).
@@ -71,38 +96,64 @@ class EuclideanInterest final : public InterestPolicy {
 
   [[nodiscard]] std::string name() const override { return "euclidean"; }
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override;
-  void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-             rtf::CostMeter& meter, std::vector<EntityId>& out) override;
+  void query(const rtf::World& world, rtf::ConstEntityRef viewer, double radius,
+             rtf::CostMeter& meter, std::vector<std::uint32_t>& out) override;
+  [[nodiscard]] std::size_t scanCandidates(const rtf::World& world, Vec2 center,
+                                           double radius) const override;
 
  private:
   InterestCosts costs_;
 };
 
-/// Uniform-grid spatial hash with per-tick rebuild.
+/// Persistent flat uniform grid, CSR layout.
+///
+/// `cellStart_[c]..cellStart_[c+1]` indexes `entries_`, the slots whose
+/// (clamped) position falls in cell c, ascending within each cell. The grid
+/// rect is sized on rebuild to the entity bounding box plus a two-cell
+/// margin (capped at kMaxAxisCells per axis); positions outside the rect
+/// clamp into edge cells. Queries compute both the cell range and the
+/// circle/cell culling against the *clamped* viewer position — clamping
+/// both endpoints of a segment into the same interval never increases a
+/// per-axis distance, so no cell holding an in-range entity is ever
+/// skipped; the actual distance tests use live positions, keeping visible
+/// sets exactly equal to the Euclidean algorithm's.
 class GridInterest final : public InterestPolicy {
  public:
-  /// `cellSize` should be on the order of the interest radius.
+  /// `cellSize` should be on the order of half the interest radius.
   explicit GridInterest(double cellSize, InterestCosts costs = {})
       : cellSize_(cellSize), costs_(costs) {}
 
   [[nodiscard]] std::string name() const override { return "grid"; }
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override;
-  void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-             rtf::CostMeter& meter, std::vector<EntityId>& out) override;
+  void query(const rtf::World& world, rtf::ConstEntityRef viewer, double radius,
+             rtf::CostMeter& meter, std::vector<std::uint32_t>& out) override;
+  [[nodiscard]] std::size_t scanCandidates(const rtf::World& world, Vec2 center,
+                                           double radius) const override;
 
-  [[nodiscard]] std::size_t cellCount() const { return cells_.size(); }
+  /// Cells in the current grid rect (allocated, not merely occupied).
+  [[nodiscard]] std::size_t cellCount() const { return cols_ * rows_; }
 
  private:
-  struct CellEntry {
-    EntityId id;
-    Vec2 position;
-  };
+  static constexpr std::size_t kMaxAxisCells = 1024;
 
-  [[nodiscard]] std::int64_t cellKey(double x, double y) const;
+  void rebuild(const rtf::World& world);
+  void relocate(std::uint32_t slot, std::uint32_t toCell);
+  [[nodiscard]] std::uint32_t cellIndexOf(Vec2 p) const;
+  [[nodiscard]] std::size_t axisCells(double extent) const;
 
   double cellSize_;
   InterestCosts costs_;
-  std::unordered_map<std::int64_t, std::vector<CellEntry>> cells_;
+  bool valid_{false};
+  std::uint64_t epoch_{0};  ///< World::structuralEpoch the layout reflects
+  double originX_{0.0};
+  double originY_{0.0};
+  std::size_t cols_{1};
+  std::size_t rows_{1};
+  std::vector<std::uint32_t> cellStart_;  ///< cols_*rows_ + 1 prefix offsets
+  std::vector<std::uint32_t> entries_;    ///< slots grouped by cell, ascending
+  std::vector<std::uint32_t> cellOf_;     ///< slot -> current cell
+  std::vector<std::uint32_t> cursor_;     ///< counting-sort scratch
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> moved_;  ///< sweep scratch
 };
 
 /// Fidelity-scaled wrapper: multiplies every query radius by the world's
@@ -119,9 +170,13 @@ class FidelityScaledInterest final : public InterestPolicy {
   void prepare(const rtf::World& world, rtf::CostMeter& meter) override {
     inner_->prepare(world, meter);
   }
-  void query(const rtf::World& world, const rtf::EntityRecord& viewer, double radius,
-             rtf::CostMeter& meter, std::vector<EntityId>& out) override {
+  void query(const rtf::World& world, rtf::ConstEntityRef viewer, double radius,
+             rtf::CostMeter& meter, std::vector<std::uint32_t>& out) override {
     inner_->query(world, viewer, radius * world.interestScale(), meter, out);
+  }
+  [[nodiscard]] std::size_t scanCandidates(const rtf::World& world, Vec2 center,
+                                           double radius) const override {
+    return inner_->scanCandidates(world, center, radius * world.interestScale());
   }
 
   [[nodiscard]] InterestPolicy& inner() { return *inner_; }

@@ -1,7 +1,9 @@
 #include "model/estimator.hpp"
 
+#include <map>
 #include <utility>
 
+#include "fit/form_select.hpp"
 #include "fit/levmar.hpp"
 #include "fit/polyfit.hpp"
 
@@ -23,6 +25,13 @@ FitPlan FitPlan::paperDefault() {
   set(ParamKind::kSu, FunctionForm::kLinear);
   set(ParamKind::kMigIni, FunctionForm::kLinear);
   set(ParamKind::kMigRcv, FunctionForm::kLinear);
+  return plan;
+}
+
+FitPlan FitPlan::adaptive() {
+  FitPlan plan = paperDefault();
+  plan.autoSelect[static_cast<std::size_t>(ParamKind::kUa)] = true;
+  plan.autoSelect[static_cast<std::size_t>(ParamKind::kAoi)] = true;
   return plan;
 }
 
@@ -61,30 +70,81 @@ void ParameterEstimator::setSamples(ParamKind kind, SampleSeries samples) {
   samples_[static_cast<std::size_t>(kind)] = std::move(samples);
 }
 
+namespace {
+
+/// Mean y per distinct x, in ascending x order.
+SampleSeries collapseToMeans(const SampleSeries& series) {
+  std::map<double, std::pair<double, std::size_t>> acc;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    auto& [sum, count] = acc[series.x[i]];
+    sum += series.y[i];
+    ++count;
+  }
+  SampleSeries out;
+  for (const auto& [x, entry] : acc) {
+    out.add(x, entry.first / static_cast<double>(entry.second));
+  }
+  return out;
+}
+
+/// Fits one polynomial form: closed-form least squares seed, then the
+/// paper's Levenberg-Marquardt refinement.
+ParamFunction fitOneForm(const SampleSeries& series, FunctionForm form, bool refineWithLevMar) {
+  const std::size_t degree = formDegree(form);
+  std::vector<double> coeffs = fit::polyFit(series.x, series.y, degree);
+  if (refineWithLevMar) {
+    const fit::ModelFn fn = fit::models::polynomial(degree);
+    const fit::LevMarResult lm = fit::levenbergMarquardt(fn, series.x, series.y, coeffs);
+    coeffs = lm.coeffs;
+  }
+  ParamFunction fitted;
+  fitted.form = form;
+  fitted.coeffs = coeffs;
+  fitted.sampleCount = series.size();
+  fitted.gof = fit::evaluateFit(fit::models::polynomial(degree), series.x, series.y, coeffs);
+  return fitted;
+}
+
+}  // namespace
+
 ModelParameters ParameterEstimator::fit(const FitPlan& plan, bool refineWithLevMar) const {
   ModelParameters params;
   for (std::size_t k = 0; k < kParamCount; ++k) {
     const auto kind = static_cast<ParamKind>(k);
     const SampleSeries& series = samples_[k];
     const FunctionForm form = plan.forms[k];
-    const std::size_t degree = formDegree(form);
-    if (series.size() < degree + 1) continue;  // not enough data: stay zero
+    if (series.size() < formDegree(form) + 1) continue;  // not enough data: stay zero
 
-    // Closed-form polynomial least squares as the seed...
-    std::vector<double> coeffs = fit::polyFit(series.x, series.y, degree);
-    // ...then the paper's Levenberg-Marquardt refinement.
-    if (refineWithLevMar) {
-      const fit::ModelFn fn = fit::models::polynomial(degree);
-      const fit::LevMarResult lm = fit::levenbergMarquardt(fn, series.x, series.y, coeffs);
-      coeffs = lm.coeffs;
+    if (plan.autoSelect[k]) {
+      // Collapse replicated measurements to per-population means before the
+      // information-criterion comparison: the raw per-tick samples are
+      // replicates of the same design points, and counting each as an
+      // independent observation would let the extra coefficient always win.
+      const SampleSeries collapsed = collapseToMeans(series);
+      if (collapsed.size() >= formDegree(FunctionForm::kQuadratic) + 3) {
+        // Fit both candidate forms on the full sample cloud, score them on
+        // the collapsed series, and let corrected AIC arbitrate; the
+        // quadratic must beat the linear by more than 2 AICc units to
+        // justify its extra coefficient.
+        ParamFunction linear = fitOneForm(series, FunctionForm::kLinear, refineWithLevMar);
+        ParamFunction quadratic = fitOneForm(series, FunctionForm::kQuadratic, refineWithLevMar);
+        const double aiccLinear =
+            fit::aicc(fit::evaluateFit(fit::models::polynomial(1), collapsed.x, collapsed.y,
+                                       linear.coeffs)
+                          .sse,
+                      collapsed.size(), 2);
+        const double aiccQuadratic =
+            fit::aicc(fit::evaluateFit(fit::models::polynomial(2), collapsed.x, collapsed.y,
+                                       quadratic.coeffs)
+                          .sse,
+                      collapsed.size(), 3);
+        params.set(kind, aiccQuadratic < aiccLinear - 2.0 ? std::move(quadratic)
+                                                          : std::move(linear));
+        continue;
+      }
     }
 
-    ParamFunction fitted;
-    fitted.form = form;
-    fitted.coeffs = coeffs;
-    fitted.sampleCount = series.size();
-    fitted.gof = fit::evaluateFit(fit::models::polynomial(degree), series.x, series.y, coeffs);
-    params.set(kind, std::move(fitted));
+    params.set(kind, fitOneForm(series, form, refineWithLevMar));
   }
   return params;
 }

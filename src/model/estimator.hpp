@@ -17,8 +17,20 @@ namespace roia::model {
 /// paper's choice for RTFDemo (section V-A).
 struct FitPlan {
   std::array<FunctionForm, kParamCount> forms{};
+  /// Parameters marked here are fitted with BOTH linear and quadratic forms
+  /// and the winner is chosen by corrected AIC evaluated on per-population
+  /// mean residuals — per-tick samples are replicates, not independent
+  /// observations (the simpler form wins ties within 2 AICc units).
+  /// `forms` is the fallback when the sweep has too few populations to
+  /// discriminate.
+  std::array<bool, kParamCount> autoSelect{};
 
   [[nodiscard]] static FitPlan paperDefault();
+  /// paperDefault with automatic form selection for the parameters whose
+  /// shape depends on the interest-management algorithm (t_ua, t_aoi): under
+  /// the flat grid they flatten to ~linear, under Euclidean they stay
+  /// quadratic, and the fitter should discover that instead of assuming it.
+  [[nodiscard]] static FitPlan adaptive();
 };
 
 /// Maps a real-time-loop phase probe to its model parameter (1:1 for the

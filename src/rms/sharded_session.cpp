@@ -90,7 +90,7 @@ ShardedSessionSummary runShardedSession(const ShardedSessionConfig& config) {
     for (const ServerId id : cluster.serverIds()) {
       const rtf::Server& server = cluster.server(id);
       if (server.crashed()) continue;
-      server.world().forEach([&](const rtf::EntityRecord& e) {
+      server.world().forEach([&](rtf::ConstEntityRef e) {
         if (e.client != client) return;
         if (e.owner == id) ++active;
         else if (server.hasClient(client)) inTransit = true;

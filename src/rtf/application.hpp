@@ -44,52 +44,53 @@ class Application {
   /// Applies one client's command batch to its avatar. Called with the meter
   /// phase set to kUa. Interactions with shadow entities go through
   /// `forward`; interactions with local actives are applied directly.
-  virtual void applyUserInput(World& world, EntityRecord& avatar,
-                              std::span<const std::uint8_t> commands, CostMeter& meter,
-                              ForwardSink& forward, Rng& rng) = 0;
+  virtual void applyUserInput(World& world, EntityRef avatar, std::span<const std::uint8_t> commands,
+                              CostMeter& meter, ForwardSink& forward, Rng& rng) = 0;
 
   /// Applies a forwarded interaction to a locally active entity (phase
   /// kFa). May itself emit follow-up interactions through `forward` (e.g. a
   /// kill credit back to the attacker's responsible server).
-  virtual void applyForwardedInteraction(World& world, EntityRecord& target, EntityId source,
+  virtual void applyForwardedInteraction(World& world, EntityRef target, EntityId source,
                                          std::span<const std::uint8_t> payload, CostMeter& meter,
                                          ForwardSink& forward) = 0;
 
   /// Maintenance after a shadow snapshot was applied (phase kFa), e.g.
   /// interest-management index updates. Default: no extra cost.
-  virtual void onShadowUpdated(World& world, EntityRecord& shadow, CostMeter& meter) {
+  virtual void onShadowUpdated(World& world, EntityRef shadow, CostMeter& meter) {
     (void)world;
     (void)shadow;
     (void)meter;
   }
 
   /// Advances one NPC (phase kNpc).
-  virtual void updateNpc(World& world, EntityRecord& npc, CostMeter& meter, Rng& rng) = 0;
+  virtual void updateNpc(World& world, EntityRef npc, CostMeter& meter, Rng& rng) = 0;
 
   /// Computes the set of entities visible to `viewer` (phase kAoi), written
-  /// into `out` (cleared first). The server calls this with a per-tick
-  /// scratch vector, so implementations are allocation-free on the steady
-  /// path.
-  virtual void computeAreaOfInterest(const World& world, const EntityRecord& viewer,
-                                     CostMeter& meter, std::vector<EntityId>& out) = 0;
+  /// into `out` (cleared first) as world slot indices in ascending order
+  /// (slot order == id order). Slots stay valid until the next structural
+  /// world mutation, letting buildStateUpdate gather over columns without
+  /// per-id hash lookups. The server calls this with a per-tick scratch
+  /// vector, so implementations are allocation-free on the steady path.
+  virtual void computeAreaOfInterest(const World& world, ConstEntityRef viewer, CostMeter& meter,
+                                     std::vector<std::uint32_t>& out) = 0;
 
   /// Encodes the filtered state update for `viewer` (phase kSu) into `out`
-  /// (cleared first), reusing its capacity. The substrate additionally
-  /// charges generic serialization cost per byte of the payload.
-  virtual void buildStateUpdate(const World& world, const EntityRecord& viewer,
-                                std::span<const EntityId> visible, CostMeter& meter,
+  /// (cleared first), reusing its capacity. `visible` holds world slot
+  /// indices produced by computeAreaOfInterest this same tick. The substrate
+  /// additionally charges generic serialization cost per byte of the payload.
+  virtual void buildStateUpdate(const World& world, ConstEntityRef viewer,
+                                std::span<const std::uint32_t> visible, CostMeter& meter,
                                 std::vector<std::uint8_t>& out) = 0;
 
   /// Application state attached to a migrating user (phase kMigIni).
-  virtual std::vector<std::uint8_t> exportUserState(const EntityRecord& avatar,
-                                                    CostMeter& meter) {
+  virtual std::vector<std::uint8_t> exportUserState(ConstEntityRef avatar, CostMeter& meter) {
     (void)avatar;
     (void)meter;
     return {};
   }
 
   /// Restores application state for an adopted user (phase kMigRcv).
-  virtual void importUserState(EntityRecord& avatar, std::span<const std::uint8_t> state,
+  virtual void importUserState(EntityRef avatar, std::span<const std::uint8_t> state,
                                CostMeter& meter) {
     (void)avatar;
     (void)state;

@@ -130,11 +130,10 @@ void Cluster::removeServer(ServerId id) {
   const std::vector<ServerId> remaining = zones_.replicas(zone);
   if (!remaining.empty()) {
     Server& heir = *servers_.at(remaining.front());
-    victim.world().forEach([&](const EntityRecord& e) {
+    victim.world().forEach([&](ConstEntityRef e) {
       if (e.isNpc() && e.owner == id) {
-        EntityRecord copy = e;
-        copy.owner = heir.id();
-        copy.version += 1;
+        EntityRecord copy{e.id,      e.kind,   e.zone,   heir.id(),     e.client,
+                          e.position, e.velocity, e.health, e.version + 1, e.appData};
         heir.world().upsert(copy);
       }
     });

@@ -144,8 +144,8 @@ void Server::cancelMigrationsTo(ServerId deadTarget) {
   // target can never ack, so without this the client wedges forever.
   for (auto& [client, session] : clients_) {
     if (!session.migrating) continue;
-    EntityRecord* avatar = world_.find(session.entity);
-    if (avatar == nullptr || avatar->owner != deadTarget) continue;
+    auto avatar = world_.find(session.entity);
+    if (!avatar || avatar->owner != deadTarget) continue;
     avatar->owner = id_;
     avatar->version += 1;  // outranks the stale signed-over snapshot
     session.migrating = false;
@@ -163,8 +163,8 @@ void Server::cancelMigrationsTo(ServerId deadTarget) {
 }
 
 bool Server::adoptOrphan(ClientId client, EntityId entity, NodeId clientNode, Vec2 fallbackSpawn) {
-  EntityRecord* shadow = world_.find(entity);
-  if (shadow != nullptr) {
+  auto shadow = world_.find(entity);
+  if (shadow) {
     // Promote the replica-sync shadow: the user resumes with the state the
     // crashed owner last published.
     shadow->owner = id_;
@@ -178,7 +178,7 @@ bool Server::adoptOrphan(ClientId client, EntityId entity, NodeId clientNode, Ve
 
 std::size_t Server::adoptNpcsFrom(ServerId deadOwner) {
   std::size_t adopted = 0;
-  world_.forEach([&](EntityRecord& e) {
+  world_.forEach([&](EntityRef e) {
     if (e.isNpc() && e.owner == deadOwner) {
       e.owner = id_;
       e.version += 1;
@@ -472,7 +472,7 @@ void Server::processMigrationArrivals() {
     msg.entity.applyTo(record);
     record.owner = id_;  // we adopt responsibility
     record.version += 1;
-    EntityRecord& stored = world_.upsert(record);
+    EntityRef stored = world_.upsert(record);
     app_.importUserState(stored, msg.appState, meter_);
     clients_[msg.client] = ClientSession{msg.clientNode, msg.entity.id, false};
     ++tickMigrationsReceived_;
@@ -515,8 +515,8 @@ void Server::processZoneHandoffArrivals() {
     };
     auto existing = clients_.find(msg.client);
     if (existing != clients_.end()) {
-      const EntityRecord* current = world_.find(existing->second.entity);
-      if (current != nullptr && msg.entity.version <= current->version) {
+      const auto current = world_.find(existing->second.entity);
+      if (current && msg.entity.version <= current->version) {
         // Stale or duplicate delivery (redelivery after a lost ack): we
         // already hold a newer incarnation; re-acknowledge so the sender
         // retires its copy, but adopt nothing. Echoing the message's own
@@ -555,7 +555,7 @@ void Server::processZoneHandoffArrivals() {
     }
     // Replaces any border shadow of the same entity.
     borderSeen_.erase(record.id);
-    EntityRecord& stored = world_.upsert(record);
+    EntityRef stored = world_.upsert(record);
     app_.importUserState(stored, msg.appState, meter_);
     clients_[msg.client] = ClientSession{msg.clientNode, msg.entity.id, false};
     ++tickMigrationsReceived_;
@@ -585,8 +585,8 @@ void Server::processReplication() {
     PhaseScope scope(meter_, Phase::kFa);
     for (const EntitySnapshot& snapshot : msg.entities) {
       if (snapshot.owner == id_) continue;  // stale echo of a migrated entity
-      EntityRecord* existing = world_.find(snapshot.id);
-      if (existing != nullptr) {
+      auto existing = world_.find(snapshot.id);
+      if (existing) {
         if (snapshot.version <= existing->version) continue;  // out of date
         snapshot.applyTo(*existing);
         if (existing->zone != world_.zone()) {
@@ -602,14 +602,14 @@ void Server::processReplication() {
         record.id = snapshot.id;
         record.zone = world_.zone();
         snapshot.applyTo(record);
-        EntityRecord& stored = world_.upsert(record);
+        EntityRef stored = world_.upsert(record);
         meter_.charge(config_.shadowApplyCost);
         app_.onShadowUpdated(world_, stored, meter_);
       }
     }
     for (const EntityId removed : msg.removed) {
-      const EntityRecord* record = world_.find(removed);
-      if (record != nullptr && record->owner != id_) {
+      const auto record = world_.find(removed);
+      if (record && record->owner != id_) {
         world_.remove(removed);
       }
     }
@@ -627,8 +627,8 @@ void Server::processBorderSync() {
     PhaseScope scope(meter_, Phase::kFa);
     for (const EntitySnapshot& snapshot : msg.entities) {
       if (snapshot.owner == id_) continue;
-      EntityRecord* existing = world_.find(snapshot.id);
-      if (existing != nullptr) {
+      auto existing = world_.find(snapshot.id);
+      if (existing) {
         if (existing->zone == world_.zone()) continue;  // ours or same-zone shadow
         if (snapshot.version > existing->version) {
           snapshot.applyTo(*existing);
@@ -644,7 +644,7 @@ void Server::processBorderSync() {
         record.id = snapshot.id;
         snapshot.applyTo(record);
         record.zone = msg.zone;  // homed in the neighbor zone
-        EntityRecord& stored = world_.upsert(record);
+        EntityRef stored = world_.upsert(record);
         meter_.charge(config_.shadowApplyCost);
         app_.onShadowUpdated(world_, stored, meter_);
         borderSeen_[snapshot.id] = sim_.now();
@@ -656,8 +656,8 @@ void Server::processBorderSync() {
 void Server::expireBorderShadows() {
   if (borderSeen_.empty()) return;
   for (auto it = borderSeen_.begin(); it != borderSeen_.end();) {
-    EntityRecord* record = world_.find(it->first);
-    if (record == nullptr || record->zone == world_.zone() || record->owner == id_) {
+    const auto record = world_.find(it->first);
+    if (!record || record->zone == world_.zone() || record->owner == id_) {
       it = borderSeen_.erase(it);  // adopted, handed off here, or gone
       continue;
     }
@@ -677,8 +677,8 @@ void Server::processForwardedInputs() {
     inForwarded_.pop_front();
     meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
                                         config_.peerDserPerByteCost * static_cast<double>(bytes));
-    EntityRecord* target = world_.find(msg.target);
-    if (target == nullptr || target->owner != id_) continue;  // moved on
+    auto target = world_.find(msg.target);
+    if (!target || target->owner != id_) continue;  // moved on
     PhaseScope scope(meter_, Phase::kFa);
     app_.applyForwardedInteraction(world_, *target, msg.source, msg.interaction, meter_, *this);
     ++tickForwardedApplied_;
@@ -687,8 +687,8 @@ void Server::processForwardedInputs() {
 
 void Server::flushForwarded() {
   for (ForwardedInputMsg& fwd : outForwarded_) {
-    const EntityRecord* target = world_.find(fwd.target);
-    if (target == nullptr) continue;
+    const auto target = world_.find(fwd.target);
+    if (!target) continue;
     for (const auto& [serverId, nodeId] : peers_) {
       if (serverId == target->owner) {
         net_.send(node_, nodeId, encode(fwd));
@@ -708,8 +708,8 @@ void Server::processClientInputs() {
                                         config_.inputDserPerByteCost * static_cast<double>(bytes));
     auto it = clients_.find(msg.client);
     if (it == clients_.end() || it->second.migrating) continue;  // handover
-    EntityRecord* avatar = world_.find(it->second.entity);
-    if (avatar == nullptr || avatar->owner != id_) continue;
+    auto avatar = world_.find(it->second.entity);
+    if (!avatar || avatar->owner != id_) continue;
     PhaseScope scope(meter_, Phase::kUa);
     app_.applyUserInput(world_, *avatar, msg.commands, meter_, *this, rng_);
     avatar->version += 1;
@@ -722,7 +722,7 @@ void Server::updateNpcs() {
   // Deep ladder rungs run NPC decisions at half frequency; the id offset
   // staggers which half thinks each tick so no NPC freezes entirely.
   const bool throttle = config_.overload.enabled && overloadLevel_ >= kNpcThrottleLevel;
-  world_.forEach([this, throttle](EntityRecord& e) {
+  world_.forEach([this, throttle](EntityRef e) {
     if (!e.isNpc() || e.owner != id_) return;
     if (throttle && (tickSeq_ + e.id.value) % 2 != 0) return;
     app_.updateNpc(world_, e, meter_, rng_);
@@ -745,8 +745,8 @@ void Server::sendStateUpdates() {
   for (const auto& [clientId, session] : clients_) {
     if (session.migrating) continue;
     if (served >= serveLimit) continue;  // shed observer (highest ids)
-    const EntityRecord* viewer = world_.find(session.entity);
-    if (viewer == nullptr || viewer->owner != id_) continue;
+    const auto viewer = std::as_const(world_).find(session.entity);
+    if (!viewer || viewer->owner != id_) continue;
     ++served;
 
     {
@@ -755,9 +755,10 @@ void Server::sendStateUpdates() {
     }
     PhaseScope scope(meter_, Phase::kSu);
     if (halveNonCritical) {
-      std::erase_if(aoiScratch_, [&](EntityId id) {
-        const EntityRecord* e = world_.find(id);
-        return e == nullptr || e->isNpc() || e->owner != id_;
+      // Slots from the AOI query stay valid here: no structural world
+      // mutation happens between the query and the update encoding.
+      std::erase_if(aoiScratch_, [&](std::uint32_t s) {
+        return world_.kinds()[s] == EntityKind::kNpc || world_.owners()[s] != id_;
       });
     }
     app_.buildStateUpdate(world_, *viewer, aoiScratch_, meter_, updateScratch_);
@@ -774,7 +775,7 @@ void Server::sendReplicaSync() {
   }
   EntityReplicationMsg msg;
   msg.serverTick = tickSeq_;
-  world_.forEach([this, &msg](const EntityRecord& e) {
+  world_.forEach([this, &msg](ConstEntityRef e) {
     if (e.owner == id_) msg.entities.push_back(EntitySnapshot::of(e));
   });
   msg.removed = std::move(departedEntities_);
@@ -808,7 +809,7 @@ void Server::sendBorderSync() {
     const double loY = neighbor.origin.y - config_.borderWidth;
     const double hiY = neighbor.origin.y + neighbor.extent.y + config_.borderWidth;
     borderScratch_.clear();
-    world_.forEach([&](const EntityRecord& e) {
+    world_.forEach([&](ConstEntityRef e) {
       if (e.owner != id_ || e.zone != world_.zone()) return;
       if (e.position.x < loX || e.position.x >= hiX || e.position.y < loY ||
           e.position.y >= hiY) {
@@ -840,8 +841,8 @@ void Server::detectZoneExits() {
   if (!handoffResolver_) return;
   for (auto& [clientId, session] : clients_) {
     if (session.migrating) continue;
-    EntityRecord* avatar = world_.find(session.entity);
-    if (avatar == nullptr || avatar->owner != id_ || avatar->zone != world_.zone()) continue;
+    const auto avatar = world_.find(session.entity);
+    if (!avatar || avatar->owner != id_ || avatar->zone != world_.zone()) continue;
     const auto target = handoffResolver_(avatar->position);
     if (!target.has_value() || target->zone == world_.zone()) continue;
     session.migrating = true;
@@ -857,8 +858,8 @@ void Server::initiateMigrations() {
     migrationQueue_.pop_front();
     auto it = clients_.find(pending.client);
     if (it == clients_.end()) continue;  // user left meanwhile
-    EntityRecord* avatar = world_.find(it->second.entity);
-    if (avatar == nullptr || avatar->owner != id_) {
+    auto avatar = world_.find(it->second.entity);
+    if (!avatar || avatar->owner != id_) {
       it->second.migrating = false;
       continue;
     }
@@ -926,8 +927,8 @@ void Server::processMigrationAcks() {
     // already re-owned the avatar here; erasing the live session on that
     // late ack would wedge the client (owned avatar, no session, inputs
     // dropped forever).
-    const EntityRecord* signedOver = world_.find(it->second.entity);
-    if (!it->second.migrating || signedOver == nullptr || signedOver->owner != ack.newOwner) {
+    const auto signedOver = world_.find(it->second.entity);
+    if (!it->second.migrating || !signedOver || signedOver->owner != ack.newOwner) {
       continue;
     }
     if (telemetry_ != nullptr) {
@@ -948,8 +949,8 @@ void Server::processMigrationAcks() {
     // server, at the acked version. Anything else is the stale ack of a
     // superseded hand-over (the entity ping-ponged back and we adopted a
     // newer incarnation meanwhile) and must not retire it.
-    const EntityRecord* signedOver = world_.find(it->second.entity);
-    if (!it->second.migrating || signedOver == nullptr || signedOver->owner != ack.newOwner ||
+    const auto signedOver = world_.find(it->second.entity);
+    if (!it->second.migrating || !signedOver || signedOver->owner != ack.newOwner ||
         signedOver->version != ack.version) {
       continue;
     }

@@ -386,10 +386,11 @@ class Server : public ForwardSink {
   std::map<EntityId, SimTime> borderSeen_;
   std::vector<EntitySnapshot> borderScratch_;
 
-  // Per-tick scratch buffers for sendStateUpdates: the AOI result and the
-  // encoded update are rebuilt per client, so their allocations are reused
-  // across clients and ticks. Simulated costs are unaffected.
-  std::vector<EntityId> aoiScratch_;
+  // Per-tick scratch buffers for sendStateUpdates: the AOI result (world
+  // slot indices) and the encoded update are rebuilt per client, so their
+  // allocations are reused across clients and ticks. Simulated costs are
+  // unaffected.
+  std::vector<std::uint32_t> aoiScratch_;
   std::vector<std::uint8_t> updateScratch_;
 
   bool running_{false};

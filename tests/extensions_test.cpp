@@ -111,10 +111,10 @@ TEST(TravelTest, MovesClientBetweenZones) {
   EXPECT_EQ(f.cluster.clientServer(c), f.serverB);
   // The handoff serialized the avatar into zone B: same entity identity,
   // removed from zone A's world once the target acknowledged.
-  EXPECT_EQ(f.cluster.server(f.serverA).world().find(oldAvatar), nullptr);
+  EXPECT_FALSE(f.cluster.server(f.serverA).world().find(oldAvatar).has_value());
   const EntityId newAvatar = f.cluster.client(c).avatar();
   EXPECT_EQ(newAvatar, oldAvatar);
-  ASSERT_NE(f.cluster.server(f.serverB).world().find(newAvatar), nullptr);
+  ASSERT_TRUE(f.cluster.server(f.serverB).world().find(newAvatar).has_value());
 }
 
 TEST(TravelTest, ClientKeepsReceivingUpdatesAfterTravel) {

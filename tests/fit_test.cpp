@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
+#include "fit/form_select.hpp"
 #include "fit/gof.hpp"
 #include "fit/levmar.hpp"
 #include "fit/matrix.hpp"
@@ -253,6 +255,64 @@ TEST(GofTest, MeanPredictorHasR2Zero) {
   const std::vector<double> coeffs{4.0, 0.0};
   const auto gof = evaluateFit(models::linear(), x, y, coeffs);
   EXPECT_NEAR(gof.r2, 0.0, 1e-12);
+}
+
+// ---------- power-law form reporting ----------
+
+TEST(FormSelectTest, PowerLawRecoversExactExponent) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 10.0; v <= 300.0; v += 10.0) {
+    x.push_back(v);
+    y.push_back(0.37 * std::pow(v, 2.03));
+  }
+  const PowerLawFit fitted = fitPowerLaw(x, y);
+  ASSERT_TRUE(fitted.valid());
+  EXPECT_EQ(fitted.samples, x.size());
+  EXPECT_NEAR(fitted.exponent, 2.03, 1e-9);
+  EXPECT_NEAR(fitted.amplitude, 0.37, 1e-9);
+  EXPECT_NEAR(fitted.r2, 1.0, 1e-12);
+}
+
+TEST(FormSelectTest, PowerLawRecoversExponentFromNoisyData) {
+  Rng rng(77);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 25.0; v <= 400.0; v += 5.0) {
+    x.push_back(v);
+    y.push_back(1.4 * std::pow(v, 1.12) * (1.0 + rng.uniform(-0.05, 0.05)));
+  }
+  const PowerLawFit fitted = fitPowerLaw(x, y);
+  ASSERT_TRUE(fitted.valid());
+  EXPECT_NEAR(fitted.exponent, 1.12, 0.05);
+  EXPECT_GT(fitted.r2, 0.99);
+}
+
+TEST(FormSelectTest, PowerLawSkipsNonPositivePairs) {
+  const std::vector<double> x{-1.0, 0.0, 1.0, 2.0, 4.0};
+  const std::vector<double> y{5.0, 5.0, 3.0, 6.0, 12.0};
+  const PowerLawFit fitted = fitPowerLaw(x, y);
+  ASSERT_TRUE(fitted.valid());
+  EXPECT_EQ(fitted.samples, 3u);  // only the strictly positive pairs count
+  EXPECT_NEAR(fitted.exponent, 1.0, 1e-9);
+}
+
+TEST(FormSelectTest, PowerLawTooFewSamplesIsInvalid) {
+  const std::vector<double> x{10.0};
+  const std::vector<double> y{4.0};
+  EXPECT_FALSE(fitPowerLaw(x, y).valid());
+}
+
+TEST(FormSelectTest, AiccPenalizesTheExtraCoefficient) {
+  // Same SSE: the 2-coefficient model must score strictly lower (better).
+  EXPECT_LT(aicc(10.0, 20, 2), aicc(10.0, 20, 3));
+  // A large-enough SSE reduction lets the bigger model win anyway.
+  EXPECT_GT(aicc(10.0, 20, 2), aicc(1.0, 20, 3));
+}
+
+TEST(FormSelectTest, AiccDegenerateCases) {
+  EXPECT_EQ(aicc(5.0, 3, 3), std::numeric_limits<double>::infinity());  // n <= k+1
+  EXPECT_EQ(aicc(0.0, 20, 2), -std::numeric_limits<double>::infinity());  // exact fit
 }
 
 }  // namespace

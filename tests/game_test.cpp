@@ -3,7 +3,10 @@
 // parameter analysis relies on, bots and workload scenarios.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <set>
+#include <utility>
 
 #include "game/bots.hpp"
 #include "game/commands.hpp"
@@ -120,9 +123,13 @@ struct AppFixture {
     return world.upsert(e).id;
   }
 
-  rtf::EntityRecord& entity(std::uint64_t id) { return *world.find(EntityId{id}); }
+  rtf::EntityRef entity(std::uint64_t id) { return *world.find(EntityId{id}); }
 
-  void userInput(rtf::EntityRecord& avatar, const CommandBatch& batch) {
+  std::uint32_t slot(std::uint64_t id) {
+    return static_cast<std::uint32_t>(world.slotOf(EntityId{id}));
+  }
+
+  void userInput(rtf::EntityRef avatar, const CommandBatch& batch) {
     rtf::PhaseScope scope(meter, rtf::Phase::kUa);
     const auto bytes = encodeCommands(batch);
     app.applyUserInput(world, avatar, bytes, meter, sink, rng);
@@ -132,7 +139,7 @@ struct AppFixture {
 TEST(FpsAppTest, MoveIntegratesPosition) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {100, 100});
-  auto& avatar = f.entity(1);
+  auto avatar = f.entity(1);
   CommandBatch batch;
   batch.move = MoveCommand{{1, 0}};
   f.userInput(avatar, batch);
@@ -145,7 +152,7 @@ TEST(FpsAppTest, MoveIntegratesPosition) {
 TEST(FpsAppTest, MoveClampsToArena) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {999.5, 0.5});
-  auto& avatar = f.entity(1);
+  auto avatar = f.entity(1);
   CommandBatch batch;
   batch.move = MoveCommand{{1, -1}};
   for (int i = 0; i < 10; ++i) f.userInput(avatar, batch);
@@ -157,8 +164,8 @@ TEST(FpsAppTest, LocalAttackDamagesTarget) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0});
   f.addAvatar(2, ServerId{1}, {50, 0});
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 0}};
   f.userInput(attacker, batch);
@@ -170,8 +177,8 @@ TEST(FpsAppTest, AttackOutOfRangeMisses) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0});
   f.addAvatar(2, ServerId{1}, {900, 900});  // way beyond 260
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 1}};
   f.userInput(attacker, batch);
@@ -182,8 +189,8 @@ TEST(FpsAppTest, AttackOnShadowForwards) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0});
   f.addAvatar(2, ServerId{2}, {50, 0});  // owned elsewhere
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 0}};
   f.userInput(attacker, batch);
@@ -199,7 +206,7 @@ TEST(FpsAppTest, AttackOnShadowForwards) {
 TEST(FpsAppTest, ForwardedInteractionAppliesDamageAndRespawn) {
   AppFixture f;
   f.addAvatar(2, ServerId{1}, {50, 0}, 5.0);
-  auto& victim = f.entity(2);
+  auto victim = f.entity(2);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
   const auto payload = encodeInteraction({Interaction::Kind::kAttack, 8.0});
   f.app.applyForwardedInteraction(f.world, victim, EntityId{1}, payload, f.meter, f.sink);
@@ -212,8 +219,8 @@ TEST(FpsAppTest, KillRespawnsAtFullHealthRandomPosition) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0});
   f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   CommandBatch batch;
   batch.attack = AttackCommand{victim.id, {1, 0}};
   f.userInput(attacker, batch);
@@ -227,25 +234,25 @@ TEST(FpsAppTest, AoiReturnsOnlyEntitiesWithinRadius) {
   f.addAvatar(3, ServerId{1}, {500, 500 + 219});        // inside
   f.addAvatar(4, ServerId{1}, {500 + 300, 500});        // outside
   f.addAvatar(5, ServerId{2}, {500 - 50, 500});         // shadow, inside
-  auto& viewer = f.entity(1);
+  auto viewer = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
-  std::vector<EntityId> visible;
+  std::vector<std::uint32_t> visible;
   f.app.computeAreaOfInterest(f.world, viewer, f.meter, visible);
   EXPECT_EQ(visible.size(), 3u);
-  EXPECT_EQ(visible, (std::vector<EntityId>{EntityId{2}, EntityId{3}, EntityId{5}}));
+  EXPECT_EQ(visible, (std::vector<std::uint32_t>{f.slot(2), f.slot(3), f.slot(5)}));
 }
 
 TEST(FpsAppTest, AoiExcludesViewerAndHasNoDuplicates) {
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {500, 500});
   for (std::uint64_t id = 2; id < 30; ++id) f.addAvatar(id, ServerId{1}, {510, 510});
-  auto& viewer = f.entity(1);
+  auto viewer = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
-  std::vector<EntityId> visible;
+  std::vector<std::uint32_t> visible;
   f.app.computeAreaOfInterest(f.world, viewer, f.meter, visible);
   EXPECT_EQ(visible.size(), 28u);
-  for (const EntityId id : visible) EXPECT_NE(id, viewer.id);
-  std::set<EntityId> unique(visible.begin(), visible.end());
+  for (const std::uint32_t slot : visible) EXPECT_NE(EntityId{f.world.ids()[slot]}, viewer.id);
+  std::set<std::uint32_t> unique(visible.begin(), visible.end());
   EXPECT_EQ(unique.size(), visible.size());
 }
 
@@ -259,9 +266,9 @@ TEST(FpsAppTest, AoiCostGrowsSuperlinearly) {
     for (std::uint64_t id = 2; id < 2 + population; ++id) {
       f.addAvatar(id, ServerId{1}, {505, 505});  // all visible -> max scans
     }
-    auto& viewer = f.entity(1);
+    auto viewer = f.entity(1);
     rtf::PhaseScope scope(f.meter, rtf::Phase::kAoi);
-    std::vector<EntityId> visible;
+    std::vector<std::uint32_t> visible;
     f.app.computeAreaOfInterest(f.world, viewer, f.meter, visible);
     return f.probes.phase(rtf::Phase::kAoi);
   };
@@ -277,7 +284,7 @@ TEST(FpsAppTest, AttackCostScansWholeWorld) {
     for (std::uint64_t id = 2; id < 2 + population; ++id) {
       f.addAvatar(id, ServerId{1}, {900, 900});
     }
-    auto& attacker = f.entity(1);
+    auto attacker = f.entity(1);
     CommandBatch batch;
     batch.attack = AttackCommand{EntityId{2}, {1, 0}};
     f.userInput(attacker, batch);
@@ -295,8 +302,8 @@ TEST(FpsAppTest, BuildStateUpdateEncodesVisible) {
   f.addAvatar(1, ServerId{1}, {500, 500});
   f.addAvatar(2, ServerId{1}, {510, 500});
   f.addAvatar(3, ServerId{1}, {520, 500});
-  auto& viewer = f.entity(1);
-  const std::vector<EntityId> visible{EntityId{2}, EntityId{3}};
+  auto viewer = f.entity(1);
+  const std::vector<std::uint32_t> visible{f.slot(2), f.slot(3)};
   rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
   std::vector<std::uint8_t> bytes;
   f.app.buildStateUpdate(f.world, viewer, visible, f.meter, bytes);
@@ -306,17 +313,31 @@ TEST(FpsAppTest, BuildStateUpdateEncodesVisible) {
   EXPECT_GT(f.probes.phase(rtf::Phase::kSu), 0.0);
 }
 
-TEST(FpsAppTest, BuildStateUpdateSkipsVanishedEntities) {
+TEST(FpsAppTest, BuildStateUpdateSlotGatherMatchesPerIdLookup) {
+  // Regression for the slot-handle gather: the bytes must be exactly what a
+  // per-id find()-based gather of the same entities would have produced.
   AppFixture f;
   f.addAvatar(1, ServerId{1}, {500, 500});
-  f.addAvatar(2, ServerId{1}, {510, 500});
-  auto& viewer = f.entity(1);
-  const std::vector<EntityId> visible{EntityId{2}, EntityId{999}};  // 999 gone
+  f.addAvatar(2, ServerId{1}, {510.25, 500.5});
+  f.addAvatar(3, ServerId{1}, {520, 499.75});
+  f.addAvatar(4, ServerId{2}, {530, 501});
+  auto viewer = f.entity(1);
+  const std::vector<std::uint32_t> visible{f.slot(2), f.slot(3), f.slot(4)};
   rtf::PhaseScope scope(f.meter, rtf::Phase::kSu);
   std::vector<std::uint8_t> bytes;
   f.app.buildStateUpdate(f.world, viewer, visible, f.meter, bytes);
-  const auto payload = decodeStateUpdate(bytes);
-  EXPECT_EQ(payload.visible.size(), 1u);
+
+  StateUpdatePayload expected;
+  expected.self = {viewer.id, static_cast<float>(viewer.position.x),
+                   static_cast<float>(viewer.position.y), static_cast<float>(viewer.health)};
+  for (const std::uint64_t id : {2u, 3u, 4u}) {
+    const auto e = std::as_const(f.world).find(EntityId{id});
+    ASSERT_TRUE(e.has_value());
+    expected.visible.push_back({e->id, static_cast<float>(e->position.x),
+                                static_cast<float>(e->position.y),
+                                static_cast<float>(e->health)});
+  }
+  EXPECT_EQ(bytes, encodeStateUpdate(expected));
 }
 
 TEST(FpsAppTest, NpcWandersAndCharges) {
@@ -326,7 +347,7 @@ TEST(FpsAppTest, NpcWandersAndCharges) {
   npc.kind = rtf::EntityKind::kNpc;
   npc.owner = ServerId{1};
   npc.position = {500, 500};
-  auto& stored = f.world.upsert(npc);
+  auto stored = f.world.upsert(npc);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kNpc);
   for (int i = 0; i < 100; ++i) f.app.updateNpc(f.world, stored, f.meter, f.rng);
   EXPECT_GT(f.probes.phase(rtf::Phase::kNpc), 0.0);
@@ -340,7 +361,7 @@ TEST(FpsAppTest, ShadowUpdateCostGrowsWithPopulation) {
       f.addAvatar(id, ServerId{1}, {500, 500});
     }
     f.addAvatar(9999, ServerId{2}, {100, 100});
-    auto& shadow = f.entity(9999);
+    auto shadow = f.entity(9999);
     rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
     f.app.onShadowUpdated(f.world, shadow, f.meter);
     return f.probes.phase(rtf::Phase::kFa);

@@ -3,7 +3,9 @@
 // approximation), while their costs scale differently with population.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -42,11 +44,18 @@ struct Fixture {
   }
 };
 
-std::vector<EntityId> queryOf(InterestPolicy& policy, Fixture& f,
-                              const rtf::EntityRecord& viewer, double radius) {
-  std::vector<EntityId> out;
+std::vector<EntityId> idsOfSlots(const rtf::World& world, std::span<const std::uint32_t> slots) {
+  std::vector<EntityId> ids;
+  ids.reserve(slots.size());
+  for (const std::uint32_t slot : slots) ids.push_back(EntityId{world.ids()[slot]});
+  return ids;
+}
+
+std::vector<EntityId> queryOf(InterestPolicy& policy, Fixture& f, rtf::ConstEntityRef viewer,
+                              double radius) {
+  std::vector<std::uint32_t> out;
   policy.query(f.world, viewer, radius, f.meter, out);
-  return out;
+  return idsOfSlots(f.world, out);
 }
 
 class InterestEquivalence : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
@@ -61,7 +70,7 @@ TEST_P(InterestEquivalence, GridMatchesEuclideanExactly) {
   euclid.prepare(f.world, f.meter);
   grid.prepare(f.world, f.meter);
 
-  f.world.forEach([&](const rtf::EntityRecord& viewer) {
+  f.world.forEach([&](rtf::ConstEntityRef viewer) {
     const auto fromEuclid = queryOf(euclid, f, viewer, radius);
     const auto fromGrid = queryOf(grid, f, viewer, radius);
     ASSERT_EQ(fromEuclid, fromGrid) << "viewer " << viewer.id.value << " n=" << population
@@ -102,9 +111,9 @@ TEST(InterestTest, RandomizedWorldsGridMatchesEuclidean) {
     euclid.prepare(f.world, f.meter);
     grid.prepare(f.world, f.meter);
 
-    std::vector<EntityId> euclidOut;
-    std::vector<EntityId> gridOut;
-    f.world.forEach([&](const rtf::EntityRecord& viewer) {
+    std::vector<std::uint32_t> euclidOut;
+    std::vector<std::uint32_t> gridOut;
+    f.world.forEach([&](rtf::ConstEntityRef viewer) {
       euclid.query(f.world, viewer, radius, f.meter, euclidOut);
       grid.query(f.world, viewer, radius, f.meter, gridOut);
       ASSERT_EQ(euclidOut, gridOut)
@@ -134,12 +143,12 @@ TEST(InterestTest, QueryCostIndependentOfBufferReuse) {
     }
     reusePolicy->prepare(reuseFixture.world, reuseFixture.meter);
     freshPolicy->prepare(freshFixture.world, freshFixture.meter);
-    std::vector<EntityId> scratch;
-    reuseFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
+    std::vector<std::uint32_t> scratch;
+    reuseFixture.world.forEach([&](rtf::ConstEntityRef viewer) {
       reusePolicy->query(reuseFixture.world, viewer, 220.0, reuseFixture.meter, scratch);
     });
-    freshFixture.world.forEach([&](const rtf::EntityRecord& viewer) {
-      std::vector<EntityId> fresh;
+    freshFixture.world.forEach([&](rtf::ConstEntityRef viewer) {
+      std::vector<std::uint32_t> fresh;
       freshPolicy->query(freshFixture.world, viewer, 220.0, freshFixture.meter, fresh);
     });
   }
@@ -162,7 +171,7 @@ TEST(InterestTest, GridHandlesEdgePositions) {
   EuclideanInterest euclid;
   GridInterest grid(220.0);
   grid.prepare(f.world, f.meter);
-  f.world.forEach([&](const rtf::EntityRecord& viewer) {
+  f.world.forEach([&](rtf::ConstEntityRef viewer) {
     ASSERT_EQ(queryOf(euclid, f, viewer, 220.0), queryOf(grid, f, viewer, 220.0));
   });
 }
@@ -195,7 +204,7 @@ TEST(InterestTest, GridQueryCheaperAtScaleWithLocalClusters) {
     }
     policy->prepare(f.world, f.meter);
     const double costBefore = f.chargedCost();
-    std::vector<EntityId> out;
+    std::vector<std::uint32_t> out;
     policy->query(f.world, *f.world.find(EntityId{1}), 220.0, f.meter, out);
     return f.chargedCost() - costBefore;  // query cost only
   };
@@ -226,11 +235,11 @@ TEST(InterestTest, FpsApplicationSwapsPolicies) {
   Fixture f;
   f.populate(50, 9);
   app.onTickBegin(f.world, f.meter);
-  std::vector<EntityId> visible;
+  std::vector<std::uint32_t> visible;
   app.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter, visible);
   FpsApplication euclidApp(config);
   euclidApp.onTickBegin(f.world, f.meter);
-  std::vector<EntityId> fromEuclid;
+  std::vector<std::uint32_t> fromEuclid;
   euclidApp.computeAreaOfInterest(f.world, *f.world.find(EntityId{1}), f.meter, fromEuclid);
   EXPECT_EQ(visible, fromEuclid);
 }

@@ -417,5 +417,60 @@ TEST(ReportTest, ToStringMentionsKeyNumbers) {
   EXPECT_NE(text.find(std::to_string(report.nMaxPerReplica[0])), std::string::npos);
 }
 
+// ---------- adaptive form selection ----------
+
+/// Replicated sweep samples like a measurement campaign produces: several
+/// noisy per-tick observations at each population.
+template <typename Fn>
+SampleSeries replicatedSeries(Fn truth, double noiseAmplitude, std::uint64_t seed,
+                              std::size_t populations = 6, std::size_t replicates = 20) {
+  Rng rng(seed);
+  SampleSeries series;
+  for (std::size_t p = 1; p <= populations; ++p) {
+    const double n = 50.0 * static_cast<double>(p);
+    for (std::size_t r = 0; r < replicates; ++r) {
+      series.add(n, truth(n) * (1.0 + rng.uniform(-noiseAmplitude, noiseAmplitude)));
+    }
+  }
+  return series;
+}
+
+TEST(AdaptiveFitTest, PicksLinearForLinearData) {
+  ParameterEstimator estimator;
+  estimator.setSamples(ParamKind::kAoi,
+                       replicatedSeries([](double n) { return 2.0 + 0.5 * n; }, 0.02, 31));
+  const ModelParameters params = estimator.fit(FitPlan::adaptive());
+  EXPECT_EQ(params.at(ParamKind::kAoi).form, FunctionForm::kLinear);
+}
+
+TEST(AdaptiveFitTest, PicksQuadraticForQuadraticData) {
+  ParameterEstimator estimator;
+  estimator.setSamples(
+      ParamKind::kAoi,
+      replicatedSeries([](double n) { return 1.0 + 0.02 * n + 0.001 * n * n; }, 0.02, 32));
+  const ModelParameters params = estimator.fit(FitPlan::adaptive());
+  EXPECT_EQ(params.at(ParamKind::kAoi).form, FunctionForm::kQuadratic);
+}
+
+TEST(AdaptiveFitTest, LeavesPinnedParametersAlone) {
+  // kSu is not auto-selected: even blatantly quadratic data keeps the
+  // paper's pinned linear form.
+  ParameterEstimator estimator;
+  estimator.setSamples(ParamKind::kSu,
+                       replicatedSeries([](double n) { return 0.002 * n * n; }, 0.02, 33));
+  const ModelParameters params = estimator.fit(FitPlan::adaptive());
+  EXPECT_EQ(params.at(ParamKind::kSu).form, FunctionForm::kLinear);
+}
+
+TEST(AdaptiveFitTest, FallsBackToPinnedFormWithFewPopulations) {
+  // Four distinct populations cannot discriminate the forms (AICc needs
+  // n > k + 1 with headroom), so the pinned quadratic is used.
+  ParameterEstimator estimator;
+  estimator.setSamples(ParamKind::kAoi, replicatedSeries([](double n) { return 2.0 + 0.5 * n; },
+                                                         0.02, 34, /*populations=*/4));
+  const ModelParameters params = estimator.fit(FitPlan::adaptive());
+  EXPECT_EQ(params.at(ParamKind::kAoi).form, FunctionForm::kQuadratic);
+}
+
 }  // namespace
 }  // namespace roia::model

@@ -582,7 +582,7 @@ std::vector<double> runFingerprint(obs::Telemetry* telemetry) {
     fingerprint.push_back(static_cast<double>(census.totalAvatars));
     fingerprint.push_back(static_cast<double>(census.activeNpcs));
     fingerprint.push_back(static_cast<double>(census.totalNpcs));
-    server.world().forEach([&](const rtf::EntityRecord& e) {
+    server.world().forEach([&](rtf::ConstEntityRef e) {
       fingerprint.push_back(e.position.x);
       fingerprint.push_back(e.position.y);
       fingerprint.push_back(e.health);

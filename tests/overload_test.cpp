@@ -278,7 +278,7 @@ TEST(MigrationRecoveryTest, StaleAckAfterTargetCrashDoesNotWedgeClient) {
   for (const ServerId id : cluster.serverIds()) {
     const rtf::Server& server = cluster.server(id);
     if (server.crashed()) continue;
-    server.world().forEach([&](const rtf::EntityRecord& e) {
+    server.world().forEach([&](rtf::ConstEntityRef e) {
       if (e.client == client && e.owner == id) ++active;
     });
   }

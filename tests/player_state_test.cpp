@@ -66,9 +66,9 @@ struct StatsFixture {
     return world.upsert(e).id;
   }
 
-  rtf::EntityRecord& entity(std::uint64_t id) { return *world.find(EntityId{id}); }
+  rtf::EntityRef entity(std::uint64_t id) { return *world.find(EntityId{id}); }
 
-  void attack(rtf::EntityRecord& attacker, EntityId target) {
+  void attack(rtf::EntityRef attacker, EntityId target) {
     CommandBatch batch;
     batch.attack = AttackCommand{target, {1, 0}};
     const auto bytes = encodeCommands(batch);
@@ -81,8 +81,8 @@ TEST(KillAttributionTest, LocalKillCreditsAttackerAndVictim) {
   StatsFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
   f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   f.attack(attacker, victim.id);
   const PlayerStats attackerStats = decodeStats(attacker.appData);
   const PlayerStats victimStats = decodeStats(victim.appData);
@@ -96,8 +96,8 @@ TEST(KillAttributionTest, NonLethalHitChangesNoStats) {
   StatsFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
   f.addAvatar(2, ServerId{1}, {50, 0}, 100.0);
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   f.attack(attacker, victim.id);
   EXPECT_TRUE(attacker.appData.empty());
   EXPECT_TRUE(victim.appData.empty());
@@ -109,7 +109,7 @@ TEST(KillAttributionTest, ForwardedKillEmitsCreditBack) {
   // Victim active here (server 2); attacker is a shadow owned by server 1.
   f.addAvatar(2, ServerId{2}, {50, 0}, 4.0);
   f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
-  auto& victim = f.entity(2);
+  auto victim = f.entity(2);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
   const auto payload = encodeInteraction({Interaction::Kind::kAttack, 8.0});
   f.app.applyForwardedInteraction(f.world, victim, EntityId{1}, payload, f.meter, f.sink);
@@ -124,7 +124,7 @@ TEST(KillAttributionTest, ForwardedKillEmitsCreditBack) {
 TEST(KillAttributionTest, KillCreditAppliesToAttacker) {
   StatsFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
-  auto& attacker = f.entity(1);
+  auto attacker = f.entity(1);
   rtf::PhaseScope scope(f.meter, rtf::Phase::kFa);
   const auto payload = encodeInteraction({Interaction::Kind::kKillCredit, 0.0});
   f.app.applyForwardedInteraction(f.world, attacker, EntityId{2}, payload, f.meter, f.sink);
@@ -137,8 +137,8 @@ TEST(KillAttributionTest, ScoreboardChangeBumpsVersion) {
   StatsFixture f;
   f.addAvatar(1, ServerId{1}, {0, 0}, 100.0);
   f.addAvatar(2, ServerId{1}, {50, 0}, 4.0);
-  auto& attacker = f.entity(1);
-  auto& victim = f.entity(2);
+  auto attacker = f.entity(1);
+  auto victim = f.entity(2);
   const std::uint64_t before = attacker.version;
   f.attack(attacker, victim.id);
   EXPECT_GT(attacker.version, before);  // shadows will learn the new score
@@ -198,8 +198,8 @@ TEST(PlayerStateE2ETest, StatsSurviveMigration) {
 
   ASSERT_TRUE(f.cluster.migrateClient(killerClient, b));
   f.cluster.run(SimDuration::seconds(1));
-  const rtf::EntityRecord* migrated = f.cluster.server(b).world().find(killerAvatar);
-  ASSERT_NE(migrated, nullptr);
+  const auto migrated = f.cluster.server(b).world().find(killerAvatar);
+  ASSERT_TRUE(migrated.has_value());
   EXPECT_TRUE(migrated->activeOn(b));
   const PlayerStats after = decodeStats(migrated->appData);
   EXPECT_GE(after.kills, before.kills);  // nothing lost in the hand-over
@@ -231,8 +231,8 @@ TEST(PlayerStateE2ETest, CrossServerKillCreditsArrive) {
   EXPECT_EQ(killerStats.kills, victimStats.deaths);
 
   // The victim's server also sees the killer's score via shadow sync.
-  const rtf::EntityRecord* killerShadow = f.cluster.server(b).world().find(killerAvatar);
-  ASSERT_NE(killerShadow, nullptr);
+  const auto killerShadow = f.cluster.server(b).world().find(killerAvatar);
+  ASSERT_TRUE(killerShadow.has_value());
   EXPECT_EQ(decodeStats(killerShadow->appData).kills, killerStats.kills);
 }
 

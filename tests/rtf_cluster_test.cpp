@@ -115,10 +115,10 @@ TEST(ClusterTest, ShadowPositionsTrackActives) {
   const ClientId c = f.cluster.connectClientTo(a, std::make_unique<ScriptedProvider>());
   f.cluster.run(SimDuration::seconds(2));
   const EntityId avatar = f.cluster.client(c).avatar();
-  const EntityRecord* active = f.cluster.server(a).world().find(avatar);
-  const EntityRecord* shadow = f.cluster.server(b).world().find(avatar);
-  ASSERT_NE(active, nullptr);
-  ASSERT_NE(shadow, nullptr);
+  const auto active = f.cluster.server(a).world().find(avatar);
+  const auto shadow = f.cluster.server(b).world().find(avatar);
+  ASSERT_TRUE(active.has_value());
+  ASSERT_TRUE(shadow.has_value());
   EXPECT_FALSE(shadow->activeOn(b));
   // The avatar moved east at 80 units/s for ~2 s; the shadow must track it
   // closely (within one round of replication lag).
@@ -141,8 +141,8 @@ TEST(ClusterTest, ForwardedInputsDamageRemoteEntities) {
   attacker->setTarget(victim);
   f.cluster.run(SimDuration::seconds(1));
 
-  const EntityRecord* victimRecord = f.cluster.server(b).world().find(victim);
-  ASSERT_NE(victimRecord, nullptr);
+  const auto victimRecord = f.cluster.server(b).world().find(victim);
+  ASSERT_TRUE(victimRecord.has_value());
   // Attacks crossed servers; the victim must have taken damage on its owner
   // (health drops below spawn value 100, possibly after respawns).
   EXPECT_LT(victimRecord->health, 100.0);
@@ -174,8 +174,8 @@ TEST(ClusterTest, MigrationMovesUserWithoutLoss) {
     const ClientId c = clients[static_cast<std::size_t>(i)];
     EXPECT_EQ(f.cluster.clientServer(c), b);
     const EntityId avatar = f.cluster.client(c).avatar();
-    const EntityRecord* onB = f.cluster.server(b).world().find(avatar);
-    ASSERT_NE(onB, nullptr);
+    const auto onB = f.cluster.server(b).world().find(avatar);
+    ASSERT_TRUE(onB.has_value());
     EXPECT_TRUE(onB->activeOn(b));
   }
   // Migrated clients keep receiving updates from the new server.
@@ -221,12 +221,12 @@ TEST(ClusterTest, DisconnectRemovesEverywhere) {
   const ClientId c = f.cluster.connectClientTo(a, std::make_unique<BotProvider>());
   f.cluster.run(SimDuration::milliseconds(500));
   const EntityId avatar = f.cluster.client(c).avatar();
-  ASSERT_NE(f.cluster.server(b).world().find(avatar), nullptr);  // shadow exists
+  ASSERT_TRUE(f.cluster.server(b).world().find(avatar).has_value());  // shadow exists
 
   f.cluster.disconnectClient(c);
   f.cluster.run(SimDuration::milliseconds(500));
-  EXPECT_EQ(f.cluster.server(a).world().find(avatar), nullptr);
-  EXPECT_EQ(f.cluster.server(b).world().find(avatar), nullptr);  // shadow retired
+  EXPECT_FALSE(f.cluster.server(a).world().find(avatar).has_value());
+  EXPECT_FALSE(f.cluster.server(b).world().find(avatar).has_value());  // shadow retired
   EXPECT_EQ(f.cluster.clientCount(), 0u);
 }
 
@@ -251,7 +251,7 @@ TEST(ClusterTest, RemoveServerHandsNpcsToSurvivor) {
   EXPECT_EQ(f.cluster.server(a).world().npcCount(), 5u);
   f.cluster.removeServer(b);
   // All 10 NPCs now owned by a.
-  EXPECT_EQ(f.cluster.server(a).world().countIf([&](const EntityRecord& e) {
+  EXPECT_EQ(f.cluster.server(a).world().countIf([&](ConstEntityRef e) {
               return e.isNpc() && e.owner == a;
             }),
             10u);
@@ -264,13 +264,13 @@ TEST(ClusterTest, NpcsSpawnDistributed) {
   const ServerId c = f.cluster.addServer(f.zone);
   f.cluster.spawnNpcs(f.zone, 9);
   EXPECT_EQ(f.cluster.server(a).world().countIf(
-                [&](const EntityRecord& e) { return e.isNpc() && e.owner == a; }),
+                [&](ConstEntityRef e) { return e.isNpc() && e.owner == a; }),
             3u);
   EXPECT_EQ(f.cluster.server(b).world().countIf(
-                [&](const EntityRecord& e) { return e.isNpc() && e.owner == b; }),
+                [&](ConstEntityRef e) { return e.isNpc() && e.owner == b; }),
             3u);
   EXPECT_EQ(f.cluster.server(c).world().countIf(
-                [&](const EntityRecord& e) { return e.isNpc() && e.owner == c; }),
+                [&](ConstEntityRef e) { return e.isNpc() && e.owner == c; }),
             3u);
 }
 

@@ -30,12 +30,12 @@ TEST(WorldTest, UpsertFindRemove) {
   world.upsert(makeAvatar(2, 1));
   EXPECT_EQ(world.size(), 2u);
   EXPECT_TRUE(world.contains(EntityId{1}));
-  ASSERT_NE(world.find(EntityId{2}), nullptr);
+  ASSERT_TRUE(world.find(EntityId{2}).has_value());
   EXPECT_EQ(world.find(EntityId{2})->client, ClientId{1002});
   EXPECT_TRUE(world.remove(EntityId{1}));
   EXPECT_FALSE(world.remove(EntityId{1}));
   EXPECT_EQ(world.size(), 1u);
-  EXPECT_EQ(world.find(EntityId{1}), nullptr);
+  EXPECT_FALSE(world.find(EntityId{1}).has_value());
 }
 
 TEST(WorldTest, UpsertReplacesExisting) {
@@ -52,7 +52,7 @@ TEST(WorldTest, IterationIsAscendingById) {
   World world(ZoneId{1});
   for (std::uint64_t id : {9, 3, 7, 1, 5}) world.upsert(makeAvatar(id, 1));
   std::vector<std::uint64_t> seen;
-  world.forEach([&](const EntityRecord& e) { seen.push_back(e.id.value); });
+  world.forEach([&](ConstEntityRef e) { seen.push_back(e.id.value); });
   EXPECT_EQ(seen, (std::vector<std::uint64_t>{1, 3, 5, 7, 9}));
 }
 

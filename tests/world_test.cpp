@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -26,18 +27,18 @@ EntityRecord makeEntity(std::uint64_t id, EntityKind kind, std::uint64_t owner) 
 
 std::vector<std::uint64_t> idsInOrder(const World& world) {
   std::vector<std::uint64_t> ids;
-  world.forEach([&ids](const EntityRecord& e) { ids.push_back(e.id.value); });
+  world.forEach([&ids](ConstEntityRef e) { ids.push_back(e.id.value); });
   return ids;
 }
 
 TEST(WorldTest, UpsertFindRemoveBasics) {
   World world(ZoneId{1});
   EXPECT_EQ(world.size(), 0u);
-  EXPECT_EQ(world.find(EntityId{1}), nullptr);
+  EXPECT_FALSE(world.find(EntityId{1}).has_value());
   EXPECT_FALSE(world.remove(EntityId{1}));
 
   world.upsert(makeEntity(1, EntityKind::kAvatar, 1));
-  ASSERT_NE(world.find(EntityId{1}), nullptr);
+  ASSERT_TRUE(world.find(EntityId{1}).has_value());
   EXPECT_TRUE(world.contains(EntityId{1}));
   EXPECT_EQ(world.size(), 1u);
 
@@ -52,6 +53,51 @@ TEST(WorldTest, UpsertFindRemoveBasics) {
   EXPECT_TRUE(world.remove(EntityId{1}));
   EXPECT_FALSE(world.contains(EntityId{1}));
   EXPECT_EQ(world.size(), 0u);
+}
+
+TEST(WorldTest, StructuralEpochBumpsOnMembershipChangesOnly) {
+  World world(ZoneId{1});
+  const std::uint64_t e0 = world.structuralEpoch();
+
+  world.upsert(makeEntity(1, EntityKind::kAvatar, 1));
+  const std::uint64_t e1 = world.structuralEpoch();
+  EXPECT_GT(e1, e0);  // new id -> slots shifted
+
+  // Value-only upsert keeps every slot stable: epoch must not move, so
+  // interest structures keyed on slots stay valid.
+  EntityRecord updated = makeEntity(1, EntityKind::kAvatar, 2);
+  updated.position = {500.0, 500.0};
+  world.upsert(updated);
+  EXPECT_EQ(world.structuralEpoch(), e1);
+
+  world.upsert(makeEntity(2, EntityKind::kNpc, 1));
+  const std::uint64_t e2 = world.structuralEpoch();
+  EXPECT_GT(e2, e1);
+
+  EXPECT_TRUE(world.remove(EntityId{1}));
+  EXPECT_GT(world.structuralEpoch(), e2);
+  const std::uint64_t e3 = world.structuralEpoch();
+  EXPECT_FALSE(world.remove(EntityId{1}));  // failed remove is not structural
+  EXPECT_EQ(world.structuralEpoch(), e3);
+}
+
+TEST(WorldTest, SlotAccessorsAgreeWithFind) {
+  World world(ZoneId{1});
+  for (const std::uint64_t id : {40u, 10u, 30u, 20u}) {
+    world.upsert(makeEntity(id, id % 20 == 0 ? EntityKind::kNpc : EntityKind::kAvatar, id));
+  }
+  ASSERT_EQ(world.size(), 4u);
+  for (const std::uint64_t id : {10u, 20u, 30u, 40u}) {
+    const std::size_t slot = world.slotOf(EntityId{id});
+    ASSERT_NE(slot, World::npos);
+    EXPECT_EQ(world.ids()[slot], id);
+    EXPECT_EQ(world.owners()[slot], ServerId{id});
+    const auto ref = std::as_const(world).find(EntityId{id});
+    ASSERT_TRUE(ref.has_value());
+    EXPECT_EQ(ref->kind, world.kinds()[slot]);
+    EXPECT_DOUBLE_EQ(ref->position.x, world.positions()[slot].x);
+  }
+  EXPECT_EQ(world.slotOf(EntityId{99}), World::npos);
 }
 
 TEST(WorldTest, ForEachIteratesInAscendingIdOrder) {
@@ -89,7 +135,7 @@ TEST(WorldTest, RandomizedChurnMatchesReferenceModel) {
       reference[id] = e;
     } else if (action < 0.8) {
       EXPECT_EQ(world.remove(EntityId{id}), reference.erase(id) > 0) << "step " << step;
-    } else if (EntityRecord* found = world.find(EntityId{id}); found != nullptr) {
+    } else if (auto found = world.find(EntityId{id})) {
       // Migration: flip ownership through the returned reference, as the
       // server's migration path does.
       found->owner = ServerId{found->owner.value % 3 + 1};
@@ -102,8 +148,8 @@ TEST(WorldTest, RandomizedChurnMatchesReferenceModel) {
     std::vector<std::uint64_t> referenceIds;
     for (const auto& [refId, record] : reference) {
       referenceIds.push_back(refId);
-      const EntityRecord* stored = world.find(EntityId{refId});
-      ASSERT_NE(stored, nullptr) << "step " << step << " id " << refId;
+      const auto stored = std::as_const(world).find(EntityId{refId});
+      ASSERT_TRUE(stored.has_value()) << "step " << step << " id " << refId;
       ASSERT_EQ(stored->id.value, refId);
       ASSERT_EQ(stored->owner, record.owner) << "step " << step << " id " << refId;
       ASSERT_EQ(stored->version, record.version) << "step " << step << " id " << refId;
@@ -126,9 +172,9 @@ TEST(WorldTest, CensusMatchesPredicateScans) {
     EXPECT_EQ(census.totalAvatars, world.avatarCount());
     EXPECT_EQ(census.totalNpcs, world.npcCount());
     EXPECT_EQ(census.activeAvatars,
-              world.countIf([sid](const EntityRecord& e) { return e.isAvatar() && e.owner == sid; }));
+              world.countIf([sid](ConstEntityRef e) { return e.isAvatar() && e.owner == sid; }));
     EXPECT_EQ(census.activeNpcs,
-              world.countIf([sid](const EntityRecord& e) { return e.isNpc() && e.owner == sid; }));
+              world.countIf([sid](ConstEntityRef e) { return e.isNpc() && e.owner == sid; }));
     EXPECT_EQ(census.activeAvatars + census.activeNpcs, world.activeCount(sid));
     EXPECT_EQ(census.shadowAvatars(), census.totalAvatars - census.activeAvatars);
   }

@@ -92,7 +92,7 @@ struct HandoffFixture {
     for (const ServerId id : cluster.serverIds()) {
       const rtf::Server& server = cluster.server(id);
       if (server.crashed()) continue;
-      server.world().forEach([&](const rtf::EntityRecord& e) {
+      server.world().forEach([&](rtf::ConstEntityRef e) {
         if (e.client == client && e.owner == id) ++count;
       });
     }
@@ -108,8 +108,8 @@ TEST(ZoneHandoffTest, TravelPreservesEntityState) {
   f.cluster.run(SimDuration::milliseconds(500));
 
   const EntityId avatar = f.cluster.client(c).avatar();
-  rtf::EntityRecord* record = f.cluster.server(serverA).world().find(avatar);
-  ASSERT_NE(record, nullptr);
+  auto record = f.cluster.server(serverA).world().find(avatar);
+  ASSERT_TRUE(record.has_value());
   record->health = 57.5;  // distinctive state the handoff must carry over
 
   ASSERT_TRUE(f.cluster.travelClient(c, f.zones[1]));
@@ -118,9 +118,9 @@ TEST(ZoneHandoffTest, TravelPreservesEntityState) {
   // Same entity identity on the target, removed from the source.
   EXPECT_EQ(f.cluster.clientServer(c), serverB);
   EXPECT_EQ(f.cluster.client(c).avatar(), avatar);
-  EXPECT_EQ(f.cluster.server(serverA).world().find(avatar), nullptr);
-  const rtf::EntityRecord* adopted = f.cluster.server(serverB).world().find(avatar);
-  ASSERT_NE(adopted, nullptr);
+  EXPECT_FALSE(f.cluster.server(serverA).world().find(avatar).has_value());
+  const auto adopted = f.cluster.server(serverB).world().find(avatar);
+  ASSERT_TRUE(adopted.has_value());
   EXPECT_EQ(adopted->owner, serverB);
   EXPECT_EQ(adopted->client, c);
   EXPECT_DOUBLE_EQ(adopted->health, 57.5);
