@@ -146,6 +146,23 @@ inline void applyInterestOverride(game::FpsConfig& config) {
   }
 }
 
+/// Applies the ROIA_REPLICATION environment override to a ServerConfig:
+///   full   whole-snapshot state updates (no-op on a default config)
+///   delta  baseline-aware delta codec with quantized motion fields
+/// Unset leaves the config untouched, so default runs stay byte-identical.
+inline void applyReplicationOverride(rtf::ServerConfig& config) {
+  const char* value = std::getenv("ROIA_REPLICATION");
+  if (value == nullptr) return;
+  const std::string policy(value);
+  if (policy == "delta") {
+    config.replication.codec = rtf::ReplicationCodec::kDelta;
+  } else if (policy == "full") {
+    config.replication.codec = rtf::ReplicationCodec::kFull;
+  } else {
+    std::fprintf(stderr, "warning: ignoring ROIA_REPLICATION='%s' (want full|delta)\n", value);
+  }
+}
+
 /// Full-strength calibration campaign (matches the paper: up to 300 bots on
 /// two replicas of one zone, plus a migration sweep). Honors ROIA_INTEREST;
 /// a grid-policy run is fitted with the adaptive plan so the flattened
@@ -157,6 +174,7 @@ inline game::CalibrationResult runCalibration(bool quick = false) {
     config.migrationPopulations = {60, 120, 180, 240};
   }
   applyInterestOverride(config.measurement.fps);
+  applyReplicationOverride(config.measurement.server);
   const bool grid = config.measurement.fps.interestPolicy == game::InterestPolicyKind::kGrid;
   return game::calibrateModel(config,
                               grid ? model::FitPlan::adaptive() : model::FitPlan::paperDefault());

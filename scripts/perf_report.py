@@ -21,6 +21,12 @@ Collects two kinds of wall-clock evidence from a built tree:
     --require-aoi-speedup additionally gates on the AOI micro benchmarks:
     the grid query must beat the Euclidean scan by the given factor at
     n = 300 (BM_AoiQuerySpread*).
+ 5. bandwidth report (--bandwidth) — runs ext_bandwidth under
+    ROIA_REPLICATION=delta at 1 and N threads, asserts byte-identical
+    stdout, and parses the codec comparison (measured egress reduction,
+    per-codec n_max and bytes-per-user on the 25 Mbit/s reference link)
+    into BENCH_bandwidth.json. --require-bandwidth-reduction gates on the
+    measured reduction and on delta beating full's bandwidth-limited n_max.
 
 Only the Python standard library is used. Typical CI invocations:
 
@@ -34,6 +40,7 @@ Only the Python standard library is used. Typical CI invocations:
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import time
@@ -191,6 +198,65 @@ def run_interest(build_dir: str) -> dict:
     }
 
 
+def run_bandwidth(build_dir: str, threads: int) -> dict:
+    """BENCH_bandwidth.json: delta-codec egress facts.
+
+    Runs ext_bandwidth with ROIA_REPLICATION=delta at 1 and N worker
+    threads, asserts byte-identical stdout (the delta leg rides the same
+    sweep engine, so it inherits the determinism contract), and parses the
+    codec-comparison section: the measured egress reduction at the top
+    population and each codec's bandwidth-limited capacity on the
+    25 Mbit/s reference link.
+    """
+    binary = os.path.join(build_dir, "bench", "ext_bandwidth")
+
+    def run(thread_count: int) -> bytes:
+        env = dict(os.environ, ROIA_BENCH_THREADS=str(thread_count),
+                   ROIA_REPLICATION="delta")
+        proc = subprocess.run([binary], check=True, env=env,
+                              stdout=subprocess.PIPE, stderr=subprocess.DEVNULL)
+        return proc.stdout
+
+    serial_out = run(1)
+    identical = None
+    if threads > 1:
+        if serial_out != run(threads):
+            raise DeterminismError(
+                "ext_bandwidth: stdout differs between ROIA_BENCH_THREADS=1 "
+                f"and ={threads} under ROIA_REPLICATION=delta — the delta "
+                "codec broke per-config determinism")
+        identical = True
+
+    reduction, top_n, nmax_gain = None, None, None
+    codecs = {}
+    for line in serial_out.decode().splitlines():
+        stripped = line.strip()
+        match = re.match(
+            r"egress reduction at steady state \(n=(\d+)\): ([0-9.]+)x", stripped)
+        if match:
+            top_n, reduction = int(match.group(1)), float(match.group(2))
+            continue
+        match = re.match(r"(full|delta)\s+(\d+)\s+([0-9.]+)$", stripped)
+        if match:
+            codecs[match.group(1)] = {
+                "n_max_25mbit": int(match.group(2)),
+                "egress_bytes_per_user_at_n_max": float(match.group(3)),
+            }
+            continue
+        match = re.match(r"delta n_max gain at 25 Mbit/s: ([0-9.]+)x", stripped)
+        if match:
+            nmax_gain = float(match.group(1))
+    return {
+        "schema": "roia-bench-bandwidth/1",
+        "threads": threads,
+        "stdout_identical": identical,
+        "egress_reduction": reduction,
+        "egress_reduction_at_n": top_n,
+        "n_max_gain_25mbit": nmax_gain,
+        "codecs": codecs,
+    }
+
+
 def run_sweep(build_dir: str, bench: str, threads: int) -> dict:
     binary = os.path.join(build_dir, "bench", bench)
 
@@ -258,6 +324,15 @@ def main() -> int:
     parser.add_argument("--require-aoi-speedup", type=float, default=None,
                         help="fail unless the grid AOI micro benchmark beats the "
                              "Euclidean one by this factor at n=300")
+    parser.add_argument("--bandwidth", action="store_true",
+                        help="run ext_bandwidth under ROIA_REPLICATION=delta and "
+                             "write the codec-comparison report")
+    parser.add_argument("--bandwidth-out", default=None,
+                        help="bandwidth report path "
+                             "(default: <build-dir>/BENCH_bandwidth.json)")
+    parser.add_argument("--require-bandwidth-reduction", type=float, default=None,
+                        help="fail unless the delta codec reaches this egress "
+                             "reduction and a higher n_max than full")
     args = parser.parse_args()
 
     # A hostile --threads value (0, negative) means "serial only", never a
@@ -280,6 +355,8 @@ def main() -> int:
                for bench in list(args.sweeps) + list(args.obs_overhead)]
     if args.interest:
         needed.append(os.path.join(args.build_dir, "bench", "ext_interest_management"))
+    if args.bandwidth:
+        needed.append(os.path.join(args.build_dir, "bench", "ext_bandwidth"))
     missing = [path for path in needed if not os.path.isfile(path)]
     if missing:
         for path in missing:
@@ -382,6 +459,44 @@ def main() -> int:
             print(f"FAIL: ext_interest_management exit code "
                   f"{interest_report['exit_code']}", file=sys.stderr)
             return 1
+
+    if args.bandwidth:
+        try:
+            bandwidth_report = run_bandwidth(args.build_dir, args.threads)
+        except DeterminismError as err:
+            print(f"ERROR: {err}", file=sys.stderr)
+            return 1
+        bandwidth_path = args.bandwidth_out or os.path.join(
+            args.build_dir, "BENCH_bandwidth.json")
+        tmp_path = bandwidth_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as f:
+            json.dump(bandwidth_report, f, indent=2)
+            f.write("\n")
+        os.replace(tmp_path, bandwidth_path)
+        print(f"delta egress reduction {bandwidth_report['egress_reduction']}x "
+              f"at n={bandwidth_report['egress_reduction_at_n']}, "
+              f"n_max gain {bandwidth_report['n_max_gain_25mbit']}x at 25 Mbit/s")
+        print(f"wrote {bandwidth_path} ({len(bandwidth_report['codecs'])} codecs)")
+        if args.require_bandwidth_reduction is not None:
+            reduction = bandwidth_report["egress_reduction"]
+            codecs = bandwidth_report["codecs"]
+            if reduction is None or "full" not in codecs or "delta" not in codecs:
+                print("ERROR: ext_bandwidth output missing the codec comparison "
+                      "(was it built with the delta leg?)", file=sys.stderr)
+                return 1
+            if reduction < args.require_bandwidth_reduction:
+                print(f"FAIL: delta egress reduction {reduction}x < required "
+                      f"{args.require_bandwidth_reduction}x", file=sys.stderr)
+                return 1
+            if codecs["delta"]["n_max_25mbit"] <= codecs["full"]["n_max_25mbit"]:
+                print(f"FAIL: delta n_max {codecs['delta']['n_max_25mbit']} does not "
+                      f"beat full n_max {codecs['full']['n_max_25mbit']} "
+                      "on the 25 Mbit/s link", file=sys.stderr)
+                return 1
+            print(f"delta egress reduction {reduction}x >= "
+                  f"{args.require_bandwidth_reduction}x and n_max "
+                  f"{codecs['delta']['n_max_25mbit']} > "
+                  f"{codecs['full']['n_max_25mbit']}: OK")
 
     if args.require_aoi_speedup is not None:
         if args.skip_micro:

@@ -32,11 +32,12 @@ ParamFunction fitRate(std::span<const BandwidthSample> samples, bool egress) {
 
 }  // namespace
 
-BandwidthModel BandwidthModel::fit(std::span<const BandwidthSample> samples) {
+BandwidthModel BandwidthModel::fit(std::span<const BandwidthSample> samples, std::string codec) {
   if (samples.size() < 3) {
     throw std::invalid_argument("BandwidthModel::fit: need at least 3 samples");
   }
   BandwidthModel model;
+  model.codec_ = std::move(codec);
   model.replicas_ = samples.front().replicas;
   for (const BandwidthSample& s : samples) {
     if (s.replicas != model.replicas_) {
@@ -51,6 +52,10 @@ BandwidthModel BandwidthModel::fit(std::span<const BandwidthSample> samples) {
 double BandwidthModel::asymmetry(double n) const {
   const double in = predictIngressBytesPerSec(n);
   return in > 0.0 ? predictEgressBytesPerSec(n) / in : 0.0;
+}
+
+double BandwidthModel::egressBytesPerUser(double n) const {
+  return n > 0.0 ? predictEgressBytesPerSec(n) / n : 0.0;
 }
 
 std::size_t BandwidthModel::nMaxForLink(double linkBytesPerSec, std::size_t cap) const {

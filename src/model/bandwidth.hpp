@@ -29,15 +29,21 @@ struct BandwidthSample {
 };
 
 /// Fitted per-server traffic model for a fixed replica count: ingress and
-/// egress bytes/s as polynomials in the zone population n.
+/// egress bytes/s as polynomials in the zone population n. A model is tied
+/// to one replication codec ("full" whole-snapshot updates, "delta"
+/// baseline-aware updates), so egress curves of different codecs can be
+/// compared and each inverted into its own bandwidth-limited n_max.
 class BandwidthModel {
  public:
   /// Fits quadratic ingress/egress rate functions over samples that must
-  /// all share one replica count. Throws std::invalid_argument on mixed
-  /// replica counts or fewer than 3 samples.
-  static BandwidthModel fit(std::span<const BandwidthSample> samples);
+  /// all share one replica count and were measured under `codec`. Throws
+  /// std::invalid_argument on mixed replica counts or fewer than 3 samples.
+  static BandwidthModel fit(std::span<const BandwidthSample> samples,
+                            std::string codec = "full");
 
   [[nodiscard]] std::size_t replicas() const { return replicas_; }
+  /// Replication codec label the samples were measured under.
+  [[nodiscard]] const std::string& codec() const { return codec_; }
   [[nodiscard]] double predictIngressBytesPerSec(double n) const { return ingress_.eval(n); }
   [[nodiscard]] double predictEgressBytesPerSec(double n) const { return egress_.eval(n); }
 
@@ -46,8 +52,14 @@ class BandwidthModel {
   [[nodiscard]] double asymmetry(double n) const;
 
   /// Bandwidth analogue of Eq. (2): the largest population whose per-server
-  /// egress (the binding direction) stays below the link capacity.
+  /// egress (the binding direction) stays below the link capacity. For a
+  /// delta-codec model the egress curve is flatter, so the same link admits
+  /// a larger population than under the full codec.
   [[nodiscard]] std::size_t nMaxForLink(double linkBytesPerSec, std::size_t cap = 1000000) const;
+
+  /// Per-user share of the server's egress at population n — the headline
+  /// codec-efficiency figure (bytes/s each connected user costs the uplink).
+  [[nodiscard]] double egressBytesPerUser(double n) const;
 
   [[nodiscard]] const ParamFunction& ingressFunction() const { return ingress_; }
   [[nodiscard]] const ParamFunction& egressFunction() const { return egress_; }
@@ -56,6 +68,7 @@ class BandwidthModel {
 
  private:
   std::size_t replicas_{1};
+  std::string codec_{"full"};
   ParamFunction ingress_;
   ParamFunction egress_;
 };

@@ -12,6 +12,8 @@ ClientEndpoint::ClientEndpoint(ClientId id, std::unique_ptr<InputProvider> provi
       sim_(simulation),
       net_(network),
       config_(config),
+      codec_(config.replication),
+      receiver_(codec_),
       rng_(rng) {
   node_ = net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); });
 }
@@ -21,6 +23,9 @@ ClientEndpoint::~ClientEndpoint() { stop(); }
 void ClientEndpoint::setServer(ServerId server, NodeId serverNode) {
   server_ = server;
   serverNode_ = serverNode;
+  // A new server has no baseline history for this link: drop ours too, so
+  // a late frame from the old server cannot masquerade as a baseline.
+  receiver_.reset();
 }
 
 void ClientEndpoint::start() {
@@ -46,6 +51,9 @@ void ClientEndpoint::sendInputs() {
   std::vector<std::uint8_t> commands = provider_->nextCommands(sim_.now(), rng_);
   if (!commands.empty() && serverNode_.valid()) {
     ClientInputMsg msg{id_, clientTick_, std::move(commands)};
+    if (config_.replication.codec == ReplicationCodec::kDelta && receiver_.hasView()) {
+      msg.viewAck = receiver_.latestTick() + 1;
+    }
     net_.send(node_, serverNode_, encode(msg));
   }
   ++clientTick_;
@@ -53,10 +61,25 @@ void ClientEndpoint::sendInputs() {
 }
 
 void ClientEndpoint::onFrame(NodeId from, const ser::Frame& frame) {
-  (void)from;
   if (!active_) return;
+  if (frame.type == ser::MessageType::kViewUpdate) {
+    if (config_.replication.codec != ReplicationCodec::kDelta) return;
+    // After a re-home the receiver was reset; a late high-tick frame from
+    // the previous server must not advance the watermark and starve the
+    // new link.
+    if (from != serverNode_) return;
+    const auto decoded = receiver_.decodeView(frame.payload);
+    if (!decoded) return;  // stale or baseline lost; server will keyframe
+    if (updatesReceived_ > 0) {
+      updateGapMs_.add((sim_.now() - lastUpdateAt_).asMillis());
+    }
+    lastUpdateAt_ = sim_.now();
+    ++updatesReceived_;
+    provider_->onStateView(decoded->serverTick, id_, *decoded->view);
+    return;
+  }
   if (frame.type != ser::MessageType::kStateUpdate) return;
-  const StateUpdateMsg msg = decodeStateUpdate(frame);
+  const StateUpdateMsg msg = SnapshotCodec::decodeStateUpdate(frame);
   if (updatesReceived_ > 0) {
     updateGapMs_.add((sim_.now() - lastUpdateAt_).asMillis());
   }

@@ -28,12 +28,22 @@ class InputProvider {
   virtual std::vector<std::uint8_t> nextCommands(SimTime now, Rng& rng) = 0;
   /// Called when a state update arrives from the server.
   virtual void onStateUpdate(std::span<const std::uint8_t> update) = 0;
+  /// Called when a delta-codec view arrives (delta replication only).
+  /// `view` is the full reconstructed visible set for `serverTick`.
+  virtual void onStateView(std::uint64_t serverTick, ClientId self, const SnapshotView& view) {
+    (void)serverTick;
+    (void)self;
+    (void)view;
+  }
 };
 
 class ClientEndpoint {
  public:
   struct Config {
     SimDuration inputInterval{SimDuration::milliseconds(40)};  // 25 Hz
+    /// Must match the serving cluster's profile (the cluster template
+    /// mirrors ServerConfig::replication here).
+    ReplicationProfile replication{};
   };
 
   ClientEndpoint(ClientId id, std::unique_ptr<InputProvider> provider,
@@ -84,6 +94,9 @@ class ClientEndpoint {
   sim::Simulation& sim_;
   net::Network& net_;
   Config config_;
+  /// Delta-codec receiver state (unused in full mode).
+  SnapshotCodec codec_;
+  BaselineReceiver receiver_;
   Rng rng_;
   NodeId node_;
   ServerId server_;

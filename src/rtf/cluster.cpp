@@ -15,7 +15,11 @@ Cluster::Cluster(Application& app, ClusterConfig config)
       net_(sim_),
       rng_(config_.seed),
       telemetry_(config_.telemetry != nullptr ? config_.telemetry
-                                              : obs::Telemetry::globalIfActive()) {}
+                                              : obs::Telemetry::globalIfActive()) {
+  // Both ends of every client link must agree on the replication codec and
+  // its quantization scales: the server profile is authoritative.
+  config_.clientTemplate.replication = config_.serverTemplate.replication;
+}
 
 ZoneId Cluster::createZone(std::string name, Vec2 origin, Vec2 extent) {
   ZoneDescriptor descriptor;

@@ -16,42 +16,14 @@ void expectType(const ser::Frame& frame, ser::MessageType type) {
 
 }  // namespace
 
-// roia-hot
-void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot) {
-  writer.writeVarU64(snapshot.id.value);
-  writer.writeU8(static_cast<std::uint8_t>(snapshot.kind));
-  writer.writeVarU64(snapshot.owner.value);
-  writer.writeVarU64(snapshot.client.value);
-  writer.writeF32(snapshot.x);
-  writer.writeF32(snapshot.y);
-  writer.writeF32(snapshot.vx);
-  writer.writeF32(snapshot.vy);
-  writer.writeF32(snapshot.health);
-  writer.writeVarU64(snapshot.version);
-  writer.writeBytes(snapshot.appData);
-}
-
-EntitySnapshot readSnapshot(ser::ByteReader& reader) {
-  EntitySnapshot s;
-  s.id = EntityId{reader.readVarU64()};
-  s.kind = static_cast<EntityKind>(reader.readU8());
-  s.owner = ServerId{reader.readVarU64()};
-  s.client = ClientId{reader.readVarU64()};
-  s.x = reader.readF32();
-  s.y = reader.readF32();
-  s.vx = reader.readF32();
-  s.vy = reader.readF32();
-  s.health = reader.readF32();
-  s.version = reader.readVarU64();
-  s.appData = reader.readBytes();
-  return s;
-}
-
 ser::Frame encode(const ClientInputMsg& msg) {
   ser::ByteWriter writer(16 + msg.commands.size());
   writer.writeVarU64(msg.client.value);
   writer.writeVarU64(msg.clientTick);
   writer.writeBytes(msg.commands);
+  // Optional trailing ack: absent when zero, so full-codec frames keep the
+  // exact legacy byte image.
+  if (msg.viewAck != 0) writer.writeVarU64(msg.viewAck);
   return makeFrame(ser::MessageType::kClientInput, std::move(writer));
 }
 
@@ -62,26 +34,7 @@ ClientInputMsg decodeClientInput(const ser::Frame& frame) {
   msg.client = ClientId{reader.readVarU64()};
   msg.clientTick = reader.readVarU64();
   msg.commands = reader.readBytes();
-  return msg;
-}
-
-ser::Frame encode(const StateUpdateMsg& msg) {
-  return encodeStateUpdate(msg.serverTick, msg.update);
-}
-
-ser::Frame encodeStateUpdate(std::uint64_t serverTick, std::span<const std::uint8_t> update) {
-  ser::ByteWriter writer(8 + update.size());
-  writer.writeVarU64(serverTick);
-  writer.writeBytes(update);
-  return makeFrame(ser::MessageType::kStateUpdate, std::move(writer));
-}
-
-StateUpdateMsg decodeStateUpdate(const ser::Frame& frame) {
-  expectType(frame, ser::MessageType::kStateUpdate);
-  ser::ByteReader reader(frame.payload);
-  StateUpdateMsg msg;
-  msg.serverTick = reader.readVarU64();
-  msg.update = reader.readBytes();
+  if (!reader.atEnd()) msg.viewAck = reader.readVarU64();
   return msg;
 }
 
@@ -107,7 +60,7 @@ ser::Frame encode(const EntityReplicationMsg& msg) {
   ser::ByteWriter writer(8 + msg.entities.size() * 32);
   writer.writeVarU64(msg.serverTick);
   writer.writeVarU64(msg.entities.size());
-  for (const auto& snapshot : msg.entities) writeSnapshot(writer, snapshot);
+  for (const auto& snapshot : msg.entities) SnapshotCodec::writeSnapshot(writer, snapshot);
   writer.writeVarU64(msg.removed.size());
   for (const EntityId id : msg.removed) writer.writeVarU64(id.value);
   return makeFrame(ser::MessageType::kEntityReplication, std::move(writer));
@@ -123,7 +76,7 @@ EntityReplicationMsg decodeEntityReplication(const ser::Frame& frame) {
   // payload is malformed (and must not drive a huge allocation).
   if (count > reader.remaining()) throw ser::DecodeError("implausible entity count");
   msg.entities.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) msg.entities.push_back(readSnapshot(reader));
+  for (std::uint64_t i = 0; i < count; ++i) msg.entities.push_back(SnapshotCodec::readSnapshot(reader));
   const std::uint64_t removedCount = reader.readVarU64();
   if (removedCount > reader.remaining()) throw ser::DecodeError("implausible removed count");
   msg.removed.reserve(removedCount);
@@ -135,7 +88,7 @@ ser::Frame encode(const MigrationDataMsg& msg) {
   ser::ByteWriter writer(48 + msg.appState.size());
   writer.writeVarU64(msg.client.value);
   writer.writeVarU64(msg.clientNode.value);
-  writeSnapshot(writer, msg.entity);
+  SnapshotCodec::writeSnapshot(writer, msg.entity);
   writer.writeBytes(msg.appState);
   writer.writeVarU64(msg.source.value);
   writer.writeVarU64(msg.traceId);
@@ -148,7 +101,7 @@ MigrationDataMsg decodeMigrationData(const ser::Frame& frame) {
   MigrationDataMsg msg;
   msg.client = ClientId{reader.readVarU64()};
   msg.clientNode = NodeId{reader.readVarU64()};
-  msg.entity = readSnapshot(reader);
+  msg.entity = SnapshotCodec::readSnapshot(reader);
   msg.appState = reader.readBytes();
   msg.source = ServerId{reader.readVarU64()};
   msg.traceId = reader.readVarU64();
@@ -181,7 +134,7 @@ ser::Frame encode(const ZoneHandoffMsg& msg) {
   writer.writeVarU64(msg.clientNode.value);
   writer.writeVarU64(msg.fromZone.value);
   writer.writeVarU64(msg.toZone.value);
-  writeSnapshot(writer, msg.entity);
+  SnapshotCodec::writeSnapshot(writer, msg.entity);
   writer.writeBytes(msg.appState);
   writer.writeVarU64(msg.source.value);
   writer.writeVarU64(msg.sourceNode.value);
@@ -197,7 +150,7 @@ ZoneHandoffMsg decodeZoneHandoff(const ser::Frame& frame) {
   msg.clientNode = NodeId{reader.readVarU64()};
   msg.fromZone = ZoneId{reader.readVarU64()};
   msg.toZone = ZoneId{reader.readVarU64()};
-  msg.entity = readSnapshot(reader);
+  msg.entity = SnapshotCodec::readSnapshot(reader);
   msg.appState = reader.readBytes();
   msg.source = ServerId{reader.readVarU64()};
   msg.sourceNode = NodeId{reader.readVarU64()};
@@ -235,7 +188,7 @@ ser::Frame encode(const BorderSyncMsg& msg) {
   writer.writeVarU64(msg.zone.value);
   writer.writeVarU64(msg.source.value);
   writer.writeVarU64(msg.entities.size());
-  for (const auto& snapshot : msg.entities) writeSnapshot(writer, snapshot);
+  for (const auto& snapshot : msg.entities) SnapshotCodec::writeSnapshot(writer, snapshot);
   return makeFrame(ser::MessageType::kBorderSync, std::move(writer));
 }
 
@@ -249,7 +202,7 @@ BorderSyncMsg decodeBorderSync(const ser::Frame& frame) {
   const std::uint64_t count = reader.readVarU64();
   if (count > reader.remaining()) throw ser::DecodeError("implausible entity count");
   msg.entities.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) msg.entities.push_back(readSnapshot(reader));
+  for (std::uint64_t i = 0; i < count; ++i) msg.entities.push_back(SnapshotCodec::readSnapshot(reader));
   return msg;
 }
 
@@ -268,6 +221,40 @@ HeartbeatMsg decodeHeartbeat(const ser::Frame& frame) {
   msg.server = ServerId{reader.readVarU64()};
   msg.seq = reader.readVarU64();
   msg.sentAt = SimTime{reader.readVarI64()};
+  return msg;
+}
+
+ser::Frame encode(const ViewReplicationMsg& msg) {
+  ser::ByteWriter writer(16 + msg.view.size());
+  writer.writeVarU64(msg.serverTick);
+  writer.writeVarU64(msg.source.value);
+  writer.writeBytes(msg.view);
+  return makeFrame(ser::MessageType::kViewReplication, std::move(writer));
+}
+
+ViewReplicationMsg decodeViewReplication(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kViewReplication);
+  ser::ByteReader reader(frame.payload);
+  ViewReplicationMsg msg;
+  msg.serverTick = reader.readVarU64();
+  msg.source = ServerId{reader.readVarU64()};
+  msg.view = reader.readBytes();
+  return msg;
+}
+
+ser::Frame encode(const ReplicationAckMsg& msg) {
+  ser::ByteWriter writer(16);
+  writer.writeVarU64(msg.acker.value);
+  writer.writeVarU64(msg.tick);
+  return makeFrame(ser::MessageType::kReplicationAck, std::move(writer));
+}
+
+ReplicationAckMsg decodeReplicationAck(const ser::Frame& frame) {
+  expectType(frame, ser::MessageType::kReplicationAck);
+  ser::ByteReader reader(frame.payload);
+  ReplicationAckMsg msg;
+  msg.acker = ServerId{reader.readVarU64()};
+  msg.tick = reader.readVarU64();
   return msg;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "rtf/entity.hpp"
+#include "rtf/snapshot_codec.hpp"
 #include "serialize/message.hpp"
 
 namespace roia::rtf {
@@ -20,12 +21,9 @@ struct ClientInputMsg {
   ClientId client;
   std::uint64_t clientTick{0};
   std::vector<std::uint8_t> commands;  // application-defined encoding
-};
-
-/// Server -> client: filtered world delta produced by the application.
-struct StateUpdateMsg {
-  std::uint64_t serverTick{0};
-  std::vector<std::uint8_t> update;  // application-defined encoding
+  /// Delta-codec baseline ack: latest applied view tick + 1 (0 = none yet).
+  /// Written only when non-zero, so full-codec input frames are unchanged.
+  std::uint64_t viewAck{0};
 };
 
 /// Server -> server: an interaction of a local user with a shadow entity,
@@ -123,15 +121,27 @@ struct HeartbeatMsg {
   SimTime sentAt{};
 };
 
+/// Server -> server: one delta-codec view payload for replica shadow
+/// maintenance (reliable transport). `serverTick` duplicates the tick
+/// inside the view payload so telemetry can account the frame without
+/// decoding it.
+struct ViewReplicationMsg {
+  std::uint64_t serverTick{0};
+  ServerId source;
+  std::vector<std::uint8_t> view;  // BaselineSender::encodeView payload
+};
+
+/// Receiver -> sender: acknowledges the latest applied replica view tick
+/// (best-effort raw frames; a lost ack only delays baseline advancement).
+struct ReplicationAckMsg {
+  ServerId acker;
+  std::uint64_t tick{0};
+};
+
 // Encoders produce ready-to-send frames; decoders throw ser::DecodeError on
-// malformed payloads.
+// malformed payloads. The snapshot/state-update codec lives in
+// rtf/snapshot_codec.hpp (SnapshotCodec).
 [[nodiscard]] ser::Frame encode(const ClientInputMsg& msg);
-[[nodiscard]] ser::Frame encode(const StateUpdateMsg& msg);
-/// Frame-identical to encode(StateUpdateMsg{serverTick, update}) without
-/// requiring the caller to hand over an owned vector (hot path: the server
-/// encodes straight from a reused scratch buffer).
-[[nodiscard]] ser::Frame encodeStateUpdate(std::uint64_t serverTick,
-                                           std::span<const std::uint8_t> update);
 [[nodiscard]] ser::Frame encode(const ForwardedInputMsg& msg);
 [[nodiscard]] ser::Frame encode(const EntityReplicationMsg& msg);
 [[nodiscard]] ser::Frame encode(const MigrationDataMsg& msg);
@@ -140,9 +150,10 @@ struct HeartbeatMsg {
 [[nodiscard]] ser::Frame encode(const ZoneHandoffAckMsg& msg);
 [[nodiscard]] ser::Frame encode(const BorderSyncMsg& msg);
 [[nodiscard]] ser::Frame encode(const HeartbeatMsg& msg);
+[[nodiscard]] ser::Frame encode(const ViewReplicationMsg& msg);
+[[nodiscard]] ser::Frame encode(const ReplicationAckMsg& msg);
 
 [[nodiscard]] ClientInputMsg decodeClientInput(const ser::Frame& frame);
-[[nodiscard]] StateUpdateMsg decodeStateUpdate(const ser::Frame& frame);
 [[nodiscard]] ForwardedInputMsg decodeForwardedInput(const ser::Frame& frame);
 [[nodiscard]] EntityReplicationMsg decodeEntityReplication(const ser::Frame& frame);
 [[nodiscard]] MigrationDataMsg decodeMigrationData(const ser::Frame& frame);
@@ -151,9 +162,7 @@ struct HeartbeatMsg {
 [[nodiscard]] ZoneHandoffAckMsg decodeZoneHandoffAck(const ser::Frame& frame);
 [[nodiscard]] BorderSyncMsg decodeBorderSync(const ser::Frame& frame);
 [[nodiscard]] HeartbeatMsg decodeHeartbeat(const ser::Frame& frame);
-
-/// Snapshot codec shared by replication and migration payloads.
-void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot);
-[[nodiscard]] EntitySnapshot readSnapshot(ser::ByteReader& reader);
+[[nodiscard]] ViewReplicationMsg decodeViewReplication(const ser::Frame& frame);
+[[nodiscard]] ReplicationAckMsg decodeReplicationAck(const ser::Frame& frame);
 
 }  // namespace roia::rtf

@@ -30,6 +30,13 @@ Server::Server(ServerId id, ZoneId zone, Application& app, sim::Simulation& simu
       meter_(cpu_),
       cpuAccount_(SimDuration::seconds(2)),
       monitoringWindow_(config.monitoringWindow) {
+  codec_ = SnapshotCodec(config_.replication);
+  // Replica links replicate exactly: a promoted shadow must equal the dead
+  // owner's state, so the lattice scales are forced off for peers.
+  ReplicationProfile exact = config_.replication;
+  exact.positionScale = 0.0;
+  exact.velocityScale = 0.0;
+  replicaCodec_ = SnapshotCodec(exact);
   node_ = net_.addNode([this](NodeId from, const ser::Frame& frame) { onFrame(from, frame); });
   reliable_ = std::make_unique<ReliableTransport>(sim_, net_, node_, config_.reliable);
   reliable_->setDeliver(
@@ -367,6 +374,12 @@ void Server::dispatchFrame(NodeId from, const ser::Frame& frame) {
     case ser::MessageType::kBorderSync:
       inBorderSync_.push_back({decodeBorderSync(frame), bytes, from});
       break;
+    case ser::MessageType::kViewReplication:
+      inViewReplication_.push_back({decodeViewReplication(frame), bytes, from});
+      break;
+    case ser::MessageType::kReplicationAck:
+      inReplicationAcks_.push_back(decodeReplicationAck(frame));
+      break;
     default:
       ROIA_LOG(LogLevel::kWarn, "rtf.server", "unhandled frame type "
                                                    << static_cast<int>(frame.type));
@@ -583,37 +596,70 @@ void Server::processReplication() {
                                     "replication");
     }
     PhaseScope scope(meter_, Phase::kFa);
-    for (const EntitySnapshot& snapshot : msg.entities) {
-      if (snapshot.owner == id_) continue;  // stale echo of a migrated entity
-      auto existing = world_.find(snapshot.id);
-      if (existing) {
-        if (snapshot.version <= existing->version) continue;  // out of date
-        snapshot.applyTo(*existing);
-        if (existing->zone != world_.zone()) {
-          // A border shadow just handed off into this zone: a replica peer
-          // owns it now, so it becomes a regular same-zone shadow.
-          existing->zone = world_.zone();
-          borderSeen_.erase(existing->id);
-        }
-        meter_.charge(config_.shadowApplyCost);
-        app_.onShadowUpdated(world_, *existing, meter_);
-      } else {
-        EntityRecord record;
-        record.id = snapshot.id;
-        record.zone = world_.zone();
-        snapshot.applyTo(record);
-        EntityRef stored = world_.upsert(record);
-        meter_.charge(config_.shadowApplyCost);
-        app_.onShadowUpdated(world_, stored, meter_);
-      }
-    }
-    for (const EntityId removed : msg.removed) {
-      const auto record = world_.find(removed);
-      if (record && record->owner != id_) {
-        world_.remove(removed);
-      }
-    }
+    for (const EntitySnapshot& snapshot : msg.entities) applyShadowSnapshot(snapshot);
+    for (const EntityId removed : msg.removed) retireShadow(removed);
   }
+
+  // Delta-codec replica traffic. Acks first, so a baseline acked earlier in
+  // the same tick-interval is usable for the views drained below.
+  while (!inReplicationAcks_.empty()) {
+    const ReplicationAckMsg ack = inReplicationAcks_.front();
+    inReplicationAcks_.pop_front();
+    auto it = replicaSenders_.find(ack.acker);
+    if (it != replicaSenders_.end()) it->second.onAck(ack.tick);
+  }
+  while (!inViewReplication_.empty()) {
+    auto [msg, bytes, from] = std::move(inViewReplication_.front());
+    inViewReplication_.pop_front();
+    meter_.chargeTo(Phase::kFaDser, config_.peerDserBaseCost +
+                                        config_.peerDserPerByteCost * static_cast<double>(bytes));
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.flowFinish(traceTrack_, sim_.now(),
+                                    obs::replicaSyncFlowId(from, msg.serverTick), "replica-sync",
+                                    "replication");
+    }
+    auto [receiver, inserted] =
+        replicaReceivers_.try_emplace(msg.source, replicaCodec_);
+    (void)inserted;
+    const auto decoded = receiver->second.decodeView(msg.view);
+    if (!decoded) continue;  // stale tick or lost baseline; sender keyframes
+    PhaseScope scope(meter_, Phase::kFa);
+    for (const auto& [entityId, snapshot] : *decoded->view) applyShadowSnapshot(snapshot);
+    for (const EntityId removed : decoded->removed) retireShadow(removed);
+    // Best-effort baseline ack: a lost ack only delays delta compression
+    // (the sender keyframes once its window expires).
+    net_.send(node_, from, encode(ReplicationAckMsg{id_, decoded->serverTick}));
+  }
+}
+
+void Server::applyShadowSnapshot(const EntitySnapshot& snapshot) {
+  if (snapshot.owner == id_) return;  // stale echo of a migrated entity
+  auto existing = world_.find(snapshot.id);
+  if (existing) {
+    if (snapshot.version <= existing->version) return;  // out of date
+    snapshot.applyTo(*existing);
+    if (existing->zone != world_.zone()) {
+      // A border shadow just handed off into this zone: a replica peer
+      // owns it now, so it becomes a regular same-zone shadow.
+      existing->zone = world_.zone();
+      borderSeen_.erase(existing->id);
+    }
+    meter_.charge(config_.shadowApplyCost);
+    app_.onShadowUpdated(world_, *existing, meter_);
+  } else {
+    EntityRecord record;
+    record.id = snapshot.id;
+    record.zone = world_.zone();
+    snapshot.applyTo(record);
+    EntityRef stored = world_.upsert(record);
+    meter_.charge(config_.shadowApplyCost);
+    app_.onShadowUpdated(world_, stored, meter_);
+  }
+}
+
+void Server::retireShadow(EntityId id) {
+  const auto record = world_.find(id);
+  if (record && record->owner != id_) world_.remove(id);
 }
 
 void Server::processBorderSync() {
@@ -708,6 +754,10 @@ void Server::processClientInputs() {
                                         config_.inputDserPerByteCost * static_cast<double>(bytes));
     auto it = clients_.find(msg.client);
     if (it == clients_.end() || it->second.migrating) continue;  // handover
+    // Piggybacked delta-codec ack: viewAck is the acked view tick + 1.
+    if (msg.viewAck != 0 && it->second.sender != nullptr) {
+      it->second.sender->onAck(msg.viewAck - 1);
+    }
     auto avatar = world_.find(it->second.entity);
     if (!avatar || avatar->owner != id_) continue;
     PhaseScope scope(meter_, Phase::kUa);
@@ -742,7 +792,7 @@ void Server::sendStateUpdates() {
   const bool halveNonCritical =
       config_.overload.enabled && overloadLevel_ >= kSuHalvingLevel && tickSeq_ % 2 == 1;
   std::size_t served = 0;
-  for (const auto& [clientId, session] : clients_) {
+  for (auto& [clientId, session] : clients_) {
     if (session.migrating) continue;
     if (served >= serveLimit) continue;  // shed observer (highest ids)
     const auto viewer = std::as_const(world_).find(session.entity);
@@ -761,14 +811,42 @@ void Server::sendStateUpdates() {
         return world_.kinds()[s] == EntityKind::kNpc || world_.owners()[s] != id_;
       });
     }
+    if (config_.replication.codec == ReplicationCodec::kDelta) {
+      // Delta codec: gather the visible set (plus the viewer itself) into a
+      // view and diff it against this link's acked baseline.
+      SnapshotView view;
+      view.emplace(viewer->id, EntitySnapshot::of(*viewer));
+      for (const std::uint32_t slot : aoiScratch_) {
+        const ConstEntityRef e = std::as_const(world_).refAt(slot);
+        view.emplace(e.id, EntitySnapshot::of(e));
+      }
+      meter_.charge(config_.replication.deltaGatherPerEntityCost *
+                    static_cast<double>(view.size()));
+      if (session.sender == nullptr) {
+        session.sender = std::make_unique<BaselineSender>(codec_, kClientViewFields);
+      }
+      ser::ByteWriter writer(32 + view.size() * 8);
+      session.sender->encodeView(tickSeq_, std::move(view), {}, writer);
+      meter_.charge(config_.updateSerBaseCost +
+                    config_.updateSerPerByteCost * static_cast<double>(writer.size()));
+      ser::Frame frame;
+      frame.type = ser::MessageType::kViewUpdate;
+      frame.payload = std::move(writer).take();
+      net_.send(node_, session.clientNode, frame);
+      continue;
+    }
     app_.buildStateUpdate(world_, *viewer, aoiScratch_, meter_, updateScratch_);
     meter_.charge(config_.updateSerBaseCost +
                   config_.updateSerPerByteCost * static_cast<double>(updateScratch_.size()));
-    net_.send(node_, session.clientNode, encodeStateUpdate(tickSeq_, updateScratch_));
+    net_.send(node_, session.clientNode, SnapshotCodec::encodeStateUpdate(tickSeq_, updateScratch_));
   }
 }
 
 void Server::sendReplicaSync() {
+  if (config_.replication.codec == ReplicationCodec::kDelta) {
+    sendReplicaSyncDelta();
+    return;
+  }
   if (peers_.empty()) {
     departedEntities_.clear();
     return;
@@ -794,6 +872,44 @@ void Server::sendReplicaSync() {
   }
   for (const auto& [serverId, nodeId] : peers_) {
     (void)serverId;
+    reliable_->send(nodeId, frame);
+  }
+}
+
+void Server::sendReplicaSyncDelta() {
+  if (peers_.empty()) {
+    departedEntities_.clear();
+    replicaSenders_.clear();
+    return;
+  }
+  // Owned entities, gathered once; every peer link diffs the same view
+  // against its own acked baseline.
+  SnapshotView view;
+  world_.forEach([this, &view](ConstEntityRef e) {
+    if (e.owner == id_) view.emplace(e.id, EntitySnapshot::of(e));
+  });
+  std::vector<EntityId> removed = std::move(departedEntities_);
+  departedEntities_.clear();
+  if (view.empty() && removed.empty()) return;
+
+  if (telemetry_ != nullptr) {
+    // One fan-out flow per sync round; each peer's receive ends it.
+    telemetry_->tracer.flowStart(traceTrack_, sim_.now(),
+                                 obs::replicaSyncFlowId(node_, tickSeq_), "replica-sync",
+                                 "replication");
+  }
+  for (const auto& [serverId, nodeId] : peers_) {
+    auto [sender, inserted] = replicaSenders_.try_emplace(serverId, replicaCodec_, kAllFields);
+    (void)inserted;
+    ser::ByteWriter writer(32 + view.size() * 16);
+    sender->second.encodeView(tickSeq_, view, removed, writer);
+    ViewReplicationMsg msg{tickSeq_, id_, std::move(writer).take()};
+    const ser::Frame frame = encode(msg);
+    // Encoded per peer (each link has its own baseline), so serialization
+    // cost is charged per frame, unlike the shared full-mode encode.
+    meter_.chargeTo(Phase::kSu,
+                    config_.replSerBaseCost +
+                        config_.replSerPerByteCost * static_cast<double>(frame.payload.size()));
     reliable_->send(nodeId, frame);
   }
 }

@@ -89,6 +89,11 @@ struct ServerConfig {
   double borderSerBaseCost{0.8};
   double borderSerPerByteCost{0.012};
 
+  /// State-replication codec selection and delta knobs. Clients and replica
+  /// peers derive their codecs from the same profile (the cluster mirrors
+  /// it into the client template), so both link ends agree on the wire.
+  ReplicationProfile replication{};
+
   sim::CpuCostModel::Config cpu{};
   SimDuration monitoringWindow{SimDuration::seconds(1)};
   /// Cadence of monitoring publication when a collector is attached.
@@ -291,6 +296,9 @@ class Server : public ForwardSink {
     /// (0 = none). Maintained unconditionally — it mirrors what went on the
     /// wire, so state never depends on whether telemetry is attached.
     std::uint64_t traceId{0};
+    /// Delta-codec baseline tracker for this client link; created lazily on
+    /// the first delta state update (null in full mode).
+    std::unique_ptr<BaselineSender> sender;
   };
 
   struct PendingMigration {
@@ -313,6 +321,11 @@ class Server : public ForwardSink {
   void processMigrationArrivals();
   void processZoneHandoffArrivals();
   void processReplication();
+  /// Applies one replica snapshot to the local shadow copy (shared by the
+  /// full and delta replication paths).
+  void applyShadowSnapshot(const EntitySnapshot& snapshot);
+  /// Retires one shadow announced as removed by its owner.
+  void retireShadow(EntityId id);
   void processBorderSync();
   void expireBorderShadows();
   void processForwardedInputs();
@@ -321,6 +334,7 @@ class Server : public ForwardSink {
   void updateNpcs();
   void sendStateUpdates();
   void sendReplicaSync();
+  void sendReplicaSyncDelta();
   void sendBorderSync();
   void detectZoneExits();
   void initiateMigrations();
@@ -351,6 +365,15 @@ class Server : public ForwardSink {
   std::map<ClientId, ClientSession> clients_;      // deterministic order
   std::vector<std::pair<ServerId, NodeId>> peers_;  // same-zone replicas
 
+  // --- delta replication state (unused in full mode) ---
+  /// Client-link codec: quantized per the profile.
+  SnapshotCodec codec_;
+  /// Replica-link codec: exact (scales forced off) — promoted shadows must
+  /// equal owner state bit-for-bit for crash recovery.
+  SnapshotCodec replicaCodec_;
+  std::map<ServerId, BaselineSender> replicaSenders_;
+  std::map<ServerId, BaselineReceiver> replicaReceivers_;
+
   // Inboxes drained at the next tick. Each entry carries the payload byte
   // count so deserialization cost can be charged inside the tick, plus the
   // sending node (used only by telemetry flow events).
@@ -368,6 +391,8 @@ class Server : public ForwardSink {
   std::deque<Inbound<ZoneHandoffMsg>> inZoneHandoffs_;
   std::deque<ZoneHandoffAckMsg> inZoneHandoffAcks_;
   std::deque<Inbound<BorderSyncMsg>> inBorderSync_;
+  std::deque<Inbound<ViewReplicationMsg>> inViewReplication_;
+  std::deque<ReplicationAckMsg> inReplicationAcks_;
 
   std::deque<PendingMigration> migrationQueue_;
   std::vector<ForwardedInputMsg> outForwarded_;

@@ -1,0 +1,430 @@
+#include "rtf/snapshot_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roia::rtf {
+namespace {
+
+// One lattice step per world unit times scale; symmetric rounding so the
+// quantization error bound |decoded - true| <= 0.5/scale holds everywhere.
+std::int64_t quant(float v, double scale) {
+  return std::llround(static_cast<double>(v) * scale);
+}
+
+float dequant(std::int64_t q, double scale) {
+  return static_cast<float>(static_cast<double>(q) / scale);
+}
+
+/// Zigzag varint of the lattice delta when scaled, raw F32 otherwise.
+void writeScaledDelta(ser::ByteWriter& writer, float base, float now, double scale) {
+  if (scale > 0.0) {
+    writer.writeVarI64(quant(now, scale) - quant(base, scale));
+  } else {
+    writer.writeF32(now);
+  }
+}
+
+float readScaledDelta(ser::ByteReader& reader, float base, double scale) {
+  if (scale > 0.0) {
+    return dequant(quant(base, scale) + reader.readVarI64(), scale);
+  }
+  return reader.readF32();
+}
+
+bool scaledEqual(float a, float b, double scale) {
+  if (scale > 0.0) return quant(a, scale) == quant(b, scale);
+  return a == b;
+}
+
+// The schema table. Row order is the wire order of both the full snapshot
+// layout and the masked fields inside a delta entry; it must stay the
+// legacy order (id, kind, owner, client, x, y, vx, vy, health, version,
+// appData) so full-mode bytes never move. roia-lint checks that every
+// EntitySnapshot member appears here.
+constexpr SnapshotSchemaRow kSnapshotSchema[] = {
+    {SnapshotField::kId, "id"},
+    {SnapshotField::kKind, "kind"},
+    {SnapshotField::kOwner, "owner"},
+    {SnapshotField::kClient, "client"},
+    {SnapshotField::kX, "x"},
+    {SnapshotField::kY, "y"},
+    {SnapshotField::kVx, "vx"},
+    {SnapshotField::kVy, "vy"},
+    {SnapshotField::kHealth, "health"},
+    {SnapshotField::kVersion, "version"},
+    {SnapshotField::kAppData, "appData"},
+};
+
+}  // namespace
+
+std::span<const SnapshotSchemaRow> snapshotSchema() { return kSnapshotSchema; }
+
+// roia-hot
+void SnapshotCodec::writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot) {
+  for (const SnapshotSchemaRow& row : kSnapshotSchema) {
+    switch (row.field) {
+      case SnapshotField::kId:
+        writer.writeVarU64(snapshot.id.value);
+        break;
+      case SnapshotField::kKind:
+        writer.writeU8(static_cast<std::uint8_t>(snapshot.kind));
+        break;
+      case SnapshotField::kOwner:
+        writer.writeVarU64(snapshot.owner.value);
+        break;
+      case SnapshotField::kClient:
+        writer.writeVarU64(snapshot.client.value);
+        break;
+      case SnapshotField::kX:
+        writer.writeF32(snapshot.x);
+        break;
+      case SnapshotField::kY:
+        writer.writeF32(snapshot.y);
+        break;
+      case SnapshotField::kVx:
+        writer.writeF32(snapshot.vx);
+        break;
+      case SnapshotField::kVy:
+        writer.writeF32(snapshot.vy);
+        break;
+      case SnapshotField::kHealth:
+        writer.writeF32(snapshot.health);
+        break;
+      case SnapshotField::kVersion:
+        writer.writeVarU64(snapshot.version);
+        break;
+      case SnapshotField::kAppData:
+        writer.writeBytes(snapshot.appData);
+        break;
+    }
+  }
+}
+
+EntitySnapshot SnapshotCodec::readSnapshot(ser::ByteReader& reader) {
+  EntitySnapshot s;
+  for (const SnapshotSchemaRow& row : kSnapshotSchema) {
+    switch (row.field) {
+      case SnapshotField::kId:
+        s.id = EntityId{reader.readVarU64()};
+        break;
+      case SnapshotField::kKind:
+        s.kind = static_cast<EntityKind>(reader.readU8());
+        break;
+      case SnapshotField::kOwner:
+        s.owner = ServerId{reader.readVarU64()};
+        break;
+      case SnapshotField::kClient:
+        s.client = ClientId{reader.readVarU64()};
+        break;
+      case SnapshotField::kX:
+        s.x = reader.readF32();
+        break;
+      case SnapshotField::kY:
+        s.y = reader.readF32();
+        break;
+      case SnapshotField::kVx:
+        s.vx = reader.readF32();
+        break;
+      case SnapshotField::kVy:
+        s.vy = reader.readF32();
+        break;
+      case SnapshotField::kHealth:
+        s.health = reader.readF32();
+        break;
+      case SnapshotField::kVersion:
+        s.version = reader.readVarU64();
+        break;
+      case SnapshotField::kAppData:
+        s.appData = reader.readBytes();
+        break;
+    }
+  }
+  return s;
+}
+
+ser::Frame SnapshotCodec::encodeStateUpdate(std::uint64_t serverTick,
+                                            std::span<const std::uint8_t> update) {
+  ser::ByteWriter writer(8 + update.size());
+  writer.writeVarU64(serverTick);
+  writer.writeBytes(update);
+  ser::Frame frame;
+  frame.type = ser::MessageType::kStateUpdate;
+  frame.payload = std::move(writer).take();
+  return frame;
+}
+
+StateUpdateMsg SnapshotCodec::decodeStateUpdate(const ser::Frame& frame) {
+  if (frame.type != ser::MessageType::kStateUpdate) {
+    throw ser::DecodeError("unexpected frame type");
+  }
+  ser::ByteReader reader(frame.payload);
+  StateUpdateMsg msg;
+  msg.serverTick = reader.readVarU64();
+  msg.update = reader.readBytes();
+  return msg;
+}
+
+EntitySnapshot SnapshotCodec::quantized(const EntitySnapshot& snapshot) const {
+  EntitySnapshot out = snapshot;
+  if (profile_.positionScale > 0.0) {
+    out.x = dequant(quant(out.x, profile_.positionScale), profile_.positionScale);
+    out.y = dequant(quant(out.y, profile_.positionScale), profile_.positionScale);
+  }
+  if (profile_.velocityScale > 0.0) {
+    out.vx = dequant(quant(out.vx, profile_.velocityScale), profile_.velocityScale);
+    out.vy = dequant(quant(out.vy, profile_.velocityScale), profile_.velocityScale);
+  }
+  return out;
+}
+
+FieldMask SnapshotCodec::changedFields(const EntitySnapshot& base, const EntitySnapshot& now,
+                                       FieldMask allowed) const {
+  FieldMask mask = 0;
+  if (!scaledEqual(base.x, now.x, profile_.positionScale)) mask |= fieldBit(SnapshotField::kX);
+  if (!scaledEqual(base.y, now.y, profile_.positionScale)) mask |= fieldBit(SnapshotField::kY);
+  if (!scaledEqual(base.vx, now.vx, profile_.velocityScale)) mask |= fieldBit(SnapshotField::kVx);
+  if (!scaledEqual(base.vy, now.vy, profile_.velocityScale)) mask |= fieldBit(SnapshotField::kVy);
+  if (base.health != now.health) mask |= fieldBit(SnapshotField::kHealth);
+  if (base.version != now.version) mask |= fieldBit(SnapshotField::kVersion);
+  if (base.kind != now.kind) mask |= fieldBit(SnapshotField::kKind);
+  if (base.owner != now.owner) mask |= fieldBit(SnapshotField::kOwner);
+  if (base.client != now.client) mask |= fieldBit(SnapshotField::kClient);
+  if (base.appData != now.appData) mask |= fieldBit(SnapshotField::kAppData);
+  return static_cast<FieldMask>(mask & allowed);
+}
+
+// roia-hot
+void SnapshotCodec::writeEntry(ser::ByteWriter& writer, const EntitySnapshot* base,
+                               const EntitySnapshot& now, FieldMask mask) const {
+  static const EntitySnapshot kDefault{};
+  const EntitySnapshot& from = base != nullptr ? *base : kDefault;
+  writer.writeVarU64(mask);
+  for (const SnapshotSchemaRow& row : kSnapshotSchema) {
+    if (row.field == SnapshotField::kId) continue;
+    if ((mask & fieldBit(row.field)) == 0) continue;
+    switch (row.field) {
+      case SnapshotField::kId:
+        break;
+      case SnapshotField::kKind:
+        writer.writeU8(static_cast<std::uint8_t>(now.kind));
+        break;
+      case SnapshotField::kOwner:
+        writer.writeVarU64(now.owner.value);
+        break;
+      case SnapshotField::kClient:
+        writer.writeVarU64(now.client.value);
+        break;
+      case SnapshotField::kX:
+        writeScaledDelta(writer, from.x, now.x, profile_.positionScale);
+        break;
+      case SnapshotField::kY:
+        writeScaledDelta(writer, from.y, now.y, profile_.positionScale);
+        break;
+      case SnapshotField::kVx:
+        writeScaledDelta(writer, from.vx, now.vx, profile_.velocityScale);
+        break;
+      case SnapshotField::kVy:
+        writeScaledDelta(writer, from.vy, now.vy, profile_.velocityScale);
+        break;
+      case SnapshotField::kHealth:
+        writer.writeF32(now.health);
+        break;
+      case SnapshotField::kVersion:
+        writer.writeVarI64(static_cast<std::int64_t>(now.version) -
+                           static_cast<std::int64_t>(from.version));
+        break;
+      case SnapshotField::kAppData:
+        writer.writeBytes(now.appData);
+        break;
+    }
+  }
+}
+
+EntitySnapshot SnapshotCodec::readEntry(ser::ByteReader& reader, EntityId id,
+                                        const SnapshotView* baseline) const {
+  const auto mask = static_cast<FieldMask>(reader.readVarU64());
+  EntitySnapshot s;
+  if (baseline != nullptr) {
+    auto it = baseline->find(id);
+    if (it != baseline->end()) s = it->second;
+  }
+  s.id = id;
+  for (const SnapshotSchemaRow& row : kSnapshotSchema) {
+    if (row.field == SnapshotField::kId) continue;
+    if ((mask & fieldBit(row.field)) == 0) continue;
+    switch (row.field) {
+      case SnapshotField::kId:
+        break;
+      case SnapshotField::kKind:
+        s.kind = static_cast<EntityKind>(reader.readU8());
+        break;
+      case SnapshotField::kOwner:
+        s.owner = ServerId{reader.readVarU64()};
+        break;
+      case SnapshotField::kClient:
+        s.client = ClientId{reader.readVarU64()};
+        break;
+      case SnapshotField::kX:
+        s.x = readScaledDelta(reader, s.x, profile_.positionScale);
+        break;
+      case SnapshotField::kY:
+        s.y = readScaledDelta(reader, s.y, profile_.positionScale);
+        break;
+      case SnapshotField::kVx:
+        s.vx = readScaledDelta(reader, s.vx, profile_.velocityScale);
+        break;
+      case SnapshotField::kVy:
+        s.vy = readScaledDelta(reader, s.vy, profile_.velocityScale);
+        break;
+      case SnapshotField::kHealth:
+        s.health = reader.readF32();
+        break;
+      case SnapshotField::kVersion:
+        s.version = static_cast<std::uint64_t>(static_cast<std::int64_t>(s.version) +
+                                               reader.readVarI64());
+        break;
+      case SnapshotField::kAppData:
+        s.appData = reader.readBytes();
+        break;
+    }
+  }
+  return s;
+}
+
+BaselineSender::EncodeResult BaselineSender::encodeView(std::uint64_t tick, SnapshotView view,
+                                                        std::span<const EntityId> removed,
+                                                        ser::ByteWriter& out) {
+  const ReplicationProfile& profile = codec_->profile();
+  for (auto& [id, snap] : view) snap = codec_->quantized(snap);
+
+  const bool baselineUsable = hasAcked_ && tick >= ackedTick_ &&
+                              tick - ackedTick_ <= profile.baselineAckWindow &&
+                              sent_.find(ackedTick_) != sent_.end();
+  const bool periodicDue =
+      !sentAny_ || profile.keyframeInterval == 0 || tick - lastKeyframeTick_ >= profile.keyframeInterval;
+  const bool keyframe = !baselineUsable || periodicDue;
+
+  out.writeU8(keyframe ? 1 : 0);
+  out.writeVarU64(tick);
+  const SnapshotView* baseline = nullptr;
+  if (!keyframe) {
+    out.writeVarU64(ackedTick_);
+    baseline = &sent_.at(ackedTick_);
+  }
+
+  // Entries walk the view in ascending id order (std::map), so ids are
+  // gap-encoded: the first absolute, the rest as the (positive) difference
+  // from the previous entry — one byte for dense id ranges.
+  out.writeVarU64(view.size());
+  std::uint64_t prevId = 0;
+  for (const auto& [id, snap] : view) {
+    out.writeVarU64(id.value - prevId);
+    prevId = id.value;
+    const EntitySnapshot* base = nullptr;
+    if (baseline != nullptr) {
+      auto it = baseline->find(id);
+      if (it != baseline->end()) base = &it->second;
+    }
+    static const EntitySnapshot kDefault{};
+    const FieldMask mask = codec_->changedFields(base != nullptr ? *base : kDefault, snap, fields_);
+    codec_->writeEntry(out, base, snap, mask);
+  }
+  std::vector<std::uint64_t> removedIds;
+  removedIds.reserve(removed.size());
+  for (const EntityId id : removed) removedIds.push_back(id.value);
+  std::sort(removedIds.begin(), removedIds.end());
+  out.writeVarU64(removedIds.size());
+  prevId = 0;
+  for (const std::uint64_t id : removedIds) {
+    out.writeVarU64(id - prevId);
+    prevId = id;
+  }
+
+  const EncodeResult result{keyframe, view.size()};
+  if (keyframe) lastKeyframeTick_ = tick;
+  sentAny_ = true;
+  sent_.insert_or_assign(tick, std::move(view));
+
+  // Retained views are bounded: keep enough history to cover acks that are
+  // still in flight, never evicting the acked baseline itself.
+  const std::size_t cap = static_cast<std::size_t>(2 * profile.baselineAckWindow + 2);
+  while (sent_.size() > cap) {
+    auto it = sent_.begin();
+    if (hasAcked_ && it->first == ackedTick_) ++it;
+    if (it == sent_.end()) break;
+    sent_.erase(it);
+  }
+  return result;
+}
+
+void BaselineSender::onAck(std::uint64_t tick) {
+  // Acks for ticks we never sent (stale acks from a previous incarnation of
+  // this link after re-homing or crash recovery) must not poison the
+  // baseline selection.
+  if (sent_.find(tick) == sent_.end()) return;
+  if (hasAcked_ && tick <= ackedTick_) return;
+  ackedTick_ = tick;
+  hasAcked_ = true;
+  sent_.erase(sent_.begin(), sent_.lower_bound(tick));
+}
+
+std::optional<BaselineReceiver::DecodedView> BaselineReceiver::decodeView(
+    std::span<const std::uint8_t> payload) {
+  ser::ByteReader reader(payload);
+  const std::uint8_t flags = reader.readU8();
+  const bool keyframe = (flags & 1u) != 0;
+  const std::uint64_t tick = reader.readVarU64();
+  if (hasLatest_ && tick <= latest_) return std::nullopt;
+
+  const SnapshotView* baseline = nullptr;
+  if (!keyframe) {
+    const std::uint64_t baselineTick = reader.readVarU64();
+    auto it = views_.find(baselineTick);
+    // Baseline lost (the ack for it raced a drop): skip the frame; the
+    // sender keyframes once its ack window expires.
+    if (it == views_.end()) return std::nullopt;
+    baseline = &it->second;
+  }
+
+  const std::uint64_t count = reader.readVarU64();
+  // Every entry occupies multiple bytes; a count beyond the remaining
+  // payload is malformed (and must not drive a huge allocation).
+  if (count > reader.remaining()) throw ser::DecodeError("implausible entry count");
+  SnapshotView view;
+  std::uint64_t prevId = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t gap = reader.readVarU64();
+    if (i > 0 && gap == 0) throw ser::DecodeError("non-ascending entry id");
+    const EntityId id{prevId + gap};
+    prevId = id.value;
+    view.insert_or_assign(id, codec_->readEntry(reader, id, baseline));
+  }
+  const std::uint64_t removedCount = reader.readVarU64();
+  if (removedCount > reader.remaining()) throw ser::DecodeError("implausible removed count");
+  std::vector<EntityId> removed;
+  removed.reserve(removedCount);
+  prevId = 0;
+  for (std::uint64_t i = 0; i < removedCount; ++i) {
+    prevId += reader.readVarU64();
+    removed.push_back(EntityId{prevId});
+  }
+
+  latest_ = tick;
+  hasLatest_ = true;
+  auto [stored, inserted] = views_.insert_or_assign(tick, std::move(view));
+  (void)inserted;
+  const std::uint64_t keep = 2 * codec_->profile().baselineAckWindow + 2;
+  while (!views_.empty() && views_.begin()->first + keep < latest_) {
+    views_.erase(views_.begin());
+  }
+  return DecodedView{tick, keyframe, &stored->second, std::move(removed)};
+}
+
+void BaselineReceiver::reset() {
+  views_.clear();
+  latest_ = 0;
+  hasLatest_ = false;
+}
+
+}  // namespace roia::rtf

@@ -1,0 +1,243 @@
+// Schema-driven snapshot codec: one per-field schema table drives the full
+// (legacy wire-compatible) encoding, the delta encoding, and the lint-level
+// coverage check, so a field added to EntitySnapshot cannot silently skip
+// the wire.
+//
+// Full mode writes every field of every entity each tick — byte-identical
+// to the original free-function codec. Delta mode encodes a *view* (the
+// entity set one link is interested in) against an acked baseline view
+// retained per link: each entry carries a bit-packed field-presence mask
+// and only the fields that changed since the baseline, with positions and
+// velocities quantized to fixed-point lattices and transmitted as zigzag
+// varint deltas. When no ack lands inside the baseline window the sender
+// falls back to a keyframe (a delta against the implicit default view), so
+// drops, migration, zone handoff and crash recovery all resync through the
+// existing transport without a side channel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rtf/entity.hpp"
+#include "serialize/message.hpp"
+
+namespace roia::rtf {
+
+/// Which snapshot codec a server (and its clients/replica peers) runs.
+enum class ReplicationCodec : std::uint8_t {
+  kFull = 0,   ///< full entity state every tick (the paper's baseline)
+  kDelta = 1,  ///< baseline-tracked masked deltas with quantization
+};
+
+/// Replication knobs carried by ServerConfig and mirrored to clients by the
+/// cluster, so both ends of every link agree on the wire format.
+struct ReplicationProfile {
+  ReplicationCodec codec{ReplicationCodec::kFull};
+  /// Fixed-point lattice units per world unit for x/y; <= 0 keeps exact
+  /// F32 (replica links always use the exact variant, see Server).
+  double positionScale{16.0};
+  /// Lattice units per world-unit-per-second for vx/vy; <= 0 exact.
+  double velocityScale{8.0};
+  /// A keyframe is forced every this many ticks even with a live baseline,
+  /// bounding the damage of an undetected sender/receiver divergence.
+  std::uint64_t keyframeInterval{64};
+  /// Without an ack newer than tick - window the sender stops trusting its
+  /// baseline and keyframes until acks resume.
+  std::uint64_t baselineAckWindow{16};
+  /// CPU cost (reference microseconds) per entity gathered into a delta
+  /// view — the delta analogue of suGatherPerEntityCost.
+  double deltaGatherPerEntityCost{0.25};
+};
+
+/// Field identities of EntitySnapshot. Mask bit = 1 << value; bits are
+/// ordered by change frequency (movement first) so the common masks fit a
+/// one-byte varint, independent of the wire order fixed by kSnapshotSchema.
+enum class SnapshotField : std::uint8_t {
+  kX = 0,
+  kY = 1,
+  kVx = 2,
+  kVy = 3,
+  kHealth = 4,
+  kVersion = 5,
+  kKind = 6,
+  kOwner = 7,
+  kClient = 8,
+  kAppData = 9,
+  kId,  ///< the entry key: always written, never masked
+};
+
+using FieldMask = std::uint16_t;
+
+[[nodiscard]] constexpr FieldMask fieldBit(SnapshotField field) {
+  return static_cast<FieldMask>(1u << static_cast<unsigned>(field));
+}
+
+/// Every maskable field (replica links: shadows mirror owner state exactly).
+inline constexpr FieldMask kAllFields = 0x3FF;
+/// What a game client needs: pose, health, and the owning client id (how a
+/// client recognises its own avatar in the view). Velocity is excluded to
+/// match the information content of the full-codec client update, which
+/// carries {id, x, y, health} only; `version` is excluded deliberately — it
+/// bumps every tick and would cost a mask bit per entry.
+inline constexpr FieldMask kClientViewFields =
+    fieldBit(SnapshotField::kX) | fieldBit(SnapshotField::kY) |
+    fieldBit(SnapshotField::kHealth) | fieldBit(SnapshotField::kClient);
+
+/// The entity set one link sees, keyed by id (ordered: encode order and
+/// equality checks are deterministic).
+using SnapshotView = std::map<EntityId, EntitySnapshot>;
+
+/// Server -> client: filtered world delta produced by the application.
+struct StateUpdateMsg {
+  std::uint64_t serverTick{0};
+  std::vector<std::uint8_t> update;  // application-defined encoding
+};
+
+/// One row of the snapshot schema: a field identity plus the EntitySnapshot
+/// member name it serializes (the name is what roia-lint checks coverage
+/// against). Row order in kSnapshotSchema *is* the wire order.
+struct SnapshotSchemaRow {
+  SnapshotField field;
+  const char* name;
+};
+
+/// The schema table, in wire order (see snapshot_codec.cpp).
+[[nodiscard]] std::span<const SnapshotSchemaRow> snapshotSchema();
+
+class SnapshotCodec {
+ public:
+  SnapshotCodec() = default;
+  explicit SnapshotCodec(const ReplicationProfile& profile) : profile_(profile) {}
+
+  [[nodiscard]] const ReplicationProfile& profile() const { return profile_; }
+
+  // --- full codec (profile-independent; byte-identical to the legacy
+  // free functions, so default-mode harness output never moves) ---
+
+  /// Writes every field of `snapshot` in schema order.
+  static void writeSnapshot(ser::ByteWriter& writer, const EntitySnapshot& snapshot);
+  [[nodiscard]] static EntitySnapshot readSnapshot(ser::ByteReader& reader);
+
+  /// Frames an application-encoded state update (hot path: encodes straight
+  /// from the server's reused scratch buffer).
+  [[nodiscard]] static ser::Frame encodeStateUpdate(std::uint64_t serverTick,
+                                                    std::span<const std::uint8_t> update);
+  [[nodiscard]] static StateUpdateMsg decodeStateUpdate(const ser::Frame& frame);
+
+  // --- delta building blocks (profile-dependent) ---
+
+  /// Snaps x/y (positionScale) and vx/vy (velocityScale) onto their
+  /// fixed-point lattices; scales <= 0 leave the field exact. Senders
+  /// quantize views before diffing so baselines match what receivers hold.
+  [[nodiscard]] EntitySnapshot quantized(const EntitySnapshot& snapshot) const;
+
+  /// Mask of fields (within `allowed`) whose encoded value differs between
+  /// `base` and `now`. Scaled fields compare on the lattice.
+  [[nodiscard]] FieldMask changedFields(const EntitySnapshot& base, const EntitySnapshot& now,
+                                        FieldMask allowed) const;
+
+  /// Writes one delta entry: mask, then the masked fields in schema order.
+  /// The entry's id is written by the caller (BaselineSender gap-encodes
+  /// ascending ids). `base` is the baseline entry (nullptr = implicit
+  /// default, used by keyframes and spawns).
+  void writeEntry(ser::ByteWriter& writer, const EntitySnapshot* base, const EntitySnapshot& now,
+                  FieldMask mask) const;
+
+  /// Reads one delta entry for `id` (already decoded by the caller). The
+  /// base is looked up by id in `baseline` (nullptr or missing id =
+  /// implicit default).
+  [[nodiscard]] EntitySnapshot readEntry(ser::ByteReader& reader, EntityId id,
+                                         const SnapshotView* baseline) const;
+
+ private:
+  ReplicationProfile profile_{};
+};
+
+/// Per-link delta sender: retains the quantized views it has sent, keyed by
+/// tick, and diffs each new view against the newest acked one. Falls back
+/// to keyframes when the ack stream stalls (baselineAckWindow) or on the
+/// periodic schedule (keyframeInterval).
+class BaselineSender {
+ public:
+  BaselineSender(const SnapshotCodec& codec, FieldMask fields)
+      : codec_(&codec), fields_(fields) {}
+
+  struct EncodeResult {
+    bool keyframe{false};
+    std::size_t entities{0};
+  };
+
+  /// Encodes `view` for `tick` into `out` and retains it as a future
+  /// baseline. `removed` lists ids that left the sender's responsibility
+  /// entirely (world removals, not view exits — receivers treat absence
+  /// from the view as "out of interest", not "gone").
+  EncodeResult encodeView(std::uint64_t tick, SnapshotView view, std::span<const EntityId> removed,
+                          ser::ByteWriter& out);
+
+  /// Acknowledges that the receiver holds the view of `tick`. Acks for
+  /// ticks this sender never sent (stale acks after re-homing or crash
+  /// recovery) are ignored.
+  void onAck(std::uint64_t tick);
+
+  [[nodiscard]] bool hasAcked() const { return hasAcked_; }
+  [[nodiscard]] std::uint64_t ackedTick() const { return ackedTick_; }
+  [[nodiscard]] const SnapshotView* sentView(std::uint64_t tick) const {
+    auto it = sent_.find(tick);
+    return it != sent_.end() ? &it->second : nullptr;
+  }
+
+ private:
+  const SnapshotCodec* codec_;
+  FieldMask fields_;
+  std::map<std::uint64_t, SnapshotView> sent_;
+  std::uint64_t ackedTick_{0};
+  bool hasAcked_{false};
+  std::uint64_t lastKeyframeTick_{0};
+  bool sentAny_{false};
+};
+
+/// Per-link delta receiver: reconstructs views from keyframes/deltas,
+/// retains them as baselines, and rejects frames it cannot apply (stale
+/// tick, missing baseline after a drop) — the sender heals via keyframe
+/// once the ack window expires.
+class BaselineReceiver {
+ public:
+  BaselineReceiver() = default;
+  explicit BaselineReceiver(const SnapshotCodec& codec) : codec_(&codec) {}
+
+  struct DecodedView {
+    std::uint64_t serverTick{0};
+    bool keyframe{false};
+    /// Owned by the receiver; valid until the next decodeView/reset.
+    const SnapshotView* view{nullptr};
+    std::vector<EntityId> removed;
+  };
+
+  /// Applies one view payload. Returns nullopt when the frame is not
+  /// applicable (stale tick or unknown baseline); throws ser::DecodeError
+  /// on malformed bytes.
+  std::optional<DecodedView> decodeView(std::span<const std::uint8_t> payload);
+
+  /// Drops all baselines and the tick watermark (client re-homing, replica
+  /// link reset after crash recovery).
+  void reset();
+
+  [[nodiscard]] bool hasView() const { return hasLatest_; }
+  [[nodiscard]] std::uint64_t latestTick() const { return latest_; }
+  [[nodiscard]] const SnapshotView* latestView() const {
+    auto it = views_.find(latest_);
+    return hasLatest_ && it != views_.end() ? &it->second : nullptr;
+  }
+
+ private:
+  const SnapshotCodec* codec_{nullptr};
+  std::map<std::uint64_t, SnapshotView> views_;
+  std::uint64_t latest_{0};
+  bool hasLatest_{false};
+};
+
+}  // namespace roia::rtf

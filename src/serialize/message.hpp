@@ -34,6 +34,9 @@ enum class MessageType : std::uint16_t {
   kZoneHandoffAck = 14,    // server -> server: cross-zone adoption confirmed
   kBorderSync = 15,        // server -> server: border-entity state for
                            // cross-zone AOI shadows (best-effort)
+  kViewUpdate = 16,        // server -> client: delta-codec view payload
+  kViewReplication = 17,   // server -> server: delta-codec replica view
+  kReplicationAck = 18,    // receiver -> sender: delta baseline ack
 };
 
 /// An encoded frame plus its decoded header, as seen by the network layer.

@@ -1,0 +1,17 @@
+// Fixture: snapshot struct whose schema table (snapshot_codec.cpp beside
+// this file) drops two fields — vx and health must be flagged here.
+#pragma once
+
+#include <cstdint>
+
+namespace roia::rtf {
+
+struct EntitySnapshot {
+  std::uint64_t id{0};
+  float x{0.0F};
+  float y{0.0F};
+  float vx{0.0F};
+  float health{100.0F};
+};
+
+}  // namespace roia::rtf

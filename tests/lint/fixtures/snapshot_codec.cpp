@@ -1,0 +1,20 @@
+// Fixture: kSnapshotSchema misses EntitySnapshot.vx and .health — the
+// schema-coverage rule must flag both at their entity.hpp lines.
+#include "entity.hpp"
+
+namespace roia::rtf {
+
+enum class SnapshotField { kId, kX, kY, kVx, kHealth };
+
+struct SnapshotSchemaRow {
+  SnapshotField field;
+  const char* name;
+};
+
+constexpr SnapshotSchemaRow kSnapshotSchema[] = {
+    {SnapshotField::kId, "id"},
+    {SnapshotField::kX, "x"},
+    {SnapshotField::kY, "y"},
+};
+
+}  // namespace roia::rtf

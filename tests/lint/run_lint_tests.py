@@ -36,6 +36,8 @@ EXPECTED_FINDINGS = {
     ("hot_alloc_bad.cpp", 8, "hot-path-alloc"),  # std::to_string (dedup'd in set)
     ("hot_alloc_bad.cpp", 9, "hot-path-alloc"),
     ("messages.hpp", 13, "serialization-coverage"),
+    ("entity.hpp", 13, "serialization-coverage"),   # EntitySnapshot.vx
+    ("entity.hpp", 14, "serialization-coverage"),   # EntitySnapshot.health
     ("ordered_iteration_bad.cpp", 10, "ordered-iteration"),
     ("suppression_missing_reason.cpp", 6, "bad-suppression"),
     ("suppression_missing_reason.cpp", 6, "determinism"),

@@ -1,0 +1,474 @@
+// Snapshot codec tests: full-mode wire compatibility with the legacy
+// layout, delta entry round-trips, quantization error bounds, baseline
+// sender/receiver resync over lossy links, and cluster-level properties
+// (full-vs-delta run equivalence on a clean network, shadow consistency
+// under chaos with the delta codec).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "game/bots.hpp"
+#include "game/fps_app.hpp"
+#include "net/fault.hpp"
+#include "rtf/cluster.hpp"
+#include "rtf/snapshot_codec.hpp"
+#include "serialize/byte_buffer.hpp"
+
+namespace roia::rtf {
+namespace {
+
+EntitySnapshot sampleSnapshot() {
+  EntitySnapshot s;
+  s.id = EntityId{42};
+  s.kind = EntityKind::kNpc;
+  s.owner = ServerId{3};
+  s.client = ClientId{7};
+  s.x = 123.625f;
+  s.y = -45.0f;
+  s.vx = 1.5f;
+  s.vy = -2.25f;
+  s.health = 87.5f;
+  s.version = 19;
+  s.appData = {0xde, 0xad, 0xbe};
+  return s;
+}
+
+void expectSnapshotEq(const EntitySnapshot& a, const EntitySnapshot& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.owner, b.owner);
+  EXPECT_EQ(a.client, b.client);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.vx, b.vx);
+  EXPECT_EQ(a.vy, b.vy);
+  EXPECT_EQ(a.health, b.health);
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.appData, b.appData);
+}
+
+TEST(SnapshotCodecTest, FullEncodingMatchesLegacyLayout) {
+  const EntitySnapshot s = sampleSnapshot();
+  ser::ByteWriter viaSchema;
+  SnapshotCodec::writeSnapshot(viaSchema, s);
+
+  // The legacy free-function layout, written by hand: id, kind, owner,
+  // client, x, y, vx, vy, health, version, appData.
+  ser::ByteWriter legacy;
+  legacy.writeVarU64(s.id.value);
+  legacy.writeU8(static_cast<std::uint8_t>(s.kind));
+  legacy.writeVarU64(s.owner.value);
+  legacy.writeVarU64(s.client.value);
+  legacy.writeF32(s.x);
+  legacy.writeF32(s.y);
+  legacy.writeF32(s.vx);
+  legacy.writeF32(s.vy);
+  legacy.writeF32(s.health);
+  legacy.writeVarU64(s.version);
+  legacy.writeBytes(s.appData);
+
+  EXPECT_EQ(std::move(viaSchema).take(), std::move(legacy).take());
+}
+
+TEST(SnapshotCodecTest, FullRoundTripPreservesEveryField) {
+  const EntitySnapshot s = sampleSnapshot();
+  ser::ByteWriter writer;
+  SnapshotCodec::writeSnapshot(writer, s);
+  const std::vector<std::uint8_t> bytes = std::move(writer).take();
+  ser::ByteReader reader(bytes);
+  expectSnapshotEq(SnapshotCodec::readSnapshot(reader), s);
+  EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(SnapshotCodecTest, SchemaCoversEveryFieldExactlyOnce) {
+  const auto rows = snapshotSchema();
+  ASSERT_EQ(rows.size(), 11u);
+  FieldMask seen = 0;
+  bool sawId = false;
+  for (const SnapshotSchemaRow& row : rows) {
+    if (row.field == SnapshotField::kId) {
+      EXPECT_FALSE(sawId);
+      sawId = true;
+      continue;
+    }
+    const FieldMask bit = fieldBit(row.field);
+    EXPECT_EQ(seen & bit, 0) << "duplicate schema row for " << row.name;
+    seen |= bit;
+  }
+  EXPECT_TRUE(sawId);
+  EXPECT_EQ(seen, kAllFields);
+}
+
+TEST(SnapshotCodecTest, DeltaEntryRoundTripAgainstBaseline) {
+  const SnapshotCodec codec{ReplicationProfile{}};
+  // Sender-side state is quantized before diffing, mirroring encodeView.
+  const EntitySnapshot base = codec.quantized(sampleSnapshot());
+  EntitySnapshot now = base;
+  now.x += 5.0f;
+  now.health = 31.0f;
+  now.version += 3;
+  now = codec.quantized(now);
+
+  const FieldMask mask = codec.changedFields(base, now, kAllFields);
+  EXPECT_EQ(mask, fieldBit(SnapshotField::kX) | fieldBit(SnapshotField::kHealth) |
+                      fieldBit(SnapshotField::kVersion));
+
+  ser::ByteWriter writer;
+  codec.writeEntry(writer, &base, now, mask);
+  const std::vector<std::uint8_t> bytes = std::move(writer).take();
+
+  SnapshotView baseline;
+  baseline.emplace(base.id, base);
+  ser::ByteReader reader(bytes);
+  expectSnapshotEq(codec.readEntry(reader, base.id, &baseline), now);
+  EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(SnapshotCodecTest, DeltaEntryFromImplicitDefaultBaseline) {
+  const SnapshotCodec codec{ReplicationProfile{}};
+  const EntitySnapshot now = codec.quantized(sampleSnapshot());
+  const EntitySnapshot base{};  // keyframe / spawn: implicit default
+  const FieldMask mask = codec.changedFields(base, now, kAllFields);
+
+  ser::ByteWriter writer;
+  codec.writeEntry(writer, nullptr, now, mask);
+  const std::vector<std::uint8_t> bytes = std::move(writer).take();
+
+  ser::ByteReader reader(bytes);
+  EntitySnapshot decoded = codec.readEntry(reader, now.id, nullptr);
+  expectSnapshotEq(decoded, now);
+}
+
+TEST(SnapshotCodecTest, QuantizationErrorIsBoundedByHalfStep) {
+  // Non-power-of-two scales included on purpose: the bound must come from
+  // symmetric rounding, not from binary-exact lattice coincidences.
+  for (const double scale : {16.0, 8.0, 10.0, 3.0, 7.5}) {
+    ReplicationProfile profile;
+    profile.positionScale = scale;
+    profile.velocityScale = scale;
+    const SnapshotCodec codec{profile};
+    const double bound = 0.5 / scale + 1e-6;
+    for (float v = -100.0f; v <= 100.0f; v += 0.37f) {
+      EntitySnapshot s;
+      s.x = v;
+      s.y = -v;
+      s.vx = v * 0.25f;
+      s.vy = -v * 0.25f;
+      const EntitySnapshot q = codec.quantized(s);
+      EXPECT_LE(std::abs(static_cast<double>(q.x) - static_cast<double>(s.x)), bound)
+          << "scale " << scale << " value " << v;
+      EXPECT_LE(std::abs(static_cast<double>(q.y) - static_cast<double>(s.y)), bound);
+      EXPECT_LE(std::abs(static_cast<double>(q.vx) - static_cast<double>(s.vx)), bound);
+      EXPECT_LE(std::abs(static_cast<double>(q.vy) - static_cast<double>(s.vy)), bound);
+    }
+  }
+}
+
+TEST(SnapshotCodecTest, NonPositiveScaleKeepsValuesExact) {
+  ReplicationProfile profile;
+  profile.positionScale = 0.0;
+  profile.velocityScale = 0.0;
+  const SnapshotCodec codec{profile};
+  const EntitySnapshot s = sampleSnapshot();
+  expectSnapshotEq(codec.quantized(s), s);
+}
+
+TEST(SnapshotCodecTest, ChangedFieldsComparesOnTheLattice) {
+  const SnapshotCodec codec{ReplicationProfile{}};  // positionScale 16
+  EntitySnapshot base = codec.quantized(sampleSnapshot());
+  EntitySnapshot below = base;
+  below.x += 0.01f;  // far less than half a 1/16 lattice step
+  EXPECT_EQ(codec.changedFields(base, below, kAllFields), 0);
+  EntitySnapshot above = base;
+  above.x += 0.2f;  // more than one lattice step
+  EXPECT_EQ(codec.changedFields(base, above, kAllFields), fieldBit(SnapshotField::kX));
+}
+
+// --- baseline sender/receiver --------------------------------------------
+
+struct Link {
+  SnapshotCodec codec;
+  BaselineSender sender;
+  BaselineReceiver receiver;
+
+  explicit Link(ReplicationProfile profile = {}, FieldMask fields = kAllFields)
+      : codec(profile), sender(codec, fields), receiver(codec) {}
+
+  /// Encodes `view` at `tick`; delivers and acks when `deliver` is set.
+  /// Returns the decoded view when one was applied.
+  std::optional<BaselineReceiver::DecodedView> step(std::uint64_t tick, const SnapshotView& view,
+                                                    std::vector<EntityId> removed = {},
+                                                    bool deliver = true) {
+    ser::ByteWriter out;
+    sender.encodeView(tick, view, removed, out);
+    const std::vector<std::uint8_t> payload = std::move(out).take();
+    if (!deliver) return std::nullopt;
+    auto decoded = receiver.decodeView(payload);
+    if (decoded.has_value()) sender.onAck(decoded->serverTick);
+    return decoded;
+  }
+};
+
+SnapshotView quantizedView(const SnapshotCodec& codec, const SnapshotView& view) {
+  SnapshotView out;
+  for (const auto& [id, snap] : view) out.emplace(id, codec.quantized(snap));
+  return out;
+}
+
+void expectViewEq(const SnapshotView& got, const SnapshotView& want) {
+  ASSERT_EQ(got.size(), want.size());
+  auto it = want.begin();
+  for (const auto& [id, snap] : got) {
+    ASSERT_EQ(id, it->first);
+    expectSnapshotEq(snap, it->second);
+    ++it;
+  }
+}
+
+SnapshotView makeView(std::initializer_list<std::uint64_t> ids) {
+  SnapshotView view;
+  for (const std::uint64_t id : ids) {
+    EntitySnapshot s = sampleSnapshot();
+    s.id = EntityId{id};
+    s.x = static_cast<float>(id) * 3.1f;
+    s.y = static_cast<float>(id) * -1.7f;
+    view.emplace(s.id, s);
+  }
+  return view;
+}
+
+TEST(BaselineLinkTest, KeyframeThenDeltasReconstructSpawnsMovesAndDespawns) {
+  Link link;
+  SnapshotView view = makeView({1, 2, 5});
+
+  auto first = link.step(1, view);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->keyframe);
+  expectViewEq(*first->view, quantizedView(link.codec, view));
+
+  // Move an entity and spawn a new one: the next frame is a delta.
+  view.at(EntityId{2}).x += 10.0f;
+  view.emplace(EntityId{9}, [] {
+    EntitySnapshot s = sampleSnapshot();
+    s.id = EntityId{9};
+    return s;
+  }());
+  auto second = link.step(2, view);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->keyframe);
+  expectViewEq(*second->view, quantizedView(link.codec, view));
+
+  // Despawn: the entity leaves the view and is announced as removed.
+  view.erase(EntityId{5});
+  auto third = link.step(3, view, {EntityId{5}});
+  ASSERT_TRUE(third.has_value());
+  EXPECT_FALSE(third->keyframe);
+  ASSERT_EQ(third->removed.size(), 1u);
+  EXPECT_EQ(third->removed.front(), EntityId{5});
+  expectViewEq(*third->view, quantizedView(link.codec, view));
+}
+
+TEST(BaselineLinkTest, DeltaFramesAreSmallerThanKeyframes) {
+  Link link;
+  SnapshotView view = makeView({1, 2, 3, 4, 5, 6, 7, 8});
+  ser::ByteWriter key;
+  link.sender.encodeView(1, view, {}, key);
+  ASSERT_TRUE(link.receiver.decodeView(key.bytes()).has_value());
+  link.sender.onAck(1);
+
+  view.at(EntityId{3}).x += 1.0f;  // one entity moved one world unit
+  ser::ByteWriter delta;
+  link.sender.encodeView(2, view, {}, delta);
+  EXPECT_LT(delta.size() * 4, key.size());
+}
+
+TEST(BaselineLinkTest, KeyframeResyncAfterAckLoss) {
+  ReplicationProfile profile;
+  profile.baselineAckWindow = 4;
+  profile.keyframeInterval = 1000;  // periodic keyframes out of the way
+  Link link(profile);
+  SnapshotView view = makeView({1, 2});
+
+  ASSERT_TRUE(link.step(1, view).has_value());  // delivered + acked
+
+  // The link goes dark: frames (and therefore acks) are lost. The sender
+  // keeps diffing against tick 1 while the window allows it...
+  for (std::uint64_t tick = 2; tick <= 5; ++tick) {
+    view.at(EntityId{1}).x += 1.0f;
+    link.step(tick, view, {}, /*deliver=*/false);
+  }
+  // ...then falls back to keyframes once the ack is older than the window.
+  view.at(EntityId{1}).x += 1.0f;
+  ser::ByteWriter out;
+  const auto result = link.sender.encodeView(6, view, {}, out);
+  EXPECT_TRUE(result.keyframe);
+
+  // The receiver lost every frame since tick 1, yet the keyframe applies
+  // (no baseline needed) and fully resyncs the view.
+  auto decoded = link.receiver.decodeView(out.bytes());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->keyframe);
+  expectViewEq(*decoded->view, quantizedView(link.codec, view));
+}
+
+TEST(BaselineLinkTest, StaleFramesAndUnknownBaselinesAreSkippedNotApplied) {
+  Link link;
+  SnapshotView view = makeView({1});
+
+  ser::ByteWriter first;
+  link.sender.encodeView(5, view, {}, first);
+  ASSERT_TRUE(link.receiver.decodeView(first.bytes()).has_value());
+  link.sender.onAck(5);
+
+  // A reordered copy of an old tick must not regress the receiver.
+  EXPECT_FALSE(link.receiver.decodeView(first.bytes()).has_value());
+
+  // A delta against a baseline the receiver never applied is skipped: the
+  // sender acked tick 6 (say, the ack raced a drop of the frame itself).
+  view.at(EntityId{1}).x += 1.0f;
+  ser::ByteWriter lost;
+  link.sender.encodeView(6, view, {}, lost);
+  link.sender.onAck(6);
+  view.at(EntityId{1}).x += 1.0f;
+  ser::ByteWriter delta;
+  link.sender.encodeView(7, view, {}, delta);
+  EXPECT_FALSE(link.receiver.decodeView(delta.bytes()).has_value());
+}
+
+TEST(BaselineLinkTest, AcksForNeverSentTicksAreIgnored) {
+  Link link;
+  link.sender.onAck(999);  // stale ack from a previous link incarnation
+  EXPECT_FALSE(link.sender.hasAcked());
+  SnapshotView view = makeView({1});
+  ser::ByteWriter out;
+  EXPECT_TRUE(link.sender.encodeView(1, view, {}, out).keyframe);
+}
+
+TEST(BaselineLinkTest, MalformedPayloadsThrowInsteadOfSmearing) {
+  Link link;
+  // An implausible entry count must not drive a huge allocation.
+  ser::ByteWriter bogus;
+  bogus.writeU8(1);          // keyframe
+  bogus.writeVarU64(1);      // tick
+  bogus.writeVarU64(1u << 20);  // entry count far beyond the payload
+  EXPECT_THROW(link.receiver.decodeView(bogus.bytes()), ser::DecodeError);
+
+  // Non-ascending entry ids (a zero gap after the first entry) are wire
+  // corruption by construction.
+  ser::ByteWriter dup;
+  dup.writeU8(1);
+  dup.writeVarU64(2);
+  dup.writeVarU64(2);   // two entries
+  dup.writeVarU64(7);   // id 7
+  dup.writeVarU64(0);   // empty mask
+  dup.writeVarU64(0);   // zero gap -> id 7 again
+  EXPECT_THROW(link.receiver.decodeView(dup.bytes()), ser::DecodeError);
+}
+
+// --- cluster-level properties --------------------------------------------
+
+struct EntityState {
+  std::uint64_t id{0};
+  double x{0}, y{0}, vx{0}, vy{0}, health{0};
+  std::uint64_t version{0};
+  bool operator==(const EntityState&) const = default;
+};
+
+std::vector<std::vector<EntityState>> runScenario(ReplicationCodec codec, std::uint64_t seed,
+                                                  std::size_t bots) {
+  game::FpsApplication app;
+  ClusterConfig config;
+  config.serverTemplate.replication.codec = codec;
+  config.seed = seed;
+  Cluster cluster(app, config);
+  const ZoneId zone = cluster.createZone("arena");
+  cluster.addServer(zone);
+  cluster.addServer(zone);
+  for (std::size_t i = 0; i < bots; ++i) {
+    cluster.connectClient(zone, std::make_unique<game::BotProvider>());
+  }
+  cluster.run(SimDuration::seconds(3));
+
+  std::vector<std::vector<EntityState>> worlds;
+  for (const ServerId id : cluster.serverIds()) {
+    std::vector<EntityState> entities;
+    cluster.server(id).world().forEach([&](const auto& e) {
+      entities.push_back(EntityState{e.id.value, e.position.x, e.position.y, e.velocity.x,
+                                     e.velocity.y, e.health, e.version});
+    });
+    worlds.push_back(std::move(entities));
+  }
+  return worlds;
+}
+
+// The delta codec changes the wire, not the game: bots decide from the id
+// set they see, the view carries the same information as the full update,
+// and quantization only affects what clients *display*. A full-mode run and
+// a delta-mode run from the same seed must therefore produce bit-identical
+// authoritative worlds.
+TEST(ReplicationPropertyTest, FullAndDeltaRunsAreEquivalentOnACleanNetwork) {
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    for (const std::size_t bots : {4ull, 10ull}) {
+      const auto full = runScenario(ReplicationCodec::kFull, seed, bots);
+      const auto delta = runScenario(ReplicationCodec::kDelta, seed, bots);
+      ASSERT_EQ(full.size(), delta.size());
+      for (std::size_t s = 0; s < full.size(); ++s) {
+        EXPECT_EQ(full[s], delta[s]) << "seed " << seed << " bots " << bots << " server " << s;
+      }
+    }
+  }
+}
+
+// Chaos on the replica links breaks baselines; the ack-window keyframe
+// fallback must heal every shadow once the network recovers. Cross-mode
+// equality does NOT hold under faults (drops perturb the two runs
+// differently), so this checks delta-mode self-consistency instead.
+TEST(ReplicationPropertyTest, DeltaShadowsReconvergeAfterChaosHeals) {
+  game::FpsApplication app;
+  ClusterConfig config;
+  config.serverTemplate.replication.codec = ReplicationCodec::kDelta;
+  config.seed = 0xC0DEC;
+  Cluster cluster(app, config);
+  const ZoneId zone = cluster.createZone("arena");
+  const ServerId a = cluster.addServer(zone);
+  const ServerId b = cluster.addServer(zone);
+  for (int i = 0; i < 8; ++i) {
+    cluster.connectClient(zone, std::make_unique<game::BotProvider>());
+  }
+  cluster.run(SimDuration::seconds(1));
+
+  net::FaultInjector& faults = cluster.enableFaultInjection(0x5EED);
+  net::FaultParams storm;
+  storm.dropProbability = 0.3;
+  storm.jitterMax = SimDuration::milliseconds(5);
+  faults.setDefaultFaults(storm);
+  cluster.run(SimDuration::seconds(2));
+  faults.setDefaultFaults(net::FaultParams{});
+
+  // Quiesce past the keyframe interval so every replica link has resynced.
+  cluster.run(SimDuration::seconds(4));
+
+  EXPECT_EQ(cluster.server(a).world().avatarCount(), 8u);
+  EXPECT_EQ(cluster.server(b).world().avatarCount(), 8u);
+  for (const ClientId c : cluster.clientIds()) {
+    const EntityId avatar = cluster.client(c).avatar();
+    const auto onA = cluster.server(a).world().find(avatar);
+    const auto onB = cluster.server(b).world().find(avatar);
+    ASSERT_TRUE(onA.has_value());
+    ASSERT_TRUE(onB.has_value());
+    // One of the two is the active copy; the other is a shadow at most a
+    // replication round-trip behind. Same tolerance as the full-codec
+    // shadow-tracking test.
+    EXPECT_NEAR(onA->position.x, onB->position.x, 25.0);
+    EXPECT_NEAR(onA->position.y, onB->position.y, 25.0);
+    EXPECT_EQ(onA->client, onB->client);
+  }
+}
+
+}  // namespace
+}  // namespace roia::rtf

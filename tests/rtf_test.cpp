@@ -109,10 +109,11 @@ TEST(MessagesTest, ClientInputRoundTrip) {
 }
 
 TEST(MessagesTest, StateUpdateRoundTrip) {
-  StateUpdateMsg msg{55, {9, 9, 9, 9}};
-  const StateUpdateMsg decoded = decodeStateUpdate(encode(msg));
+  const std::vector<std::uint8_t> update{9, 9, 9, 9};
+  const StateUpdateMsg decoded =
+      SnapshotCodec::decodeStateUpdate(SnapshotCodec::encodeStateUpdate(55, update));
   EXPECT_EQ(decoded.serverTick, 55u);
-  EXPECT_EQ(decoded.update, msg.update);
+  EXPECT_EQ(decoded.update, update);
 }
 
 TEST(MessagesTest, ForwardedInputRoundTrip) {
@@ -160,7 +161,7 @@ TEST(MessagesTest, MigrationRoundTrip) {
 TEST(MessagesTest, WrongTypeRejected) {
   ClientInputMsg msg{ClientId{1}, 0, {}};
   const ser::Frame frame = encode(msg);
-  EXPECT_THROW(decodeStateUpdate(frame), ser::DecodeError);
+  EXPECT_THROW(SnapshotCodec::decodeStateUpdate(frame), ser::DecodeError);
   EXPECT_THROW(decodeMigrationData(frame), ser::DecodeError);
 }
 

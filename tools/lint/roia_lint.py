@@ -22,7 +22,10 @@ Rules (see --list-rules):
                          sweep contract.
   serialization-coverage parses every *Msg struct in rtf/messages.hpp and
                          verifies each field is touched by both its encode
-                         and decode path in messages.cpp.
+                         and decode path in messages.cpp; also parses
+                         EntitySnapshot (rtf/entity.hpp) and verifies every
+                         field has a SnapshotField row in the kSnapshotSchema
+                         wire table of snapshot_codec.cpp.
   hot-path-alloc         flags new / std::string / std::vector
                          construction inside functions annotated
                          `// roia-hot`.
@@ -81,7 +84,9 @@ RULES = {
     ),
     "serialization-coverage": (
         "every field of every *Msg struct in rtf/messages.hpp must appear "
-        "in both its encode() and decode*() body in messages.cpp"
+        "in both its encode() and decode*() body in messages.cpp, and every "
+        "EntitySnapshot field must have a SnapshotField::k<Name> row in the "
+        "kSnapshotSchema wire table of snapshot_codec.cpp"
     ),
     "hot-path-alloc": (
         "no new / std::string / std::to_string / std::vector construction "
@@ -385,6 +390,39 @@ def rule_ordered_iteration(path, masked, paired_masked, in_scope):
 STRUCT_RE = re.compile(r"\bstruct\s+(\w+Msg)\s*\{")
 
 
+def struct_data_members(masked, open_brace, end):
+    """list of (field_name, line): depth-1 data members of a struct body."""
+    fields = []
+    depth = 0
+    stmt = []
+    stmt_start = open_brace + 1
+    for i in range(open_brace + 1, end - 1):
+        ch = masked[i]
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+        elif depth == 0:
+            if ch == ";":
+                text = "".join(stmt)
+                # Data members carry no parentheses once initializers
+                # (brace form) are stripped; anything with '(' is a
+                # function/constructor declaration.
+                if "(" not in text:
+                    # Drop '= default-value' initializers, keep the name.
+                    text = text.split("=")[0]
+                    name = re.search(r"([A-Za-z_]\w*)\s*$", text.strip())
+                    if name and not text.strip().startswith(("using", "static")):
+                        fields.append((name.group(1), line_of(masked, stmt_start)))
+                stmt = []
+                stmt_start = i + 1
+            else:
+                stmt.append(ch)
+                if ch == "\n" and not "".join(stmt).strip():
+                    stmt_start = i + 1
+    return fields
+
+
 def parse_message_structs(masked):
     """name -> list of (field_name, line). Depth-1 data members only."""
     structs = {}
@@ -393,36 +431,20 @@ def parse_message_structs(masked):
         end = match_bracket(masked, open_brace, "{", "}")
         if end == -1:
             continue
-        fields = []
-        depth = 0
-        stmt = []
-        stmt_start = open_brace + 1
-        for i in range(open_brace + 1, end - 1):
-            ch = masked[i]
-            if ch == "{":
-                depth += 1
-            elif ch == "}":
-                depth -= 1
-            elif depth == 0:
-                if ch == ";":
-                    text = "".join(stmt)
-                    # Data members carry no parentheses once initializers
-                    # (brace form) are stripped; anything with '(' is a
-                    # function/constructor declaration.
-                    if "(" not in text:
-                        # Drop '= default-value' initializers, keep the name.
-                        text = text.split("=")[0]
-                        name = re.search(r"([A-Za-z_]\w*)\s*$", text.strip())
-                        if name and not text.strip().startswith(("using", "static")):
-                            fields.append((name.group(1), line_of(masked, stmt_start)))
-                    stmt = []
-                    stmt_start = i + 1
-                else:
-                    stmt.append(ch)
-                    if ch == "\n" and not "".join(stmt).strip():
-                        stmt_start = i + 1
-        structs[m.group(1)] = fields
+        structs[m.group(1)] = struct_data_members(masked, open_brace, end)
     return structs
+
+
+def parse_struct_fields(masked, struct_name):
+    """Depth-1 data members of one named struct: list of (name, line)."""
+    m = re.search(r"\bstruct\s+" + re.escape(struct_name) + r"\s*\{", masked)
+    if not m:
+        return []
+    open_brace = masked.find("{", m.start())
+    end = match_bracket(masked, open_brace, "{", "}")
+    if end == -1:
+        return []
+    return struct_data_members(masked, open_brace, end)
 
 
 def function_body(masked, header_re):
@@ -461,6 +483,42 @@ def rule_serialization_coverage(hpp_path, hpp_masked, cpp_path, cpp_masked):
                         f"{struct}.{field} never touched in its {direction} "
                         f"path in {os.path.basename(cpp_path)} — silent "
                         "field drift"))
+    return findings
+
+
+SNAPSHOT_SCHEMA_RE = re.compile(r"\bkSnapshotSchema\s*\[\s*\]\s*=\s*\{")
+
+
+def rule_snapshot_schema_coverage(cpp_path, cpp_masked, hpp_path, hpp_masked):
+    """Every EntitySnapshot field needs a SnapshotField row in the schema.
+
+    The schema table drives both the full and the delta wire paths, so a
+    field missing from it silently never reaches the wire. Field names map
+    to enumerators by capitalising the first letter (x -> kX, vx -> kVx,
+    appData -> kAppData).
+    """
+    findings = []
+    fields = parse_struct_fields(hpp_masked, "EntitySnapshot")
+    if not fields:
+        return [Finding(hpp_path, 1, "serialization-coverage",
+                        "struct EntitySnapshot not found next to "
+                        f"{os.path.basename(cpp_path)}")]
+    m = SNAPSHOT_SCHEMA_RE.search(cpp_masked)
+    if not m:
+        return [Finding(cpp_path, 1, "serialization-coverage",
+                        "no kSnapshotSchema table found — the schema-driven "
+                        "codec has nothing to drive it")]
+    open_brace = cpp_masked.find("{", m.start())
+    end = match_bracket(cpp_masked, open_brace, "{", "}")
+    body = cpp_masked[open_brace:end] if end != -1 else cpp_masked[open_brace:]
+    for field, line in fields:
+        enumerator = "k" + field[0].upper() + field[1:]
+        if not re.search(r"\bSnapshotField\s*::\s*" + enumerator + r"\b", body):
+            findings.append(Finding(
+                hpp_path, line, "serialization-coverage",
+                f"EntitySnapshot.{field} has no SnapshotField::{enumerator} "
+                f"row in kSnapshotSchema ({os.path.basename(cpp_path)}) — "
+                "the field silently skips the wire"))
     return findings
 
 
@@ -693,6 +751,7 @@ def lint_files(files, assume_core=False):
     findings = []
     suppressed = []
     messages_pairs = []
+    snapshot_pairs = []
     audit_vocab, audit_registries = load_audit_vocabulary(files)
     for path in files:
         with open(path, encoding="utf-8") as f:
@@ -732,12 +791,29 @@ def lint_files(files, assume_core=False):
                     cpp_masked = mask_source(f.read())
                 messages_pairs.append((path, masked, cpp, cpp_masked, allows))
 
+        if os.path.basename(path) == "snapshot_codec.cpp":
+            hpp = os.path.join(os.path.dirname(path), "entity.hpp")
+            if os.path.isfile(hpp):
+                with open(hpp, encoding="utf-8") as f:
+                    hpp_masked = mask_source(f.read())
+                snapshot_pairs.append((path, masked, hpp, hpp_masked, allows))
+            else:
+                file_findings.append(Finding(
+                    path, 1, "serialization-coverage",
+                    "snapshot_codec.cpp without entity.hpp beside it — "
+                    "cannot check the kSnapshotSchema field coverage"))
+
         for finding in file_findings:
             (suppressed if is_suppressed(finding, allows) else findings).append(finding)
 
     for hpp_path, hpp_masked, cpp_path, cpp_masked, allows in messages_pairs:
         for finding in rule_serialization_coverage(hpp_path, hpp_masked,
                                                    cpp_path, cpp_masked):
+            (suppressed if is_suppressed(finding, allows) else findings).append(finding)
+
+    for cpp_path, cpp_masked, hpp_path, hpp_masked, allows in snapshot_pairs:
+        for finding in rule_snapshot_schema_coverage(cpp_path, cpp_masked,
+                                                     hpp_path, hpp_masked):
             (suppressed if is_suppressed(finding, allows) else findings).append(finding)
 
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
