@@ -54,7 +54,8 @@ void BM_StateUpdateEncode(benchmark::State& state) {
         {EntityId{static_cast<std::uint64_t>(i + 2)}, 1.0f, 2.0f, 100.0f});
   }
   for (auto _ : state) {
-    const auto bytes = game::encodeStateUpdate(payload);
+    std::vector<std::uint8_t> bytes;
+    game::encodeStateUpdate(payload, bytes);
     benchmark::DoNotOptimize(bytes.data());
   }
 }

@@ -11,7 +11,10 @@ answering "how healthy was this run":
   * audit event counts by action, with the slo_breach / model_drift
     records spelled out (objective, Eq.2 state, rationale),
   * per-server Eq.2/Eq.4 residual distributions (mean, CoV, quantiles),
-  * flight-recorder dump inventory.
+  * flight-recorder dump inventory,
+  * lint suppression debt (--lint-debt: the `suppression_debt` table from
+    `roia_lint.py --format json`) — every in-source allow() with its rule,
+    justification, age, and whether it still suppresses a live finding.
 
 Stdlib only. Typical invocation (after a bench run with the ROIA_*_OUT
 knobs set):
@@ -105,12 +108,22 @@ def build_report(args):
         report["inputs"]["trace"] = args.trace
         with open(args.trace, encoding="utf-8") as f:
             report["trace_event_count"] = len(json.load(f)["traceEvents"])
+    if args.lint_debt:
+        report["inputs"]["lint"] = args.lint_debt
+        with open(args.lint_debt, encoding="utf-8") as f:
+            lint = json.load(f)
+        if lint.get("schema") != "roia-lint/1":
+            raise KeyError(f"unexpected lint schema {lint.get('schema')!r}")
+        report["lint_debt"] = lint.get("suppression_debt", [])
+        report["lint_findings"] = len(lint.get("findings", []))
 
     if not report["inputs"]:
         return None
     breaches = report.get("breach_total", 0)
     drift_events = sum(r.get("drift_events", 0) for r in report.get("drift", []))
-    if breaches or drift_events or report.get("flight_dumps"):
+    stale_allows = sum(1 for r in report.get("lint_debt", []) if not r.get("live"))
+    if (breaches or drift_events or report.get("flight_dumps")
+            or report.get("lint_findings") or stale_allows):
         report["status"] = "ATTENTION"
     return report
 
@@ -191,6 +204,22 @@ def render_markdown(report):
               m.get("value", m.get("count", ""))]
              for m in report["protocol_metrics"]]))
 
+    if "lint_debt" in report:
+        debt = report["lint_debt"]
+        stale = sum(1 for r in debt if not r.get("live"))
+        lines.append(f"\n## Lint suppression debt — {len(debt)} allow(s), "
+                     f"{stale} stale\n")
+        if debt:
+            lines.append(md_table(
+                ["file", "line", "rules", "live", "age days", "justification"],
+                [[r["file"], r["line"], " ".join(r["rules"]),
+                  "yes" if r.get("live") else "**STALE**",
+                  r["age_days"] if r.get("age_days") is not None else "?",
+                  r.get("reason") or "-"] for r in debt]))
+        else:
+            lines.append("No in-source suppressions: the tree carries zero "
+                         "lint debt.\n")
+
     if "trace_event_count" in report:
         lines.append(f"\nTrace: {report['trace_event_count']} events.\n")
     return "\n".join(lines) + "\n"
@@ -204,6 +233,9 @@ def main():
     parser.add_argument("--drift", help="drift JSONL (ROIA_DRIFT_OUT)")
     parser.add_argument("--flight", help="flight JSONL (ROIA_FLIGHT_OUT)")
     parser.add_argument("--trace", help="Perfetto trace JSON (ROIA_TRACE_OUT)")
+    parser.add_argument("--lint-debt", metavar="LINT_JSON",
+                        help="roia_lint.py --format json output; folds the "
+                             "suppression-debt table into the report")
     parser.add_argument("--out-md", help="write the Markdown report here")
     parser.add_argument("--out-json", help="write the JSON report here")
     args = parser.parse_args()

@@ -23,13 +23,6 @@ VisibleEntity readVisible(ser::ByteReader& reader) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encodeStateUpdate(const StateUpdatePayload& payload) {
-  std::vector<std::uint8_t> out;
-  out.reserve(16 + payload.visible.size() * 16);
-  encodeStateUpdate(payload, out);
-  return out;
-}
-
 void encodeStateUpdate(const StateUpdatePayload& payload, std::vector<std::uint8_t>& out) {
   ser::ByteWriter writer(std::move(out));
   writer.reserve(16 + payload.visible.size() * 16);

@@ -23,9 +23,9 @@ struct StateUpdatePayload {
   std::vector<VisibleEntity> visible;
 };
 
-[[nodiscard]] std::vector<std::uint8_t> encodeStateUpdate(const StateUpdatePayload& payload);
 /// Encodes into `out`, reusing its capacity (hot path: one update per client
-/// per tick). Produces bytes identical to the value-returning overload.
+/// per tick). The sole encode entry point: a value-returning overload would
+/// allocate on the hot path, so callers that want a fresh buffer pass one in.
 void encodeStateUpdate(const StateUpdatePayload& payload, std::vector<std::uint8_t>& out);
 [[nodiscard]] StateUpdatePayload decodeStateUpdate(std::span<const std::uint8_t> bytes);
 

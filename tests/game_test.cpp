@@ -18,6 +18,14 @@
 namespace roia::game {
 namespace {
 
+// Test-side convenience over the out-param encode API (the value-returning
+// overload was removed: it allocated on the hot path).
+std::vector<std::uint8_t> encodedStateUpdate(const StateUpdatePayload& payload) {
+  std::vector<std::uint8_t> out;
+  encodeStateUpdate(payload, out);
+  return out;
+}
+
 // ---------- codecs ----------
 
 TEST(CommandsTest, EmptyBatch) {
@@ -70,7 +78,7 @@ TEST(StateUpdateTest, RoundTrip) {
   payload.self = {EntityId{1}, 10.0f, 20.0f, 90.0f};
   payload.visible.push_back({EntityId{2}, 1.0f, 2.0f, 50.0f});
   payload.visible.push_back({EntityId{3}, -1.0f, -2.0f, 100.0f});
-  const StateUpdatePayload decoded = decodeStateUpdate(encodeStateUpdate(payload));
+  const StateUpdatePayload decoded = decodeStateUpdate(encodedStateUpdate(payload));
   EXPECT_EQ(decoded.self.id, EntityId{1});
   ASSERT_EQ(decoded.visible.size(), 2u);
   EXPECT_EQ(decoded.visible[1].id, EntityId{3});
@@ -82,8 +90,8 @@ TEST(StateUpdateTest, SizeGrowsLinearlyWithVisible) {
   small.self = large.self = {EntityId{1}, 0, 0, 100};
   for (int i = 0; i < 10; ++i) small.visible.push_back({EntityId{static_cast<std::uint64_t>(i)}, 0, 0, 100});
   for (int i = 0; i < 20; ++i) large.visible.push_back({EntityId{static_cast<std::uint64_t>(i)}, 0, 0, 100});
-  const std::size_t sSmall = encodeStateUpdate(small).size();
-  const std::size_t sLarge = encodeStateUpdate(large).size();
+  const std::size_t sSmall = encodedStateUpdate(small).size();
+  const std::size_t sLarge = encodedStateUpdate(large).size();
   EXPECT_NEAR(static_cast<double>(sLarge - sSmall), 10.0 * 13.0, 25.0);
 }
 
@@ -337,7 +345,7 @@ TEST(FpsAppTest, BuildStateUpdateSlotGatherMatchesPerIdLookup) {
                                 static_cast<float>(e->position.y),
                                 static_cast<float>(e->health)});
   }
-  EXPECT_EQ(bytes, encodeStateUpdate(expected));
+  EXPECT_EQ(bytes, encodedStateUpdate(expected));
 }
 
 TEST(FpsAppTest, NpcWandersAndCharges) {
@@ -402,7 +410,7 @@ TEST(BotTest, AttackRateGrowsWithVisiblePopulation) {
     for (std::uint64_t id = 2; id < 2 + visible; ++id) {
       payload.visible.push_back({EntityId{id}, 0, 0, 100});
     }
-    bot.onStateUpdate(encodeStateUpdate(payload));
+    bot.onStateUpdate(encodedStateUpdate(payload));
     int attacks = 0;
     const int trials = 4000;
     for (int i = 0; i < trials; ++i) {
@@ -424,7 +432,7 @@ TEST(BotTest, AttackTargetsComeFromLastUpdate) {
   StateUpdatePayload payload;
   payload.self = {EntityId{1}, 0, 0, 100};
   payload.visible.push_back({EntityId{77}, 0, 0, 100});
-  bot.onStateUpdate(encodeStateUpdate(payload));
+  bot.onStateUpdate(encodedStateUpdate(payload));
   const CommandBatch batch = decodeCommands(bot.nextCommands(SimTime{0}, rng));
   ASSERT_TRUE(batch.attack.has_value());
   EXPECT_EQ(batch.attack->target, EntityId{77});

@@ -1,0 +1,16 @@
+// Fixture: midHelper is clean; leafAlloc allocates. Neither is annotated
+// hot — they are only *reachable* from hotRoot (hot_root.cpp), so the
+// finding must carry the hotRoot -> midHelper -> leafAlloc chain and land
+// on the std::vector line below. Never compiled.
+#include "chain_helpers.hpp"
+
+#include <vector>
+
+int midHelper(int n) {
+  return leafAlloc(n) * 2;
+}
+
+int leafAlloc(int n) {
+  std::vector<int> scratch(static_cast<unsigned long>(n), 1);
+  return static_cast<int>(scratch.size()) + n;
+}

@@ -1,0 +1,7 @@
+// Fixture: declarations only — the indexer indexes definitions, so this
+// header contributes no functions; the cross-TU edge resolution has to
+// connect hot_root.cpp to chain_helpers.cpp by name. Never compiled.
+#pragma once
+
+int midHelper(int n);
+int leafAlloc(int n);

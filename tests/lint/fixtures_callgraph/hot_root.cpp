@@ -1,0 +1,10 @@
+// Fixture: the hot root is allocation-free itself, so the line-local
+// hot-path-alloc rule sees nothing; the allocation hides two calls deep
+// in a different TU (chain_helpers.cpp). Only the whole-program
+// transitive-hot-alloc rule can catch it. Never compiled.
+#include "chain_helpers.hpp"
+
+// roia-hot
+int hotRoot(int n) {
+  return midHelper(n) + 1;
+}

@@ -1,0 +1,24 @@
+// Fixture: hardware entropy drawn two frames below the encode path. The
+// line-local determinism rule sees only the std::random_device line; the
+// determinism-taint rule must additionally report the full
+// entropy -> jitterSeed -> encodeBeacon source-to-sink chain. Never
+// compiled.
+#include <cstdint>
+#include <random>
+
+struct Writer {
+  void writeU32(std::uint32_t) {}
+};
+
+std::uint32_t entropy() {
+  std::random_device dev;
+  return dev();
+}
+
+std::uint32_t jitterSeed() {
+  return entropy() | 1u;
+}
+
+void encodeBeacon(Writer& w) {
+  w.writeU32(jitterSeed());
+}

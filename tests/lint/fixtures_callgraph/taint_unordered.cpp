@@ -1,0 +1,24 @@
+// Fixture: unordered iteration order leaking into a telemetry emission
+// one call up — sumShares folds an unordered_map in iteration order
+// (float rounding depends on it) and reportShares audits the result.
+// The chain sumShares -> reportShares is invisible to line-local rules.
+// Never compiled.
+#include <string_view>
+#include <unordered_map>
+
+inline constexpr std::string_view kSharesEvent = "shares_reported";
+
+struct AuditSink {
+  void auditEvent(std::string_view, double) {}
+};
+
+double sumShares(const std::unordered_map<int, double>& shares) {
+  double total = 0.0;
+  for (const auto& [id, share] : shares) total += share * 0.5;
+  return total;
+}
+
+void reportShares(AuditSink& sink,
+                  const std::unordered_map<int, double>& shares) {
+  sink.auditEvent(kSharesEvent, sumShares(shares));
+}

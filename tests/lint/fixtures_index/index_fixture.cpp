@@ -1,0 +1,41 @@
+// Fixture for the cpp_index unit test: the constructs the indexer MUST
+// parse — nested namespaces, classes with inline methods, out-of-line
+// `Cls::method` definitions, overload sets, template functions, and a
+// constructor with an init list. Operator overloads and macro tricks are
+// "may skip" territory and deliberately absent. Never compiled.
+#include <vector>
+
+namespace outer {
+namespace inner {
+
+int freeHelper(int v) { return v + 1; }
+
+template <typename T>
+T templateAdd(T a, T b) {
+  return a + b;
+}
+
+class Widget {
+ public:
+  Widget() : count_(0) {}
+  int inlineGet() const { return count_; }
+  int outOfLine(int v);
+  int overloaded(int v) { return v; }
+  int overloaded(int v, int w) { return v + w; }
+
+ private:
+  int count_;
+};
+
+int Widget::outOfLine(int v) {
+  std::vector<int> tmp(3, v);
+  return freeHelper(static_cast<int>(tmp.size()));
+}
+
+// roia-hot
+int hotEntry(Widget& w) {
+  return w.inlineGet() + freeHelper(1);
+}
+
+}  // namespace inner
+}  // namespace outer

@@ -1,0 +1,9 @@
+// Fixture: snapshot struct for the kSnapshotSchema manifest check.
+// Never compiled.
+#pragma once
+
+struct EntitySnapshot {
+  unsigned long id{0};
+  float x{0.0f};
+  float y{0.0f};
+};

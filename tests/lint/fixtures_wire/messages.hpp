@@ -1,0 +1,33 @@
+// Fixture: wire structs pinned by the drifted manifest beside this tree.
+// The self-test asserts exact wire-schema-drift findings against
+// wire_manifest_drifted.json, then regenerates a fresh manifest and
+// asserts the same tree passes clean. Never compiled.
+#pragma once
+#include <cstdint>
+
+struct Sink {
+  void writeU64(std::uint64_t) {}
+  void writeU32(std::uint32_t) {}
+};
+
+struct Buffer {
+  std::uint64_t readU64() const { return 0; }
+  std::uint32_t readU32() const { return 0; }
+};
+
+// Drift vs the manifest: the manifest still lists a `nonce` field.
+struct PingMsg {
+  std::uint64_t id{0};
+  std::uint64_t sentAt{0};
+};
+
+// Drift vs the manifest: `status` is declared std::uint64_t there.
+struct PongMsg {
+  std::uint64_t id{0};
+  std::uint32_t status{0};
+};
+
+// Drift vs the manifest: this struct is not in the manifest at all.
+struct NewMsg {
+  std::uint32_t token{0};
+};

@@ -1,0 +1,17 @@
+// Fixture: a complete schema table (coverage-clean) whose row order
+// drifted from the manifest, which still lists [id, y, x]. Never
+// compiled.
+#include "entity.hpp"
+
+enum class SnapshotField { kId, kX, kY };
+
+struct SnapshotSchemaRow {
+  SnapshotField field;
+  const char* name;
+};
+
+constexpr SnapshotSchemaRow kSnapshotSchema[] = {
+    {SnapshotField::kId, "id"},
+    {SnapshotField::kX, "x"},
+    {SnapshotField::kY, "y"},
+};

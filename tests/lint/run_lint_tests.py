@@ -1,22 +1,49 @@
 #!/usr/bin/env python3
-"""Self-test for tools/lint/roia_lint.py, run as `ctest -L lint`.
+"""Self-test for tools/lint/roia_lint.py + cpp_index.py, run as `ctest -L lint`.
 
-Three checks:
- 1. The fixture suite produces exactly the expected (file, line, rule)
-    findings — no more, no fewer — and the justified suppression lands in
-    the suppressed list, all via the machine-readable JSON output.
- 2. The real tree (src/) is clean: exit 0, zero findings.
- 3. --list-rules names every rule the fixtures exercise.
+Checks:
+ 1. The line-local fixture suite produces exactly the expected
+    (file, line, rule) findings — no more, no fewer — and the justified
+    suppression lands in the suppressed list, via the JSON output.
+ 2. The call-graph fixture tree fires transitive-hot-alloc and
+    determinism-taint with exact lines AND the exact source -> sink /
+    hot-root -> callee chains — cross-TU cases the line-local rules
+    provably cannot see.
+ 3. The wire fixture tree drifts from its committed drifted manifest in
+    all five ways (field removed, type changed, struct added, struct
+    retired, schema reordered); regenerating the manifest makes the same
+    tree pass clean.
+ 4. Deleting a field from the real rtf/messages.hpp (in a temp copy)
+    fails wire-schema-drift against the committed manifest; regenerating
+    passes — the end-to-end protocol-freeze guarantee.
+ 5. The debt fixture tree flags the stale allow(), keeps the live one,
+    and the JSON debt table carries both with rule/reason/liveness.
+ 6. The cpp_index unit fixture parses namespaces, classes, out-of-line
+    methods, overload sets, templates and ctors with init lists, with
+    correct qualnames, hot flags, facts and call edges.
+ 7. The real tree (src/) is clean under ALL rules: exit 0, zero findings.
+ 8. --format sarif emits valid SARIF 2.1.0; --changed-only exits cleanly.
+ 9. --list-rules names every rule the fixtures exercise.
 """
 
 import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 LINT = os.path.join(REPO_ROOT, "tools", "lint", "roia_lint.py")
-FIXTURES = os.path.join(REPO_ROOT, "tests", "lint", "fixtures")
+LINT_DIR = os.path.join(REPO_ROOT, "tests", "lint")
+FIXTURES = os.path.join(LINT_DIR, "fixtures")
+FIXTURES_CALLGRAPH = os.path.join(LINT_DIR, "fixtures_callgraph")
+FIXTURES_WIRE = os.path.join(LINT_DIR, "fixtures_wire")
+FIXTURES_DEBT = os.path.join(LINT_DIR, "fixtures_debt")
+FIXTURES_INDEX = os.path.join(LINT_DIR, "fixtures_index")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools", "lint"))
+import cpp_index  # noqa: E402
 
 # Exact expectations: basename, 1-indexed line, rule id. A linter that
 # drifts by one line or invents/loses a finding fails this test.
@@ -45,9 +72,42 @@ EXPECTED_FINDINGS = {
 EXPECTED_SUPPRESSED = {
     ("suppressed_ok.cpp", 5, "determinism"),
 }
+
+# Cross-function cases: the line-local rules see at most the source line;
+# the chains below only exist in the whole-program call graph.
+EXPECTED_CALLGRAPH_FINDINGS = {
+    ("chain_helpers.cpp", 14, "transitive-hot-alloc"),
+    ("taint_chain.cpp", 14, "determinism"),           # line-local still fires
+    ("taint_chain.cpp", 14, "determinism-taint"),
+    ("taint_unordered.cpp", 17, "determinism-taint"),
+    ("taint_unordered.cpp", 17, "ordered-iteration"),  # line-local still fires
+}
+EXPECTED_CHAINS = {
+    "transitive-hot-alloc": "hotRoot -> midHelper -> leafAlloc",
+    "determinism-taint@taint_chain.cpp": "entropy -> jitterSeed -> encodeBeacon",
+    "determinism-taint@taint_unordered.cpp": "sumShares -> reportShares",
+}
+
+EXPECTED_WIRE_FINDINGS = {
+    ("messages.hpp", 1, "wire-schema-drift"),    # RetiredMsg gone from source
+    ("messages.hpp", 19, "wire-schema-drift"),   # PingMsg lost `nonce`
+    ("messages.hpp", 25, "wire-schema-drift"),   # PongMsg.status type changed
+    ("messages.hpp", 31, "wire-schema-drift"),   # NewMsg not in manifest
+    ("snapshot_codec.cpp", 13, "wire-schema-drift"),  # schema rows reordered
+}
+
+EXPECTED_DEBT_FINDINGS = {
+    ("stale_allow.cpp", 6, "suppression-debt"),
+}
+EXPECTED_DEBT_SUPPRESSED = {
+    ("live_allow.cpp", 7, "determinism"),
+}
+
 EXPECTED_RULES = {
     "determinism", "ordered-iteration", "serialization-coverage",
     "hot-path-alloc", "bounded-retry", "audit-vocabulary", "bad-suppression",
+    "transitive-hot-alloc", "determinism-taint", "wire-schema-drift",
+    "suppression-debt",
 }
 
 
@@ -60,13 +120,11 @@ def as_keys(entries):
     return {(os.path.basename(e["file"]), e["line"], e["rule"]) for e in entries}
 
 
-def main():
-    failures = []
-
-    # 1. Fixture suite: exact rule ids and line numbers, nonzero exit.
+def check_line_local_fixtures(failures):
     proc = run_lint("--assume-core", "--format", "json", FIXTURES)
     if proc.returncode != 1:
         failures.append(f"fixtures: expected exit 1, got {proc.returncode}\n{proc.stderr}")
+        return
     report = json.loads(proc.stdout)
     if report.get("schema") != "roia-lint/1":
         failures.append(f"fixtures: unexpected schema {report.get('schema')!r}")
@@ -84,22 +142,232 @@ def main():
     if as_keys(report["suppressed"]) != EXPECTED_SUPPRESSED:
         failures.append(f"fixtures: suppressed mismatch: {report['suppressed']}")
 
-    # 2. The real tree starts (and stays) clean.
+
+def check_callgraph_fixtures(failures):
+    proc = run_lint("--assume-core", "--format", "json", FIXTURES_CALLGRAPH)
+    if proc.returncode != 1:
+        failures.append(f"callgraph: expected exit 1, got {proc.returncode}\n{proc.stderr}")
+        return
+    report = json.loads(proc.stdout)
+    got = as_keys(report["findings"])
+    if got != EXPECTED_CALLGRAPH_FINDINGS:
+        failures.append(
+            "callgraph: findings mismatch\n"
+            f"  missing:    {sorted(EXPECTED_CALLGRAPH_FINDINGS - got)}\n"
+            f"  unexpected: {sorted(got - EXPECTED_CALLGRAPH_FINDINGS)}")
+    for f in report["findings"]:
+        base = os.path.basename(f["file"])
+        if f["rule"] == "transitive-hot-alloc":
+            want = EXPECTED_CHAINS["transitive-hot-alloc"]
+        elif f["rule"] == "determinism-taint":
+            want = EXPECTED_CHAINS.get(f"determinism-taint@{base}")
+        else:
+            continue
+        if want and want not in f["message"]:
+            failures.append(
+                f"callgraph: {base}:{f['line']} [{f['rule']}] message lacks "
+                f"chain {want!r}: {f['message']}")
+
+
+def check_wire_fixtures(failures):
+    drifted = os.path.join(FIXTURES_WIRE, "wire_manifest_drifted.json")
+    proc = run_lint("--assume-core", "--manifest", drifted,
+                    "--format", "json", FIXTURES_WIRE)
+    if proc.returncode != 1:
+        failures.append(f"wire: expected exit 1, got {proc.returncode}\n{proc.stderr}")
+        return
+    got = as_keys(json.loads(proc.stdout)["findings"])
+    if got != EXPECTED_WIRE_FINDINGS:
+        failures.append(
+            "wire: findings mismatch\n"
+            f"  missing:    {sorted(EXPECTED_WIRE_FINDINGS - got)}\n"
+            f"  unexpected: {sorted(got - EXPECTED_WIRE_FINDINGS)}")
+    # Regenerating the manifest from the same tree must make it pass.
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = os.path.join(tmp, "manifest.json")
+        proc = run_lint("--manifest", fresh, "--write-manifest", FIXTURES_WIRE)
+        if proc.returncode != 0:
+            failures.append(f"wire: --write-manifest failed\n{proc.stderr}")
+            return
+        proc = run_lint("--assume-core", "--manifest", fresh,
+                        "--format", "json", FIXTURES_WIRE)
+        if proc.returncode != 0:
+            failures.append(
+                f"wire: regenerated manifest should pass, got exit "
+                f"{proc.returncode}\n{proc.stdout}")
+
+
+def check_wire_drift_real_tree(failures):
+    """Deleting a real *Msg field without regenerating the manifest fails."""
+    with tempfile.TemporaryDirectory() as tmp:
+        rtf = os.path.join(tmp, "rtf")
+        os.makedirs(rtf)
+        for name in ("messages.hpp", "snapshot_codec.cpp", "entity.hpp"):
+            shutil.copy(os.path.join(REPO_ROOT, "src", "rtf", name), rtf)
+        hpp = os.path.join(rtf, "messages.hpp")
+        with open(hpp, encoding="utf-8") as f:
+            lines = f.readlines()
+        start = next(i for i, l in enumerate(lines)
+                     if "struct MigrationAckMsg" in l)
+        victim = next(i for i in range(start, len(lines))
+                      if "traceId" in lines[i] and ";" in lines[i])
+        del lines[victim]
+        with open(hpp, "w", encoding="utf-8") as f:
+            f.writelines(lines)
+        committed = os.path.join(REPO_ROOT, "tools", "lint", "wire_manifest.json")
+        proc = run_lint("--manifest", committed, "--format", "json", rtf)
+        if proc.returncode != 1:
+            failures.append(
+                f"wire-real: deleted field should fail lint, got exit "
+                f"{proc.returncode}\n{proc.stdout}")
+            return
+        findings = json.loads(proc.stdout)["findings"]
+        hits = [f for f in findings if f["rule"] == "wire-schema-drift"
+                and "MigrationAckMsg" in f["message"]]
+        if len(hits) != 1 or len(findings) != 1:
+            failures.append(f"wire-real: expected exactly the MigrationAckMsg "
+                            f"drift finding, got {findings}")
+        fresh = os.path.join(tmp, "manifest.json")
+        proc = run_lint("--manifest", fresh, "--write-manifest", rtf)
+        if proc.returncode != 0:
+            failures.append(f"wire-real: --write-manifest failed\n{proc.stderr}")
+            return
+        proc = run_lint("--manifest", fresh, rtf)
+        if proc.returncode != 0:
+            failures.append(
+                f"wire-real: regenerated manifest should pass, got exit "
+                f"{proc.returncode}\n{proc.stdout}")
+
+
+def check_debt_fixtures(failures):
+    proc = run_lint("--assume-core", "--format", "json", FIXTURES_DEBT)
+    if proc.returncode != 1:
+        failures.append(f"debt: expected exit 1, got {proc.returncode}\n{proc.stderr}")
+        return
+    report = json.loads(proc.stdout)
+    if as_keys(report["findings"]) != EXPECTED_DEBT_FINDINGS:
+        failures.append(f"debt: findings mismatch: {report['findings']}")
+    if as_keys(report["suppressed"]) != EXPECTED_DEBT_SUPPRESSED:
+        failures.append(f"debt: suppressed mismatch: {report['suppressed']}")
+    table = {(os.path.basename(d["file"]), d["line"]): d
+             for d in report["suppression_debt"]}
+    if set(table) != {("live_allow.cpp", 7), ("stale_allow.cpp", 6)}:
+        failures.append(f"debt: table rows mismatch: {sorted(table)}")
+        return
+    live = table[("live_allow.cpp", 7)]
+    stale = table[("stale_allow.cpp", 6)]
+    if not (live["live"] is True and stale["live"] is False):
+        failures.append(f"debt: liveness wrong: {live} / {stale}")
+    for row in (live, stale):
+        if row["rules"] != ["determinism"] or not row["reason"] or "age_days" not in row:
+            failures.append(f"debt: malformed table row: {row}")
+
+
+def check_indexer(failures):
+    path = os.path.join(FIXTURES_INDEX, "index_fixture.cpp")
+    index = cpp_index.build_index([path])
+    by_qual = {}
+    for fn in index.functions:
+        by_qual.setdefault(fn.qualname, []).append(fn)
+    must_parse = {
+        "outer::inner::freeHelper",
+        "outer::inner::templateAdd",
+        "outer::inner::Widget::Widget",          # ctor with init list
+        "outer::inner::Widget::inlineGet",       # inline method
+        "outer::inner::Widget::outOfLine",       # out-of-line Cls::method
+        "outer::inner::Widget::overloaded",      # overload set
+        "outer::inner::hotEntry",
+    }
+    missing = must_parse - set(by_qual)
+    if missing:
+        failures.append(f"indexer: unparsed definitions: {sorted(missing)}")
+        return
+    if len(by_qual["outer::inner::Widget::overloaded"]) != 2:
+        failures.append("indexer: overload set should index both definitions")
+    hot = by_qual["outer::inner::hotEntry"][0]
+    if not hot.hot:
+        failures.append("indexer: hotEntry must carry the roia-hot flag")
+    if any(fn.hot for q, fns in by_qual.items() for fn in fns
+           if q != "outer::inner::hotEntry"):
+        failures.append("indexer: only hotEntry is annotated hot")
+    out_of_line = by_qual["outer::inner::Widget::outOfLine"][0]
+    if not out_of_line.allocs:
+        failures.append("indexer: outOfLine's std::vector alloc fact missing")
+    if out_of_line.cls != "Widget":
+        failures.append(f"indexer: outOfLine cls is {out_of_line.cls!r}")
+    callee_names = {c.qualname for c, _line in index.callees(out_of_line)}
+    if "outer::inner::freeHelper" not in callee_names:
+        failures.append(f"indexer: outOfLine -> freeHelper edge missing ({callee_names})")
+    hot_callees = {c.qualname for c, _line in index.callees(hot)}
+    if not {"outer::inner::Widget::inlineGet", "outer::inner::freeHelper"} <= hot_callees:
+        failures.append(f"indexer: hotEntry call edges wrong ({hot_callees})")
+
+
+def check_real_tree(failures):
     proc = run_lint("--format", "json", "src/")
     if proc.returncode != 0:
         failures.append(f"src/: expected exit 0, got {proc.returncode}\n{proc.stdout}")
-    else:
-        report = json.loads(proc.stdout)
-        if report["findings"]:
-            failures.append(f"src/: unexpected findings: {report['findings']}")
-        if report["files_scanned"] < 50:
-            failures.append(f"src/: suspiciously few files scanned: {report['files_scanned']}")
+        return
+    report = json.loads(proc.stdout)
+    if report["findings"]:
+        failures.append(f"src/: unexpected findings: {report['findings']}")
+    if report["files_scanned"] < 50:
+        failures.append(f"src/: suspiciously few files scanned: {report['files_scanned']}")
+    if report["suppression_debt"]:
+        failures.append(f"src/: unexpected suppression debt: {report['suppression_debt']}")
 
-    # 3. Rule catalogue is complete.
+
+def check_output_modes(failures):
+    proc = run_lint("--assume-core", "--format", "sarif", FIXTURES)
+    try:
+        sarif = json.loads(proc.stdout)
+    except ValueError:
+        failures.append(f"sarif: output is not JSON\n{proc.stdout[:400]}")
+        return
+    if sarif.get("version") != "2.1.0" or "runs" not in sarif:
+        failures.append(f"sarif: not a SARIF 2.1.0 document: {list(sarif)}")
+        return
+    run = sarif["runs"][0]
+    driver = run["tool"]["driver"]
+    if driver.get("name") != "roia-lint":
+        failures.append(f"sarif: wrong driver name {driver.get('name')!r}")
+    rule_ids = {r["id"] for r in driver["rules"]}
+    if not EXPECTED_RULES <= rule_ids:
+        failures.append(f"sarif: rules metadata missing {EXPECTED_RULES - rule_ids}")
+    # +1: the hot_alloc_bad.cpp:8 double hit dedups in the expectation set.
+    if len(run["results"]) != len(EXPECTED_FINDINGS) + 1:
+        failures.append(
+            f"sarif: {len(run['results'])} results vs "
+            f"{len(EXPECTED_FINDINGS) + 1} expected findings")
+    for result in run["results"]:
+        loc = result["locations"][0]["physicalLocation"]
+        if not loc["artifactLocation"]["uri"] or loc["region"]["startLine"] < 1:
+            failures.append(f"sarif: malformed location: {result}")
+            break
+
+    proc = run_lint("--changed-only", "src/")
+    if proc.returncode not in (0, 1):
+        failures.append(f"--changed-only: unexpected exit {proc.returncode}\n{proc.stderr}")
+
+
+def check_rule_catalogue(failures):
     proc = run_lint("--list-rules")
     listed = {line.split()[0] for line in proc.stdout.splitlines() if line.strip()}
     if not EXPECTED_RULES <= listed:
         failures.append(f"--list-rules missing {EXPECTED_RULES - listed}")
+
+
+def main():
+    failures = []
+    check_line_local_fixtures(failures)
+    check_callgraph_fixtures(failures)
+    check_wire_fixtures(failures)
+    check_wire_drift_real_tree(failures)
+    check_debt_fixtures(failures)
+    check_indexer(failures)
+    check_real_tree(failures)
+    check_output_modes(failures)
+    check_rule_catalogue(failures)
 
     if failures:
         for failure in failures:

@@ -44,6 +44,34 @@ Rules (see --list-rules):
   bad-suppression        a `roia-lint: allow(...)` without a justification
                          (`-- <reason>`) or naming an unknown rule.
 
+Whole-program rules (v2, built on the call-graph index in cpp_index.py —
+every file under the scanned tree is brace-parsed into functions, calls and
+per-function facts, and the rules below propagate those facts across
+function and TU boundaries):
+
+  transitive-hot-alloc   propagates `// roia-hot` through the call graph:
+                         an allocation in any reachable non-hot callee is
+                         flagged with the full hot-root -> callee chain.
+                         Replaces the annotate-every-leaf honor system.
+  determinism-taint      dataflow from nondeterminism sources (unseeded
+                         RNG, wall clocks, unordered iteration order,
+                         pointer-keyed ordered containers) in the
+                         deterministic core to observable sinks (wire
+                         writes, metrics/audit/trace emission, FP
+                         accumulators), reported with the source -> sink
+                         call chain.
+  wire-schema-drift      every *Msg struct and kSnapshotSchema row is
+                         checked against the golden manifest
+                         tools/lint/wire_manifest.json (field name,
+                         declared type, wire order); any drift without a
+                         manifest regeneration (--write-manifest) in the
+                         same diff fails the lint.
+  suppression-debt       inventories every well-formed allow() with rule,
+                         reason and git age; an allow that no longer
+                         suppresses any finding is stale and fails. The
+                         full debt table rides in the JSON output for the
+                         health report.
+
 Suppressions: append `// roia-lint: allow(<rule>) -- <reason>` to the
 offending line, or place it on the line directly above. The reason is
 mandatory; a bare allow() is itself a finding.
@@ -54,14 +82,23 @@ Typical invocations:
 
     python3 tools/lint/roia_lint.py src/
     python3 tools/lint/roia_lint.py --format json src/ | python3 -m json.tool
+    python3 tools/lint/roia_lint.py --format sarif src/ > lint.sarif
+    python3 tools/lint/roia_lint.py --changed-only src/
+    python3 tools/lint/roia_lint.py --write-manifest src/
     python3 tools/lint/roia_lint.py --list-rules
 """
 
 import argparse
+import collections
 import json
 import os
 import re
+import subprocess
 import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import cpp_index  # noqa: E402  (sibling module, stdlib-only)
 
 # Subsystems whose behaviour must be bit-reproducible from a seed. src/obs
 # (telemetry sidecars may stamp wall-clock metadata) and the bench harnesses
@@ -107,6 +144,30 @@ RULES = {
     "bad-suppression": (
         "roia-lint: allow(...) must name a known rule and carry a "
         "justification: // roia-lint: allow(<rule>) -- <reason>"
+    ),
+    "transitive-hot-alloc": (
+        "no allocation in any function reachable from a // roia-hot root "
+        "through the whole-program call graph — the hot annotation "
+        "propagates to callees, so a helper two calls deep cannot hide "
+        "an allocation the line-local hot-path-alloc rule would miss"
+    ),
+    "determinism-taint": (
+        "no dataflow from a nondeterminism source (unseeded RNG, wall "
+        "clock, unordered iteration, pointer-keyed ordering) in the "
+        "deterministic core to an observable sink (wire bytes, metrics/"
+        "audit/trace emission, FP accumulators); reported with the "
+        "source -> sink call chain"
+    ),
+    "wire-schema-drift": (
+        "*Msg struct fields and kSnapshotSchema rows (name, declared "
+        "type, wire order) must match tools/lint/wire_manifest.json; "
+        "intentional protocol changes regenerate it in the same diff "
+        "via --write-manifest"
+    ),
+    "suppression-debt": (
+        "every roia-lint: allow(...) must still suppress a live finding; "
+        "a stale allow (the underlying line no longer trips the rule) is "
+        "debt and must be deleted"
     ),
 }
 
@@ -243,25 +304,25 @@ def match_bracket(text, open_pos, open_ch, close_ch):
 
 
 def collect_suppressions(raw_lines):
-    """line -> (set of allowed rules, has_reason, raw allow() text)."""
+    """line -> (set of allowed rules, reason or None, raw allow() text)."""
     allows = {}
     for idx, line in enumerate(raw_lines, start=1):
         m = ALLOW_RE.search(line)
         if m:
             rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            allows[idx] = (rules, m.group(2) is not None, m.group(0))
+            allows[idx] = (rules, m.group(2), m.group(0))
     return allows
 
 
 def suppression_findings(path, allows):
     findings = []
-    for idx, (rules, has_reason, text) in sorted(allows.items()):
+    for idx, (rules, reason, text) in sorted(allows.items()):
         unknown = rules - set(RULES)
         if unknown:
             findings.append(Finding(
                 path, idx, "bad-suppression",
                 f"allow() names unknown rule(s) {sorted(unknown)}"))
-        if not has_reason:
+        if reason is None:
             findings.append(Finding(
                 path, idx, "bad-suppression",
                 "allow() without a justification; write "
@@ -270,8 +331,8 @@ def suppression_findings(path, allows):
 
 
 def is_suppressed(finding, allows):
-    if finding.rule == "bad-suppression":
-        return False  # a broken suppression cannot suppress itself
+    if finding.rule in ("bad-suppression", "suppression-debt"):
+        return False  # a broken/stale suppression cannot suppress itself
     for line in (finding.line, finding.line - 1):
         entry = allows.get(line)
         if entry and finding.rule in entry[0] and entry[1]:
@@ -391,7 +452,7 @@ STRUCT_RE = re.compile(r"\bstruct\s+(\w+Msg)\s*\{")
 
 
 def struct_data_members(masked, open_brace, end):
-    """list of (field_name, line): depth-1 data members of a struct body."""
+    """list of (field_name, line, declared_type): depth-1 struct members."""
     fields = []
     depth = 0
     stmt = []
@@ -410,10 +471,12 @@ def struct_data_members(masked, open_brace, end):
                 # function/constructor declaration.
                 if "(" not in text:
                     # Drop '= default-value' initializers, keep the name.
-                    text = text.split("=")[0]
-                    name = re.search(r"([A-Za-z_]\w*)\s*$", text.strip())
-                    if name and not text.strip().startswith(("using", "static")):
-                        fields.append((name.group(1), line_of(masked, stmt_start)))
+                    text = text.split("=")[0].strip()
+                    name = re.search(r"([A-Za-z_]\w*)\s*$", text)
+                    if name and not text.startswith(("using", "static")):
+                        ftype = re.sub(r"\s+", " ", text[:name.start()].strip())
+                        fields.append((name.group(1),
+                                       line_of(masked, stmt_start), ftype))
                 stmt = []
                 stmt_start = i + 1
             else:
@@ -424,7 +487,7 @@ def struct_data_members(masked, open_brace, end):
 
 
 def parse_message_structs(masked):
-    """name -> list of (field_name, line). Depth-1 data members only."""
+    """name -> list of (field, line, type). Depth-1 data members only."""
     structs = {}
     for m in STRUCT_RE.finditer(masked):
         open_brace = masked.find("{", m.start())
@@ -435,8 +498,14 @@ def parse_message_structs(masked):
     return structs
 
 
+def parse_message_struct_lines(masked):
+    """name -> line of the `struct <Name>Msg {` declaration itself."""
+    return {m.group(1): line_of(masked, m.start())
+            for m in STRUCT_RE.finditer(masked)}
+
+
 def parse_struct_fields(masked, struct_name):
-    """Depth-1 data members of one named struct: list of (name, line)."""
+    """Depth-1 data members of one named struct: list of (name, line, type)."""
     m = re.search(r"\bstruct\s+" + re.escape(struct_name) + r"\s*\{", masked)
     if not m:
         return []
@@ -476,7 +545,7 @@ def rule_serialization_coverage(hpp_path, hpp_masked, cpp_path, cpp_masked):
                     cpp_path, 1, "serialization-coverage",
                     f"no {direction} function found for {struct}"))
                 continue
-            for field, line in fields:
+            for field, line, _ftype in fields:
                 if not re.search(r"\.\s*" + re.escape(field) + r"\b", body):
                     findings.append(Finding(
                         hpp_path, line, "serialization-coverage",
@@ -511,7 +580,7 @@ def rule_snapshot_schema_coverage(cpp_path, cpp_masked, hpp_path, hpp_masked):
     open_brace = cpp_masked.find("{", m.start())
     end = match_bracket(cpp_masked, open_brace, "{", "}")
     body = cpp_masked[open_brace:end] if end != -1 else cpp_masked[open_brace:]
-    for field, line in fields:
+    for field, line, _ftype in fields:
         enumerator = "k" + field[0].upper() + field[1:]
         if not re.search(r"\bSnapshotField\s*::\s*" + enumerator + r"\b", body):
             findings.append(Finding(
@@ -707,6 +776,288 @@ def rule_audit_vocabulary(path, comment_masked, vocab):
 
 
 # ---------------------------------------------------------------------------
+# whole-program rules (call-graph based; index built by cpp_index.py)
+
+def rule_transitive_hot_alloc(index):
+    """Allocations reachable from a // roia-hot root anywhere in the graph.
+
+    BFS from every hot function; the first (therefore shortest) path to
+    each reachable callee is recorded so the finding can print the full
+    hot-root -> ... -> allocator chain. Allocations *inside* a hot function
+    itself are the line-local hot-path-alloc rule's job; this rule covers
+    exactly the callees that rule cannot see.
+    """
+    findings = []
+    roots = [fn for fn in index.functions if fn.hot]
+    parent = {}
+    seen = {id(fn) for fn in roots}
+    queue = collections.deque(roots)
+    while queue:
+        fn = queue.popleft()
+        for callee, _call_line in index.callees(fn):
+            if id(callee) in seen:
+                continue
+            seen.add(id(callee))
+            parent[id(callee)] = fn
+            queue.append(callee)
+            if callee.allocs and not callee.hot:
+                chain = [callee]
+                node = fn
+                while node is not None:
+                    chain.append(node)
+                    node = parent.get(id(node))
+                chain.reverse()
+                chain_text = " -> ".join(f.qualname for f in chain)
+                for line, what in callee.allocs:
+                    findings.append(Finding(
+                        callee.file, line, "transitive-hot-alloc",
+                        f"{what} in '{callee.qualname}' is reachable from "
+                        f"// roia-hot root '{chain[0].qualname}' (chain: "
+                        f"{chain_text}); hoist the buffer to the caller or "
+                        "make the callee allocation-free"))
+    return findings
+
+
+def _up_bfs(index, start):
+    """Caller-direction BFS: (id->dist, id->parent Function, id->Function).
+
+    parent[x] is the node x was discovered from, i.e. one call closer to
+    `start`, so walking parents from any node yields the node -> ... ->
+    start path.
+    """
+    dist = {id(start): 0}
+    parent = {}
+    nodes = {id(start): start}
+    queue = collections.deque([start])
+    while queue:
+        fn = queue.popleft()
+        for caller, _line in index.callers(fn):
+            if id(caller) in dist:
+                continue
+            dist[id(caller)] = dist[id(fn)] + 1
+            parent[id(caller)] = fn
+            nodes[id(caller)] = caller
+            queue.append(caller)
+    return dist, parent, nodes
+
+
+def rule_determinism_taint(index, core_files):
+    """Nondeterminism sources in the core flowing into observable sinks.
+
+    A source function's return value taints its callers (caller-direction
+    BFS); a sink function is reachable from its callers the same way. Any
+    function in both closures is a meet point: the nondeterministic value
+    can travel up from the source to the meet and down into the sink call.
+    One finding per (source function, sink function) pair, anchored at the
+    source fact's line, carrying the minimal source -> meet -> sink chain.
+    """
+    findings = []
+    sources = [fn for fn in index.functions
+               if fn.sources and fn.file in core_files]
+    sinks = [fn for fn in index.functions if fn.sinks]
+    if not sources or not sinks:
+        return findings
+    sink_maps = [(fn, _up_bfs(index, fn)) for fn in sinks]
+    for src in sources:
+        sdist, sparent, snodes = _up_bfs(index, src)
+        for sink, (kdist, kparent, knodes) in sink_maps:
+            best = None
+            for fid, d in sdist.items():
+                if fid in kdist and (best is None or d + kdist[fid] < best[1]):
+                    best = (fid, d + kdist[fid])
+            if best is None:
+                continue
+            meet_id = best[0]
+            meet_to_src = []
+            node = snodes[meet_id]
+            while node is not None:
+                meet_to_src.append(node)
+                node = sparent.get(id(node))
+            meet_to_sink = []
+            node = knodes[meet_id]
+            while node is not None:
+                meet_to_sink.append(node)
+                node = kparent.get(id(node))
+            chain = list(reversed(meet_to_src)) + meet_to_sink[1:]
+            src_line, src_kind, src_what = src.sources[0]
+            _sink_line, sink_kind, sink_what = sink.sinks[0]
+            chain_text = " -> ".join(f.qualname for f in chain)
+            findings.append(Finding(
+                src.file, src_line, "determinism-taint",
+                f"{src_kind} source ({src_what}) in '{src.qualname}' can "
+                f"reach {sink_kind} sink ({sink_what}) in '{sink.qualname}' "
+                f"(flow: {chain_text}); route the value through seeded "
+                "Rng/SimTime or sort before emission"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# wire-schema drift
+
+WIRE_MANIFEST_SCHEMA = "roia-wire-manifest/1"
+DEFAULT_MANIFEST = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                "wire_manifest.json")
+
+SNAPSHOT_ROW_RE = re.compile(r"\bSnapshotField\s*::\s*k(\w+)")
+
+
+def _wire_rule_files(files, explicit):
+    """(messages.hpp, snapshot_codec.cpp, entity.hpp) paths the rule covers.
+
+    Without --manifest only the real protocol files (under an rtf/
+    directory) participate, so fixture trees that merely *contain* a
+    messages.hpp stay inert; an explicit --manifest opts any tree in.
+    """
+    def covered(path):
+        return explicit or os.path.basename(os.path.dirname(path)) == "rtf"
+
+    messages = next((p for p in files
+                     if os.path.basename(p) == "messages.hpp" and covered(p)),
+                    None)
+    codec = next((p for p in files
+                  if os.path.basename(p) == "snapshot_codec.cpp" and covered(p)),
+                 None)
+    entity = None
+    if codec is not None:
+        candidate = os.path.join(os.path.dirname(codec), "entity.hpp")
+        if os.path.isfile(candidate):
+            entity = candidate
+    return messages, codec, entity
+
+
+def extract_wire_manifest(messages_masked, entity_masked, codec_masked):
+    """The current wire contract: *Msg fields + kSnapshotSchema rows in order."""
+    manifest = {"schema": WIRE_MANIFEST_SCHEMA, "messages": {},
+                "snapshot_schema": []}
+    if messages_masked is not None:
+        for struct, fields in parse_message_structs(messages_masked).items():
+            manifest["messages"][struct] = [
+                {"field": name, "type": ftype} for name, _line, ftype in fields]
+    entity_types = {}
+    if entity_masked is not None:
+        entity_types = {name: ftype for name, _line, ftype
+                        in parse_struct_fields(entity_masked, "EntitySnapshot")}
+    if codec_masked is not None:
+        m = SNAPSHOT_SCHEMA_RE.search(codec_masked)
+        if m:
+            open_brace = codec_masked.find("{", m.start())
+            end = match_bracket(codec_masked, open_brace, "{", "}")
+            body = codec_masked[open_brace:end] if end != -1 else codec_masked[open_brace:]
+            for row in SNAPSHOT_ROW_RE.finditer(body):
+                stem = row.group(1)
+                field = stem[0].lower() + stem[1:]
+                manifest["snapshot_schema"].append({
+                    "field": field,
+                    "enum": f"SnapshotField::k{stem}",
+                    "type": entity_types.get(field, "?")})
+    return manifest
+
+
+def _field_sig(entries):
+    return [f"{e.get('field')}:{e.get('type')}" for e in entries]
+
+
+def rule_wire_schema_drift(current, manifest_path, messages_path,
+                           messages_masked, codec_path, codec_masked):
+    findings = []
+    anchor = messages_path or codec_path
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            golden = json.load(f)
+    except (OSError, ValueError) as err:
+        return [Finding(
+            anchor, 1, "wire-schema-drift",
+            f"wire manifest {manifest_path} missing or unreadable ({err}); "
+            "generate it with `roia_lint.py --write-manifest src/` and "
+            "commit it")]
+    regen = ("wire contract changed on purpose? regenerate and commit the "
+             "manifest: `roia_lint.py --write-manifest src/`")
+    struct_lines = (parse_message_struct_lines(messages_masked)
+                    if messages_masked is not None else {})
+    cur_msgs = current["messages"]
+    gold_msgs = golden.get("messages", {})
+    for struct in sorted(set(cur_msgs) | set(gold_msgs)):
+        if struct not in gold_msgs:
+            findings.append(Finding(
+                messages_path, struct_lines.get(struct, 1), "wire-schema-drift",
+                f"struct {struct} is not in the wire manifest; {regen}"))
+        elif struct not in cur_msgs:
+            findings.append(Finding(
+                messages_path or anchor, 1, "wire-schema-drift",
+                f"struct {struct} is in the wire manifest but gone from the "
+                f"source; {regen}"))
+        elif _field_sig(cur_msgs[struct]) != _field_sig(gold_msgs[struct]):
+            findings.append(Finding(
+                messages_path, struct_lines.get(struct, 1), "wire-schema-drift",
+                f"{struct} wire fields drifted from the manifest: source "
+                f"[{', '.join(_field_sig(cur_msgs[struct]))}] vs manifest "
+                f"[{', '.join(_field_sig(gold_msgs[struct]))}]; {regen}"))
+    if codec_masked is not None:
+        cur_rows = _field_sig(current["snapshot_schema"])
+        gold_rows = _field_sig(golden.get("snapshot_schema", []))
+        if cur_rows != gold_rows:
+            m = SNAPSHOT_SCHEMA_RE.search(codec_masked)
+            line = line_of(codec_masked, m.start()) if m else 1
+            findings.append(Finding(
+                codec_path, line, "wire-schema-drift",
+                f"kSnapshotSchema drifted from the manifest: source "
+                f"[{', '.join(cur_rows)}] vs manifest "
+                f"[{', '.join(gold_rows)}]; {regen}"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# suppression-debt
+
+def git_age_days(path, line):
+    """Age in days of the line per git blame, or None outside git/on error."""
+    try:
+        proc = subprocess.run(
+            ["git", "blame", "--porcelain", "-L", f"{line},{line}", "--",
+             os.path.abspath(path)],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(path)))
+        if proc.returncode != 0:
+            return None
+        m = re.search(r"^committer-time (\d+)$", proc.stdout, re.MULTILINE)
+        if not m:
+            return None
+        return max(0, int((time.time() - int(m.group(1))) / 86400))
+    except Exception:
+        return None
+
+
+def suppression_debt(allows_by_file, suppressed):
+    """(debt table, stale findings) for every well-formed allow().
+
+    An allow is *live* if it suppressed at least one finding this run
+    (the allow sits on the finding's line or the line above). Malformed
+    allows are bad-suppression's territory and are skipped here.
+    """
+    used = {(f.file, line) for f in suppressed
+            for line in (f.line, f.line - 1)}
+    table = []
+    findings = []
+    for path in sorted(allows_by_file):
+        for line, (rules, reason, _text) in sorted(allows_by_file[path].items()):
+            if reason is None or rules - set(RULES):
+                continue
+            live = (path, line) in used
+            table.append({
+                "file": path, "line": line, "rules": sorted(rules),
+                "reason": reason.strip(), "live": live,
+                "age_days": git_age_days(path, line),
+            })
+            if not live:
+                findings.append(Finding(
+                    path, line, "suppression-debt",
+                    f"stale suppression: allow({', '.join(sorted(rules))}) "
+                    "no longer suppresses any finding on this or the next "
+                    "line — delete it"))
+    return table, findings
+
+
+# ---------------------------------------------------------------------------
 # driver
 
 def path_subsystem(path):
@@ -747,18 +1098,32 @@ def paired_sources(path):
     return out
 
 
-def lint_files(files, assume_core=False):
+def lint_files(files, assume_core=False, graph_files=None,
+               manifest_path=None, manifest_explicit=False):
+    """(findings, suppressed, suppression-debt table) over `files`.
+
+    `graph_files` (default: `files`) is the file set the whole-program
+    index covers; --changed-only passes the full tree here while linting
+    only the changed subset, so call-graph rules still see every edge but
+    only report into the subset. `manifest_path`/`manifest_explicit`
+    configure the wire-schema-drift golden file (explicit opts fixture
+    trees into the rule; by default only rtf/ protocol files participate).
+    """
     findings = []
     suppressed = []
     messages_pairs = []
     snapshot_pairs = []
+    allows_by_file = {}
+    masked_by_file = {}
     audit_vocab, audit_registries = load_audit_vocabulary(files)
     for path in files:
         with open(path, encoding="utf-8") as f:
             raw = f.read()
         masked = mask_source(raw)
+        masked_by_file[path] = masked
         raw_lines = raw.splitlines()
         allows = collect_suppressions(raw_lines)
+        allows_by_file[path] = allows
 
         subsystem = path_subsystem(path)
         in_core = assume_core or subsystem in CORE_DIRS
@@ -816,15 +1181,125 @@ def lint_files(files, assume_core=False):
                                                      hpp_path, hpp_masked):
             (suppressed if is_suppressed(finding, allows) else findings).append(finding)
 
+    # Whole-program rules: index the graph file set (the full tree even
+    # under --changed-only), report only into the linted subset.
+    index = cpp_index.build_index(graph_files or files)
+    core_files = {p for p in (graph_files or files)
+                  if assume_core or path_subsystem(p) in CORE_DIRS}
+    linted = set(files)
+    for finding in (rule_transitive_hot_alloc(index)
+                    + rule_determinism_taint(index, core_files)):
+        if finding.file not in linted:
+            continue
+        allows = allows_by_file.get(finding.file, {})
+        (suppressed if is_suppressed(finding, allows) else findings).append(finding)
+
+    # Wire-schema drift against the golden manifest.
+    messages_path, codec_path, entity_path = _wire_rule_files(
+        files, manifest_explicit)
+    if messages_path is not None or codec_path is not None:
+        entity_masked = None
+        if entity_path is not None:
+            entity_masked = masked_by_file.get(entity_path)
+            if entity_masked is None:
+                with open(entity_path, encoding="utf-8") as f:
+                    entity_masked = mask_source(f.read())
+        current = extract_wire_manifest(
+            masked_by_file.get(messages_path), entity_masked,
+            masked_by_file.get(codec_path))
+        for finding in rule_wire_schema_drift(
+                current, manifest_path or DEFAULT_MANIFEST,
+                messages_path, masked_by_file.get(messages_path),
+                codec_path, masked_by_file.get(codec_path)):
+            allows = allows_by_file.get(finding.file, {})
+            (suppressed if is_suppressed(finding, allows) else findings).append(finding)
+
+    # Suppression debt: needs the final suppressed list, so it runs last.
+    debt, stale = suppression_debt(allows_by_file, suppressed)
+    findings.extend(stale)
+
     findings.sort(key=lambda f: (f.file, f.line, f.rule))
-    return findings, suppressed
+    return findings, suppressed, debt
+
+
+def sarif_report(findings):
+    """Minimal SARIF 2.1.0 document (GitHub code-scanning compatible)."""
+    return {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "roia-lint",
+                "informationUri": "tools/lint/roia_lint.py",
+                "rules": [{
+                    "id": rule,
+                    "shortDescription": {"text": rule},
+                    "fullDescription": {"text": description},
+                    "defaultConfiguration": {"level": "error"},
+                } for rule, description in sorted(RULES.items())],
+            }},
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {
+                        "uri": os.path.relpath(f.file).replace(os.sep, "/")},
+                    "region": {"startLine": f.line},
+                }}],
+            } for f in findings],
+        }],
+    }
+
+
+def git_changed_files():
+    """Abspaths of files changed vs HEAD plus untracked files, or None."""
+    changed = set()
+    try:
+        top = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                             capture_output=True, text=True, timeout=10)
+        if top.returncode != 0:
+            return None
+        root = top.stdout.strip()
+        for cmd in (["git", "diff", "--name-only", "HEAD"],
+                    ["git", "ls-files", "--others", "--exclude-standard"]):
+            proc = subprocess.run(cmd, capture_output=True, text=True,
+                                  timeout=30, cwd=root)
+            if proc.returncode != 0:
+                return None
+            changed |= {os.path.abspath(os.path.join(root, line.strip()))
+                        for line in proc.stdout.splitlines() if line.strip()}
+    except Exception:
+        return None
+    return changed
+
+
+def changed_subset(files, index):
+    """Changed files + same-stem siblings + call-graph neighbor files."""
+    changed = git_changed_files()
+    if changed is None:
+        return files  # not a git checkout: fall back to the full set
+    by_abs = {os.path.abspath(p): p for p in files}
+    subset = {p for a, p in by_abs.items() if a in changed}
+    for path in list(subset):
+        stem = os.path.splitext(os.path.abspath(path))[0]
+        for a, p in by_abs.items():
+            if os.path.splitext(a)[0] == stem:
+                subset.add(p)
+        for fn in index.by_file.get(path, []):
+            for neighbor, _line in index.callees(fn) + index.callers(fn):
+                if neighbor.file in by_abs.values() or neighbor.file in files:
+                    subset.add(neighbor.file)
+    return [p for p in files if p in subset]
 
 
 def main():
     parser = argparse.ArgumentParser(
         description="project-invariant static analysis for the ROIA codebase")
     parser.add_argument("paths", nargs="*", help="files or directories to lint")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--rules", default=None,
@@ -832,6 +1307,17 @@ def main():
     parser.add_argument("--assume-core", action="store_true",
                         help="treat every scanned file as deterministic-core "
                              "(used by the fixture self-test)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="wire manifest to check against (default: "
+                             "tools/lint/wire_manifest.json; passing this "
+                             "also opts non-rtf/ trees into the rule)")
+    parser.add_argument("--write-manifest", action="store_true",
+                        help="regenerate the wire manifest from the scanned "
+                             "tree and exit (0 on success)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only files changed vs git HEAD (plus "
+                             "same-stem siblings and call-graph neighbors); "
+                             "the call graph still covers the full tree")
     args = parser.parse_args()
 
     if args.list_rules:
@@ -855,7 +1341,41 @@ def main():
         print(f"ERROR: no such file or directory: {err}", file=sys.stderr)
         return 2
 
-    findings, suppressed = lint_files(files, assume_core=args.assume_core)
+    manifest_path = args.manifest or DEFAULT_MANIFEST
+
+    if args.write_manifest:
+        messages_path, codec_path, entity_path = _wire_rule_files(
+            files, args.manifest is not None)
+        if messages_path is None and codec_path is None:
+            print("ERROR: --write-manifest found no rtf/messages.hpp or "
+                  "rtf/snapshot_codec.cpp in the scanned paths",
+                  file=sys.stderr)
+            return 2
+
+        def masked_of(path):
+            if path is None:
+                return None
+            with open(path, encoding="utf-8") as f:
+                return mask_source(f.read())
+
+        manifest = extract_wire_manifest(masked_of(messages_path),
+                                         masked_of(entity_path),
+                                         masked_of(codec_path))
+        with open(manifest_path, "w", encoding="utf-8") as f:
+            json.dump(manifest, f, indent=2, sort_keys=False)
+            f.write("\n")
+        print(f"wrote {manifest_path}: {len(manifest['messages'])} message "
+              f"struct(s), {len(manifest['snapshot_schema'])} snapshot row(s)")
+        return 0
+
+    graph_files = files
+    if args.changed_only:
+        files = changed_subset(files, cpp_index.build_index(graph_files))
+
+    findings, suppressed, debt = lint_files(
+        files, assume_core=args.assume_core, graph_files=graph_files,
+        manifest_path=manifest_path,
+        manifest_explicit=args.manifest is not None)
     if selected is not None:
         findings = [f for f in findings if f.rule in selected]
         suppressed = [f for f in suppressed if f.rule in selected]
@@ -866,7 +1386,10 @@ def main():
             "files_scanned": len(files),
             "findings": [f.as_dict() for f in findings],
             "suppressed": [f.as_dict() for f in suppressed],
+            "suppression_debt": debt,
         }, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(findings), indent=2))
     else:
         for f in findings:
             print(f"{f.file}:{f.line}: [{f.rule}] {f.message}")
